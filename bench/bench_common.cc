@@ -1,0 +1,302 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+namespace adaedge::bench {
+
+std::vector<double> RatioSweep() {
+  return {1.0, 0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.125, 0.1, 0.05};
+}
+
+std::vector<std::vector<double>> MakeCbfSegments(size_t count,
+                                                 uint64_t seed) {
+  data::CbfStream stream(seed, kCbfInstanceLength, kCbfPrecision);
+  std::vector<std::vector<double>> segments(count);
+  for (auto& segment : segments) {
+    segment.resize(kSegmentLength);
+    stream.Fill(segment);
+  }
+  return segments;
+}
+
+std::shared_ptr<const ml::Model> TrainModel(const std::string& kind,
+                                            uint64_t seed) {
+  auto dataset =
+      data::MakeCbfDataset(900, kCbfInstanceLength, seed, kCbfPrecision);
+  if (kind == "dtree") {
+    return std::shared_ptr<const ml::Model>(
+        ml::DecisionTree::Train(dataset, ml::TreeConfig{}));
+  }
+  if (kind == "rforest") {
+    ml::ForestConfig config;
+    config.num_trees = 15;
+    return std::shared_ptr<const ml::Model>(
+        ml::RandomForest::Train(dataset, config));
+  }
+  if (kind == "knn") {
+    // A modest reference set keeps per-segment prediction fast.
+    ml::Dataset small =
+        data::MakeCbfDataset(240, kCbfInstanceLength, seed, kCbfPrecision);
+    ml::KnnConfig config;
+    config.k = 3;
+    return std::shared_ptr<const ml::Model>(ml::Knn::Train(small, config));
+  }
+  if (kind == "kmeans") {
+    ml::KMeansConfig config;
+    config.k = 3;
+    return std::shared_ptr<const ml::Model>(
+        ml::KMeans::Train(dataset, config));
+  }
+  std::fprintf(stderr, "unknown model kind: %s\n", kind.c_str());
+  std::abort();
+}
+
+namespace {
+
+bool IsLosslessArm(const std::string& name) {
+  return compress::FindArm(compress::ExtendedLosslessArms(kCbfPrecision),
+                           name)
+      .has_value();
+}
+
+bool IsLossyArm(const std::string& name) {
+  return compress::FindArm(compress::ExtendedLossyArms(kCbfPrecision), name)
+      .has_value();
+}
+
+}  // namespace
+
+OnlineRun RunOnline(const std::string& method, double target_ratio,
+                    const core::TargetSpec& target,
+                    const std::vector<std::vector<double>>& segments,
+                    uint64_t seed) {
+  core::OnlineConfig config;
+  config.target_ratio = target_ratio;
+  config.precision = kCbfPrecision;
+  config.bandit.seed = seed;
+
+  OnlineRun run;
+  std::map<std::string, size_t> arm_counts;
+  double total_accuracy = 0.0;
+  double total_reward = 0.0;
+  double total_target = 0.0;
+  size_t processed = 0;
+  core::TargetEvaluator target_meter(target);  // for the full target value
+  if (target.w_throughput > 0.0 && !segments.empty()) {
+    // Shared C_thr scale across methods: the fastest lossy arm's measured
+    // throughput on the first segment.
+    double reference = 0.0;
+    for (const auto& arm :
+         compress::DefaultLossyArms(kCbfPrecision, 0.5)) {
+      util::Stopwatch watch;
+      auto payload = arm.codec->Compress(segments[0], arm.params);
+      double seconds = std::max(watch.ElapsedSeconds(), 1e-9);
+      if (payload.ok()) {
+        reference = std::max(
+            reference, static_cast<double>(segments[0].size() * 8) /
+                           seconds);
+      }
+    }
+    target_meter.SetThroughputReference(reference);
+  }
+
+  auto record = [&](const core::OnlineSelector::Outcome& outcome,
+                    std::span<const double> original) {
+    ++arm_counts[outcome.arm_name];
+    total_accuracy += outcome.accuracy;
+    total_reward += outcome.reward;
+    // Full weighted target, including throughput where configured.
+    auto reconstructed = outcome.segment.Materialize();
+    if (reconstructed.ok()) {
+      total_target += target_meter.Reward(
+          original, reconstructed.value(), original.size() * 8,
+          std::max(outcome.compress_seconds, 1e-9));
+    }
+    ++processed;
+  };
+
+  if (method == "codecdb") {
+    baseline::CodecDbOnline codecdb(config, target);
+    for (size_t i = 0; i < segments.size(); ++i) {
+      auto outcome = codecdb.Process(i, 0.0, segments[i]);
+      if (!outcome.ok()) {
+        run.failed = true;
+        break;
+      }
+      record(outcome.value(), segments[i]);
+    }
+  } else {
+    if (method == "tvstore") {
+      config = baseline::TvStoreOnline(config);
+    } else if (method == "mab") {
+      // defaults
+    } else if (method == "mab-lossy") {
+      // MAB over the lossy suite only — used by the throughput-weighted
+      // target of Fig 11, where size-only lossless selection would
+      // optimize the wrong thing.
+      config.force_lossy = true;
+    } else if (IsLosslessArm(method)) {
+      config = baseline::FixedLosslessOnline(config, method);
+    } else if (IsLossyArm(method)) {
+      config = baseline::FixedLossyOnline(config, method);
+    } else {
+      std::fprintf(stderr, "unknown online method: %s\n", method.c_str());
+      std::abort();
+    }
+    core::OnlineSelector selector(config, target);
+    for (size_t i = 0; i < segments.size(); ++i) {
+      auto outcome = selector.Process(i, 0.0, segments[i]);
+      if (!outcome.ok() || !outcome.value().met_target) {
+        run.failed = true;
+        break;
+      }
+      record(outcome.value(), segments[i]);
+    }
+  }
+  if (processed > 0) {
+    run.accuracy = total_accuracy / static_cast<double>(processed);
+    run.reward = total_reward / static_cast<double>(processed);
+    run.target_value = total_target / static_cast<double>(processed);
+  }
+  size_t best = 0;
+  for (const auto& [name, count] : arm_counts) {
+    if (count > best) {
+      best = count;
+      run.dominant_arm = name;
+    }
+  }
+  return run;
+}
+
+void PrintCsvHeader(const std::vector<std::string>& columns) {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    std::printf("%s%s", i ? "," : "", columns[i].c_str());
+  }
+  std::printf("\n");
+}
+
+void PrintCsvRow(double key, const std::vector<double>& cells) {
+  std::printf("%g", key);
+  for (double cell : cells) {
+    if (std::isnan(cell)) {
+      std::printf(",nan");
+    } else {
+      std::printf(",%.6g", cell);
+    }
+  }
+  std::printf("\n");
+}
+
+void RunOnlineLossSweep(const std::string& figure_title,
+                        const core::TargetSpec& target,
+                        const std::vector<std::string>& methods,
+                        size_t segments_per_point, uint64_t seed) {
+  std::printf("# %s\n", figure_title.c_str());
+  std::printf("# loss = 1 - mean task accuracy; nan = method infeasible "
+              "at that target ratio\n");
+  auto segments = MakeCbfSegments(segments_per_point, seed);
+  std::vector<std::string> columns = {"target_ratio"};
+  columns.insert(columns.end(), methods.begin(), methods.end());
+  PrintCsvHeader(columns);
+  for (double ratio : RatioSweep()) {
+    std::vector<double> cells;
+    for (const std::string& method : methods) {
+      OnlineRun run = RunOnline(method, ratio, target, segments, seed);
+      cells.push_back(run.failed ? std::nan("")
+                                 : 1.0 - run.accuracy);
+    }
+    PrintCsvRow(ratio, cells);
+  }
+}
+
+OfflineSeries RunOffline(const std::string& method,
+                         const core::OfflineConfig& base,
+                         const core::TargetSpec& target,
+                         double points_per_sec, size_t total_points,
+                         size_t eval_every_segments, uint64_t seed) {
+  core::OfflineConfig config = base;
+  config.precision = kCbfPrecision;
+  config.bandit.seed = seed;
+  if (method == "mab_mab") {
+    // defaults: full candidate sets, banded MABs
+  } else if (method == "codecdb") {
+    config = baseline::CodecDbOffline(config);
+  } else if (method == "tvstore") {
+    config = baseline::TvStoreOffline(config);
+  } else {
+    auto sep = method.find('_');
+    if (sep == std::string::npos) {
+      std::fprintf(stderr, "unknown offline method: %s\n", method.c_str());
+      std::abort();
+    }
+    std::string lossless = method.substr(0, sep);
+    std::string lossy = method.substr(sep + 1);
+    // Paper pairs degrade to RRD-sample once the primary lossy codec hits
+    // its floor (SV-B2).
+    std::vector<std::string> chain = {lossy};
+    if (lossy != "rrd") chain.push_back("rrd");
+    config = baseline::FixedPairOfflineWithFallback(config, lossless, chain);
+  }
+
+  OfflineSeries series;
+  series.method = method;
+  core::OfflineNode node(config, target);
+  core::TargetEvaluator evaluator(target);
+  std::unordered_map<uint64_t, std::vector<double>> originals;
+
+  auto stream = std::make_unique<data::CbfStream>(seed, kCbfInstanceLength,
+                                                  kCbfPrecision);
+  sim::SensorClient client(std::move(stream), points_per_sec,
+                           kSegmentLength);
+  size_t num_segments = total_points / kSegmentLength;
+  for (size_t i = 0; i < num_segments; ++i) {
+    std::vector<double> values = client.NextSegment();
+    double now = client.now_seconds();
+    originals[i] = values;
+    util::Status status = node.Ingest(i, now, values);
+    if (!status.ok()) {
+      series.failed = true;
+      series.fail_time = now;
+      break;
+    }
+    if (i % eval_every_segments == eval_every_segments - 1 ||
+        i + 1 == num_segments) {
+      auto quality =
+          core::EvaluateRetained(node.store(), originals, evaluator);
+      OfflineSeriesPoint point;
+      point.time_seconds = now;
+      point.space_utilization = node.store().budget()->utilization();
+      point.accuracy_loss =
+          quality.ok() ? 1.0 - quality.value().accuracy : 1.0;
+      point.fresh_accuracy =
+          quality.ok() ? quality.value().fresh_accuracy : 0.0;
+      series.points.push_back(point);
+    }
+  }
+  series.compress_busy_seconds = node.compress_busy_seconds();
+  series.recode_busy_seconds = node.recode_busy_seconds();
+  return series;
+}
+
+void PrintOfflineSeries(const std::string& figure_title,
+                        const std::vector<OfflineSeries>& series) {
+  std::printf("# %s\n", figure_title.c_str());
+  std::printf("method,time_s,space_utilization,accuracy_loss,"
+              "fresh_accuracy\n");
+  for (const OfflineSeries& s : series) {
+    for (const OfflineSeriesPoint& p : s.points) {
+      std::printf("%s,%.4f,%.4f,%.4f,%.4f\n", s.method.c_str(),
+                  p.time_seconds, p.space_utilization, p.accuracy_loss,
+                  p.fresh_accuracy);
+    }
+    if (s.failed) {
+      std::printf("%s,FAILED at t=%.2fs (storage budget exceeded)\n",
+                  s.method.c_str(), s.fail_time);
+    }
+  }
+}
+
+}  // namespace adaedge::bench

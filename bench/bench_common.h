@@ -1,0 +1,96 @@
+#ifndef ADAEDGE_BENCH_BENCH_COMMON_H_
+#define ADAEDGE_BENCH_BENCH_COMMON_H_
+
+// Shared harness for the figure-reproduction benchmarks. Each bench binary
+// regenerates one table/figure of the paper's evaluation (SV); see
+// EXPERIMENTS.md for the per-figure mapping and expected shapes.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaedge/adaedge.h"
+#include "adaedge/util/stopwatch.h"
+
+namespace adaedge::bench {
+
+/// Paper-default segment size: 1024 points = 8 CBF instances.
+inline constexpr size_t kSegmentLength = 1024;
+inline constexpr size_t kCbfInstanceLength = 128;
+inline constexpr int kCbfPrecision = 4;
+
+/// The target-ratio sweep of Figs 7-11 (1.0 -> 0.05).
+std::vector<double> RatioSweep();
+
+/// Pre-generated CBF segments (shared across methods for comparability).
+std::vector<std::vector<double>> MakeCbfSegments(size_t count,
+                                                 uint64_t seed);
+
+/// Trains the paper's four workload models on raw CBF data.
+std::shared_ptr<const ml::Model> TrainModel(const std::string& kind,
+                                            uint64_t seed = 9);
+
+/// One online-mode run of `segments` through a method at a target ratio.
+struct OnlineRun {
+  bool failed = false;      // method could not satisfy the constraint
+  double accuracy = 1.0;    // mean task accuracy over processed segments
+  double reward = 0.0;      // mean bandit reward
+  double target_value = 0.0;  // mean full weighted target (Figs 10-11)
+  std::string dominant_arm;   // most frequently chosen arm
+};
+
+/// method: "mab", "codecdb", "tvstore", a lossless arm name ("gzip",
+/// "sprintz", ...) or a lossy arm name ("paa", "fft", ...).
+OnlineRun RunOnline(const std::string& method, double target_ratio,
+                    const core::TargetSpec& target,
+                    const std::vector<std::vector<double>>& segments,
+                    uint64_t seed = 33);
+
+/// Prints a CSV header + rows; `na` cells print as "nan".
+void PrintCsvHeader(const std::vector<std::string>& columns);
+void PrintCsvRow(double key, const std::vector<double>& cells);
+
+/// Mean task-accuracy-loss sweep shared by Figs 7-9: rows = target
+/// ratios, columns = methods.
+void RunOnlineLossSweep(const std::string& figure_title,
+                        const core::TargetSpec& target,
+                        const std::vector<std::string>& methods,
+                        size_t segments_per_point, uint64_t seed);
+
+/// Offline experiment time series (Figs 12-14): space usage and task
+/// accuracy loss over virtual ingestion time.
+struct OfflineSeriesPoint {
+  double time_seconds;
+  double space_utilization;   // used / capacity
+  double accuracy_loss;       // 1 - retained workload accuracy
+  double fresh_accuracy;      // accuracy over the freshest segments
+};
+struct OfflineSeries {
+  std::string method;
+  bool failed = false;
+  double fail_time = 0.0;
+  /// Measured CPU seconds (scaled by cpu_scale when metering) spent in
+  /// the compression / recoding stages — the Fig 14 bottleneck signal.
+  double compress_busy_seconds = 0.0;
+  double recode_busy_seconds = 0.0;
+  std::vector<OfflineSeriesPoint> points;
+};
+
+/// Runs one offline method over a CBF stream. `method` is "mab_mab",
+/// "codecdb", "tvstore" or "<lossless>_<lossy>" (e.g. "sprintz_bufflossy",
+/// with the RRD fallback chain appended as in the paper's pairs).
+OfflineSeries RunOffline(const std::string& method,
+                         const core::OfflineConfig& base,
+                         const core::TargetSpec& target,
+                         double points_per_sec, size_t total_points,
+                         size_t eval_every_segments, uint64_t seed);
+
+/// Prints an OfflineSeries set as long-format CSV:
+/// method,time,space,accuracy_loss.
+void PrintOfflineSeries(const std::string& figure_title,
+                        const std::vector<OfflineSeries>& series);
+
+}  // namespace adaedge::bench
+
+#endif  // ADAEDGE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,104 @@
+// Codec reference matrix: compression ratio and speed of every codec on
+// every signal family. This is the inventory behind the paper's
+// narrative claims (Sprintz smallest on smooth quantized signals,
+// Deflate-9 slowest, dictionary wins only on low-cardinality data, ...).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace adaedge::bench {
+namespace {
+
+std::vector<double> MakeFamily(const std::string& family, size_t n) {
+  if (family == "cbf") {
+    data::CbfStream stream(31, kCbfInstanceLength, kCbfPrecision);
+    std::vector<double> v(n);
+    stream.Fill(v);
+    return v;
+  }
+  if (family == "lowentropy") {
+    data::LowEntropyStream stream(37, kCbfPrecision);
+    std::vector<double> v(n);
+    stream.Fill(v);
+    return v;
+  }
+  if (family == "ucr") {
+    auto dataset = data::MakeUcrLikeDataset(n / 128 + 1, 128, 5, 41, 4);
+    std::vector<double> v;
+    v.reserve(n);
+    for (size_t i = 0; v.size() < n; ++i) {
+      auto row = dataset.features.Row(i % dataset.size());
+      v.insert(v.end(), row.begin(),
+               row.begin() + std::min<size_t>(row.size(), n - v.size()));
+    }
+    return v;
+  }
+  // "uci"
+  auto dataset = data::MakeUciLikeDataset(n / 128 + 1, 128, 4, 43, 4);
+  std::vector<double> v;
+  v.reserve(n);
+  for (size_t i = 0; v.size() < n; ++i) {
+    auto row = dataset.features.Row(i % dataset.size());
+    v.insert(v.end(), row.begin(),
+             row.begin() + std::min<size_t>(row.size(), n - v.size()));
+  }
+  return v;
+}
+
+void BM_Matrix(benchmark::State& state, compress::CodecArm arm,
+               std::string family) {
+  std::vector<double> signal = MakeFamily(family, 32 * 1024);
+  size_t compressed = 0;
+  bool refused = false;
+  for (auto _ : state) {
+    auto payload = arm.codec->Compress(signal, arm.params);
+    if (!payload.ok()) {
+      refused = true;
+      break;
+    }
+    compressed = payload.value().size();
+    benchmark::DoNotOptimize(payload.value().data());
+  }
+  if (refused) {
+    state.SkipWithError("codec refused input");
+    return;
+  }
+  state.counters["ratio"] =
+      compress::CompressionRatio(compressed, signal.size());
+  state.counters["MBps"] = benchmark::Counter(
+      static_cast<double>(state.iterations()) * signal.size() * 8,
+      benchmark::Counter::kIsRate, benchmark::Counter::kIs1024);
+}
+
+void RegisterAll() {
+  std::vector<compress::CodecArm> arms =
+      compress::ExtendedLosslessArms(kCbfPrecision);
+  for (auto& arm : compress::ExtendedLossyArms(kCbfPrecision, 0.25)) {
+    arm.name += "*";
+    arms.push_back(arm);
+  }
+  for (const auto& family : {"cbf", "ucr", "uci", "lowentropy"}) {
+    for (const auto& arm : arms) {
+      benchmark::RegisterBenchmark(
+          ("Matrix/" + std::string(family) + "/" + arm.name).c_str(),
+          [arm, family](benchmark::State& state) {
+            BM_Matrix(state, arm, family);
+          })
+          ->MinTime(0.1);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adaedge::bench
+
+int main(int argc, char** argv) {
+  std::printf("# Codec matrix: ratio + speed per codec x signal family "
+              "(lossy codecs at target ratio 0.25, marked *)\n");
+  adaedge::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

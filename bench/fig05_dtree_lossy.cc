@@ -1,0 +1,79 @@
+// Figure 5: decision-tree model accuracy on the UCI-like suite under
+// BUFF-lossy and PAA at decreasing compression ratios.
+//
+// Expected shape: accuracy decays as the ratio tightens; BUFF-lossy stays
+// near 1.0 through mild ratios (minimal value perturbation) but cannot go
+// below ~0.11; PAA spans the whole range with smooth degradation.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace adaedge::bench {
+namespace {
+
+void SweepCodec(const char* title, const std::string& codec_name,
+                const ml::Model& model, const ml::Dataset& dataset,
+                const std::vector<double>& ratios) {
+  std::printf("# %s\n", title);
+  std::printf("ratio,achieved_ratio,relative_accuracy\n");
+  auto arms = compress::ExtendedLossyArms(6);
+  auto arm = *compress::FindArm(arms, codec_name);
+  for (double ratio : ratios) {
+    size_t n = dataset.features.cols();
+    if (!arm.codec->SupportsRatio(ratio, n)) {
+      std::printf("%g,nan,nan\n", ratio);
+      continue;
+    }
+    compress::CodecParams params = arm.params;
+    params.target_ratio = ratio;
+    ml::Matrix lossy(dataset.size(), n);
+    double achieved_sum = 0.0;
+    size_t encoded = 0;
+    bool failed = false;
+    for (size_t i = 0; i < dataset.size(); ++i) {
+      auto payload = arm.codec->Compress(dataset.features.Row(i), params);
+      if (!payload.ok()) {
+        failed = true;
+        break;
+      }
+      achieved_sum +=
+          compress::CompressionRatio(payload.value().size(), n);
+      ++encoded;
+      auto back = arm.codec->Decompress(payload.value());
+      if (!back.ok()) {
+        failed = true;
+        break;
+      }
+      auto row = lossy.MutableRow(i);
+      std::copy(back.value().begin(), back.value().end(), row.begin());
+    }
+    if (failed) {
+      std::printf("%g,nan,nan\n", ratio);
+      continue;
+    }
+    double accuracy =
+        ml::RelativeMlAccuracy(model, dataset.features, lossy);
+    std::printf("%g,%.4f,%.4f\n", ratio,
+                achieved_sum / static_cast<double>(encoded), accuracy);
+  }
+}
+
+void Run() {
+  std::printf("# Figure 5: dtree relative accuracy vs compression ratio "
+              "(UCI-like suite, precision 6)\n");
+  auto dataset = data::MakeUciLikeDataset(400, 128, 4, 71, 6);
+  auto model = ml::DecisionTree::Train(dataset, ml::TreeConfig{});
+  std::vector<double> ratios = {1.0, 0.59, 0.55, 0.5,  0.44,
+                                0.39, 0.34, 0.27, 0.2, 0.11, 0.06, 0.03};
+  SweepCodec("Fig 5a: BUFF-lossy", "bufflossy", *model, dataset, ratios);
+  SweepCodec("Fig 5b: PAA", "paa", *model, dataset, ratios);
+}
+
+}  // namespace
+}  // namespace adaedge::bench
+
+int main() {
+  adaedge::bench::Run();
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Figure 6: random-forest model accuracy on the UCR-like suite under
+// BUFF-lossy and PAA at decreasing compression ratios.
+//
+// Expected shape: BUFF-lossy leads at mild ratios but underperforms
+// PAA/FFT-class methods near ratio ~0.12 and cannot compress below ~0.11
+// (the paper's reported floor).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace adaedge::bench {
+namespace {
+
+void SweepCodec(const char* title, const std::string& codec_name,
+                const ml::Model& model, const ml::Dataset& dataset,
+                const std::vector<double>& ratios) {
+  std::printf("# %s\n", title);
+  std::printf("ratio,achieved_ratio,relative_accuracy\n");
+  auto arms = compress::ExtendedLossyArms(5);
+  auto arm = *compress::FindArm(arms, codec_name);
+  for (double ratio : ratios) {
+    size_t n = dataset.features.cols();
+    if (!arm.codec->SupportsRatio(ratio, n)) {
+      std::printf("%g,nan,nan\n", ratio);
+      continue;
+    }
+    compress::CodecParams params = arm.params;
+    params.target_ratio = ratio;
+    ml::Matrix lossy(dataset.size(), n);
+    double achieved_sum = 0.0;
+    bool failed = false;
+    for (size_t i = 0; i < dataset.size() && !failed; ++i) {
+      auto payload = arm.codec->Compress(dataset.features.Row(i), params);
+      if (!payload.ok()) {
+        failed = true;
+        break;
+      }
+      achieved_sum +=
+          compress::CompressionRatio(payload.value().size(), n);
+      auto back = arm.codec->Decompress(payload.value());
+      if (!back.ok()) {
+        failed = true;
+        break;
+      }
+      auto row = lossy.MutableRow(i);
+      std::copy(back.value().begin(), back.value().end(), row.begin());
+    }
+    if (failed) {
+      std::printf("%g,nan,nan\n", ratio);
+      continue;
+    }
+    double accuracy =
+        ml::RelativeMlAccuracy(model, dataset.features, lossy);
+    std::printf("%g,%.4f,%.4f\n", ratio,
+                achieved_sum / static_cast<double>(dataset.size()),
+                accuracy);
+  }
+}
+
+void Run() {
+  std::printf("# Figure 6: rforest relative accuracy vs compression ratio "
+              "(UCR-like suite, precision 5)\n");
+  auto dataset = data::MakeUcrLikeDataset(400, 128, 5, 73, 5);
+  ml::ForestConfig config;
+  config.num_trees = 15;
+  auto model = ml::RandomForest::Train(dataset, config);
+  std::vector<double> ratios = {1.0, 0.5, 0.39, 0.34, 0.28, 0.23,
+                                0.19, 0.125, 0.11, 0.06, 0.03};
+  SweepCodec("Fig 6a: BUFF-lossy", "bufflossy", *model, dataset, ratios);
+  SweepCodec("Fig 6b: PAA", "paa", *model, dataset, ratios);
+}
+
+}  // namespace
+}  // namespace adaedge::bench
+
+int main() {
+  adaedge::bench::Run();
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 7 (a-d): online-mode ML accuracy loss vs target compression
+// ratio for decision tree, random forest, KNN and KMeans, comparing
+// AdaEdge's MAB selection against every fixed lossless/lossy baseline,
+// CodecDB and TVStore ("kvstore" in the paper's figure legends).
+//
+// Expected shape per panel: the MAB line hugs the lower envelope — zero
+// loss while any lossless codec meets the target ratio, BUFF-lossy down
+// to ~0.125, then PAA/FFT below; fixed lossless baselines turn infeasible
+// (nan) once the ratio drops below what they achieve; CodecDB likewise;
+// TVStore's PLA is feasible everywhere but loses more accuracy.
+
+#include "bench_common.h"
+
+namespace adaedge::bench {
+namespace {
+
+void Run() {
+  const std::vector<std::string> methods = {
+      "mab",  "bufflossy", "paa",    "pla",     "fft",
+      "rrd",  "gzip",      "snappy", "gorilla", "zlib-9",
+      "buff", "sprintz",   "codecdb", "tvstore"};
+  const std::vector<std::pair<std::string, std::string>> panels = {
+      {"dtree", "Fig 7a: decision tree accuracy loss (online, CBF)"},
+      {"rforest", "Fig 7b: random forest accuracy loss (online, CBF)"},
+      {"knn", "Fig 7c: KNN accuracy loss (online, CBF)"},
+      {"kmeans", "Fig 7d: KMeans accuracy loss (online, CBF)"},
+  };
+  for (const auto& [kind, title] : panels) {
+    auto model = TrainModel(kind);
+    core::TargetSpec target =
+        core::TargetSpec::MlAccuracy(model, kCbfInstanceLength);
+    RunOnlineLossSweep(title, target, methods,
+                       /*segments_per_point=*/120, /*seed=*/101);
+  }
+}
+
+}  // namespace
+}  // namespace adaedge::bench
+
+int main() {
+  adaedge::bench::Run();
+  return 0;
+}

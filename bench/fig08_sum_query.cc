@@ -1,0 +1,33 @@
+// Figure 8: relative Sum-query accuracy loss vs target compression ratio
+// (online mode, CBF stream). The paper plots the loss on a log scale.
+//
+// Expected shape: AdaEdge's MAB converges to PAA/FFT (which preserve sums
+// almost exactly), with occasional exploration spikes; lossless arms are
+// exact within their feasible range; CodecDB fails below it; TVStore's
+// PLA trails the PAA/FFT group.
+
+#include "bench_common.h"
+
+namespace adaedge::bench {
+namespace {
+
+void Run() {
+  const std::vector<std::string> methods = {
+      "mab",  "bufflossy", "paa",    "pla",     "fft",
+      "rrd",  "gzip",      "snappy", "gorilla", "zlib-9",
+      "buff", "sprintz",   "codecdb", "tvstore"};
+  core::TargetSpec target =
+      core::TargetSpec::AggAccuracy(query::AggKind::kSum);
+  RunOnlineLossSweep(
+      "Fig 8: Sum aggregation accuracy loss vs target ratio (log-scale "
+      "in the paper)",
+      target, methods, /*segments_per_point=*/120, /*seed=*/103);
+}
+
+}  // namespace
+}  // namespace adaedge::bench
+
+int main() {
+  adaedge::bench::Run();
+  return 0;
+}

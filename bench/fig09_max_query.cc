@@ -1,0 +1,32 @@
+// Figure 9: relative Max-query accuracy loss vs target compression ratio
+// (online mode, CBF stream).
+//
+// Expected shape: AdaEdge consistently selects PLA, whose line-segment
+// endpoints track extremes far better than window means (PAA) or sparse
+// spectra (FFT); TVStore — being PLA — is competitive here and only here.
+
+#include "bench_common.h"
+
+namespace adaedge::bench {
+namespace {
+
+void Run() {
+  const std::vector<std::string> methods = {
+      "mab",  "bufflossy", "paa",    "pla",     "fft",
+      "rrd",  "gzip",      "snappy", "gorilla", "zlib-9",
+      "buff", "sprintz",   "codecdb", "tvstore"};
+  core::TargetSpec target =
+      core::TargetSpec::AggAccuracy(query::AggKind::kMax);
+  RunOnlineLossSweep(
+      "Fig 9: Max aggregation accuracy loss vs target ratio (log-scale "
+      "in the paper)",
+      target, methods, /*segments_per_point=*/120, /*seed=*/107);
+}
+
+}  // namespace
+}  // namespace adaedge::bench
+
+int main() {
+  adaedge::bench::Run();
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 10: complex optimization target — Sum aggregation + random
+// forest with weights w1 = 0.625, w2 = 0.375 — vs target compression
+// ratio (online mode; higher is better).
+//
+// Expected shape: the lossy baselines cross twice (the paper reports FFT
+// best near ratio 1..0.8, BUFF-lossy from ~0.8 to ~0.25, FFT again below
+// ~0.25); AdaEdge's MAB tracks the upper envelope across the crossovers;
+// TVStore's PLA is the weakest.
+
+#include <cmath>
+
+#include "bench_common.h"
+
+namespace adaedge::bench {
+namespace {
+
+void Run() {
+  auto model = TrainModel("rforest");
+  core::TargetSpec target = core::TargetSpec::Complex(
+      0.625, 0.375, 0.0, query::AggKind::kSum, model, kCbfInstanceLength);
+  const std::vector<std::string> methods = {"mab",       "bufflossy", "paa",
+                                            "pla",       "fft",       "rrd",
+                                            "tvstore"};
+  std::printf("# Fig 10: weighted target 0.625*ACC_sum + 0.375*ACC_rforest "
+              "(higher = better)\n");
+  auto segments = MakeCbfSegments(120, 109);
+  std::vector<std::string> columns = {"target_ratio"};
+  columns.insert(columns.end(), methods.begin(), methods.end());
+  PrintCsvHeader(columns);
+  for (double ratio : RatioSweep()) {
+    std::vector<double> cells;
+    for (const auto& method : methods) {
+      OnlineRun run = RunOnline(method, ratio, target, segments, 109);
+      cells.push_back(run.failed ? std::nan("") : run.accuracy);
+    }
+    PrintCsvRow(ratio, cells);
+  }
+}
+
+}  // namespace
+}  // namespace adaedge::bench
+
+int main() {
+  adaedge::bench::Run();
+  return 0;
+}

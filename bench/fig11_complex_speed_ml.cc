@@ -1,0 +1,46 @@
+// Figure 11: complex optimization target — compression speed + random
+// forest accuracy with weights w1 = 0.524, w2 = 0.476 — vs target
+// compression ratio (online mode; higher is better).
+//
+// Expected shape: a crossover around ratio ~0.25 between PAA (fast,
+// accuracy degrades gracefully) and BUFF-lossy (accurate while feasible);
+// AdaEdge's MAB follows the winner on each side; TVStore's PLA trails.
+
+#include <cmath>
+
+#include "bench_common.h"
+
+namespace adaedge::bench {
+namespace {
+
+void Run() {
+  auto model = TrainModel("rforest");
+  core::TargetSpec target = core::TargetSpec::Complex(
+      0.0, 0.476, 0.524, query::AggKind::kSum, model, kCbfInstanceLength);
+  const std::vector<std::string> methods = {
+      "mab-lossy", "bufflossy", "paa", "pla", "fft", "rrd", "tvstore"};
+  std::printf("# Fig 11: weighted target 0.524*C_thr + 0.476*ACC_rforest "
+              "(higher = better)\n");
+  std::printf("# C_thr is normalized by the running max observed "
+              "throughput\n");
+  auto segments = MakeCbfSegments(120, 113);
+  std::vector<std::string> columns = {"target_ratio"};
+  columns.insert(columns.end(), methods.begin(), methods.end());
+  PrintCsvHeader(columns);
+  for (double ratio : RatioSweep()) {
+    std::vector<double> cells;
+    for (const auto& method : methods) {
+      OnlineRun run = RunOnline(method, ratio, target, segments, 113);
+      cells.push_back(run.failed ? std::nan("") : run.target_value);
+    }
+    PrintCsvRow(ratio, cells);
+  }
+}
+
+}  // namespace
+}  // namespace adaedge::bench
+
+int main() {
+  adaedge::bench::Run();
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Figure 12: offline mode — KMeans accuracy loss and space usage over
+// ingestion time for the sprintz_X fixed pairs vs mab_mab vs CodecDB.
+//
+// Setup mirrors the paper at 1/4 scale by default (the paper allocates a
+// 10 MB budget for 80 MB of ingested data at 200k points/s; we keep the
+// same 8:1 overcommit and threshold 0.8). Pass --full for paper scale.
+//
+// Expected shape: every pair keeps space under the 0.8 threshold;
+// mab_mab's accuracy-loss curve rises slowest; CodecDB ingests fine until
+// the recoding threshold, then FAILS (no lossy fallback); pairs with
+// BUFF-lossy degrade gently then fall back to RRD late.
+
+#include <cstring>
+
+#include "bench_common.h"
+
+namespace adaedge::bench {
+namespace {
+
+void Run(bool full) {
+  size_t scale = full ? 4 : 1;
+  core::OfflineConfig base;
+  base.storage_budget_bytes = (10 << 20) / 4 * scale;
+  base.recode_threshold = 0.8;
+  size_t total_points = 10'000'000 / 4 * scale;
+  double rate = 200000.0;
+
+  auto model = TrainModel("kmeans");
+  core::TargetSpec target =
+      core::TargetSpec::MlAccuracy(model, kCbfInstanceLength);
+
+  std::vector<std::string> methods = {
+      "mab_mab",          "sprintz_bufflossy", "sprintz_paa",
+      "sprintz_pla",      "sprintz_fft",       "sprintz_rrd",
+      "codecdb"};
+  std::vector<OfflineSeries> all;
+  for (const auto& method : methods) {
+    all.push_back(RunOffline(method, base, target, rate, total_points,
+                             /*eval_every_segments=*/100, /*seed=*/201));
+  }
+  PrintOfflineSeries(
+      "Fig 12: KMeans accuracy loss over ingestion time — sprintz_X pairs "
+      "(budget " + std::to_string(base.storage_budget_bytes >> 20) +
+          " MB, " + std::to_string(total_points / 1000000) +
+          "M points, theta=0.8, LRU)",
+      all);
+}
+
+}  // namespace
+}  // namespace adaedge::bench
+
+int main(int argc, char** argv) {
+  bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+  adaedge::bench::Run(full);
+  return 0;
+}

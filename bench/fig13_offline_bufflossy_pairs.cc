@@ -1,0 +1,50 @@
+// Figure 13: offline mode — KMeans accuracy loss and space usage over
+// ingestion time for the X_bufflossy fixed pairs vs mab_mab.
+//
+// Expected shape: mab_mab's space-usage slope is the gentlest because its
+// lossless MAB converges to Sprintz (smallest output on CBF); gzip /
+// snappy / gorilla pairs consume space faster and therefore recode
+// earlier and lose accuracy sooner.
+
+#include <cstring>
+
+#include "bench_common.h"
+
+namespace adaedge::bench {
+namespace {
+
+void Run(bool full) {
+  size_t scale = full ? 4 : 1;
+  core::OfflineConfig base;
+  base.storage_budget_bytes = (10 << 20) / 4 * scale;
+  base.recode_threshold = 0.8;
+  size_t total_points = 10'000'000 / 4 * scale;
+  double rate = 200000.0;
+
+  auto model = TrainModel("kmeans");
+  core::TargetSpec target =
+      core::TargetSpec::MlAccuracy(model, kCbfInstanceLength);
+
+  std::vector<std::string> methods = {
+      "mab_mab",           "gzip_bufflossy",  "snappy_bufflossy",
+      "gorilla_bufflossy", "buff_bufflossy",  "sprintz_bufflossy"};
+  std::vector<OfflineSeries> all;
+  for (const auto& method : methods) {
+    all.push_back(RunOffline(method, base, target, rate, total_points,
+                             /*eval_every_segments=*/100, /*seed=*/211));
+  }
+  PrintOfflineSeries(
+      "Fig 13: KMeans accuracy loss over ingestion time — X_bufflossy "
+      "pairs (budget " + std::to_string(base.storage_budget_bytes >> 20) +
+          " MB, theta=0.8, LRU)",
+      all);
+}
+
+}  // namespace
+}  // namespace adaedge::bench
+
+int main(int argc, char** argv) {
+  bool full = argc > 1 && std::strcmp(argv[1], "--full") == 0;
+  adaedge::bench::Run(full);
+  return 0;
+}

@@ -1,0 +1,118 @@
+// System bench: in-situ aggregation over compressed payloads vs
+// decompress-then-aggregate (paper SIV-C: queries over compressed data).
+//
+// Expected: orders of magnitude for the representation-level codecs
+// (PAA/PLA answer Sum from O(#segments) parameters; FFT from one
+// coefficient) and a solid win for BUFF-lossy's integer scan.
+
+#include <benchmark/benchmark.h>
+
+#include "adaedge/compress/payload_query.h"
+#include "bench_common.h"
+
+namespace adaedge::bench {
+namespace {
+
+struct QueryCase {
+  compress::CodecArm arm;
+  std::vector<uint8_t> payload;
+  query::AggKind agg;
+};
+
+QueryCase MakeCase(const std::string& codec, query::AggKind agg) {
+  data::CbfStream stream(61, kCbfInstanceLength, kCbfPrecision);
+  std::vector<double> signal(32 * 1024);
+  stream.Fill(signal);
+  auto arm = *compress::FindArm(
+      compress::ExtendedLossyArms(kCbfPrecision, 0.25), codec);
+  auto payload = arm.codec->Compress(signal, arm.params);
+  return QueryCase{arm, std::move(payload).value(), agg};
+}
+
+void BM_InSitu(benchmark::State& state, QueryCase c) {
+  for (auto _ : state) {
+    auto result = c.arm.codec->AggregateDirect(c.agg, c.payload);
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_DecompressThenAggregate(benchmark::State& state, QueryCase c) {
+  for (auto _ : state) {
+    auto values = c.arm.codec->Decompress(c.payload);
+    double v = query::Aggregate(c.agg, values.value());
+    benchmark::DoNotOptimize(v);
+  }
+}
+
+void BM_RandomAccess(benchmark::State& state, QueryCase c, size_t n) {
+  util::Rng rng(71);
+  for (auto _ : state) {
+    auto v = c.arm.codec->ValueAt(c.payload, rng.NextBelow(n));
+    benchmark::DoNotOptimize(v);
+  }
+}
+
+void BM_DecompressThenIndex(benchmark::State& state, QueryCase c,
+                            size_t n) {
+  util::Rng rng(71);
+  for (auto _ : state) {
+    auto values = c.arm.codec->Decompress(c.payload);
+    benchmark::DoNotOptimize(values.value()[rng.NextBelow(n)]);
+  }
+}
+
+void RegisterAll() {
+  struct Spec {
+    const char* codec;
+    query::AggKind agg;
+  };
+  const Spec specs[] = {
+      {"paa", query::AggKind::kSum},  {"pla", query::AggKind::kMax},
+      {"fft", query::AggKind::kSum},  {"bufflossy", query::AggKind::kMax},
+      {"rrd", query::AggKind::kSum},  {"lttb", query::AggKind::kMax},
+  };
+  for (const Spec& spec : specs) {
+    QueryCase c = MakeCase(spec.codec, spec.agg);
+    std::string label = std::string(spec.codec) + "_" +
+                        std::string(query::AggKindName(spec.agg));
+    benchmark::RegisterBenchmark(("InSitu/" + label).c_str(),
+                                 [c](benchmark::State& state) {
+                                   BM_InSitu(state, c);
+                                 })
+        ->MinTime(0.1);
+    benchmark::RegisterBenchmark(("Decompress/" + label).c_str(),
+                                 [c](benchmark::State& state) {
+                                   BM_DecompressThenAggregate(state, c);
+                                 })
+        ->MinTime(0.1);
+  }
+  // Random access (ValueAt) vs decompress-then-index.
+  constexpr size_t kN = 32 * 1024;
+  for (const char* codec : {"paa", "bufflossy", "rrd"}) {
+    QueryCase c = MakeCase(codec, query::AggKind::kSum);
+    std::string label = std::string(codec) + "_point";
+    benchmark::RegisterBenchmark(("ValueAt/" + label).c_str(),
+                                 [c](benchmark::State& state) {
+                                   BM_RandomAccess(state, c, kN);
+                                 })
+        ->MinTime(0.1);
+    benchmark::RegisterBenchmark(("DecompressIndex/" + label).c_str(),
+                                 [c](benchmark::State& state) {
+                                   BM_DecompressThenIndex(state, c, kN);
+                                 })
+        ->MinTime(0.1);
+  }
+}
+
+}  // namespace
+}  // namespace adaedge::bench
+
+int main(int argc, char** argv) {
+  std::printf("# In-situ aggregation vs decompress+aggregate (32k-value "
+              "segments at ratio 0.25)\n");
+  adaedge::bench::RegisterAll();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

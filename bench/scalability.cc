@@ -1,0 +1,64 @@
+// SV-C scalability: sustained ingestion rate of the threaded pipeline as
+// compression threads scale 1 -> 8.
+//
+// The paper reports ~8 M points/s with 8 threads on its testbed; absolute
+// numbers here depend on the build machine, but throughput should scale
+// near-linearly until the hardware runs out of cores.
+
+#include <cstdio>
+#include <thread>
+
+#include "adaedge/util/stopwatch.h"
+#include "bench_common.h"
+
+namespace adaedge::bench {
+namespace {
+
+double MeasurePointsPerSec(int threads, size_t segments_count) {
+  core::PipelineConfig pipe_config;
+  pipe_config.compress_threads = threads;
+  pipe_config.segment_length = kSegmentLength;
+  core::OnlineConfig online;
+  online.target_ratio = 1.0;
+  online.precision = kCbfPrecision;
+  core::Pipeline pipeline(
+      pipe_config, online,
+      core::TargetSpec::AggAccuracy(query::AggKind::kSum));
+  auto segments = MakeCbfSegments(segments_count, 401);
+
+  pipeline.Start();
+  std::thread consumer([&] {
+    while (pipeline.PopCompressed()) {
+    }
+  });
+  util::Stopwatch watch;
+  for (auto& segment : segments) {
+    pipeline.Ingest(std::move(segment), 0.0);
+  }
+  pipeline.Stop();
+  double seconds = watch.ElapsedSeconds();
+  consumer.join();
+  return static_cast<double>(segments_count) * kSegmentLength / seconds;
+}
+
+void Run() {
+  std::printf("# Scalability: pipeline ingestion rate vs compression "
+              "threads (CBF, segment length %zu)\n", kSegmentLength);
+  std::printf("threads,points_per_sec,speedup_vs_1\n");
+  double base = 0.0;
+  for (int threads : {1, 2, 4, 8}) {
+    double rate = MeasurePointsPerSec(threads, 512);
+    if (threads == 1) base = rate;
+    std::printf("%d,%.0f,%.2f\n", threads, rate, rate / base);
+  }
+  unsigned hw = std::thread::hardware_concurrency();
+  std::printf("# hardware_concurrency=%u\n", hw);
+}
+
+}  // namespace
+}  // namespace adaedge::bench
+
+int main() {
+  adaedge::bench::Run();
+  return 0;
+}

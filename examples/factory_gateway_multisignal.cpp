@@ -1,0 +1,95 @@
+// Scenario: a factory gateway aggregating several sensor fleets behind
+// one uplink (paper SIV-C: "AdaEdge allows the collection and aggregation
+// of data from multiple device clients").
+//
+// Three signals share a 4G slice: a high-rate vibration channel, a
+// low-rate temperature channel, and a mission-critical power-quality
+// channel with triple weight. Each signal gets its own selection bandit;
+// the bandwidth split fixes each signal's target ratio. Mid-run the
+// vibration fleet doubles — watch the shares reallocate.
+//
+//   ./build/examples/factory_gateway_multisignal
+
+#include <cstdio>
+#include <memory>
+
+#include "adaedge/adaedge.h"
+
+int main() {
+  using namespace adaedge;
+  std::printf("== Factory gateway: multi-signal aggregation ==\n");
+
+  const double uplink = 2.0e6;  // 2 MB/s slice of the plant network
+  core::MultiSignalNode gateway(
+      uplink, core::TargetSpec::AggAccuracy(query::AggKind::kAvg));
+
+  struct Channel {
+    const char* name;
+    double rate;
+    double weight;
+    int id;
+    std::unique_ptr<data::Stream> stream;
+  };
+  Channel channels[] = {
+      {"vibration", 400000.0, 1.0, -1,
+       std::make_unique<data::CbfStream>(1)},
+      {"temperature", 20000.0, 1.0, -1,
+       std::make_unique<data::LowEntropyStream>(2)},
+      {"power-quality", 100000.0, 3.0, -1,
+       std::make_unique<data::CbfStream>(3)},
+  };
+  for (auto& channel : channels) {
+    channel.id = gateway.AddSignal(channel.name, channel.rate,
+                                   channel.weight);
+  }
+  auto print_shares = [&] {
+    for (const auto& channel : channels) {
+      auto ratio = gateway.TargetRatioOf(channel.id);
+      if (ratio.ok()) {
+        std::printf("  %-14s rate=%8.0f pts/s weight=%.0f -> target "
+                    "ratio %.3f\n",
+                    channel.name, channel.rate, channel.weight,
+                    ratio.value());
+      }
+    }
+  };
+  std::printf("initial bandwidth split (%.1f MB/s uplink):\n", uplink / 1e6);
+  print_shares();
+
+  std::vector<double> segment(1024);
+  auto run_phase = [&](const char* label, uint64_t from, uint64_t to) {
+    double lossy[3] = {0, 0, 0};
+    double acc[3] = {0, 0, 0};
+    for (uint64_t i = from; i < to; ++i) {
+      for (size_t c = 0; c < 3; ++c) {
+        channels[c].stream->Fill(segment);
+        auto outcome =
+            gateway.Ingest(channels[c].id, i, i * 0.005, segment);
+        if (!outcome.ok()) continue;
+        lossy[c] += outcome.value().used_lossy ? 1 : 0;
+        acc[c] += outcome.value().accuracy;
+      }
+    }
+    std::printf("%s:\n", label);
+    for (size_t c = 0; c < 3; ++c) {
+      double n = static_cast<double>(to - from);
+      std::printf("  %-14s lossy %.0f%%  workload accuracy %.4f\n",
+                  channels[c].name, 100.0 * lossy[c] / n, acc[c] / n);
+    }
+  };
+  run_phase("phase 1 (nominal)", 0, 80);
+
+  std::printf("\nvibration fleet doubles (400k -> 800k pts/s); shares "
+              "reallocate:\n");
+  // Re-register the vibration channel at its new rate.
+  (void)gateway.RemoveSignal(channels[0].id);
+  channels[0].rate = 800000.0;
+  channels[0].id = gateway.AddSignal(channels[0].name, channels[0].rate,
+                                     channels[0].weight);
+  print_shares();
+  run_phase("phase 2 (doubled vibration)", 80, 160);
+
+  std::printf("\nThe critical channel's 3x weight keeps its ratio mild in "
+              "both phases; the bulk channels absorb the squeeze.\n");
+  return 0;
+}

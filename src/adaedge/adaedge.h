@@ -1,0 +1,51 @@
+#ifndef ADAEDGE_ADAEDGE_H_
+#define ADAEDGE_ADAEDGE_H_
+
+/// \mainpage AdaEdge
+///
+/// Umbrella header for the AdaEdge library: a dynamic, hardware-conscious
+/// compression selection framework for resource-constrained devices
+/// (Liu, Paparrizos, Elmore — ICDE 2024).
+///
+/// Typical entry points:
+///  - core::OnlineSelector / core::Pipeline — egress-constrained (online)
+///    mode: target ratio from sim::TargetRatio, lossless-first with
+///    bandit-driven lossy fallback.
+///  - core::OfflineNode — storage-budgeted (offline) mode: cascade
+///    recoding under an LRU compression policy with per-ratio-band MABs.
+///  - core::TargetSpec — single or weighted optimization targets
+///    (aggregation accuracy, ML task accuracy, compression throughput).
+///  - compress::DefaultLosslessArms / DefaultLossyArms — the paper's
+///    codec candidate sets.
+///  - data::CbfStream / data::MakeUcrLikeDataset / ... — evaluation data.
+///  - baseline:: — CodecDB / TVStore / fixed-pair comparators.
+
+#include "adaedge/bandit/banded_bandit.h"
+#include "adaedge/bandit/bandit.h"
+#include "adaedge/baseline/baselines.h"
+#include "adaedge/compress/codec.h"
+#include "adaedge/compress/payload_query.h"
+#include "adaedge/compress/registry.h"
+#include "adaedge/compress/transcode.h"
+#include "adaedge/core/evaluation.h"
+#include "adaedge/core/offline_node.h"
+#include "adaedge/core/online_node.h"
+#include "adaedge/core/online_selector.h"
+#include "adaedge/core/pipeline.h"
+#include "adaedge/core/range_query.h"
+#include "adaedge/core/segment.h"
+#include "adaedge/core/segment_store.h"
+#include "adaedge/core/store_io.h"
+#include "adaedge/core/target.h"
+#include "adaedge/data/generators.h"
+#include "adaedge/ml/decision_tree.h"
+#include "adaedge/ml/kmeans.h"
+#include "adaedge/ml/knn.h"
+#include "adaedge/ml/model.h"
+#include "adaedge/ml/random_forest.h"
+#include "adaedge/query/aggregate.h"
+#include "adaedge/sim/constraints.h"
+#include "adaedge/sim/sensor_client.h"
+#include "adaedge/util/status.h"
+
+#endif  // ADAEDGE_ADAEDGE_H_

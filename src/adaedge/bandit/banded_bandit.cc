@@ -1,0 +1,44 @@
+#include "adaedge/bandit/banded_bandit.h"
+
+#include <cassert>
+
+namespace adaedge::bandit {
+
+BandedBanditSet::BandedBanditSet(std::vector<double> edges, PolicyKind kind,
+                                 int num_arms, const BanditConfig& config)
+    : edges_(std::move(edges)) {
+  assert(!edges_.empty());
+  for (size_t i = 1; i < edges_.size(); ++i) {
+    assert(edges_[i] < edges_[i - 1] && "edges must be strictly descending");
+  }
+  bandits_.reserve(edges_.size());
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    BanditConfig c = config;
+    c.seed = config.seed + i * 7919;  // decorrelate exploration across bands
+    bandits_.push_back(MakePolicy(kind, num_arms, c));
+  }
+}
+
+size_t BandedBanditSet::BandIndex(double target_ratio) const {
+  // The last band whose edge is still >= ratio; ratios above the first
+  // edge clamp to band 0, ratios below the last edge to the last band.
+  size_t idx = 0;
+  for (size_t i = 0; i < edges_.size(); ++i) {
+    if (edges_[i] >= target_ratio) idx = i;
+  }
+  return idx;
+}
+
+BanditPolicy& BandedBanditSet::ForRatio(double target_ratio) {
+  return *bandits_[BandIndex(target_ratio)];
+}
+
+const BanditPolicy& BandedBanditSet::ForRatio(double target_ratio) const {
+  return *bandits_[BandIndex(target_ratio)];
+}
+
+std::vector<double> BandedBanditSet::DefaultEdges() {
+  return {1.0, 0.5, 0.25, 0.125, 0.0625};
+}
+
+}  // namespace adaedge::bandit

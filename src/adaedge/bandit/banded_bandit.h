@@ -1,0 +1,46 @@
+#ifndef ADAEDGE_BANDIT_BANDED_BANDIT_H_
+#define ADAEDGE_BANDIT_BANDED_BANDIT_H_
+
+#include <memory>
+#include <vector>
+
+#include "adaedge/bandit/bandit.h"
+
+namespace adaedge::bandit {
+
+/// Offline-mode bandit bank (paper SIV-C2): one MAB instance per target
+/// compression-ratio band, because the best lossy codec changes with the
+/// ratio regime (BUFF-lossy wins mild ratios, PAA/FFT aggressive ones) and
+/// a single instance would smear those rewards together.
+///
+/// Bands are defined by descending upper edges; ratio r maps to the first
+/// band whose edge is >= r. E.g. edges {1.0, 0.5, 0.25, 0.125} create
+/// bands (0.5,1.0], (0.25,0.5], (0.125,0.25], (0,0.125].
+class BandedBanditSet {
+ public:
+  /// `edges` must be strictly descending, all in (0, 1].
+  BandedBanditSet(std::vector<double> edges, PolicyKind kind, int num_arms,
+                  const BanditConfig& config);
+
+  /// The bandit instance responsible for `target_ratio`.
+  BanditPolicy& ForRatio(double target_ratio);
+  const BanditPolicy& ForRatio(double target_ratio) const;
+
+  /// Index of the band responsible for `target_ratio` (for reporting).
+  size_t BandIndex(double target_ratio) const;
+
+  size_t num_bands() const { return bandits_.size(); }
+  BanditPolicy& band(size_t i) { return *bandits_[i]; }
+  double band_edge(size_t i) const { return edges_[i]; }
+
+  /// The paper's default banding: {1.0, 0.5, 0.25, 0.125, 0.0625}.
+  static std::vector<double> DefaultEdges();
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::unique_ptr<BanditPolicy>> bandits_;
+};
+
+}  // namespace adaedge::bandit
+
+#endif  // ADAEDGE_BANDIT_BANDED_BANDIT_H_

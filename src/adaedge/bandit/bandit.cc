@@ -1,0 +1,166 @@
+#include "adaedge/bandit/bandit.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace adaedge::bandit {
+
+int BanditPolicy::BestArm() const {
+  int best = 0;
+  double best_value = -std::numeric_limits<double>::infinity();
+  for (int a = 0; a < num_arms(); ++a) {
+    double v = EstimatedValue(a);
+    if (v > best_value) {
+      best_value = v;
+      best = a;
+    }
+  }
+  return best;
+}
+
+EpsilonGreedy::EpsilonGreedy(int num_arms, const BanditConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      values_(num_arms, config.initial_value),
+      counts_(num_arms, 0) {
+  assert(num_arms > 0);
+  if (config.initial_values.size() == values_.size()) {
+    values_ = config.initial_values;
+  }
+}
+
+int EpsilonGreedy::SelectArm() {
+  if (rng_.NextBool(config_.epsilon)) {
+    return static_cast<int>(rng_.NextBelow(values_.size()));
+  }
+  // Greedy with random tie-breaking so equal estimates (e.g. the shared
+  // optimistic initial value) spread exploration across arms.
+  double best = -std::numeric_limits<double>::infinity();
+  int ties = 0;
+  int pick = 0;
+  for (size_t a = 0; a < values_.size(); ++a) {
+    if (values_[a] > best) {
+      best = values_[a];
+      ties = 1;
+      pick = static_cast<int>(a);
+    } else if (values_[a] == best &&
+               rng_.NextBelow(static_cast<uint64_t>(++ties)) == 0) {
+      pick = static_cast<int>(a);
+    }
+  }
+  return pick;
+}
+
+void EpsilonGreedy::Update(int arm, double reward) {
+  assert(arm >= 0 && arm < num_arms());
+  ++counts_[arm];
+  double step = config_.step > 0.0
+                    ? config_.step
+                    : 1.0 / static_cast<double>(counts_[arm]);
+  values_[arm] += step * (reward - values_[arm]);
+}
+
+Ucb1::Ucb1(int num_arms, const BanditConfig& config)
+    : config_(config), values_(num_arms, 0.0), counts_(num_arms, 0) {
+  assert(num_arms > 0);
+  if (config.initial_values.size() == values_.size()) {
+    values_ = config.initial_values;
+  }
+}
+
+int Ucb1::SelectArm() {
+  // Play each arm once before applying the confidence bound.
+  for (size_t a = 0; a < counts_.size(); ++a) {
+    if (counts_[a] == 0) return static_cast<int>(a);
+  }
+  double best = -std::numeric_limits<double>::infinity();
+  int pick = 0;
+  double log_t = std::log(static_cast<double>(total_pulls_));
+  for (size_t a = 0; a < values_.size(); ++a) {
+    double bonus =
+        config_.ucb_c * std::sqrt(log_t / static_cast<double>(counts_[a]));
+    double v = values_[a] + bonus;
+    if (v > best) {
+      best = v;
+      pick = static_cast<int>(a);
+    }
+  }
+  return pick;
+}
+
+void Ucb1::Update(int arm, double reward) {
+  assert(arm >= 0 && arm < num_arms());
+  ++counts_[arm];
+  ++total_pulls_;
+  double step = config_.step > 0.0
+                    ? config_.step
+                    : 1.0 / static_cast<double>(counts_[arm]);
+  values_[arm] += step * (reward - values_[arm]);
+}
+
+GradientBandit::GradientBandit(int num_arms, const BanditConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      preferences_(num_arms, 0.0),
+      counts_(num_arms, 0) {
+  assert(num_arms > 0);
+}
+
+double GradientBandit::Probability(int arm) const {
+  double max_pref =
+      *std::max_element(preferences_.begin(), preferences_.end());
+  double denom = 0.0;
+  for (double h : preferences_) denom += std::exp(h - max_pref);
+  return std::exp(preferences_[arm] - max_pref) / denom;
+}
+
+int GradientBandit::SelectArm() {
+  // Sample from the softmax distribution.
+  double max_pref =
+      *std::max_element(preferences_.begin(), preferences_.end());
+  double denom = 0.0;
+  for (double h : preferences_) denom += std::exp(h - max_pref);
+  double r = rng_.NextDouble() * denom;
+  double acc = 0.0;
+  for (size_t a = 0; a < preferences_.size(); ++a) {
+    acc += std::exp(preferences_[a] - max_pref);
+    if (acc >= r) return static_cast<int>(a);
+  }
+  return static_cast<int>(preferences_.size()) - 1;
+}
+
+void GradientBandit::Update(int arm, double reward) {
+  assert(arm >= 0 && arm < num_arms());
+  ++counts_[arm];
+  ++total_pulls_;
+  double alpha = config_.step > 0.0 ? config_.step : 0.1;
+  // Running-average baseline keeps the gradient centred.
+  baseline_ +=
+      (reward - baseline_) / static_cast<double>(total_pulls_);
+  double advantage = reward - baseline_;
+  for (size_t a = 0; a < preferences_.size(); ++a) {
+    double pi = Probability(static_cast<int>(a));
+    if (static_cast<int>(a) == arm) {
+      preferences_[a] += alpha * advantage * (1.0 - pi);
+    } else {
+      preferences_[a] -= alpha * advantage * pi;
+    }
+  }
+}
+
+std::unique_ptr<BanditPolicy> MakePolicy(PolicyKind kind, int num_arms,
+                                         const BanditConfig& config) {
+  switch (kind) {
+    case PolicyKind::kEpsilonGreedy:
+      return std::make_unique<EpsilonGreedy>(num_arms, config);
+    case PolicyKind::kUcb1:
+      return std::make_unique<Ucb1>(num_arms, config);
+    case PolicyKind::kGradient:
+      return std::make_unique<GradientBandit>(num_arms, config);
+  }
+  return nullptr;
+}
+
+}  // namespace adaedge::bandit

@@ -1,0 +1,146 @@
+#ifndef ADAEDGE_BANDIT_BANDIT_H_
+#define ADAEDGE_BANDIT_BANDIT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaedge/util/rng.h"
+
+namespace adaedge::bandit {
+
+/// Configuration shared by the bandit policies (paper SIII-C).
+struct BanditConfig {
+  /// Exploration probability for epsilon-greedy. The paper uses 0.1 in
+  /// offline mode (explore more) and 0.01 online (exploit more).
+  double epsilon = 0.1;
+  /// Initial action-value estimate. > 0 gives the "Optimistic
+  /// epsilon-Greedy" variant: every arm looks attractive until tried.
+  double initial_value = 0.0;
+  /// Optional per-arm initial estimates (overrides initial_value when the
+  /// size matches). Lets fixed fallback chains bias the greedy order.
+  std::vector<double> initial_values;
+  /// Update step size. 0 selects sample-average updates (stationary
+  /// rewards); a constant in (0, 1] gives the nonstationary variant that
+  /// tracks data shifts (Fig 15 uses step = 0.5).
+  double step = 0.0;
+  /// UCB exploration strength (UCB only).
+  double ucb_c = 1.4142135623730951;  // sqrt(2)
+  /// Exploration randomness seed (epsilon-greedy only).
+  uint64_t seed = 42;
+};
+
+/// A K-armed bandit policy: SelectArm() returns the next action,
+/// Update(arm, reward) feeds back the observed optimization target.
+/// Rewards should be normalized to roughly [0, 1] (larger = better);
+/// the core layer does this per optimization target.
+///
+/// Policies are NOT thread-safe; the selection components serialize access.
+class BanditPolicy {
+ public:
+  virtual ~BanditPolicy() = default;
+
+  /// Picks the next arm to play.
+  virtual int SelectArm() = 0;
+
+  /// Feeds back the reward observed for `arm`.
+  virtual void Update(int arm, double reward) = 0;
+
+  virtual int num_arms() const = 0;
+
+  /// Current action-value estimate Q_t(a).
+  virtual double EstimatedValue(int arm) const = 0;
+
+  /// Number of times `arm` has been updated.
+  virtual uint64_t PullCount(int arm) const = 0;
+
+  /// Greedy arm under the current estimates (no exploration).
+  int BestArm() const;
+
+  /// Policy name for logs/benches ("eps-greedy", "ucb1").
+  virtual std::string name() const = 0;
+};
+
+/// epsilon-greedy with optional optimistic initialization and optional
+/// constant-step (nonstationary) updates — the paper's default policy.
+class EpsilonGreedy final : public BanditPolicy {
+ public:
+  EpsilonGreedy(int num_arms, const BanditConfig& config);
+
+  int SelectArm() override;
+  void Update(int arm, double reward) override;
+  int num_arms() const override { return static_cast<int>(values_.size()); }
+  double EstimatedValue(int arm) const override { return values_[arm]; }
+  uint64_t PullCount(int arm) const override { return counts_[arm]; }
+  std::string name() const override { return "eps-greedy"; }
+
+ private:
+  BanditConfig config_;
+  util::Rng rng_;
+  std::vector<double> values_;
+  std::vector<uint64_t> counts_;
+};
+
+/// UCB1 (Auer et al.): deterministic exploration bonus
+/// c * sqrt(ln t / n_a); untried arms are tried first.
+class Ucb1 final : public BanditPolicy {
+ public:
+  Ucb1(int num_arms, const BanditConfig& config);
+
+  int SelectArm() override;
+  void Update(int arm, double reward) override;
+  int num_arms() const override { return static_cast<int>(values_.size()); }
+  double EstimatedValue(int arm) const override { return values_[arm]; }
+  uint64_t PullCount(int arm) const override { return counts_[arm]; }
+  std::string name() const override { return "ucb1"; }
+
+ private:
+  BanditConfig config_;
+  std::vector<double> values_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_pulls_ = 0;
+};
+
+/// Gradient bandit (Sutton & Barto SS2.8; the paper's SIII-C mentions it
+/// among the MAB variations): softmax action preferences updated by
+/// policy gradient against a running-average reward baseline. `step`
+/// (or 0.1 when unset) is the learning rate alpha.
+class GradientBandit final : public BanditPolicy {
+ public:
+  GradientBandit(int num_arms, const BanditConfig& config);
+
+  int SelectArm() override;
+  void Update(int arm, double reward) override;
+  int num_arms() const override {
+    return static_cast<int>(preferences_.size());
+  }
+  /// For gradient bandits the "estimated value" is the preference H_a
+  /// (monotone in selection probability).
+  double EstimatedValue(int arm) const override {
+    return preferences_[arm];
+  }
+  uint64_t PullCount(int arm) const override { return counts_[arm]; }
+  std::string name() const override { return "gradient"; }
+
+  /// Current softmax selection probability of `arm`.
+  double Probability(int arm) const;
+
+ private:
+  BanditConfig config_;
+  util::Rng rng_;
+  std::vector<double> preferences_;
+  std::vector<uint64_t> counts_;
+  double baseline_ = 0.0;
+  uint64_t total_pulls_ = 0;
+};
+
+enum class PolicyKind { kEpsilonGreedy, kUcb1, kGradient };
+
+/// Factory used by the selection components.
+std::unique_ptr<BanditPolicy> MakePolicy(PolicyKind kind, int num_arms,
+                                         const BanditConfig& config);
+
+}  // namespace adaedge::bandit
+
+#endif  // ADAEDGE_BANDIT_BANDIT_H_

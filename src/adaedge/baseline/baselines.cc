@@ -1,0 +1,178 @@
+#include "adaedge/baseline/baselines.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "adaedge/util/stopwatch.h"
+
+namespace adaedge::baseline {
+
+namespace {
+
+std::vector<compress::CodecArm> SingleArm(
+    const std::vector<compress::CodecArm>& pool, const std::string& name) {
+  auto arm = compress::FindArm(pool, name);
+  if (!arm.has_value()) return {};
+  return {*arm};
+}
+
+}  // namespace
+
+core::OnlineConfig FixedLosslessOnline(const core::OnlineConfig& base,
+                                       const std::string& lossless_name) {
+  core::OnlineConfig config = base;
+  config.lossless_arms = SingleArm(
+      compress::ExtendedLosslessArms(base.precision), lossless_name);
+  config.allow_lossy = false;
+  config.force_lossy = false;
+  // A single arm needs no exploration.
+  config.bandit.epsilon = 0.0;
+  return config;
+}
+
+core::OnlineConfig FixedLossyOnline(const core::OnlineConfig& base,
+                                    const std::string& lossy_name) {
+  core::OnlineConfig config = base;
+  config.lossy_arms = SingleArm(
+      compress::ExtendedLossyArms(base.precision, base.target_ratio),
+      lossy_name);
+  config.force_lossy = true;
+  config.bandit.epsilon = 0.0;
+  return config;
+}
+
+CodecDbOnline::CodecDbOnline(core::OnlineConfig config,
+                             core::TargetSpec target, int sample_segments)
+    : config_(std::move(config)),
+      evaluator_(std::move(target)),
+      sample_segments_(sample_segments) {
+  if (config_.lossless_arms.empty()) {
+    config_.lossless_arms =
+        compress::DefaultLosslessArms(config_.precision);
+  }
+  total_ratio_.assign(config_.lossless_arms.size(), 0.0);
+}
+
+util::Result<core::OnlineSelector::Outcome> CodecDbOnline::Process(
+    uint64_t id, double now, std::span<const double> values) {
+  using Outcome = core::OnlineSelector::Outcome;
+  int use_arm;
+  if (chosen_ < 0) {
+    // Sampling phase: measure every arm on this segment (the stand-in for
+    // CodecDB's feature-based model inference).
+    double best_ratio = std::numeric_limits<double>::infinity();
+    int best = -1;
+    for (size_t i = 0; i < config_.lossless_arms.size(); ++i) {
+      const auto& arm = config_.lossless_arms[i];
+      auto payload = arm.codec->Compress(values, arm.params);
+      double ratio = payload.ok()
+                         ? compress::CompressionRatio(
+                               payload.value().size(), values.size())
+                         : 2.0;  // refusal counts as incompressible
+      total_ratio_[i] += ratio;
+      if (ratio < best_ratio) {
+        best_ratio = ratio;
+        best = static_cast<int>(i);
+      }
+    }
+    if (++sampled_ >= sample_segments_) {
+      chosen_ = static_cast<int>(
+          std::min_element(total_ratio_.begin(), total_ratio_.end()) -
+          total_ratio_.begin());
+    }
+    use_arm = best;
+  } else {
+    use_arm = chosen_;
+  }
+  const auto& arm = config_.lossless_arms[use_arm];
+  util::Stopwatch watch;
+  auto payload = arm.codec->Compress(values, arm.params);
+  double seconds = watch.ElapsedSeconds();
+  if (!payload.ok()) return payload.status();
+  double ratio =
+      compress::CompressionRatio(payload.value().size(), values.size());
+  if (ratio > config_.target_ratio) {
+    // CodecDB has no lossy arsenal: the constraint is simply infeasible.
+    return util::Status::Unavailable(
+        "CodecDB: best static lossless codec misses the target ratio");
+  }
+  core::SegmentMeta meta;
+  meta.id = id;
+  meta.ingest_time = now;
+  meta.value_count = static_cast<uint32_t>(values.size());
+  meta.state = core::SegmentState::kLossless;
+  meta.codec = arm.codec->id();
+  meta.params = arm.params;
+  Outcome outcome;
+  outcome.segment =
+      core::Segment::FromPayload(meta, std::move(payload).value());
+  outcome.arm_name = arm.name;
+  outcome.used_lossy = false;
+  outcome.met_target = true;
+  outcome.reward = 1.0 - ratio;
+  outcome.accuracy = 1.0;
+  outcome.compress_seconds = seconds;
+  return outcome;
+}
+
+std::string CodecDbOnline::chosen_arm() const {
+  return chosen_ >= 0 ? config_.lossless_arms[chosen_].name : "";
+}
+
+core::OfflineConfig CodecDbOffline(const core::OfflineConfig& base) {
+  core::OfflineConfig config = base;
+  config.allow_lossy = false;
+  // Keep the full lossless pool: CodecDB does pick the best lossless codec
+  // (the paper notes it also converges to Sprintz) — it only lacks lossy.
+  config.bandit.epsilon = 0.05;
+  return config;
+}
+
+core::OnlineConfig TvStoreOnline(const core::OnlineConfig& base) {
+  return FixedLossyOnline(base, "pla");
+}
+
+core::OfflineConfig TvStoreOffline(const core::OfflineConfig& base) {
+  core::OfflineConfig config = base;
+  // TVStore keeps recent data raw and compresses older data increasingly
+  // aggressively with one method; oldest-first ordering, PLA only.
+  config.lossless_arms = SingleArm(
+      compress::ExtendedLosslessArms(base.precision), "buff");
+  config.lossy_arms =
+      SingleArm(compress::ExtendedLossyArms(base.precision), "pla");
+  config.use_lru = false;  // time-varying = oldest first
+  config.bandit.epsilon = 0.0;
+  return config;
+}
+
+core::OfflineConfig FixedPairOffline(const core::OfflineConfig& base,
+                                     const std::string& lossless_name,
+                                     const std::string& lossy_name) {
+  return FixedPairOfflineWithFallback(base, lossless_name, {lossy_name});
+}
+
+core::OfflineConfig FixedPairOfflineWithFallback(
+    const core::OfflineConfig& base, const std::string& lossless_name,
+    const std::vector<std::string>& lossy_chain) {
+  core::OfflineConfig config = base;
+  config.lossless_arms = SingleArm(
+      compress::ExtendedLosslessArms(base.precision), lossless_name);
+  config.lossy_arms.clear();
+  auto pool = compress::ExtendedLossyArms(base.precision);
+  for (const std::string& name : lossy_chain) {
+    auto arm = compress::FindArm(pool, name);
+    if (arm.has_value()) config.lossy_arms.push_back(*arm);
+  }
+  config.bandit.epsilon = 0.0;
+  // Bias the greedy choice toward the front of the chain: later arms only
+  // engage through the supporting-arm fallback once earlier ones hit
+  // their floor.
+  config.bandit.initial_values.clear();
+  for (size_t i = 0; i < config.lossy_arms.size(); ++i) {
+    config.bandit.initial_values.push_back(1.0 -
+                                           0.05 * static_cast<double>(i));
+  }
+  return config;
+}
+
+}  // namespace adaedge::baseline

@@ -1,0 +1,82 @@
+#ifndef ADAEDGE_BASELINE_BASELINES_H_
+#define ADAEDGE_BASELINE_BASELINES_H_
+
+#include <string>
+#include <vector>
+
+#include "adaedge/core/offline_node.h"
+#include "adaedge/core/online_selector.h"
+
+namespace adaedge::baseline {
+
+/// Comparator configurations used throughout the evaluation section. All
+/// baselines reuse AdaEdge's machinery with the selection degrees of
+/// freedom pinned, so differences in the figures are attributable to the
+/// selection strategy alone.
+
+/// Fixed single-lossless online baseline ("gzip", "sprintz", ... solid
+/// lines in Fig 7): never switches codecs and cannot go lossy — it fails
+/// once the target ratio is below what that codec achieves.
+core::OnlineConfig FixedLosslessOnline(const core::OnlineConfig& base,
+                                       const std::string& lossless_name);
+
+/// Fixed single-lossy online baseline ("paa", "fft", ... dashed lines in
+/// Fig 7): compresses every segment with the one codec at the target
+/// ratio.
+core::OnlineConfig FixedLossyOnline(const core::OnlineConfig& base,
+                                    const std::string& lossy_name);
+
+/// CodecDB (Jiang et al., SIGMOD'21) stand-in: a static data-driven
+/// lossless selector. The original predicts the best codec with a neural
+/// net; the figures only exercise "best static lossless choice, no lossy
+/// fallback", which this reproduces by measuring all lossless arms on a
+/// sample prefix and pinning the winner. Online: fails when the target
+/// ratio is unreachable. Offline: fails at the recoding threshold.
+class CodecDbOnline {
+ public:
+  CodecDbOnline(core::OnlineConfig config, core::TargetSpec target,
+                int sample_segments = 8);
+
+  /// Same contract as OnlineSelector::Process; Unavailable once lossless
+  /// cannot reach the target.
+  util::Result<core::OnlineSelector::Outcome> Process(
+      uint64_t id, double now, std::span<const double> values);
+
+  /// Name of the pinned codec ("" while still sampling).
+  std::string chosen_arm() const;
+
+ private:
+  core::OnlineConfig config_;
+  core::TargetEvaluator evaluator_;
+  int sample_segments_;
+  int sampled_ = 0;
+  std::vector<double> total_ratio_;  // per arm, over the sample prefix
+  int chosen_ = -1;
+};
+
+/// CodecDB offline: static lossless choice + no lossy recoding.
+core::OfflineConfig CodecDbOffline(const core::OfflineConfig& base);
+
+/// TVStore (An et al., FAST'22) stand-in: time-varying compression bound
+/// to the budget, always with PLA (the paper: "We also demonstrate
+/// TVStore's approach to lossy compression with PLA").
+core::OnlineConfig TvStoreOnline(const core::OnlineConfig& base);
+core::OfflineConfig TvStoreOffline(const core::OfflineConfig& base);
+
+/// `lossless_lossy` fixed pair for the offline Figs 12-14 (e.g.
+/// "sprintz_bufflossy"): lossless ingest codec and lossy recode codec are
+/// both pinned; only AdaEdge's mechanics (threshold, halving, LRU) run.
+core::OfflineConfig FixedPairOffline(const core::OfflineConfig& base,
+                                     const std::string& lossless_name,
+                                     const std::string& lossy_name);
+
+/// Fixed pair with a lossy *fallback chain*, e.g. BUFF-lossy until its
+/// floor then RRD — the paper's Figs 12-13 pairs degrade exactly this way
+/// ("BUFF-lossy fails and falls back to RRD-sample ... in the late phase").
+core::OfflineConfig FixedPairOfflineWithFallback(
+    const core::OfflineConfig& base, const std::string& lossless_name,
+    const std::vector<std::string>& lossy_chain);
+
+}  // namespace adaedge::baseline
+
+#endif  // ADAEDGE_BASELINE_BASELINES_H_

@@ -1,0 +1,360 @@
+#include "adaedge/compress/buff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "adaedge/util/bit_io.h"
+#include "adaedge/util/byte_io.h"
+
+namespace adaedge::compress {
+
+namespace {
+
+constexpr int64_t kMaxQuantized = int64_t{1} << 56;
+// Upper bound on the serialized header: varint count (<=9) + precision (1)
+// + signed varint min (<=10) + bit width (1) + dropped bits (1).
+constexpr size_t kHeaderBound = 22;
+
+double ScaleFor(int precision) {
+  double s = 1.0;
+  for (int i = 0; i < precision; ++i) s *= 10.0;
+  return s;
+}
+
+int BitWidth(uint64_t v) {
+  int w = 0;
+  while (v > 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+struct Quantized {
+  std::vector<uint64_t> q;  // offsets from q_min
+  int64_t q_min = 0;
+  int bit_width = 0;
+  int total_planes = 0;
+};
+
+Result<Quantized> QuantizeValues(std::span<const double> values,
+                                 int precision) {
+  const double scale = ScaleFor(precision);
+  Quantized result;
+  result.q.resize(values.size());
+  std::vector<int64_t> raw(values.size());
+  int64_t q_min = 0, q_max = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    double scaled = values[i] * scale;
+    if (!std::isfinite(scaled) ||
+        std::abs(scaled) >= static_cast<double>(kMaxQuantized)) {
+      return Status::InvalidArgument(
+          "buff: value magnitude exceeds quantization range");
+    }
+    raw[i] = std::llround(scaled);
+    if (i == 0) {
+      q_min = q_max = raw[i];
+    } else {
+      q_min = std::min(q_min, raw[i]);
+      q_max = std::max(q_max, raw[i]);
+    }
+  }
+  for (size_t i = 0; i < values.size(); ++i) {
+    result.q[i] = static_cast<uint64_t>(raw[i] - q_min);
+  }
+  result.q_min = q_min;
+  result.bit_width =
+      values.empty() ? 0 : BitWidth(static_cast<uint64_t>(q_max - q_min));
+  result.total_planes = (result.bit_width + 7) / 8;
+  return result;
+}
+
+// Serializes a BUFF payload keeping `kept_planes` of `quant.total_planes`
+// most significant byte planes.
+std::vector<uint8_t> EncodePlanes(const Quantized& quant, int precision,
+                                  int kept_planes) {
+  int total = quant.total_planes;
+  int dropped = total - kept_planes;
+  util::ByteWriter w;
+  w.PutVarint(quant.q.size());
+  w.PutU8(static_cast<uint8_t>(precision));
+  w.PutSignedVarint(quant.q_min);
+  w.PutU8(static_cast<uint8_t>(quant.bit_width));
+  w.PutU8(static_cast<uint8_t>(dropped * 8));
+  // Plane 0 holds the most significant byte (index total-1) of each value.
+  for (int p = 0; p < kept_planes; ++p) {
+    int shift = 8 * (total - 1 - p);
+    for (uint64_t q : quant.q) {
+      w.PutU8(static_cast<uint8_t>((q >> shift) & 0xff));
+    }
+  }
+  return w.Finish();
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> Buff::Compress(std::span<const double> values,
+                                            const CodecParams& params) const {
+  const int precision = std::clamp(params.precision, 0, 12);
+  ADAEDGE_ASSIGN_OR_RETURN(Quantized quant,
+                           QuantizeValues(values, precision));
+  return EncodePlanes(quant, precision, quant.total_planes);
+}
+
+namespace {
+
+Result<std::vector<double>> DecodePlanes(std::span<const uint8_t> payload) {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(count));
+  ADAEDGE_ASSIGN_OR_RETURN(uint8_t precision, r.GetU8());
+  ADAEDGE_ASSIGN_OR_RETURN(int64_t q_min, r.GetSignedVarint());
+  ADAEDGE_ASSIGN_OR_RETURN(uint8_t bit_width, r.GetU8());
+  ADAEDGE_ASSIGN_OR_RETURN(uint8_t dropped_bits, r.GetU8());
+  if (precision > 12 || bit_width > 64 || dropped_bits % 8 != 0) {
+    return Status::Corruption("buff: bad header");
+  }
+  int total = (bit_width + 7) / 8;
+  int dropped = dropped_bits / 8;
+  int kept = total - dropped;
+  if (kept < 0) return Status::Corruption("buff: dropped exceeds planes");
+  if (r.remaining() < static_cast<size_t>(kept) * count) {
+    return Status::Corruption("buff: truncated planes");
+  }
+  const double inv_scale = 1.0 / ScaleFor(precision);
+  std::vector<double> out(count);
+  std::vector<uint64_t> q(count, 0);
+  for (int p = 0; p < kept; ++p) {
+    int shift = 8 * (total - 1 - p);
+    const uint8_t* plane = r.cursor();
+    (void)r.Skip(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      q[i] |= static_cast<uint64_t>(plane[i]) << shift;
+    }
+  }
+  // Center reconstructed values inside the dropped range.
+  uint64_t half = dropped_bits > 0 ? (uint64_t{1} << (dropped_bits - 1)) : 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t approx = q[i] + (kept < total ? half : 0);
+    out[i] =
+        static_cast<double>(q_min + static_cast<int64_t>(approx)) * inv_scale;
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<double>> Buff::Decompress(
+    std::span<const uint8_t> payload) const {
+  return DecodePlanes(payload);
+}
+
+namespace {
+
+// BUFF-lossy keeps at least this many bits per value (together with the
+// integer-part rule this produces the paper's ~0.11-0.125 ratio floor).
+constexpr int kMinKeptBits = 7;
+
+// Bits required to represent the fractional digits; only these may be
+// dropped by BUFF-lossy (the integer part must survive).
+int FractionBits(int precision) {
+  static constexpr int kBits[13] = {0,  4,  7,  10, 14, 17, 20,
+                                    24, 27, 30, 34, 37, 40};
+  return kBits[std::clamp(precision, 0, 12)];
+}
+
+// Kept bits per value that fit ratio * 8n bytes; <= 0 if even 1 bit
+// per value cannot fit.
+int KeptBitsForBudget(size_t value_count, double ratio) {
+  if (value_count == 0) return 64;
+  double budget_bits = (ratio * 8.0 * static_cast<double>(value_count) -
+                        static_cast<double>(kHeaderBound)) *
+                       8.0;
+  return static_cast<int>(budget_bits /
+                          static_cast<double>(value_count));
+}
+
+struct LossyHeader {
+  uint64_t count;
+  uint8_t precision;
+  int64_t q_min;
+  uint8_t bit_width;   // full quantized width
+  uint8_t kept_bits;   // stored bits per value
+};
+
+Result<LossyHeader> ReadLossyHeader(util::ByteReader& r) {
+  LossyHeader h;
+  ADAEDGE_ASSIGN_OR_RETURN(h.count, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(h.count));
+  ADAEDGE_ASSIGN_OR_RETURN(h.precision, r.GetU8());
+  ADAEDGE_ASSIGN_OR_RETURN(h.q_min, r.GetSignedVarint());
+  ADAEDGE_ASSIGN_OR_RETURN(h.bit_width, r.GetU8());
+  ADAEDGE_ASSIGN_OR_RETURN(h.kept_bits, r.GetU8());
+  if (h.precision > 12 || h.bit_width > 64 ||
+      h.kept_bits > h.bit_width) {
+    return Status::Corruption("bufflossy: bad header");
+  }
+  return h;
+}
+
+std::vector<uint8_t> EncodeLossy(const LossyHeader& h,
+                                 std::span<const uint64_t> kept_values) {
+  util::ByteWriter w;
+  w.PutVarint(h.count);
+  w.PutU8(h.precision);
+  w.PutSignedVarint(h.q_min);
+  w.PutU8(h.bit_width);
+  w.PutU8(h.kept_bits);
+  util::BitWriter bits;
+  for (uint64_t v : kept_values) bits.WriteBits(v, h.kept_bits);
+  std::vector<uint8_t> out = w.Finish();
+  std::vector<uint8_t> body = bits.Finish();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> BuffLossy::Compress(
+    std::span<const double> values, const CodecParams& params) const {
+  const int precision = std::clamp(params.precision, 0, 12);
+  ADAEDGE_ASSIGN_OR_RETURN(Quantized quant,
+                           QuantizeValues(values, precision));
+  int bw = std::max(quant.bit_width, 1);
+  // The integer part is untouchable; only precision bits may go. BUFF
+  // additionally never drops below kMinKeptBits of precision, giving the
+  // ~0.11-0.125 ratio floor the paper reports.
+  int min_kept = std::min(bw, std::max(kMinKeptBits,
+                                       bw - FractionBits(precision)));
+  int budget_kept = KeptBitsForBudget(values.size(), params.target_ratio);
+  if (budget_kept < min_kept) {
+    return Status::ResourceExhausted(
+        "bufflossy: target ratio would discard integer-part bits");
+  }
+  LossyHeader h;
+  h.count = values.size();
+  h.precision = static_cast<uint8_t>(precision);
+  h.q_min = quant.q_min;
+  h.bit_width = static_cast<uint8_t>(bw);
+  h.kept_bits = static_cast<uint8_t>(std::min(budget_kept, bw));
+  int dropped = bw - h.kept_bits;
+  std::vector<uint64_t> kept(quant.q.size());
+  for (size_t i = 0; i < quant.q.size(); ++i) {
+    kept[i] = quant.q[i] >> dropped;
+  }
+  return EncodeLossy(h, kept);
+}
+
+Result<std::vector<double>> BuffLossy::Decompress(
+    std::span<const uint8_t> payload) const {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(LossyHeader h, ReadLossyHeader(r));
+  const double inv_scale = 1.0 / ScaleFor(h.precision);
+  int dropped = h.bit_width - h.kept_bits;
+  uint64_t half = dropped > 0 ? (uint64_t{1} << (dropped - 1)) : 0;
+  util::BitReader bits(r.cursor(), r.remaining());
+  std::vector<double> out(h.count);
+  for (uint64_t i = 0; i < h.count; ++i) {
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t v, bits.ReadBits(h.kept_bits));
+    uint64_t approx = (v << dropped) + (dropped > 0 ? half : 0);
+    out[i] = static_cast<double>(h.q_min + static_cast<int64_t>(approx)) *
+             inv_scale;
+  }
+  return out;
+}
+
+bool BuffLossy::SupportsRatio(double ratio, size_t value_count) const {
+  if (value_count == 0) return true;
+  // Static (data-independent) floor: kMinKeptBits per value. Compress()
+  // still errors if the segment's integer part needs more bits than the
+  // budget allows.
+  return KeptBitsForBudget(value_count, ratio) >= kMinKeptBits;
+}
+
+Result<double> BuffLossy::ValueAt(std::span<const uint8_t> payload,
+                                  uint64_t index) const {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(LossyHeader h, ReadLossyHeader(r));
+  if (index >= h.count) return Status::OutOfRange("bufflossy: index");
+  util::BitReader bits(r.cursor(), r.remaining());
+  bits.Consume(index * h.kept_bits);  // absolute bit seek
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t v, bits.ReadBits(h.kept_bits));
+  int dropped = h.bit_width - h.kept_bits;
+  uint64_t half = dropped > 0 ? (uint64_t{1} << (dropped - 1)) : 0;
+  uint64_t approx = (v << dropped) + (dropped > 0 ? half : 0);
+  return static_cast<double>(h.q_min + static_cast<int64_t>(approx)) /
+         ScaleFor(h.precision);
+}
+
+Result<double> BuffLossy::AggregateDirect(
+    query::AggKind kind, std::span<const uint8_t> payload) const {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(LossyHeader h, ReadLossyHeader(r));
+  if (h.count == 0) return 0.0;
+  const double inv_scale = 1.0 / ScaleFor(h.precision);
+  int dropped = h.bit_width - h.kept_bits;
+  uint64_t half = dropped > 0 ? (uint64_t{1} << (dropped - 1)) : 0;
+  util::BitReader bits(r.cursor(), r.remaining());
+  double sum_approx = 0.0;
+  uint64_t min_q = ~uint64_t{0}, max_q = 0;
+  for (uint64_t i = 0; i < h.count; ++i) {
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t v, bits.ReadBits(h.kept_bits));
+    min_q = std::min(min_q, v);
+    max_q = std::max(max_q, v);
+    sum_approx += static_cast<double>((v << dropped) + half);
+  }
+  auto to_value = [&](uint64_t q) {
+    uint64_t approx = (q << dropped) + half;
+    return static_cast<double>(h.q_min + static_cast<int64_t>(approx)) *
+           inv_scale;
+  };
+  switch (kind) {
+    case query::AggKind::kSum:
+      return (static_cast<double>(h.q_min) *
+                  static_cast<double>(h.count) +
+              sum_approx) *
+             inv_scale;
+    case query::AggKind::kAvg:
+      return (static_cast<double>(h.q_min) +
+              sum_approx / static_cast<double>(h.count)) *
+             inv_scale;
+    case query::AggKind::kMin:
+      return to_value(min_q);
+    case query::AggKind::kMax:
+      return to_value(max_q);
+  }
+  return Status::InvalidArgument("unknown aggregate");
+}
+
+Result<std::vector<uint8_t>> BuffLossy::Recode(
+    std::span<const uint8_t> payload, double new_target_ratio) const {
+  // Integer-level truncation: unpack the stored ints, shift off more
+  // fraction bits, repack. No floating-point reconstruction happens.
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(LossyHeader h, ReadLossyHeader(r));
+  int min_kept =
+      std::min<int>(h.bit_width,
+                    std::max(kMinKeptBits,
+                             h.bit_width - FractionBits(h.precision)));
+  int budget_kept = KeptBitsForBudget(h.count, new_target_ratio);
+  if (budget_kept >= h.kept_bits) {
+    return Status::ResourceExhausted("bufflossy: recode target not tighter");
+  }
+  if (budget_kept < min_kept) {
+    return Status::ResourceExhausted(
+        "bufflossy: recode would discard integer-part bits");
+  }
+  int shift = h.kept_bits - budget_kept;
+  util::BitReader bits(r.cursor(), r.remaining());
+  std::vector<uint64_t> kept(h.count);
+  for (uint64_t i = 0; i < h.count; ++i) {
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t v, bits.ReadBits(h.kept_bits));
+    kept[i] = v >> shift;
+  }
+  LossyHeader out = h;
+  out.kept_bits = static_cast<uint8_t>(budget_kept);
+  return EncodeLossy(out, kept);
+}
+
+}  // namespace adaedge::compress

@@ -1,0 +1,68 @@
+#ifndef ADAEDGE_COMPRESS_BUFF_H_
+#define ADAEDGE_COMPRESS_BUFF_H_
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// BUFF (Liu et al., VLDB'21): values are quantized to fixed point at a
+/// decimal precision, offset by the segment minimum, and the resulting
+/// unsigned integers are split into byte planes stored most-significant
+/// plane first (byte-oriented layout).
+///
+/// Lossless for inputs with at most `precision` decimal digits. The byte
+/// layout is what makes the lossy variant and its recoding trivial: less
+/// significant planes can simply be dropped.
+class Buff final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kBuff; }
+  CodecKind kind() const override { return CodecKind::kLossless; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+};
+
+/// BUFF-lossy: the fixed-point values with their least significant
+/// *fraction* bits discarded at bit granularity to hit
+/// `params.target_ratio` (paper SIII-A2: BUFF "can act as lossy
+/// compression by reducing float precision ... discarding insignificant
+/// bits"). Values are minimally perturbed — each drop halves precision —
+/// which is why tree-based models tolerate it well (Figs 5-7).
+///
+/// Only fractional-precision bits may be dropped, never the integer part,
+/// so the codec has a data-dependent floor: on CBF-scale signals roughly
+/// one byte per value — the paper's "does not support a compression ratio
+/// below 0.125 on the CBF dataset".
+class BuffLossy final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kBuffLossy; }
+  CodecKind kind() const override { return CodecKind::kLossy; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+  bool SupportsRatio(double ratio, size_t value_count) const override;
+  Result<std::vector<uint8_t>> Recode(std::span<const uint8_t> payload,
+                                      double new_target_ratio) const override;
+  bool SupportsRecode() const override { return true; }
+
+  /// O(1): reads kept_bits at bit offset index * kept_bits.
+  Result<double> ValueAt(std::span<const uint8_t> payload,
+                         uint64_t index) const override;
+  bool SupportsRandomAccess() const override { return true; }
+
+  /// All four aggregates via one integer scan of the packed column — no
+  /// floating-point reconstruction (the BUFF paper's in-situ query story).
+  Result<double> AggregateDirect(
+      query::AggKind kind, std::span<const uint8_t> payload) const override;
+  bool SupportsDirectAggregate(query::AggKind) const override {
+    return true;
+  }
+};
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_BUFF_H_

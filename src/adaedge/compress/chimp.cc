@@ -1,0 +1,139 @@
+#include "adaedge/compress/chimp.h"
+
+#include <bit>
+#include <cstring>
+
+#include "adaedge/util/bit_io.h"
+#include "adaedge/util/byte_io.h"
+
+namespace adaedge::compress {
+
+namespace {
+
+// CHIMP's leading-zero classes; counts are rounded down to one of these.
+constexpr int kLeadingClass[8] = {0, 8, 12, 16, 18, 20, 22, 24};
+
+int ClassIndexFor(int leading) {
+  int idx = 0;
+  for (int i = 0; i < 8; ++i) {
+    if (kLeadingClass[i] <= leading) idx = i;
+  }
+  return idx;
+}
+
+uint64_t ToBits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double FromBits(uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+constexpr int kTrailingThreshold = 6;
+
+}  // namespace
+
+Result<std::vector<uint8_t>> Chimp::Compress(std::span<const double> values,
+                                             const CodecParams& params) const {
+  (void)params;
+  util::ByteWriter header;
+  header.PutVarint(values.size());
+  std::vector<uint8_t> out = header.Finish();
+  if (values.empty()) return out;
+
+  util::BitWriter bw;
+  uint64_t prev = ToBits(values[0]);
+  bw.WriteBits(prev, 64);
+  int prev_class = -1;
+  for (size_t i = 1; i < values.size(); ++i) {
+    uint64_t cur = ToBits(values[i]);
+    uint64_t x = cur ^ prev;
+    prev = cur;
+    if (x == 0) {
+      bw.WriteBits(0b00, 2);
+      continue;
+    }
+    int leading_exact = std::countl_zero(x);
+    int trailing = std::countr_zero(x);
+    int cls = ClassIndexFor(leading_exact);
+    int leading = kLeadingClass[cls];
+    if (trailing > kTrailingThreshold) {
+      int significant = 64 - leading - trailing;
+      bw.WriteBits(0b01, 2);
+      bw.WriteBits(static_cast<uint64_t>(cls), 3);
+      bw.WriteBits(static_cast<uint64_t>(significant), 6);
+      bw.WriteBits(x >> trailing, significant);
+      prev_class = -1;  // CHIMP resets the reuse window after flag 01
+    } else if (cls == prev_class) {
+      bw.WriteBits(0b10, 2);
+      bw.WriteBits(x, 64 - leading);
+    } else {
+      bw.WriteBits(0b11, 2);
+      bw.WriteBits(static_cast<uint64_t>(cls), 3);
+      bw.WriteBits(x, 64 - leading);
+      prev_class = cls;
+    }
+  }
+  std::vector<uint8_t> body = bw.Finish();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<std::vector<double>> Chimp::Decompress(
+    std::span<const uint8_t> payload) const {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(count));
+  std::vector<double> out;
+  out.reserve(count);
+  if (count == 0) return out;
+
+  util::BitReader br(r.cursor(), r.remaining());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t prev, br.ReadBits(64));
+  out.push_back(FromBits(prev));
+  int prev_class = -1;
+  while (out.size() < count) {
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t flag, br.ReadBits(2));
+    uint64_t x = 0;
+    switch (flag) {
+      case 0b00:
+        break;
+      case 0b01: {
+        ADAEDGE_ASSIGN_OR_RETURN(uint64_t cls, br.ReadBits(3));
+        ADAEDGE_ASSIGN_OR_RETURN(uint64_t significant, br.ReadBits(6));
+        int leading = kLeadingClass[cls];
+        int trailing = 64 - leading - static_cast<int>(significant);
+        if (trailing < 0) return Status::Corruption("chimp: bad lengths");
+        ADAEDGE_ASSIGN_OR_RETURN(uint64_t bits,
+                                 br.ReadBits(static_cast<int>(significant)));
+        x = bits << trailing;
+        prev_class = -1;
+        break;
+      }
+      case 0b10: {
+        if (prev_class < 0) {
+          return Status::Corruption("chimp: reuse flag without window");
+        }
+        int leading = kLeadingClass[prev_class];
+        ADAEDGE_ASSIGN_OR_RETURN(x, br.ReadBits(64 - leading));
+        break;
+      }
+      default: {  // 0b11
+        ADAEDGE_ASSIGN_OR_RETURN(uint64_t cls, br.ReadBits(3));
+        prev_class = static_cast<int>(cls);
+        int leading = kLeadingClass[prev_class];
+        ADAEDGE_ASSIGN_OR_RETURN(x, br.ReadBits(64 - leading));
+        break;
+      }
+    }
+    prev ^= x;
+    out.push_back(FromBits(prev));
+  }
+  return out;
+}
+
+}  // namespace adaedge::compress

@@ -1,0 +1,29 @@
+#ifndef ADAEDGE_COMPRESS_CHIMP_H_
+#define ADAEDGE_COMPRESS_CHIMP_H_
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// CHIMP (Liakos et al., VLDB'22): a Gorilla refinement that spends a 2-bit
+/// flag per value and rounds leading-zero counts into an 8-entry class
+/// table, shaving the per-value metadata that dominates Gorilla's output on
+/// noisy floats:
+///   00 -> XOR == 0
+///   01 -> many trailing zeros: 3-bit leading class + 6-bit length + bits
+///   10 -> same leading class as previous: (64 - leading) bits
+///   11 -> new leading class: 3-bit class + (64 - leading) bits
+class Chimp final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kChimp; }
+  CodecKind kind() const override { return CodecKind::kLossless; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+};
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_CHIMP_H_

@@ -1,0 +1,76 @@
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+std::string_view CodecIdName(CodecId id) {
+  switch (id) {
+    case CodecId::kRaw:
+      return "raw";
+    case CodecId::kDeflate:
+      return "deflate";
+    case CodecId::kFastLz:
+      return "snappy";
+    case CodecId::kDictionary:
+      return "dictionary";
+    case CodecId::kRle:
+      return "rle";
+    case CodecId::kGorilla:
+      return "gorilla";
+    case CodecId::kChimp:
+      return "chimp";
+    case CodecId::kSprintz:
+      return "sprintz";
+    case CodecId::kBuff:
+      return "buff";
+    case CodecId::kElf:
+      return "elf";
+    case CodecId::kBuffLossy:
+      return "bufflossy";
+    case CodecId::kPaa:
+      return "paa";
+    case CodecId::kPla:
+      return "pla";
+    case CodecId::kFft:
+      return "fft";
+    case CodecId::kRrdSample:
+      return "rrd";
+    case CodecId::kLttb:
+      return "lttb";
+    case CodecId::kKernel:
+      return "kernel";
+  }
+  return "unknown";
+}
+
+bool Codec::SupportsRatio(double ratio, size_t value_count) const {
+  (void)value_count;
+  // Lossless codecs cannot promise a ratio up front; the selector verifies
+  // achieved ratios post hoc. Lossy codecs override with a real answer.
+  return kind() == CodecKind::kLossless ? true : ratio > 0.0;
+}
+
+Result<std::vector<uint8_t>> Codec::Recode(std::span<const uint8_t> payload,
+                                           double new_target_ratio) const {
+  (void)payload;
+  (void)new_target_ratio;
+  return Status::Unimplemented(std::string(name()) +
+                               " does not support in-place recoding");
+}
+
+Result<double> Codec::AggregateDirect(
+    query::AggKind kind, std::span<const uint8_t> payload) const {
+  (void)kind;
+  (void)payload;
+  return Status::Unimplemented(std::string(name()) +
+                               " has no direct aggregation path");
+}
+
+Result<double> Codec::ValueAt(std::span<const uint8_t> payload,
+                              uint64_t index) const {
+  (void)payload;
+  (void)index;
+  return Status::Unimplemented(std::string(name()) +
+                               " has no random-access path");
+}
+
+}  // namespace adaedge::compress

@@ -1,0 +1,154 @@
+#ifndef ADAEDGE_COMPRESS_CODEC_H_
+#define ADAEDGE_COMPRESS_CODEC_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adaedge/query/aggregate.h"
+#include "adaedge/util/status.h"
+
+namespace adaedge::compress {
+
+using util::Result;
+using util::Status;
+
+/// Lossless codecs restore the input exactly (BUFF: exactly at its configured
+/// decimal precision). Lossy codecs trade accuracy for a tunable target ratio.
+enum class CodecKind { kLossless, kLossy };
+
+/// Stable identifiers; persisted in segment metadata, so values must not
+/// change between versions.
+enum class CodecId : uint8_t {
+  kRaw = 0,
+  kDeflate = 1,     // own LZ77 + canonical Huffman; levels 1..9
+  kFastLz = 2,      // Snappy-like byte LZ
+  kDictionary = 3,  // distinct-value dictionary + bit-packed ids
+  kRle = 4,         // run-length on exact repeats
+  kGorilla = 5,     // XOR-of-previous float compression
+  kChimp = 6,       // Gorilla variant with 2-bit flags + leading-zero table
+  kSprintz = 7,     // delta/double-delta + zigzag + block bit-packing
+  kBuff = 8,        // bounded-float byte decomposition at decimal precision
+  kElf = 9,         // erasing-based float compression over a CHIMP stage
+  kBuffLossy = 32,  // BUFF with least-significant byte planes dropped
+  kPaa = 33,        // piecewise aggregate approximation (window means)
+  kPla = 34,        // piecewise linear approximation (least-squares segments)
+  kFft = 35,        // top-k Fourier coefficients (own radix-2 + Bluestein)
+  kRrdSample = 36,  // one random value retained per window (RRDtool-style)
+  kLttb = 37,       // largest-triangle-three-buckets downsampling
+  kKernel = 38,     // Gaussian kernel ridge regression (slow; Fig 2's "Kernel")
+};
+
+/// Returns the canonical short name for an id ("gorilla", "paa", ...).
+std::string_view CodecIdName(CodecId id);
+
+/// Upper bound on the value count any payload may declare (64 Mi values =
+/// 512 MB decoded). Decoders reject larger counts as corruption BEFORE
+/// allocating, so a flipped varint cannot drive an allocation bomb.
+inline constexpr uint64_t kMaxDecodedValues = uint64_t{1} << 26;
+
+/// Guard used by every decoder right after reading a declared count.
+inline util::Status ValidateDecodedCount(uint64_t count) {
+  if (count > kMaxDecodedValues) {
+    return util::Status::Corruption("declared value count implausibly large");
+  }
+  return util::Status::Ok();
+}
+
+/// Per-call knobs. Lossless codecs read `level`/`precision`; lossy codecs
+/// read `target_ratio` (and `precision` where quantization applies).
+struct CodecParams {
+  /// Effort level for byte compressors (Deflate); 1 = fastest, 9 = smallest.
+  int level = 6;
+  /// Decimal digits preserved by BUFF/Sprintz quantization
+  /// (paper: 4 for CBF, 5 for UCR, 6 for UCI).
+  int precision = 4;
+  /// Lossy codecs: compressed_size must be <= target_ratio * 8 * n bytes.
+  double target_ratio = 1.0;
+};
+
+/// A compression algorithm operating on one segment of double samples.
+///
+/// Implementations are stateless and thread-safe: all per-call state lives on
+/// the stack, so a single instance can serve every pipeline thread.
+class Codec {
+ public:
+  virtual ~Codec() = default;
+
+  virtual CodecId id() const = 0;
+  virtual CodecKind kind() const = 0;
+  std::string_view name() const { return CodecIdName(id()); }
+
+  /// Compresses `values` into a self-describing payload (decodable by
+  /// Decompress without external metadata other than the codec identity).
+  virtual Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const = 0;
+
+  /// Restores a segment. Lossy codecs return the approximation at the
+  /// original length.
+  virtual Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const = 0;
+
+  /// True if the codec can produce a payload of at most
+  /// `ratio * 8 * value_count` bytes. Lossless codecs answer "unknown"
+  /// conservatively (true), since their ratio is data-dependent.
+  virtual bool SupportsRatio(double ratio, size_t value_count) const;
+
+  /// Recodes an existing payload to a tighter `new_target_ratio` without
+  /// full decompression ("virtual decompression", paper SIV-E). Only
+  /// same-codec recoding is supported; the default is Unimplemented, in
+  /// which case the caller must decompress + recompress.
+  virtual Result<std::vector<uint8_t>> Recode(std::span<const uint8_t> payload,
+                                              double new_target_ratio) const;
+
+  /// True if Recode is implemented for this codec.
+  virtual bool SupportsRecode() const { return false; }
+
+  /// Evaluates an aggregation directly on the compressed payload when the
+  /// representation exposes it (in-situ query execution, paper SIV-C).
+  /// The result equals Aggregate(kind, Decompress(payload)) up to
+  /// floating-point associativity. Default: Unimplemented — callers fall
+  /// back to decompress-and-aggregate.
+  virtual Result<double> AggregateDirect(
+      query::AggKind kind, std::span<const uint8_t> payload) const;
+
+  /// True if AggregateDirect has a fast path for `kind`.
+  virtual bool SupportsDirectAggregate(query::AggKind kind) const {
+    (void)kind;
+    return false;
+  }
+
+  /// Random access: the reconstruction's value at `index` WITHOUT
+  /// decompressing the segment — O(1) for the fixed-stride codecs (PAA,
+  /// RRD, BUFF-lossy, dictionary), O(log) or O(#parts) for the
+  /// variable-stride ones. Equals Decompress(payload)[index]. Default:
+  /// Unimplemented (use payload_query.h's ValueAtOrDecompress).
+  virtual Result<double> ValueAt(std::span<const uint8_t> payload,
+                                 uint64_t index) const;
+
+  /// True if ValueAt has a direct (no-decompression) implementation.
+  virtual bool SupportsRandomAccess() const { return false; }
+};
+
+/// One selectable arm: a codec plus the fixed parameters the arm uses.
+/// E.g. "zlib-9" = Deflate with level 9; "buff" = Buff at dataset precision.
+struct CodecArm {
+  std::string name;
+  std::shared_ptr<const Codec> codec;
+  CodecParams params;
+};
+
+/// Helper: payload-size / (8 bytes * values) — the paper's compression ratio
+/// r_ij (smaller is better).
+inline double CompressionRatio(size_t payload_bytes, size_t value_count) {
+  if (value_count == 0) return 1.0;
+  return static_cast<double>(payload_bytes) /
+         (8.0 * static_cast<double>(value_count));
+}
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_CODEC_H_

@@ -1,0 +1,463 @@
+#include "adaedge/compress/deflate.h"
+
+#include <algorithm>
+#include <cstring>
+#include <queue>
+
+#include "adaedge/compress/double_bytes.h"
+#include "adaedge/util/byte_io.h"
+
+namespace adaedge::compress {
+
+namespace {
+
+constexpr int kMinMatch = 3;
+constexpr int kMaxMatch = 258;
+constexpr int kWindowSize = 32768;
+constexpr int kHashBits = 15;
+constexpr int kHashSize = 1 << kHashBits;
+constexpr int kEndSymbol = 256;
+constexpr int kNumLitLen = 286;
+constexpr int kNumDist = 30;
+
+// DEFLATE length code table: symbol 257 + idx, (base length, extra bits).
+constexpr struct {
+  uint16_t base;
+  uint8_t extra;
+} kLengthCodes[29] = {
+    {3, 0},   {4, 0},   {5, 0},   {6, 0},   {7, 0},   {8, 0},
+    {9, 0},   {10, 0},  {11, 1},  {13, 1},  {15, 1},  {17, 1},
+    {19, 2},  {23, 2},  {27, 2},  {31, 2},  {35, 3},  {43, 3},
+    {51, 3},  {59, 3},  {67, 4},  {83, 4},  {99, 4},  {115, 4},
+    {131, 5}, {163, 5}, {195, 5}, {227, 5}, {258, 0}};
+
+// DEFLATE distance code table: (base distance, extra bits).
+constexpr struct {
+  uint32_t base;
+  uint8_t extra;
+} kDistCodes[30] = {{1, 0},      {2, 0},      {3, 0},     {4, 0},
+                    {5, 1},      {7, 1},      {9, 2},     {13, 2},
+                    {17, 3},     {25, 3},     {33, 4},    {49, 4},
+                    {65, 5},     {97, 5},     {129, 6},   {193, 6},
+                    {257, 7},    {385, 7},    {513, 8},   {769, 8},
+                    {1025, 9},   {1537, 9},   {2049, 10}, {3073, 10},
+                    {4097, 11},  {6145, 11},  {8193, 12}, {12289, 12},
+                    {16385, 13}, {24577, 13}};
+
+int LengthToCode(int len) {
+  for (int i = 28; i >= 0; --i) {
+    if (len >= kLengthCodes[i].base) return i;
+  }
+  return 0;
+}
+
+int DistToCode(int dist) {
+  for (int i = 29; i >= 0; --i) {
+    if (static_cast<uint32_t>(dist) >= kDistCodes[i].base) return i;
+  }
+  return 0;
+}
+
+struct MatcherConfig {
+  int max_chain;   // hash chain positions examined per match attempt
+  bool lazy;       // defer by one byte looking for a longer match
+  int nice_length; // stop searching once a match this long is found
+};
+
+MatcherConfig ConfigForLevel(int level) {
+  level = std::clamp(level, 1, 9);
+  switch (level) {
+    case 1:
+      return {4, false, 16};
+    case 2:
+      return {8, false, 32};
+    case 3:
+      return {16, false, 64};
+    case 4:
+      return {24, true, 64};
+    case 5:
+      return {48, true, 128};
+    case 6:
+      return {96, true, 128};
+    case 7:
+      return {192, true, 258};
+    case 8:
+      return {512, true, 258};
+    default:
+      return {1536, true, 258};
+  }
+}
+
+uint32_t Hash3(const uint8_t* p) {
+  uint32_t v = uint32_t(p[0]) | (uint32_t(p[1]) << 8) | (uint32_t(p[2]) << 16);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+// One LZ77 token: either a literal byte or a (length, distance) match.
+struct Token {
+  uint16_t length;   // 0 => literal
+  uint16_t dist_code;
+  uint32_t distance;
+  uint8_t literal;
+};
+
+// Greedy/lazy LZ77 tokenizer with hash-chain matching.
+std::vector<Token> Tokenize(std::span<const uint8_t> input,
+                            const MatcherConfig& cfg) {
+  std::vector<Token> tokens;
+  size_t n = input.size();
+  tokens.reserve(n / 3 + 16);
+  std::vector<int32_t> head(kHashSize, -1);
+  std::vector<int32_t> prev(kWindowSize, -1);
+  const uint8_t* data = input.data();
+
+  auto insert = [&](size_t pos) {
+    if (pos + kMinMatch > n) return;
+    uint32_t h = Hash3(data + pos);
+    prev[pos & (kWindowSize - 1)] = head[h];
+    head[h] = static_cast<int32_t>(pos);
+  };
+
+  auto find_match = [&](size_t pos, int& best_len, int& best_dist) {
+    best_len = 0;
+    best_dist = 0;
+    if (pos + kMinMatch > n) return;
+    uint32_t h = Hash3(data + pos);
+    int32_t cand = head[h];
+    int chain = cfg.max_chain;
+    int limit = static_cast<int>(std::min<size_t>(kMaxMatch, n - pos));
+    while (cand >= 0 && chain-- > 0) {
+      int dist = static_cast<int>(pos) - cand;
+      if (dist <= 0 || dist > kWindowSize) break;
+      const uint8_t* a = data + pos;
+      const uint8_t* b = data + cand;
+      if (best_len == 0 ||
+          (best_len < limit && b[best_len] == a[best_len])) {
+        int len = 0;
+        while (len < limit && a[len] == b[len]) ++len;
+        if (len >= kMinMatch && len > best_len) {
+          best_len = len;
+          best_dist = dist;
+          if (len >= cfg.nice_length || len >= limit) break;
+        }
+      }
+      cand = prev[cand & (kWindowSize - 1)];
+    }
+  };
+
+  size_t pos = 0;
+  while (pos < n) {
+    int len, dist;
+    find_match(pos, len, dist);
+    if (cfg.lazy && len >= kMinMatch && len < cfg.nice_length &&
+        pos + 1 < n) {
+      // Peek one byte ahead; emit a literal now if the next match is longer.
+      insert(pos);
+      int len2, dist2;
+      find_match(pos + 1, len2, dist2);
+      if (len2 > len + 1) {
+        tokens.push_back(Token{0, 0, 0, data[pos]});
+        ++pos;
+        continue;  // the longer match will be found again at the new pos
+      }
+      if (len >= kMinMatch) {
+        tokens.push_back(Token{static_cast<uint16_t>(len),
+                               static_cast<uint16_t>(DistToCode(dist)),
+                               static_cast<uint32_t>(dist), 0});
+        for (size_t i = pos + 1; i < pos + static_cast<size_t>(len); ++i) {
+          insert(i);
+        }
+        pos += len;
+        continue;
+      }
+      tokens.push_back(Token{0, 0, 0, data[pos]});
+      ++pos;
+      continue;
+    }
+    if (len >= kMinMatch) {
+      tokens.push_back(Token{static_cast<uint16_t>(len),
+                             static_cast<uint16_t>(DistToCode(dist)),
+                             static_cast<uint32_t>(dist), 0});
+      for (size_t i = pos; i < pos + static_cast<size_t>(len); ++i) {
+        insert(i);
+      }
+      pos += len;
+    } else {
+      insert(pos);
+      tokens.push_back(Token{0, 0, 0, data[pos]});
+      ++pos;
+    }
+  }
+  return tokens;
+}
+
+// Packs code lengths (values 0..15) as nibbles.
+void WriteLengths(util::ByteWriter& w, std::span<const uint8_t> lengths) {
+  for (size_t i = 0; i < lengths.size(); i += 2) {
+    uint8_t lo = lengths[i] & 0xf;
+    uint8_t hi = (i + 1 < lengths.size()) ? (lengths[i + 1] & 0xf) : 0;
+    w.PutU8(static_cast<uint8_t>(lo | (hi << 4)));
+  }
+}
+
+Status ReadLengths(util::ByteReader& r, size_t count,
+                   std::vector<uint8_t>& out) {
+  out.resize(count);
+  for (size_t i = 0; i < count; i += 2) {
+    ADAEDGE_ASSIGN_OR_RETURN(uint8_t b, r.GetU8());
+    out[i] = b & 0xf;
+    if (i + 1 < count) out[i + 1] = b >> 4;
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+namespace huffman {
+
+std::vector<uint8_t> BuildCodeLengths(std::span<const uint64_t> freqs,
+                                      int max_bits) {
+  size_t n = freqs.size();
+  std::vector<uint8_t> lengths(n, 0);
+  std::vector<uint64_t> f(freqs.begin(), freqs.end());
+
+  while (true) {
+    // Count used symbols.
+    std::vector<int> used;
+    for (size_t i = 0; i < n; ++i) {
+      if (f[i] > 0) used.push_back(static_cast<int>(i));
+    }
+    std::fill(lengths.begin(), lengths.end(), 0);
+    if (used.empty()) return lengths;
+    if (used.size() == 1) {
+      lengths[used[0]] = 1;
+      return lengths;
+    }
+
+    // Standard heap-based Huffman; node depths become code lengths.
+    struct Node {
+      uint64_t freq;
+      int idx;  // < (int)n: leaf symbol; else internal node index
+    };
+    auto cmp = [](const Node& a, const Node& b) { return a.freq > b.freq; };
+    std::priority_queue<Node, std::vector<Node>, decltype(cmp)> heap(cmp);
+    // parent[] over internal nodes; leaves tracked via leaf_parent.
+    std::vector<int> parent;
+    std::vector<int> leaf_parent(n, -1);
+    for (int s : used) heap.push(Node{f[s], s});
+    int next_internal = static_cast<int>(n);
+    while (heap.size() > 1) {
+      Node a = heap.top();
+      heap.pop();
+      Node b = heap.top();
+      heap.pop();
+      int id = next_internal++;
+      parent.push_back(-1);
+      auto set_parent = [&](const Node& nd) {
+        if (nd.idx < static_cast<int>(n)) {
+          leaf_parent[nd.idx] = id;
+        } else {
+          parent[nd.idx - n] = id;
+        }
+      };
+      set_parent(a);
+      set_parent(b);
+      heap.push(Node{a.freq + b.freq, id});
+    }
+    int max_len = 0;
+    for (int s : used) {
+      int len = 0;
+      int p = leaf_parent[s];
+      while (p != -1) {
+        ++len;
+        p = parent[p - n];
+      }
+      lengths[s] = static_cast<uint8_t>(len);
+      max_len = std::max(max_len, len);
+    }
+    if (max_len <= max_bits) return lengths;
+    // Depth overflow: flatten the distribution and retry. Halving
+    // frequencies (keeping them nonzero) strictly reduces tree skew and
+    // terminates: all-equal frequencies give a near-balanced tree.
+    for (size_t i = 0; i < n; ++i) {
+      if (f[i] > 0) f[i] = (f[i] + 1) / 2;
+    }
+  }
+}
+
+std::vector<uint32_t> LengthsToCodes(std::span<const uint8_t> lengths) {
+  int max_len = 0;
+  for (uint8_t l : lengths) max_len = std::max<int>(max_len, l);
+  std::vector<int> count(max_len + 1, 0);
+  for (uint8_t l : lengths) {
+    if (l > 0) ++count[l];
+  }
+  std::vector<uint32_t> next(max_len + 1, 0);
+  uint32_t code = 0;
+  for (int len = 1; len <= max_len; ++len) {
+    code = (code + count[len - 1]) << 1;
+    next[len] = code;
+  }
+  std::vector<uint32_t> codes(lengths.size(), 0);
+  for (size_t i = 0; i < lengths.size(); ++i) {
+    if (lengths[i] > 0) codes[i] = next[lengths[i]]++;
+  }
+  return codes;
+}
+
+Decoder::Decoder(std::span<const uint8_t> lengths) {
+  for (uint8_t l : lengths) {
+    if (l > kTableBits) return;  // invalid; stays !valid_
+  }
+  std::vector<uint32_t> codes = LengthsToCodes(lengths);
+  table_.assign(size_t{1} << kTableBits, 0);
+  for (size_t s = 0; s < lengths.size(); ++s) {
+    int len = lengths[s];
+    if (len == 0) continue;
+    // Corrupt length tables can violate the Kraft inequality, overflowing
+    // the canonical code past its bit width; reject instead of writing
+    // outside the table.
+    if (codes[s] >= (1u << len)) return;  // stays !valid_
+    // Every kTableBits-bit window starting with this code maps to it.
+    uint32_t base = codes[s] << (kTableBits - len);
+    uint32_t span = 1u << (kTableBits - len);
+    uint32_t entry = (static_cast<uint32_t>(s) << 4) |
+                     static_cast<uint32_t>(len);
+    for (uint32_t i = 0; i < span; ++i) table_[base + i] = entry;
+  }
+  valid_ = true;
+}
+
+Result<int> Decoder::Decode(util::BitReader& reader) const {
+  if (!valid_) {
+    return Status::Corruption("huffman table invalid");
+  }
+  uint32_t window = reader.PeekBits(kTableBits);
+  uint32_t entry = table_[window];
+  int len = static_cast<int>(entry & 0xf);
+  if (len == 0 ||
+      static_cast<size_t>(len) > reader.remaining_bits()) {
+    return Status::Corruption("invalid huffman code");
+  }
+  reader.Consume(len);
+  return static_cast<int>(entry >> 4);
+}
+
+}  // namespace huffman
+
+Result<std::vector<uint8_t>> Deflate::CompressBytes(
+    std::span<const uint8_t> input, int level) {
+  MatcherConfig cfg = ConfigForLevel(level);
+  std::vector<Token> tokens = Tokenize(input, cfg);
+
+  // Symbol statistics.
+  std::vector<uint64_t> lit_freq(kNumLitLen, 0);
+  std::vector<uint64_t> dist_freq(kNumDist, 0);
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      ++lit_freq[t.literal];
+    } else {
+      ++lit_freq[257 + LengthToCode(t.length)];
+      ++dist_freq[t.dist_code];
+    }
+  }
+  ++lit_freq[kEndSymbol];
+
+  std::vector<uint8_t> lit_lengths =
+      huffman::BuildCodeLengths(lit_freq, huffman::Decoder::kTableBits);
+  std::vector<uint8_t> dist_lengths =
+      huffman::BuildCodeLengths(dist_freq, huffman::Decoder::kTableBits);
+  std::vector<uint32_t> lit_codes = huffman::LengthsToCodes(lit_lengths);
+  std::vector<uint32_t> dist_codes = huffman::LengthsToCodes(dist_lengths);
+
+  util::ByteWriter header;
+  header.PutVarint(input.size());
+  WriteLengths(header, lit_lengths);
+  WriteLengths(header, dist_lengths);
+
+  util::BitWriter bits;
+  auto emit = [&](int sym, const std::vector<uint8_t>& lens,
+                  const std::vector<uint32_t>& codes) {
+    bits.WriteBits(codes[sym], lens[sym]);
+  };
+  for (const Token& t : tokens) {
+    if (t.length == 0) {
+      emit(t.literal, lit_lengths, lit_codes);
+    } else {
+      int lc = LengthToCode(t.length);
+      emit(257 + lc, lit_lengths, lit_codes);
+      bits.WriteBits(t.length - kLengthCodes[lc].base, kLengthCodes[lc].extra);
+      emit(t.dist_code, dist_lengths, dist_codes);
+      bits.WriteBits(t.distance - kDistCodes[t.dist_code].base,
+                     kDistCodes[t.dist_code].extra);
+    }
+  }
+  emit(kEndSymbol, lit_lengths, lit_codes);
+
+  std::vector<uint8_t> out = header.Finish();
+  std::vector<uint8_t> body = bits.Finish();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<std::vector<uint8_t>> Deflate::DecompressBytes(
+    std::span<const uint8_t> payload) {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t original_size, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(original_size / 8));
+  std::vector<uint8_t> lit_lengths, dist_lengths;
+  ADAEDGE_RETURN_IF_ERROR(ReadLengths(r, kNumLitLen, lit_lengths));
+  ADAEDGE_RETURN_IF_ERROR(ReadLengths(r, kNumDist, dist_lengths));
+  huffman::Decoder lit_dec(lit_lengths);
+  huffman::Decoder dist_dec(dist_lengths);
+
+  std::vector<uint8_t> out;
+  out.reserve(original_size);
+  util::BitReader bits(r.cursor(), r.remaining());
+  while (true) {
+    ADAEDGE_ASSIGN_OR_RETURN(int sym, lit_dec.Decode(bits));
+    if (sym == kEndSymbol) break;
+    if (sym < 256) {
+      out.push_back(static_cast<uint8_t>(sym));
+      continue;
+    }
+    int lc = sym - 257;
+    if (lc < 0 || lc >= 29) return Status::Corruption("bad length code");
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t lextra,
+                             bits.ReadBits(kLengthCodes[lc].extra));
+    size_t length = kLengthCodes[lc].base + lextra;
+    ADAEDGE_ASSIGN_OR_RETURN(int dc, dist_dec.Decode(bits));
+    if (dc < 0 || dc >= kNumDist) return Status::Corruption("bad dist code");
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t dextra,
+                             bits.ReadBits(kDistCodes[dc].extra));
+    size_t distance = kDistCodes[dc].base + dextra;
+    if (distance == 0 || distance > out.size()) {
+      return Status::Corruption("match distance out of range");
+    }
+    size_t start = out.size() - distance;
+    for (size_t i = 0; i < length; ++i) {
+      out.push_back(out[start + i]);  // may overlap; byte-by-byte is correct
+    }
+    if (out.size() > original_size) {
+      return Status::Corruption("output exceeds declared size");
+    }
+  }
+  if (out.size() != original_size) {
+    return Status::Corruption("output shorter than declared size");
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> Deflate::Compress(
+    std::span<const double> values, const CodecParams& params) const {
+  return CompressBytes(DoublesToBytes(values), params.level);
+}
+
+Result<std::vector<double>> Deflate::Decompress(
+    std::span<const uint8_t> payload) const {
+  ADAEDGE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                           DecompressBytes(payload));
+  return BytesToDoubles(bytes);
+}
+
+}  // namespace adaedge::compress

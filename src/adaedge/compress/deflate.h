@@ -1,0 +1,83 @@
+#ifndef ADAEDGE_COMPRESS_DEFLATE_H_
+#define ADAEDGE_COMPRESS_DEFLATE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "adaedge/compress/codec.h"
+#include "adaedge/util/bit_io.h"
+
+namespace adaedge::compress {
+
+/// From-scratch DEFLATE-style byte compressor: LZ77 with a hash-chain
+/// matcher feeding a dynamic canonical-Huffman entropy stage. It is the
+/// stand-in for the paper's Gzip/Zlib arms ("zlib-N" = level N).
+///
+/// The container format is our own (not RFC 1951): a varint original size,
+/// the two serialized code-length tables, then the MSB-first Huffman
+/// bitstream of literal/length/distance symbols.
+///
+/// Effort levels map to matcher work:
+///   level 1  -> short hash chains, no lazy matching (fast, larger)
+///   level 6  -> medium chains + lazy matching (default)
+///   level 9  -> deep chains + lazy matching (slow, smallest)
+class Deflate final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kDeflate; }
+  CodecKind kind() const override { return CodecKind::kLossless; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+
+  /// Byte-level entry points (used directly by tests and by other codecs
+  /// that want an entropy-coded back end).
+  static Result<std::vector<uint8_t>> CompressBytes(
+      std::span<const uint8_t> input, int level);
+  static Result<std::vector<uint8_t>> DecompressBytes(
+      std::span<const uint8_t> payload);
+};
+
+namespace huffman {
+
+/// Builds canonical Huffman code lengths (max length 15) for the given
+/// symbol frequencies. Zero-frequency symbols get length 0. Returns one
+/// length per symbol.
+std::vector<uint8_t> BuildCodeLengths(std::span<const uint64_t> freqs,
+                                      int max_bits = 15);
+
+/// Converts canonical code lengths to codes (MSB-first integers).
+std::vector<uint32_t> LengthsToCodes(std::span<const uint8_t> lengths);
+
+/// Table-driven canonical decoder: one 2^15-entry lookup resolves any
+/// code in a single peek+consume (the same idea as zlib's inflate
+/// tables; this is what keeps Deflate decompression byte-class fast
+/// rather than bit-serial like Gorilla's).
+class Decoder {
+ public:
+  /// Precomputes the lookup table from canonical code lengths.
+  explicit Decoder(std::span<const uint8_t> lengths);
+
+  /// Reads one symbol; errors on invalid codes / exhausted input.
+  Result<int> Decode(util::BitReader& reader) const;
+
+  bool valid() const { return valid_; }
+
+  /// Code lengths are capped here (encoder side must respect it); 11
+  /// keeps the lookup table small enough that building it per segment is
+  /// cheap while costing a negligible amount of ratio.
+  static constexpr int kTableBits = 11;
+
+ private:
+  // Entry: (symbol << 4) | code_length; 0 = invalid code.
+  std::vector<uint32_t> table_;
+  bool valid_ = false;
+};
+
+}  // namespace huffman
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_DEFLATE_H_

@@ -1,0 +1,141 @@
+#include "adaedge/compress/dictionary.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "adaedge/util/bit_io.h"
+#include "adaedge/util/byte_io.h"
+
+namespace adaedge::compress {
+
+namespace {
+
+int BitsFor(size_t distinct) {
+  if (distinct <= 1) return 1;
+  int bits = 0;
+  size_t v = distinct - 1;
+  while (v > 0) {
+    ++bits;
+    v >>= 1;
+  }
+  return bits;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> Dictionary::Compress(
+    std::span<const double> values, const CodecParams& params) const {
+  (void)params;
+  std::unordered_map<double, uint32_t> index;
+  std::vector<double> dict;
+  std::vector<uint32_t> ids;
+  ids.reserve(values.size());
+  // Cap cardinality so a pathological input fails fast instead of building
+  // a dictionary larger than the data.
+  const size_t max_distinct = values.size() / 2 + 1;
+  for (double v : values) {
+    auto [it, inserted] = index.try_emplace(v, dict.size());
+    if (inserted) {
+      dict.push_back(v);
+      if (dict.size() > max_distinct) {
+        return Status::ResourceExhausted(
+            "dictionary: cardinality too high to compress");
+      }
+    }
+    ids.push_back(it->second);
+  }
+
+  util::ByteWriter w;
+  w.PutVarint(values.size());
+  w.PutVarint(dict.size());
+  for (double v : dict) w.PutF64(v);
+  int bits = BitsFor(dict.size());
+  w.PutU8(static_cast<uint8_t>(bits));
+
+  util::BitWriter bw;
+  for (uint32_t id : ids) bw.WriteBits(id, bits);
+  std::vector<uint8_t> out = w.Finish();
+  std::vector<uint8_t> packed = bw.Finish();
+  out.insert(out.end(), packed.begin(), packed.end());
+  return out;
+}
+
+Result<std::vector<double>> Dictionary::Decompress(
+    std::span<const uint8_t> payload) const {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(count));
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t dict_size, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(dict_size));
+  if (dict_size == 0 && count > 0) {
+    return Status::Corruption("dictionary: empty dict for nonempty series");
+  }
+  std::vector<double> dict(dict_size);
+  for (auto& v : dict) {
+    ADAEDGE_ASSIGN_OR_RETURN(v, r.GetF64());
+  }
+  ADAEDGE_ASSIGN_OR_RETURN(uint8_t bits, r.GetU8());
+  if (bits == 0 || bits > 32) {
+    return Status::Corruption("dictionary: invalid id width");
+  }
+  util::BitReader br(r.cursor(), r.remaining());
+  std::vector<double> out;
+  out.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t id, br.ReadBits(bits));
+    if (id >= dict_size) return Status::Corruption("dictionary: bad id");
+    out.push_back(dict[id]);
+  }
+  return out;
+}
+
+Result<double> Dictionary::ValueAt(std::span<const uint8_t> payload,
+                                   uint64_t index) const {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t dict_size, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(dict_size));
+  if (index >= count) return Status::OutOfRange("dictionary: index");
+  size_t dict_pos = r.pos();
+  ADAEDGE_RETURN_IF_ERROR(r.Skip(dict_size * 8));
+  ADAEDGE_ASSIGN_OR_RETURN(uint8_t bits, r.GetU8());
+  if (bits == 0 || bits > 32) {
+    return Status::Corruption("dictionary: invalid id width");
+  }
+  util::BitReader br(r.cursor(), r.remaining());
+  br.Consume(index * static_cast<size_t>(bits));
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t id, br.ReadBits(bits));
+  if (id >= dict_size) return Status::Corruption("dictionary: bad id");
+  util::ByteReader dict(payload.data() + dict_pos + id * 8, 8);
+  return dict.GetF64();
+}
+
+Result<double> Dictionary::AggregateDirect(
+    query::AggKind kind, std::span<const uint8_t> payload) const {
+  if (kind != query::AggKind::kMin && kind != query::AggKind::kMax) {
+    return Status::Unimplemented("dictionary: only Min/Max are direct");
+  }
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(count));
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t dict_size, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(dict_size));
+  if (count == 0) return 0.0;
+  if (dict_size == 0) {
+    return Status::Corruption("dictionary: empty dict for nonempty series");
+  }
+  double best = 0.0;
+  for (uint64_t i = 0; i < dict_size; ++i) {
+    ADAEDGE_ASSIGN_OR_RETURN(double v, r.GetF64());
+    if (i == 0) {
+      best = v;
+    } else if (kind == query::AggKind::kMin) {
+      best = std::min(best, v);
+    } else {
+      best = std::max(best, v);
+    }
+  }
+  return best;
+}
+
+}  // namespace adaedge::compress

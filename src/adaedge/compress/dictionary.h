@@ -1,0 +1,44 @@
+#ifndef ADAEDGE_COMPRESS_DICTIONARY_H_
+#define ADAEDGE_COMPRESS_DICTIONARY_H_
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// Dictionary encoding for repetitive numeric signals: distinct values are
+/// stored once (first-appearance order) and the series becomes bit-packed
+/// ids of width ceil(log2(#distinct)). Wins on low-cardinality signals
+/// (status codes, quantized sensors); degrades to worse-than-raw on
+/// high-entropy data, which is exactly the behaviour the bandit must learn
+/// around (Fig 15).
+///
+/// Compression fails with ResourceExhausted when the dictionary would
+/// exceed 1/2 of the original size (cardinality too high to ever win).
+class Dictionary final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kDictionary; }
+  CodecKind kind() const override { return CodecKind::kLossless; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+
+  /// O(1): reads the bit-packed id at `index`, then the dictionary entry.
+  Result<double> ValueAt(std::span<const uint8_t> payload,
+                         uint64_t index) const override;
+  bool SupportsRandomAccess() const override { return true; }
+
+  /// Min/Max scan only the dictionary (every entry is referenced at least
+  /// once, so the dictionary extremes are the data extremes) — O(#distinct)
+  /// instead of O(n). Sum/Avg would need the id stream; no direct path.
+  Result<double> AggregateDirect(
+      query::AggKind kind, std::span<const uint8_t> payload) const override;
+  bool SupportsDirectAggregate(query::AggKind kind) const override {
+    return kind == query::AggKind::kMin || kind == query::AggKind::kMax;
+  }
+};
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_DICTIONARY_H_

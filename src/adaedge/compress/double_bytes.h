@@ -1,0 +1,39 @@
+#ifndef ADAEDGE_COMPRESS_DOUBLE_BYTES_H_
+#define ADAEDGE_COMPRESS_DOUBLE_BYTES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "adaedge/util/status.h"
+
+namespace adaedge::compress {
+
+/// Reinterprets a double series as its little-endian byte image (8 bytes per
+/// value). Used by the byte-oriented compressors (Deflate, FastLz).
+inline std::vector<uint8_t> DoublesToBytes(std::span<const double> values) {
+  std::vector<uint8_t> bytes(values.size() * sizeof(double));
+  if (!values.empty()) {
+    std::memcpy(bytes.data(), values.data(), bytes.size());
+  }
+  return bytes;
+}
+
+/// Inverse of DoublesToBytes. Errors if the byte count is not a multiple
+/// of sizeof(double).
+inline util::Result<std::vector<double>> BytesToDoubles(
+    std::span<const uint8_t> bytes) {
+  if (bytes.size() % sizeof(double) != 0) {
+    return util::Status::Corruption("byte payload not a whole double count");
+  }
+  std::vector<double> values(bytes.size() / sizeof(double));
+  if (!values.empty()) {
+    std::memcpy(values.data(), bytes.data(), bytes.size());
+  }
+  return values;
+}
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_DOUBLE_BYTES_H_

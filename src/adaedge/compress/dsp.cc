@@ -1,0 +1,111 @@
+#include "adaedge/compress/dsp.h"
+
+#include <cmath>
+
+namespace adaedge::compress::dsp {
+
+namespace {
+
+bool IsPowerOfTwo(size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+size_t NextPowerOfTwo(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Iterative radix-2 Cooley-Tukey; n must be a power of two.
+void FftRadix2(std::vector<std::complex<double>>& a, bool inverse) {
+  size_t n = a.size();
+  // Bit-reversal permutation.
+  for (size_t i = 1, j = 0; i < n; ++i) {
+    size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(a[i], a[j]);
+  }
+  for (size_t len = 2; len <= n; len <<= 1) {
+    double angle = 2.0 * M_PI / static_cast<double>(len) *
+                   (inverse ? 1.0 : -1.0);
+    std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (size_t j = 0; j < len / 2; ++j) {
+        std::complex<double> u = a[i + j];
+        std::complex<double> v = a[i + j + len / 2] * w;
+        a[i + j] = u + v;
+        a[i + j + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+}
+
+// Bluestein's chirp-z transform: expresses an arbitrary-length DFT as a
+// convolution, evaluated with power-of-two FFTs.
+void FftBluestein(std::vector<std::complex<double>>& a, bool inverse) {
+  size_t n = a.size();
+  size_t m = NextPowerOfTwo(2 * n + 1);
+  double sign = inverse ? 1.0 : -1.0;
+
+  // Chirp factors w_k = exp(sign * i * pi * k^2 / n).
+  std::vector<std::complex<double>> chirp(n);
+  for (size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the angle argument small for numerical stability.
+    uint64_t k2 = (static_cast<uint64_t>(k) * k) % (2 * n);
+    double angle = sign * M_PI * static_cast<double>(k2) /
+                   static_cast<double>(n);
+    chirp[k] = std::complex<double>(std::cos(angle), std::sin(angle));
+  }
+
+  std::vector<std::complex<double>> x(m, {0.0, 0.0});
+  std::vector<std::complex<double>> y(m, {0.0, 0.0});
+  for (size_t k = 0; k < n; ++k) x[k] = a[k] * chirp[k];
+  y[0] = std::conj(chirp[0]);
+  for (size_t k = 1; k < n; ++k) {
+    y[k] = std::conj(chirp[k]);
+    y[m - k] = std::conj(chirp[k]);
+  }
+  FftRadix2(x, false);
+  FftRadix2(y, false);
+  for (size_t k = 0; k < m; ++k) x[k] *= y[k];
+  FftRadix2(x, true);
+  double inv_m = 1.0 / static_cast<double>(m);
+  for (size_t k = 0; k < n; ++k) {
+    a[k] = x[k] * inv_m * chirp[k];
+  }
+}
+
+}  // namespace
+
+void Fft(std::vector<std::complex<double>>& data, bool inverse) {
+  if (data.size() <= 1) return;
+  if (IsPowerOfTwo(data.size())) {
+    FftRadix2(data, inverse);
+  } else {
+    FftBluestein(data, inverse);
+  }
+}
+
+std::vector<std::complex<double>> FftReal(std::span<const double> values) {
+  std::vector<std::complex<double>> data(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    data[i] = std::complex<double>(values[i], 0.0);
+  }
+  Fft(data, /*inverse=*/false);
+  return data;
+}
+
+std::vector<double> InverseFftReal(
+    std::span<const std::complex<double>> spectrum) {
+  std::vector<std::complex<double>> data(spectrum.begin(), spectrum.end());
+  Fft(data, /*inverse=*/true);
+  std::vector<double> out(data.size());
+  double inv_n = data.empty() ? 0.0 : 1.0 / static_cast<double>(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    out[i] = data[i].real() * inv_n;
+  }
+  return out;
+}
+
+}  // namespace adaedge::compress::dsp

@@ -1,0 +1,28 @@
+#ifndef ADAEDGE_COMPRESS_DSP_H_
+#define ADAEDGE_COMPRESS_DSP_H_
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace adaedge::compress::dsp {
+
+/// In-place complex FFT of arbitrary length: iterative radix-2
+/// Cooley-Tukey for power-of-two sizes, Bluestein's chirp-z transform
+/// otherwise (itself built on the radix-2 kernel). `inverse` computes the
+/// unnormalized inverse; divide by n for the true inverse (FftReal /
+/// InverseFftReal below handle normalization).
+void Fft(std::vector<std::complex<double>>& data, bool inverse);
+
+/// Forward FFT of a real series; returns the n complex coefficients.
+std::vector<std::complex<double>> FftReal(std::span<const double> values);
+
+/// Inverse of FftReal: reconstructs the real series (imaginary residue from
+/// rounding is discarded). `spectrum` must have the conjugate symmetry of a
+/// real signal for the output to be meaningful.
+std::vector<double> InverseFftReal(
+    std::span<const std::complex<double>> spectrum);
+
+}  // namespace adaedge::compress::dsp
+
+#endif  // ADAEDGE_COMPRESS_DSP_H_

@@ -1,0 +1,88 @@
+#include "adaedge/compress/elf.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "adaedge/compress/chimp.h"
+#include "adaedge/util/byte_io.h"
+
+namespace adaedge::compress {
+
+namespace {
+
+double ScaleFor(int precision) {
+  double s = 1.0;
+  for (int i = 0; i < precision; ++i) s *= 10.0;
+  return s;
+}
+
+double RoundTo(double v, double scale) {
+  return std::round(v * scale) / scale;
+}
+
+}  // namespace
+
+double Elf::EraseTail(double v, int precision) {
+  if (!std::isfinite(v)) return v;
+  double scale = ScaleFor(std::clamp(precision, 0, 12));
+  double rounded = RoundTo(v, scale);
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  // Binary search the largest trailing-zero count that still rounds back
+  // to the same decimal value. Erasing t bits is monotone in error, so
+  // the predicate is monotone in t.
+  int lo = 0, hi = 52;
+  while (lo < hi) {
+    int mid = (lo + hi + 1) / 2;
+    uint64_t mask = ~((uint64_t{1} << mid) - 1);
+    uint64_t erased_bits = bits & mask;
+    double erased;
+    std::memcpy(&erased, &erased_bits, sizeof(erased));
+    if (RoundTo(erased, scale) == rounded) {
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  uint64_t mask = lo == 0 ? ~uint64_t{0} : ~((uint64_t{1} << lo) - 1);
+  uint64_t erased_bits = bits & mask;
+  double erased;
+  std::memcpy(&erased, &erased_bits, sizeof(erased));
+  return erased;
+}
+
+Result<std::vector<uint8_t>> Elf::Compress(std::span<const double> values,
+                                           const CodecParams& params) const {
+  const int precision = std::clamp(params.precision, 0, 12);
+  std::vector<double> erased(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    erased[i] = EraseTail(values[i], precision);
+  }
+  Chimp xor_stage;
+  ADAEDGE_ASSIGN_OR_RETURN(std::vector<uint8_t> body,
+                           xor_stage.Compress(erased, params));
+  util::ByteWriter w;
+  w.PutU8(static_cast<uint8_t>(precision));
+  std::vector<uint8_t> out = w.Finish();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<std::vector<double>> Elf::Decompress(
+    std::span<const uint8_t> payload) const {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint8_t precision, r.GetU8());
+  if (precision > 12) return Status::Corruption("elf: bad precision");
+  Chimp xor_stage;
+  ADAEDGE_ASSIGN_OR_RETURN(
+      std::vector<double> erased,
+      xor_stage.Decompress(payload.subspan(1)));
+  double scale = ScaleFor(precision);
+  for (double& v : erased) {
+    if (std::isfinite(v)) v = RoundTo(v, scale);
+  }
+  return erased;
+}
+
+}  // namespace adaedge::compress

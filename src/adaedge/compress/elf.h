@@ -1,0 +1,37 @@
+#ifndef ADAEDGE_COMPRESS_ELF_H_
+#define ADAEDGE_COMPRESS_ELF_H_
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// Elf (Li et al., VLDB'23), the erasing-based successor of the
+/// XOR-family float codecs the paper cites alongside BUFF: before XOR
+/// encoding, each double's mantissa tail is *erased* (zeroed) as far as
+/// possible without changing its value at the configured decimal
+/// precision. Erased values have long runs of trailing zeros, which makes
+/// the downstream XOR stage (we reuse the CHIMP encoder) dramatically
+/// more effective on decimal-limited data.
+///
+/// Lossless at `params.precision` decimal digits, like BUFF/Sprintz:
+/// decompression restores the erased doubles and rounds them back to the
+/// exact decimal values.
+class Elf final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kElf; }
+  CodecKind kind() const override { return CodecKind::kLossless; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+
+  /// Zeroes the maximal number of trailing mantissa bits of `v` that keep
+  /// its value unchanged after rounding to `precision` decimals.
+  /// (Exposed for tests.)
+  static double EraseTail(double v, int precision);
+};
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_ELF_H_

@@ -1,0 +1,125 @@
+#include "adaedge/compress/fastlz.h"
+
+#include <algorithm>
+
+#include "adaedge/compress/double_bytes.h"
+#include "adaedge/util/byte_io.h"
+
+namespace adaedge::compress {
+
+namespace {
+
+constexpr int kMinMatch = 4;
+constexpr int kMaxMatch = 131;     // 4 + 127
+constexpr int kMaxLiteralRun = 128;
+constexpr int kMaxOffset = 65535;
+constexpr int kHashBits = 14;
+constexpr int kHashSize = 1 << kHashBits;
+
+uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+void FlushLiterals(std::vector<uint8_t>& out, const uint8_t* data,
+                   size_t start, size_t end) {
+  while (start < end) {
+    size_t run = std::min<size_t>(end - start, kMaxLiteralRun);
+    out.push_back(static_cast<uint8_t>(run - 1));  // tag 0xxxxxxx
+    out.insert(out.end(), data + start, data + start + run);
+    start += run;
+  }
+}
+
+}  // namespace
+
+std::vector<uint8_t> FastLz::CompressBytes(std::span<const uint8_t> input) {
+  util::ByteWriter header;
+  header.PutVarint(input.size());
+  std::vector<uint8_t> out = header.Finish();
+
+  const uint8_t* data = input.data();
+  size_t n = input.size();
+  std::vector<int32_t> table(kHashSize, -1);
+  size_t literal_start = 0;
+  size_t pos = 0;
+  while (pos + kMinMatch <= n) {
+    uint32_t h = Hash4(data + pos);
+    int32_t cand = table[h];
+    table[h] = static_cast<int32_t>(pos);
+    size_t offset = cand >= 0 ? pos - cand : 0;
+    bool match = cand >= 0 && offset >= 1 && offset <= kMaxOffset &&
+                 std::memcmp(data + cand, data + pos, kMinMatch) == 0;
+    if (!match) {
+      ++pos;
+      continue;
+    }
+    size_t limit = std::min<size_t>(n - pos, kMaxMatch);
+    size_t len = kMinMatch;
+    while (len < limit && data[cand + len] == data[pos + len]) ++len;
+
+    FlushLiterals(out, data, literal_start, pos);
+    out.push_back(static_cast<uint8_t>(0x80 | (len - kMinMatch)));
+    out.push_back(static_cast<uint8_t>(offset & 0xff));
+    out.push_back(static_cast<uint8_t>(offset >> 8));
+    // Seed the table across the match so later data can reference it.
+    size_t seed_end = std::min(pos + len, n - kMinMatch + 1);
+    for (size_t i = pos + 1; i < seed_end; ++i) {
+      table[Hash4(data + i)] = static_cast<int32_t>(i);
+    }
+    pos += len;
+    literal_start = pos;
+  }
+  FlushLiterals(out, data, literal_start, n);
+  return out;
+}
+
+Result<std::vector<uint8_t>> FastLz::DecompressBytes(
+    std::span<const uint8_t> payload) {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t original_size, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(original_size / 8));
+  std::vector<uint8_t> out;
+  out.reserve(original_size);
+  while (r.remaining() > 0) {
+    ADAEDGE_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
+    if ((tag & 0x80) == 0) {
+      size_t run = static_cast<size_t>(tag) + 1;
+      ADAEDGE_ASSIGN_OR_RETURN(std::vector<uint8_t> lits, r.GetBytes(run));
+      out.insert(out.end(), lits.begin(), lits.end());
+    } else {
+      size_t len = static_cast<size_t>(tag & 0x7f) + kMinMatch;
+      ADAEDGE_ASSIGN_OR_RETURN(uint8_t lo, r.GetU8());
+      ADAEDGE_ASSIGN_OR_RETURN(uint8_t hi, r.GetU8());
+      size_t offset = static_cast<size_t>(lo) | (static_cast<size_t>(hi) << 8);
+      if (offset == 0 || offset > out.size()) {
+        return Status::Corruption("fastlz copy offset out of range");
+      }
+      size_t start = out.size() - offset;
+      for (size_t i = 0; i < len; ++i) out.push_back(out[start + i]);
+    }
+    if (out.size() > original_size) {
+      return Status::Corruption("fastlz output exceeds declared size");
+    }
+  }
+  if (out.size() != original_size) {
+    return Status::Corruption("fastlz output shorter than declared size");
+  }
+  return out;
+}
+
+Result<std::vector<uint8_t>> FastLz::Compress(std::span<const double> values,
+                                              const CodecParams& params) const {
+  (void)params;
+  return CompressBytes(DoublesToBytes(values));
+}
+
+Result<std::vector<double>> FastLz::Decompress(
+    std::span<const uint8_t> payload) const {
+  ADAEDGE_ASSIGN_OR_RETURN(std::vector<uint8_t> bytes,
+                           DecompressBytes(payload));
+  return BytesToDoubles(bytes);
+}
+
+}  // namespace adaedge::compress

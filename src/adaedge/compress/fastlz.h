@@ -1,0 +1,38 @@
+#ifndef ADAEDGE_COMPRESS_FASTLZ_H_
+#define ADAEDGE_COMPRESS_FASTLZ_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// Snappy-like byte LZ: greedy 4-byte hash matcher, no entropy stage, tag
+/// bytes distinguishing literal runs from copies. Much faster than Deflate
+/// at a worse ratio — exactly the trade-off the Snappy arm occupies in the
+/// paper's Figures 2-3 and 12-13.
+///
+/// Format: varint original size, then a sequence of ops:
+///   tag 0xxxxxxx             -> literal run of (x+1) bytes (1..128)
+///   tag 1lllllll, 2B offset  -> copy of (l+4) bytes (4..131) from offset
+///                               (little-endian, 1..65535 back)
+class FastLz final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kFastLz; }
+  CodecKind kind() const override { return CodecKind::kLossless; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+
+  static std::vector<uint8_t> CompressBytes(std::span<const uint8_t> input);
+  static Result<std::vector<uint8_t>> DecompressBytes(
+      std::span<const uint8_t> payload);
+};
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_FASTLZ_H_

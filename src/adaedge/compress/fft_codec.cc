@@ -1,0 +1,155 @@
+#include "adaedge/compress/fft_codec.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "adaedge/compress/dsp.h"
+#include "adaedge/util/byte_io.h"
+
+namespace adaedge::compress {
+
+namespace {
+
+constexpr size_t kHeaderBound = 20;
+// varint freq (<=3 for segment sizes in practice) + two f32.
+constexpr double kBytesPerCoefficient = 11.0;
+
+Result<uint64_t> CoefficientsForRatio(size_t n, double ratio) {
+  if (n == 0) return uint64_t{0};
+  double budget_bytes = ratio * 8.0 * static_cast<double>(n) -
+                        static_cast<double>(kHeaderBound);
+  double max_coeffs = budget_bytes / kBytesPerCoefficient;
+  if (max_coeffs < 1.0) {
+    return Status::ResourceExhausted(
+        "fft: ratio below one coefficient per series");
+  }
+  uint64_t nyquist_count = n / 2 + 1;
+  return std::min<uint64_t>(static_cast<uint64_t>(max_coeffs), nyquist_count);
+}
+
+struct Entry {
+  uint32_t freq;
+  std::complex<double> coeff;  // normalized by n
+  double energy;
+};
+
+}  // namespace
+
+Result<std::vector<uint8_t>> FftCodec::Compress(
+    std::span<const double> values, const CodecParams& params) const {
+  const size_t n = values.size();
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t k,
+                           CoefficientsForRatio(n, params.target_ratio));
+  util::ByteWriter w;
+  w.PutVarint(n);
+  if (n == 0) {
+    w.PutVarint(0);
+    return w.Finish();
+  }
+  std::vector<std::complex<double>> spectrum = dsp::FftReal(values);
+  double inv_n = 1.0 / static_cast<double>(n);
+  std::vector<Entry> entries;
+  entries.reserve(n / 2 + 1);
+  for (size_t f = 0; f <= n / 2; ++f) {
+    std::complex<double> c = spectrum[f] * inv_n;
+    // Frequencies with a distinct conjugate twin contribute twice.
+    double weight = (f == 0 || (n % 2 == 0 && f == n / 2)) ? 1.0 : 2.0;
+    entries.push_back(Entry{static_cast<uint32_t>(f), c,
+                            weight * std::abs(c)});
+  }
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const Entry& a, const Entry& b) {
+                     return a.energy > b.energy;
+                   });
+  k = std::min<uint64_t>(k, entries.size());
+  w.PutVarint(k);
+  for (uint64_t i = 0; i < k; ++i) {
+    w.PutVarint(entries[i].freq);
+    w.PutF32(static_cast<float>(entries[i].coeff.real()));
+    w.PutF32(static_cast<float>(entries[i].coeff.imag()));
+  }
+  return w.Finish();
+}
+
+Result<std::vector<double>> FftCodec::Decompress(
+    std::span<const uint8_t> payload) const {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(n));
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t k, r.GetVarint());
+  if (n == 0) return std::vector<double>{};
+  std::vector<std::complex<double>> spectrum(n, {0.0, 0.0});
+  double dn = static_cast<double>(n);
+  for (uint64_t i = 0; i < k; ++i) {
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t f, r.GetVarint());
+    ADAEDGE_ASSIGN_OR_RETURN(float re, r.GetF32());
+    ADAEDGE_ASSIGN_OR_RETURN(float im, r.GetF32());
+    if (f > n / 2) return Status::Corruption("fft: frequency above Nyquist");
+    std::complex<double> c(re, im);
+    spectrum[f] = c * dn;  // undo normalization
+    if (f != 0 && !(n % 2 == 0 && f == n / 2)) {
+      spectrum[n - f] = std::conj(c) * dn;
+    }
+  }
+  return dsp::InverseFftReal(spectrum);
+}
+
+bool FftCodec::SupportsRatio(double ratio, size_t value_count) const {
+  if (value_count == 0) return true;
+  return (ratio * 8.0 * static_cast<double>(value_count)) >
+         static_cast<double>(kHeaderBound) + kBytesPerCoefficient;
+}
+
+Result<double> FftCodec::AggregateDirect(
+    query::AggKind kind, std::span<const uint8_t> payload) const {
+  if (kind != query::AggKind::kSum && kind != query::AggKind::kAvg) {
+    return Status::Unimplemented("fft: only Sum/Avg are direct");
+  }
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(n));
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t k, r.GetVarint());
+  if (n == 0) return 0.0;
+  // sum(x) = Re(S_0): every non-DC frequency sums to zero over a period.
+  double dc = 0.0;
+  for (uint64_t i = 0; i < k; ++i) {
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t f, r.GetVarint());
+    ADAEDGE_ASSIGN_OR_RETURN(float re, r.GetF32());
+    ADAEDGE_ASSIGN_OR_RETURN(float im, r.GetF32());
+    (void)im;
+    if (f == 0) {
+      dc = re;  // normalized by n at encode time
+      break;
+    }
+  }
+  return kind == query::AggKind::kSum ? dc * static_cast<double>(n) : dc;
+}
+
+Result<std::vector<uint8_t>> FftCodec::Recode(
+    std::span<const uint8_t> payload, double new_target_ratio) const {
+  // Entries are stored in descending energy order: recoding truncates.
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(n));
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t k, r.GetVarint());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t new_k,
+                           CoefficientsForRatio(n, new_target_ratio));
+  if (new_k >= k) {
+    return Status::ResourceExhausted("fft: recode target not tighter");
+  }
+  util::ByteWriter w;
+  w.PutVarint(n);
+  w.PutVarint(new_k);
+  for (uint64_t i = 0; i < new_k; ++i) {
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t f, r.GetVarint());
+    ADAEDGE_ASSIGN_OR_RETURN(float re, r.GetF32());
+    ADAEDGE_ASSIGN_OR_RETURN(float im, r.GetF32());
+    w.PutVarint(f);
+    w.PutF32(re);
+    w.PutF32(im);
+  }
+  return w.Finish();
+}
+
+}  // namespace adaedge::compress

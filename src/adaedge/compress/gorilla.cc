@@ -1,0 +1,117 @@
+#include "adaedge/compress/gorilla.h"
+
+#include <bit>
+#include <cstring>
+
+#include "adaedge/util/bit_io.h"
+#include "adaedge/util/byte_io.h"
+
+namespace adaedge::compress {
+
+namespace {
+
+uint64_t ToBits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
+}
+
+double FromBits(uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> Gorilla::Compress(
+    std::span<const double> values, const CodecParams& params) const {
+  (void)params;
+  util::ByteWriter header;
+  header.PutVarint(values.size());
+  std::vector<uint8_t> out = header.Finish();
+  if (values.empty()) return out;
+
+  util::BitWriter bw;
+  uint64_t prev = ToBits(values[0]);
+  bw.WriteBits(prev, 64);
+  int prev_leading = -1;   // leading zeros of the active window
+  int prev_meaningful = 0; // meaningful bit count of the active window
+  for (size_t i = 1; i < values.size(); ++i) {
+    uint64_t cur = ToBits(values[i]);
+    uint64_t x = cur ^ prev;
+    prev = cur;
+    if (x == 0) {
+      bw.WriteBit(false);  // '0': identical value
+      continue;
+    }
+    int leading = std::countl_zero(x);
+    int trailing = std::countr_zero(x);
+    // Gorilla caps the stored leading-zero count at 31 (5 bits).
+    if (leading > 31) leading = 31;
+    int meaningful = 64 - leading - trailing;
+    if (prev_leading >= 0 && leading >= prev_leading &&
+        trailing >= 64 - prev_leading - prev_meaningful) {
+      // '10': fits inside the previous window.
+      bw.WriteBits(0b10, 2);
+      bw.WriteBits(x >> (64 - prev_leading - prev_meaningful),
+                   prev_meaningful);
+    } else {
+      // '11': open a new window.
+      bw.WriteBits(0b11, 2);
+      bw.WriteBits(static_cast<uint64_t>(leading), 5);
+      // 6 bits encode the meaningful length; 64 is stored as 0 (Gorilla's
+      // convention) since meaningful >= 1 always.
+      bw.WriteBits(static_cast<uint64_t>(meaningful == 64 ? 0 : meaningful),
+                   6);
+      bw.WriteBits(x >> trailing, meaningful);
+      prev_leading = leading;
+      prev_meaningful = meaningful;
+    }
+  }
+  std::vector<uint8_t> body = bw.Finish();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<std::vector<double>> Gorilla::Decompress(
+    std::span<const uint8_t> payload) const {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(count));
+  std::vector<double> out;
+  out.reserve(count);
+  if (count == 0) return out;
+
+  util::BitReader br(r.cursor(), r.remaining());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t prev, br.ReadBits(64));
+  out.push_back(FromBits(prev));
+  int leading = 0;
+  int meaningful = 0;
+  while (out.size() < count) {
+    ADAEDGE_ASSIGN_OR_RETURN(bool nonzero, br.ReadBit());
+    if (!nonzero) {
+      out.push_back(FromBits(prev));
+      continue;
+    }
+    ADAEDGE_ASSIGN_OR_RETURN(bool new_window, br.ReadBit());
+    if (new_window) {
+      ADAEDGE_ASSIGN_OR_RETURN(uint64_t lead, br.ReadBits(5));
+      ADAEDGE_ASSIGN_OR_RETURN(uint64_t mlen, br.ReadBits(6));
+      leading = static_cast<int>(lead);
+      meaningful = mlen == 0 ? 64 : static_cast<int>(mlen);
+      if (leading + meaningful > 64) {
+        return Status::Corruption("gorilla: invalid window");
+      }
+    } else if (meaningful == 0) {
+      return Status::Corruption("gorilla: '10' flag before any window");
+    }
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t bits, br.ReadBits(meaningful));
+    uint64_t x = bits << (64 - leading - meaningful);
+    prev ^= x;
+    out.push_back(FromBits(prev));
+  }
+  return out;
+}
+
+}  // namespace adaedge::compress

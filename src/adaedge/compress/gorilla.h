@@ -1,0 +1,30 @@
+#ifndef ADAEDGE_COMPRESS_GORILLA_H_
+#define ADAEDGE_COMPRESS_GORILLA_H_
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// Gorilla value compression (Pelkonen et al., VLDB'15): each value is
+/// XORed with its predecessor; a zero XOR costs one bit, otherwise the
+/// meaningful bits are stored, reusing the previous leading/trailing-zero
+/// window when it still fits ('10') or opening a new one ('11' + 5-bit
+/// leading count + 6-bit length).
+///
+/// Excellent on slowly-drifting sensor values; its relatively slow
+/// bit-by-bit decompression is what makes gorilla_* pairs miss the
+/// recoding deadline in the paper's Fig 14.
+class Gorilla final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kGorilla; }
+  CodecKind kind() const override { return CodecKind::kLossless; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+};
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_GORILLA_H_

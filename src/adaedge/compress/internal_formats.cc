@@ -1,0 +1,137 @@
+#include "adaedge/compress/internal_formats.h"
+
+#include "adaedge/compress/codec.h"
+#include "adaedge/util/byte_io.h"
+
+namespace adaedge::compress::internal {
+
+using util::Result;
+using util::Status;
+
+Result<PaaPayload> DecodePaa(std::span<const uint8_t> payload) {
+  util::ByteReader r(payload.data(), payload.size());
+  PaaPayload p;
+  ADAEDGE_ASSIGN_OR_RETURN(p.n, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(p.n));
+  ADAEDGE_ASSIGN_OR_RETURN(p.w, r.GetVarint());
+  if (p.w == 0) return Status::Corruption("paa: zero window");
+  uint64_t num_means = (p.n + p.w - 1) / p.w;
+  if (r.remaining() < num_means * 8) {
+    return Status::Corruption("paa: truncated means");
+  }
+  p.means.resize(num_means);
+  for (auto& m : p.means) {
+    ADAEDGE_ASSIGN_OR_RETURN(m, r.GetF64());
+  }
+  return p;
+}
+
+std::vector<uint8_t> EncodePaa(const PaaPayload& p) {
+  util::ByteWriter w;
+  w.PutVarint(p.n);
+  w.PutVarint(p.w);
+  for (double m : p.means) w.PutF64(m);
+  return w.Finish();
+}
+
+Result<PlaPayload> DecodePla(std::span<const uint8_t> payload) {
+  util::ByteReader r(payload.data(), payload.size());
+  PlaPayload p;
+  ADAEDGE_ASSIGN_OR_RETURN(p.n, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(p.n));
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  if (count > p.n + 1) return Status::Corruption("pla: segment count > n");
+  p.segments.reserve(count);
+  uint64_t total = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    PlaSegment s;
+    ADAEDGE_ASSIGN_OR_RETURN(s.length, r.GetVarint());
+    ADAEDGE_ASSIGN_OR_RETURN(float a, r.GetF32());
+    ADAEDGE_ASSIGN_OR_RETURN(float b, r.GetF32());
+    s.intercept = a;
+    s.slope = b;
+    if (s.length == 0) return Status::Corruption("pla: zero-length segment");
+    total += s.length;
+    p.segments.push_back(s);
+  }
+  if (total != p.n) return Status::Corruption("pla: segment lengths mismatch");
+  return p;
+}
+
+std::vector<uint8_t> EncodePla(const PlaPayload& p) {
+  util::ByteWriter w;
+  w.PutVarint(p.n);
+  w.PutVarint(p.segments.size());
+  for (const PlaSegment& s : p.segments) {
+    w.PutVarint(s.length);
+    w.PutF32(static_cast<float>(s.intercept));
+    w.PutF32(static_cast<float>(s.slope));
+  }
+  return w.Finish();
+}
+
+Result<LttbPayload> DecodeLttb(std::span<const uint8_t> payload) {
+  util::ByteReader r(payload.data(), payload.size());
+  LttbPayload p;
+  ADAEDGE_ASSIGN_OR_RETURN(p.n, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(p.n));
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t k, r.GetVarint());
+  if (k > p.n + 1) return Status::Corruption("lttb: point count > n");
+  p.points.reserve(k);
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < k; ++i) {
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t delta, r.GetVarint());
+    ADAEDGE_ASSIGN_OR_RETURN(float v, r.GetF32());
+    uint64_t idx = prev + delta;
+    if (idx >= p.n) return Status::Corruption("lttb: index out of range");
+    if (i > 0 && delta == 0) return Status::Corruption("lttb: repeated index");
+    p.points.push_back(LttbPoint{idx, v});
+    prev = idx;
+  }
+  if (!p.points.empty() &&
+      (p.points.front().index != 0 || p.points.back().index != p.n - 1)) {
+    return Status::Corruption("lttb: endpoints missing");
+  }
+  return p;
+}
+
+std::vector<uint8_t> EncodeLttb(const LttbPayload& p) {
+  util::ByteWriter w;
+  w.PutVarint(p.n);
+  w.PutVarint(p.points.size());
+  uint64_t prev = 0;
+  for (const LttbPoint& pt : p.points) {
+    w.PutVarint(pt.index - prev);
+    w.PutF32(static_cast<float>(pt.value));
+    prev = pt.index;
+  }
+  return w.Finish();
+}
+
+Result<RrdPayload> DecodeRrd(std::span<const uint8_t> payload) {
+  util::ByteReader r(payload.data(), payload.size());
+  RrdPayload p;
+  ADAEDGE_ASSIGN_OR_RETURN(p.n, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(p.n));
+  ADAEDGE_ASSIGN_OR_RETURN(p.w, r.GetVarint());
+  if (p.w == 0) return Status::Corruption("rrd: zero window");
+  uint64_t samples = (p.n + p.w - 1) / p.w;
+  if (r.remaining() < samples * 8) {
+    return Status::Corruption("rrd: truncated samples");
+  }
+  p.samples.resize(samples);
+  for (auto& v : p.samples) {
+    ADAEDGE_ASSIGN_OR_RETURN(v, r.GetF64());
+  }
+  return p;
+}
+
+std::vector<uint8_t> EncodeRrd(const RrdPayload& p) {
+  util::ByteWriter w;
+  w.PutVarint(p.n);
+  w.PutVarint(p.w);
+  for (double v : p.samples) w.PutF64(v);
+  return w.Finish();
+}
+
+}  // namespace adaedge::compress::internal

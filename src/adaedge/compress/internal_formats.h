@@ -1,0 +1,62 @@
+#ifndef ADAEDGE_COMPRESS_INTERNAL_FORMATS_H_
+#define ADAEDGE_COMPRESS_INTERNAL_FORMATS_H_
+
+// Parsed payload representations of the structurally simple lossy codecs.
+// Shared between each codec's own (de)coder and the cross-codec
+// transcoder (transcode.h), so the format knowledge lives in one place.
+// Internal: not part of the public API surface.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "adaedge/util/status.h"
+
+namespace adaedge::compress::internal {
+
+/// PAA: n values as ceil(n/w) window means.
+struct PaaPayload {
+  uint64_t n = 0;
+  uint64_t w = 1;
+  std::vector<double> means;
+};
+util::Result<PaaPayload> DecodePaa(std::span<const uint8_t> payload);
+std::vector<uint8_t> EncodePaa(const PaaPayload& p);
+
+/// PLA: consecutive least-squares line segments covering n values.
+struct PlaSegment {
+  uint64_t length = 0;
+  double intercept = 0.0;  // value at the segment's first point
+  double slope = 0.0;
+};
+struct PlaPayload {
+  uint64_t n = 0;
+  std::vector<PlaSegment> segments;
+};
+util::Result<PlaPayload> DecodePla(std::span<const uint8_t> payload);
+std::vector<uint8_t> EncodePla(const PlaPayload& p);
+
+/// LTTB: kept (index, value) points; reconstruction interpolates.
+struct LttbPoint {
+  uint64_t index = 0;
+  double value = 0.0;
+};
+struct LttbPayload {
+  uint64_t n = 0;
+  std::vector<LttbPoint> points;
+};
+util::Result<LttbPayload> DecodeLttb(std::span<const uint8_t> payload);
+std::vector<uint8_t> EncodeLttb(const LttbPayload& p);
+
+/// RRD-sample: one retained value per window of w.
+struct RrdPayload {
+  uint64_t n = 0;
+  uint64_t w = 1;
+  std::vector<double> samples;
+};
+util::Result<RrdPayload> DecodeRrd(std::span<const uint8_t> payload);
+std::vector<uint8_t> EncodeRrd(const RrdPayload& p);
+
+}  // namespace adaedge::compress::internal
+
+#endif  // ADAEDGE_COMPRESS_INTERNAL_FORMATS_H_

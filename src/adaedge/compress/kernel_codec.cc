@@ -1,0 +1,138 @@
+#include "adaedge/compress/kernel_codec.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adaedge/util/byte_io.h"
+#include "adaedge/util/linalg.h"
+
+namespace adaedge::compress {
+
+namespace {
+
+constexpr size_t kBlock = 256;
+constexpr size_t kHeaderBound = 20;
+constexpr double kBytesPerCoefficient = 4.0;  // f32 per inducing point
+constexpr double kRidge = 1e-6;
+
+// Inducing points: m evenly spaced positions across a block of `len`.
+double InducingPosition(size_t j, size_t m, size_t len) {
+  if (m == 1) return 0.5 * static_cast<double>(len - 1);
+  return static_cast<double>(j) * static_cast<double>(len - 1) /
+         static_cast<double>(m - 1);
+}
+
+double Kernel(double t, double c, double bandwidth) {
+  double d = (t - c) / bandwidth;
+  return std::exp(-0.5 * d * d);
+}
+
+Result<uint64_t> CoefficientsForRatio(size_t n, double ratio) {
+  if (n == 0) return uint64_t{0};
+  double budget_bytes = ratio * 8.0 * static_cast<double>(n) -
+                        static_cast<double>(kHeaderBound);
+  double max_coeffs = budget_bytes / kBytesPerCoefficient;
+  if (max_coeffs < 1.0) {
+    return Status::ResourceExhausted(
+        "kernel: ratio below one coefficient per series");
+  }
+  return static_cast<uint64_t>(max_coeffs);
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> KernelRegression::Compress(
+    std::span<const double> values, const CodecParams& params) const {
+  size_t n = values.size();
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t total_coeffs,
+                           CoefficientsForRatio(n, params.target_ratio));
+  size_t blocks = (n + kBlock - 1) / kBlock;
+  size_t m = blocks == 0
+                 ? 0
+                 : std::clamp<size_t>(total_coeffs / std::max<size_t>(
+                                                          blocks, 1),
+                                      1, kBlock / 2);
+  util::ByteWriter w;
+  w.PutVarint(n);
+  w.PutVarint(m);
+  if (n == 0) return w.Finish();
+
+  for (size_t start = 0; start < n; start += kBlock) {
+    size_t len = std::min(kBlock, n - start);
+    size_t mb = std::min<size_t>(m, std::max<size_t>(len / 2, 1));
+    double bandwidth =
+        std::max(1.0, static_cast<double>(len) / static_cast<double>(mb));
+    // Regularized normal equations: (K^T K + lambda I) alpha = K^T y,
+    // K in R^{len x mb}.
+    std::vector<double> k(len * mb);
+    for (size_t t = 0; t < len; ++t) {
+      for (size_t j = 0; j < mb; ++j) {
+        k[t * mb + j] = Kernel(static_cast<double>(t),
+                               InducingPosition(j, mb, len), bandwidth);
+      }
+    }
+    std::vector<double> a(mb * mb, 0.0);
+    std::vector<double> b(mb, 0.0);
+    for (size_t t = 0; t < len; ++t) {
+      double y = values[start + t];
+      for (size_t i = 0; i < mb; ++i) {
+        b[i] += k[t * mb + i] * y;
+        for (size_t j = 0; j <= i; ++j) {
+          a[i * mb + j] += k[t * mb + i] * k[t * mb + j];
+        }
+      }
+    }
+    for (size_t i = 0; i < mb; ++i) {
+      a[i * mb + i] += kRidge * static_cast<double>(len);
+      for (size_t j = i + 1; j < mb; ++j) a[i * mb + j] = a[j * mb + i];
+    }
+    ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> alpha,
+                             util::CholeskySolve(a, b, mb));
+    w.PutVarint(mb);
+    for (double c : alpha) w.PutF32(static_cast<float>(c));
+  }
+  return w.Finish();
+}
+
+Result<std::vector<double>> KernelRegression::Decompress(
+    std::span<const uint8_t> payload) const {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(n));
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t m, r.GetVarint());
+  (void)m;
+  std::vector<double> out;
+  out.reserve(n);
+  for (size_t start = 0; start < n; start += kBlock) {
+    size_t len = std::min<size_t>(kBlock, n - start);
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t mb, r.GetVarint());
+    if (mb == 0 || mb > kBlock) {
+      return Status::Corruption("kernel: bad inducing count");
+    }
+    std::vector<double> alpha(mb);
+    for (auto& c : alpha) {
+      ADAEDGE_ASSIGN_OR_RETURN(float f, r.GetF32());
+      c = f;
+    }
+    double bandwidth =
+        std::max(1.0, static_cast<double>(len) / static_cast<double>(mb));
+    for (size_t t = 0; t < len; ++t) {
+      double y = 0.0;
+      for (size_t j = 0; j < mb; ++j) {
+        y += alpha[j] * Kernel(static_cast<double>(t),
+                               InducingPosition(j, mb, len), bandwidth);
+      }
+      out.push_back(y);
+    }
+  }
+  return out;
+}
+
+bool KernelRegression::SupportsRatio(double ratio,
+                                     size_t value_count) const {
+  if (value_count == 0) return true;
+  return (ratio * 8.0 * static_cast<double>(value_count)) >
+         static_cast<double>(kHeaderBound) + kBytesPerCoefficient;
+}
+
+}  // namespace adaedge::compress

@@ -1,0 +1,32 @@
+#ifndef ADAEDGE_COMPRESS_KERNEL_CODEC_H_
+#define ADAEDGE_COMPRESS_KERNEL_CODEC_H_
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// Kernel ridge regression compression — the "Kernel" method of the
+/// paper's Fig 2, included to reproduce its point: kernel smoothers give
+/// pleasant reconstructions but compress far too slowly to ingest
+/// high-rate signals (fitting solves dense linear systems and evaluates
+/// many exp() kernels).
+///
+/// Per block of 256 samples, m inducing points (from the target ratio)
+/// with a Gaussian kernel; coefficients are fit by regularized least
+/// squares (Cholesky) and stored as f32. Decompression evaluates the
+/// kernel expansion.
+class KernelRegression final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kKernel; }
+  CodecKind kind() const override { return CodecKind::kLossy; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+  bool SupportsRatio(double ratio, size_t value_count) const override;
+};
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_KERNEL_CODEC_H_

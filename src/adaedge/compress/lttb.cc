@@ -1,0 +1,218 @@
+#include "adaedge/compress/lttb.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adaedge/compress/internal_formats.h"
+
+namespace adaedge::compress {
+
+namespace {
+
+constexpr size_t kHeaderBound = 20;
+constexpr double kBytesPerPoint = 7.0;  // varint index delta + f32 value
+
+Result<uint64_t> PointsForRatio(size_t n, double ratio) {
+  if (n == 0) return uint64_t{0};
+  double budget_bytes = ratio * 8.0 * static_cast<double>(n) -
+                        static_cast<double>(kHeaderBound);
+  double max_points = budget_bytes / kBytesPerPoint;
+  if (max_points < 2.0) {
+    return Status::ResourceExhausted("lttb: ratio below two points");
+  }
+  return std::min<uint64_t>(static_cast<uint64_t>(max_points), n);
+}
+
+// Classic LTTB bucket selection over (x, y) pairs; returns indices of the
+// chosen points (always includes the first and last).
+std::vector<size_t> SelectLttb(std::span<const double> xs,
+                               std::span<const double> ys, uint64_t k) {
+  size_t n = xs.size();
+  std::vector<size_t> picked;
+  if (n == 0) return picked;
+  if (k >= n || n <= 2 || k <= 2) {
+    if (k >= n) {
+      picked.resize(n);
+      for (size_t i = 0; i < n; ++i) picked[i] = i;
+    } else {
+      picked = {0, n - 1};
+    }
+    return picked;
+  }
+  picked.reserve(k);
+  picked.push_back(0);
+  double bucket_size = static_cast<double>(n - 2) / static_cast<double>(k - 2);
+  size_t prev = 0;
+  for (uint64_t b = 0; b < k - 2; ++b) {
+    size_t start = 1 + static_cast<size_t>(std::floor(b * bucket_size));
+    size_t end =
+        1 + static_cast<size_t>(std::floor((b + 1) * bucket_size));
+    end = std::min(end, n - 1);
+    if (start >= end) start = end - 1;
+    // Average of the NEXT bucket (or the final point).
+    size_t nstart = end;
+    size_t nend = 1 + static_cast<size_t>(std::floor((b + 2) * bucket_size));
+    nend = std::min(std::max(nend, nstart + 1), n);
+    double avg_x = 0.0, avg_y = 0.0;
+    for (size_t i = nstart; i < nend; ++i) {
+      avg_x += xs[i];
+      avg_y += ys[i];
+    }
+    double m = static_cast<double>(nend - nstart);
+    avg_x /= m;
+    avg_y /= m;
+    // Largest triangle with the previously picked point and next average.
+    double best_area = -1.0;
+    size_t best = start;
+    for (size_t i = start; i < end; ++i) {
+      double area = std::abs((xs[prev] - avg_x) * (ys[i] - ys[prev]) -
+                             (xs[prev] - xs[i]) * (avg_y - ys[prev]));
+      if (area > best_area) {
+        best_area = area;
+        best = i;
+      }
+    }
+    picked.push_back(best);
+    prev = best;
+  }
+  picked.push_back(n - 1);
+  return picked;
+}
+
+// Payload (de)serialization lives in internal_formats.h, shared with the
+// cross-codec transcoder.
+using Point = internal::LttbPoint;
+
+struct Decoded : internal::LttbPayload {};
+
+Result<Decoded> DecodePoints(std::span<const uint8_t> payload) {
+  ADAEDGE_ASSIGN_OR_RETURN(internal::LttbPayload p,
+                           internal::DecodeLttb(payload));
+  Decoded d;
+  d.n = p.n;
+  d.points = std::move(p.points);
+  return d;
+}
+
+std::vector<uint8_t> EncodePoints(uint64_t n, std::span<const Point> points) {
+  internal::LttbPayload p;
+  p.n = n;
+  p.points.assign(points.begin(), points.end());
+  return internal::EncodeLttb(p);
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> Lttb::Compress(std::span<const double> values,
+                                            const CodecParams& params) const {
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t k,
+                           PointsForRatio(values.size(), params.target_ratio));
+  std::vector<double> xs(values.size());
+  for (size_t i = 0; i < values.size(); ++i) xs[i] = static_cast<double>(i);
+  std::vector<size_t> picked = SelectLttb(xs, values, k);
+  std::vector<Point> points;
+  points.reserve(picked.size());
+  for (size_t i : picked) points.push_back(Point{i, values[i]});
+  return EncodePoints(values.size(), points);
+}
+
+Result<std::vector<double>> Lttb::Decompress(
+    std::span<const uint8_t> payload) const {
+  ADAEDGE_ASSIGN_OR_RETURN(Decoded d, DecodePoints(payload));
+  std::vector<double> out(d.n, 0.0);
+  if (d.points.empty()) return out;
+  if (d.points.size() == 1) {
+    std::fill(out.begin(), out.end(), d.points[0].value);
+    return out;
+  }
+  for (size_t s = 0; s + 1 < d.points.size(); ++s) {
+    const Point& a = d.points[s];
+    const Point& b = d.points[s + 1];
+    double span_len = static_cast<double>(b.index - a.index);
+    for (uint64_t i = a.index; i <= b.index; ++i) {
+      double t = static_cast<double>(i - a.index) / span_len;
+      out[i] = a.value + (b.value - a.value) * t;
+    }
+  }
+  return out;
+}
+
+bool Lttb::SupportsRatio(double ratio, size_t value_count) const {
+  if (value_count == 0) return true;
+  return (ratio * 8.0 * static_cast<double>(value_count)) >
+         static_cast<double>(kHeaderBound) + 2.0 * kBytesPerPoint;
+}
+
+Result<double> Lttb::ValueAt(std::span<const uint8_t> payload,
+                             uint64_t index) const {
+  ADAEDGE_ASSIGN_OR_RETURN(Decoded d, DecodePoints(payload));
+  if (index >= d.n) return Status::OutOfRange("lttb: index");
+  if (d.points.empty()) return 0.0;
+  if (d.points.size() == 1) return d.points[0].value;
+  // First point with index >= target; interpolate from its predecessor.
+  auto it = std::lower_bound(
+      d.points.begin(), d.points.end(), index,
+      [](const Point& p, uint64_t idx) { return p.index < idx; });
+  if (it == d.points.end()) return Status::Corruption("lttb: gap");
+  if (it->index == index) return it->value;
+  const Point& b = *it;
+  const Point& a = *(it - 1);
+  double t = static_cast<double>(index - a.index) /
+             static_cast<double>(b.index - a.index);
+  return a.value + (b.value - a.value) * t;
+}
+
+Result<double> Lttb::AggregateDirect(query::AggKind kind,
+                                     std::span<const uint8_t> payload) const {
+  ADAEDGE_ASSIGN_OR_RETURN(Decoded d, DecodePoints(payload));
+  if (d.n == 0) return 0.0;
+  if (d.points.empty()) return 0.0;
+  double min_v = d.points[0].value, max_v = d.points[0].value;
+  // Reconstruction sum: first point once, then each span contributes its
+  // interpolated values at t = a+1..b, i.e. (L+1)(va+vb)/2 - va.
+  // (A single kept point is replicated across the series.)
+  double sum = d.points.size() == 1
+                   ? d.points[0].value * static_cast<double>(d.n)
+                   : d.points[0].value;
+  for (size_t s = 0; s + 1 < d.points.size(); ++s) {
+    const Point& a = d.points[s];
+    const Point& b = d.points[s + 1];
+    double len = static_cast<double>(b.index - a.index);
+    sum += (len + 1.0) * (a.value + b.value) / 2.0 - a.value;
+    min_v = std::min(min_v, b.value);
+    max_v = std::max(max_v, b.value);
+  }
+  switch (kind) {
+    case query::AggKind::kSum:
+      return sum;
+    case query::AggKind::kAvg:
+      return sum / static_cast<double>(d.n);
+    case query::AggKind::kMin:
+      return min_v;
+    case query::AggKind::kMax:
+      return max_v;
+  }
+  return Status::InvalidArgument("unknown aggregate");
+}
+
+Result<std::vector<uint8_t>> Lttb::Recode(std::span<const uint8_t> payload,
+                                          double new_target_ratio) const {
+  ADAEDGE_ASSIGN_OR_RETURN(Decoded d, DecodePoints(payload));
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t new_k,
+                           PointsForRatio(d.n, new_target_ratio));
+  if (new_k >= d.points.size()) {
+    return Status::ResourceExhausted("lttb: recode target not tighter");
+  }
+  std::vector<double> xs(d.points.size()), ys(d.points.size());
+  for (size_t i = 0; i < d.points.size(); ++i) {
+    xs[i] = static_cast<double>(d.points[i].index);
+    ys[i] = d.points[i].value;
+  }
+  std::vector<size_t> picked = SelectLttb(xs, ys, new_k);
+  std::vector<Point> points;
+  points.reserve(picked.size());
+  for (size_t i : picked) points.push_back(d.points[i]);
+  return EncodePoints(d.n, points);
+}
+
+}  // namespace adaedge::compress

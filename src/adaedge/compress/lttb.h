@@ -1,0 +1,46 @@
+#ifndef ADAEDGE_COMPRESS_LTTB_H_
+#define ADAEDGE_COMPRESS_LTTB_H_
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// Largest-Triangle-Three-Buckets (Steinarsson's refinement of
+/// Visvalingam-Whyatt): downsampling that keeps, per bucket, the point
+/// forming the largest triangle with its neighbours, preserving visual
+/// signal shape — the variant used by TVStore/TimescaleDB dashboards
+/// (paper SIII-A2). Decompression linearly interpolates between kept
+/// points.
+///
+/// Recoding runs LTTB again over the kept points.
+class Lttb final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kLttb; }
+  CodecKind kind() const override { return CodecKind::kLossy; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+  bool SupportsRatio(double ratio, size_t value_count) const override;
+  Result<std::vector<uint8_t>> Recode(std::span<const uint8_t> payload,
+                                      double new_target_ratio) const override;
+  bool SupportsRecode() const override { return true; }
+
+  /// O(log #points): binary-searches the covering interpolation span.
+  Result<double> ValueAt(std::span<const uint8_t> payload,
+                         uint64_t index) const override;
+  bool SupportsRandomAccess() const override { return true; }
+
+  /// Sum/Avg via per-span trapezoids; Min/Max from the kept points
+  /// (linear interpolation never exceeds its endpoints). O(#points).
+  Result<double> AggregateDirect(
+      query::AggKind kind, std::span<const uint8_t> payload) const override;
+  bool SupportsDirectAggregate(query::AggKind) const override {
+    return true;
+  }
+};
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_LTTB_H_

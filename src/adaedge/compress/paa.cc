@@ -1,0 +1,143 @@
+#include "adaedge/compress/paa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adaedge/compress/internal_formats.h"
+#include "adaedge/util/byte_io.h"
+
+namespace adaedge::compress {
+
+namespace {
+
+constexpr size_t kHeaderBound = 20;  // varint n + varint w upper bound
+
+// Smallest window w such that header + 8*ceil(n/w) <= ratio*8n.
+Result<uint64_t> WindowForRatio(size_t n, double ratio) {
+  if (n == 0) return uint64_t{1};
+  // Target >= 1 means "no shrink required": window 1 is the identity
+  // approximation (header overhead is accepted, matching the paper's
+  // ratio-1.0 sweep points where lossy arms show ~zero loss).
+  if (ratio >= 1.0) return uint64_t{1};
+  double budget_bytes = ratio * 8.0 * static_cast<double>(n) -
+                        static_cast<double>(kHeaderBound);
+  double max_means = budget_bytes / 8.0;
+  if (max_means < 1.0) {
+    return Status::ResourceExhausted("paa: ratio below one mean per segment");
+  }
+  uint64_t w = static_cast<uint64_t>(
+      std::ceil(static_cast<double>(n) / max_means));
+  return std::max<uint64_t>(w, 1);
+}
+
+// Payload (de)serialization lives in internal_formats.h, shared with the
+// cross-codec transcoder.
+using internal::DecodePaa;
+using internal::EncodePaa;
+using Decoded = internal::PaaPayload;
+
+}  // namespace
+
+Result<std::vector<uint8_t>> Paa::Compress(std::span<const double> values,
+                                           const CodecParams& params) const {
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t w,
+                           WindowForRatio(values.size(), params.target_ratio));
+  Decoded out;
+  out.n = values.size();
+  out.w = w;
+  out.means.reserve(values.size() / w + 1);
+  for (size_t i = 0; i < values.size(); i += w) {
+    size_t end = std::min(values.size(), i + w);
+    double sum = 0.0;
+    for (size_t j = i; j < end; ++j) sum += values[j];
+    out.means.push_back(sum / static_cast<double>(end - i));
+  }
+  return EncodePaa(out);
+}
+
+Result<std::vector<double>> Paa::Decompress(
+    std::span<const uint8_t> payload) const {
+  ADAEDGE_ASSIGN_OR_RETURN(Decoded d, DecodePaa(payload));
+  std::vector<double> out;
+  out.reserve(d.n);
+  for (uint64_t i = 0; i < d.n; ++i) {
+    out.push_back(d.means[i / d.w]);
+  }
+  return out;
+}
+
+bool Paa::SupportsRatio(double ratio, size_t value_count) const {
+  if (value_count == 0) return true;
+  return (ratio * 8.0 * static_cast<double>(value_count)) >
+         static_cast<double>(kHeaderBound) + 8.0;
+}
+
+Result<double> Paa::ValueAt(std::span<const uint8_t> payload,
+                            uint64_t index) const {
+  // Parse only the two-varint header, then seek to the one mean needed.
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t w, r.GetVarint());
+  if (w == 0) return Status::Corruption("paa: zero window");
+  if (index >= n) return Status::OutOfRange("paa: index past end");
+  ADAEDGE_RETURN_IF_ERROR(r.Skip((index / w) * 8));
+  return r.GetF64();
+}
+
+Result<double> Paa::AggregateDirect(query::AggKind kind,
+                                    std::span<const uint8_t> payload) const {
+  ADAEDGE_ASSIGN_OR_RETURN(Decoded d, DecodePaa(payload));
+  if (d.n == 0) return 0.0;
+  switch (kind) {
+    case query::AggKind::kSum:
+    case query::AggKind::kAvg: {
+      double sum = 0.0;
+      for (size_t i = 0; i < d.means.size(); ++i) {
+        uint64_t len = std::min<uint64_t>(d.w, d.n - i * d.w);
+        sum += d.means[i] * static_cast<double>(len);
+      }
+      return kind == query::AggKind::kSum
+                 ? sum
+                 : sum / static_cast<double>(d.n);
+    }
+    case query::AggKind::kMin:
+      return *std::min_element(d.means.begin(), d.means.end());
+    case query::AggKind::kMax:
+      return *std::max_element(d.means.begin(), d.means.end());
+  }
+  return Status::InvalidArgument("unknown aggregate");
+}
+
+Result<std::vector<uint8_t>> Paa::Recode(std::span<const uint8_t> payload,
+                                         double new_target_ratio) const {
+  ADAEDGE_ASSIGN_OR_RETURN(Decoded d, DecodePaa(payload));
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t new_w,
+                           WindowForRatio(d.n, new_target_ratio));
+  if (new_w <= d.w) {
+    return Status::ResourceExhausted("paa: recode target not tighter");
+  }
+  // PAA-on-PAA: each old window's mean stands in for its values, so the new
+  // mean is the length-weighted average of overlapped old means.
+  std::vector<double> new_means;
+  new_means.reserve(d.n / new_w + 1);
+  for (uint64_t start = 0; start < d.n; start += new_w) {
+    uint64_t end = std::min<uint64_t>(d.n, start + new_w);
+    double sum = 0.0;
+    uint64_t pos = start;
+    while (pos < end) {
+      uint64_t old_idx = pos / d.w;
+      uint64_t old_end = std::min<uint64_t>(d.n, (old_idx + 1) * d.w);
+      uint64_t overlap = std::min(old_end, end) - pos;
+      sum += d.means[old_idx] * static_cast<double>(overlap);
+      pos += overlap;
+    }
+    new_means.push_back(sum / static_cast<double>(end - start));
+  }
+  Decoded out;
+  out.n = d.n;
+  out.w = new_w;
+  out.means = std::move(new_means);
+  return EncodePaa(out);
+}
+
+}  // namespace adaedge::compress

@@ -1,0 +1,46 @@
+#ifndef ADAEDGE_COMPRESS_PAA_H_
+#define ADAEDGE_COMPRESS_PAA_H_
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// Piecewise Aggregate Approximation (Keogh et al. / Yi-Faloutsos): the
+/// series is cut into fixed windows and each window is replaced by its
+/// mean. The window size is derived from the target ratio (ratio ~ 1/w).
+///
+/// Preserves sums and averages exactly over whole windows — the reason the
+/// online selector converges to PAA for Sum queries (Fig 8).
+///
+/// Recoding applies PAA on PAA: adjacent window means are merged by exact
+/// weighted averaging, no decompression of the original series needed.
+class Paa final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kPaa; }
+  CodecKind kind() const override { return CodecKind::kLossy; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+  bool SupportsRatio(double ratio, size_t value_count) const override;
+  Result<std::vector<uint8_t>> Recode(std::span<const uint8_t> payload,
+                                      double new_target_ratio) const override;
+  bool SupportsRecode() const override { return true; }
+
+  /// O(1): seeks directly to the window mean covering `index`.
+  Result<double> ValueAt(std::span<const uint8_t> payload,
+                         uint64_t index) const override;
+  bool SupportsRandomAccess() const override { return true; }
+
+  /// All four aggregates read straight off the window means.
+  Result<double> AggregateDirect(
+      query::AggKind kind, std::span<const uint8_t> payload) const override;
+  bool SupportsDirectAggregate(query::AggKind) const override {
+    return true;
+  }
+};
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_PAA_H_

@@ -1,0 +1,37 @@
+#include "adaedge/compress/payload_query.h"
+
+#include "adaedge/compress/registry.h"
+
+namespace adaedge::compress {
+
+util::Result<double> AggregatePayloadDirect(
+    query::AggKind kind, CodecId codec_id,
+    std::span<const uint8_t> payload) {
+  auto codec = GetCodec(codec_id);
+  if (codec == nullptr) {
+    return util::Status::InvalidArgument("unknown codec");
+  }
+  return codec->AggregateDirect(kind, payload);
+}
+
+bool SupportsDirectAggregate(CodecId codec_id, query::AggKind kind) {
+  auto codec = GetCodec(codec_id);
+  return codec != nullptr && codec->SupportsDirectAggregate(kind);
+}
+
+util::Result<double> AggregatePayloadOrDecompress(
+    query::AggKind kind, CodecId codec_id,
+    std::span<const uint8_t> payload) {
+  auto codec = GetCodec(codec_id);
+  if (codec == nullptr) {
+    return util::Status::InvalidArgument("unknown codec");
+  }
+  if (codec->SupportsDirectAggregate(kind)) {
+    return codec->AggregateDirect(kind, payload);
+  }
+  ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> values,
+                           codec->Decompress(payload));
+  return query::Aggregate(kind, values);
+}
+
+}  // namespace adaedge::compress

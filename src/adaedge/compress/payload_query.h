@@ -1,0 +1,39 @@
+#ifndef ADAEDGE_COMPRESS_PAYLOAD_QUERY_H_
+#define ADAEDGE_COMPRESS_PAYLOAD_QUERY_H_
+
+#include <cstdint>
+#include <span>
+
+#include "adaedge/compress/codec.h"
+#include "adaedge/query/aggregate.h"
+
+namespace adaedge::compress {
+
+/// In-situ aggregation over compressed payloads (paper SIV-C: "AdaEdge can
+/// execute queries or analyses ... over the compressed data", the
+/// CodecDB/Abadi lineage of operating on encoded columns directly).
+///
+/// For codecs whose representation exposes the aggregate — PAA window
+/// means, PLA line segments, FFT's DC coefficient, RLE runs, RRD/LTTB
+/// samples, BUFF-lossy packed integers — the result is computed straight
+/// from the payload in (typically) far fewer operations than a full
+/// decompression. The result equals Aggregate(kind, Decompress(payload))
+/// up to floating-point associativity.
+///
+/// Returns Unimplemented for codec/aggregate pairs without a direct path
+/// (callers fall back to decompress-and-aggregate; see
+/// AggregatePayloadOrDecompress).
+util::Result<double> AggregatePayloadDirect(query::AggKind kind,
+                                            CodecId codec,
+                                            std::span<const uint8_t> payload);
+
+/// True if AggregatePayloadDirect has a fast path for this pair.
+bool SupportsDirectAggregate(CodecId codec, query::AggKind kind);
+
+/// Direct path when available, decompress-and-aggregate otherwise.
+util::Result<double> AggregatePayloadOrDecompress(
+    query::AggKind kind, CodecId codec, std::span<const uint8_t> payload);
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_PAYLOAD_QUERY_H_

@@ -1,0 +1,199 @@
+#include "adaedge/compress/pla.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adaedge/compress/internal_formats.h"
+
+namespace adaedge::compress {
+
+namespace {
+
+constexpr size_t kHeaderBound = 20;
+// varint len (<=5 for segment lengths we produce) + two f32 params.
+constexpr double kBytesPerSegment = 11.0;
+
+using Segment = internal::PlaSegment;
+
+Result<uint64_t> SegmentsForRatio(size_t n, double ratio) {
+  if (n == 0) return uint64_t{0};
+  double budget_bytes = ratio * 8.0 * static_cast<double>(n) -
+                        static_cast<double>(kHeaderBound);
+  double max_segments = budget_bytes / kBytesPerSegment;
+  if (max_segments < 1.0) {
+    return Status::ResourceExhausted(
+        "pla: ratio below one segment per series");
+  }
+  return std::min<uint64_t>(static_cast<uint64_t>(max_segments), n);
+}
+
+// Least-squares line for y_t (t = 0..len-1) given the moments
+// S0 = sum(y), S1 = sum(t*y).
+Segment FitFromMoments(uint64_t len, double s0, double s1) {
+  double dlen = static_cast<double>(len);
+  if (len <= 1) {
+    return Segment{len, len == 1 ? s0 : 0.0, 0.0};
+  }
+  double sum_t = dlen * (dlen - 1.0) / 2.0;
+  double sum_t2 = (dlen - 1.0) * dlen * (2.0 * dlen - 1.0) / 6.0;
+  double denom = dlen * sum_t2 - sum_t * sum_t;
+  double slope = denom != 0.0 ? (dlen * s1 - sum_t * s0) / denom : 0.0;
+  double intercept = (s0 - slope * sum_t) / dlen;
+  return Segment{len, intercept, slope};
+}
+
+Segment FitSegment(std::span<const double> values) {
+  double s0 = 0.0, s1 = 0.0;
+  for (size_t t = 0; t < values.size(); ++t) {
+    s0 += values[t];
+    s1 += static_cast<double>(t) * values[t];
+  }
+  return FitFromMoments(values.size(), s0, s1);
+}
+
+// Payload (de)serialization lives in internal_formats.h, shared with the
+// cross-codec transcoder.
+using internal::DecodePla;
+struct Decoded : internal::PlaPayload {};
+
+Result<Decoded> DecodeSegments(std::span<const uint8_t> payload) {
+  ADAEDGE_ASSIGN_OR_RETURN(internal::PlaPayload p, DecodePla(payload));
+  Decoded d;
+  d.n = p.n;
+  d.segments = std::move(p.segments);
+  return d;
+}
+
+std::vector<uint8_t> EncodeSegments(uint64_t n,
+                                    std::span<const Segment> segments) {
+  internal::PlaPayload p;
+  p.n = n;
+  p.segments.assign(segments.begin(), segments.end());
+  return internal::EncodePla(p);
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> Pla::Compress(std::span<const double> values,
+                                           const CodecParams& params) const {
+  ADAEDGE_ASSIGN_OR_RETURN(
+      uint64_t num_segments,
+      SegmentsForRatio(values.size(), params.target_ratio));
+  std::vector<Segment> segments;
+  if (values.empty()) return EncodeSegments(0, segments);
+  uint64_t base_len =
+      (values.size() + num_segments - 1) / num_segments;  // ceil
+  segments.reserve(num_segments);
+  for (size_t i = 0; i < values.size(); i += base_len) {
+    size_t end = std::min(values.size(), i + static_cast<size_t>(base_len));
+    segments.push_back(FitSegment(values.subspan(i, end - i)));
+  }
+  return EncodeSegments(values.size(), segments);
+}
+
+Result<std::vector<double>> Pla::Decompress(
+    std::span<const uint8_t> payload) const {
+  ADAEDGE_ASSIGN_OR_RETURN(Decoded d, DecodeSegments(payload));
+  std::vector<double> out;
+  out.reserve(d.n);
+  for (const Segment& s : d.segments) {
+    for (uint64_t t = 0; t < s.length; ++t) {
+      out.push_back(s.intercept + s.slope * static_cast<double>(t));
+    }
+  }
+  return out;
+}
+
+bool Pla::SupportsRatio(double ratio, size_t value_count) const {
+  if (value_count == 0) return true;
+  return (ratio * 8.0 * static_cast<double>(value_count)) >
+         static_cast<double>(kHeaderBound) + kBytesPerSegment;
+}
+
+Result<double> Pla::ValueAt(std::span<const uint8_t> payload,
+                            uint64_t index) const {
+  ADAEDGE_ASSIGN_OR_RETURN(Decoded d, DecodeSegments(payload));
+  if (index >= d.n) return Status::OutOfRange("pla: index");
+  uint64_t start = 0;
+  for (const Segment& s : d.segments) {
+    if (index < start + s.length) {
+      return s.intercept +
+             s.slope * static_cast<double>(index - start);
+    }
+    start += s.length;
+  }
+  return Status::Corruption("pla: index not covered");
+}
+
+Result<double> Pla::AggregateDirect(query::AggKind kind,
+                                    std::span<const uint8_t> payload) const {
+  ADAEDGE_ASSIGN_OR_RETURN(Decoded d, DecodeSegments(payload));
+  if (d.n == 0) return 0.0;
+  double sum = 0.0;
+  double min_v = 0.0, max_v = 0.0;
+  bool first = true;
+  for (const Segment& s : d.segments) {
+    double len = static_cast<double>(s.length);
+    sum += s.intercept * len + s.slope * len * (len - 1.0) / 2.0;
+    double lo = s.intercept;
+    double hi = s.intercept + s.slope * (len - 1.0);
+    if (lo > hi) std::swap(lo, hi);
+    if (first) {
+      min_v = lo;
+      max_v = hi;
+      first = false;
+    } else {
+      min_v = std::min(min_v, lo);
+      max_v = std::max(max_v, hi);
+    }
+  }
+  switch (kind) {
+    case query::AggKind::kSum:
+      return sum;
+    case query::AggKind::kAvg:
+      return sum / static_cast<double>(d.n);
+    case query::AggKind::kMin:
+      return min_v;
+    case query::AggKind::kMax:
+      return max_v;
+  }
+  return Status::InvalidArgument("unknown aggregate");
+}
+
+Result<std::vector<uint8_t>> Pla::Recode(std::span<const uint8_t> payload,
+                                         double new_target_ratio) const {
+  ADAEDGE_ASSIGN_OR_RETURN(Decoded d, DecodeSegments(payload));
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t target_segments,
+                           SegmentsForRatio(d.n, new_target_ratio));
+  if (target_segments >= d.segments.size()) {
+    return Status::ResourceExhausted("pla: recode target not tighter");
+  }
+  // Merge runs of adjacent segments; the merged line is refit in closed
+  // form from each old segment's (length, intercept, slope) moments.
+  uint64_t group = (d.segments.size() + target_segments - 1) / target_segments;
+  std::vector<Segment> merged;
+  merged.reserve(target_segments);
+  size_t idx = 0;
+  while (idx < d.segments.size()) {
+    size_t end = std::min(d.segments.size(), idx + group);
+    uint64_t len = 0;
+    double s0 = 0.0, s1 = 0.0;
+    for (size_t j = idx; j < end; ++j) {
+      const Segment& s = d.segments[j];
+      double L = static_cast<double>(s.length);
+      double offset = static_cast<double>(len);
+      // sum(y) and sum(local_t * y) of the segment's reconstruction.
+      double seg_s0 = s.intercept * L + s.slope * L * (L - 1.0) / 2.0;
+      double seg_s1 = s.intercept * L * (L - 1.0) / 2.0 +
+                      s.slope * (L - 1.0) * L * (2.0 * L - 1.0) / 6.0;
+      s0 += seg_s0;
+      s1 += offset * seg_s0 + seg_s1;  // shift t by the merged offset
+      len += s.length;
+    }
+    merged.push_back(FitFromMoments(len, s0, s1));
+    idx = end;
+  }
+  return EncodeSegments(d.n, merged);
+}
+
+}  // namespace adaedge::compress

@@ -1,0 +1,47 @@
+#ifndef ADAEDGE_COMPRESS_PLA_H_
+#define ADAEDGE_COMPRESS_PLA_H_
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// Piecewise Linear Approximation (Shatkay & Zdonik, ICDE'96): the series
+/// is partitioned into segments and each segment is replaced by its
+/// least-squares line. The segment budget is derived from the target ratio.
+///
+/// Lines track local trends and extremes far better than window means,
+/// which is why the selector converges to PLA for Max queries (Fig 9).
+///
+/// Recoding applies PLA on PLA: adjacent segments are merged and refit from
+/// their line parameters alone (closed-form, no access to original data).
+class Pla final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kPla; }
+  CodecKind kind() const override { return CodecKind::kLossy; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+  bool SupportsRatio(double ratio, size_t value_count) const override;
+  Result<std::vector<uint8_t>> Recode(std::span<const uint8_t> payload,
+                                      double new_target_ratio) const override;
+  bool SupportsRecode() const override { return true; }
+
+  /// O(#segments): walks the segment lengths to the covering line.
+  Result<double> ValueAt(std::span<const uint8_t> payload,
+                         uint64_t index) const override;
+  bool SupportsRandomAccess() const override { return true; }
+
+  /// Sum/Avg in closed form per line; Min/Max from segment endpoints
+  /// (linear pieces attain extremes at their ends). O(#segments).
+  Result<double> AggregateDirect(
+      query::AggKind kind, std::span<const uint8_t> payload) const override;
+  bool SupportsDirectAggregate(query::AggKind) const override {
+    return true;
+  }
+};
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_PLA_H_

@@ -1,0 +1,31 @@
+#include "adaedge/compress/raw.h"
+
+#include <cstring>
+
+#include "adaedge/compress/double_bytes.h"
+
+namespace adaedge::compress {
+
+Result<std::vector<uint8_t>> Raw::Compress(std::span<const double> values,
+                                           const CodecParams& params) const {
+  (void)params;
+  return DoublesToBytes(values);
+}
+
+Result<std::vector<double>> Raw::Decompress(
+    std::span<const uint8_t> payload) const {
+  return BytesToDoubles(payload);
+}
+
+Result<double> Raw::ValueAt(std::span<const uint8_t> payload,
+                            uint64_t index) const {
+  // Divide rather than multiply: (index + 1) * 8 can wrap uint64.
+  if (index >= payload.size() / sizeof(double)) {
+    return Status::OutOfRange("raw: index past end");
+  }
+  double v;
+  std::memcpy(&v, payload.data() + index * sizeof(double), sizeof(v));
+  return v;
+}
+
+}  // namespace adaedge::compress

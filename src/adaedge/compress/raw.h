@@ -1,0 +1,29 @@
+#ifndef ADAEDGE_COMPRESS_RAW_H_
+#define ADAEDGE_COMPRESS_RAW_H_
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// Identity codec: the uncompressed 8-bytes-per-value image. Serves as the
+/// "no compression" bar in Figs 2-3 and as the storage format of the
+/// uncompressed buffer.
+class Raw final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kRaw; }
+  CodecKind kind() const override { return CodecKind::kLossless; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+
+  /// O(1): the value is at byte offset index * 8.
+  Result<double> ValueAt(std::span<const uint8_t> payload,
+                         uint64_t index) const override;
+  bool SupportsRandomAccess() const override { return true; }
+};
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_RAW_H_

@@ -1,0 +1,126 @@
+#include "adaedge/compress/registry.h"
+
+#include "adaedge/compress/buff.h"
+#include "adaedge/compress/chimp.h"
+#include "adaedge/compress/deflate.h"
+#include "adaedge/compress/dictionary.h"
+#include "adaedge/compress/elf.h"
+#include "adaedge/compress/fastlz.h"
+#include "adaedge/compress/fft_codec.h"
+#include "adaedge/compress/gorilla.h"
+#include "adaedge/compress/kernel_codec.h"
+#include "adaedge/compress/lttb.h"
+#include "adaedge/compress/paa.h"
+#include "adaedge/compress/pla.h"
+#include "adaedge/compress/raw.h"
+#include "adaedge/compress/rle.h"
+#include "adaedge/compress/rrd_sample.h"
+#include "adaedge/compress/sprintz.h"
+
+namespace adaedge::compress {
+
+std::shared_ptr<const Codec> GetCodec(CodecId id) {
+  // Function-local statics: initialized on first use, shared thereafter.
+  static const auto& instances = *new std::vector<
+      std::pair<CodecId, std::shared_ptr<const Codec>>>{
+      {CodecId::kRaw, std::make_shared<Raw>()},
+      {CodecId::kDeflate, std::make_shared<Deflate>()},
+      {CodecId::kFastLz, std::make_shared<FastLz>()},
+      {CodecId::kDictionary, std::make_shared<Dictionary>()},
+      {CodecId::kRle, std::make_shared<Rle>()},
+      {CodecId::kGorilla, std::make_shared<Gorilla>()},
+      {CodecId::kChimp, std::make_shared<Chimp>()},
+      {CodecId::kSprintz, std::make_shared<Sprintz>()},
+      {CodecId::kBuff, std::make_shared<Buff>()},
+      {CodecId::kElf, std::make_shared<Elf>()},
+      {CodecId::kBuffLossy, std::make_shared<BuffLossy>()},
+      {CodecId::kPaa, std::make_shared<Paa>()},
+      {CodecId::kPla, std::make_shared<Pla>()},
+      {CodecId::kFft, std::make_shared<FftCodec>()},
+      {CodecId::kRrdSample, std::make_shared<RrdSample>()},
+      {CodecId::kLttb, std::make_shared<Lttb>()},
+      {CodecId::kKernel, std::make_shared<KernelRegression>()},
+  };
+  for (const auto& [cid, codec] : instances) {
+    if (cid == id) return codec;
+  }
+  return nullptr;
+}
+
+namespace {
+
+CodecArm MakeArm(std::string name, CodecId id, CodecParams params) {
+  return CodecArm{std::move(name), GetCodec(id), params};
+}
+
+}  // namespace
+
+std::vector<CodecArm> DefaultLosslessArms(int precision) {
+  CodecParams p;
+  p.precision = precision;
+  std::vector<CodecArm> arms;
+  p.level = 6;
+  arms.push_back(MakeArm("gzip", CodecId::kDeflate, p));
+  arms.push_back(MakeArm("snappy", CodecId::kFastLz, p));
+  arms.push_back(MakeArm("gorilla", CodecId::kGorilla, p));
+  p.level = 1;
+  arms.push_back(MakeArm("zlib-1", CodecId::kDeflate, p));
+  p.level = 9;
+  arms.push_back(MakeArm("zlib-9", CodecId::kDeflate, p));
+  p.level = 6;
+  arms.push_back(MakeArm("buff", CodecId::kBuff, p));
+  arms.push_back(MakeArm("sprintz", CodecId::kSprintz, p));
+  return arms;
+}
+
+std::vector<CodecArm> ExtendedLosslessArms(int precision) {
+  std::vector<CodecArm> arms = DefaultLosslessArms(precision);
+  CodecParams p;
+  p.precision = precision;
+  arms.push_back(MakeArm("chimp", CodecId::kChimp, p));
+  arms.push_back(MakeArm("elf", CodecId::kElf, p));
+  arms.push_back(MakeArm("rle", CodecId::kRle, p));
+  arms.push_back(MakeArm("dictionary", CodecId::kDictionary, p));
+  p.level = 3;
+  arms.push_back(MakeArm("zlib-3", CodecId::kDeflate, p));
+  p.level = 4;
+  arms.push_back(MakeArm("zlib-4", CodecId::kDeflate, p));
+  p.level = 7;
+  arms.push_back(MakeArm("zlib-7", CodecId::kDeflate, p));
+  p.level = 8;
+  arms.push_back(MakeArm("zlib-8", CodecId::kDeflate, p));
+  return arms;
+}
+
+std::vector<CodecArm> DefaultLossyArms(int precision, double target_ratio) {
+  CodecParams p;
+  p.precision = precision;
+  p.target_ratio = target_ratio;
+  std::vector<CodecArm> arms;
+  arms.push_back(MakeArm("bufflossy", CodecId::kBuffLossy, p));
+  arms.push_back(MakeArm("paa", CodecId::kPaa, p));
+  arms.push_back(MakeArm("pla", CodecId::kPla, p));
+  arms.push_back(MakeArm("fft", CodecId::kFft, p));
+  arms.push_back(MakeArm("rrd", CodecId::kRrdSample, p));
+  return arms;
+}
+
+std::vector<CodecArm> ExtendedLossyArms(int precision, double target_ratio) {
+  std::vector<CodecArm> arms = DefaultLossyArms(precision, target_ratio);
+  CodecParams p;
+  p.precision = precision;
+  p.target_ratio = target_ratio;
+  arms.push_back(MakeArm("lttb", CodecId::kLttb, p));
+  arms.push_back(MakeArm("kernel", CodecId::kKernel, p));
+  return arms;
+}
+
+std::optional<CodecArm> FindArm(const std::vector<CodecArm>& arms,
+                                std::string_view name) {
+  for (const CodecArm& arm : arms) {
+    if (arm.name == name) return arm;
+  }
+  return std::nullopt;
+}
+
+}  // namespace adaedge::compress

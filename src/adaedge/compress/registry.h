@@ -1,0 +1,42 @@
+#ifndef ADAEDGE_COMPRESS_REGISTRY_H_
+#define ADAEDGE_COMPRESS_REGISTRY_H_
+
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// Shared singleton instance per codec implementation (codecs are
+/// stateless and thread-safe).
+std::shared_ptr<const Codec> GetCodec(CodecId id);
+
+/// The paper's default lossless candidate set (SV): Gzip, Snappy, Gorilla,
+/// Zlib (variable levels), BUFF and Sprintz. `precision` configures
+/// BUFF/Sprintz quantization (4 digits for CBF, 5 UCR, 6 UCI).
+std::vector<CodecArm> DefaultLosslessArms(int precision);
+
+/// The doubled decision space of the robustness experiment (Fig 15):
+/// default arms + Chimp, RLE, dictionary and extra Zlib levels.
+std::vector<CodecArm> ExtendedLosslessArms(int precision);
+
+/// The paper's lossy candidate set: PAA, PLA, FFT, BUFF-lossy, RRD-sample.
+/// `target_ratio` is stamped into each arm's params (callers typically
+/// override per segment).
+std::vector<CodecArm> DefaultLossyArms(int precision,
+                                       double target_ratio = 1.0);
+
+/// Lossy set + LTTB (dashboard-oriented extension).
+std::vector<CodecArm> ExtendedLossyArms(int precision,
+                                        double target_ratio = 1.0);
+
+/// Finds an arm by name in a set; nullopt if absent.
+std::optional<CodecArm> FindArm(const std::vector<CodecArm>& arms,
+                                std::string_view name);
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_REGISTRY_H_

@@ -1,0 +1,97 @@
+#include "adaedge/compress/rle.h"
+
+#include <algorithm>
+
+#include "adaedge/util/byte_io.h"
+
+namespace adaedge::compress {
+
+Result<std::vector<uint8_t>> Rle::Compress(std::span<const double> values,
+                                           const CodecParams& params) const {
+  (void)params;
+  util::ByteWriter w;
+  w.PutVarint(values.size());
+  size_t i = 0;
+  while (i < values.size()) {
+    size_t j = i + 1;
+    while (j < values.size() && values[j] == values[i]) ++j;
+    w.PutVarint(j - i);
+    w.PutF64(values[i]);
+    i = j;
+  }
+  return w.Finish();
+}
+
+Result<std::vector<double>> Rle::Decompress(
+    std::span<const uint8_t> payload) const {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(count));
+  std::vector<double> out;
+  out.reserve(count);
+  while (out.size() < count) {
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t run, r.GetVarint());
+    ADAEDGE_ASSIGN_OR_RETURN(double v, r.GetF64());
+    if (run == 0 || out.size() + run > count) {
+      return Status::Corruption("rle: bad run length");
+    }
+    out.insert(out.end(), run, v);
+  }
+  return out;
+}
+
+Result<double> Rle::ValueAt(std::span<const uint8_t> payload,
+                            uint64_t index) const {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  if (index >= count) return Status::OutOfRange("rle: index");
+  uint64_t seen = 0;
+  while (seen < count) {
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t run, r.GetVarint());
+    ADAEDGE_ASSIGN_OR_RETURN(double v, r.GetF64());
+    if (run == 0) return Status::Corruption("rle: bad run length");
+    if (index < seen + run) return v;
+    seen += run;
+  }
+  return Status::Corruption("rle: index not covered");
+}
+
+Result<double> Rle::AggregateDirect(query::AggKind kind,
+                                    std::span<const uint8_t> payload) const {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(count));
+  if (count == 0) return 0.0;
+  double sum = 0.0, min_v = 0.0, max_v = 0.0;
+  uint64_t seen = 0;
+  bool first = true;
+  while (seen < count) {
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t run, r.GetVarint());
+    ADAEDGE_ASSIGN_OR_RETURN(double v, r.GetF64());
+    if (run == 0 || seen + run > count) {
+      return Status::Corruption("rle: bad run length");
+    }
+    sum += v * static_cast<double>(run);
+    if (first) {
+      min_v = max_v = v;
+      first = false;
+    } else {
+      min_v = std::min(min_v, v);
+      max_v = std::max(max_v, v);
+    }
+    seen += run;
+  }
+  switch (kind) {
+    case query::AggKind::kSum:
+      return sum;
+    case query::AggKind::kAvg:
+      return sum / static_cast<double>(count);
+    case query::AggKind::kMin:
+      return min_v;
+    case query::AggKind::kMax:
+      return max_v;
+  }
+  return Status::InvalidArgument("unknown aggregate");
+}
+
+}  // namespace adaedge::compress

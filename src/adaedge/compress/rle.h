@@ -1,0 +1,36 @@
+#ifndef ADAEDGE_COMPRESS_RLE_H_
+#define ADAEDGE_COMPRESS_RLE_H_
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// Run-length encoding on exactly repeated doubles: (varint run length,
+/// value) pairs. Effective on flat or stepped signals; near 9/8 overhead on
+/// signals with no repeats.
+class Rle final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kRle; }
+  CodecKind kind() const override { return CodecKind::kLossless; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+
+  /// O(#runs): scans run lengths to the covering run.
+  Result<double> ValueAt(std::span<const uint8_t> payload,
+                         uint64_t index) const override;
+  bool SupportsRandomAccess() const override { return true; }
+
+  /// All four aggregates read straight off the runs (O(#runs)).
+  Result<double> AggregateDirect(
+      query::AggKind kind, std::span<const uint8_t> payload) const override;
+  bool SupportsDirectAggregate(query::AggKind) const override {
+    return true;
+  }
+};
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_RLE_H_

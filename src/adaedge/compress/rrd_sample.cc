@@ -1,0 +1,138 @@
+#include "adaedge/compress/rrd_sample.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adaedge/compress/internal_formats.h"
+#include "adaedge/util/byte_io.h"
+#include "adaedge/util/rng.h"
+
+namespace adaedge::compress {
+
+namespace {
+
+constexpr size_t kHeaderBound = 20;
+
+Result<uint64_t> WindowForRatio(size_t n, double ratio) {
+  if (n == 0) return uint64_t{1};
+  // Target >= 1 requires no shrink: window 1 keeps every value.
+  if (ratio >= 1.0) return uint64_t{1};
+  double budget_bytes = ratio * 8.0 * static_cast<double>(n) -
+                        static_cast<double>(kHeaderBound);
+  double max_samples = budget_bytes / 8.0;
+  if (max_samples < 1.0) {
+    return Status::ResourceExhausted(
+        "rrd: ratio below one sample per segment");
+  }
+  return std::max<uint64_t>(
+      static_cast<uint64_t>(
+          std::ceil(static_cast<double>(n) / max_samples)),
+      1);
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> RrdSample::Compress(
+    std::span<const double> values, const CodecParams& params) const {
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t w,
+                           WindowForRatio(values.size(), params.target_ratio));
+  // Deterministic per-content seed keeps experiments reproducible while
+  // still sampling "randomly" within each window.
+  util::Rng rng(0x5eed0000u + values.size() * 1315423911u + w);
+  internal::RrdPayload out;
+  out.n = values.size();
+  out.w = w;
+  for (size_t i = 0; i < values.size(); i += w) {
+    size_t end = std::min(values.size(), i + w);
+    size_t pick = i + rng.NextBelow(end - i);
+    out.samples.push_back(values[pick]);
+  }
+  return internal::EncodeRrd(out);
+}
+
+Result<std::vector<double>> RrdSample::Decompress(
+    std::span<const uint8_t> payload) const {
+  ADAEDGE_ASSIGN_OR_RETURN(internal::RrdPayload p,
+                           internal::DecodeRrd(payload));
+  std::vector<double> out;
+  out.reserve(p.n);
+  for (size_t s = 0; s < p.samples.size(); ++s) {
+    uint64_t len = std::min<uint64_t>(p.w, p.n - s * p.w);
+    out.insert(out.end(), len, p.samples[s]);
+  }
+  return out;
+}
+
+bool RrdSample::SupportsRatio(double ratio, size_t value_count) const {
+  if (value_count == 0) return true;
+  return (ratio * 8.0 * static_cast<double>(value_count)) >
+         static_cast<double>(kHeaderBound) + 8.0;
+}
+
+Result<double> RrdSample::ValueAt(std::span<const uint8_t> payload,
+                                  uint64_t index) const {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t n, r.GetVarint());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t w, r.GetVarint());
+  if (w == 0) return Status::Corruption("rrd: zero window");
+  if (index >= n) return Status::OutOfRange("rrd: index past end");
+  ADAEDGE_RETURN_IF_ERROR(r.Skip((index / w) * 8));
+  return r.GetF64();
+}
+
+Result<double> RrdSample::AggregateDirect(
+    query::AggKind kind, std::span<const uint8_t> payload) const {
+  ADAEDGE_ASSIGN_OR_RETURN(internal::RrdPayload p,
+                           internal::DecodeRrd(payload));
+  if (p.n == 0) return 0.0;
+  double sum = 0.0;
+  double min_v = 0.0, max_v = 0.0;
+  for (size_t s = 0; s < p.samples.size(); ++s) {
+    double v = p.samples[s];
+    uint64_t len = std::min<uint64_t>(p.w, p.n - s * p.w);
+    sum += v * static_cast<double>(len);
+    if (s == 0) {
+      min_v = max_v = v;
+    } else {
+      min_v = std::min(min_v, v);
+      max_v = std::max(max_v, v);
+    }
+  }
+  switch (kind) {
+    case query::AggKind::kSum:
+      return sum;
+    case query::AggKind::kAvg:
+      return sum / static_cast<double>(p.n);
+    case query::AggKind::kMin:
+      return min_v;
+    case query::AggKind::kMax:
+      return max_v;
+  }
+  return Status::InvalidArgument("unknown aggregate");
+}
+
+Result<std::vector<uint8_t>> RrdSample::Recode(
+    std::span<const uint8_t> payload, double new_target_ratio) const {
+  // Subsample the stored samples: keep one per group of old windows.
+  ADAEDGE_ASSIGN_OR_RETURN(internal::RrdPayload p,
+                           internal::DecodeRrd(payload));
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t new_w,
+                           WindowForRatio(p.n, new_target_ratio));
+  if (new_w <= p.w) {
+    return Status::ResourceExhausted("rrd: recode target not tighter");
+  }
+  // Round the new window to a whole multiple of the old one so each new
+  // window is covered by complete old windows.
+  uint64_t k = (new_w + p.w - 1) / p.w;
+  internal::RrdPayload out;
+  out.n = p.n;
+  out.w = k * p.w;
+  util::Rng rng(0x5eed1111u + p.n * 2654435761u + out.w);
+  for (size_t s = 0; s < p.samples.size(); s += k) {
+    uint64_t group = std::min<uint64_t>(k, p.samples.size() - s);
+    out.samples.push_back(p.samples[s + rng.NextBelow(group)]);
+  }
+  return internal::EncodeRrd(out);
+}
+
+}  // namespace adaedge::compress

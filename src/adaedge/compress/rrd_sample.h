@@ -1,0 +1,42 @@
+#ifndef ADAEDGE_COMPRESS_RRD_SAMPLE_H_
+#define ADAEDGE_COMPRESS_RRD_SAMPLE_H_
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// RRD-sample: simulates RRDtool's storage-bounding behaviour, but instead
+/// of deleting an evicted window it keeps one uniformly random value from
+/// it and replicates that value across the window on reads (paper SIII-A2).
+/// The last-resort fallback when every other lossy codec has hit its floor
+/// (late phase of Figs 12-13).
+class RrdSample final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kRrdSample; }
+  CodecKind kind() const override { return CodecKind::kLossy; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+  bool SupportsRatio(double ratio, size_t value_count) const override;
+  Result<std::vector<uint8_t>> Recode(std::span<const uint8_t> payload,
+                                      double new_target_ratio) const override;
+  bool SupportsRecode() const override { return true; }
+
+  /// O(1): seeks directly to the sample covering `index`.
+  Result<double> ValueAt(std::span<const uint8_t> payload,
+                         uint64_t index) const override;
+  bool SupportsRandomAccess() const override { return true; }
+
+  /// All four aggregates read straight off the retained samples.
+  Result<double> AggregateDirect(
+      query::AggKind kind, std::span<const uint8_t> payload) const override;
+  bool SupportsDirectAggregate(query::AggKind) const override {
+    return true;
+  }
+};
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_RRD_SAMPLE_H_

@@ -1,0 +1,136 @@
+#include "adaedge/compress/sprintz.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "adaedge/util/bit_io.h"
+#include "adaedge/util/byte_io.h"
+
+namespace adaedge::compress {
+
+namespace {
+
+constexpr int kBlock = 8;
+// Quantized magnitudes are capped so residual arithmetic cannot overflow.
+constexpr int64_t kMaxQuantized = int64_t{1} << 56;
+
+double ScaleFor(int precision) {
+  double s = 1.0;
+  for (int i = 0; i < precision; ++i) s *= 10.0;
+  return s;
+}
+
+uint64_t ZigZag(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+
+int64_t UnZigZag(uint64_t z) {
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+int BitWidth(uint64_t v) {
+  int w = 0;
+  while (v > 0) {
+    ++w;
+    v >>= 1;
+  }
+  return w;
+}
+
+}  // namespace
+
+Result<std::vector<uint8_t>> Sprintz::Compress(
+    std::span<const double> values, const CodecParams& params) const {
+  const int precision = std::clamp(params.precision, 0, 12);
+  const double scale = ScaleFor(precision);
+
+  std::vector<int64_t> q(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    double scaled = values[i] * scale;
+    if (!std::isfinite(scaled) || std::abs(scaled) >=
+                                      static_cast<double>(kMaxQuantized)) {
+      return Status::InvalidArgument(
+          "sprintz: value magnitude exceeds quantization range");
+    }
+    q[i] = std::llround(scaled);
+  }
+
+  util::ByteWriter header;
+  header.PutVarint(values.size());
+  header.PutU8(static_cast<uint8_t>(precision));
+  std::vector<uint8_t> out = header.Finish();
+  if (values.empty()) return out;
+
+  util::BitWriter bw;
+  bw.WriteBits(static_cast<uint64_t>(q[0]), 64);
+  int64_t prev = q[0];
+  int64_t prev_delta = 0;
+  size_t pos = 1;
+  while (pos < q.size()) {
+    size_t len = std::min<size_t>(kBlock, q.size() - pos);
+    // Try both predictors; keep the one with the narrower residual block.
+    uint64_t delta_res[kBlock], dd_res[kBlock];
+    int64_t p = prev, pd = prev_delta;
+    int w_delta = 0, w_dd = 0;
+    for (size_t i = 0; i < len; ++i) {
+      int64_t d = q[pos + i] - p;
+      delta_res[i] = ZigZag(d);
+      dd_res[i] = ZigZag(d - pd);
+      w_delta = std::max(w_delta, BitWidth(delta_res[i]));
+      w_dd = std::max(w_dd, BitWidth(dd_res[i]));
+      pd = d;
+      p = q[pos + i];
+    }
+    bool use_dd = w_dd < w_delta;
+    int width = use_dd ? w_dd : w_delta;
+    const uint64_t* res = use_dd ? dd_res : delta_res;
+    bw.WriteBit(use_dd);
+    bw.WriteBits(static_cast<uint64_t>(width), 7);
+    for (size_t i = 0; i < len; ++i) bw.WriteBits(res[i], width);
+    prev = p;
+    prev_delta = pd;
+    pos += len;
+  }
+  std::vector<uint8_t> body = bw.Finish();
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+Result<std::vector<double>> Sprintz::Decompress(
+    std::span<const uint8_t> payload) const {
+  util::ByteReader r(payload.data(), payload.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(count));
+  ADAEDGE_ASSIGN_OR_RETURN(uint8_t precision, r.GetU8());
+  if (precision > 12) return Status::Corruption("sprintz: bad precision");
+  const double inv_scale = 1.0 / ScaleFor(precision);
+
+  std::vector<double> out;
+  out.reserve(count);
+  if (count == 0) return out;
+
+  util::BitReader br(r.cursor(), r.remaining());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t first, br.ReadBits(64));
+  int64_t prev = static_cast<int64_t>(first);
+  int64_t prev_delta = 0;
+  out.push_back(static_cast<double>(prev) * inv_scale);
+  while (out.size() < count) {
+    size_t len = std::min<uint64_t>(kBlock, count - out.size());
+    ADAEDGE_ASSIGN_OR_RETURN(bool use_dd, br.ReadBit());
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t width, br.ReadBits(7));
+    if (width > 64) return Status::Corruption("sprintz: bad width");
+    for (size_t i = 0; i < len; ++i) {
+      ADAEDGE_ASSIGN_OR_RETURN(uint64_t z,
+                               br.ReadBits(static_cast<int>(width)));
+      int64_t residual = UnZigZag(z);
+      int64_t d = use_dd ? residual + prev_delta : residual;
+      prev += d;
+      prev_delta = d;
+      out.push_back(static_cast<double>(prev) * inv_scale);
+    }
+  }
+  return out;
+}
+
+}  // namespace adaedge::compress

@@ -1,0 +1,31 @@
+#ifndef ADAEDGE_COMPRESS_SPRINTZ_H_
+#define ADAEDGE_COMPRESS_SPRINTZ_H_
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// Sprintz (Blalock et al., IMWUT'18) for doubles: values are quantized to
+/// fixed-point at `params.precision` decimal digits, then compressed in
+/// blocks of 8 with a per-block predictor choice (delta vs. double-delta,
+/// the spirit of Sprintz's FIRE forecaster), ZigZag residuals and
+/// bit-packing at the block's maximum residual width.
+///
+/// Lossless for inputs with at most `precision` decimal digits (the paper
+/// configures 4 digits for CBF, 5 for UCR, 6 for UCI). Typically the
+/// smallest lossless output on smooth sensor signals — which is why the
+/// offline MAB converges to it in Figs 12-13.
+class Sprintz final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kSprintz; }
+  CodecKind kind() const override { return CodecKind::kLossless; }
+
+  Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values, const CodecParams& params) const override;
+  Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override;
+};
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_SPRINTZ_H_

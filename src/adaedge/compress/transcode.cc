@@ -1,0 +1,220 @@
+#include "adaedge/compress/transcode.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adaedge/compress/internal_formats.h"
+#include "adaedge/compress/registry.h"
+#include "adaedge/util/rng.h"
+
+namespace adaedge::compress {
+
+namespace {
+
+using internal::LttbPayload;
+using internal::PaaPayload;
+using internal::PlaPayload;
+using internal::PlaSegment;
+using internal::RrdPayload;
+using util::Result;
+using util::Status;
+
+// Shared budget maths (kept consistent with the codecs' own constants).
+uint64_t PlaSegmentsFor(uint64_t n, double ratio) {
+  double budget = ratio * 8.0 * static_cast<double>(n) - 20.0;
+  return std::max<uint64_t>(1, static_cast<uint64_t>(budget / 11.0));
+}
+
+uint64_t PaaWindowFor(uint64_t n, double ratio) {
+  if (ratio >= 1.0) return 1;
+  double budget = ratio * 8.0 * static_cast<double>(n) - 20.0;
+  double max_means = budget / 8.0;
+  if (max_means < 1.0) return 0;  // infeasible
+  return std::max<uint64_t>(
+      1, static_cast<uint64_t>(
+             std::ceil(static_cast<double>(n) / max_means)));
+}
+
+// Least-squares line from reconstruction moments (sum y, sum t*y over
+// t = 0..len-1) — same closed form the PLA codec uses.
+PlaSegment FitFromMoments(uint64_t len, double s0, double s1) {
+  double dlen = static_cast<double>(len);
+  if (len <= 1) return PlaSegment{len, len == 1 ? s0 : 0.0, 0.0};
+  double sum_t = dlen * (dlen - 1.0) / 2.0;
+  double sum_t2 = (dlen - 1.0) * dlen * (2.0 * dlen - 1.0) / 6.0;
+  double denom = dlen * sum_t2 - sum_t * sum_t;
+  double slope = denom != 0.0 ? (dlen * s1 - sum_t * s0) / denom : 0.0;
+  double intercept = (s0 - slope * sum_t) / dlen;
+  return PlaSegment{len, intercept, slope};
+}
+
+// PAA -> PLA: lines fit over groups of whole windows; the reconstruction
+// inside each window is the constant mean, so the moments are closed-form.
+Result<std::vector<uint8_t>> PaaToPla(std::span<const uint8_t> payload,
+                                      double ratio) {
+  ADAEDGE_ASSIGN_OR_RETURN(PaaPayload src, internal::DecodePaa(payload));
+  uint64_t target_segments = PlaSegmentsFor(src.n, ratio);
+  uint64_t windows = src.means.size();
+  uint64_t group = std::max<uint64_t>(
+      1, (windows + target_segments - 1) / std::max<uint64_t>(
+                                               target_segments, 1));
+  PlaPayload dst;
+  dst.n = src.n;
+  for (uint64_t start = 0; start < windows; start += group) {
+    uint64_t end = std::min(windows, start + group);
+    uint64_t len = 0;
+    double s0 = 0.0, s1 = 0.0;
+    for (uint64_t i = start; i < end; ++i) {
+      uint64_t wlen = std::min<uint64_t>(src.w, src.n - i * src.w);
+      double m = src.means[i];
+      double offset = static_cast<double>(len);
+      double dl = static_cast<double>(wlen);
+      s0 += m * dl;
+      s1 += m * (offset * dl + dl * (dl - 1.0) / 2.0);
+      len += wlen;
+    }
+    dst.segments.push_back(FitFromMoments(len, s0, s1));
+  }
+  return internal::EncodePla(dst);
+}
+
+// PLA -> PAA: integrate each line over its overlap with each destination
+// window; exact with respect to the PLA reconstruction.
+Result<std::vector<uint8_t>> PlaToPaa(std::span<const uint8_t> payload,
+                                      double ratio) {
+  ADAEDGE_ASSIGN_OR_RETURN(PlaPayload src, internal::DecodePla(payload));
+  uint64_t w = PaaWindowFor(src.n, ratio);
+  if (w == 0) {
+    return Status::ResourceExhausted("transcode: paa window infeasible");
+  }
+  PaaPayload dst;
+  dst.n = src.n;
+  dst.w = w;
+  uint64_t num_means = src.n == 0 ? 0 : (src.n + w - 1) / w;
+  dst.means.assign(num_means, 0.0);
+
+  uint64_t seg_start = 0;
+  for (const PlaSegment& s : src.segments) {
+    uint64_t seg_end = seg_start + s.length;
+    // Walk the destination windows this segment overlaps.
+    uint64_t pos = seg_start;
+    while (pos < seg_end) {
+      uint64_t window = pos / w;
+      uint64_t window_end = std::min<uint64_t>((window + 1) * w, src.n);
+      uint64_t until = std::min(seg_end, window_end);
+      // sum over t in [pos, until) of intercept + slope * (t - seg_start)
+      double cnt = static_cast<double>(until - pos);
+      double u0 = static_cast<double>(pos - seg_start);
+      double u1 = static_cast<double>(until - 1 - seg_start);
+      double sum_u = (u0 + u1) * cnt / 2.0;
+      dst.means[window] += s.intercept * cnt + s.slope * sum_u;
+      pos = until;
+    }
+    seg_start = seg_end;
+  }
+  for (uint64_t i = 0; i < num_means; ++i) {
+    uint64_t wlen = std::min<uint64_t>(w, src.n - i * w);
+    dst.means[i] /= static_cast<double>(wlen);
+  }
+  return internal::EncodePaa(dst);
+}
+
+// PAA -> RRD: one representative mean per destination window — exactly
+// what RRD-sample would pick from the PAA reconstruction.
+Result<std::vector<uint8_t>> PaaToRrd(std::span<const uint8_t> payload,
+                                      double ratio) {
+  ADAEDGE_ASSIGN_OR_RETURN(PaaPayload src, internal::DecodePaa(payload));
+  uint64_t w = PaaWindowFor(src.n, ratio);  // rrd has the same size maths
+  if (w == 0) {
+    return Status::ResourceExhausted("transcode: rrd window infeasible");
+  }
+  w = std::max(w, src.w);  // never finer than the source windows
+  RrdPayload dst;
+  dst.n = src.n;
+  dst.w = w;
+  util::Rng rng(0x7a05c0de ^ src.n);
+  for (uint64_t start = 0; start < src.n; start += w) {
+    uint64_t end = std::min(src.n, start + w);
+    // Pick a random position inside the window, then take the mean that
+    // covers it (= the reconstruction value RRD would have sampled).
+    uint64_t pick = start + rng.NextBelow(end - start);
+    dst.samples.push_back(src.means[pick / src.w]);
+  }
+  return internal::EncodeRrd(dst);
+}
+
+// LTTB -> PLA: each interpolation span already IS a line segment; tighten
+// with PLA's own recoding if the budget demands fewer segments.
+Result<std::vector<uint8_t>> LttbToPla(std::span<const uint8_t> payload,
+                                       double ratio) {
+  ADAEDGE_ASSIGN_OR_RETURN(LttbPayload src, internal::DecodeLttb(payload));
+  PlaPayload dst;
+  dst.n = src.n;
+  if (src.points.empty()) {
+    if (src.n > 0) dst.segments.push_back(PlaSegment{src.n, 0.0, 0.0});
+  } else if (src.points.size() == 1) {
+    dst.segments.push_back(PlaSegment{src.n, src.points[0].value, 0.0});
+  } else {
+    for (size_t i = 0; i + 1 < src.points.size(); ++i) {
+      const auto& a = src.points[i];
+      const auto& b = src.points[i + 1];
+      uint64_t len = b.index - a.index;
+      double slope = (b.value - a.value) / static_cast<double>(len);
+      dst.segments.push_back(PlaSegment{len, a.value, slope});
+    }
+    dst.segments.push_back(PlaSegment{1, src.points.back().value, 0.0});
+  }
+  std::vector<uint8_t> encoded = internal::EncodePla(dst);
+  if (CompressionRatio(encoded.size(), src.n) <= ratio) return encoded;
+  // Over budget: PLA's virtual-decompression recode merges segments.
+  return GetCodec(CodecId::kPla)->Recode(encoded, ratio);
+}
+
+}  // namespace
+
+bool SupportsDirectTranscode(CodecId from, CodecId to) {
+  if (from == CodecId::kPaa && to == CodecId::kPla) return true;
+  if (from == CodecId::kPaa && to == CodecId::kRrdSample) return true;
+  if (from == CodecId::kPla && to == CodecId::kPaa) return true;
+  if (from == CodecId::kLttb && to == CodecId::kPla) return true;
+  return false;
+}
+
+util::Result<std::vector<uint8_t>> TranscodeDirect(
+    CodecId from, std::span<const uint8_t> payload, CodecId to,
+    double target_ratio) {
+  if (from == CodecId::kPaa && to == CodecId::kPla) {
+    return PaaToPla(payload, target_ratio);
+  }
+  if (from == CodecId::kPaa && to == CodecId::kRrdSample) {
+    return PaaToRrd(payload, target_ratio);
+  }
+  if (from == CodecId::kPla && to == CodecId::kPaa) {
+    return PlaToPaa(payload, target_ratio);
+  }
+  if (from == CodecId::kLttb && to == CodecId::kPla) {
+    return LttbToPla(payload, target_ratio);
+  }
+  return Status::Unimplemented("no direct transcode path for this pair");
+}
+
+util::Result<std::vector<uint8_t>> TranscodeOrRecompress(
+    CodecId from, std::span<const uint8_t> payload, CodecId to,
+    double target_ratio, int precision) {
+  if (SupportsDirectTranscode(from, to)) {
+    return TranscodeDirect(from, payload, to, target_ratio);
+  }
+  auto source = GetCodec(from);
+  auto dest = GetCodec(to);
+  if (source == nullptr || dest == nullptr) {
+    return Status::InvalidArgument("unknown codec");
+  }
+  ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> values,
+                           source->Decompress(payload));
+  CodecParams params;
+  params.precision = precision;
+  params.target_ratio = target_ratio;
+  return dest->Compress(values, params);
+}
+
+}  // namespace adaedge::compress

@@ -1,0 +1,46 @@
+#ifndef ADAEDGE_COMPRESS_TRANSCODE_H_
+#define ADAEDGE_COMPRESS_TRANSCODE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::compress {
+
+/// Direct cross-codec transcoding — the future-work extension the paper
+/// sketches in SIV-E ("Similar work can be done by enabling direct
+/// transcoding between different compression approaches, which need
+/// specific compression optimization for each compression pair").
+///
+/// For structurally compatible pairs the destination payload is computed
+/// from the source *representation* (means, line segments, kept points)
+/// without reconstructing the samples:
+///
+///   PAA  -> PLA   lines fit to window means in closed form
+///   PAA  -> RRD   one representative mean per destination window
+///   PLA  -> PAA   window means integrated from the lines in closed form
+///   LTTB -> PLA   each interpolation span is already a line
+///
+/// Each direct path is semantically equivalent to compressing the source's
+/// reconstruction with the destination codec (equivalence is tested).
+
+/// True if (from, to) has a direct path.
+bool SupportsDirectTranscode(CodecId from, CodecId to);
+
+/// Transcodes `payload` from codec `from` to codec `to` at
+/// `target_ratio`. Unimplemented when no direct path exists.
+util::Result<std::vector<uint8_t>> TranscodeDirect(
+    CodecId from, std::span<const uint8_t> payload, CodecId to,
+    double target_ratio);
+
+/// Direct path when available; otherwise decompress + recompress with the
+/// destination codec (`precision` parameterizes the destination).
+util::Result<std::vector<uint8_t>> TranscodeOrRecompress(
+    CodecId from, std::span<const uint8_t> payload, CodecId to,
+    double target_ratio, int precision = 4);
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_TRANSCODE_H_

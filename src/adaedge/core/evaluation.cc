@@ -1,0 +1,41 @@
+#include "adaedge/core/evaluation.h"
+
+#include <algorithm>
+
+namespace adaedge::core {
+
+Result<RetainedQuality> EvaluateRetained(
+    const SegmentStore& store,
+    const std::unordered_map<uint64_t, std::vector<double>>& originals,
+    const TargetEvaluator& evaluator, size_t fresh_window) {
+  RetainedQuality quality;
+  std::vector<uint64_t> ids = store.AllIds();  // ingestion order
+  double total_acc = 0.0;
+  double fresh_acc = 0.0;
+  size_t fresh_count = 0;
+  size_t evaluated = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    auto original_it = originals.find(ids[i]);
+    if (original_it == originals.end()) continue;
+    ADAEDGE_ASSIGN_OR_RETURN(Segment segment, store.Peek(ids[i]));
+    ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> reconstructed,
+                             segment.Materialize());
+    double acc = evaluator.Accuracy(original_it->second, reconstructed);
+    total_acc += acc;
+    ++evaluated;
+    quality.bytes += segment.SizeBytes();
+    if (i + fresh_window >= ids.size()) {
+      fresh_acc += acc;
+      ++fresh_count;
+    }
+  }
+  quality.segments = evaluated;
+  quality.accuracy = evaluated > 0
+                         ? total_acc / static_cast<double>(evaluated)
+                         : 1.0;
+  quality.fresh_accuracy =
+      fresh_count > 0 ? fresh_acc / static_cast<double>(fresh_count) : 1.0;
+  return quality;
+}
+
+}  // namespace adaedge::core

@@ -1,0 +1,36 @@
+#ifndef ADAEDGE_CORE_EVALUATION_H_
+#define ADAEDGE_CORE_EVALUATION_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "adaedge/core/segment_store.h"
+#include "adaedge/core/target.h"
+
+namespace adaedge::core {
+
+/// Snapshot of an offline node's retained-data quality against externally
+/// held ground truth (benchmarks/examples keep the original samples; the
+/// node itself does not).
+struct RetainedQuality {
+  /// Mean workload accuracy over all retained segments (1.0 = no loss).
+  double accuracy = 1.0;
+  /// Accuracy over only the most recent `fresh_window` segments (the
+  /// paper's "fresh data" check — LRU should keep these at 1.0).
+  double fresh_accuracy = 1.0;
+  size_t segments = 0;
+  size_t bytes = 0;
+};
+
+/// Evaluates every segment in `store` against `originals` (id -> original
+/// samples). Segments without ground truth are skipped.
+/// Note: evaluation GETs would perturb an LRU policy, so this reads the
+/// store's segments without touching access state.
+Result<RetainedQuality> EvaluateRetained(
+    const SegmentStore& store,
+    const std::unordered_map<uint64_t, std::vector<double>>& originals,
+    const TargetEvaluator& evaluator, size_t fresh_window = 8);
+
+}  // namespace adaedge::core
+
+#endif  // ADAEDGE_CORE_EVALUATION_H_

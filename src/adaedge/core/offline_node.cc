@@ -1,0 +1,325 @@
+#include "adaedge/core/offline_node.h"
+
+#include <algorithm>
+
+#include "adaedge/compress/transcode.h"
+#include "adaedge/util/stopwatch.h"
+
+namespace adaedge::core {
+
+OfflineNode::OfflineNode(OfflineConfig config, TargetSpec target)
+    : config_(std::move(config)), evaluator_(std::move(target)) {
+  if (config_.lossless_arms.empty()) {
+    config_.lossless_arms =
+        compress::DefaultLosslessArms(config_.precision);
+  }
+  if (config_.lossy_arms.empty()) {
+    config_.lossy_arms = compress::DefaultLossyArms(config_.precision);
+  }
+  if (config_.band_edges.empty()) {
+    config_.band_edges = bandit::BandedBanditSet::DefaultEdges();
+  }
+  budget_ = std::make_unique<sim::StorageBudget>(
+      config_.storage_budget_bytes, config_.recode_threshold);
+  store_ = std::make_unique<SegmentStore>(
+      budget_.get(),
+      config_.use_lru ? MakeLruPolicy() : MakeFifoPolicy());
+  lossless_bandit_ = bandit::MakePolicy(
+      config_.policy, static_cast<int>(config_.lossless_arms.size()),
+      config_.bandit);
+  lossy_bandits_ = std::make_unique<bandit::BandedBanditSet>(
+      config_.band_edges, config_.policy,
+      static_cast<int>(config_.lossy_arms.size()), config_.bandit);
+}
+
+Status OfflineNode::Ingest(uint64_t id, double now,
+                           std::span<const double> values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Free space first if the threshold has tripped.
+  ADAEDGE_RETURN_IF_ERROR(DrainRecoding(now));
+
+  // Lossless-compress the new segment; reward = size reduction.
+  int arm_idx = lossless_bandit_->SelectArm();
+  const compress::CodecArm& arm = config_.lossless_arms[arm_idx];
+  util::Stopwatch watch;
+  auto payload = arm.codec->Compress(values, arm.params);
+  double seconds = watch.ElapsedSeconds() * config_.cpu_scale;
+  compress_busy_ += seconds;
+
+  SegmentMeta meta;
+  meta.id = id;
+  meta.ingest_time = now;
+  meta.value_count = static_cast<uint32_t>(values.size());
+  Segment segment;
+  if (payload.ok()) {
+    double ratio =
+        compress::CompressionRatio(payload.value().size(), values.size());
+    lossless_bandit_->Update(arm_idx, std::clamp(1.0 - ratio, 0.0, 1.0));
+    meta.state = SegmentState::kLossless;
+    meta.codec = arm.codec->id();
+    meta.params = arm.params;
+    segment = Segment::FromPayload(meta, std::move(payload).value());
+  } else {
+    // Codec refused (e.g. dictionary on high-cardinality data): penalize
+    // and store raw; the recoder will deal with it.
+    lossless_bandit_->Update(arm_idx, 0.0);
+    segment = Segment::FromValues(id, now, values);
+  }
+
+  Status put = store_->Put(std::move(segment));
+  if (put.ok()) return put;
+  if (put.code() != util::StatusCode::kResourceExhausted) return put;
+  // Hard capacity hit before the threshold logic could free space: recode
+  // aggressively once more, then retry. Failure here is the experiment
+  // failure of Fig 14.
+  ADAEDGE_RETURN_IF_ERROR(DrainRecoding(now));
+  Segment retry;
+  if (payload.ok()) {
+    // `payload` was moved; rebuild from the codec (rare path).
+    auto payload2 = arm.codec->Compress(values, arm.params);
+    if (payload2.ok()) {
+      retry = Segment::FromPayload(meta, std::move(payload2).value());
+    } else {
+      retry = Segment::FromValues(id, now, values);
+    }
+  } else {
+    retry = Segment::FromValues(id, now, values);
+  }
+  return store_->Put(std::move(retry));
+}
+
+Status OfflineNode::DrainRecoding(double now) {
+  if (!budget_->NeedsRecoding()) return Status::Ok();
+  if (!config_.allow_lossy) {
+    return Status::ResourceExhausted(
+        "recoding budget reached and lossless-only selection cannot free "
+        "space (CodecDB failure mode)");
+  }
+  // Skip victims that cannot shrink further within one pass.
+  size_t skipped = 0;
+  while (budget_->NeedsRecoding()) {
+    if (config_.meter_compute) {
+      // The recoding pool earns CPU time only from the moment recoding
+      // first became necessary (an idle thread cannot bank time), so the
+      // first recoding wave is a genuine race against ingestion — the
+      // paper's Fig 14 failure mechanism. Busy time is measured wall time
+      // scaled by cpu_scale into edge-CPU-seconds.
+      if (recode_clock_start_ < 0.0) recode_clock_start_ = now;
+      double available =
+          (now - recode_clock_start_) * config_.recode_threads;
+      if (recode_busy_ >= available) {
+        ++deferred_recodes_;
+        return Status::Ok();  // defer: the recode thread is saturated
+      }
+    }
+    std::optional<uint64_t> victim = store_->NextVictim();
+    if (!victim.has_value()) return Status::Ok();  // nothing stored yet
+    if (skipped >= store_->count()) {
+      // Every stored segment is at its floor; give up (caller will fail
+      // on Put if space is really out).
+      return Status::Ok();
+    }
+    bool freed = false;
+    ADAEDGE_RETURN_IF_ERROR(RecodeVictim(*victim, now, freed));
+    if (freed) {
+      skipped = 0;  // progress was made; keep going
+    } else {
+      // At its floor: rotate it to the back so the pass visits the rest.
+      store_->RequeueVictim(*victim);
+      ++skipped;
+    }
+  }
+  return Status::Ok();
+}
+
+Status OfflineNode::RecodeVictim(uint64_t victim, double now, bool& freed) {
+  (void)now;
+  freed = false;
+  util::Stopwatch watch;
+  Status status = store_->Mutate(victim, [&](Segment& segment) -> Status {
+    double current_ratio = segment.meta().achieved_ratio;
+    double target_ratio =
+        std::min(current_ratio * config_.shrink_factor, 1.0);
+
+    // Clamp the target to what some arm can still achieve.
+    double min_supported = 2.0;
+    for (const auto& arm : config_.lossy_arms) {
+      // Probe a small set of floors per arm via SupportsRatio.
+      double lo = 0.0, hi = 1.0;
+      if (arm.codec->SupportsRatio(target_ratio,
+                                   segment.meta().value_count)) {
+        min_supported = std::min(min_supported, target_ratio);
+        continue;
+      }
+      // Binary-search this arm's floor to know how far we could go.
+      for (int i = 0; i < 12; ++i) {
+        double mid = 0.5 * (lo + hi);
+        if (arm.codec->SupportsRatio(mid, segment.meta().value_count)) {
+          hi = mid;
+        } else {
+          lo = mid;
+        }
+      }
+      min_supported = std::min(min_supported, hi);
+    }
+    if (min_supported > 1.0) {
+      return Status::FailedPrecondition("no lossy arm available");
+    }
+    target_ratio = std::max(target_ratio, min_supported);
+    if (target_ratio >= current_ratio * 0.98) {
+      // Already at (or effectively at) the floor: nothing to gain.
+      return Status::FailedPrecondition("segment at compression floor");
+    }
+
+    bandit::BanditPolicy& band = lossy_bandits_->ForRatio(target_ratio);
+    auto supports = [&](int idx) {
+      return config_.lossy_arms[idx].codec->SupportsRatio(
+          target_ratio, segment.meta().value_count);
+    };
+    int arm_idx = band.SelectArm();
+    if (!supports(arm_idx)) {
+      band.Update(arm_idx, 0.0);
+      // Fall back to the best supporting arm of this band.
+      int best = -1;
+      double best_value = -1.0;
+      for (int i = 0; i < static_cast<int>(config_.lossy_arms.size());
+           ++i) {
+        if (!supports(i)) continue;
+        double v = band.EstimatedValue(i);
+        if (v > best_value) {
+          best_value = v;
+          best = i;
+        }
+      }
+      if (best < 0) {
+        return Status::FailedPrecondition("band has no supporting arm");
+      }
+      arm_idx = best;
+    }
+
+    // Reference = the segment's current reconstruction; the recode reward
+    // is how well the tighter encoding preserves the workload relative to
+    // it (the best ground truth an offline node still has).
+    ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> reference,
+                             segment.Materialize());
+
+    // Applies one arm to `target` — same-codec virtual decompression
+    // first, then direct cross-codec transcoding (SIV-E future work),
+    // full re-encode as the last resort — and returns the observed
+    // reward.
+    auto apply_arm = [&](Segment& target, int idx) -> Result<double> {
+      compress::CodecArm arm = config_.lossy_arms[idx];
+      arm.params.precision = config_.precision;
+      arm.params.target_ratio = target_ratio;
+      Status applied = Status::Unimplemented("");
+      if (config_.use_virtual_decompression &&
+          target.meta().codec == arm.codec->id() &&
+          arm.codec->SupportsRecode()) {
+        applied = target.RecodeInPlace(target_ratio);
+      }
+      if (!applied.ok() && config_.use_virtual_decompression &&
+          compress::SupportsDirectTranscode(target.meta().codec,
+                                            arm.codec->id())) {
+        auto transcoded = compress::TranscodeDirect(
+            target.meta().codec, target.payload(), arm.codec->id(),
+            target_ratio);
+        if (transcoded.ok()) {
+          SegmentMeta meta = target.meta();
+          meta.codec = arm.codec->id();
+          meta.params = arm.params;
+          meta.state = SegmentState::kLossy;
+          target = Segment::FromPayload(meta, std::move(transcoded).value());
+          applied = Status::Ok();
+        }
+      }
+      if (!applied.ok()) {
+        applied = target.Reencode(arm.codec->id(), arm.params, reference);
+      }
+      ADAEDGE_RETURN_IF_ERROR(applied);
+      ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> recoded,
+                               target.Materialize());
+      return evaluator_.Reward(reference, recoded,
+                               reference.size() * sizeof(double),
+                               watch.ElapsedSeconds());
+    };
+
+    Segment snapshot = segment;
+    auto reward = apply_arm(segment, arm_idx);
+    if (!reward.ok()) {
+      band.Update(arm_idx, 0.0);
+      return reward.status();
+    }
+    band.Update(arm_idx, reward.value());
+
+    // Exploration is accuracy-free in offline recoding: the pre-recode
+    // payload is still at hand, so if the explored arm underperformed the
+    // (updated) greedy arm's estimate, redo from the snapshot with the
+    // greedy arm and keep the better outcome. Information is only ever
+    // lost through the committed encoding.
+    int greedy = band.BestArm();
+    if (greedy != arm_idx && supports(greedy) &&
+        reward.value() < band.EstimatedValue(greedy)) {
+      Segment redo = snapshot;
+      auto redo_reward = apply_arm(redo, greedy);
+      if (redo_reward.ok()) {
+        band.Update(greedy, redo_reward.value());
+        if (redo_reward.value() > reward.value()) {
+          segment = std::move(redo);
+        }
+      }
+    }
+    return Status::Ok();
+  });
+  recode_busy_ += watch.ElapsedSeconds() * config_.cpu_scale;
+  if (status.ok()) {
+    ++recode_ops_;
+    freed = true;
+    return status;
+  }
+  if (status.code() == util::StatusCode::kFailedPrecondition) {
+    // Victim could not shrink; leave it requeued and report not-freed.
+    return Status::Ok();
+  }
+  return status;
+}
+
+double OfflineNode::compress_busy_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compress_busy_;
+}
+
+double OfflineNode::recode_busy_seconds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recode_busy_;
+}
+
+uint64_t OfflineNode::recode_ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return recode_ops_;
+}
+
+uint64_t OfflineNode::deferred_recodes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return deferred_recodes_;
+}
+
+std::vector<std::string> OfflineNode::ArmCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (size_t i = 0; i < config_.lossless_arms.size(); ++i) {
+    out.push_back(config_.lossless_arms[i].name + ":" +
+                  std::to_string(lossless_bandit_->PullCount(
+                      static_cast<int>(i))));
+  }
+  for (size_t b = 0; b < lossy_bandits_->num_bands(); ++b) {
+    const auto& band = lossy_bandits_->band(b);
+    for (size_t i = 0; i < config_.lossy_arms.size(); ++i) {
+      out.push_back("band" + std::to_string(b) + "/" +
+                    config_.lossy_arms[i].name + ":" +
+                    std::to_string(band.PullCount(static_cast<int>(i))));
+    }
+  }
+  return out;
+}
+
+}  // namespace adaedge::core

@@ -1,0 +1,116 @@
+#ifndef ADAEDGE_CORE_OFFLINE_NODE_H_
+#define ADAEDGE_CORE_OFFLINE_NODE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "adaedge/bandit/banded_bandit.h"
+#include "adaedge/compress/registry.h"
+#include "adaedge/core/segment_store.h"
+#include "adaedge/core/target.h"
+
+namespace adaedge::core {
+
+/// Offline-mode configuration (paper SIV-C2 / SV-B2). The evaluation uses
+/// a 10 MB budget, recoding threshold theta = 0.8 and segment halving.
+struct OfflineConfig {
+  size_t storage_budget_bytes = 10 << 20;
+  /// Recoding wakes when used/capacity reaches this (paper: 0.8).
+  double recode_threshold = 0.8;
+  int precision = 4;
+  /// Paper: offline mode explores more (epsilon = 0.1), with optimistic
+  /// initial estimates.
+  bandit::BanditConfig bandit = OfflineBanditDefaults();
+
+  static bandit::BanditConfig OfflineBanditDefaults() {
+    bandit::BanditConfig config;
+    config.epsilon = 0.1;
+    config.initial_value = 1.0;
+    return config;
+  }
+  bandit::PolicyKind policy = bandit::PolicyKind::kEpsilonGreedy;
+  std::vector<compress::CodecArm> lossless_arms;
+  std::vector<compress::CodecArm> lossy_arms;
+  /// Ratio-band edges for the per-band MAB instances.
+  std::vector<double> band_edges;  // empty -> BandedBanditSet defaults
+  /// Recoding order policy; false selects FIFO (ablation baseline).
+  bool use_lru = true;
+  /// Baseline hook: lossless-only selectors (CodecDB) cannot free space
+  /// once the recoding threshold trips — they fail instead (Fig 12).
+  bool allow_lossy = true;
+  /// Each recoding step multiplies the victim's ratio by this
+  /// ("By default, the size is reduced to half of the original").
+  double shrink_factor = 0.5;
+  /// Prefer same-codec virtual-decompression recoding when available
+  /// (ablation: set false to always decompress + recompress).
+  bool use_virtual_decompression = true;
+  /// --- virtual-time compute model (the Fig 14 race) ---
+  /// Compression/recoding work is metered against the virtual clock: a
+  /// thread pool of size T that has been running for `now` virtual seconds
+  /// may spend at most now * T CPU-seconds. Measured wall durations are
+  /// multiplied by `cpu_scale` to emulate an edge-class CPU relative to
+  /// the build machine (DESIGN.md SS1: hardware substitution).
+  bool meter_compute = false;
+  double cpu_scale = 1.0;
+  int compress_threads = 1;
+  int recode_threads = 1;
+};
+
+/// An edge node with no egress path: data keeps evolving inside the
+/// storage budget. Incoming segments are lossless-compressed (size-reward
+/// MAB); when the threshold trips, the policy's victims are recoded to
+/// half their size with the lossy arm chosen by the ratio band's MAB,
+/// whose reward is how well the recode preserved the target workload
+/// relative to the segment's previous state.
+class OfflineNode {
+ public:
+  OfflineNode(OfflineConfig config, TargetSpec target);
+
+  /// Ingests one segment at virtual time `now`. ResourceExhausted means
+  /// the node could not keep the data inside the hard budget — the
+  /// experiment-failure condition of Fig 14.
+  Status Ingest(uint64_t id, double now, std::span<const double> values);
+
+  SegmentStore& store() { return *store_; }
+  const SegmentStore& store() const { return *store_; }
+
+  /// CPU-seconds spent by the compression / recoding stages (scaled).
+  double compress_busy_seconds() const;
+  double recode_busy_seconds() const;
+
+  /// Number of recode operations performed / deferred for lack of
+  /// metered compute.
+  uint64_t recode_ops() const;
+  uint64_t deferred_recodes() const;
+
+  /// "name:count" pulls of the lossless bandit and each band's bandit.
+  std::vector<std::string> ArmCounts() const;
+
+ private:
+  /// Runs recoding until usage is back under the threshold, compute
+  /// budget (if metered) runs out, or no further shrink is possible.
+  Status DrainRecoding(double now);
+
+  /// One recoding step on one victim. Sets `freed` if bytes were freed.
+  Status RecodeVictim(uint64_t victim, double now, bool& freed);
+
+  OfflineConfig config_;
+  TargetEvaluator evaluator_;
+  std::unique_ptr<sim::StorageBudget> budget_;
+  std::unique_ptr<SegmentStore> store_;
+  mutable std::mutex mu_;
+  std::unique_ptr<bandit::BanditPolicy> lossless_bandit_;
+  std::unique_ptr<bandit::BandedBanditSet> lossy_bandits_;
+  double compress_busy_ = 0.0;
+  double recode_busy_ = 0.0;
+  /// Virtual time at which recoding first became necessary (metered mode).
+  double recode_clock_start_ = -1.0;
+  uint64_t recode_ops_ = 0;
+  uint64_t deferred_recodes_ = 0;
+};
+
+}  // namespace adaedge::core
+
+#endif  // ADAEDGE_CORE_OFFLINE_NODE_H_

@@ -1,0 +1,160 @@
+#include "adaedge/core/online_node.h"
+
+#include <algorithm>
+
+#include "adaedge/core/store_io.h"
+
+namespace adaedge::core {
+
+namespace {
+
+OnlineConfig ResolveSelectorConfig(const OnlineNodeConfig& config) {
+  OnlineConfig resolved = config.selector;
+  if (config.derive_target_ratio) {
+    resolved.target_ratio = sim::TargetRatio(
+        config.bandwidth_bytes_per_sec, config.ingest_points_per_sec);
+  }
+  return resolved;
+}
+
+}  // namespace
+
+OnlineNode::OnlineNode(OnlineNodeConfig config, TargetSpec target)
+    : config_(config),
+      selector_(ResolveSelectorConfig(config), std::move(target)),
+      network_(config.bandwidth_bytes_per_sec) {}
+
+Result<OnlineNode::IngestReport> OnlineNode::Ingest(
+    uint64_t id, double now, std::span<const double> values) {
+  ADAEDGE_ASSIGN_OR_RETURN(OnlineSelector::Outcome outcome,
+                           selector_.Process(id, now, values));
+  IngestReport report;
+  report.arm_name = outcome.arm_name;
+  report.used_lossy = outcome.used_lossy;
+  report.accuracy = outcome.accuracy;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    egress_queue_.push_back(std::move(outcome.segment));
+    // Overflow: spill the oldest queued segments to local storage
+    // instead of dropping them.
+    while (egress_queue_.size() > config_.compressed_capacity_segments) {
+      spilled_.push_back(std::move(egress_queue_.front()));
+      egress_queue_.pop_front();
+      report.spilled = true;
+    }
+  }
+  size_t before = egressed_;
+  DrainEgress(now);
+  report.egressed = egressed_ > before && queued_segments() == 0;
+  return report;
+}
+
+void OnlineNode::DrainEgress(double now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  double earned = config_.bandwidth_bytes_per_sec * now;
+  while (!egress_queue_.empty()) {
+    double size = static_cast<double>(egress_queue_.front().SizeBytes());
+    if (egress_credit_used_ + size > earned) break;  // link saturated
+    egress_credit_used_ += size;
+    network_.Send(egress_queue_.front().SizeBytes(), now);
+    egress_queue_.pop_front();
+    ++egressed_;
+  }
+}
+
+Status OnlineNode::Close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (config_.spill_path.empty() || spilled_.empty()) return Status::Ok();
+  return SaveSegmentsToFile(spilled_, config_.spill_path);
+}
+
+size_t OnlineNode::queued_segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return egress_queue_.size();
+}
+
+size_t OnlineNode::spilled_segments() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spilled_.size();
+}
+
+MultiSignalNode::MultiSignalNode(double bandwidth_bytes_per_sec,
+                                 TargetSpec target,
+                                 OnlineConfig base_config)
+    : bandwidth_(bandwidth_bytes_per_sec),
+      target_(std::move(target)),
+      base_config_(std::move(base_config)) {}
+
+void MultiSignalNode::Reallocate() {
+  // Bandwidth shares proportional to weight x rate; each signal's target
+  // ratio is its share over its raw rate.
+  double total = 0.0;
+  for (const auto& [id, signal] : signals_) {
+    total += signal.weight * signal.points_per_sec;
+  }
+  if (total <= 0.0) return;
+  for (auto& [id, signal] : signals_) {
+    double share = bandwidth_ * signal.weight * signal.points_per_sec /
+                   total;
+    signal.selector->SetTargetRatio(
+        sim::TargetRatio(share, signal.points_per_sec));
+  }
+}
+
+int MultiSignalNode::AddSignal(const std::string& name,
+                               double points_per_sec, double weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int id = next_id_++;
+  Signal signal;
+  signal.name = name;
+  signal.points_per_sec = points_per_sec;
+  signal.weight = weight;
+  OnlineConfig config = base_config_;
+  config.bandit.seed = base_config_.bandit.seed + id * 7919 + 1;
+  config.target_ratio = 1.0;  // set by Reallocate below
+  signal.selector =
+      std::make_unique<OnlineSelector>(std::move(config), target_);
+  signals_.emplace(id, std::move(signal));
+  Reallocate();
+  return id;
+}
+
+Status MultiSignalNode::RemoveSignal(int signal_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (signals_.erase(signal_id) == 0) {
+    return Status::NotFound("unknown signal id");
+  }
+  Reallocate();
+  return Status::Ok();
+}
+
+Result<OnlineSelector::Outcome> MultiSignalNode::Ingest(
+    int signal_id, uint64_t segment_id, double now,
+    std::span<const double> values) {
+  OnlineSelector* selector = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = signals_.find(signal_id);
+    if (it == signals_.end()) {
+      return Status::NotFound("unknown signal id");
+    }
+    selector = it->second.selector.get();
+  }
+  // OnlineSelector is internally synchronized; signals can ingest
+  // concurrently.
+  return selector->Process(segment_id, now, values);
+}
+
+Result<double> MultiSignalNode::TargetRatioOf(int signal_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = signals_.find(signal_id);
+  if (it == signals_.end()) return Status::NotFound("unknown signal id");
+  return it->second.selector->target_ratio();
+}
+
+size_t MultiSignalNode::signal_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return signals_.size();
+}
+
+}  // namespace adaedge::core

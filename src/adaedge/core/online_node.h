@@ -1,0 +1,126 @@
+#ifndef ADAEDGE_CORE_ONLINE_NODE_H_
+#define ADAEDGE_CORE_ONLINE_NODE_H_
+
+#include <atomic>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adaedge/core/online_selector.h"
+#include "adaedge/sim/constraints.h"
+
+namespace adaedge::core {
+
+/// Online-mode edge node (paper Fig 1, online path): the selector
+/// compresses ingested segments; compressed segments queue in the
+/// compressed buffer pool and leave through the (simulated) network link
+/// as its capacity allows; if the pool overflows — the link degraded or
+/// compression cannot shrink enough — the oldest segments spill to the
+/// local disk for a future offline-style offload (paper SIV-C: "the data
+/// is flushed to the disk").
+struct OnlineNodeConfig {
+  /// Selector configuration. By default its target_ratio is DERIVED from
+  /// bandwidth/ingest rate (sim::TargetRatio, the paper's R = B/(64*I));
+  /// set derive_target_ratio = false to pin selector.target_ratio.
+  OnlineConfig selector;
+  bool derive_target_ratio = true;
+  double ingest_points_per_sec = 100000.0;
+  double bandwidth_bytes_per_sec = 1.0e6;
+  /// Compressed segments held in memory awaiting egress before spilling.
+  size_t compressed_capacity_segments = 256;
+  /// Where spilled segments go on Close(); empty = keep in memory only.
+  std::string spill_path;
+};
+
+class OnlineNode {
+ public:
+  OnlineNode(OnlineNodeConfig config, TargetSpec target);
+
+  struct IngestReport {
+    std::string arm_name;
+    bool used_lossy = false;
+    double accuracy = 1.0;
+    bool egressed = false;  // left through the link immediately
+    bool spilled = false;   // this ingest caused a spill of the oldest
+  };
+
+  /// Compresses one segment at virtual time `now`, then drains the egress
+  /// queue against the link capacity.
+  Result<IngestReport> Ingest(uint64_t id, double now,
+                              std::span<const double> values);
+
+  /// Sends queued segments while the link has earned capacity.
+  void DrainEgress(double now);
+
+  /// Writes any spilled segments to config.spill_path (if set).
+  Status Close();
+
+  OnlineSelector& selector() { return selector_; }
+  const sim::Network& network() const { return network_; }
+  size_t queued_segments() const;
+  size_t spilled_segments() const;
+  uint64_t egressed_segments() const { return egressed_; }
+
+ private:
+  OnlineNodeConfig config_;
+  OnlineSelector selector_;
+  sim::Network network_;
+  mutable std::mutex mu_;
+  std::deque<Segment> egress_queue_;
+  std::vector<Segment> spilled_;
+  double egress_credit_used_ = 0.0;  // bytes already sent
+  std::atomic<uint64_t> egressed_{0};
+};
+
+/// Multi-signal aggregation node (paper SIV-C: "AdaEdge allows the
+/// collection and aggregation of data from multiple device clients").
+/// Each registered signal gets its own selection bandit; the shared link
+/// bandwidth is divided among signals proportionally to weight x rate, so
+/// every signal's target ratio follows from its share. Adding or removing
+/// signals reallocates shares and re-probes feasibility.
+class MultiSignalNode {
+ public:
+  MultiSignalNode(double bandwidth_bytes_per_sec, TargetSpec target,
+                  OnlineConfig base_config = {});
+
+  /// Registers a signal; returns its handle.
+  int AddSignal(const std::string& name, double points_per_sec,
+                double weight = 1.0);
+
+  /// Unregisters a signal; remaining signals inherit its bandwidth.
+  Status RemoveSignal(int signal_id);
+
+  /// Processes one segment of the given signal.
+  Result<OnlineSelector::Outcome> Ingest(int signal_id, uint64_t segment_id,
+                                         double now,
+                                         std::span<const double> values);
+
+  /// The signal's current target ratio under the bandwidth split.
+  Result<double> TargetRatioOf(int signal_id) const;
+
+  size_t signal_count() const;
+
+ private:
+  struct Signal {
+    std::string name;
+    double points_per_sec;
+    double weight;
+    std::unique_ptr<OnlineSelector> selector;
+  };
+
+  void Reallocate();  // recompute every signal's target ratio
+
+  double bandwidth_;
+  TargetSpec target_;
+  OnlineConfig base_config_;
+  mutable std::mutex mu_;
+  std::unordered_map<int, Signal> signals_;
+  int next_id_ = 0;
+};
+
+}  // namespace adaedge::core
+
+#endif  // ADAEDGE_CORE_ONLINE_NODE_H_

@@ -1,0 +1,233 @@
+#include "adaedge/core/online_selector.h"
+
+#include <algorithm>
+
+#include "adaedge/util/stopwatch.h"
+
+namespace adaedge::core {
+
+namespace {
+
+Segment MakeSegment(uint64_t id, double now, std::span<const double> values,
+                    const compress::CodecArm& arm,
+                    std::vector<uint8_t> payload, SegmentState state) {
+  SegmentMeta meta;
+  meta.id = id;
+  meta.ingest_time = now;
+  meta.value_count = static_cast<uint32_t>(values.size());
+  meta.state = state;
+  meta.codec = arm.codec->id();
+  meta.params = arm.params;
+  return Segment::FromPayload(meta, std::move(payload));
+}
+
+}  // namespace
+
+OnlineSelector::OnlineSelector(OnlineConfig config, TargetSpec target)
+    : config_(std::move(config)), evaluator_(std::move(target)) {
+  if (config_.lossless_arms.empty()) {
+    config_.lossless_arms =
+        compress::DefaultLosslessArms(config_.precision);
+  }
+  if (config_.lossy_arms.empty()) {
+    config_.lossy_arms =
+        compress::DefaultLossyArms(config_.precision, config_.target_ratio);
+  }
+  lossless_bandit_ = bandit::MakePolicy(
+      config_.policy, static_cast<int>(config_.lossless_arms.size()),
+      config_.bandit);
+  bandit::BanditConfig lossy_config = config_.bandit;
+  lossy_config.seed = config_.bandit.seed ^ 0xabcdefULL;
+  lossy_bandit_ = bandit::MakePolicy(
+      config_.policy, static_cast<int>(config_.lossy_arms.size()),
+      lossy_config);
+  // Targets of >= 1 are always losslessly reachable (no compression even
+  // qualifies); start in the lossless phase regardless.
+  lossless_active_ = !config_.force_lossy;
+}
+
+Result<OnlineSelector::Outcome> OnlineSelector::Process(
+    uint64_t id, double now, std::span<const double> values) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++processed_;
+  // Periodic re-probe: a shifted distribution may compress losslessly again.
+  if (!config_.force_lossy && !lossless_active_ &&
+      processed_ % config_.lossless_recheck_interval == 0) {
+    lossless_active_ = true;
+    consecutive_misses_ = 0;
+  }
+  if (lossless_active_) {
+    auto outcome = ProcessLossless(id, now, values);
+    if (outcome.ok() && outcome.value().met_target) return outcome;
+    if (!config_.allow_lossy) {
+      // Lossless-only selectors (CodecDB-style) fail hard here — the
+      // paper's "CodecDB ... is otherwise ineffective" regime.
+      return Status::Unavailable(
+          "lossless compression cannot reach the target ratio");
+    }
+    // Target missed (or lossless failed outright): lossy fallback for this
+    // same segment. The phase flips only once every lossless arm has had
+    // a chance (optimistic exploration may try the weak arms first) AND
+    // the misses kept coming — otherwise a couple of unlucky early draws
+    // would hide a feasible arm (e.g. Sprintz) behind the lossy phase
+    // until the next recheck.
+    bool all_arms_tried = true;
+    for (int a = 0; a < lossless_bandit_->num_arms(); ++a) {
+      if (lossless_bandit_->PullCount(a) == 0) {
+        all_arms_tried = false;
+        break;
+      }
+    }
+    if (++consecutive_misses_ >= config_.lossless_patience &&
+        all_arms_tried) {
+      lossless_active_ = false;
+    }
+    return ProcessLossy(id, now, values);
+  }
+  return ProcessLossy(id, now, values);
+}
+
+Result<OnlineSelector::Outcome> OnlineSelector::ProcessLossless(
+    uint64_t id, double now, std::span<const double> values) {
+  int arm_idx = lossless_bandit_->SelectArm();
+  const compress::CodecArm& arm = config_.lossless_arms[arm_idx];
+  util::Stopwatch watch;
+  auto payload = arm.codec->Compress(values, arm.params);
+  double seconds = watch.ElapsedSeconds();
+  if (!payload.ok()) {
+    // E.g. dictionary refusing high-cardinality input: teach the bandit.
+    lossless_bandit_->Update(arm_idx, 0.0);
+    Outcome outcome;
+    outcome.arm_name = arm.name;
+    outcome.met_target = false;
+    return outcome;
+  }
+  double ratio =
+      compress::CompressionRatio(payload.value().size(), values.size());
+  // Paper SIV-C1: the lossless MAB minimizes compressed size only.
+  double reward = std::clamp(1.0 - ratio, 0.0, 1.0);
+  lossless_bandit_->Update(arm_idx, reward);
+
+  Outcome outcome;
+  if (ratio > config_.target_ratio && config_.target_ratio >= 1.0) {
+    // The codec inflated the segment but raw already fits the link:
+    // ship uncompressed instead of escalating to lossy.
+    outcome.segment = Segment::FromValues(id, now, values);
+    outcome.arm_name = "raw";
+    outcome.met_target = true;
+    outcome.reward = reward;
+    outcome.accuracy = 1.0;
+    outcome.compress_seconds = seconds;
+    consecutive_misses_ = 0;
+    return outcome;
+  }
+  outcome.segment = MakeSegment(id, now, values, arm,
+                                std::move(payload).value(),
+                                SegmentState::kLossless);
+  outcome.arm_name = arm.name;
+  outcome.used_lossy = false;
+  outcome.met_target = ratio <= config_.target_ratio;
+  outcome.reward = reward;
+  outcome.accuracy = 1.0;
+  outcome.compress_seconds = seconds;
+  if (outcome.met_target) consecutive_misses_ = 0;
+  return outcome;
+}
+
+Result<OnlineSelector::Outcome> OnlineSelector::ProcessLossy(
+    uint64_t id, double now, std::span<const double> values) {
+  int arm_idx = lossy_bandit_->SelectArm();
+  // Arms that cannot reach the ratio at all (BUFF-lossy below its floor)
+  // are punished and skipped in favour of the best supporting arm.
+  auto supports = [&](int idx) {
+    return config_.lossy_arms[idx].codec->SupportsRatio(
+        config_.target_ratio, values.size());
+  };
+  if (!supports(arm_idx)) {
+    lossy_bandit_->Update(arm_idx, 0.0);
+    int best = -1;
+    double best_value = -1.0;
+    for (int i = 0; i < static_cast<int>(config_.lossy_arms.size()); ++i) {
+      if (!supports(i)) continue;
+      double v = lossy_bandit_->EstimatedValue(i);
+      if (v > best_value) {
+        best_value = v;
+        best = i;
+      }
+    }
+    if (best < 0) {
+      return Status::Unavailable(
+          "no lossy codec supports the target compression ratio");
+    }
+    arm_idx = best;
+  }
+  compress::CodecArm arm = config_.lossy_arms[arm_idx];
+  arm.params.target_ratio = config_.target_ratio;
+
+  util::Stopwatch watch;
+  auto payload = arm.codec->Compress(values, arm.params);
+  double seconds = watch.ElapsedSeconds();
+  if (!payload.ok()) {
+    lossy_bandit_->Update(arm_idx, 0.0);
+    return payload.status();
+  }
+  ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> reconstructed,
+                           arm.codec->Decompress(payload.value()));
+  double accuracy = evaluator_.Accuracy(values, reconstructed);
+  double reward = evaluator_.Reward(values, reconstructed,
+                                    values.size() * sizeof(double), seconds);
+  lossy_bandit_->Update(arm_idx, reward);
+
+  Outcome outcome;
+  outcome.segment = MakeSegment(id, now, values, arm,
+                                std::move(payload).value(),
+                                SegmentState::kLossy);
+  outcome.arm_name = arm.name;
+  outcome.used_lossy = true;
+  outcome.met_target =
+      outcome.segment.meta().achieved_ratio <=
+      config_.target_ratio * 1.02 + 0.003;
+  outcome.reward = reward;
+  outcome.accuracy = accuracy;
+  outcome.compress_seconds = seconds;
+  return outcome;
+}
+
+std::vector<std::string> OnlineSelector::ArmCounts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  for (size_t i = 0; i < config_.lossless_arms.size(); ++i) {
+    out.push_back(config_.lossless_arms[i].name + ":" +
+                  std::to_string(lossless_bandit_->PullCount(
+                      static_cast<int>(i))));
+  }
+  for (size_t i = 0; i < config_.lossy_arms.size(); ++i) {
+    out.push_back(config_.lossy_arms[i].name + "*:" +
+                  std::to_string(
+                      lossy_bandit_->PullCount(static_cast<int>(i))));
+  }
+  return out;
+}
+
+bool OnlineSelector::lossless_active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lossless_active_;
+}
+
+void OnlineSelector::SetTargetRatio(double target_ratio) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (target_ratio == config_.target_ratio) return;
+  config_.target_ratio = target_ratio;
+  // Feasibility changed: give lossless another chance unless pinned lossy.
+  if (!config_.force_lossy) {
+    lossless_active_ = true;
+    consecutive_misses_ = 0;
+  }
+}
+
+double OnlineSelector::target_ratio() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return config_.target_ratio;
+}
+
+}  // namespace adaedge::core

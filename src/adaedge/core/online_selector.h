@@ -1,0 +1,113 @@
+#ifndef ADAEDGE_CORE_ONLINE_SELECTOR_H_
+#define ADAEDGE_CORE_ONLINE_SELECTOR_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "adaedge/bandit/bandit.h"
+#include "adaedge/compress/registry.h"
+#include "adaedge/core/segment.h"
+#include "adaedge/core/target.h"
+
+namespace adaedge::core {
+
+/// Online-mode configuration (paper SIV-C1). The target ratio R is derived
+/// from system constraints: R = bandwidth / (64 * ingest_rate); see
+/// sim::TargetRatio.
+struct OnlineConfig {
+  /// Compressed size must be <= target_ratio * original size to fit the
+  /// network. >= 1 means lossless always suffices.
+  double target_ratio = 1.0;
+  /// Quantization digits for BUFF/Sprintz arms.
+  int precision = 4;
+  /// Paper: online mode uses epsilon = 0.01 (exploit-heavy), with
+  /// optimistic initial estimates.
+  bandit::BanditConfig bandit = OnlineBanditDefaults();
+
+  static bandit::BanditConfig OnlineBanditDefaults() {
+    bandit::BanditConfig config;
+    config.epsilon = 0.01;
+    config.initial_value = 1.0;
+    return config;
+  }
+  bandit::PolicyKind policy = bandit::PolicyKind::kEpsilonGreedy;
+  /// Candidate sets; empty selects the paper defaults.
+  std::vector<compress::CodecArm> lossless_arms;
+  std::vector<compress::CodecArm> lossy_arms;
+  /// Consecutive lossless misses before switching to the lossy MAB.
+  int lossless_patience = 3;
+  /// Baseline hooks: force_lossy skips the lossless phase entirely
+  /// (fixed-lossy baselines of Fig 7); allow_lossy=false makes a lossless
+  /// miss a hard Unavailable error (lossless-only baselines, CodecDB).
+  bool force_lossy = false;
+  bool allow_lossy = true;
+  /// Re-probe lossless feasibility every this many segments (data shift
+  /// may have made the stream compressible again).
+  uint64_t lossless_recheck_interval = 256;
+};
+
+/// Selects and applies compression per segment for a continuously
+/// connected edge node:
+///
+///  1. While lossless looks feasible, a lossless MAB picks the arm; its
+///     reward is size reduction (1 - achieved ratio), the paper's "solely
+///     ... minimizing the compressed segment size".
+///  2. Once lossless repeatedly misses the target ratio, a dedicated lossy
+///     MAB takes over with the workload target (ML / aggregation /
+///     throughput / weighted) as reward.
+///
+/// Thread-safe; multiple compression threads may call Process.
+class OnlineSelector {
+ public:
+  OnlineSelector(OnlineConfig config, TargetSpec target);
+
+  struct Outcome {
+    Segment segment;
+    std::string arm_name;
+    bool used_lossy = false;
+    /// Achieved ratio <= target (egress feasible).
+    bool met_target = false;
+    /// Bandit reward that was fed back.
+    double reward = 0.0;
+    /// Task accuracy of this segment (1.0 for lossless outcomes).
+    double accuracy = 1.0;
+    double compress_seconds = 0.0;
+  };
+
+  /// Compresses one ingested segment, updating the bandit state.
+  Result<Outcome> Process(uint64_t id, double now,
+                          std::span<const double> values);
+
+  /// Arm pull counts for introspection, "<name>:<count>" per arm.
+  std::vector<std::string> ArmCounts() const;
+
+  bool lossless_active() const;
+
+  /// Updates the target compression ratio (bandwidth changed, or a
+  /// multi-signal node reallocated shares). Takes effect on the next
+  /// Process call; lossless feasibility is re-probed.
+  void SetTargetRatio(double target_ratio);
+
+  double target_ratio() const;
+
+ private:
+  Result<Outcome> ProcessLossless(uint64_t id, double now,
+                                  std::span<const double> values);
+  Result<Outcome> ProcessLossy(uint64_t id, double now,
+                               std::span<const double> values);
+
+  OnlineConfig config_;
+  TargetEvaluator evaluator_;
+  mutable std::mutex mu_;
+  std::unique_ptr<bandit::BanditPolicy> lossless_bandit_;
+  std::unique_ptr<bandit::BanditPolicy> lossy_bandit_;
+  bool lossless_active_;
+  int consecutive_misses_ = 0;
+  uint64_t processed_ = 0;
+};
+
+}  // namespace adaedge::core
+
+#endif  // ADAEDGE_CORE_ONLINE_SELECTOR_H_

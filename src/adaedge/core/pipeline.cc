@@ -1,0 +1,62 @@
+#include "adaedge/core/pipeline.h"
+
+#include "adaedge/util/logging.h"
+
+namespace adaedge::core {
+
+Pipeline::Pipeline(PipelineConfig config, OnlineConfig online,
+                   TargetSpec target)
+    : config_(config),
+      selector_(std::move(online), std::move(target)),
+      uncompressed_(config.uncompressed_capacity),
+      compressed_(config.compressed_capacity) {}
+
+Pipeline::~Pipeline() { Stop(); }
+
+void Pipeline::Start() {
+  if (started_.exchange(true)) return;
+  for (int i = 0; i < config_.compress_threads; ++i) {
+    workers_.emplace_back([this] { CompressLoop(); });
+  }
+}
+
+bool Pipeline::Ingest(std::vector<double> values, double now) {
+  bytes_in_ += values.size() * sizeof(double);
+  ++segments_in_;
+  RawSegment raw{next_id_.fetch_add(1), now, std::move(values)};
+  return uncompressed_.Push(std::move(raw));
+}
+
+std::optional<Pipeline::CompressedSegment> Pipeline::PopCompressed() {
+  return compressed_.Pop();
+}
+
+void Pipeline::Stop() {
+  uncompressed_.Close();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+  compressed_.Close();
+}
+
+void Pipeline::CompressLoop() {
+  while (auto raw = uncompressed_.Pop()) {
+    auto outcome = selector_.Process(raw->id, raw->now, raw->values);
+    if (!outcome.ok()) {
+      ADAEDGE_LOG(kWarn) << "segment " << raw->id
+                         << " compression failed: "
+                         << outcome.status().ToString();
+      continue;
+    }
+    CompressedSegment out;
+    out.arm_name = outcome.value().arm_name;
+    out.accuracy = outcome.value().accuracy;
+    out.segment = std::move(outcome.value().segment);
+    bytes_out_ += out.segment.SizeBytes();
+    ++segments_out_;
+    if (!compressed_.Push(std::move(out))) return;
+  }
+}
+
+}  // namespace adaedge::core

@@ -1,0 +1,86 @@
+#ifndef ADAEDGE_CORE_PIPELINE_H_
+#define ADAEDGE_CORE_PIPELINE_H_
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "adaedge/core/online_selector.h"
+#include "adaedge/util/bounded_queue.h"
+
+namespace adaedge::core {
+
+/// Threaded ingestion pipeline (paper SIV-C): an ingestion producer fills
+/// the uncompressed buffer; N compression threads drain it through the
+/// shared OnlineSelector into the compressed buffer; the consumer (network
+/// egress or disk flush) pops compressed segments. Used by the
+/// scalability experiment and the streaming examples.
+struct PipelineConfig {
+  size_t segment_length = 1024;
+  /// Capacity of the uncompressed buffer in segments; when full, Ingest
+  /// blocks (modelling back-pressure onto the disk-flush path).
+  size_t uncompressed_capacity = 128;
+  size_t compressed_capacity = 128;
+  int compress_threads = 1;
+};
+
+class Pipeline {
+ public:
+  struct CompressedSegment {
+    Segment segment;
+    std::string arm_name;
+    double accuracy = 1.0;
+  };
+
+  Pipeline(PipelineConfig config, OnlineConfig online, TargetSpec target);
+  ~Pipeline();
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Starts the compression threads.
+  void Start();
+
+  /// Enqueues one raw segment (blocks while the uncompressed buffer is
+  /// full). False after Stop().
+  bool Ingest(std::vector<double> values, double now);
+
+  /// Pops the next compressed segment; nullopt once stopped and drained.
+  std::optional<CompressedSegment> PopCompressed();
+
+  /// Closes the intake, drains workers, joins threads.
+  void Stop();
+
+  uint64_t segments_in() const { return segments_in_.load(); }
+  uint64_t segments_out() const { return segments_out_.load(); }
+  uint64_t bytes_in() const { return bytes_in_.load(); }
+  uint64_t bytes_out() const { return bytes_out_.load(); }
+
+  OnlineSelector& selector() { return selector_; }
+
+ private:
+  struct RawSegment {
+    uint64_t id;
+    double now;
+    std::vector<double> values;
+  };
+
+  void CompressLoop();
+
+  PipelineConfig config_;
+  OnlineSelector selector_;
+  util::BoundedQueue<RawSegment> uncompressed_;
+  util::BoundedQueue<CompressedSegment> compressed_;
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<uint64_t> segments_in_{0};
+  std::atomic<uint64_t> segments_out_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace adaedge::core
+
+#endif  // ADAEDGE_CORE_PIPELINE_H_

@@ -1,0 +1,68 @@
+#include "adaedge/core/policy.h"
+
+namespace adaedge::core {
+
+void LruPolicy::OnInsert(uint64_t id) {
+  // New segments join the protected (most recent) end.
+  order_.push_back(id);
+  index_[id] = std::prev(order_.end());
+}
+
+void LruPolicy::MoveToBack(uint64_t id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  order_.push_back(id);
+  it->second = std::prev(order_.end());
+}
+
+void LruPolicy::OnAccess(uint64_t id) { MoveToBack(id); }
+
+void LruPolicy::OnRemove(uint64_t id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+std::optional<uint64_t> LruPolicy::NextVictim() {
+  if (order_.empty()) return std::nullopt;
+  return order_.front();
+}
+
+void LruPolicy::Requeue(uint64_t id) { MoveToBack(id); }
+
+void FifoPolicy::OnInsert(uint64_t id) {
+  order_.push_back(id);
+  index_[id] = std::prev(order_.end());
+}
+
+void FifoPolicy::OnRemove(uint64_t id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  index_.erase(it);
+}
+
+std::optional<uint64_t> FifoPolicy::NextVictim() {
+  if (order_.empty()) return std::nullopt;
+  return order_.front();
+}
+
+void FifoPolicy::Requeue(uint64_t id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  order_.erase(it->second);
+  order_.push_back(id);
+  it->second = std::prev(order_.end());
+}
+
+std::unique_ptr<CompressionPolicy> MakeLruPolicy() {
+  return std::make_unique<LruPolicy>();
+}
+
+std::unique_ptr<CompressionPolicy> MakeFifoPolicy() {
+  return std::make_unique<FifoPolicy>();
+}
+
+}  // namespace adaedge::core

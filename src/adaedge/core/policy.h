@@ -1,0 +1,82 @@
+#ifndef ADAEDGE_CORE_POLICY_H_
+#define ADAEDGE_CORE_POLICY_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <optional>
+#include <string_view>
+#include <unordered_map>
+
+namespace adaedge::core {
+
+/// Orders segments for (re)compression in offline mode (paper SIV-F). The
+/// store calls OnInsert/OnAccess/OnRemove; the recoder asks NextVictim()
+/// for the segment that should be compressed more aggressively next.
+///
+/// Implementations are not thread-safe; SegmentStore serializes access.
+class CompressionPolicy {
+ public:
+  virtual ~CompressionPolicy() = default;
+
+  virtual std::string_view name() const = 0;
+
+  /// A new segment entered the compressed pool.
+  virtual void OnInsert(uint64_t id) = 0;
+
+  /// A query touched the segment (GET). LRU moves it to the protected end.
+  virtual void OnAccess(uint64_t id) = 0;
+
+  /// The segment left the pool (evicted or failed).
+  virtual void OnRemove(uint64_t id) = 0;
+
+  /// The next recoding victim, least valuable first; nullopt when empty.
+  /// The victim stays tracked (recoding keeps the segment, smaller).
+  virtual std::optional<uint64_t> NextVictim() = 0;
+
+  /// Re-queues a victim to the back (it was just recoded; recode the rest
+  /// before touching it again).
+  virtual void Requeue(uint64_t id) = 0;
+};
+
+/// AdaEdge's default: least-recently-used segments are recoded first, so
+/// query-hot and freshly ingested segments keep their fidelity.
+class LruPolicy final : public CompressionPolicy {
+ public:
+  std::string_view name() const override { return "lru"; }
+  void OnInsert(uint64_t id) override;
+  void OnAccess(uint64_t id) override;
+  void OnRemove(uint64_t id) override;
+  std::optional<uint64_t> NextVictim() override;
+  void Requeue(uint64_t id) override;
+
+ private:
+  void MoveToBack(uint64_t id);
+
+  // Front = least recently used = next victim.
+  std::list<uint64_t> order_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+};
+
+/// Oldest-first (round-robin) ordering — RRDtool/TVStore-style baseline;
+/// accesses do not protect segments. Used by the policy ablation bench.
+class FifoPolicy final : public CompressionPolicy {
+ public:
+  std::string_view name() const override { return "fifo"; }
+  void OnInsert(uint64_t id) override;
+  void OnAccess(uint64_t /*id*/) override {}  // age only, accesses ignored
+  void OnRemove(uint64_t id) override;
+  std::optional<uint64_t> NextVictim() override;
+  void Requeue(uint64_t id) override;
+
+ private:
+  std::list<uint64_t> order_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+};
+
+std::unique_ptr<CompressionPolicy> MakeLruPolicy();
+std::unique_ptr<CompressionPolicy> MakeFifoPolicy();
+
+}  // namespace adaedge::core
+
+#endif  // ADAEDGE_CORE_POLICY_H_

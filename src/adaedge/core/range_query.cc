@@ -1,0 +1,104 @@
+#include "adaedge/core/range_query.h"
+
+#include <algorithm>
+
+#include "adaedge/compress/payload_query.h"
+#include "adaedge/compress/registry.h"
+
+namespace adaedge::core {
+
+namespace {
+
+struct Accumulator {
+  query::AggKind kind;
+  double sum = 0.0;
+  double min_v = 0.0;
+  double max_v = 0.0;
+  uint64_t count = 0;
+
+  void AddAggregate(double value, uint64_t n) {
+    // `value` is the aggregate of n values (sum for kSum/kAvg; the
+    // extreme for kMin/kMax).
+    if (n == 0) return;
+    if (count == 0) {
+      min_v = max_v = value;
+    } else {
+      min_v = std::min(min_v, value);
+      max_v = std::max(max_v, value);
+    }
+    sum += value;
+    count += n;
+  }
+
+  double Finish() const {
+    switch (kind) {
+      case query::AggKind::kSum:
+        return sum;
+      case query::AggKind::kAvg:
+        return count > 0 ? sum / static_cast<double>(count) : 0.0;
+      case query::AggKind::kMin:
+        return min_v;
+      case query::AggKind::kMax:
+        return max_v;
+    }
+    return 0.0;
+  }
+};
+
+}  // namespace
+
+util::Result<RangeAggregate> AggregateRange(const SegmentStore& store,
+                                            query::AggKind kind,
+                                            uint64_t from, uint64_t to) {
+  if (from >= to) {
+    return util::Status::InvalidArgument("empty range");
+  }
+  // Sum/Avg combine via per-segment sums; Min/Max via per-segment
+  // extremes.
+  query::AggKind per_segment =
+      kind == query::AggKind::kAvg ? query::AggKind::kSum : kind;
+  Accumulator acc{kind};
+  RangeAggregate result;
+
+  uint64_t offset = 0;  // global index of the current segment's first value
+  for (uint64_t id : store.AllIds()) {
+    ADAEDGE_ASSIGN_OR_RETURN(Segment segment, store.Peek(id));
+    uint64_t n = segment.meta().value_count;
+    uint64_t seg_from = offset;
+    uint64_t seg_to = offset + n;
+    offset = seg_to;
+    if (seg_to <= from) continue;
+    if (seg_from >= to) break;  // AllIds is in ingestion order
+
+    bool fully_covered = from <= seg_from && seg_to <= to;
+    if (fully_covered &&
+        compress::SupportsDirectAggregate(segment.meta().codec,
+                                          per_segment)) {
+      ADAEDGE_ASSIGN_OR_RETURN(
+          double value,
+          compress::AggregatePayloadDirect(per_segment,
+                                           segment.meta().codec,
+                                           segment.payload()));
+      acc.AddAggregate(value, n);
+      ++result.in_situ_segments;
+      continue;
+    }
+    // Partial overlap (or no fast path): reconstruct and aggregate the
+    // covered slice.
+    ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> values,
+                             segment.Materialize());
+    uint64_t lo = std::max(from, seg_from) - seg_from;
+    uint64_t hi = std::min(to, seg_to) - seg_from;
+    std::span<const double> slice(values.data() + lo, hi - lo);
+    acc.AddAggregate(query::Aggregate(per_segment, slice), hi - lo);
+    ++result.decompressed_segments;
+  }
+  if (acc.count == 0) {
+    return util::Status::NotFound("range covers no stored values");
+  }
+  result.value = acc.Finish();
+  result.count = acc.count;
+  return result;
+}
+
+}  // namespace adaedge::core

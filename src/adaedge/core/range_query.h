@@ -1,0 +1,37 @@
+#ifndef ADAEDGE_CORE_RANGE_QUERY_H_
+#define ADAEDGE_CORE_RANGE_QUERY_H_
+
+#include <cstdint>
+
+#include "adaedge/core/segment_store.h"
+#include "adaedge/query/aggregate.h"
+
+namespace adaedge::core {
+
+/// Aggregation over a contiguous range of the ingested series, addressed
+/// by global value index in ingestion order (segment boundaries are
+/// handled internally). Fully covered segments are answered by the
+/// codecs' in-situ fast paths where available; only the partial edge
+/// segments are decompressed. This is the "aggregation queries ... over
+/// the compressed data" workflow of paper SIV-C, lifted from one segment
+/// to the store.
+struct RangeAggregate {
+  double value = 0.0;
+  /// Values actually covered (the store may hold fewer than requested).
+  uint64_t count = 0;
+  /// Segments answered without decompression.
+  size_t in_situ_segments = 0;
+  /// Segments that had to be decompressed (partial overlap or no path).
+  size_t decompressed_segments = 0;
+};
+
+/// Computes `kind` over global value indices [from, to). Reads do not
+/// perturb the store's LRU order (Peek semantics). NotFound if the range
+/// touches no stored values.
+util::Result<RangeAggregate> AggregateRange(const SegmentStore& store,
+                                            query::AggKind kind,
+                                            uint64_t from, uint64_t to);
+
+}  // namespace adaedge::core
+
+#endif  // ADAEDGE_CORE_RANGE_QUERY_H_

@@ -1,0 +1,90 @@
+#include "adaedge/core/segment.h"
+
+#include "adaedge/compress/registry.h"
+#include "adaedge/util/crc32.h"
+
+namespace adaedge::core {
+
+Segment Segment::FromValues(uint64_t id, double ingest_time,
+                            std::span<const double> values) {
+  Segment segment;
+  segment.meta_.id = id;
+  segment.meta_.ingest_time = ingest_time;
+  segment.meta_.value_count = static_cast<uint32_t>(values.size());
+  segment.meta_.state = SegmentState::kRaw;
+  segment.meta_.codec = compress::CodecId::kRaw;
+  auto raw = compress::GetCodec(compress::CodecId::kRaw)
+                 ->Compress(values, compress::CodecParams{});
+  segment.SetPayload(std::move(raw).value());
+  return segment;
+}
+
+Segment Segment::FromPayload(SegmentMeta meta, std::vector<uint8_t> payload) {
+  Segment segment;
+  segment.meta_ = meta;
+  segment.SetPayload(std::move(payload));
+  return segment;
+}
+
+void Segment::SetPayload(std::vector<uint8_t> payload) {
+  payload_ = std::move(payload);
+  meta_.crc = util::Crc32(payload_);
+  meta_.achieved_ratio =
+      compress::CompressionRatio(payload_.size(), meta_.value_count);
+}
+
+Result<std::vector<double>> Segment::Materialize() const {
+  if (util::Crc32(payload_) != meta_.crc) {
+    return Status::Corruption("segment payload CRC mismatch");
+  }
+  auto codec = compress::GetCodec(meta_.codec);
+  if (codec == nullptr) {
+    return Status::Corruption("segment references unknown codec");
+  }
+  ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> values,
+                           codec->Decompress(payload_));
+  if (values.size() != meta_.value_count) {
+    return Status::Corruption("segment value count mismatch");
+  }
+  return values;
+}
+
+Status Segment::Reencode(compress::CodecId codec_id,
+                         const compress::CodecParams& params,
+                         std::span<const double> values) {
+  auto codec = compress::GetCodec(codec_id);
+  if (codec == nullptr) {
+    return Status::InvalidArgument("unknown codec");
+  }
+  std::vector<double> materialized;
+  if (values.empty() && meta_.value_count > 0) {
+    ADAEDGE_ASSIGN_OR_RETURN(materialized, Materialize());
+    values = materialized;
+  }
+  ADAEDGE_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                           codec->Compress(values, params));
+  meta_.codec = codec_id;
+  meta_.params = params;
+  meta_.state = codec->kind() == compress::CodecKind::kLossy
+                    ? SegmentState::kLossy
+                    : (codec_id == compress::CodecId::kRaw
+                           ? SegmentState::kRaw
+                           : SegmentState::kLossless);
+  SetPayload(std::move(payload));
+  return Status::Ok();
+}
+
+Status Segment::RecodeInPlace(double new_target_ratio) {
+  auto codec = compress::GetCodec(meta_.codec);
+  if (codec == nullptr || !codec->SupportsRecode()) {
+    return Status::FailedPrecondition(
+        "segment codec does not support virtual-decompression recoding");
+  }
+  ADAEDGE_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                           codec->Recode(payload_, new_target_ratio));
+  meta_.params.target_ratio = new_target_ratio;
+  SetPayload(std::move(payload));
+  return Status::Ok();
+}
+
+}  // namespace adaedge::core

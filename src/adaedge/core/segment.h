@@ -1,0 +1,84 @@
+#ifndef ADAEDGE_CORE_SEGMENT_H_
+#define ADAEDGE_CORE_SEGMENT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "adaedge/compress/codec.h"
+
+namespace adaedge::core {
+
+using util::Result;
+using util::Status;
+
+/// How a segment's payload is currently encoded.
+enum class SegmentState : uint8_t {
+  kRaw = 0,       // uncompressed 8-byte doubles
+  kLossless = 1,  // exact (at configured precision)
+  kLossy = 2,     // approximate
+};
+
+/// Metadata carried with every segment (paper SIV-C: "each segment ... is
+/// associated with metadata describing its compression configurations").
+struct SegmentMeta {
+  uint64_t id = 0;
+  /// Virtual ingestion timestamp in seconds.
+  double ingest_time = 0.0;
+  /// Number of double samples the segment represents.
+  uint32_t value_count = 0;
+  SegmentState state = SegmentState::kRaw;
+  compress::CodecId codec = compress::CodecId::kRaw;
+  /// Parameters the codec was invoked with (needed for recoding).
+  compress::CodecParams params;
+  /// payload bytes / (8 * value_count).
+  double achieved_ratio = 1.0;
+  /// CRC32 of the payload, checked before decompression.
+  uint32_t crc = 0;
+  /// Query accesses since ingestion (drives informativeness policies).
+  uint64_t access_count = 0;
+};
+
+/// One fixed-length run of samples plus its encoded payload.
+class Segment {
+ public:
+  Segment() = default;
+
+  /// Wraps raw (uncompressed) values.
+  static Segment FromValues(uint64_t id, double ingest_time,
+                            std::span<const double> values);
+
+  /// Wraps an already-encoded payload.
+  static Segment FromPayload(SegmentMeta meta, std::vector<uint8_t> payload);
+
+  const SegmentMeta& meta() const { return meta_; }
+  SegmentMeta& mutable_meta() { return meta_; }
+  const std::vector<uint8_t>& payload() const { return payload_; }
+
+  /// Bytes this segment occupies in a buffer or on disk.
+  size_t SizeBytes() const { return payload_.size(); }
+
+  /// Decompresses (and CRC-checks) the payload back to samples.
+  Result<std::vector<double>> Materialize() const;
+
+  /// Re-encodes this segment in place with `codec` at `params`. The caller
+  /// provides the original values when they are cheaply available
+  /// (raw state); otherwise pass empty and the segment materializes itself.
+  Status Reencode(compress::CodecId codec,
+                  const compress::CodecParams& params,
+                  std::span<const double> values = {});
+
+  /// Applies same-codec virtual-decompression recoding to
+  /// `new_target_ratio`; FailedPrecondition if the codec cannot.
+  Status RecodeInPlace(double new_target_ratio);
+
+ private:
+  void SetPayload(std::vector<uint8_t> payload);
+
+  SegmentMeta meta_;
+  std::vector<uint8_t> payload_;
+};
+
+}  // namespace adaedge::core
+
+#endif  // ADAEDGE_CORE_SEGMENT_H_

@@ -1,0 +1,115 @@
+#include "adaedge/core/segment_store.h"
+
+#include <algorithm>
+
+namespace adaedge::core {
+
+SegmentStore::SegmentStore(sim::StorageBudget* budget,
+                           std::unique_ptr<CompressionPolicy> policy)
+    : budget_(budget), policy_(std::move(policy)) {}
+
+Status SegmentStore::Put(Segment segment) {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t id = segment.meta().id;
+  if (segments_.contains(id)) {
+    return Status::InvalidArgument("segment id already stored");
+  }
+  if (!budget_->TryReserve(segment.SizeBytes())) {
+    return Status::ResourceExhausted("storage budget exceeded on PUT");
+  }
+  policy_->OnInsert(id);
+  segments_.emplace(id, std::move(segment));
+  return Status::Ok();
+}
+
+Result<Segment> SegmentStore::Get(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(id);
+  if (it == segments_.end()) {
+    return Status::NotFound("segment not in store");
+  }
+  ++it->second.mutable_meta().access_count;
+  policy_->OnAccess(id);
+  return it->second;
+}
+
+Result<std::vector<double>> SegmentStore::Read(uint64_t id) {
+  ADAEDGE_ASSIGN_OR_RETURN(Segment segment, Get(id));
+  return segment.Materialize();
+}
+
+Result<Segment> SegmentStore::Peek(uint64_t id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(id);
+  if (it == segments_.end()) {
+    return Status::NotFound("segment not in store");
+  }
+  return it->second;
+}
+
+Status SegmentStore::Remove(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(id);
+  if (it == segments_.end()) {
+    return Status::NotFound("segment not in store");
+  }
+  budget_->Release(it->second.SizeBytes());
+  policy_->OnRemove(id);
+  segments_.erase(it);
+  return Status::Ok();
+}
+
+std::optional<uint64_t> SegmentStore::NextVictim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return policy_->NextVictim();
+}
+
+void SegmentStore::RequeueVictim(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  policy_->Requeue(id);
+}
+
+Status SegmentStore::Mutate(
+    uint64_t id, const std::function<Status(Segment&)>& mutate) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = segments_.find(id);
+  if (it == segments_.end()) {
+    return Status::NotFound("segment not in store");
+  }
+  size_t old_size = it->second.SizeBytes();
+  ADAEDGE_RETURN_IF_ERROR(mutate(it->second));
+  size_t new_size = it->second.SizeBytes();
+  if (!budget_->Resize(old_size, new_size)) {
+    return Status::ResourceExhausted("storage budget exceeded on mutate");
+  }
+  policy_->Requeue(id);
+  return Status::Ok();
+}
+
+size_t SegmentStore::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return segments_.size();
+}
+
+size_t SegmentStore::total_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t total = 0;
+  for (const auto& [id, segment] : segments_) total += segment.SizeBytes();
+  return total;
+}
+
+std::vector<uint64_t> SegmentStore::AllIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<double, uint64_t>> by_time;
+  by_time.reserve(segments_.size());
+  for (const auto& [id, segment] : segments_) {
+    by_time.emplace_back(segment.meta().ingest_time, id);
+  }
+  std::sort(by_time.begin(), by_time.end());
+  std::vector<uint64_t> ids;
+  ids.reserve(by_time.size());
+  for (const auto& [time, id] : by_time) ids.push_back(id);
+  return ids;
+}
+
+}  // namespace adaedge::core

@@ -1,0 +1,77 @@
+#ifndef ADAEDGE_CORE_SEGMENT_STORE_H_
+#define ADAEDGE_CORE_SEGMENT_STORE_H_
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "adaedge/core/policy.h"
+#include "adaedge/core/segment.h"
+#include "adaedge/sim/constraints.h"
+
+namespace adaedge::core {
+
+/// The compressed segment pool of offline mode: standard PUT/GET APIs over
+/// segments (paper SIV-B2: "a dedicated segment management component with
+/// standard GET and PUT APIs for different policies"), storage-budget
+/// accounting, and a pluggable recoding-order policy (LRU by default).
+///
+/// Thread-safe: the compression and recoding threads share one store.
+class SegmentStore {
+ public:
+  SegmentStore(sim::StorageBudget* budget,
+               std::unique_ptr<CompressionPolicy> policy);
+
+  /// Inserts a segment, reserving its bytes from the budget.
+  /// ResourceExhausted if the hard capacity would be breached.
+  Status Put(Segment segment);
+
+  /// Reads (a copy of) a segment and marks it accessed — under LRU this
+  /// protects it from the next recoding wave.
+  Result<Segment> Get(uint64_t id);
+
+  /// Materializes a segment's samples (GET + decompress).
+  Result<std::vector<double>> Read(uint64_t id);
+
+  /// Reads a segment WITHOUT recording an access (evaluation sweeps must
+  /// not perturb the LRU order).
+  Result<Segment> Peek(uint64_t id) const;
+
+  /// Removes a segment, releasing its bytes.
+  Status Remove(uint64_t id);
+
+  /// Next recoding victim per the policy (without consuming it).
+  std::optional<uint64_t> NextVictim();
+
+  /// Sends a victim to the back of the policy order without mutating it
+  /// (e.g. it turned out to be at its compression floor).
+  void RequeueVictim(uint64_t id);
+
+  /// Applies `mutate` to the stored segment under the store lock and
+  /// re-accounts its size with the budget. `mutate` returns non-OK to
+  /// abort (no size change is committed). On success the segment is
+  /// re-queued at the protected end of the policy order.
+  Status Mutate(uint64_t id,
+                const std::function<Status(Segment&)>& mutate);
+
+  size_t count() const;
+  size_t total_bytes() const;
+
+  /// Ids ordered by ingestion time (for evaluation sweeps).
+  std::vector<uint64_t> AllIds() const;
+
+  sim::StorageBudget* budget() { return budget_; }
+
+ private:
+  sim::StorageBudget* budget_;  // not owned
+  std::unique_ptr<CompressionPolicy> policy_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Segment> segments_;
+};
+
+}  // namespace adaedge::core
+
+#endif  // ADAEDGE_CORE_SEGMENT_STORE_H_

@@ -1,0 +1,139 @@
+#include "adaedge/core/store_io.h"
+
+#include <cstdio>
+
+#include "adaedge/compress/registry.h"
+#include "adaedge/util/crc32.h"
+
+namespace adaedge::core {
+
+namespace {
+
+constexpr uint32_t kFileMagic = 0xADAE5E01;  // "AdaEdge segments v1"
+
+}  // namespace
+
+void SerializeSegment(const Segment& segment, util::ByteWriter& writer) {
+  const SegmentMeta& meta = segment.meta();
+  writer.PutVarint(meta.id);
+  writer.PutF64(meta.ingest_time);
+  writer.PutU32(meta.value_count);
+  writer.PutU8(static_cast<uint8_t>(meta.state));
+  writer.PutU8(static_cast<uint8_t>(meta.codec));
+  writer.PutU8(static_cast<uint8_t>(meta.params.level));
+  writer.PutU8(static_cast<uint8_t>(meta.params.precision));
+  writer.PutF64(meta.params.target_ratio);
+  writer.PutU32(meta.crc);
+  writer.PutVarint(meta.access_count);
+  writer.PutVarint(segment.payload().size());
+  writer.PutBytes(segment.payload());
+}
+
+Result<Segment> DeserializeSegment(util::ByteReader& reader) {
+  SegmentMeta meta;
+  ADAEDGE_ASSIGN_OR_RETURN(meta.id, reader.GetVarint());
+  ADAEDGE_ASSIGN_OR_RETURN(meta.ingest_time, reader.GetF64());
+  ADAEDGE_ASSIGN_OR_RETURN(meta.value_count, reader.GetU32());
+  ADAEDGE_ASSIGN_OR_RETURN(uint8_t state, reader.GetU8());
+  if (state > static_cast<uint8_t>(SegmentState::kLossy)) {
+    return Status::Corruption("segment file: bad state");
+  }
+  meta.state = static_cast<SegmentState>(state);
+  ADAEDGE_ASSIGN_OR_RETURN(uint8_t codec, reader.GetU8());
+  meta.codec = static_cast<compress::CodecId>(codec);
+  if (compress::GetCodec(meta.codec) == nullptr) {
+    return Status::Corruption("segment file: unknown codec id");
+  }
+  ADAEDGE_ASSIGN_OR_RETURN(uint8_t level, reader.GetU8());
+  meta.params.level = level;
+  ADAEDGE_ASSIGN_OR_RETURN(uint8_t precision, reader.GetU8());
+  meta.params.precision = precision;
+  ADAEDGE_ASSIGN_OR_RETURN(meta.params.target_ratio, reader.GetF64());
+  ADAEDGE_ASSIGN_OR_RETURN(uint32_t crc, reader.GetU32());
+  ADAEDGE_ASSIGN_OR_RETURN(meta.access_count, reader.GetVarint());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t payload_size, reader.GetVarint());
+  ADAEDGE_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                           reader.GetBytes(payload_size));
+  if (util::Crc32(payload) != crc) {
+    return Status::Corruption("segment file: payload CRC mismatch");
+  }
+  // FromPayload recomputes crc/ratio from the payload; restore the
+  // access count afterwards.
+  Segment segment = Segment::FromPayload(meta, std::move(payload));
+  segment.mutable_meta().access_count = meta.access_count;
+  return segment;
+}
+
+Status SaveSegmentsToFile(const std::vector<Segment>& segments,
+                          const std::string& path) {
+  util::ByteWriter writer;
+  writer.PutU32(kFileMagic);
+  writer.PutVarint(segments.size());
+  for (const Segment& segment : segments) {
+    SerializeSegment(segment, writer);
+  }
+  std::vector<uint8_t> bytes = writer.Finish();
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("cannot open file for writing: " + path);
+  }
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != bytes.size() || close_rc != 0) {
+    return Status::Internal("short write to " + path);
+  }
+  return Status::Ok();
+}
+
+Result<std::vector<Segment>> LoadSegmentsFromFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0) {
+    std::fclose(f);
+    return Status::Internal("cannot stat file: " + path);
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(size));
+  size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (read != bytes.size()) {
+    return Status::Internal("short read from " + path);
+  }
+  util::ByteReader reader(bytes.data(), bytes.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint32_t magic, reader.GetU32());
+  if (magic != kFileMagic) {
+    return Status::Corruption("not an AdaEdge segment file: " + path);
+  }
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
+  std::vector<Segment> segments;
+  segments.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ADAEDGE_ASSIGN_OR_RETURN(Segment segment, DeserializeSegment(reader));
+    segments.push_back(std::move(segment));
+  }
+  return segments;
+}
+
+Status SaveStoreToFile(const SegmentStore& store, const std::string& path) {
+  std::vector<Segment> segments;
+  for (uint64_t id : store.AllIds()) {
+    ADAEDGE_ASSIGN_OR_RETURN(Segment segment, store.Peek(id));
+    segments.push_back(std::move(segment));
+  }
+  return SaveSegmentsToFile(segments, path);
+}
+
+Status LoadFileIntoStore(const std::string& path, SegmentStore& store) {
+  ADAEDGE_ASSIGN_OR_RETURN(std::vector<Segment> segments,
+                           LoadSegmentsFromFile(path));
+  for (Segment& segment : segments) {
+    ADAEDGE_RETURN_IF_ERROR(store.Put(std::move(segment)));
+  }
+  return Status::Ok();
+}
+
+}  // namespace adaedge::core

@@ -1,0 +1,43 @@
+#ifndef ADAEDGE_CORE_STORE_IO_H_
+#define ADAEDGE_CORE_STORE_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "adaedge/core/segment.h"
+#include "adaedge/core/segment_store.h"
+#include "adaedge/util/byte_io.h"
+
+namespace adaedge::core {
+
+/// Binary persistence for segments — the paper's "flushed to the disk"
+/// path for both buffers, and the format an offline node offloads when a
+/// network window finally opens.
+///
+/// File layout: magic, version, segment count, then per segment the
+/// serialized metadata followed by the (already CRC-protected) payload.
+/// The format is self-contained: loading needs no external state.
+
+/// Serializes one segment (metadata + payload) into `writer`.
+void SerializeSegment(const Segment& segment, util::ByteWriter& writer);
+
+/// Deserializes one segment; validates the payload CRC.
+Result<Segment> DeserializeSegment(util::ByteReader& reader);
+
+/// Writes all of `segments` to `path` (overwrites).
+Status SaveSegmentsToFile(const std::vector<Segment>& segments,
+                          const std::string& path);
+
+/// Reads a segment file written by SaveSegmentsToFile.
+Result<std::vector<Segment>> LoadSegmentsFromFile(const std::string& path);
+
+/// Dumps a store's full contents (in ingestion order) to `path`.
+Status SaveStoreToFile(const SegmentStore& store, const std::string& path);
+
+/// Loads a segment file into a store (PUTs every segment; fails on
+/// budget overflow or duplicate ids).
+Status LoadFileIntoStore(const std::string& path, SegmentStore& store);
+
+}  // namespace adaedge::core
+
+#endif  // ADAEDGE_CORE_STORE_IO_H_

@@ -1,0 +1,118 @@
+#include "adaedge/core/target.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaedge::core {
+
+TargetSpec TargetSpec::MlAccuracy(std::shared_ptr<const ml::Model> model,
+                                  size_t instance_length) {
+  TargetSpec spec;
+  spec.w_ml = 1.0;
+  spec.model = std::move(model);
+  spec.instance_length = instance_length;
+  return spec;
+}
+
+TargetSpec TargetSpec::AggAccuracy(query::AggKind kind) {
+  TargetSpec spec;
+  spec.w_agg = 1.0;
+  spec.agg = kind;
+  return spec;
+}
+
+TargetSpec TargetSpec::Throughput() {
+  TargetSpec spec;
+  spec.w_throughput = 1.0;
+  return spec;
+}
+
+TargetSpec TargetSpec::Complex(double w_agg, double w_ml, double w_throughput,
+                               query::AggKind kind,
+                               std::shared_ptr<const ml::Model> model,
+                               size_t instance_length) {
+  TargetSpec spec;
+  spec.w_agg = w_agg;
+  spec.w_ml = w_ml;
+  spec.w_throughput = w_throughput;
+  spec.agg = kind;
+  spec.model = std::move(model);
+  spec.instance_length = instance_length;
+  return spec;
+}
+
+std::string TargetSpec::ToString() const {
+  std::string out;
+  auto append = [&](double w, const std::string& name) {
+    if (w <= 0.0) return;
+    if (!out.empty()) out += " + ";
+    out += std::to_string(w) + "*" + name;
+  };
+  append(w_agg, "acc_" + std::string(query::AggKindName(agg)));
+  append(w_ml, "acc_" + std::string(model ? model->name() : "ml"));
+  append(w_throughput, "cthr");
+  return out.empty() ? "none" : out;
+}
+
+double TargetEvaluator::MlAccuracy(std::span<const double> original,
+                                   std::span<const double> reconstructed) const {
+  if (spec_.model == nullptr || spec_.instance_length == 0) return 1.0;
+  size_t window = spec_.instance_length;
+  size_t n = std::min(original.size(), reconstructed.size());
+  size_t instances = n / window;
+  if (instances == 0) return 1.0;
+  size_t matched = 0;
+  for (size_t i = 0; i < instances; ++i) {
+    auto a = original.subspan(i * window, window);
+    auto b = reconstructed.subspan(i * window, window);
+    if (spec_.model->Predict(a) == spec_.model->Predict(b)) ++matched;
+  }
+  return static_cast<double>(matched) / static_cast<double>(instances);
+}
+
+double TargetEvaluator::AggAccuracy(
+    std::span<const double> original,
+    std::span<const double> reconstructed) const {
+  return query::RelativeAggAccuracy(spec_.agg, original, reconstructed);
+}
+
+double TargetEvaluator::NormalizedThroughput(size_t original_bytes,
+                                             double seconds) {
+  double thr = query::CompressionThroughput(original_bytes, seconds);
+  max_throughput_ = std::max(max_throughput_, thr);
+  return max_throughput_ > 0.0 ? thr / max_throughput_ : 0.0;
+}
+
+double TargetEvaluator::Accuracy(std::span<const double> original,
+                                 std::span<const double> reconstructed) const {
+  double denom = spec_.w_agg + spec_.w_ml;
+  if (denom <= 0.0) return 1.0;
+  double acc = 0.0;
+  if (spec_.w_agg > 0.0) {
+    acc += spec_.w_agg * AggAccuracy(original, reconstructed);
+  }
+  if (spec_.w_ml > 0.0) {
+    acc += spec_.w_ml * MlAccuracy(original, reconstructed);
+  }
+  return acc / denom;
+}
+
+double TargetEvaluator::Reward(std::span<const double> original,
+                               std::span<const double> reconstructed,
+                               size_t original_bytes,
+                               double compress_seconds) {
+  double reward = 0.0;
+  if (spec_.w_agg > 0.0) {
+    reward += spec_.w_agg * AggAccuracy(original, reconstructed);
+  }
+  if (spec_.w_ml > 0.0) {
+    reward += spec_.w_ml * MlAccuracy(original, reconstructed);
+  }
+  if (spec_.w_throughput > 0.0) {
+    reward += spec_.w_throughput *
+              NormalizedThroughput(original_bytes, compress_seconds);
+  }
+  return reward;
+}
+
+}  // namespace adaedge::core

@@ -1,0 +1,97 @@
+#ifndef ADAEDGE_CORE_TARGET_H_
+#define ADAEDGE_CORE_TARGET_H_
+
+#include <algorithm>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "adaedge/ml/model.h"
+#include "adaedge/query/aggregate.h"
+
+namespace adaedge::core {
+
+/// The optimization target a selection bandit maximizes (paper SIV-D):
+/// a weighted combination of aggregation accuracy, ML task accuracy and
+/// compression throughput, each normalized to [0, 1]:
+///
+///   target_c = w1 * ACC_agg + w2 * ACC_ml + w3 * C_thr
+///
+/// with w1 + w2 + w3 = 1. Single targets set one weight to 1.
+struct TargetSpec {
+  double w_agg = 0.0;
+  double w_ml = 0.0;
+  double w_throughput = 0.0;
+  query::AggKind agg = query::AggKind::kSum;
+  /// Frozen model for the ML component (serialized/shipped per SIV-D1);
+  /// shared so selectors and evaluators can co-own it.
+  std::shared_ptr<const ml::Model> model;
+  /// Instance length the model expects; segments are split into
+  /// consecutive windows of this many samples for prediction.
+  size_t instance_length = 0;
+
+  static TargetSpec MlAccuracy(std::shared_ptr<const ml::Model> model,
+                               size_t instance_length);
+  static TargetSpec AggAccuracy(query::AggKind kind);
+  static TargetSpec Throughput();
+  static TargetSpec Complex(double w_agg, double w_ml, double w_throughput,
+                            query::AggKind kind,
+                            std::shared_ptr<const ml::Model> model,
+                            size_t instance_length);
+
+  /// Human-readable description for logs/benches.
+  std::string ToString() const;
+};
+
+/// Evaluates the target for one compressed segment. Throughput is
+/// normalized by the running maximum observed so far (so the weighted sum
+/// stays on [0, 1], as the paper requires for complex targets).
+///
+/// Not thread-safe; selectors own one instance each and serialize access.
+class TargetEvaluator {
+ public:
+  explicit TargetEvaluator(TargetSpec spec) : spec_(std::move(spec)) {}
+
+  const TargetSpec& spec() const { return spec_; }
+
+  /// ACC_ml over the instances in this segment: the fraction of windows
+  /// whose prediction on `reconstructed` matches the one on `original`.
+  double MlAccuracy(std::span<const double> original,
+                    std::span<const double> reconstructed) const;
+
+  /// ACC_agg on this segment.
+  double AggAccuracy(std::span<const double> original,
+                     std::span<const double> reconstructed) const;
+
+  /// Normalized throughput in [0, 1] given the measured compression time;
+  /// updates the running maximum.
+  double NormalizedThroughput(size_t original_bytes, double seconds);
+
+  /// Pins the normalization reference (bytes/second). Benchmarks comparing
+  /// multiple selectors prime every evaluator with the same reference so
+  /// their C_thr components share one scale.
+  void SetThroughputReference(double bytes_per_sec) {
+    max_throughput_ = std::max(max_throughput_, bytes_per_sec);
+  }
+
+  /// The accuracy-only part of the target: the weighted mean of ACC_agg
+  /// and ACC_ml (throughput excluded). 1.0 when the target has no
+  /// accuracy component.
+  double Accuracy(std::span<const double> original,
+                  std::span<const double> reconstructed) const;
+
+  /// Full weighted reward for one segment outcome. For lossless outcomes
+  /// pass reconstructed == original (accuracies become 1).
+  double Reward(std::span<const double> original,
+                std::span<const double> reconstructed, size_t original_bytes,
+                double compress_seconds);
+
+ private:
+  TargetSpec spec_;
+  double max_throughput_ = 0.0;
+};
+
+}  // namespace adaedge::core
+
+#endif  // ADAEDGE_CORE_TARGET_H_

@@ -1,0 +1,202 @@
+#include "adaedge/data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaedge::data {
+
+namespace {
+
+double RoundTo(double v, int precision) {
+  double scale = std::pow(10.0, precision);
+  return std::round(v * scale) / scale;
+}
+
+}  // namespace
+
+CbfGenerator::CbfGenerator(uint64_t seed, size_t length, int precision)
+    : rng_(seed), length_(length), precision_(precision) {}
+
+LabeledSeries CbfGenerator::Next() {
+  return Next(static_cast<int>(rng_.NextBelow(3)));
+}
+
+LabeledSeries CbfGenerator::Next(int label) {
+  LabeledSeries out;
+  out.label = label;
+  out.values.resize(length_);
+  // Saito's parameters are defined for length 128; scale the plateau
+  // placement proportionally for other lengths.
+  double scale = static_cast<double>(length_) / 128.0;
+  double a = rng_.NextUniform(16.0, 32.0) * scale;
+  double width = rng_.NextUniform(32.0, 96.0) * scale;
+  double b = a + width;
+  double eta = rng_.NextGaussian();
+  double amplitude = 6.0 + eta;
+  for (size_t i = 0; i < length_; ++i) {
+    double t = static_cast<double>(i);
+    double shape = 0.0;
+    if (t >= a && t <= b) {
+      switch (label) {
+        case 0:  // cylinder
+          shape = 1.0;
+          break;
+        case 1:  // bell: ramps up across the plateau
+          shape = (t - a) / (b - a);
+          break;
+        default:  // funnel: ramps down across the plateau
+          shape = (b - t) / (b - a);
+          break;
+      }
+    }
+    double eps = rng_.NextGaussian();
+    out.values[i] = RoundTo(amplitude * shape + eps, precision_);
+  }
+  return out;
+}
+
+ml::Dataset MakeCbfDataset(size_t instances, size_t length, uint64_t seed,
+                           int precision) {
+  CbfGenerator gen(seed, length, precision);
+  ml::Dataset data;
+  for (size_t i = 0; i < instances; ++i) {
+    LabeledSeries s = gen.Next(static_cast<int>(i % 3));
+    data.features.AppendRow(s.values);
+    data.labels.push_back(s.label);
+  }
+  return data;
+}
+
+ml::Dataset MakeUcrLikeDataset(size_t instances, size_t length,
+                               int num_classes, uint64_t seed,
+                               int precision) {
+  util::Rng rng(seed);
+  ml::Dataset data;
+  std::vector<double> row(length);
+  num_classes = std::max(num_classes, 2);
+  for (size_t i = 0; i < instances; ++i) {
+    int label = static_cast<int>(i % num_classes);
+    // Each class is a distinct waveform family; instances vary in phase,
+    // amplitude and noise, like UCR shape-classification problems.
+    double phase = rng.NextUniform(0.0, 2.0 * M_PI);
+    double amp = rng.NextUniform(2.0, 4.0);
+    double noise = 0.35;
+    for (size_t t = 0; t < length; ++t) {
+      double x = static_cast<double>(t) / static_cast<double>(length);
+      double v = 0.0;
+      switch (label % 5) {
+        case 0:  // tone
+          v = amp * std::sin(2.0 * M_PI * 3.0 * x + phase);
+          break;
+        case 1:  // chirp (frequency grows along the series)
+          v = amp * std::sin(2.0 * M_PI * (2.0 + 6.0 * x) * x + phase);
+          break;
+        case 2:  // bump
+          v = amp * std::exp(-40.0 * (x - 0.5) * (x - 0.5));
+          break;
+        case 3:  // sawtooth
+          v = amp * (2.0 * std::fmod(3.0 * x + phase / (2.0 * M_PI), 1.0) -
+                     1.0);
+          break;
+        default:  // square-ish tone
+          v = amp * (std::sin(2.0 * M_PI * 2.0 * x + phase) > 0 ? 1.0 : -1.0);
+          break;
+      }
+      // Higher class indices reuse a family with a distinct frequency so
+      // arbitrary num_classes stays separable.
+      if (label >= 5) {
+        v *= 0.6;
+        v += 0.8 * std::sin(2.0 * M_PI * (label - 3.0) * x);
+      }
+      row[t] = RoundTo(v + noise * rng.NextGaussian(), precision);
+    }
+    data.features.AppendRow(row);
+    data.labels.push_back(label);
+  }
+  return data;
+}
+
+ml::Dataset MakeUciLikeDataset(size_t instances, size_t length,
+                               int num_classes, uint64_t seed,
+                               int precision) {
+  num_classes = std::max(num_classes, 2);
+  util::Rng meta_rng(seed);
+  // Per-feature magnitude: 8 contiguous scale groups spanning ~5 decades,
+  // like a sensor table mixing pressure, temperature and trace-gas
+  // columns. Class information is a weak +-1 offset per (class, feature).
+  std::vector<double> scale(length);
+  for (size_t j = 0; j < length; ++j) {
+    size_t group = j * 8 / std::max<size_t>(length, 1);
+    scale[j] = 200.0 / std::pow(4.0, static_cast<double>(group));
+  }
+  std::vector<std::vector<double>> pattern(num_classes,
+                                           std::vector<double>(length));
+  for (auto& class_pattern : pattern) {
+    for (auto& p : class_pattern) {
+      p = meta_rng.NextBool(0.5) ? 1.0 : -1.0;
+    }
+  }
+
+  util::Rng rng(seed ^ 0x5bd1e995u);
+  ml::Dataset data;
+  std::vector<double> row(length);
+  for (size_t i = 0; i < instances; ++i) {
+    int label = static_cast<int>(i % num_classes);
+    for (size_t j = 0; j < length; ++j) {
+      double v = scale[j] * (0.8 * pattern[label][j] +
+                             0.6 * rng.NextGaussian());
+      row[j] = RoundTo(v, precision);
+    }
+    data.features.AppendRow(row);
+    data.labels.push_back(label);
+  }
+  return data;
+}
+
+CbfStream::CbfStream(uint64_t seed, size_t instance_length, int precision)
+    : generator_(seed, instance_length, precision) {}
+
+double CbfStream::Next() {
+  if (pos_ >= current_.size()) {
+    current_ = generator_.Next().values;
+    pos_ = 0;
+  }
+  return current_[pos_++];
+}
+
+LowEntropyStream::LowEntropyStream(uint64_t seed, int precision)
+    : rng_(seed), precision_(precision) {}
+
+void LowEntropyStream::Repattern() {
+  pattern_.resize(48);
+  for (auto& v : pattern_) {
+    // 8 distinct levels; adjacent values differ so RLE/delta get no
+    // free lunch while LZ matches whole periods.
+    v = RoundTo(static_cast<double>(rng_.NextBelow(8)) * 0.5, precision_);
+  }
+  repeats_left_ = 200 + rng_.NextBelow(400);
+  pos_ = 0;
+}
+
+double LowEntropyStream::Next() {
+  if (repeats_left_ == 0 && pos_ == 0) Repattern();
+  double v = pattern_[pos_];
+  if (++pos_ == pattern_.size()) {
+    pos_ = 0;
+    --repeats_left_;
+  }
+  return v;
+}
+
+ShiftStream::ShiftStream(uint64_t seed, uint64_t shift_point, int precision)
+    : high_(seed, 128, precision),
+      low_(seed ^ 0x9e3779b97f4a7c15ULL, precision),
+      shift_point_(shift_point) {}
+
+double ShiftStream::Next() {
+  double v = emitted_ < shift_point_ ? high_.Next() : low_.Next();
+  ++emitted_;
+  return v;
+}
+
+}  // namespace adaedge::data

@@ -1,0 +1,132 @@
+#ifndef ADAEDGE_DATA_GENERATORS_H_
+#define ADAEDGE_DATA_GENERATORS_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "adaedge/ml/dataset.h"
+#include "adaedge/util/rng.h"
+
+namespace adaedge::data {
+
+/// One labeled instance (a fixed-length time-series segment).
+struct LabeledSeries {
+  std::vector<double> values;
+  int label = 0;
+};
+
+/// Cylinder-Bell-Funnel generator (Saito 1994), the controlled-distribution
+/// dataset the paper streams in SV-B. Classes:
+///   0 cylinder: (6+eta)*X_[a,b](t) + eps(t)
+///   1 bell:     (6+eta)*X_[a,b](t)*(t-a)/(b-a) + eps(t)
+///   2 funnel:   (6+eta)*X_[a,b](t)*(b-t)/(b-a) + eps(t)
+/// with a ~ U[16,32], b-a ~ U[32,96], eta/eps ~ N(0,1).
+///
+/// Values are rounded to `precision` decimals (the paper configures BUFF /
+/// Sprintz at 4 digits for CBF), making lossless codecs exact on them.
+class CbfGenerator {
+ public:
+  explicit CbfGenerator(uint64_t seed, size_t length = 128,
+                        int precision = 4);
+
+  /// Next instance of a uniformly random class.
+  LabeledSeries Next();
+  /// Next instance of the given class (0, 1, 2).
+  LabeledSeries Next(int label);
+
+  size_t length() const { return length_; }
+
+ private:
+  util::Rng rng_;
+  size_t length_;
+  int precision_;
+};
+
+/// Labeled CBF dataset of `instances` rows.
+ml::Dataset MakeCbfDataset(size_t instances, size_t length, uint64_t seed,
+                           int precision = 4);
+
+/// UCR-archive-like suite: shape-based classes built from distinct base
+/// waveforms (tones, chirps, bumps, sawtooths) with random phase, warp and
+/// additive noise; rounded to `precision` decimals (paper: 5 for UCR).
+ml::Dataset MakeUcrLikeDataset(size_t instances, size_t length,
+                               int num_classes, uint64_t seed,
+                               int precision = 5);
+
+/// UCI-repository-like suite: "tabular sensor" instances whose features
+/// span mixed magnitudes (grouped scale decades, like real sensor tables
+/// mixing kPa, degC and ppm columns) with weak class-informative offsets
+/// per feature. This is what makes tree models gradually sensitive to
+/// lossy compression: a single-scale quantizer (BUFF) erases the
+/// small-scale features first, window averaging (PAA) mixes adjacent
+/// unrelated columns. Rounded to `precision` decimals (paper: 6 for UCI).
+ml::Dataset MakeUciLikeDataset(size_t instances, size_t length,
+                               int num_classes, uint64_t seed,
+                               int precision = 6);
+
+/// Infinite point stream feeding the ingestion pipeline.
+class Stream {
+ public:
+  virtual ~Stream() = default;
+  /// Next data point.
+  virtual double Next() = 0;
+  /// Fills `out` with the next out.size() points.
+  void Fill(std::span<double> out) {
+    for (auto& v : out) v = Next();
+  }
+};
+
+/// Streams concatenated CBF instances (the paper's "dummy client ...
+/// generates data points from the CBF dataset").
+class CbfStream final : public Stream {
+ public:
+  explicit CbfStream(uint64_t seed, size_t instance_length = 128,
+                     int precision = 4);
+  double Next() override;
+
+ private:
+  CbfGenerator generator_;
+  std::vector<double> current_;
+  size_t pos_ = 0;
+};
+
+/// Low-entropy stream: a repeating pattern drawn from a small value
+/// alphabet (re-randomized rarely). Byte-LZ compressors (Deflate) crush
+/// the repetition; delta coders (Sprintz/Gorilla) must still pay for
+/// every step — the regime where the Fig 15 bandit must switch codecs.
+class LowEntropyStream final : public Stream {
+ public:
+  explicit LowEntropyStream(uint64_t seed, int precision = 4);
+  double Next() override;
+
+ private:
+  void Repattern();
+
+  util::Rng rng_;
+  int precision_;
+  std::vector<double> pattern_;
+  size_t pos_ = 0;
+  size_t repeats_left_ = 0;
+};
+
+/// Fig 15's shifting workload: the first `shift_point` points come from a
+/// high-entropy CBF stream, everything after from a low-entropy stream.
+class ShiftStream final : public Stream {
+ public:
+  ShiftStream(uint64_t seed, uint64_t shift_point, int precision = 4);
+  double Next() override;
+
+  uint64_t emitted() const { return emitted_; }
+
+ private:
+  CbfStream high_;
+  LowEntropyStream low_;
+  uint64_t shift_point_;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace adaedge::data
+
+#endif  // ADAEDGE_DATA_GENERATORS_H_

@@ -1,0 +1,31 @@
+#include "adaedge/ml/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace adaedge::ml {
+
+void Matrix::AppendRow(std::span<const double> row) {
+  if (cols_ == 0) cols_ = row.size();
+  assert(row.size() == cols_ && "row width mismatch");
+  data_.insert(data_.end(), row.begin(), row.end());
+}
+
+int Dataset::num_classes() const {
+  int max_label = -1;
+  for (int l : labels) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+SplitDataset SplitTrainTest(const Dataset& data, size_t holdout) {
+  SplitDataset out;
+  for (size_t i = 0; i < data.size(); ++i) {
+    Dataset& dst = (holdout > 0 && i % holdout == holdout - 1) ? out.test
+                                                               : out.train;
+    dst.features.AppendRow(data.features.Row(i));
+    if (i < data.labels.size()) dst.labels.push_back(data.labels[i]);
+  }
+  return out;
+}
+
+}  // namespace adaedge::ml

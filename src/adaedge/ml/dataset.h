@@ -1,0 +1,62 @@
+#ifndef ADAEDGE_ML_DATASET_H_
+#define ADAEDGE_ML_DATASET_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "adaedge/util/status.h"
+
+namespace adaedge::ml {
+
+/// Row-major instance matrix: each row is one time-series segment treated
+/// as a feature vector (the paper's UCR/UCI-style evaluation unit).
+class Matrix {
+ public:
+  Matrix() : cols_(0) {}
+  Matrix(size_t rows, size_t cols) : data_(rows * cols, 0.0), cols_(cols) {}
+
+  size_t rows() const { return cols_ == 0 ? 0 : data_.size() / cols_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+
+  std::span<const double> Row(size_t i) const {
+    return std::span<const double>(data_.data() + i * cols_, cols_);
+  }
+  std::span<double> MutableRow(size_t i) {
+    return std::span<double>(data_.data() + i * cols_, cols_);
+  }
+  double At(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+  double& At(size_t r, size_t c) { return data_[r * cols_ + c]; }
+
+  /// Appends one row; its length must equal cols() (or set cols on first
+  /// append into an empty matrix).
+  void AppendRow(std::span<const double> row);
+
+  const std::vector<double>& data() const { return data_; }
+
+ private:
+  std::vector<double> data_;
+  size_t cols_;
+};
+
+/// A labeled dataset for classification (labels) or clustering (labels may
+/// encode ground-truth generator class, unused by k-means training).
+struct Dataset {
+  Matrix features;
+  std::vector<int> labels;
+
+  size_t size() const { return features.rows(); }
+  int num_classes() const;
+};
+
+/// Deterministic train/test row split (every `holdout`-th row to test).
+struct SplitDataset {
+  Dataset train;
+  Dataset test;
+};
+SplitDataset SplitTrainTest(const Dataset& data, size_t holdout = 4);
+
+}  // namespace adaedge::ml
+
+#endif  // ADAEDGE_ML_DATASET_H_

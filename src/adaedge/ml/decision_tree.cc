@@ -1,0 +1,228 @@
+#include "adaedge/ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace adaedge::ml {
+
+namespace {
+
+struct SplitResult {
+  int feature = -1;
+  double threshold = 0.0;
+  double gini = std::numeric_limits<double>::infinity();
+};
+
+int MajorityLabel(const Dataset& data, std::span<const size_t> rows,
+                  int num_classes) {
+  std::vector<size_t> counts(std::max(num_classes, 1), 0);
+  for (size_t r : rows) ++counts[data.labels[r]];
+  return static_cast<int>(
+      std::max_element(counts.begin(), counts.end()) - counts.begin());
+}
+
+bool IsPure(const Dataset& data, std::span<const size_t> rows) {
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (data.labels[rows[i]] != data.labels[rows[0]]) return false;
+  }
+  return true;
+}
+
+// Weighted Gini of a candidate split, evaluated by a single sweep over
+// rows sorted by the feature value.
+SplitResult BestSplit(const Dataset& data, std::span<size_t> rows,
+                      std::span<const int> features, int num_classes,
+                      size_t min_samples_leaf) {
+  SplitResult best;
+  size_t n = rows.size();
+  std::vector<size_t> sorted(rows.begin(), rows.end());
+  std::vector<double> left_counts(num_classes), right_counts(num_classes);
+  for (int f : features) {
+    std::sort(sorted.begin(), sorted.end(), [&](size_t a, size_t b) {
+      return data.features.At(a, f) < data.features.At(b, f);
+    });
+    std::fill(left_counts.begin(), left_counts.end(), 0.0);
+    std::fill(right_counts.begin(), right_counts.end(), 0.0);
+    for (size_t r : sorted) right_counts[data.labels[r]] += 1.0;
+    double left_n = 0.0, right_n = static_cast<double>(n);
+    double left_sq = 0.0;  // sum of squared class counts on the left
+    double right_sq = 0.0;
+    for (double c : right_counts) right_sq += c * c;
+    for (size_t i = 0; i + 1 < n; ++i) {
+      int label = data.labels[sorted[i]];
+      // Move row i from right to left, maintaining sum-of-squares.
+      left_sq += 2.0 * left_counts[label] + 1.0;
+      right_sq += -2.0 * right_counts[label] + 1.0;
+      left_counts[label] += 1.0;
+      right_counts[label] -= 1.0;
+      left_n += 1.0;
+      right_n -= 1.0;
+      double v0 = data.features.At(sorted[i], f);
+      double v1 = data.features.At(sorted[i + 1], f);
+      if (v0 == v1) continue;  // cannot split between equal values
+      if (left_n < static_cast<double>(min_samples_leaf) ||
+          right_n < static_cast<double>(min_samples_leaf)) {
+        continue;
+      }
+      // gini = sum_side (n_side/n) * (1 - sum_c p_c^2)
+      double gini = (left_n - left_sq / left_n + right_n -
+                     right_sq / right_n) /
+                    static_cast<double>(n);
+      if (gini < best.gini) {
+        best.gini = gini;
+        best.feature = f;
+        best.threshold = 0.5 * (v0 + v1);
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::unique_ptr<DecisionTree> DecisionTree::Train(
+    const Dataset& data, const TreeConfig& config,
+    std::span<const size_t> row_indices) {
+  auto tree = std::make_unique<DecisionTree>();
+  tree->num_features_ = data.features.cols();
+  int num_classes = std::max(data.num_classes(), 1);
+  util::Rng rng(config.seed);
+
+  std::vector<size_t> all_rows;
+  if (row_indices.empty()) {
+    all_rows.resize(data.size());
+    std::iota(all_rows.begin(), all_rows.end(), size_t{0});
+  } else {
+    all_rows.assign(row_indices.begin(), row_indices.end());
+  }
+  if (all_rows.empty()) {
+    tree->nodes_.push_back(Node{});
+    return tree;
+  }
+
+  size_t num_features = data.features.cols();
+  size_t features_per_split =
+      config.max_features == 0
+          ? num_features
+          : std::min(config.max_features, num_features);
+
+  // Explicit stack instead of recursion: (node index, row range, depth).
+  struct Work {
+    int32_t node;
+    size_t begin;
+    size_t end;
+    int depth;
+  };
+  std::vector<size_t> rows = std::move(all_rows);
+  std::vector<Work> stack;
+  tree->nodes_.push_back(Node{});
+  stack.push_back(Work{0, 0, rows.size(), 0});
+  std::vector<int> feature_pool(num_features);
+  std::iota(feature_pool.begin(), feature_pool.end(), 0);
+
+  while (!stack.empty()) {
+    Work w = stack.back();
+    stack.pop_back();
+    std::span<size_t> node_rows(rows.data() + w.begin, w.end - w.begin);
+    Node& node = tree->nodes_[w.node];
+    node.label = MajorityLabel(data, node_rows, num_classes);
+    if (w.depth >= config.max_depth ||
+        node_rows.size() < config.min_samples_split ||
+        IsPure(data, node_rows)) {
+      continue;  // leaf
+    }
+    // Sample the feature subset for this split (forest-style subspace).
+    std::span<const int> features;
+    if (features_per_split < num_features) {
+      for (size_t i = 0; i < features_per_split; ++i) {
+        size_t j = i + rng.NextBelow(num_features - i);
+        std::swap(feature_pool[i], feature_pool[j]);
+      }
+      features = std::span<const int>(feature_pool.data(),
+                                      features_per_split);
+    } else {
+      features = feature_pool;
+    }
+    SplitResult split = BestSplit(data, node_rows, features, num_classes,
+                                  config.min_samples_leaf);
+    if (split.feature < 0) continue;  // no valid split
+
+    auto mid_it = std::partition(node_rows.begin(), node_rows.end(),
+                                 [&](size_t r) {
+                                   return data.features.At(
+                                              r, split.feature) <=
+                                          split.threshold;
+                                 });
+    size_t mid = w.begin + static_cast<size_t>(
+                               std::distance(node_rows.begin(), mid_it));
+    if (mid == w.begin || mid == w.end) continue;  // degenerate partition
+
+    int32_t left = static_cast<int32_t>(tree->nodes_.size());
+    tree->nodes_.push_back(Node{});
+    int32_t right = static_cast<int32_t>(tree->nodes_.size());
+    tree->nodes_.push_back(Node{});
+    // `node` reference may be invalidated by push_back; re-index.
+    Node& parent = tree->nodes_[w.node];
+    parent.feature = split.feature;
+    parent.threshold = split.threshold;
+    parent.left = left;
+    parent.right = right;
+    stack.push_back(Work{left, w.begin, mid, w.depth + 1});
+    stack.push_back(Work{right, mid, w.end, w.depth + 1});
+  }
+  return tree;
+}
+
+int DecisionTree::Predict(std::span<const double> features) const {
+  if (nodes_.empty()) return 0;
+  int32_t idx = 0;
+  while (nodes_[idx].feature >= 0) {
+    const Node& node = nodes_[idx];
+    idx = features[node.feature] <= node.threshold ? node.left : node.right;
+  }
+  return nodes_[idx].label;
+}
+
+void DecisionTree::SerializeBody(util::ByteWriter& writer) const {
+  writer.PutVarint(num_features_);
+  writer.PutVarint(nodes_.size());
+  for (const Node& node : nodes_) {
+    writer.PutI32(node.feature);
+    writer.PutF64(node.threshold);
+    writer.PutI32(node.left);
+    writer.PutI32(node.right);
+    writer.PutI32(node.label);
+  }
+}
+
+Result<std::unique_ptr<DecisionTree>> DecisionTree::DeserializeBody(
+    util::ByteReader& reader) {
+  auto tree = std::make_unique<DecisionTree>();
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t num_features, reader.GetVarint());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
+  tree->num_features_ = num_features;
+  tree->nodes_.resize(count);
+  for (size_t i = 0; i < count; ++i) {
+    Node& node = tree->nodes_[i];
+    ADAEDGE_ASSIGN_OR_RETURN(node.feature, reader.GetI32());
+    ADAEDGE_ASSIGN_OR_RETURN(node.threshold, reader.GetF64());
+    ADAEDGE_ASSIGN_OR_RETURN(node.left, reader.GetI32());
+    ADAEDGE_ASSIGN_OR_RETURN(node.right, reader.GetI32());
+    ADAEDGE_ASSIGN_OR_RETURN(node.label, reader.GetI32());
+    // Children always follow their parent (training appends them later),
+    // which also rules out cycles in corrupt payloads.
+    if (node.feature >= 0 &&
+        (node.left <= static_cast<int32_t>(i) ||
+         node.right <= static_cast<int32_t>(i) ||
+         node.left >= static_cast<int32_t>(count) ||
+         node.right >= static_cast<int32_t>(count) ||
+         node.feature >= static_cast<int32_t>(num_features))) {
+      return Status::Corruption("dtree: invalid node wiring");
+    }
+  }
+  return tree;
+}
+
+}  // namespace adaedge::ml

@@ -1,0 +1,61 @@
+#ifndef ADAEDGE_ML_DECISION_TREE_H_
+#define ADAEDGE_ML_DECISION_TREE_H_
+
+#include <memory>
+#include <vector>
+
+#include "adaedge/ml/model.h"
+#include "adaedge/util/rng.h"
+
+namespace adaedge::ml {
+
+/// CART training knobs.
+struct TreeConfig {
+  int max_depth = 12;
+  size_t min_samples_split = 4;
+  size_t min_samples_leaf = 2;
+  /// Features examined per split; 0 = all (single tree),
+  /// forest uses ~sqrt(#features).
+  size_t max_features = 0;
+  uint64_t seed = 17;
+};
+
+/// CART decision tree (Gini impurity, axis-aligned thresholds). The
+/// paper's dtree workload; deliberately sensitive to small feature
+/// perturbations (Fig 5's motivation).
+class DecisionTree final : public Model {
+ public:
+  /// Flat node array; leaves have feature == -1 and carry the label.
+  struct Node {
+    int32_t feature = -1;
+    double threshold = 0.0;
+    int32_t left = -1;    // index into nodes_
+    int32_t right = -1;
+    int32_t label = 0;    // majority label (valid for leaves)
+  };
+
+  /// Trains a tree. `row_indices` (optional) restricts training to a bag
+  /// of rows — used by RandomForest; empty means all rows.
+  static std::unique_ptr<DecisionTree> Train(
+      const Dataset& data, const TreeConfig& config,
+      std::span<const size_t> row_indices = {});
+
+  ModelKind kind() const override { return ModelKind::kDecisionTree; }
+  size_t num_features() const override { return num_features_; }
+  int Predict(std::span<const double> features) const override;
+  void SerializeBody(util::ByteWriter& writer) const override;
+
+  static Result<std::unique_ptr<DecisionTree>> DeserializeBody(
+      util::ByteReader& reader);
+
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  friend class RandomForest;
+  std::vector<Node> nodes_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace adaedge::ml
+
+#endif  // ADAEDGE_ML_DECISION_TREE_H_

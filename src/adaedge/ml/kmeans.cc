@@ -1,0 +1,148 @@
+#include "adaedge/ml/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "adaedge/util/rng.h"
+
+namespace adaedge::ml {
+
+namespace {
+
+double SquaredDistance(std::span<const double> a, std::span<const double> b) {
+  double d = 0.0;
+  size_t n = std::min(a.size(), b.size());
+  for (size_t i = 0; i < n; ++i) {
+    double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+std::unique_ptr<KMeans> KMeans::Train(const Dataset& data,
+                                      const KMeansConfig& config) {
+  auto model = std::make_unique<KMeans>();
+  size_t n = data.size();
+  size_t cols = data.features.cols();
+  size_t k = std::min<size_t>(std::max(config.k, 1), std::max<size_t>(n, 1));
+  model->centroids_ = Matrix(k, cols);
+  if (n == 0) return model;
+
+  util::Rng rng(config.seed);
+  // k-means++ seeding: each next centre is sampled proportionally to its
+  // squared distance from the closest centre chosen so far.
+  std::vector<size_t> centres;
+  centres.push_back(rng.NextBelow(n));
+  std::vector<double> min_dist(n, std::numeric_limits<double>::infinity());
+  while (centres.size() < k) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double d = SquaredDistance(data.features.Row(i),
+                                 data.features.Row(centres.back()));
+      min_dist[i] = std::min(min_dist[i], d);
+      total += min_dist[i];
+    }
+    size_t pick = 0;
+    if (total > 0.0) {
+      double r = rng.NextDouble() * total;
+      double acc = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        acc += min_dist[i];
+        if (acc >= r) {
+          pick = i;
+          break;
+        }
+      }
+    } else {
+      pick = rng.NextBelow(n);
+    }
+    centres.push_back(pick);
+  }
+  for (size_t c = 0; c < k; ++c) {
+    auto dst = model->centroids_.MutableRow(c);
+    auto src = data.features.Row(centres[c]);
+    std::copy(src.begin(), src.end(), dst.begin());
+  }
+
+  // Lloyd iterations.
+  std::vector<int> assignment(n, -1);
+  std::vector<double> sums(k * cols);
+  std::vector<size_t> counts(k);
+  for (int it = 0; it < config.max_iterations; ++it) {
+    bool changed = false;
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (size_t i = 0; i < n; ++i) {
+      auto row = data.features.Row(i);
+      int best = 0;
+      double best_d = std::numeric_limits<double>::infinity();
+      for (size_t c = 0; c < k; ++c) {
+        double d = SquaredDistance(row, model->centroids_.Row(c));
+        if (d < best_d) {
+          best_d = d;
+          best = static_cast<int>(c);
+        }
+      }
+      if (assignment[i] != best) {
+        assignment[i] = best;
+        changed = true;
+      }
+      ++counts[best];
+      for (size_t j = 0; j < cols; ++j) sums[best * cols + j] += row[j];
+    }
+    if (!changed && it > 0) break;
+    for (size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) continue;  // keep the stale centroid
+      auto dst = model->centroids_.MutableRow(c);
+      for (size_t j = 0; j < cols; ++j) {
+        dst[j] = sums[c * cols + j] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  return model;
+}
+
+int KMeans::Predict(std::span<const double> features) const {
+  int best = 0;
+  double best_d = std::numeric_limits<double>::infinity();
+  for (size_t c = 0; c < centroids_.rows(); ++c) {
+    double d = SquaredDistance(features, centroids_.Row(c));
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(c);
+    }
+  }
+  return best;
+}
+
+void KMeans::SerializeBody(util::ByteWriter& writer) const {
+  writer.PutVarint(centroids_.rows());
+  writer.PutVarint(centroids_.cols());
+  for (size_t i = 0; i < centroids_.rows(); ++i) {
+    for (double v : centroids_.Row(i)) writer.PutF64(v);
+  }
+}
+
+Result<std::unique_ptr<KMeans>> KMeans::DeserializeBody(
+    util::ByteReader& reader) {
+  auto model = std::make_unique<KMeans>();
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t rows, reader.GetVarint());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t cols, reader.GetVarint());
+  if (reader.remaining() < rows * cols * 8) {
+    return Status::Corruption("kmeans: truncated centroids");
+  }
+  model->centroids_ = Matrix(rows, cols);
+  for (uint64_t i = 0; i < rows; ++i) {
+    auto row = model->centroids_.MutableRow(i);
+    for (uint64_t j = 0; j < cols; ++j) {
+      ADAEDGE_ASSIGN_OR_RETURN(row[j], reader.GetF64());
+    }
+  }
+  return model;
+}
+
+}  // namespace adaedge::ml

@@ -1,0 +1,44 @@
+#ifndef ADAEDGE_ML_KMEANS_H_
+#define ADAEDGE_ML_KMEANS_H_
+
+#include <memory>
+
+#include "adaedge/ml/model.h"
+
+namespace adaedge::ml {
+
+struct KMeansConfig {
+  int k = 3;
+  int max_iterations = 100;
+  uint64_t seed = 101;
+};
+
+/// Lloyd's k-means with k-means++ initialization. Predict returns the
+/// nearest-centroid cluster id; per the paper's protocol, the assignment
+/// on raw data is ground truth and ACC_ml measures assignment churn on
+/// decompressed data (the offline-mode workload of Figs 12-14).
+class KMeans final : public Model {
+ public:
+  static std::unique_ptr<KMeans> Train(const Dataset& data,
+                                       const KMeansConfig& config);
+
+  ModelKind kind() const override { return ModelKind::kKMeans; }
+  size_t num_features() const override { return centroids_.cols(); }
+  int Predict(std::span<const double> features) const override;
+  void SerializeBody(util::ByteWriter& writer) const override;
+
+  static Result<std::unique_ptr<KMeans>> DeserializeBody(
+      util::ByteReader& reader);
+
+  size_t cluster_count() const { return centroids_.rows(); }
+  std::span<const double> centroid(size_t i) const {
+    return centroids_.Row(i);
+  }
+
+ private:
+  Matrix centroids_;
+};
+
+}  // namespace adaedge::ml
+
+#endif  // ADAEDGE_ML_KMEANS_H_

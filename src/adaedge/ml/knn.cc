@@ -1,0 +1,77 @@
+#include "adaedge/ml/knn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adaedge::ml {
+
+std::unique_ptr<Knn> Knn::Train(const Dataset& data, const KnnConfig& config) {
+  auto model = std::make_unique<Knn>();
+  model->k_ = std::max(1, config.k);
+  model->reference_ = data.features;
+  model->labels_ = data.labels;
+  return model;
+}
+
+int Knn::Predict(std::span<const double> features) const {
+  size_t n = reference_.rows();
+  if (n == 0) return 0;
+  size_t k = std::min<size_t>(k_, n);
+  // Partial selection of the k smallest distances.
+  std::vector<std::pair<double, int>> dist(n);
+  for (size_t i = 0; i < n; ++i) {
+    std::span<const double> row = reference_.Row(i);
+    double d = 0.0;
+    size_t m = std::min(row.size(), features.size());
+    for (size_t j = 0; j < m; ++j) {
+      double diff = row[j] - features[j];
+      d += diff * diff;
+    }
+    dist[i] = {d, labels_[i]};
+  }
+  std::nth_element(dist.begin(), dist.begin() + (k - 1), dist.end());
+  std::vector<int> votes;
+  for (size_t i = 0; i < k; ++i) {
+    int label = dist[i].second;
+    if (label >= static_cast<int>(votes.size())) votes.resize(label + 1, 0);
+    ++votes[label];
+  }
+  return static_cast<int>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+void Knn::SerializeBody(util::ByteWriter& writer) const {
+  writer.PutVarint(static_cast<uint64_t>(k_));
+  writer.PutVarint(reference_.rows());
+  writer.PutVarint(reference_.cols());
+  for (size_t i = 0; i < reference_.rows(); ++i) {
+    for (double v : reference_.Row(i)) writer.PutF64(v);
+  }
+  for (int l : labels_) writer.PutVarint(static_cast<uint64_t>(l));
+}
+
+Result<std::unique_ptr<Knn>> Knn::DeserializeBody(util::ByteReader& reader) {
+  auto model = std::make_unique<Knn>();
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t k, reader.GetVarint());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t rows, reader.GetVarint());
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t cols, reader.GetVarint());
+  if (reader.remaining() < rows * cols * 8) {
+    return Status::Corruption("knn: truncated reference matrix");
+  }
+  model->k_ = static_cast<int>(k);
+  model->reference_ = Matrix(rows, cols);
+  for (uint64_t i = 0; i < rows; ++i) {
+    auto row = model->reference_.MutableRow(i);
+    for (uint64_t j = 0; j < cols; ++j) {
+      ADAEDGE_ASSIGN_OR_RETURN(row[j], reader.GetF64());
+    }
+  }
+  model->labels_.resize(rows);
+  for (auto& l : model->labels_) {
+    ADAEDGE_ASSIGN_OR_RETURN(uint64_t v, reader.GetVarint());
+    l = static_cast<int>(v);
+  }
+  return model;
+}
+
+}  // namespace adaedge::ml

@@ -1,0 +1,39 @@
+#ifndef ADAEDGE_ML_KNN_H_
+#define ADAEDGE_ML_KNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "adaedge/ml/model.h"
+
+namespace adaedge::ml {
+
+struct KnnConfig {
+  int k = 5;
+};
+
+/// k-nearest-neighbours classifier under Euclidean distance (the 1-NN/kNN
+/// workload standard in UCR time-series evaluation). "Training" stores the
+/// reference set; prediction is a majority vote over the k closest rows.
+class Knn final : public Model {
+ public:
+  static std::unique_ptr<Knn> Train(const Dataset& data,
+                                    const KnnConfig& config);
+
+  ModelKind kind() const override { return ModelKind::kKnn; }
+  size_t num_features() const override { return reference_.cols(); }
+  int Predict(std::span<const double> features) const override;
+  void SerializeBody(util::ByteWriter& writer) const override;
+
+  static Result<std::unique_ptr<Knn>> DeserializeBody(
+      util::ByteReader& reader);
+
+ private:
+  int k_ = 5;
+  Matrix reference_;
+  std::vector<int> labels_;
+};
+
+}  // namespace adaedge::ml
+
+#endif  // ADAEDGE_ML_KNN_H_

@@ -1,0 +1,93 @@
+#include "adaedge/ml/model.h"
+
+#include "adaedge/ml/decision_tree.h"
+#include "adaedge/ml/kmeans.h"
+#include "adaedge/ml/knn.h"
+#include "adaedge/ml/random_forest.h"
+
+namespace adaedge::ml {
+
+namespace {
+
+// Container magic so stray blobs are rejected early.
+constexpr uint16_t kModelMagic = 0xAE31;  // "AdaEdge ML v1"
+
+}  // namespace
+
+std::string_view ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kDecisionTree:
+      return "dtree";
+    case ModelKind::kRandomForest:
+      return "rforest";
+    case ModelKind::kKnn:
+      return "knn";
+    case ModelKind::kKMeans:
+      return "kmeans";
+  }
+  return "unknown";
+}
+
+std::vector<int> Model::PredictAll(const Matrix& rows) const {
+  std::vector<int> out(rows.rows());
+  for (size_t i = 0; i < rows.rows(); ++i) {
+    out[i] = Predict(rows.Row(i));
+  }
+  return out;
+}
+
+std::vector<uint8_t> SerializeModel(const Model& model) {
+  util::ByteWriter writer;
+  writer.PutU16(kModelMagic);
+  writer.PutU8(static_cast<uint8_t>(model.kind()));
+  model.SerializeBody(writer);
+  return writer.Finish();
+}
+
+Result<std::unique_ptr<Model>> DeserializeModel(
+    std::span<const uint8_t> blob) {
+  util::ByteReader reader(blob.data(), blob.size());
+  ADAEDGE_ASSIGN_OR_RETURN(uint16_t magic, reader.GetU16());
+  if (magic != kModelMagic) {
+    return Status::Corruption("model blob: bad magic");
+  }
+  ADAEDGE_ASSIGN_OR_RETURN(uint8_t kind_raw, reader.GetU8());
+  switch (static_cast<ModelKind>(kind_raw)) {
+    case ModelKind::kDecisionTree: {
+      ADAEDGE_ASSIGN_OR_RETURN(std::unique_ptr<DecisionTree> m,
+                               DecisionTree::DeserializeBody(reader));
+      return std::unique_ptr<Model>(std::move(m));
+    }
+    case ModelKind::kRandomForest: {
+      ADAEDGE_ASSIGN_OR_RETURN(std::unique_ptr<RandomForest> m,
+                               RandomForest::DeserializeBody(reader));
+      return std::unique_ptr<Model>(std::move(m));
+    }
+    case ModelKind::kKnn: {
+      ADAEDGE_ASSIGN_OR_RETURN(std::unique_ptr<Knn> m,
+                               Knn::DeserializeBody(reader));
+      return std::unique_ptr<Model>(std::move(m));
+    }
+    case ModelKind::kKMeans: {
+      ADAEDGE_ASSIGN_OR_RETURN(std::unique_ptr<KMeans> m,
+                               KMeans::DeserializeBody(reader));
+      return std::unique_ptr<Model>(std::move(m));
+    }
+  }
+  return Status::Corruption("model blob: unknown model kind");
+}
+
+double RelativeMlAccuracy(const Model& model, const Matrix& original,
+                          const Matrix& lossy) {
+  size_t n = std::min(original.rows(), lossy.rows());
+  if (n == 0) return 1.0;
+  size_t matched = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (model.Predict(original.Row(i)) == model.Predict(lossy.Row(i))) {
+      ++matched;
+    }
+  }
+  return static_cast<double>(matched) / static_cast<double>(n);
+}
+
+}  // namespace adaedge::ml

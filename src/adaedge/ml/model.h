@@ -1,0 +1,71 @@
+#ifndef ADAEDGE_ML_MODEL_H_
+#define ADAEDGE_ML_MODEL_H_
+
+#include <memory>
+#include <span>
+#include <string_view>
+#include <vector>
+
+#include "adaedge/ml/dataset.h"
+#include "adaedge/util/byte_io.h"
+#include "adaedge/util/status.h"
+
+namespace adaedge::ml {
+
+using util::Result;
+using util::Status;
+
+/// Stable model-type tags for the serialization container.
+enum class ModelKind : uint8_t {
+  kDecisionTree = 1,
+  kRandomForest = 2,
+  kKnn = 3,
+  kKMeans = 4,
+};
+
+std::string_view ModelKindName(ModelKind kind);
+
+/// A frozen prediction model. Per the paper's protocol (SIV-D1) models are
+/// trained centrally on raw data, serialized, shipped to the edge, and
+/// their raw-data output is treated as ground truth; AdaEdge only ever
+/// *evaluates* them on decompressed segments.
+///
+/// Predict returns a class label (classification) or a cluster id
+/// (k-means). Implementations are immutable after training and thread-safe.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  virtual ModelKind kind() const = 0;
+  std::string_view name() const { return ModelKindName(kind()); }
+
+  /// Number of features the model expects.
+  virtual size_t num_features() const = 0;
+
+  virtual int Predict(std::span<const double> features) const = 0;
+
+  /// Batch prediction (one label per row).
+  std::vector<int> PredictAll(const Matrix& rows) const;
+
+  /// Appends the model body (without the kind tag) to `writer`.
+  virtual void SerializeBody(util::ByteWriter& writer) const = 0;
+};
+
+/// Serializes kind tag + body into a standalone binary blob (the paper's
+/// "serialization and deserialization module to manage instances of
+/// machine learning models").
+std::vector<uint8_t> SerializeModel(const Model& model);
+
+/// Restores a model from SerializeModel output.
+Result<std::unique_ptr<Model>> DeserializeModel(
+    std::span<const uint8_t> blob);
+
+/// ACC_ml (paper SIV-D1): the fraction of segments whose prediction on the
+/// lossy reconstruction matches the prediction on the original data.
+/// `original` and `lossy` must have identical shapes.
+double RelativeMlAccuracy(const Model& model, const Matrix& original,
+                          const Matrix& lossy);
+
+}  // namespace adaedge::ml
+
+#endif  // ADAEDGE_ML_MODEL_H_

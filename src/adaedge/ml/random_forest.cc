@@ -1,0 +1,67 @@
+#include "adaedge/ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "adaedge/util/rng.h"
+
+namespace adaedge::ml {
+
+std::unique_ptr<RandomForest> RandomForest::Train(const Dataset& data,
+                                                  const ForestConfig& config) {
+  auto forest = std::make_unique<RandomForest>();
+  util::Rng rng(config.seed);
+  size_t n = data.size();
+  TreeConfig tree_config = config.tree;
+  if (tree_config.max_features == 0) {
+    tree_config.max_features = std::max<size_t>(
+        1, static_cast<size_t>(
+               std::sqrt(static_cast<double>(data.features.cols()))));
+  }
+  std::vector<size_t> bag(n);
+  for (int t = 0; t < config.num_trees; ++t) {
+    for (size_t i = 0; i < n; ++i) bag[i] = rng.NextBelow(n);  // bootstrap
+    tree_config.seed = rng.NextU64();
+    forest->trees_.push_back(DecisionTree::Train(data, tree_config, bag));
+  }
+  return forest;
+}
+
+size_t RandomForest::num_features() const {
+  return trees_.empty() ? 0 : trees_[0]->num_features();
+}
+
+int RandomForest::Predict(std::span<const double> features) const {
+  if (trees_.empty()) return 0;
+  // Majority vote; labels are small non-negative ints.
+  std::vector<int> votes;
+  for (const auto& tree : trees_) {
+    int label = tree->Predict(features);
+    if (label >= static_cast<int>(votes.size())) {
+      votes.resize(label + 1, 0);
+    }
+    ++votes[label];
+  }
+  return static_cast<int>(
+      std::max_element(votes.begin(), votes.end()) - votes.begin());
+}
+
+void RandomForest::SerializeBody(util::ByteWriter& writer) const {
+  writer.PutVarint(trees_.size());
+  for (const auto& tree : trees_) tree->SerializeBody(writer);
+}
+
+Result<std::unique_ptr<RandomForest>> RandomForest::DeserializeBody(
+    util::ByteReader& reader) {
+  auto forest = std::make_unique<RandomForest>();
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
+  if (count > 100000) return Status::Corruption("rforest: absurd tree count");
+  for (uint64_t i = 0; i < count; ++i) {
+    ADAEDGE_ASSIGN_OR_RETURN(std::unique_ptr<DecisionTree> tree,
+                             DecisionTree::DeserializeBody(reader));
+    forest->trees_.push_back(std::move(tree));
+  }
+  return forest;
+}
+
+}  // namespace adaedge::ml

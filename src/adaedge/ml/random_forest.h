@@ -1,0 +1,40 @@
+#ifndef ADAEDGE_ML_RANDOM_FOREST_H_
+#define ADAEDGE_ML_RANDOM_FOREST_H_
+
+#include <memory>
+#include <vector>
+
+#include "adaedge/ml/decision_tree.h"
+
+namespace adaedge::ml {
+
+struct ForestConfig {
+  int num_trees = 25;
+  TreeConfig tree;  // tree.max_features 0 => sqrt(#features) per split
+  uint64_t seed = 31;
+};
+
+/// Bagged random forest over CART trees with per-split feature
+/// subsampling; majority vote prediction. The paper's rforest workload.
+class RandomForest final : public Model {
+ public:
+  static std::unique_ptr<RandomForest> Train(const Dataset& data,
+                                             const ForestConfig& config);
+
+  ModelKind kind() const override { return ModelKind::kRandomForest; }
+  size_t num_features() const override;
+  int Predict(std::span<const double> features) const override;
+  void SerializeBody(util::ByteWriter& writer) const override;
+
+  static Result<std::unique_ptr<RandomForest>> DeserializeBody(
+      util::ByteReader& reader);
+
+  size_t tree_count() const { return trees_.size(); }
+
+ private:
+  std::vector<std::unique_ptr<DecisionTree>> trees_;
+};
+
+}  // namespace adaedge::ml
+
+#endif  // ADAEDGE_ML_RANDOM_FOREST_H_

@@ -1,0 +1,65 @@
+#include "adaedge/query/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace adaedge::query {
+
+std::string_view AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum:
+      return "sum";
+    case AggKind::kAvg:
+      return "avg";
+    case AggKind::kMin:
+      return "min";
+    case AggKind::kMax:
+      return "max";
+  }
+  return "unknown";
+}
+
+double Aggregate(AggKind kind, std::span<const double> values) {
+  if (values.empty()) return 0.0;
+  switch (kind) {
+    case AggKind::kSum:
+    case AggKind::kAvg: {
+      double sum = 0.0;
+      for (double v : values) sum += v;
+      return kind == AggKind::kSum
+                 ? sum
+                 : sum / static_cast<double>(values.size());
+    }
+    case AggKind::kMin:
+      return *std::min_element(values.begin(), values.end());
+    case AggKind::kMax:
+      return *std::max_element(values.begin(), values.end());
+  }
+  return 0.0;
+}
+
+double RelativeAggAccuracy(double true_value, double lossy_value) {
+  double denom = std::abs(true_value);
+  if (denom < 1e-300) {
+    // Degenerate truth: exact match scores 1, anything else 0.
+    return std::abs(lossy_value) < 1e-9 ? 1.0 : 0.0;
+  }
+  double acc = 1.0 - std::abs(true_value - lossy_value) / denom;
+  return std::clamp(acc, 0.0, 1.0);
+}
+
+double RelativeAggAccuracy(AggKind kind, std::span<const double> original,
+                           std::span<const double> reconstructed) {
+  return RelativeAggAccuracy(Aggregate(kind, original),
+                             Aggregate(kind, reconstructed));
+}
+
+double CompressionThroughput(size_t original_bytes, double seconds) {
+  if (seconds <= 0.0) {
+    return static_cast<double>(original_bytes) / 1e-9;
+  }
+  return static_cast<double>(original_bytes) / seconds;
+}
+
+}  // namespace adaedge::query

@@ -1,0 +1,34 @@
+#ifndef ADAEDGE_QUERY_AGGREGATE_H_
+#define ADAEDGE_QUERY_AGGREGATE_H_
+
+#include <span>
+#include <string_view>
+
+namespace adaedge::query {
+
+/// Aggregation operators supported as optimization targets (paper SIV-D:
+/// "minimum, maximum, sum, and average calculations").
+enum class AggKind { kSum, kAvg, kMin, kMax };
+
+std::string_view AggKindName(AggKind kind);
+
+/// Evaluates the aggregate over one segment. Empty input yields 0.
+double Aggregate(AggKind kind, std::span<const double> values);
+
+/// ACC_agg (paper SIV-D2): 1 - |V_true - V_lossy| / |V_true|.
+/// Clamped to [0, 1]; a zero true value scores 1 iff the lossy value is
+/// also ~zero.
+double RelativeAggAccuracy(double true_value, double lossy_value);
+
+/// Convenience: relative accuracy of `kind` evaluated on original vs.
+/// reconstructed values.
+double RelativeAggAccuracy(AggKind kind, std::span<const double> original,
+                           std::span<const double> reconstructed);
+
+/// Compression throughput C_thr = original_bytes / seconds (paper SIV-D2).
+/// Returns bytes/second; zero elapsed time yields +inf-free large value.
+double CompressionThroughput(size_t original_bytes, double seconds);
+
+}  // namespace adaedge::query
+
+#endif  // ADAEDGE_QUERY_AGGREGATE_H_

@@ -1,0 +1,101 @@
+#include "adaedge/sim/constraints.h"
+
+#include <algorithm>
+
+namespace adaedge::sim {
+
+std::string_view NetworkTypeName(NetworkType type) {
+  switch (type) {
+    case NetworkType::kNone:
+      return "offline";
+    case NetworkType::k2G:
+      return "2G";
+    case NetworkType::k3G:
+      return "3G";
+    case NetworkType::k4G:
+      return "4G";
+    case NetworkType::kWifi:
+      return "WiFi";
+    case NetworkType::kSatellite:
+      return "satellite";
+  }
+  return "unknown";
+}
+
+double BandwidthBytesPerSec(NetworkType type) {
+  switch (type) {
+    case NetworkType::kNone:
+      return 0.0;
+    case NetworkType::k2G:
+      return 0.03e6;
+    case NetworkType::k3G:
+      return 0.75e6;
+    case NetworkType::k4G:
+      return 12.5e6;
+    case NetworkType::kWifi:
+      return 37.5e6;
+    case NetworkType::kSatellite:
+      return 0.25e6;
+  }
+  return 0.0;
+}
+
+double TargetRatio(double bandwidth_bytes_per_sec, double points_per_sec) {
+  if (bandwidth_bytes_per_sec <= 0.0) return 0.0;
+  if (points_per_sec <= 0.0) return 1.0;
+  return bandwidth_bytes_per_sec / (8.0 * points_per_sec);
+}
+
+void Network::Send(size_t bytes, double now_seconds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  bytes_sent_ += bytes;
+  last_send_time_ = std::max(last_send_time_, now_seconds);
+}
+
+size_t Network::bytes_sent() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_sent_;
+}
+
+bool Network::WithinCapacity(double now_seconds) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (now_seconds <= 0.0) return bytes_sent_ == 0;
+  return static_cast<double>(bytes_sent_) <=
+         bytes_per_sec_ * now_seconds * 1.0001;
+}
+
+bool StorageBudget::TryReserve(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (used_ + bytes > capacity_) return false;
+  used_ += bytes;
+  return true;
+}
+
+void StorageBudget::Release(size_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  used_ = bytes > used_ ? 0 : used_ - bytes;
+}
+
+bool StorageBudget::Resize(size_t old_bytes, size_t new_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t base = old_bytes > used_ ? 0 : used_ - old_bytes;
+  if (base + new_bytes > capacity_) return false;
+  used_ = base + new_bytes;
+  return true;
+}
+
+size_t StorageBudget::used() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return used_;
+}
+
+double StorageBudget::utilization() const {
+  if (capacity_ == 0) return 1.0;
+  return static_cast<double>(used()) / static_cast<double>(capacity_);
+}
+
+bool StorageBudget::NeedsRecoding() const {
+  return utilization() >= threshold_;
+}
+
+}  // namespace adaedge::sim

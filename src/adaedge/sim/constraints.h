@@ -1,0 +1,115 @@
+#ifndef ADAEDGE_SIM_CONSTRAINTS_H_
+#define ADAEDGE_SIM_CONSTRAINTS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+
+namespace adaedge::sim {
+
+/// Network technologies with representative sustained bandwidths — the
+/// horizontal capacity lines of the paper's Fig 3. The paper notes
+/// cellular bandwidth spans 0.01-200 Mbps in practice.
+enum class NetworkType {
+  kNone,       // offline: no egress at all
+  k2G,         // ~0.03 MB/s
+  k3G,         // ~0.75 MB/s
+  k4G,         // ~12.5 MB/s
+  kWifi,       // ~37.5 MB/s
+  kSatellite,  // ~0.25 MB/s, the oil-platform scenario
+};
+
+std::string_view NetworkTypeName(NetworkType type);
+
+/// Sustained bandwidth in bytes/second for the preset.
+double BandwidthBytesPerSec(NetworkType type);
+
+/// The online-mode provisional target ratio R = B / (64 * I) (paper
+/// SIV-C1): bandwidth `bandwidth_bytes_per_sec`, ingestion of
+/// `points_per_sec` 8-byte doubles. Values above 1 mean "no compression
+/// required"; <= 0 inputs are treated as offline (returns 0).
+double TargetRatio(double bandwidth_bytes_per_sec, double points_per_sec);
+
+/// A simulated network link: accounts egressed bytes against virtual time
+/// and reports whether the link is keeping up.
+class Network {
+ public:
+  explicit Network(NetworkType type)
+      : Network(BandwidthBytesPerSec(type)) {}
+  explicit Network(double bytes_per_sec) : bytes_per_sec_(bytes_per_sec) {}
+
+  double bytes_per_sec() const { return bytes_per_sec_; }
+
+  /// Records an egress of `bytes` at virtual time `now_seconds`.
+  void Send(size_t bytes, double now_seconds);
+
+  /// Total bytes sent so far.
+  size_t bytes_sent() const;
+
+  /// True if the cumulative egress rate has stayed within capacity up to
+  /// `now_seconds`.
+  bool WithinCapacity(double now_seconds) const;
+
+ private:
+  double bytes_per_sec_;
+  mutable std::mutex mu_;
+  size_t bytes_sent_ = 0;
+  double last_send_time_ = 0.0;
+};
+
+/// Thread-safe storage accounting with the paper's recoding threshold
+/// theta: when used/capacity reaches theta, the recoding process wakes up
+/// to free space (SIV-C2; the evaluation uses theta = 0.8).
+class StorageBudget {
+ public:
+  StorageBudget(size_t capacity_bytes, double recode_threshold = 0.8)
+      : capacity_(capacity_bytes), threshold_(recode_threshold) {}
+
+  /// Reserves `bytes`; false (and no change) if the hard capacity would be
+  /// exceeded — the experiment-failure condition of Fig 14.
+  bool TryReserve(size_t bytes);
+
+  /// Releases `bytes` (recoding shrank or dropped a segment).
+  void Release(size_t bytes);
+
+  /// Adjusts usage by the signed difference new_size - old_size.
+  bool Resize(size_t old_bytes, size_t new_bytes);
+
+  size_t used() const;
+  size_t capacity() const { return capacity_; }
+  double threshold() const { return threshold_; }
+  double utilization() const;
+
+  /// True when usage has crossed the recoding threshold.
+  bool NeedsRecoding() const;
+
+ private:
+  const size_t capacity_;
+  const double threshold_;
+  mutable std::mutex mu_;
+  size_t used_ = 0;
+};
+
+/// Thread allocation limits (paper SV: "4 threads by default: one for
+/// ingestion, one for compression, one for recoding, and one for task
+/// evaluation").
+struct HardwareProfile {
+  int ingest_threads = 1;
+  int compress_threads = 1;
+  int recode_threads = 1;
+  int eval_threads = 1;
+
+  static HardwareProfile Default() { return HardwareProfile{}; }
+  /// The scalability experiment's wider profile.
+  static HardwareProfile Scaled(int compress, int recode) {
+    HardwareProfile p;
+    p.compress_threads = compress;
+    p.recode_threads = recode;
+    return p;
+  }
+};
+
+}  // namespace adaedge::sim
+
+#endif  // ADAEDGE_SIM_CONSTRAINTS_H_

@@ -1,0 +1,18 @@
+#include "adaedge/sim/sensor_client.h"
+
+namespace adaedge::sim {
+
+SensorClient::SensorClient(std::unique_ptr<data::Stream> stream,
+                           double points_per_sec, size_t segment_length)
+    : stream_(std::move(stream)),
+      points_per_sec_(points_per_sec),
+      segment_length_(segment_length) {}
+
+std::vector<double> SensorClient::NextSegment() {
+  std::vector<double> segment(segment_length_);
+  stream_->Fill(segment);
+  points_emitted_ += segment_length_;
+  return segment;
+}
+
+}  // namespace adaedge::sim

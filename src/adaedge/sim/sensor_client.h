@@ -1,0 +1,43 @@
+#ifndef ADAEDGE_SIM_SENSOR_CLIENT_H_
+#define ADAEDGE_SIM_SENSOR_CLIENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "adaedge/data/generators.h"
+
+namespace adaedge::sim {
+
+/// The paper's "dummy client": wraps a data::Stream and emits fixed-size
+/// segments at a configured point rate against a *virtual clock*, so
+/// experiments replay a 50-second ingestion in milliseconds while still
+/// reporting paper-comparable timestamps.
+class SensorClient {
+ public:
+  /// `points_per_sec` drives the virtual clock (paper default: 200,000;
+  /// high-frequency experiment: 1,000,000).
+  SensorClient(std::unique_ptr<data::Stream> stream, double points_per_sec,
+               size_t segment_length);
+
+  /// Produces the next segment and advances the virtual clock.
+  std::vector<double> NextSegment();
+
+  /// Virtual seconds elapsed since the start of the stream.
+  double now_seconds() const {
+    return static_cast<double>(points_emitted_) / points_per_sec_;
+  }
+
+  uint64_t points_emitted() const { return points_emitted_; }
+  double points_per_sec() const { return points_per_sec_; }
+  size_t segment_length() const { return segment_length_; }
+
+ private:
+  std::unique_ptr<data::Stream> stream_;
+  double points_per_sec_;
+  size_t segment_length_;
+  uint64_t points_emitted_ = 0;
+};
+
+}  // namespace adaedge::sim
+
+#endif  // ADAEDGE_SIM_SENSOR_CLIENT_H_

@@ -1,0 +1,115 @@
+#include "adaedge/util/bit_io.h"
+
+namespace adaedge::util {
+
+void BitWriter::WriteBits(uint64_t bits, int count) {
+  if (count <= 0) return;
+  if (count < 64) bits &= (uint64_t{1} << count) - 1;
+  bit_count_ += count;
+  while (count > 0) {
+    int space = 8 - used_;
+    int take = count < space ? count : space;
+    uint8_t chunk =
+        static_cast<uint8_t>((bits >> (count - take)) & ((1u << take) - 1));
+    current_ = static_cast<uint8_t>(current_ | (chunk << (space - take)));
+    used_ += take;
+    count -= take;
+    if (used_ == 8) {
+      bytes_.push_back(current_);
+      current_ = 0;
+      used_ = 0;
+    }
+  }
+}
+
+void BitWriter::WriteUnary(uint32_t value) {
+  for (uint32_t i = 0; i < value; ++i) WriteBit(true);
+  WriteBit(false);
+}
+
+void BitWriter::Align() {
+  if (used_ > 0) {
+    bytes_.push_back(current_);
+    bit_count_ += 8 - used_;
+    current_ = 0;
+    used_ = 0;
+  }
+}
+
+std::vector<uint8_t> BitWriter::Finish() {
+  Align();
+  return std::move(bytes_);
+}
+
+Result<uint64_t> BitReader::ReadBits(int count) {
+  if (count < 0 || count > 64) {
+    return Status::InvalidArgument("ReadBits count out of [0,64]");
+  }
+  if (pos_ + static_cast<size_t>(count) > size_ * 8) {
+    return Status::OutOfRange("bit stream exhausted");
+  }
+  uint64_t out = 0;
+  int remaining = count;
+  while (remaining > 0) {
+    size_t byte_idx = pos_ >> 3;
+    int bit_off = static_cast<int>(pos_ & 7);
+    int avail = 8 - bit_off;
+    int take = remaining < avail ? remaining : avail;
+    uint8_t byte = data_[byte_idx];
+    uint8_t chunk = static_cast<uint8_t>(
+        (byte >> (avail - take)) & ((1u << take) - 1));
+    out = (out << take) | chunk;
+    pos_ += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+Result<bool> BitReader::ReadBit() {
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t b, ReadBits(1));
+  return b != 0;
+}
+
+Result<uint32_t> BitReader::ReadUnary(uint32_t limit) {
+  uint32_t count = 0;
+  while (true) {
+    ADAEDGE_ASSIGN_OR_RETURN(bool bit, ReadBit());
+    if (!bit) return count;
+    if (++count > limit) {
+      return Status::Corruption("unary code exceeds limit");
+    }
+  }
+}
+
+void BitReader::Align() { pos_ = (pos_ + 7) & ~size_t{7}; }
+
+uint32_t BitReader::PeekBits(int count) const {
+  uint32_t out = 0;
+  size_t pos = pos_;
+  int remaining = count;
+  size_t total_bits = size_ * 8;
+  while (remaining > 0) {
+    if (pos >= total_bits) {
+      out <<= remaining;  // zero-pad past the end
+      break;
+    }
+    size_t byte_idx = pos >> 3;
+    int bit_off = static_cast<int>(pos & 7);
+    int avail = 8 - bit_off;
+    int take = remaining < avail ? remaining : avail;
+    uint8_t chunk = static_cast<uint8_t>(
+        (data_[byte_idx] >> (avail - take)) & ((1u << take) - 1));
+    out = (out << take) | chunk;
+    pos += take;
+    remaining -= take;
+  }
+  return out;
+}
+
+void BitReader::Consume(size_t count) {
+  pos_ += count;
+  size_t total = size_ * 8;
+  if (pos_ > total) pos_ = total;
+}
+
+}  // namespace adaedge::util

@@ -1,0 +1,89 @@
+#ifndef ADAEDGE_UTIL_BIT_IO_H_
+#define ADAEDGE_UTIL_BIT_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "adaedge/util/status.h"
+
+namespace adaedge::util {
+
+/// MSB-first bit stream writer used by the bit-level codecs
+/// (Gorilla, Chimp, Sprintz, Huffman). Bits are packed into bytes most
+/// significant bit first; `Finish()` pads the final byte with zeros.
+class BitWriter {
+ public:
+  BitWriter() = default;
+
+  /// Appends the low `count` bits of `bits` (0 <= count <= 64),
+  /// most significant of those bits first.
+  void WriteBits(uint64_t bits, int count);
+
+  /// Appends a single bit (0 or 1).
+  void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
+
+  /// Appends unary code: `value` one-bits followed by a zero bit.
+  void WriteUnary(uint32_t value);
+
+  /// Byte-aligns the stream (pads the current byte with zero bits).
+  void Align();
+
+  /// Number of bits written so far.
+  size_t bit_count() const { return bit_count_; }
+
+  /// Pads to a byte boundary and returns the backing buffer.
+  std::vector<uint8_t> Finish();
+
+  /// Read-only view of bytes written so far (excluding a partial byte).
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  uint8_t current_ = 0;  // partial byte being filled
+  int used_ = 0;         // bits used in current_
+  size_t bit_count_ = 0;
+};
+
+/// MSB-first bit stream reader; the counterpart of BitWriter.
+/// Reads never run past the end: out-of-range reads return an error.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit BitReader(const std::vector<uint8_t>& data)
+      : BitReader(data.data(), data.size()) {}
+
+  /// Reads `count` bits (0 <= count <= 64) into the low bits of the result.
+  Result<uint64_t> ReadBits(int count);
+
+  /// Reads a single bit.
+  Result<bool> ReadBit();
+
+  /// Reads a unary code written by BitWriter::WriteUnary. `limit` bounds the
+  /// number of one-bits accepted (guards against corrupt streams).
+  Result<uint32_t> ReadUnary(uint32_t limit = 1u << 20);
+
+  /// Skips to the next byte boundary.
+  void Align();
+
+  /// Returns the next `count` (<= 32) bits MSB-first WITHOUT consuming
+  /// them; bits past the end of the stream read as zero. Pair with
+  /// Consume for table-driven decoders.
+  uint32_t PeekBits(int count) const;
+
+  /// Advances by `count` bits (clamped to the stream end).
+  void Consume(size_t count);
+
+  /// Bits remaining in the stream.
+  size_t remaining_bits() const { return size_ * 8 - pos_; }
+  size_t bit_pos() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;  // absolute bit position
+};
+
+}  // namespace adaedge::util
+
+#endif  // ADAEDGE_UTIL_BIT_IO_H_

@@ -1,0 +1,113 @@
+#include "adaedge/util/byte_io.h"
+
+namespace adaedge::util {
+
+void ByteWriter::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    bytes_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  bytes_.push_back(static_cast<uint8_t>(v));
+}
+
+void ByteWriter::PutSignedVarint(int64_t v) {
+  // ZigZag: maps small magnitudes (either sign) to small varints.
+  PutVarint((static_cast<uint64_t>(v) << 1) ^
+            static_cast<uint64_t>(v >> 63));
+}
+
+void ByteWriter::PutString(const std::string& s) {
+  PutVarint(s.size());
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+}
+
+void ByteWriter::PutBytes(const uint8_t* data, size_t size) {
+  bytes_.insert(bytes_.end(), data, data + size);
+}
+
+Result<uint64_t> ByteReader::GetLittleEndian(int n) {
+  if (remaining() < static_cast<size_t>(n)) {
+    return Status::OutOfRange("byte stream exhausted");
+  }
+  uint64_t v = 0;
+  for (int i = 0; i < n; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += n;
+  return v;
+}
+
+Result<uint8_t> ByteReader::GetU8() {
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t v, GetLittleEndian(1));
+  return static_cast<uint8_t>(v);
+}
+Result<uint16_t> ByteReader::GetU16() {
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t v, GetLittleEndian(2));
+  return static_cast<uint16_t>(v);
+}
+Result<uint32_t> ByteReader::GetU32() {
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t v, GetLittleEndian(4));
+  return static_cast<uint32_t>(v);
+}
+Result<uint64_t> ByteReader::GetU64() { return GetLittleEndian(8); }
+Result<int32_t> ByteReader::GetI32() {
+  ADAEDGE_ASSIGN_OR_RETURN(uint32_t v, GetU32());
+  return static_cast<int32_t>(v);
+}
+Result<int64_t> ByteReader::GetI64() {
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t v, GetU64());
+  return static_cast<int64_t>(v);
+}
+Result<float> ByteReader::GetF32() {
+  ADAEDGE_ASSIGN_OR_RETURN(uint32_t bits, GetU32());
+  float f;
+  std::memcpy(&f, &bits, sizeof(f));
+  return f;
+}
+Result<double> ByteReader::GetF64() {
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t bits, GetU64());
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+Result<uint64_t> ByteReader::GetVarint() {
+  uint64_t v = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_) return Status::OutOfRange("varint truncated");
+    if (shift >= 64) return Status::Corruption("varint too long");
+    uint8_t b = data_[pos_++];
+    v |= static_cast<uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+Result<int64_t> ByteReader::GetSignedVarint() {
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t z, GetVarint());
+  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
+}
+
+Result<std::string> ByteReader::GetString() {
+  ADAEDGE_ASSIGN_OR_RETURN(uint64_t n, GetVarint());
+  if (remaining() < n) return Status::OutOfRange("string truncated");
+  std::string s(reinterpret_cast<const char*>(data_ + pos_), n);
+  pos_ += n;
+  return s;
+}
+
+Result<std::vector<uint8_t>> ByteReader::GetBytes(size_t size) {
+  if (remaining() < size) return Status::OutOfRange("bytes truncated");
+  std::vector<uint8_t> out(data_ + pos_, data_ + pos_ + size);
+  pos_ += size;
+  return out;
+}
+
+Status ByteReader::Skip(size_t n) {
+  if (remaining() < n) return Status::OutOfRange("skip past end");
+  pos_ += n;
+  return Status::Ok();
+}
+
+}  // namespace adaedge::util

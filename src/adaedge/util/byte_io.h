@@ -1,0 +1,101 @@
+#ifndef ADAEDGE_UTIL_BYTE_IO_H_
+#define ADAEDGE_UTIL_BYTE_IO_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "adaedge/util/status.h"
+
+namespace adaedge::util {
+
+/// Little-endian byte-stream writer used by codec headers and model
+/// serialization. All multi-byte integers are little-endian; varints are
+/// LEB128.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void PutU8(uint8_t v) { bytes_.push_back(v); }
+  void PutU16(uint16_t v) { PutLittleEndian(v, 2); }
+  void PutU32(uint32_t v) { PutLittleEndian(v, 4); }
+  void PutU64(uint64_t v) { PutLittleEndian(v, 8); }
+  void PutI32(int32_t v) { PutU32(static_cast<uint32_t>(v)); }
+  void PutI64(int64_t v) { PutU64(static_cast<uint64_t>(v)); }
+
+  void PutF32(float v) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU32(bits);
+  }
+  void PutF64(double v) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutU64(bits);
+  }
+
+  /// LEB128 unsigned varint.
+  void PutVarint(uint64_t v);
+  /// ZigZag-encoded signed varint.
+  void PutSignedVarint(int64_t v);
+
+  /// Length-prefixed (varint) string.
+  void PutString(const std::string& s);
+  /// Raw bytes, no length prefix.
+  void PutBytes(const uint8_t* data, size_t size);
+  void PutBytes(const std::vector<uint8_t>& data) {
+    PutBytes(data.data(), data.size());
+  }
+
+  size_t size() const { return bytes_.size(); }
+  std::vector<uint8_t> Finish() { return std::move(bytes_); }
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+
+ private:
+  void PutLittleEndian(uint64_t v, int n) {
+    for (int i = 0; i < n; ++i) bytes_.push_back(uint8_t(v >> (8 * i)));
+  }
+
+  std::vector<uint8_t> bytes_;
+};
+
+/// Little-endian byte-stream reader; the counterpart of ByteWriter.
+/// All reads are bounds-checked and return errors on truncated input.
+class ByteReader {
+ public:
+  ByteReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit ByteReader(const std::vector<uint8_t>& data)
+      : ByteReader(data.data(), data.size()) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int32_t> GetI32();
+  Result<int64_t> GetI64();
+  Result<float> GetF32();
+  Result<double> GetF64();
+  Result<uint64_t> GetVarint();
+  Result<int64_t> GetSignedVarint();
+  Result<std::string> GetString();
+
+  /// Reads exactly `size` raw bytes.
+  Result<std::vector<uint8_t>> GetBytes(size_t size);
+
+  size_t remaining() const { return size_ - pos_; }
+  size_t pos() const { return pos_; }
+  const uint8_t* cursor() const { return data_ + pos_; }
+  Status Skip(size_t n);
+
+ private:
+  Result<uint64_t> GetLittleEndian(int n);
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace adaedge::util
+
+#endif  // ADAEDGE_UTIL_BYTE_IO_H_

@@ -1,0 +1,16 @@
+#ifndef ADAEDGE_UTIL_CRC32_H_
+#define ADAEDGE_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace adaedge::util {
+
+/// CRC-32 (IEEE 802.3 polynomial, table-driven). Segment payloads carry a
+/// checksum so corruption is detected before decompression.
+uint32_t Crc32(std::span<const uint8_t> data, uint32_t seed = 0);
+
+}  // namespace adaedge::util
+
+#endif  // ADAEDGE_UTIL_CRC32_H_

@@ -1,0 +1,47 @@
+#include "adaedge/util/linalg.h"
+
+#include <cmath>
+
+namespace adaedge::util {
+
+Result<std::vector<double>> CholeskySolve(std::span<const double> a,
+                                          std::span<const double> b,
+                                          size_t n) {
+  if (a.size() != n * n || b.size() != n) {
+    return Status::InvalidArgument("cholesky: shape mismatch");
+  }
+  // Lower-triangular factor L with A = L L^T.
+  std::vector<double> l(n * n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a[i * n + j];
+      for (size_t k = 0; k < j; ++k) sum -= l[i * n + k] * l[j * n + k];
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return Status::FailedPrecondition("cholesky: matrix not SPD");
+        }
+        l[i * n + i] = std::sqrt(sum);
+      } else {
+        l[i * n + j] = sum / l[j * n + j];
+      }
+    }
+  }
+  // Forward solve L y = b.
+  std::vector<double> y(n);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l[i * n + k] * y[k];
+    y[i] = sum / l[i * n + i];
+  }
+  // Back solve L^T x = y.
+  std::vector<double> x(n);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l[k * n + i] * x[k];
+    x[i] = sum / l[i * n + i];
+  }
+  return x;
+}
+
+}  // namespace adaedge::util

@@ -1,0 +1,22 @@
+#ifndef ADAEDGE_UTIL_LINALG_H_
+#define ADAEDGE_UTIL_LINALG_H_
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "adaedge/util/status.h"
+
+namespace adaedge::util {
+
+/// Solves A x = b for a symmetric positive-definite A (row-major n x n)
+/// via Cholesky decomposition. Returns InvalidArgument on shape mismatch
+/// and FailedPrecondition if A is not (numerically) SPD.
+/// Used by the kernel-regression codec; O(n^3).
+Result<std::vector<double>> CholeskySolve(std::span<const double> a,
+                                          std::span<const double> b,
+                                          size_t n);
+
+}  // namespace adaedge::util
+
+#endif  // ADAEDGE_UTIL_LINALG_H_

@@ -1,0 +1,40 @@
+#ifndef ADAEDGE_UTIL_LOGGING_H_
+#define ADAEDGE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace adaedge::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Process-wide minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one formatted line to stderr (thread-safe).
+void LogMessage(LogLevel level, const std::string& message);
+
+/// Stream-style logger: ADAEDGE_LOG(kInfo) << "ingested " << n;
+class LogStream {
+ public:
+  explicit LogStream(LogLevel level) : level_(level) {}
+  ~LogStream();
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace adaedge::util
+
+#define ADAEDGE_LOG(level) \
+  ::adaedge::util::LogStream(::adaedge::util::LogLevel::level)
+
+#endif  // ADAEDGE_UTIL_LOGGING_H_

@@ -1,0 +1,51 @@
+#ifndef ADAEDGE_UTIL_RNG_H_
+#define ADAEDGE_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace adaedge::util {
+
+/// Deterministic, fast PRNG (xoshiro256**) seeded via splitmix64.
+/// Used everywhere randomness is needed (generators, bandit exploration,
+/// RRD-sample, forest bagging) so that experiments are reproducible from a
+/// single seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Box–Muller (cached pair).
+  double NextGaussian();
+
+  /// Uniform int in [lo, hi] inclusive.
+  int NextInt(int lo, int hi) {
+    return lo + static_cast<int>(NextBelow(uint64_t(hi - lo + 1)));
+  }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace adaedge::util
+
+#endif  // ADAEDGE_UTIL_RNG_H_

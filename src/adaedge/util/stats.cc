@@ -1,0 +1,128 @@
+#include "adaedge/util/stats.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <limits>
+
+namespace adaedge::util {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double delta = other.mean_ - mean_;
+  size_t n = count_ + other.count_;
+  m2_ += other.m2_ + delta * delta *
+                         (static_cast<double>(count_) * other.count_ / n);
+  mean_ += delta * static_cast<double>(other.count_) / n;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ = n;
+}
+
+void RunningStats::Reset() { *this = RunningStats(); }
+
+double RunningStats::variance() const {
+  return count_ > 0 ? m2_ / static_cast<double>(count_) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double ByteEntropy(std::span<const uint8_t> data) {
+  if (data.empty()) return 0.0;
+  std::array<size_t, 256> hist{};
+  for (uint8_t b : data) ++hist[b];
+  double h = 0.0;
+  double n = static_cast<double>(data.size());
+  for (size_t c : hist) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double QuantizedEntropy(std::span<const double> values, int bins) {
+  if (values.empty() || bins <= 0) return 0.0;
+  double lo = values[0], hi = values[0];
+  for (double v : values) {
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  if (hi <= lo) return 0.0;
+  std::vector<size_t> hist(bins, 0);
+  double scale = bins / (hi - lo);
+  for (double v : values) {
+    int idx = std::min(bins - 1, static_cast<int>((v - lo) * scale));
+    ++hist[idx];
+  }
+  double h = 0.0;
+  double n = static_cast<double>(values.size());
+  for (size_t c : hist) {
+    if (c == 0) continue;
+    double p = static_cast<double>(c) / n;
+    h -= p * std::log2(p);
+  }
+  return h;
+}
+
+double Quantile(std::span<const double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 1.0);
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  size_t hi = std::min(lo + 1, sorted.size() - 1);
+  double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double MeanAbsoluteError(std::span<const double> a,
+                         std::span<const double> b) {
+  size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) s += std::abs(a[i] - b[i]);
+  return s / static_cast<double>(n);
+}
+
+double RootMeanSquareError(std::span<const double> a,
+                           std::span<const double> b) {
+  size_t n = std::min(a.size(), b.size());
+  if (n == 0) return 0.0;
+  double s = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    double d = a[i] - b[i];
+    s += d * d;
+  }
+  return std::sqrt(s / static_cast<double>(n));
+}
+
+double MaxAbsoluteError(std::span<const double> a,
+                        std::span<const double> b) {
+  size_t n = std::min(a.size(), b.size());
+  double m = 0.0;
+  for (size_t i = 0; i < n; ++i) m = std::max(m, std::abs(a[i] - b[i]));
+  return m;
+}
+
+}  // namespace adaedge::util

@@ -1,0 +1,60 @@
+#ifndef ADAEDGE_UTIL_STATS_H_
+#define ADAEDGE_UTIL_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace adaedge::util {
+
+/// Welford online mean/variance accumulator. Used for signal statistics
+/// (selection features) and for benchmark reporting.
+class RunningStats {
+ public:
+  void Add(double x);
+  void Merge(const RunningStats& other);
+  void Reset();
+
+  size_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;  // population variance
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Shannon entropy (bits/byte) of the byte histogram of `data`.
+/// A cheap proxy for "how compressible is this block losslessly"; the
+/// data-shift benchmark uses it to label high/low-entropy halves.
+double ByteEntropy(std::span<const uint8_t> data);
+
+/// Shannon entropy (bits/symbol) of values quantized into `bins`
+/// equal-width buckets over [min,max].
+double QuantizedEntropy(std::span<const double> values, int bins);
+
+/// Exact quantile (by sorting a copy). q in [0,1].
+double Quantile(std::span<const double> values, double q);
+
+/// Mean absolute error between two equal-length series.
+double MeanAbsoluteError(std::span<const double> a, std::span<const double> b);
+
+/// Root-mean-square error between two equal-length series.
+double RootMeanSquareError(std::span<const double> a,
+                           std::span<const double> b);
+
+/// Maximum absolute error between two equal-length series.
+double MaxAbsoluteError(std::span<const double> a, std::span<const double> b);
+
+}  // namespace adaedge::util
+
+#endif  // ADAEDGE_UTIL_STATS_H_

@@ -1,0 +1,138 @@
+#ifndef ADAEDGE_UTIL_STATUS_H_
+#define ADAEDGE_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace adaedge::util {
+
+/// Canonical error codes, RocksDB/absl-style. AdaEdge is exception-free:
+/// every fallible operation returns a Status or a Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kResourceExhausted,   // storage budget / buffer capacity breached
+  kFailedPrecondition,  // e.g. recoding an incompatible codec pair
+  kCorruption,          // malformed compressed payload
+  kUnimplemented,
+  kInternal,
+  kUnavailable,  // constraint infeasible (e.g. no codec meets the target)
+};
+
+/// Human-readable name for a status code ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A lightweight success-or-error value. Cheap to copy on the OK path
+/// (no allocation); errors carry a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error union. `value()` asserts success; call `ok()` first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from error Status, so functions can
+  /// `return value;` or `return Status::...;` directly.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result(Status) requires an error status");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // Ok iff value_ holds a value.
+  std::optional<T> value_;
+};
+
+}  // namespace adaedge::util
+
+/// Propagate a non-OK Status from an expression, RocksDB-style.
+#define ADAEDGE_RETURN_IF_ERROR(expr)                  \
+  do {                                                 \
+    ::adaedge::util::Status _st = (expr);              \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+/// Evaluate a Result<T> expression; on error propagate its Status,
+/// otherwise bind the value to `lhs`.
+#define ADAEDGE_ASSIGN_OR_RETURN(lhs, expr)            \
+  auto ADAEDGE_CONCAT_(_res_, __LINE__) = (expr);      \
+  if (!ADAEDGE_CONCAT_(_res_, __LINE__).ok())          \
+    return ADAEDGE_CONCAT_(_res_, __LINE__).status();  \
+  lhs = std::move(ADAEDGE_CONCAT_(_res_, __LINE__)).value()
+
+#define ADAEDGE_CONCAT_INNER_(a, b) a##b
+#define ADAEDGE_CONCAT_(a, b) ADAEDGE_CONCAT_INNER_(a, b)
+
+#endif  // ADAEDGE_UTIL_STATUS_H_

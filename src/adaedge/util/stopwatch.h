@@ -1,0 +1,30 @@
+#ifndef ADAEDGE_UTIL_STOPWATCH_H_
+#define ADAEDGE_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace adaedge::util {
+
+/// Monotonic wall-clock stopwatch for throughput measurements
+/// (Cthr = original_size / compression_seconds in the paper's notation).
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace adaedge::util
+
+#endif  // ADAEDGE_UTIL_STOPWATCH_H_

@@ -1,0 +1,222 @@
+// Bandit policy tests: convergence, exploration behaviour, nonstationary
+// tracking, and the banded (per-ratio) instance set.
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/bandit/banded_bandit.h"
+#include "adaedge/bandit/bandit.h"
+#include "adaedge/util/rng.h"
+
+namespace adaedge::bandit {
+namespace {
+
+// Bernoulli test bench: arm a pays 1 with probability p[a].
+struct Bench {
+  std::vector<double> p;
+  util::Rng rng{12345};
+
+  double Pull(int arm) { return rng.NextBool(p[arm]) ? 1.0 : 0.0; }
+  int best() const {
+    return static_cast<int>(
+        std::max_element(p.begin(), p.end()) - p.begin());
+  }
+};
+
+// Parameterized over (policy kind, reward gap).
+class ConvergenceTest
+    : public ::testing::TestWithParam<std::tuple<PolicyKind, double>> {};
+
+TEST_P(ConvergenceTest, FindsBestArm) {
+  auto [kind, gap] = GetParam();
+  Bench bench{{0.5, 0.5 + gap, 0.5 - gap, 0.2}};
+  BanditConfig config;
+  config.epsilon = 0.1;
+  config.initial_value = 1.0;
+  auto policy = MakePolicy(kind, 4, config);
+  for (int t = 0; t < 5000; ++t) {
+    int arm = policy->SelectArm();
+    policy->Update(arm, bench.Pull(arm));
+  }
+  EXPECT_EQ(policy->BestArm(), bench.best());
+  // The best arm must dominate pulls (regret sublinearity proxy).
+  uint64_t total = 0;
+  for (int a = 0; a < 4; ++a) total += policy->PullCount(a);
+  EXPECT_GT(policy->PullCount(bench.best()), total / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PoliciesAndGaps, ConvergenceTest,
+    ::testing::Combine(::testing::Values(PolicyKind::kEpsilonGreedy,
+                                         PolicyKind::kUcb1,
+                                         PolicyKind::kGradient),
+                       ::testing::Values(0.3, 0.15)));
+
+TEST(GradientBanditTest, ProbabilitiesFormDistribution) {
+  BanditConfig config;
+  GradientBandit policy(4, config);
+  double total = 0.0;
+  for (int a = 0; a < 4; ++a) {
+    double p = policy.Probability(a);
+    EXPECT_NEAR(p, 0.25, 1e-12);  // uniform before any update
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(GradientBanditTest, PreferenceShiftsTowardRewardedArm) {
+  BanditConfig config;
+  config.step = 0.2;
+  GradientBandit policy(3, config);
+  for (int t = 0; t < 500; ++t) {
+    int arm = policy.SelectArm();
+    policy.Update(arm, arm == 2 ? 1.0 : 0.0);
+  }
+  EXPECT_GT(policy.Probability(2), 0.8);
+  EXPECT_EQ(policy.BestArm(), 2);
+}
+
+TEST(EpsilonGreedyTest, ZeroEpsilonNeverExploresAfterWarmup) {
+  BanditConfig config;
+  config.epsilon = 0.0;
+  config.initial_value = 0.0;
+  EpsilonGreedy policy(3, config);
+  policy.Update(1, 0.9);  // make arm 1 clearly best
+  for (int t = 0; t < 100; ++t) {
+    EXPECT_EQ(policy.SelectArm(), 1);
+  }
+}
+
+TEST(EpsilonGreedyTest, OptimisticInitTriesAllArmsEarly) {
+  BanditConfig config;
+  config.epsilon = 0.0;  // pure greedy: optimism alone must drive coverage
+  config.initial_value = 1.0;
+  EpsilonGreedy policy(5, config);
+  for (int t = 0; t < 100; ++t) {
+    int arm = policy.SelectArm();
+    policy.Update(arm, 0.3);  // every pull disappoints
+  }
+  for (int a = 0; a < 5; ++a) {
+    EXPECT_GT(policy.PullCount(a), 0u) << "arm " << a << " never tried";
+  }
+}
+
+TEST(EpsilonGreedyTest, PerArmInitialValuesBiasOrder)  {
+  BanditConfig config;
+  config.epsilon = 0.0;
+  config.initial_values = {1.0, 0.95, 0.9};
+  EpsilonGreedy policy(3, config);
+  EXPECT_EQ(policy.SelectArm(), 0);  // deterministic front preference
+}
+
+TEST(EpsilonGreedyTest, NonstationaryStepTracksShift) {
+  // Arm 0 is best for 2000 steps, then arm 1 becomes best. A constant
+  // step must switch; this is the Fig 15 mechanism.
+  BanditConfig config;
+  config.epsilon = 0.1;
+  config.step = 0.5;
+  config.initial_value = 1.0;
+  EpsilonGreedy policy(2, config);
+  util::Rng rng(77);
+  auto reward = [&](int arm, int t) {
+    double p = (t < 2000) == (arm == 0) ? 0.9 : 0.1;
+    return rng.NextBool(p) ? 1.0 : 0.0;
+  };
+  for (int t = 0; t < 2000; ++t) {
+    int arm = policy.SelectArm();
+    policy.Update(arm, reward(arm, t));
+  }
+  EXPECT_EQ(policy.BestArm(), 0);
+  for (int t = 2000; t < 4000; ++t) {
+    int arm = policy.SelectArm();
+    policy.Update(arm, reward(arm, t));
+  }
+  EXPECT_EQ(policy.BestArm(), 1);
+}
+
+TEST(EpsilonGreedyTest, LargerStepSwitchesFaster) {
+  // The paper: "a larger step value results in a more swift change of
+  // choice with data distribution".
+  auto steps_to_switch = [](double step) {
+    BanditConfig config;
+    config.epsilon = 0.1;
+    config.step = step;
+    config.seed = 99;
+    EpsilonGreedy policy(2, config);
+    // Long stable phase favouring arm 0.
+    for (int t = 0; t < 3000; ++t) {
+      int arm = policy.SelectArm();
+      policy.Update(arm, arm == 0 ? 1.0 : 0.0);
+    }
+    // Shift: arm 1 now pays.
+    int t = 0;
+    while (policy.BestArm() != 1 && t < 10000) {
+      int arm = policy.SelectArm();
+      policy.Update(arm, arm == 1 ? 1.0 : 0.0);
+      ++t;
+    }
+    return t;
+  };
+  EXPECT_LT(steps_to_switch(0.5), steps_to_switch(0.05));
+}
+
+TEST(Ucb1Test, TriesEveryArmOnceFirst) {
+  BanditConfig config;
+  Ucb1 policy(4, config);
+  std::vector<bool> seen(4, false);
+  for (int t = 0; t < 4; ++t) {
+    int arm = policy.SelectArm();
+    EXPECT_FALSE(seen[arm]) << "repeated before covering all arms";
+    seen[arm] = true;
+    policy.Update(arm, 0.5);
+  }
+}
+
+TEST(BandedBanditSetTest, RoutesRatiosToBands) {
+  BanditConfig config;
+  BandedBanditSet set({1.0, 0.5, 0.25, 0.125}, PolicyKind::kEpsilonGreedy,
+                      3, config);
+  EXPECT_EQ(set.num_bands(), 4u);
+  EXPECT_EQ(set.BandIndex(0.9), 0u);
+  EXPECT_EQ(set.BandIndex(0.5), 1u);
+  EXPECT_EQ(set.BandIndex(0.3), 1u);
+  EXPECT_EQ(set.BandIndex(0.2), 2u);
+  EXPECT_EQ(set.BandIndex(0.125), 3u);
+  EXPECT_EQ(set.BandIndex(0.01), 3u);
+  EXPECT_EQ(set.BandIndex(1.5), 0u);  // clamps above
+}
+
+TEST(BandedBanditSetTest, BandsLearnIndependently) {
+  // Arm 0 is best in the mild band, arm 1 in the aggressive band — the
+  // paper's justification for multiple MAB instances.
+  BanditConfig config;
+  config.epsilon = 0.1;
+  config.initial_value = 1.0;
+  BandedBanditSet set({1.0, 0.25}, PolicyKind::kEpsilonGreedy, 2, config);
+  util::Rng rng(5);
+  for (int t = 0; t < 3000; ++t) {
+    double ratio = (t % 2 == 0) ? 0.8 : 0.1;
+    BanditPolicy& band = set.ForRatio(ratio);
+    int arm = band.SelectArm();
+    bool good = (ratio > 0.25) == (arm == 0);
+    band.Update(arm, rng.NextBool(good ? 0.9 : 0.1) ? 1.0 : 0.0);
+  }
+  EXPECT_EQ(set.ForRatio(0.8).BestArm(), 0);
+  EXPECT_EQ(set.ForRatio(0.1).BestArm(), 1);
+}
+
+TEST(BandedBanditSetTest, DefaultEdgesDescendFromOne) {
+  auto edges = BandedBanditSet::DefaultEdges();
+  ASSERT_FALSE(edges.empty());
+  EXPECT_DOUBLE_EQ(edges.front(), 1.0);
+  for (size_t i = 1; i < edges.size(); ++i) {
+    EXPECT_LT(edges[i], edges[i - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace adaedge::bandit

@@ -1,0 +1,112 @@
+// Randomized invariant sweeps ("chaos" tests): the selection framework
+// must uphold its contracts under arbitrary configurations and access
+// patterns, not just the curated scenarios of the other suites.
+
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/core/offline_node.h"
+#include "adaedge/core/online_selector.h"
+#include "adaedge/data/generators.h"
+#include "adaedge/util/rng.h"
+
+namespace adaedge::core {
+namespace {
+
+// Invariants checked on every outcome regardless of configuration:
+//  - met_target implies the payload actually fits the target budget
+//  - the segment always materializes back to the input length
+//  - accuracy is a valid probability
+void CheckOutcome(const OnlineSelector::Outcome& outcome,
+                  size_t input_size, double target_ratio) {
+  if (outcome.met_target) {
+    EXPECT_LE(compress::CompressionRatio(outcome.segment.SizeBytes(),
+                                         input_size),
+              target_ratio * 1.02 + 0.003);
+  }
+  auto values = outcome.segment.Materialize();
+  ASSERT_TRUE(values.ok());
+  EXPECT_EQ(values.value().size(), input_size);
+  EXPECT_GE(outcome.accuracy, 0.0);
+  EXPECT_LE(outcome.accuracy, 1.0);
+}
+
+TEST(OnlineSelectorChaosTest, RandomConfigsUpholdContracts) {
+  util::Rng rng(20240715);
+  for (int trial = 0; trial < 25; ++trial) {
+    OnlineConfig config;
+    config.target_ratio = rng.NextUniform(0.05, 1.2);
+    config.precision = rng.NextInt(2, 6);
+    config.bandit.epsilon = rng.NextUniform(0.0, 0.3);
+    config.bandit.seed = rng.NextU64();
+    config.bandit.step = rng.NextBool(0.5) ? rng.NextUniform(0.1, 0.9) : 0.0;
+    config.policy = static_cast<bandit::PolicyKind>(rng.NextBelow(3));
+    config.force_lossy = rng.NextBool(0.2);
+    TargetSpec target =
+        rng.NextBool(0.5)
+            ? TargetSpec::AggAccuracy(static_cast<query::AggKind>(
+                  rng.NextBelow(4)))
+            : TargetSpec::Throughput();
+    OnlineSelector selector(config, target);
+    data::CbfStream stream(rng.NextU64(), 128, config.precision);
+    size_t segment_length = 128u << rng.NextBelow(4);  // 128..1024
+    std::vector<double> segment(segment_length);
+    for (uint64_t i = 0; i < 25; ++i) {
+      stream.Fill(segment);
+      auto outcome = selector.Process(i, i * 0.01, segment);
+      if (!outcome.ok()) {
+        // Only a genuinely unreachable constraint may fail.
+        EXPECT_EQ(outcome.status().code(),
+                  util::StatusCode::kUnavailable)
+            << "trial " << trial << ": "
+            << outcome.status().ToString();
+        continue;
+      }
+      CheckOutcome(outcome.value(), segment_length, config.target_ratio);
+    }
+  }
+}
+
+TEST(OfflineNodeChaosTest, RandomBudgetsAndAccessPatternsNeverLoseData) {
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 6; ++trial) {
+    OfflineConfig config;
+    config.storage_budget_bytes = (64u << 10) << rng.NextBelow(3);
+    config.recode_threshold = rng.NextUniform(0.6, 0.9);
+    config.use_lru = rng.NextBool(0.7);
+    config.bandit.epsilon = rng.NextUniform(0.0, 0.4);
+    config.bandit.seed = rng.NextU64();
+    OfflineNode node(config,
+                     TargetSpec::AggAccuracy(static_cast<query::AggKind>(
+                         rng.NextBelow(4))));
+    data::CbfStream stream(rng.NextU64());
+    size_t ingested = 0;
+    std::vector<double> segment(1024);
+    for (uint64_t i = 0; i < 100; ++i) {
+      stream.Fill(segment);
+      util::Status status = node.Ingest(i, i * 0.01, segment);
+      if (!status.ok()) break;  // tiny budgets may legitimately overflow
+      ++ingested;
+      // Invariants after every ingest.
+      ASSERT_LE(node.store().budget()->used(),
+                config.storage_budget_bytes)
+          << "trial " << trial;
+      ASSERT_EQ(node.store().count(), ingested) << "nothing deleted";
+      // Random query traffic stirs the LRU order.
+      if (rng.NextBool(0.5) && ingested > 0) {
+        (void)node.store().Get(rng.NextBelow(ingested));
+      }
+      // Random segment must always materialize at full length.
+      uint64_t probe = rng.NextBelow(ingested);
+      auto values = node.store().Read(probe);
+      ASSERT_TRUE(values.ok()) << "trial " << trial << " seg " << probe;
+      ASSERT_EQ(values.value().size(), 1024u);
+    }
+    EXPECT_GT(ingested, 10u) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace adaedge::core

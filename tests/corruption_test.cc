@@ -1,0 +1,134 @@
+// Robustness sweep: every codec must survive arbitrary payload mutation —
+// random byte flips, truncations, extensions and garbage — by returning a
+// Status, never by crashing or allocating unboundedly. The decoders'
+// declared-count guards (compress::kMaxDecodedValues) are what make this
+// safe.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/compress/payload_query.h"
+#include "adaedge/compress/registry.h"
+#include "adaedge/util/rng.h"
+#include "testing_util.h"
+
+namespace adaedge::compress {
+namespace {
+
+using ::adaedge::testing::QuantizeDecimals;
+using ::adaedge::testing::SineSignal;
+
+constexpr int kMutationsPerCodec = 300;
+
+std::vector<CodecArm> AllArms() {
+  std::vector<CodecArm> arms = ExtendedLosslessArms(4);
+  for (const auto& arm : ExtendedLossyArms(4, 0.4)) arms.push_back(arm);
+  return arms;
+}
+
+class CorruptionTest : public ::testing::TestWithParam<std::string> {
+ protected:
+  CodecArm GetArm() const {
+    auto arm = FindArm(AllArms(), GetParam());
+    EXPECT_TRUE(arm.has_value());
+    return *arm;
+  }
+};
+
+// Exercises decompress (and recode / direct aggregation where supported)
+// on a mutated payload; the only acceptable outcomes are OK or an error
+// Status.
+void Exercise(const CodecArm& arm, std::span<const uint8_t> payload,
+              size_t original_count) {
+  auto decoded = arm.codec->Decompress(payload);
+  if (decoded.ok()) {
+    // A "successful" decode of a corrupt payload must still be bounded.
+    EXPECT_LE(decoded.value().size(), kMaxDecodedValues);
+  }
+  if (arm.codec->SupportsRecode()) {
+    auto recoded = arm.codec->Recode(payload, 0.1);
+    if (recoded.ok()) {
+      EXPECT_LE(recoded.value().size(), original_count * 8 + 1024);
+    }
+  }
+  for (query::AggKind kind :
+       {query::AggKind::kSum, query::AggKind::kMax}) {
+    if (arm.codec->SupportsDirectAggregate(kind)) {
+      (void)arm.codec->AggregateDirect(kind, payload);
+    }
+  }
+}
+
+TEST_P(CorruptionTest, RandomByteFlipsNeverCrash) {
+  CodecArm arm = GetArm();
+  std::vector<double> input = QuantizeDecimals(SineSignal(700, 60), 4);
+  auto payload = arm.codec->Compress(input, arm.params);
+  if (!payload.ok()) GTEST_SKIP() << payload.status().ToString();
+  util::Rng rng(0xc0ffee);
+  for (int i = 0; i < kMutationsPerCodec; ++i) {
+    std::vector<uint8_t> mutated = payload.value();
+    int flips = 1 + static_cast<int>(rng.NextBelow(4));
+    for (int f = 0; f < flips; ++f) {
+      size_t pos = rng.NextBelow(mutated.size());
+      mutated[pos] ^= static_cast<uint8_t>(1u << rng.NextBelow(8));
+    }
+    Exercise(arm, mutated, input.size());
+  }
+}
+
+TEST_P(CorruptionTest, TruncationsNeverCrash) {
+  CodecArm arm = GetArm();
+  std::vector<double> input = QuantizeDecimals(SineSignal(700, 60), 4);
+  auto payload = arm.codec->Compress(input, arm.params);
+  if (!payload.ok()) GTEST_SKIP();
+  for (size_t keep = 0; keep < payload.value().size();
+       keep += 1 + payload.value().size() / 64) {
+    std::vector<uint8_t> truncated(payload.value().begin(),
+                                   payload.value().begin() + keep);
+    Exercise(arm, truncated, input.size());
+  }
+}
+
+TEST_P(CorruptionTest, GarbageAndExtensionsNeverCrash) {
+  CodecArm arm = GetArm();
+  std::vector<double> input = QuantizeDecimals(SineSignal(300, 40), 4);
+  auto payload = arm.codec->Compress(input, arm.params);
+  if (!payload.ok()) GTEST_SKIP();
+  util::Rng rng(0xdead);
+  // Pure garbage of assorted sizes.
+  for (size_t size : {1u, 2u, 7u, 64u, 1000u}) {
+    std::vector<uint8_t> garbage(size);
+    for (auto& b : garbage) b = static_cast<uint8_t>(rng.NextU64());
+    Exercise(arm, garbage, input.size());
+  }
+  // Valid payload with trailing garbage appended.
+  std::vector<uint8_t> extended = payload.value();
+  for (int i = 0; i < 100; ++i) {
+    extended.push_back(static_cast<uint8_t>(rng.NextU64()));
+  }
+  Exercise(arm, extended, input.size());
+  // All 0x00 and all 0xff of the original length.
+  std::vector<uint8_t> zeros(payload.value().size(), 0x00);
+  std::vector<uint8_t> ones(payload.value().size(), 0xff);
+  Exercise(arm, zeros, input.size());
+  Exercise(arm, ones, input.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecs, CorruptionTest,
+    ::testing::Values("gzip", "snappy", "gorilla", "zlib-1", "buff",
+                      "sprintz", "chimp", "elf", "rle", "dictionary",
+                      "bufflossy", "paa", "pla", "fft", "rrd", "lttb",
+                      "kernel"),
+    [](const ::testing::TestParamInfo<std::string>& info) {
+      std::string name = info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace adaedge::compress

@@ -1,0 +1,162 @@
+// Data generators and simulation substrate tests.
+
+#include <cmath>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/data/generators.h"
+#include "adaedge/sim/constraints.h"
+#include "adaedge/sim/sensor_client.h"
+#include "adaedge/util/stats.h"
+
+namespace adaedge {
+namespace {
+
+TEST(CbfGeneratorTest, ShapesMatchDefinition) {
+  data::CbfGenerator gen(42, 128, 4);
+  // Cylinder: plateau region markedly above the off-plateau noise.
+  auto cyl = gen.Next(0);
+  ASSERT_EQ(cyl.values.size(), 128u);
+  EXPECT_EQ(cyl.label, 0);
+  double head = 0.0;  // t < 16 is always off-plateau
+  for (int t = 0; t < 10; ++t) head += cyl.values[t];
+  double mid = 0.0;  // t in [32, 48) is always on-plateau (b >= a+32 > 48...)
+  for (int t = 33; t < 43; ++t) mid += cyl.values[t];
+  EXPECT_GT(mid / 10.0, head / 10.0 + 2.0);
+}
+
+TEST(CbfGeneratorTest, BellRampsUpFunnelRampsDown) {
+  data::CbfGenerator gen(43, 128, 4);
+  // Average many instances to suppress noise.
+  double bell_early = 0, bell_late = 0, funnel_early = 0, funnel_late = 0;
+  for (int i = 0; i < 50; ++i) {
+    auto bell = gen.Next(1);
+    auto funnel = gen.Next(2);
+    for (int t = 33; t < 40; ++t) {
+      bell_early += bell.values[t];
+      funnel_early += funnel.values[t];
+    }
+    // Late plateau region: b >= a + 32*scale >= 48; sample just before 48.
+    for (int t = 41; t < 48; ++t) {
+      bell_late += bell.values[t];
+      funnel_late += funnel.values[t];
+    }
+  }
+  EXPECT_GT(bell_late, bell_early);      // bell ascends
+  EXPECT_LT(funnel_late, funnel_early);  // funnel descends
+}
+
+TEST(CbfGeneratorTest, DeterministicForSeed) {
+  data::CbfGenerator a(7), b(7);
+  auto sa = a.Next();
+  auto sb = b.Next();
+  EXPECT_EQ(sa.label, sb.label);
+  EXPECT_EQ(sa.values, sb.values);
+}
+
+TEST(CbfGeneratorTest, ValuesQuantizedToPrecision) {
+  data::CbfGenerator gen(11, 128, 2);
+  auto s = gen.Next();
+  for (double v : s.values) {
+    EXPECT_NEAR(v * 100.0, std::round(v * 100.0), 1e-9);
+  }
+}
+
+TEST(DatasetSuitesTest, CbfDatasetBalancedLabels) {
+  auto data = data::MakeCbfDataset(300, 128, 3);
+  ASSERT_EQ(data.size(), 300u);
+  ASSERT_EQ(data.num_classes(), 3);
+  std::vector<int> counts(3, 0);
+  for (int l : data.labels) ++counts[l];
+  for (int c : counts) EXPECT_EQ(c, 100);
+}
+
+TEST(DatasetSuitesTest, UcrAndUciShapes) {
+  auto ucr = data::MakeUcrLikeDataset(100, 64, 5, 9);
+  EXPECT_EQ(ucr.features.cols(), 64u);
+  EXPECT_EQ(ucr.num_classes(), 5);
+  auto uci = data::MakeUciLikeDataset(90, 32, 3, 9);
+  EXPECT_EQ(uci.features.cols(), 32u);
+  EXPECT_EQ(uci.num_classes(), 3);
+}
+
+TEST(StreamTest, CbfStreamContinuous) {
+  data::CbfStream stream(21);
+  std::vector<double> buffer(1000);
+  stream.Fill(buffer);
+  util::RunningStats stats;
+  for (double v : buffer) stats.Add(v);
+  // CBF values live in roughly [-4, 12].
+  EXPECT_GT(stats.max(), 2.0);
+  EXPECT_LT(stats.min(), 1.0);
+}
+
+TEST(StreamTest, ShiftStreamChangesEntropyRegime) {
+  data::ShiftStream stream(23, /*shift_point=*/5000);
+  std::vector<double> first(5000), second(5000);
+  stream.Fill(first);
+  stream.Fill(second);
+  std::unordered_set<double> distinct_first(first.begin(), first.end());
+  std::unordered_set<double> distinct_second(second.begin(), second.end());
+  // CBF half: nearly all values distinct; low-entropy half: a handful.
+  EXPECT_GT(distinct_first.size(), 1000u);
+  EXPECT_LT(distinct_second.size(), 16u);
+}
+
+TEST(NetworkTest, TargetRatioFormula) {
+  // R = B / (64 * I) in bits = B_bytes / (8 * I).
+  EXPECT_DOUBLE_EQ(sim::TargetRatio(8e6, 1e6), 1.0);
+  EXPECT_DOUBLE_EQ(sim::TargetRatio(4e6, 1e6), 0.5);
+  EXPECT_DOUBLE_EQ(sim::TargetRatio(0.0, 1e6), 0.0);
+}
+
+TEST(NetworkTest, CapacityAccounting) {
+  sim::Network net(1000.0);  // 1000 B/s
+  net.Send(500, 1.0);
+  EXPECT_TRUE(net.WithinCapacity(1.0));
+  net.Send(600, 1.0);
+  EXPECT_FALSE(net.WithinCapacity(1.0));
+  EXPECT_TRUE(net.WithinCapacity(2.0));
+  EXPECT_EQ(net.bytes_sent(), 1100u);
+}
+
+TEST(NetworkTest, PresetsOrdered) {
+  EXPECT_LT(sim::BandwidthBytesPerSec(sim::NetworkType::k2G),
+            sim::BandwidthBytesPerSec(sim::NetworkType::k3G));
+  EXPECT_LT(sim::BandwidthBytesPerSec(sim::NetworkType::k3G),
+            sim::BandwidthBytesPerSec(sim::NetworkType::k4G));
+  EXPECT_LT(sim::BandwidthBytesPerSec(sim::NetworkType::k4G),
+            sim::BandwidthBytesPerSec(sim::NetworkType::kWifi));
+  EXPECT_DOUBLE_EQ(sim::BandwidthBytesPerSec(sim::NetworkType::kNone), 0.0);
+}
+
+TEST(StorageBudgetTest, ReserveReleaseResize) {
+  sim::StorageBudget budget(1000, 0.8);
+  EXPECT_TRUE(budget.TryReserve(700));
+  EXPECT_FALSE(budget.NeedsRecoding());
+  EXPECT_TRUE(budget.TryReserve(150));
+  EXPECT_TRUE(budget.NeedsRecoding());  // 850/1000 >= 0.8
+  EXPECT_FALSE(budget.TryReserve(200));  // would exceed capacity
+  EXPECT_EQ(budget.used(), 850u);
+  EXPECT_TRUE(budget.Resize(150, 50));  // recode shrinks a segment
+  EXPECT_EQ(budget.used(), 750u);
+  EXPECT_FALSE(budget.NeedsRecoding());
+  budget.Release(750);
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(SensorClientTest, VirtualClockAdvances) {
+  auto stream = std::make_unique<data::CbfStream>(31);
+  sim::SensorClient client(std::move(stream), 200000.0, 1000);
+  EXPECT_DOUBLE_EQ(client.now_seconds(), 0.0);
+  auto segment = client.NextSegment();
+  EXPECT_EQ(segment.size(), 1000u);
+  EXPECT_DOUBLE_EQ(client.now_seconds(), 0.005);  // 1000 / 200k
+  for (int i = 0; i < 199; ++i) client.NextSegment();
+  EXPECT_NEAR(client.now_seconds(), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace adaedge

@@ -1,0 +1,125 @@
+// FFT substrate tests: agreement with a naive DFT (exercising both the
+// radix-2 and Bluestein paths), inverse identity, and Parseval's theorem.
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/compress/dsp.h"
+#include "adaedge/util/rng.h"
+
+namespace adaedge::compress::dsp {
+namespace {
+
+std::vector<std::complex<double>> NaiveDft(std::span<const double> x) {
+  size_t n = x.size();
+  std::vector<std::complex<double>> out(n);
+  for (size_t k = 0; k < n; ++k) {
+    std::complex<double> acc(0.0, 0.0);
+    for (size_t t = 0; t < n; ++t) {
+      double angle = -2.0 * M_PI * static_cast<double>(k * t) /
+                     static_cast<double>(n);
+      acc += x[t] * std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<double> RandomSignal(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> x(n);
+  for (auto& v : x) v = rng.NextUniform(-5.0, 5.0);
+  return x;
+}
+
+class FftDftAgreementTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FftDftAgreementTest, MatchesNaiveDft) {
+  size_t n = GetParam();
+  std::vector<double> x = RandomSignal(n, 100 + n);
+  auto fast = FftReal(x);
+  auto naive = NaiveDft(x);
+  ASSERT_EQ(fast.size(), n);
+  for (size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(fast[k].real(), naive[k].real(), 1e-6 * n) << "k=" << k;
+    EXPECT_NEAR(fast[k].imag(), naive[k].imag(), 1e-6 * n) << "k=" << k;
+  }
+}
+
+// Powers of two exercise radix-2; the rest exercise Bluestein.
+INSTANTIATE_TEST_SUITE_P(Lengths, FftDftAgreementTest,
+                         ::testing::Values(1, 2, 4, 8, 64, 256,  // radix-2
+                                           3, 5, 7, 100, 127, 360));
+
+class FftInverseTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(FftInverseTest, InverseRecoversSignal) {
+  size_t n = GetParam();
+  std::vector<double> x = RandomSignal(n, 200 + n);
+  auto spectrum = FftReal(x);
+  auto back = InverseFftReal(spectrum);
+  ASSERT_EQ(back.size(), n);
+  for (size_t t = 0; t < n; ++t) {
+    EXPECT_NEAR(back[t], x[t], 1e-8 * n) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, FftInverseTest,
+                         ::testing::Values(1, 2, 16, 1024, 3, 37, 999));
+
+TEST(FftTest, ParsevalHolds) {
+  std::vector<double> x = RandomSignal(512, 7);
+  auto spectrum = FftReal(x);
+  double time_energy = 0.0;
+  for (double v : x) time_energy += v * v;
+  double freq_energy = 0.0;
+  for (const auto& c : spectrum) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(x.size()), time_energy,
+              1e-6 * time_energy);
+}
+
+TEST(FftTest, PureToneConcentratesEnergy) {
+  size_t n = 256;
+  std::vector<double> x(n);
+  for (size_t t = 0; t < n; ++t) {
+    x[t] = std::sin(2.0 * M_PI * 8.0 * static_cast<double>(t) /
+                    static_cast<double>(n));
+  }
+  auto spectrum = FftReal(x);
+  // All energy at bins 8 and n-8.
+  double at_tone = std::abs(spectrum[8]) + std::abs(spectrum[n - 8]);
+  double elsewhere = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    if (k != 8 && k != n - 8) elsewhere += std::abs(spectrum[k]);
+  }
+  EXPECT_GT(at_tone, 100.0 * elsewhere);
+}
+
+TEST(FftTest, EmptyAndSingle) {
+  std::vector<std::complex<double>> empty;
+  Fft(empty, false);  // must not crash
+  EXPECT_TRUE(empty.empty());
+  auto one = FftReal(std::vector<double>{42.0});
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_DOUBLE_EQ(one[0].real(), 42.0);
+}
+
+TEST(FftTest, LinearityHolds) {
+  std::vector<double> a = RandomSignal(100, 11);
+  std::vector<double> b = RandomSignal(100, 13);
+  std::vector<double> sum(100);
+  for (size_t i = 0; i < 100; ++i) sum[i] = 2.0 * a[i] + 3.0 * b[i];
+  auto fa = FftReal(a);
+  auto fb = FftReal(b);
+  auto fsum = FftReal(sum);
+  for (size_t k = 0; k < 100; ++k) {
+    auto expected = 2.0 * fa[k] + 3.0 * fb[k];
+    EXPECT_NEAR(std::abs(fsum[k] - expected), 0.0, 1e-7);
+  }
+}
+
+}  // namespace
+}  // namespace adaedge::compress::dsp

@@ -1,0 +1,356 @@
+// Roundtrip and edge-case tests for every lossless codec, including
+// parameterized sweeps over codec x signal family x length.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/compress/buff.h"
+#include "adaedge/compress/chimp.h"
+#include "adaedge/compress/codec.h"
+#include "adaedge/compress/deflate.h"
+#include "adaedge/compress/dictionary.h"
+#include "adaedge/compress/elf.h"
+#include "adaedge/compress/fastlz.h"
+#include "adaedge/compress/gorilla.h"
+#include "adaedge/compress/raw.h"
+#include "adaedge/compress/registry.h"
+#include "adaedge/compress/rle.h"
+#include "adaedge/compress/sprintz.h"
+#include "testing_util.h"
+
+namespace adaedge::compress {
+namespace {
+
+using ::adaedge::testing::ConstantSignal;
+using ::adaedge::testing::NoisySignal;
+using ::adaedge::testing::QuantizeDecimals;
+using ::adaedge::testing::RandomWalk;
+using ::adaedge::testing::SineSignal;
+using ::adaedge::testing::SteppedSignal;
+
+// BUFF and Sprintz are lossless only at their decimal precision, so all
+// shared fixtures are pre-quantized to 4 digits.
+constexpr int kPrecision = 4;
+
+std::vector<double> MakeSignal(const std::string& family, size_t n) {
+  if (family == "sine") return QuantizeDecimals(SineSignal(n), kPrecision);
+  if (family == "walk") return QuantizeDecimals(RandomWalk(n), kPrecision);
+  if (family == "constant") return ConstantSignal(n);
+  if (family == "stepped") return SteppedSignal(n);
+  return QuantizeDecimals(NoisySignal(n), kPrecision);
+}
+
+struct RoundtripCase {
+  std::string codec_name;
+  std::string family;
+  size_t length;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<RoundtripCase>& info) {
+  std::string name = info.param.codec_name + "_" + info.param.family + "_" +
+                     std::to_string(info.param.length);
+  for (char& c : name) {
+    if (c == '-') c = '_';  // gtest parameter names must be alphanumeric
+  }
+  return name;
+}
+
+class LosslessRoundtripTest : public ::testing::TestWithParam<RoundtripCase> {
+ protected:
+  CodecArm GetArm() const {
+    auto arms = ExtendedLosslessArms(kPrecision);
+    auto arm = FindArm(arms, GetParam().codec_name);
+    EXPECT_TRUE(arm.has_value()) << GetParam().codec_name;
+    return *arm;
+  }
+};
+
+TEST_P(LosslessRoundtripTest, RoundtripsExactly) {
+  const RoundtripCase& c = GetParam();
+  CodecArm arm = GetArm();
+  std::vector<double> input = MakeSignal(c.family, c.length);
+  auto compressed = arm.codec->Compress(input, arm.params);
+  if (!compressed.ok()) {
+    // Dictionary legitimately refuses high-cardinality inputs.
+    ASSERT_EQ(c.codec_name, "dictionary");
+    ASSERT_EQ(compressed.status().code(),
+              util::StatusCode::kResourceExhausted);
+    return;
+  }
+  auto decompressed = arm.codec->Decompress(compressed.value());
+  ASSERT_TRUE(decompressed.ok()) << decompressed.status().ToString();
+  ASSERT_EQ(decompressed.value().size(), input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    ASSERT_DOUBLE_EQ(decompressed.value()[i], input[i])
+        << c.codec_name << " index " << i;
+  }
+}
+
+std::vector<RoundtripCase> AllRoundtripCases() {
+  std::vector<RoundtripCase> cases;
+  for (const char* codec :
+       {"gzip", "snappy", "gorilla", "zlib-1", "zlib-9", "buff", "sprintz",
+        "chimp", "elf", "rle", "dictionary"}) {
+    for (const char* family :
+         {"sine", "walk", "constant", "stepped", "noise"}) {
+      for (size_t n : {0u, 1u, 2u, 7u, 64u, 1000u, 4096u}) {
+        cases.push_back(RoundtripCase{codec, family, n});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, LosslessRoundtripTest,
+                         ::testing::ValuesIn(AllRoundtripCases()), CaseName);
+
+// ---------------------------------------------------------------------------
+// Codec-specific behaviour.
+
+TEST(DeflateTest, CompressesRepetitiveBytesWell) {
+  std::vector<uint8_t> input(10000, 0);
+  for (size_t i = 0; i < input.size(); ++i) input[i] = uint8_t(i % 17);
+  auto out = Deflate::CompressBytes(input, 6);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(out.value().size(), input.size() / 5);
+  auto back = Deflate::DecompressBytes(out.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), input);
+}
+
+TEST(DeflateTest, HigherLevelNeverLargerOnRepetitiveData) {
+  std::vector<double> input = MakeSignal("sine", 4096);
+  Deflate codec;
+  CodecParams p1{.level = 1};
+  CodecParams p9{.level = 9};
+  auto out1 = codec.Compress(input, p1);
+  auto out9 = codec.Compress(input, p9);
+  ASSERT_TRUE(out1.ok());
+  ASSERT_TRUE(out9.ok());
+  EXPECT_LE(out9.value().size(), out1.value().size() + 64);
+}
+
+TEST(DeflateTest, RejectsTruncatedPayload) {
+  std::vector<double> input = MakeSignal("walk", 512);
+  Deflate codec;
+  auto out = codec.Compress(input, CodecParams{});
+  ASSERT_TRUE(out.ok());
+  std::vector<uint8_t> truncated(out.value().begin(),
+                                 out.value().begin() + out.value().size() / 2);
+  auto back = codec.Decompress(truncated);
+  EXPECT_FALSE(back.ok());
+}
+
+TEST(DeflateTest, EmptyInput) {
+  auto out = Deflate::CompressBytes({}, 6);
+  ASSERT_TRUE(out.ok());
+  auto back = Deflate::DecompressBytes(out.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back.value().empty());
+}
+
+TEST(FastLzTest, RoundtripsIncompressibleBytes) {
+  util::Rng rng(3);
+  std::vector<uint8_t> input(5000);
+  for (auto& b : input) b = uint8_t(rng.NextU64());
+  auto out = FastLz::CompressBytes(input);
+  auto back = FastLz::DecompressBytes(out);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), input);
+}
+
+TEST(FastLzTest, OverlappingMatchRoundtrip) {
+  // "aaaa..." forces self-overlapping copies.
+  std::vector<uint8_t> input(1000, uint8_t('a'));
+  auto out = FastLz::CompressBytes(input);
+  EXPECT_LT(out.size(), 100u);
+  auto back = FastLz::DecompressBytes(out);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), input);
+}
+
+TEST(FastLzTest, RejectsBadOffset) {
+  // tag = copy, offset pointing before the start of output.
+  std::vector<uint8_t> payload = {10 /*varint size*/, 0x80, 0x05, 0x00};
+  auto back = FastLz::DecompressBytes(payload);
+  EXPECT_FALSE(back.ok());
+}
+
+TEST(DictionaryTest, CompressesLowCardinality) {
+  std::vector<double> input = SteppedSignal(8192, 8);
+  Dictionary codec;
+  auto out = codec.Compress(input, CodecParams{});
+  ASSERT_TRUE(out.ok());
+  // 7 distinct values -> 3 bits/value vs 64 raw.
+  EXPECT_LT(out.value().size(), 8192 * 8 / 10);
+}
+
+TEST(DictionaryTest, RefusesHighCardinality) {
+  std::vector<double> input = NoisySignal(1024);
+  Dictionary codec;
+  auto out = codec.Compress(input, CodecParams{});
+  ASSERT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), util::StatusCode::kResourceExhausted);
+}
+
+TEST(RleTest, SingleRunCompressesToConstantSize) {
+  Rle codec;
+  auto out = codec.Compress(ConstantSignal(100000), CodecParams{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(out.value().size(), 32u);
+}
+
+TEST(GorillaTest, CompressesSlowlyDriftingSignal) {
+  // Identical consecutive values cost 1 bit each in Gorilla.
+  std::vector<double> input(4096, 42.0);
+  Gorilla codec;
+  auto out = codec.Compress(input, CodecParams{});
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(out.value().size(), 4096u / 4);
+}
+
+TEST(GorillaTest, RoundtripsSpecialValues) {
+  std::vector<double> input = {0.0, -0.0, 1e308, -1e308, 5e-324,
+                               3.14, 3.14,  0.0,   1.0};
+  Gorilla codec;
+  auto out = codec.Compress(input, CodecParams{});
+  ASSERT_TRUE(out.ok());
+  auto back = codec.Decompress(out.value());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), input.size());
+  for (size_t i = 0; i < input.size(); ++i) {
+    EXPECT_EQ(back.value()[i], input[i]) << i;
+  }
+}
+
+TEST(ChimpTest, BeatsGorillaOnNoisyFloats) {
+  std::vector<double> input = QuantizeDecimals(RandomWalk(8192, 5), 6);
+  Gorilla gorilla;
+  Chimp chimp;
+  auto g = gorilla.Compress(input, CodecParams{});
+  auto c = chimp.Compress(input, CodecParams{});
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(c.ok());
+  // CHIMP's flag scheme should not be dramatically worse than Gorilla
+  // anywhere and typically wins on noisy data; allow 15% slack.
+  EXPECT_LT(static_cast<double>(c.value().size()),
+            1.15 * static_cast<double>(g.value().size()));
+}
+
+TEST(ElfTest, EraseTailPreservesDecimalValue) {
+  util::Rng rng(71);
+  for (int i = 0; i < 2000; ++i) {
+    double v = QuantizeDecimals({rng.NextUniform(-1e4, 1e4)}, 4)[0];
+    double erased = Elf::EraseTail(v, 4);
+    EXPECT_EQ(std::round(erased * 1e4) / 1e4, v) << v;
+    // The erased value must not have MORE precision than the input.
+    uint64_t bits;
+    std::memcpy(&bits, &erased, sizeof(bits));
+    uint64_t orig;
+    std::memcpy(&orig, &v, sizeof(orig));
+    // erased is the input with a (possibly empty) zeroed tail.
+    EXPECT_EQ(bits & orig, bits);
+  }
+}
+
+TEST(ElfTest, BeatsPlainChimpOnDecimalData) {
+  // Erasing makes the XOR stage see short mantissas: Elf must win
+  // clearly on decimal-limited data.
+  std::vector<double> input = QuantizeDecimals(RandomWalk(4096, 19), 4);
+  Elf elf;
+  Chimp chimp;
+  CodecParams p;
+  p.precision = 4;
+  auto e = elf.Compress(input, p);
+  auto c = chimp.Compress(input, p);
+  ASSERT_TRUE(e.ok());
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(static_cast<double>(e.value().size()),
+            0.8 * static_cast<double>(c.value().size()));
+}
+
+TEST(SprintzTest, SmallOnSmoothSignals) {
+  std::vector<double> input = QuantizeDecimals(SineSignal(4096, 512), 4);
+  Sprintz codec;
+  CodecParams p;
+  p.precision = 4;
+  auto out = codec.Compress(input, p);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(CompressionRatio(out.value().size(), input.size()), 0.45);
+}
+
+TEST(SprintzTest, RejectsHugeMagnitudes) {
+  std::vector<double> input = {1e60};
+  Sprintz codec;
+  CodecParams p;
+  p.precision = 4;
+  auto out = codec.Compress(input, p);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(BuffTest, LosslessAtConfiguredPrecision) {
+  for (int precision : {0, 2, 4, 6}) {
+    std::vector<double> input =
+        QuantizeDecimals(RandomWalk(500, 13), precision);
+    Buff codec;
+    CodecParams p;
+    p.precision = precision;
+    auto out = codec.Compress(input, p);
+    ASSERT_TRUE(out.ok()) << precision;
+    auto back = codec.Decompress(out.value());
+    ASSERT_TRUE(back.ok());
+    for (size_t i = 0; i < input.size(); ++i) {
+      ASSERT_NEAR(back.value()[i], input[i], 1e-9) << precision << " " << i;
+    }
+  }
+}
+
+TEST(BuffTest, NarrowRangeUsesFewPlanes) {
+  // Range < 256 quantization steps -> a single byte plane.
+  std::vector<double> input(1000);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = 5.0 + 0.01 * static_cast<double>(i % 25);
+  }
+  Buff codec;
+  CodecParams p;
+  p.precision = 2;
+  auto out = codec.Compress(input, p);
+  ASSERT_TRUE(out.ok());
+  EXPECT_LT(out.value().size(), 1100u);  // ~1 byte per value + header
+}
+
+TEST(RegistryTest, AllArmsResolve) {
+  for (const auto& arm : ExtendedLosslessArms(4)) {
+    EXPECT_NE(arm.codec, nullptr) << arm.name;
+    EXPECT_EQ(arm.codec->kind(), CodecKind::kLossless) << arm.name;
+  }
+  for (const auto& arm : ExtendedLossyArms(4)) {
+    EXPECT_NE(arm.codec, nullptr) << arm.name;
+    EXPECT_EQ(arm.codec->kind(), CodecKind::kLossy) << arm.name;
+  }
+}
+
+TEST(RegistryTest, DefaultSetsMatchPaperCandidates) {
+  auto lossless = DefaultLosslessArms(4);
+  for (const char* name :
+       {"gzip", "snappy", "gorilla", "zlib-1", "zlib-9", "buff", "sprintz"}) {
+    EXPECT_TRUE(FindArm(lossless, name).has_value()) << name;
+  }
+  auto lossy = DefaultLossyArms(4);
+  for (const char* name : {"bufflossy", "paa", "pla", "fft", "rrd"}) {
+    EXPECT_TRUE(FindArm(lossy, name).has_value()) << name;
+  }
+}
+
+TEST(RegistryTest, ExtendedSpaceIsRoughlyDoubled) {
+  // Fig 15 doubles the decision space relative to the default set.
+  EXPECT_GE(ExtendedLosslessArms(4).size(),
+            2 * DefaultLosslessArms(4).size() - 1);
+}
+
+}  // namespace
+}  // namespace adaedge::compress

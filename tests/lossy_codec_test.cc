@@ -1,0 +1,367 @@
+// Lossy codec tests: target-ratio adherence, approximation quality,
+// recoding ("virtual decompression") equivalence, and floor behaviour.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/compress/buff.h"
+#include "adaedge/compress/fft_codec.h"
+#include "adaedge/compress/lttb.h"
+#include "adaedge/compress/paa.h"
+#include "adaedge/compress/pla.h"
+#include "adaedge/compress/registry.h"
+#include "adaedge/compress/rrd_sample.h"
+#include "adaedge/util/stats.h"
+#include "testing_util.h"
+
+namespace adaedge::compress {
+namespace {
+
+using ::adaedge::testing::QuantizeDecimals;
+using ::adaedge::testing::RandomWalk;
+using ::adaedge::testing::SineSignal;
+
+struct LossyCase {
+  std::string codec_name;
+  double target_ratio;
+};
+
+std::string LossyCaseName(const ::testing::TestParamInfo<LossyCase>& info) {
+  int pct = static_cast<int>(std::lround(info.param.target_ratio * 100));
+  return info.param.codec_name + "_r" + std::to_string(pct);
+}
+
+class LossyRatioTest : public ::testing::TestWithParam<LossyCase> {};
+
+TEST_P(LossyRatioTest, MeetsTargetRatioAndLength) {
+  const LossyCase& c = GetParam();
+  auto arms = ExtendedLossyArms(/*precision=*/4, c.target_ratio);
+  auto arm = FindArm(arms, c.codec_name);
+  ASSERT_TRUE(arm.has_value());
+  std::vector<double> input = QuantizeDecimals(SineSignal(2000, 100), 4);
+
+  if (!arm->codec->SupportsRatio(c.target_ratio, input.size())) {
+    // The codec must then refuse rather than overshoot.
+    auto out = arm->codec->Compress(input, arm->params);
+    EXPECT_FALSE(out.ok()) << c.codec_name;
+    return;
+  }
+  auto out = arm->codec->Compress(input, arm->params);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  EXPECT_LE(CompressionRatio(out.value().size(), input.size()),
+            c.target_ratio * 1.02 + 0.003)
+      << c.codec_name;
+  auto back = arm->codec->Decompress(out.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value().size(), input.size());
+}
+
+std::vector<LossyCase> AllLossyCases() {
+  std::vector<LossyCase> cases;
+  for (const char* codec :
+       {"bufflossy", "paa", "pla", "fft", "rrd", "lttb", "kernel"}) {
+    for (double r : {0.9, 0.5, 0.25, 0.125, 0.06, 0.03}) {
+      cases.push_back(LossyCase{codec, r});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLossy, LossyRatioTest,
+                         ::testing::ValuesIn(AllLossyCases()), LossyCaseName);
+
+// Tighter target => payload never grows (monotonicity property).
+class LossyMonotonicityTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(LossyMonotonicityTest, TighterRatioNeverLarger) {
+  auto arms = ExtendedLossyArms(4);
+  auto arm = FindArm(arms, GetParam());
+  ASSERT_TRUE(arm.has_value());
+  std::vector<double> input = QuantizeDecimals(RandomWalk(3000, 21), 4);
+  size_t prev_size = SIZE_MAX;
+  for (double r : {0.8, 0.6, 0.4, 0.3, 0.2, 0.15, 0.1, 0.05}) {
+    CodecParams p = arm->params;
+    p.target_ratio = r;
+    if (!arm->codec->SupportsRatio(r, input.size())) break;
+    auto out = arm->codec->Compress(input, p);
+    if (!out.ok()) break;  // at its floor
+    EXPECT_LE(out.value().size(), prev_size) << GetParam() << " ratio " << r;
+    prev_size = out.value().size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLossy, LossyMonotonicityTest,
+                         ::testing::Values("bufflossy", "paa", "pla", "fft",
+                                           "rrd", "lttb", "kernel"));
+
+TEST(KernelRegressionTest, SmoothSignalReconstructsWell) {
+  std::vector<double> input = SineSignal(1024, 128.0, 3.0);
+  auto arm = *FindArm(ExtendedLossyArms(4, 0.2), "kernel");
+  auto out = arm.codec->Compress(input, arm.params);
+  ASSERT_TRUE(out.ok()) << out.status().ToString();
+  auto back = arm.codec->Decompress(out.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_LT(util::RootMeanSquareError(input, back.value()), 0.25);
+}
+
+// Recode must hit the tighter budget and match a fresh compression of the
+// decompressed data in approximation quality (within tolerance).
+class RecodeTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RecodeTest, RecodeShrinksAndStaysDecodable) {
+  auto arms = ExtendedLossyArms(4, 0.5);
+  auto arm = FindArm(arms, GetParam());
+  ASSERT_TRUE(arm.has_value());
+  ASSERT_TRUE(arm->codec->SupportsRecode());
+  std::vector<double> input = QuantizeDecimals(SineSignal(2048, 64), 4);
+  auto first = arm->codec->Compress(input, arm->params);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+
+  auto recoded = arm->codec->Recode(first.value(), 0.25);
+  ASSERT_TRUE(recoded.ok()) << recoded.status().ToString();
+  EXPECT_LT(recoded.value().size(), first.value().size());
+  EXPECT_LE(CompressionRatio(recoded.value().size(), input.size()), 0.26);
+
+  auto back = arm->codec->Decompress(recoded.value());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), input.size());
+  // The recoded approximation must stay in the same quality regime as
+  // compressing the original directly at the tighter ratio.
+  CodecParams tight = arm->params;
+  tight.target_ratio = 0.25;
+  auto direct = arm->codec->Compress(input, tight);
+  ASSERT_TRUE(direct.ok());
+  auto direct_back = arm->codec->Decompress(direct.value());
+  ASSERT_TRUE(direct_back.ok());
+  double recode_err = util::RootMeanSquareError(input, back.value());
+  double direct_err = util::RootMeanSquareError(input, direct_back.value());
+  EXPECT_LE(recode_err, 3.0 * direct_err + 1e-6) << GetParam();
+}
+
+TEST_P(RecodeTest, RecodeToLooserRatioFails) {
+  auto arms = ExtendedLossyArms(4, 0.3);
+  auto arm = FindArm(arms, GetParam());
+  ASSERT_TRUE(arm.has_value());
+  std::vector<double> input = QuantizeDecimals(SineSignal(1024, 64), 4);
+  auto first = arm->codec->Compress(input, arm->params);
+  ASSERT_TRUE(first.ok());
+  auto recoded = arm->codec->Recode(first.value(), 0.9);
+  EXPECT_FALSE(recoded.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllRecodable, RecodeTest,
+                         ::testing::Values("bufflossy", "paa", "pla", "fft",
+                                           "rrd", "lttb"));
+
+// ---------------------------------------------------------------------------
+// Codec-specific quality expectations.
+
+TEST(PaaTest, PreservesWindowMeansExactly) {
+  std::vector<double> input = RandomWalk(1000, 3);
+  Paa codec;
+  CodecParams p;
+  p.target_ratio = 0.25;
+  auto out = codec.Compress(input, p);
+  ASSERT_TRUE(out.ok());
+  auto back = codec.Decompress(out.value());
+  ASSERT_TRUE(back.ok());
+  // Total sum is preserved up to tail-window rounding.
+  double sum_in = 0.0, sum_out = 0.0;
+  for (double v : input) sum_in += v;
+  for (double v : back.value()) sum_out += v;
+  EXPECT_NEAR(sum_in, sum_out, std::abs(sum_in) * 1e-9 + 1e-6);
+}
+
+TEST(PaaTest, IdentityAtRatioOne) {
+  std::vector<double> input = SineSignal(256);
+  Paa codec;
+  CodecParams p;
+  p.target_ratio = 1.0;
+  auto out = codec.Compress(input, p);
+  ASSERT_TRUE(out.ok());
+  auto back = codec.Decompress(out.value());
+  ASSERT_TRUE(back.ok());
+  for (size_t i = 0; i < input.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.value()[i], input[i]);
+  }
+}
+
+TEST(PlaTest, ExactOnLinearSignal) {
+  std::vector<double> input(500);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = 2.0 + 0.5 * static_cast<double>(i);
+  }
+  Pla codec;
+  CodecParams p;
+  p.target_ratio = 0.05;
+  auto out = codec.Compress(input, p);
+  ASSERT_TRUE(out.ok());
+  auto back = codec.Decompress(out.value());
+  ASSERT_TRUE(back.ok());
+  // f32 parameter storage bounds the error.
+  EXPECT_LT(util::MaxAbsoluteError(input, back.value()), 0.05);
+}
+
+TEST(PlaTest, TracksExtremesBetterThanPaa) {
+  // On a monotone ramp the line endpoints reach the true extreme while
+  // window means undershoot it by half a window — the mechanism behind
+  // PLA winning Max queries in Fig 9.
+  std::vector<double> input(2048);
+  for (size_t i = 0; i < input.size(); ++i) {
+    input[i] = static_cast<double>(i) * 0.1;
+  }
+  CodecParams p;
+  p.target_ratio = 0.05;
+  Pla pla;
+  Paa paa;
+  auto pla_back = pla.Decompress(pla.Compress(input, p).value());
+  auto paa_back = paa.Decompress(paa.Compress(input, p).value());
+  ASSERT_TRUE(pla_back.ok());
+  ASSERT_TRUE(paa_back.ok());
+  double max_in = input.back();
+  double pla_max = *std::max_element(pla_back.value().begin(),
+                                     pla_back.value().end());
+  double paa_max = *std::max_element(paa_back.value().begin(),
+                                     paa_back.value().end());
+  EXPECT_LT(std::abs(max_in - pla_max), std::abs(max_in - paa_max));
+}
+
+TEST(FftTest, NearExactOnPureTone) {
+  // One tone -> a couple of coefficients reconstruct it almost exactly.
+  std::vector<double> input = SineSignal(1024, 64.0, 5.0, 1.0);
+  FftCodec codec;
+  CodecParams p;
+  p.target_ratio = 0.05;
+  auto out = codec.Compress(input, p);
+  ASSERT_TRUE(out.ok());
+  auto back = codec.Decompress(out.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_LT(util::RootMeanSquareError(input, back.value()), 0.01);
+}
+
+TEST(FftTest, HandlesNonPowerOfTwoLengths) {
+  // (Series this small are dominated by the header; the framework never
+  // produces segments under ~100 points, so start there.)
+  for (size_t n : {100u, 777u, 1000u, 1029u}) {
+    std::vector<double> input = SineSignal(n, 25.0);
+    FftCodec codec;
+    CodecParams p;
+    p.target_ratio = 0.5;
+    auto out = codec.Compress(input, p);
+    ASSERT_TRUE(out.ok()) << n;
+    auto back = codec.Decompress(out.value());
+    ASSERT_TRUE(back.ok()) << n;
+    ASSERT_EQ(back.value().size(), n);
+    EXPECT_LT(util::RootMeanSquareError(input, back.value()), 0.6) << n;
+  }
+}
+
+TEST(BuffLossyTest, FloorNearOneEighth) {
+  std::vector<double> input = QuantizeDecimals(RandomWalk(2000, 17), 4);
+  BuffLossy codec;
+  EXPECT_TRUE(codec.SupportsRatio(0.25, input.size()));
+  EXPECT_FALSE(codec.SupportsRatio(0.05, input.size()));
+  CodecParams p;
+  p.precision = 4;
+  p.target_ratio = 0.05;
+  auto out = codec.Compress(input, p);
+  EXPECT_FALSE(out.ok());
+  EXPECT_EQ(out.status().code(), util::StatusCode::kResourceExhausted);
+}
+
+TEST(BuffLossyTest, MinimalPerturbationAtMildRatio) {
+  std::vector<double> input = QuantizeDecimals(RandomWalk(2000, 17), 4);
+  util::RunningStats stats;
+  for (double v : input) stats.Add(v);
+  BuffLossy codec;
+  CodecParams p;
+  p.precision = 4;
+  p.target_ratio = 0.5;
+  auto out = codec.Compress(input, p);
+  ASSERT_TRUE(out.ok());
+  auto back = codec.Decompress(out.value());
+  ASSERT_TRUE(back.ok());
+  // Dropping low planes perturbs values by far less than the signal range.
+  double range = stats.max() - stats.min();
+  EXPECT_LT(util::MaxAbsoluteError(input, back.value()), range * 0.01);
+}
+
+TEST(BuffLossyTest, RecodeMatchesDirectCompression) {
+  // Byte-plane truncation is exact: recode(0.5 -> 0.2) must byte-equal
+  // direct compression at 0.2.
+  std::vector<double> input = QuantizeDecimals(RandomWalk(4000, 9), 4);
+  BuffLossy codec;
+  CodecParams half;
+  half.precision = 4;
+  half.target_ratio = 0.6;
+  auto first = codec.Compress(input, half);
+  ASSERT_TRUE(first.ok());
+  auto recoded = codec.Recode(first.value(), 0.2);
+  ASSERT_TRUE(recoded.ok());
+  CodecParams tight;
+  tight.precision = 4;
+  tight.target_ratio = 0.2;
+  auto direct = codec.Compress(input, tight);
+  ASSERT_TRUE(direct.ok());
+  EXPECT_EQ(recoded.value(), direct.value());
+}
+
+TEST(RrdSampleTest, ReplicatesOneValuePerWindow) {
+  std::vector<double> input = SineSignal(1000, 40.0);
+  RrdSample codec;
+  CodecParams p;
+  p.target_ratio = 0.1;
+  auto out = codec.Compress(input, p);
+  ASSERT_TRUE(out.ok());
+  auto back = codec.Decompress(out.value());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back.value().size(), input.size());
+  // Every reconstructed value must be a genuine input value from its window.
+  // Windows are contiguous, so check membership in the full input.
+  for (double v : back.value()) {
+    bool found = false;
+    for (double u : input) {
+      if (u == v) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(LttbTest, KeepsEndpointsExactly) {
+  std::vector<double> input = RandomWalk(512, 77);
+  Lttb codec;
+  CodecParams p;
+  p.target_ratio = 0.1;
+  auto out = codec.Compress(input, p);
+  ASSERT_TRUE(out.ok());
+  auto back = codec.Decompress(out.value());
+  ASSERT_TRUE(back.ok());
+  EXPECT_NEAR(back.value().front(), input.front(), 1e-4);
+  EXPECT_NEAR(back.value().back(), input.back(), 1e-4);
+}
+
+TEST(LttbTest, KeepsSpikes) {
+  // A single large spike must survive LTTB (it forms the largest triangle).
+  std::vector<double> input(400, 1.0);
+  input[200] = 100.0;
+  Lttb codec;
+  CodecParams p;
+  p.target_ratio = 0.1;
+  auto out = codec.Compress(input, p);
+  ASSERT_TRUE(out.ok());
+  auto back = codec.Decompress(out.value());
+  ASSERT_TRUE(back.ok());
+  double max_v =
+      *std::max_element(back.value().begin(), back.value().end());
+  EXPECT_NEAR(max_v, 100.0, 1e-3);
+}
+
+}  // namespace
+}  // namespace adaedge::compress

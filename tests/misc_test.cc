@@ -1,0 +1,179 @@
+// Coverage for the remaining substrate pieces: the dense Cholesky solver,
+// logging levels, the offline node's FIFO mode and transcoding path, the
+// selector under UCB, and evaluation fresh-window behaviour.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/compress/transcode.h"
+#include "adaedge/core/evaluation.h"
+#include "adaedge/core/offline_node.h"
+#include "adaedge/core/online_selector.h"
+#include "adaedge/data/generators.h"
+#include "adaedge/util/linalg.h"
+#include "adaedge/util/logging.h"
+#include "adaedge/util/rng.h"
+#include "testing_util.h"
+
+namespace adaedge {
+namespace {
+
+TEST(CholeskyTest, SolvesKnownSystem) {
+  // A = [[4,2],[2,3]], b = [6,5] -> x = [1,1].
+  std::vector<double> a = {4, 2, 2, 3};
+  std::vector<double> b = {6, 5};
+  auto x = util::CholeskySolve(a, b, 2);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-12);
+  EXPECT_NEAR(x.value()[1], 1.0, 1e-12);
+}
+
+TEST(CholeskyTest, RandomSpdSystemsRoundtrip) {
+  util::Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    size_t n = 1 + rng.NextBelow(12);
+    // A = M M^T + I is SPD.
+    std::vector<double> m(n * n);
+    for (auto& v : m) v = rng.NextGaussian();
+    std::vector<double> a(n * n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) {
+        for (size_t k = 0; k < n; ++k) {
+          a[i * n + j] += m[i * n + k] * m[j * n + k];
+        }
+      }
+      a[i * n + i] += 1.0;
+    }
+    std::vector<double> x_true(n);
+    for (auto& v : x_true) v = rng.NextUniform(-2, 2);
+    std::vector<double> b(n, 0.0);
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = 0; j < n; ++j) b[i] += a[i * n + j] * x_true[j];
+    }
+    auto x = util::CholeskySolve(a, b, n);
+    ASSERT_TRUE(x.ok()) << trial;
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(x.value()[i], x_true[i], 1e-8) << trial << "," << i;
+    }
+  }
+}
+
+TEST(CholeskyTest, RejectsNonSpdAndBadShapes) {
+  std::vector<double> not_spd = {1, 2, 2, 1};  // eigenvalues 3, -1
+  std::vector<double> b = {1, 1};
+  auto bad = util::CholeskySolve(not_spd, b, 2);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), util::StatusCode::kFailedPrecondition);
+  auto shape = util::CholeskySolve(not_spd, b, 3);
+  EXPECT_EQ(shape.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(LoggingTest, LevelFilterRoundtrip) {
+  util::LogLevel original = util::GetLogLevel();
+  util::SetLogLevel(util::LogLevel::kError);
+  EXPECT_EQ(util::GetLogLevel(), util::LogLevel::kError);
+  // Below-threshold logging must be a cheap no-op (no crash, no output
+  // assertions possible here, but the call path is exercised).
+  ADAEDGE_LOG(kDebug) << "suppressed " << 42;
+  util::SetLogLevel(original);
+}
+
+TEST(OfflineFifoTest, OldestFirstStillBoundsStorage) {
+  core::OfflineConfig config;
+  config.storage_budget_bytes = 128 << 10;
+  config.use_lru = false;  // TVStore-style oldest-first
+  core::OfflineNode node(
+      config, core::TargetSpec::AggAccuracy(query::AggKind::kSum));
+  data::CbfStream stream(15);
+  std::vector<double> segment(1024);
+  for (uint64_t i = 0; i < 120; ++i) {
+    stream.Fill(segment);
+    ASSERT_TRUE(node.Ingest(i, i * 0.005, segment).ok());
+    EXPECT_LE(node.store().budget()->used(), config.storage_budget_bytes);
+  }
+  // Under FIFO the OLDEST segments are the lossy ones.
+  auto oldest = node.store().Peek(0);
+  auto newest = node.store().Peek(119);
+  ASSERT_TRUE(oldest.ok());
+  ASSERT_TRUE(newest.ok());
+  EXPECT_EQ(oldest.value().meta().state, core::SegmentState::kLossy);
+  EXPECT_NE(newest.value().meta().state, core::SegmentState::kLossy);
+}
+
+TEST(OnlineSelectorUcbTest, WorksEndToEnd) {
+  core::OnlineConfig config;
+  config.target_ratio = 0.1;
+  config.policy = bandit::PolicyKind::kUcb1;
+  core::OnlineSelector selector(
+      config, core::TargetSpec::AggAccuracy(query::AggKind::kSum));
+  data::CbfStream stream(17);
+  std::vector<double> segment(1024);
+  double late_acc = 0.0;
+  for (uint64_t i = 0; i < 120; ++i) {
+    stream.Fill(segment);
+    auto outcome = selector.Process(i, i * 0.005, segment);
+    ASSERT_TRUE(outcome.ok());
+    if (i >= 80) late_acc += outcome.value().accuracy;
+  }
+  EXPECT_GT(late_acc / 40.0, 0.9);
+}
+
+TEST(EvaluateRetainedTest, FreshWindowIsolatesRecentSegments) {
+  sim::StorageBudget budget(1 << 20, 0.8);
+  core::SegmentStore store(&budget, core::MakeLruPolicy());
+  std::unordered_map<uint64_t, std::vector<double>> originals;
+  // Old segments: badly approximated; fresh segments: exact.
+  for (uint64_t id = 0; id < 12; ++id) {
+    std::vector<double> values =
+        testing::QuantizeDecimals(testing::SineSignal(512, 31 + id), 4);
+    originals[id] = values;
+    core::Segment segment = core::Segment::FromValues(id, id * 1.0, values);
+    if (id < 8) {
+      compress::CodecParams params;
+      params.target_ratio = 0.02;  // destroy the old ones
+      ASSERT_TRUE(
+          segment.Reencode(compress::CodecId::kRrdSample, params, values)
+              .ok());
+    }
+    ASSERT_TRUE(store.Put(std::move(segment)).ok());
+  }
+  core::TargetEvaluator eval(
+      core::TargetSpec::AggAccuracy(query::AggKind::kMax));
+  auto quality = core::EvaluateRetained(store, originals, eval,
+                                        /*fresh_window=*/4);
+  ASSERT_TRUE(quality.ok());
+  EXPECT_DOUBLE_EQ(quality.value().fresh_accuracy, 1.0);
+  EXPECT_LT(quality.value().accuracy, quality.value().fresh_accuracy);
+}
+
+TEST(OfflineTranscodeIntegrationTest, CrossCodecRecodesStayConsistent) {
+  // Force a PAA-first then PLA-only chain so the recoder exercises the
+  // direct PAA->PLA transcode path; results must stay decodable and the
+  // budget respected.
+  core::OfflineConfig config;
+  config.storage_budget_bytes = 96 << 10;
+  config.lossy_arms.clear();
+  auto pool = compress::ExtendedLossyArms(4);
+  config.lossy_arms.push_back(*compress::FindArm(pool, "paa"));
+  config.lossy_arms.push_back(*compress::FindArm(pool, "pla"));
+  config.bandit.epsilon = 0.5;  // ping-pong between the two arms
+  core::OfflineNode node(
+      config, core::TargetSpec::AggAccuracy(query::AggKind::kSum));
+  data::CbfStream stream(19);
+  std::vector<double> segment(1024);
+  for (uint64_t i = 0; i < 150; ++i) {
+    stream.Fill(segment);
+    ASSERT_TRUE(node.Ingest(i, i * 0.005, segment).ok()) << i;
+  }
+  for (uint64_t id : node.store().AllIds()) {
+    auto seg = node.store().Peek(id);
+    ASSERT_TRUE(seg.ok());
+    auto values = seg.value().Materialize();
+    ASSERT_TRUE(values.ok()) << "segment " << id;
+    EXPECT_EQ(values.value().size(), 1024u);
+  }
+}
+
+}  // namespace
+}  // namespace adaedge

@@ -1,0 +1,241 @@
+// ML substrate tests: model correctness on separable fixtures,
+// serialization roundtrips, and the relative-accuracy metric.
+
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/data/generators.h"
+#include "adaedge/ml/decision_tree.h"
+#include "adaedge/ml/kmeans.h"
+#include "adaedge/ml/knn.h"
+#include "adaedge/ml/model.h"
+#include "adaedge/ml/random_forest.h"
+
+namespace adaedge::ml {
+namespace {
+
+// Trivially separable two-class dataset: class = (feature0 > 0).
+Dataset MakeSeparable(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  Dataset data;
+  std::vector<double> row(4);
+  for (size_t i = 0; i < n; ++i) {
+    int label = static_cast<int>(i % 2);
+    row[0] = label == 1 ? rng.NextUniform(1.0, 2.0)
+                        : rng.NextUniform(-2.0, -1.0);
+    for (size_t j = 1; j < row.size(); ++j) {
+      row[j] = rng.NextGaussian();  // noise features
+    }
+    data.features.AppendRow(row);
+    data.labels.push_back(label);
+  }
+  return data;
+}
+
+double HoldoutAccuracy(const Model& model, const Dataset& test) {
+  size_t correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (model.Predict(test.features.Row(i)) == test.labels[i]) ++correct;
+  }
+  return test.size() > 0
+             ? static_cast<double>(correct) / static_cast<double>(test.size())
+             : 0.0;
+}
+
+TEST(DecisionTreeTest, LearnsSeparableData) {
+  auto split = SplitTrainTest(MakeSeparable(400, 3));
+  auto tree = DecisionTree::Train(split.train, TreeConfig{});
+  EXPECT_GT(HoldoutAccuracy(*tree, split.test), 0.95);
+}
+
+TEST(DecisionTreeTest, LearnsCbfClasses) {
+  auto split = SplitTrainTest(data::MakeCbfDataset(600, 128, 7));
+  auto tree = DecisionTree::Train(split.train, TreeConfig{});
+  // CBF is noisy; a single tree should still comfortably beat chance (1/3).
+  EXPECT_GT(HoldoutAccuracy(*tree, split.test), 0.6);
+}
+
+TEST(DecisionTreeTest, RespectsMaxDepth) {
+  TreeConfig config;
+  config.max_depth = 1;
+  auto tree = DecisionTree::Train(MakeSeparable(200, 5), config);
+  // Depth 1 = a root plus at most two leaves.
+  EXPECT_LE(tree->node_count(), 3u);
+}
+
+TEST(DecisionTreeTest, HandlesDegenerateData) {
+  Dataset data;
+  for (int i = 0; i < 10; ++i) {
+    data.features.AppendRow(std::vector<double>{1.0, 1.0});
+    data.labels.push_back(i % 2);  // identical features, mixed labels
+  }
+  auto tree = DecisionTree::Train(data, TreeConfig{});
+  // No valid split exists; must produce a majority leaf, not crash.
+  EXPECT_EQ(tree->node_count(), 1u);
+}
+
+TEST(DecisionTreeTest, SerializationRoundtrips) {
+  auto data = data::MakeUcrLikeDataset(300, 64, 4, 11);
+  auto tree = DecisionTree::Train(data, TreeConfig{});
+  auto blob = SerializeModel(*tree);
+  auto restored = DeserializeModel(blob);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(restored.value()->Predict(data.features.Row(i)),
+              tree->Predict(data.features.Row(i)));
+  }
+}
+
+TEST(RandomForestTest, BeatsOrMatchesSingleTreeOnNoisyData) {
+  auto split = SplitTrainTest(data::MakeCbfDataset(900, 128, 13));
+  TreeConfig tree_config;
+  tree_config.max_depth = 8;
+  auto tree = DecisionTree::Train(split.train, tree_config);
+  ForestConfig forest_config;
+  forest_config.num_trees = 15;
+  forest_config.tree.max_depth = 8;
+  auto forest = RandomForest::Train(split.train, forest_config);
+  double tree_acc = HoldoutAccuracy(*tree, split.test);
+  double forest_acc = HoldoutAccuracy(*forest, split.test);
+  EXPECT_GE(forest_acc + 0.02, tree_acc);
+  EXPECT_GT(forest_acc, 0.6);
+}
+
+TEST(RandomForestTest, SerializationRoundtrips) {
+  auto data = MakeSeparable(200, 17);
+  ForestConfig config;
+  config.num_trees = 7;
+  auto forest = RandomForest::Train(data, config);
+  auto blob = SerializeModel(*forest);
+  auto restored = DeserializeModel(blob);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(restored.value()->kind(), ModelKind::kRandomForest);
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(restored.value()->Predict(data.features.Row(i)),
+              forest->Predict(data.features.Row(i)));
+  }
+}
+
+TEST(KnnTest, PerfectOnTrainingPoints) {
+  auto data = MakeSeparable(100, 23);
+  KnnConfig config;
+  config.k = 1;
+  auto knn = Knn::Train(data, config);
+  EXPECT_DOUBLE_EQ(HoldoutAccuracy(*knn, data), 1.0);
+}
+
+TEST(KnnTest, LearnsUcrClasses) {
+  auto split = SplitTrainTest(data::MakeUcrLikeDataset(500, 64, 5, 29));
+  KnnConfig config;
+  config.k = 3;
+  auto knn = Knn::Train(split.train, config);
+  EXPECT_GT(HoldoutAccuracy(*knn, split.test), 0.8);
+}
+
+TEST(KnnTest, SerializationRoundtrips) {
+  auto data = MakeSeparable(64, 31);
+  auto knn = Knn::Train(data, KnnConfig{});
+  auto blob = SerializeModel(*knn);
+  auto restored = DeserializeModel(blob);
+  ASSERT_TRUE(restored.ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(restored.value()->Predict(data.features.Row(i)),
+              knn->Predict(data.features.Row(i)));
+  }
+}
+
+TEST(KMeansTest, SeparatesWellSeparatedBlobs) {
+  util::Rng rng(37);
+  Dataset data;
+  std::vector<double> row(3);
+  for (int i = 0; i < 300; ++i) {
+    int blob = i % 3;
+    for (auto& v : row) v = 10.0 * blob + rng.NextGaussian() * 0.3;
+    data.features.AppendRow(row);
+    data.labels.push_back(blob);
+  }
+  KMeansConfig config;
+  config.k = 3;
+  auto kmeans = KMeans::Train(data, config);
+  // Same-blob rows must land in the same cluster; different blobs apart.
+  for (int i = 0; i < 297; i += 3) {
+    int c0 = kmeans->Predict(data.features.Row(i));
+    int c1 = kmeans->Predict(data.features.Row(i + 1));
+    int c2 = kmeans->Predict(data.features.Row(i + 2));
+    EXPECT_EQ(c0, kmeans->Predict(data.features.Row((i + 3) % 300 == 0
+                                                        ? 0
+                                                        : i + 3)));
+    EXPECT_NE(c0, c1);
+    EXPECT_NE(c1, c2);
+  }
+}
+
+TEST(KMeansTest, StableAssignmentUnderTinyPerturbation) {
+  auto data = data::MakeCbfDataset(300, 128, 41);
+  KMeansConfig config;
+  config.k = 3;
+  auto kmeans = KMeans::Train(data, config);
+  util::Rng rng(43);
+  size_t same = 0;
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::vector<double> noisy(data.features.Row(i).begin(),
+                              data.features.Row(i).end());
+    for (auto& v : noisy) v += rng.NextGaussian() * 1e-6;
+    if (kmeans->Predict(data.features.Row(i)) == kmeans->Predict(noisy)) {
+      ++same;
+    }
+  }
+  EXPECT_EQ(same, data.size());
+}
+
+TEST(KMeansTest, SerializationRoundtrips) {
+  auto data = data::MakeCbfDataset(120, 64, 47);
+  KMeansConfig config;
+  config.k = 4;
+  auto kmeans = KMeans::Train(data, config);
+  auto blob = SerializeModel(*kmeans);
+  auto restored = DeserializeModel(blob);
+  ASSERT_TRUE(restored.ok());
+  for (size_t i = 0; i < data.size(); ++i) {
+    EXPECT_EQ(restored.value()->Predict(data.features.Row(i)),
+              kmeans->Predict(data.features.Row(i)));
+  }
+}
+
+TEST(ModelSerializationTest, RejectsGarbage) {
+  std::vector<uint8_t> junk = {0x00, 0x01, 0x02, 0x03};
+  EXPECT_FALSE(DeserializeModel(junk).ok());
+  std::vector<uint8_t> empty;
+  EXPECT_FALSE(DeserializeModel(empty).ok());
+}
+
+TEST(ModelSerializationTest, RejectsTruncatedBlob) {
+  auto data = MakeSeparable(50, 53);
+  auto tree = DecisionTree::Train(data, TreeConfig{});
+  auto blob = SerializeModel(*tree);
+  blob.resize(blob.size() / 2);
+  EXPECT_FALSE(DeserializeModel(blob).ok());
+}
+
+TEST(RelativeMlAccuracyTest, IdenticalDataScoresOne) {
+  auto data = MakeSeparable(100, 59);
+  auto tree = DecisionTree::Train(data, TreeConfig{});
+  EXPECT_DOUBLE_EQ(
+      RelativeMlAccuracy(*tree, data.features, data.features), 1.0);
+}
+
+TEST(RelativeMlAccuracyTest, HeavyCorruptionScoresLow) {
+  auto data = MakeSeparable(200, 61);
+  auto tree = DecisionTree::Train(data, TreeConfig{});
+  // Negating feature 0 flips every class by construction.
+  Matrix corrupted = data.features;
+  for (size_t i = 0; i < corrupted.rows(); ++i) {
+    corrupted.At(i, 0) = -corrupted.At(i, 0);
+  }
+  EXPECT_LT(RelativeMlAccuracy(*tree, data.features, corrupted), 0.2);
+}
+
+}  // namespace
+}  // namespace adaedge::ml

@@ -1,0 +1,132 @@
+// In-situ aggregation over compressed payloads: every direct path must
+// agree with decompress-then-aggregate, across codecs x aggregates x
+// signal families (the paper's "execute queries over the compressed
+// data").
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/compress/payload_query.h"
+#include "adaedge/compress/registry.h"
+#include "testing_util.h"
+
+namespace adaedge::compress {
+namespace {
+
+using ::adaedge::testing::QuantizeDecimals;
+using ::adaedge::testing::RandomWalk;
+using ::adaedge::testing::SineSignal;
+using ::adaedge::testing::SteppedSignal;
+
+std::vector<double> Signal(const std::string& family) {
+  if (family == "sine") return QuantizeDecimals(SineSignal(1500, 90), 4);
+  if (family == "walk") return QuantizeDecimals(RandomWalk(1500, 3), 4);
+  return SteppedSignal(1500, 24);
+}
+
+struct Case {
+  std::string codec;
+  query::AggKind agg;
+  std::string family;
+};
+
+std::string CaseName(const ::testing::TestParamInfo<Case>& info) {
+  return info.param.codec + "_" +
+         std::string(query::AggKindName(info.param.agg)) + "_" +
+         info.param.family;
+}
+
+class DirectAggregateTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(DirectAggregateTest, MatchesDecompressedAggregate) {
+  const Case& c = GetParam();
+  auto lossy = ExtendedLossyArms(4, 0.4);
+  auto lossless = ExtendedLosslessArms(4);
+  auto arm = FindArm(lossy, c.codec);
+  if (!arm.has_value()) arm = FindArm(lossless, c.codec);
+  ASSERT_TRUE(arm.has_value());
+
+  std::vector<double> input = Signal(c.family);
+  auto payload = arm->codec->Compress(input, arm->params);
+  if (!payload.ok()) GTEST_SKIP() << payload.status().ToString();
+
+  CodecId id = arm->codec->id();
+  if (!SupportsDirectAggregate(id, c.agg)) {
+    // The generic entry point must still produce the right answer via
+    // the fallback.
+    auto fallback =
+        AggregatePayloadOrDecompress(c.agg, id, payload.value());
+    ASSERT_TRUE(fallback.ok());
+    auto reference = arm->codec->Decompress(payload.value());
+    ASSERT_TRUE(reference.ok());
+    EXPECT_DOUBLE_EQ(fallback.value(),
+                     query::Aggregate(c.agg, reference.value()));
+    return;
+  }
+  auto direct = AggregatePayloadDirect(c.agg, id, payload.value());
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  auto reference = arm->codec->Decompress(payload.value());
+  ASSERT_TRUE(reference.ok());
+  double expected = query::Aggregate(c.agg, reference.value());
+  double scale = std::max(1.0, std::abs(expected));
+  EXPECT_NEAR(direct.value(), expected, 1e-6 * scale)
+      << c.codec << "/" << query::AggKindName(c.agg);
+}
+
+std::vector<Case> AllCases() {
+  std::vector<Case> cases;
+  for (const char* codec : {"paa", "pla", "fft", "rrd", "lttb",
+                            "bufflossy", "rle", "dictionary", "kernel",
+                            "sprintz"}) {
+    for (query::AggKind agg :
+         {query::AggKind::kSum, query::AggKind::kAvg, query::AggKind::kMin,
+          query::AggKind::kMax}) {
+      for (const char* family : {"sine", "walk", "stepped"}) {
+        cases.push_back(Case{codec, agg, family});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPairs, DirectAggregateTest,
+                         ::testing::ValuesIn(AllCases()), CaseName);
+
+TEST(DirectAggregateTest, SupportMatrixAsDocumented) {
+  using query::AggKind;
+  // Full support.
+  for (CodecId id : {CodecId::kPaa, CodecId::kPla, CodecId::kRrdSample,
+                     CodecId::kLttb, CodecId::kBuffLossy, CodecId::kRle}) {
+    for (AggKind kind : {AggKind::kSum, AggKind::kAvg, AggKind::kMin,
+                         AggKind::kMax}) {
+      EXPECT_TRUE(SupportsDirectAggregate(id, kind))
+          << CodecIdName(id) << "/" << query::AggKindName(kind);
+    }
+  }
+  // Partial support.
+  EXPECT_TRUE(SupportsDirectAggregate(CodecId::kFft, AggKind::kSum));
+  EXPECT_TRUE(SupportsDirectAggregate(CodecId::kFft, AggKind::kAvg));
+  EXPECT_FALSE(SupportsDirectAggregate(CodecId::kFft, AggKind::kMax));
+  EXPECT_TRUE(SupportsDirectAggregate(CodecId::kDictionary, AggKind::kMin));
+  EXPECT_FALSE(SupportsDirectAggregate(CodecId::kDictionary, AggKind::kSum));
+  // No support (falls back).
+  EXPECT_FALSE(SupportsDirectAggregate(CodecId::kGorilla, AggKind::kSum));
+  EXPECT_FALSE(SupportsDirectAggregate(CodecId::kKernel, AggKind::kSum));
+}
+
+TEST(DirectAggregateTest, RejectsCorruptPayloads) {
+  std::vector<uint8_t> junk = {0xff, 0xff, 0xff};
+  for (CodecId id : {CodecId::kPaa, CodecId::kPla, CodecId::kRle,
+                     CodecId::kBuffLossy}) {
+    auto result =
+        AggregatePayloadDirect(query::AggKind::kSum, id, junk);
+    EXPECT_FALSE(result.ok()) << CodecIdName(id);
+  }
+}
+
+}  // namespace
+}  // namespace adaedge::compress

@@ -1,0 +1,69 @@
+// Aggregation operators and accuracy metrics.
+
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/query/aggregate.h"
+
+namespace adaedge::query {
+namespace {
+
+TEST(AggregateTest, BasicOperators) {
+  std::vector<double> v = {1.0, -2.0, 3.5, 0.5};
+  EXPECT_DOUBLE_EQ(Aggregate(AggKind::kSum, v), 3.0);
+  EXPECT_DOUBLE_EQ(Aggregate(AggKind::kAvg, v), 0.75);
+  EXPECT_DOUBLE_EQ(Aggregate(AggKind::kMin, v), -2.0);
+  EXPECT_DOUBLE_EQ(Aggregate(AggKind::kMax, v), 3.5);
+}
+
+TEST(AggregateTest, EmptyInput) {
+  std::vector<double> v;
+  EXPECT_DOUBLE_EQ(Aggregate(AggKind::kSum, v), 0.0);
+  EXPECT_DOUBLE_EQ(Aggregate(AggKind::kMax, v), 0.0);
+}
+
+TEST(RelativeAggAccuracyTest, ExactMatchScoresOne) {
+  EXPECT_DOUBLE_EQ(RelativeAggAccuracy(10.0, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeAggAccuracy(-5.0, -5.0), 1.0);
+}
+
+TEST(RelativeAggAccuracyTest, TenPercentErrorScoresPointNine) {
+  EXPECT_NEAR(RelativeAggAccuracy(100.0, 110.0), 0.9, 1e-12);
+  EXPECT_NEAR(RelativeAggAccuracy(100.0, 90.0), 0.9, 1e-12);
+}
+
+TEST(RelativeAggAccuracyTest, ClampsToZero) {
+  // A 300% error must not produce a negative accuracy.
+  EXPECT_DOUBLE_EQ(RelativeAggAccuracy(1.0, 4.0), 0.0);
+}
+
+TEST(RelativeAggAccuracyTest, ZeroTruthHandled) {
+  EXPECT_DOUBLE_EQ(RelativeAggAccuracy(0.0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(RelativeAggAccuracy(0.0, 5.0), 0.0);
+}
+
+TEST(RelativeAggAccuracyTest, SeriesOverload) {
+  std::vector<double> original = {1.0, 2.0, 3.0, 4.0};  // sum 10
+  std::vector<double> lossy = {2.5, 2.5, 2.5, 2.5};     // sum 10
+  EXPECT_DOUBLE_EQ(
+      RelativeAggAccuracy(AggKind::kSum, original, lossy), 1.0);
+  // Max: 4 vs 2.5 -> acc = 1 - 1.5/4.
+  EXPECT_NEAR(RelativeAggAccuracy(AggKind::kMax, original, lossy),
+              1.0 - 1.5 / 4.0, 1e-12);
+}
+
+TEST(CompressionThroughputTest, BytesPerSecond) {
+  EXPECT_DOUBLE_EQ(CompressionThroughput(1000, 2.0), 500.0);
+  EXPECT_GT(CompressionThroughput(1000, 0.0), 1e10);  // no div-by-zero
+}
+
+TEST(AggKindNameTest, AllNamed) {
+  EXPECT_EQ(AggKindName(AggKind::kSum), "sum");
+  EXPECT_EQ(AggKindName(AggKind::kAvg), "avg");
+  EXPECT_EQ(AggKindName(AggKind::kMin), "min");
+  EXPECT_EQ(AggKindName(AggKind::kMax), "max");
+}
+
+}  // namespace
+}  // namespace adaedge::query

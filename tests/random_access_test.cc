@@ -1,0 +1,100 @@
+// Random access on compressed payloads: ValueAt must equal
+// Decompress(payload)[index] for every codec with a direct path, at
+// arbitrary indices, and must be rejected out of range.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/compress/registry.h"
+#include "adaedge/util/rng.h"
+#include "testing_util.h"
+
+namespace adaedge::compress {
+namespace {
+
+using ::adaedge::testing::QuantizeDecimals;
+using ::adaedge::testing::RandomWalk;
+using ::adaedge::testing::SineSignal;
+using ::adaedge::testing::SteppedSignal;
+
+struct AccessCase {
+  std::string codec;
+  std::string family;
+};
+
+std::vector<double> Signal(const std::string& family, size_t n) {
+  if (family == "sine") return QuantizeDecimals(SineSignal(n, 70), 4);
+  if (family == "walk") return QuantizeDecimals(RandomWalk(n, 13), 4);
+  return SteppedSignal(n, 17);
+}
+
+class RandomAccessTest : public ::testing::TestWithParam<AccessCase> {};
+
+TEST_P(RandomAccessTest, MatchesDecompressedValues) {
+  const AccessCase& c = GetParam();
+  auto lossy = ExtendedLossyArms(4, 0.35);
+  auto lossless = ExtendedLosslessArms(4);
+  auto arm = FindArm(lossy, c.codec);
+  if (!arm.has_value()) arm = FindArm(lossless, c.codec);
+  if (!arm.has_value()) {
+    // "raw" is not an arm; resolve via the registry.
+    arm = CodecArm{"raw", GetCodec(CodecId::kRaw), CodecParams{}};
+  }
+  ASSERT_TRUE(arm->codec->SupportsRandomAccess()) << c.codec;
+
+  std::vector<double> input = Signal(c.family, 1777);
+  auto payload = arm->codec->Compress(input, arm->params);
+  if (!payload.ok()) GTEST_SKIP() << payload.status().ToString();
+  auto reference = arm->codec->Decompress(payload.value());
+  ASSERT_TRUE(reference.ok());
+
+  util::Rng rng(55);
+  std::vector<uint64_t> indices = {0, 1, input.size() - 1,
+                                   input.size() / 2};
+  for (int i = 0; i < 60; ++i) indices.push_back(rng.NextBelow(1777));
+  for (uint64_t index : indices) {
+    auto value = arm->codec->ValueAt(payload.value(), index);
+    ASSERT_TRUE(value.ok())
+        << c.codec << " index " << index << ": "
+        << value.status().ToString();
+    EXPECT_DOUBLE_EQ(value.value(), reference.value()[index])
+        << c.codec << " index " << index;
+  }
+  // Out of range must be rejected, not misread.
+  EXPECT_FALSE(arm->codec->ValueAt(payload.value(), 1777).ok());
+  EXPECT_FALSE(arm->codec->ValueAt(payload.value(), ~uint64_t{0} / 2).ok());
+}
+
+std::vector<AccessCase> AllCases() {
+  std::vector<AccessCase> cases;
+  for (const char* codec : {"raw", "paa", "pla", "rrd", "lttb",
+                            "bufflossy", "rle", "dictionary"}) {
+    for (const char* family : {"sine", "walk", "stepped"}) {
+      cases.push_back(AccessCase{codec, family});
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, RandomAccessTest,
+                         ::testing::ValuesIn(AllCases()),
+                         [](const ::testing::TestParamInfo<AccessCase>& i) {
+                           return i.param.codec + "_" + i.param.family;
+                         });
+
+TEST(RandomAccessTest, NoPathCodecsSaySo) {
+  for (CodecId id : {CodecId::kGorilla, CodecId::kSprintz, CodecId::kFft,
+                     CodecId::kDeflate, CodecId::kKernel}) {
+    auto codec = GetCodec(id);
+    EXPECT_FALSE(codec->SupportsRandomAccess()) << CodecIdName(id);
+    std::vector<uint8_t> dummy = {0, 0, 0};
+    EXPECT_EQ(codec->ValueAt(dummy, 0).status().code(),
+              util::StatusCode::kUnimplemented)
+        << CodecIdName(id);
+  }
+}
+
+}  // namespace
+}  // namespace adaedge::compress

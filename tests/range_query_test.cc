@@ -1,0 +1,143 @@
+// Store-level range aggregation: correctness against a flat reference
+// array across segment boundaries, in-situ usage accounting, and edge
+// handling.
+
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/core/range_query.h"
+#include "adaedge/util/rng.h"
+#include "testing_util.h"
+
+namespace adaedge::core {
+namespace {
+
+using ::adaedge::testing::QuantizeDecimals;
+using ::adaedge::testing::SineSignal;
+
+constexpr size_t kSegmentLength = 256;
+constexpr size_t kSegments = 10;
+
+struct Fixture {
+  sim::StorageBudget budget{1 << 22, 0.8};
+  SegmentStore store{&budget, MakeLruPolicy()};
+  std::vector<double> flat;  // reconstruction-level ground truth
+};
+
+// Populates a store of mixed-codec segments and the flat array of their
+// reconstructions (the semantics AggregateRange must match).
+// (Fixture holds mutexes, so it is filled in place rather than returned.)
+void FillFixture(Fixture& f) {
+  compress::CodecId codecs[] = {
+      compress::CodecId::kRaw, compress::CodecId::kPaa,
+      compress::CodecId::kPla, compress::CodecId::kSprintz,
+      compress::CodecId::kRrdSample};
+  for (uint64_t id = 0; id < kSegments; ++id) {
+    std::vector<double> values =
+        QuantizeDecimals(SineSignal(kSegmentLength, 20.0 + id, 3.0), 4);
+    Segment segment = Segment::FromValues(id, id * 1.0, values);
+    compress::CodecId codec = codecs[id % 5];
+    if (codec != compress::CodecId::kRaw) {
+      compress::CodecParams params;
+      params.precision = 4;
+      params.target_ratio = 0.4;
+      EXPECT_TRUE(segment.Reencode(codec, params, values).ok());
+    }
+    auto reconstruction = segment.Materialize();
+    EXPECT_TRUE(reconstruction.ok());
+    f.flat.insert(f.flat.end(), reconstruction.value().begin(),
+                  reconstruction.value().end());
+    EXPECT_TRUE(f.store.Put(std::move(segment)).ok());
+  }
+}
+
+double Reference(const Fixture& f, query::AggKind kind, uint64_t from,
+                 uint64_t to) {
+  std::span<const double> slice(f.flat.data() + from, to - from);
+  return query::Aggregate(kind, slice);
+}
+
+TEST(RangeQueryTest, MatchesFlatReferenceOnRandomRanges) {
+  Fixture f;
+  FillFixture(f);
+  util::Rng rng(99);
+  for (int trial = 0; trial < 60; ++trial) {
+    uint64_t a = rng.NextBelow(f.flat.size());
+    uint64_t b = rng.NextBelow(f.flat.size());
+    if (a == b) continue;
+    uint64_t from = std::min(a, b);
+    uint64_t to = std::max(a, b);
+    for (query::AggKind kind :
+         {query::AggKind::kSum, query::AggKind::kAvg, query::AggKind::kMin,
+          query::AggKind::kMax}) {
+      auto result = AggregateRange(f.store, kind, from, to);
+      ASSERT_TRUE(result.ok()) << result.status().ToString();
+      EXPECT_EQ(result.value().count, to - from);
+      double expected = Reference(f, kind, from, to);
+      double scale = std::max(1.0, std::abs(expected));
+      EXPECT_NEAR(result.value().value, expected, 1e-6 * scale)
+          << query::AggKindName(kind) << " [" << from << "," << to << ")";
+    }
+  }
+}
+
+TEST(RangeQueryTest, FullyCoveredSegmentsAnswerInSitu) {
+  Fixture f;
+  FillFixture(f);
+  // The whole store: every segment is fully covered; the PAA/PLA/RRD
+  // segments (3 codecs x 2 instances) answer in-situ for Sum.
+  auto result =
+      AggregateRange(f.store, query::AggKind::kSum, 0, f.flat.size());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().in_situ_segments, 6u);
+  EXPECT_EQ(result.value().decompressed_segments, 4u);  // raw + sprintz
+}
+
+TEST(RangeQueryTest, EdgeSegmentsAreDecompressed) {
+  Fixture f;
+  FillFixture(f);
+  // Range cutting into the middle of segments 1 (paa) and 3 (sprintz):
+  // both edges decompress; segment 2 (pla) stays in-situ.
+  uint64_t from = kSegmentLength + kSegmentLength / 2;
+  uint64_t to = 3 * kSegmentLength + kSegmentLength / 2;
+  auto result = AggregateRange(f.store, query::AggKind::kSum, from, to);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().in_situ_segments, 1u);
+  EXPECT_EQ(result.value().decompressed_segments, 2u);
+  EXPECT_NEAR(result.value().value,
+              Reference(f, query::AggKind::kSum, from, to), 1e-6);
+}
+
+TEST(RangeQueryTest, RangeBeyondStoreClampsOrFails) {
+  Fixture f;
+  FillFixture(f);
+  uint64_t n = f.flat.size();
+  // Overhanging range clamps to stored values.
+  auto clamped =
+      AggregateRange(f.store, query::AggKind::kSum, n - 10, n + 1000);
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped.value().count, 10u);
+  // Fully out of range fails cleanly.
+  auto outside =
+      AggregateRange(f.store, query::AggKind::kMax, n + 1, n + 5);
+  EXPECT_FALSE(outside.ok());
+  EXPECT_EQ(outside.status().code(), util::StatusCode::kNotFound);
+  // Degenerate range rejected.
+  EXPECT_EQ(AggregateRange(f.store, query::AggKind::kSum, 5, 5)
+                .status()
+                .code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(RangeQueryTest, DoesNotPerturbLruOrder) {
+  Fixture f;
+  FillFixture(f);
+  uint64_t victim_before = f.store.NextVictim().value();
+  (void)AggregateRange(f.store, query::AggKind::kSum, 0, f.flat.size());
+  EXPECT_EQ(f.store.NextVictim().value(), victim_before);
+}
+
+}  // namespace
+}  // namespace adaedge::core

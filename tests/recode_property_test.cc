@@ -1,0 +1,202 @@
+// Property suites for the recoding ("virtual decompression") machinery:
+// chained recodes stay decodable and within budget, error grows
+// monotonically along a chain, and recode-vs-direct quality equivalence
+// holds across codecs and chains (SIV-E).
+
+#include <cmath>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/compress/registry.h"
+#include "adaedge/util/stats.h"
+#include "testing_util.h"
+
+namespace adaedge::compress {
+namespace {
+
+using ::adaedge::testing::QuantizeDecimals;
+using ::adaedge::testing::RandomWalk;
+using ::adaedge::testing::SineSignal;
+
+constexpr size_t kN = 2048;
+
+std::vector<double> Signal(const std::string& family) {
+  if (family == "sine") return QuantizeDecimals(SineSignal(kN, 128), 4);
+  if (family == "walk") return QuantizeDecimals(RandomWalk(kN, 5), 4);
+  // mixed: sine + walk
+  auto a = SineSignal(kN, 64, 4.0);
+  auto b = RandomWalk(kN, 9, 0.2);
+  for (size_t i = 0; i < kN; ++i) a[i] += b[i];
+  return QuantizeDecimals(a, 4);
+}
+
+class RecodeChainTest
+    : public ::testing::TestWithParam<std::tuple<std::string, std::string>> {
+};
+
+// A halving chain 0.8 -> 0.4 -> 0.2 -> 0.1 must keep every intermediate
+// payload decodable, within its budget, and no less accurate than the
+// next (tighter) step.
+TEST_P(RecodeChainTest, HalvingChainInvariants) {
+  auto [codec_name, family] = GetParam();
+  auto arm = *FindArm(ExtendedLossyArms(4, 0.8), codec_name);
+  std::vector<double> input = Signal(family);
+
+  auto payload = arm.codec->Compress(input, arm.params);
+  ASSERT_TRUE(payload.ok()) << payload.status().ToString();
+  double prev_err = -1.0;
+  double ratio = 0.8;
+  std::vector<uint8_t> current = std::move(payload).value();
+  while (ratio > 0.1) {
+    ratio *= 0.5;
+    if (!arm.codec->SupportsRatio(ratio, input.size())) break;
+    auto recoded = arm.codec->Recode(current, ratio);
+    if (!recoded.ok()) {
+      // Hitting a codec floor mid-chain is legal; it must be signalled
+      // as ResourceExhausted, never as corruption.
+      EXPECT_EQ(recoded.status().code(),
+                util::StatusCode::kResourceExhausted)
+          << codec_name;
+      break;
+    }
+    current = std::move(recoded).value();
+    EXPECT_LE(CompressionRatio(current.size(), input.size()),
+              ratio * 1.02 + 0.003)
+        << codec_name << " at ratio " << ratio;
+    auto back = arm.codec->Decompress(current);
+    ASSERT_TRUE(back.ok()) << codec_name;
+    ASSERT_EQ(back.value().size(), input.size());
+    double err = util::RootMeanSquareError(input, back.value());
+    if (prev_err >= 0.0) {
+      // Tighter encodings cannot be more faithful (tiny tolerance for
+      // sampling codecs whose RMSE is stochastic).
+      EXPECT_GE(err, prev_err * 0.7) << codec_name << " ratio " << ratio;
+    }
+    prev_err = err;
+  }
+}
+
+// Recoding down a chain must land in the same quality regime as a single
+// direct compression at the final ratio.
+TEST_P(RecodeChainTest, ChainCloseToDirect) {
+  auto [codec_name, family] = GetParam();
+  auto arm = *FindArm(ExtendedLossyArms(4, 0.6), codec_name);
+  std::vector<double> input = Signal(family);
+
+  auto first = arm.codec->Compress(input, arm.params);
+  ASSERT_TRUE(first.ok());
+  // Codecs may overachieve the 0.6 target (e.g. BUFF capped at its
+  // lossless width); chain targets are relative to what was achieved.
+  double achieved =
+      CompressionRatio(first.value().size(), input.size());
+  double mid_ratio = achieved * 0.6;
+  double last_ratio = achieved * 0.3;
+  if (!arm.codec->SupportsRatio(last_ratio, input.size())) GTEST_SKIP();
+
+  auto mid = arm.codec->Recode(first.value(), mid_ratio);
+  ASSERT_TRUE(mid.ok()) << mid.status().ToString();
+  auto last = arm.codec->Recode(mid.value(), last_ratio);
+  ASSERT_TRUE(last.ok()) << last.status().ToString();
+  auto chain_back = arm.codec->Decompress(last.value());
+  ASSERT_TRUE(chain_back.ok());
+
+  CodecParams direct_params = arm.params;
+  direct_params.target_ratio = last_ratio;
+  auto direct = arm.codec->Compress(input, direct_params);
+  ASSERT_TRUE(direct.ok());
+  auto direct_back = arm.codec->Decompress(direct.value());
+  ASSERT_TRUE(direct_back.ok());
+
+  double chain_err = util::RootMeanSquareError(input, chain_back.value());
+  double direct_err = util::RootMeanSquareError(input, direct_back.value());
+  EXPECT_LE(chain_err, 3.0 * direct_err + 1e-9) << codec_name;
+}
+
+std::vector<std::tuple<std::string, std::string>> ChainCases() {
+  std::vector<std::tuple<std::string, std::string>> cases;
+  for (const char* codec : {"bufflossy", "paa", "pla", "fft", "rrd",
+                            "lttb"}) {
+    for (const char* family : {"sine", "walk", "mixed"}) {
+      cases.emplace_back(codec, family);
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Chains, RecodeChainTest, ::testing::ValuesIn(ChainCases()),
+    [](const ::testing::TestParamInfo<std::tuple<std::string, std::string>>&
+           info) {
+      return std::get<0>(info.param) + "_" + std::get<1>(info.param);
+    });
+
+// Corrupted payloads must be rejected, not crash, for every lossy codec.
+class RecodeCorruptionTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(RecodeCorruptionTest, TruncatedPayloadRejected) {
+  auto arm = *FindArm(ExtendedLossyArms(4, 0.5), GetParam());
+  std::vector<double> input = Signal("sine");
+  auto payload = arm.codec->Compress(input, arm.params);
+  ASSERT_TRUE(payload.ok());
+  std::vector<uint8_t> truncated(
+      payload.value().begin(),
+      payload.value().begin() + payload.value().size() / 3);
+  auto decoded = arm.codec->Decompress(truncated);
+  EXPECT_FALSE(decoded.ok()) << GetParam();
+  // Recode of a truncated payload must not succeed silently either.
+  auto recoded = arm.codec->Recode(truncated, 0.1);
+  if (recoded.ok()) {
+    // If header survived truncation the recode may "work"; it must then
+    // at least produce a payload that decodes to the right length.
+    auto back = arm.codec->Decompress(recoded.value());
+    if (back.ok()) {
+      EXPECT_EQ(back.value().size(), input.size());
+    }
+  }
+}
+
+TEST_P(RecodeCorruptionTest, EmptyPayloadRejected) {
+  auto arm = *FindArm(ExtendedLossyArms(4, 0.5), GetParam());
+  std::vector<uint8_t> empty;
+  EXPECT_FALSE(arm.codec->Decompress(empty).ok());
+  EXPECT_FALSE(arm.codec->Recode(empty, 0.1).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLossy, RecodeCorruptionTest,
+                         ::testing::Values("bufflossy", "paa", "pla", "fft",
+                                           "rrd", "lttb"));
+
+// SupportsRatio must be consistent with Compress on representative data:
+// if a codec claims support, compressing CBF-scale data at that ratio
+// must succeed and meet the budget.
+class SupportsRatioConsistencyTest
+    : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SupportsRatioConsistencyTest, ClaimsMatchBehaviour) {
+  auto arm = *FindArm(ExtendedLossyArms(4), GetParam());
+  std::vector<double> input = Signal("mixed");
+  for (double ratio = 1.0; ratio > 0.02; ratio *= 0.8) {
+    CodecParams params = arm.params;
+    params.target_ratio = ratio;
+    bool claims = arm.codec->SupportsRatio(ratio, input.size());
+    auto payload = arm.codec->Compress(input, params);
+    if (claims) {
+      ASSERT_TRUE(payload.ok())
+          << GetParam() << " claimed ratio " << ratio << " but failed: "
+          << payload.status().ToString();
+      EXPECT_LE(CompressionRatio(payload.value().size(), input.size()),
+                ratio * 1.02 + 0.003)
+          << GetParam() << " at " << ratio;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLossy, SupportsRatioConsistencyTest,
+                         ::testing::Values("bufflossy", "paa", "pla", "fft",
+                                           "rrd", "lttb"));
+
+}  // namespace
+}  // namespace adaedge::compress

@@ -1,0 +1,303 @@
+// Integration tests for the online selector, offline node, pipeline and
+// baselines: the end-to-end behaviours the paper's figures rely on.
+
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/baseline/baselines.h"
+#include "adaedge/core/evaluation.h"
+#include "adaedge/core/offline_node.h"
+#include "adaedge/core/online_selector.h"
+#include "adaedge/core/pipeline.h"
+#include "adaedge/data/generators.h"
+#include "adaedge/ml/decision_tree.h"
+#include "adaedge/ml/kmeans.h"
+#include "adaedge/sim/sensor_client.h"
+
+namespace adaedge::core {
+namespace {
+
+constexpr size_t kSegmentLength = 1024;  // 8 CBF instances per segment
+
+std::vector<std::vector<double>> MakeCbfSegments(size_t count,
+                                                 uint64_t seed = 3) {
+  data::CbfStream stream(seed);
+  std::vector<std::vector<double>> segments(count);
+  for (auto& segment : segments) {
+    segment.resize(kSegmentLength);
+    stream.Fill(segment);
+  }
+  return segments;
+}
+
+std::shared_ptr<const ml::Model> TrainCbfModel() {
+  auto dataset = data::MakeCbfDataset(600, 128, 9);
+  return std::shared_ptr<const ml::Model>(
+      ml::DecisionTree::Train(dataset, ml::TreeConfig{}));
+}
+
+TEST(OnlineSelectorTest, LosslessWhenTargetGenerous) {
+  OnlineConfig config;
+  config.target_ratio = 1.0;
+  OnlineSelector selector(config,
+                          TargetSpec::AggAccuracy(query::AggKind::kSum));
+  auto segments = MakeCbfSegments(30);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    auto outcome = selector.Process(i, i * 0.005, segments[i]);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+    EXPECT_FALSE(outcome.value().used_lossy) << "segment " << i;
+    EXPECT_TRUE(outcome.value().met_target);
+    EXPECT_DOUBLE_EQ(outcome.value().accuracy, 1.0);
+  }
+  EXPECT_TRUE(selector.lossless_active());
+}
+
+TEST(OnlineSelectorTest, FallsBackToLossyWhenTargetHarsh) {
+  OnlineConfig config;
+  config.target_ratio = 0.05;  // far below any lossless ratio on CBF
+  OnlineSelector selector(config,
+                          TargetSpec::AggAccuracy(query::AggKind::kSum));
+  auto segments = MakeCbfSegments(30);
+  size_t lossy = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    auto outcome = selector.Process(i, i * 0.005, segments[i]);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome.value().met_target) << i;
+    if (outcome.value().used_lossy) ++lossy;
+  }
+  EXPECT_GT(lossy, 25u);
+  EXPECT_FALSE(selector.lossless_active());
+}
+
+TEST(OnlineSelectorTest, ConvergesToGoodLossyArmForSum) {
+  // At aggressive ratios, PAA/FFT preserve Sum far better than RRD.
+  OnlineConfig config;
+  config.target_ratio = 0.05;
+  config.bandit.epsilon = 0.05;
+  config.bandit.seed = 11;
+  OnlineSelector selector(config,
+                          TargetSpec::AggAccuracy(query::AggKind::kSum));
+  auto segments = MakeCbfSegments(200, 7);
+  double late_accuracy = 0.0;
+  size_t late_count = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    auto outcome = selector.Process(i, i * 0.005, segments[i]);
+    ASSERT_TRUE(outcome.ok());
+    if (i >= 150) {
+      late_accuracy += outcome.value().accuracy;
+      ++late_count;
+    }
+  }
+  EXPECT_GT(late_accuracy / late_count, 0.95);
+}
+
+TEST(OnlineSelectorTest, LosslessOnlyFailsOnHarshTarget) {
+  OnlineConfig config;
+  config.target_ratio = 0.05;
+  config.allow_lossy = false;
+  OnlineSelector selector(config,
+                          TargetSpec::AggAccuracy(query::AggKind::kSum));
+  auto segments = MakeCbfSegments(5);
+  auto outcome = selector.Process(0, 0.0, segments[0]);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), util::StatusCode::kUnavailable);
+}
+
+TEST(OnlineSelectorTest, ForceLossyUsesOnlyLossyArms) {
+  OnlineConfig config;
+  config.target_ratio = 0.5;
+  config.force_lossy = true;
+  OnlineSelector selector(config,
+                          TargetSpec::AggAccuracy(query::AggKind::kSum));
+  auto segments = MakeCbfSegments(10);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    auto outcome = selector.Process(i, 0.0, segments[i]);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome.value().used_lossy);
+  }
+}
+
+TEST(OfflineNodeTest, StaysWithinBudgetAndDegradesGracefully) {
+  OfflineConfig config;
+  config.storage_budget_bytes = 256 << 10;  // 256 KB
+  config.bandit.seed = 21;
+  auto model = TrainCbfModel();
+  OfflineNode node(config, TargetSpec::MlAccuracy(model, 128));
+  auto segments = MakeCbfSegments(200, 13);  // ~1.6 MB raw: 6x overcommit
+  std::unordered_map<uint64_t, std::vector<double>> originals;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    originals[i] = segments[i];
+    ASSERT_TRUE(node.Ingest(i, i * 0.005, segments[i]).ok())
+        << "segment " << i;
+    EXPECT_LE(node.store().budget()->used(), config.storage_budget_bytes);
+  }
+  EXPECT_EQ(node.store().count(), segments.size());  // nothing deleted
+  EXPECT_GT(node.recode_ops(), 0u);
+
+  TargetEvaluator eval(TargetSpec::MlAccuracy(model, 128));
+  auto quality = EvaluateRetained(node.store(), originals, eval);
+  ASSERT_TRUE(quality.ok());
+  // 6x overcommit forces lossy recoding, but the workload should retain
+  // most of its accuracy — and fresh segments stay (nearly) exact.
+  EXPECT_GT(quality.value().accuracy, 0.6);
+  EXPECT_GT(quality.value().fresh_accuracy, 0.95);
+}
+
+TEST(OfflineNodeTest, LruKeepsAccessedSegmentsAccurate) {
+  OfflineConfig config;
+  config.storage_budget_bytes = 128 << 10;
+  auto model = TrainCbfModel();
+  OfflineNode node(config, TargetSpec::MlAccuracy(model, 128));
+  auto segments = MakeCbfSegments(120, 17);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    ASSERT_TRUE(node.Ingest(i, i * 0.005, segments[i]).ok());
+    // Keep touching segment 0: LRU must shield it from recoding.
+    (void)node.store().Get(0);
+  }
+  auto seg0 = node.store().Peek(0);
+  ASSERT_TRUE(seg0.ok());
+  EXPECT_NE(seg0.value().meta().state, SegmentState::kLossy);
+}
+
+TEST(OfflineNodeTest, CodecDbBaselineFailsAtRecodingBudget) {
+  OfflineConfig config;
+  config.storage_budget_bytes = 64 << 10;
+  config = baseline::CodecDbOffline(config);
+  OfflineNode node(config, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  auto segments = MakeCbfSegments(100, 19);
+  Status status = Status::Ok();
+  size_t ingested = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    status = node.Ingest(i, i * 0.005, segments[i]);
+    if (!status.ok()) break;
+    ++ingested;
+  }
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_LT(ingested, segments.size());
+  EXPECT_GT(ingested, 5u);  // it worked fine until the budget bit
+}
+
+TEST(OfflineNodeTest, MeteredComputeDefersRecodingUnderSlowCpu) {
+  OfflineConfig config;
+  config.storage_budget_bytes = 128 << 10;
+  config.meter_compute = true;
+  config.cpu_scale = 1e5;  // pathologically slow edge CPU
+  OfflineNode node(config, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  auto segments = MakeCbfSegments(60, 23);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    Status status = node.Ingest(i, i * 1e-4, segments[i]);
+    if (!status.ok()) {
+      // Expected: recoding starved, hard capacity eventually breached.
+      EXPECT_EQ(status.code(), util::StatusCode::kResourceExhausted);
+      EXPECT_GT(node.deferred_recodes(), 0u);
+      return;
+    }
+  }
+  // If ingestion survived, deferrals must still have been recorded.
+  EXPECT_GT(node.deferred_recodes(), 0u);
+}
+
+TEST(BaselineTest, FixedPairUsesExactlyConfiguredArms) {
+  OfflineConfig base;
+  base.storage_budget_bytes = 128 << 10;
+  auto config =
+      baseline::FixedPairOffline(base, "sprintz", "bufflossy");
+  ASSERT_EQ(config.lossless_arms.size(), 1u);
+  EXPECT_EQ(config.lossless_arms[0].name, "sprintz");
+  ASSERT_EQ(config.lossy_arms.size(), 1u);
+  EXPECT_EQ(config.lossy_arms[0].name, "bufflossy");
+
+  OfflineNode node(config, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  auto segments = MakeCbfSegments(60, 29);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    ASSERT_TRUE(node.Ingest(i, i * 0.005, segments[i]).ok());
+  }
+  // Every stored segment is sprintz (lossless) or bufflossy (recoded).
+  for (uint64_t id : node.store().AllIds()) {
+    auto segment = node.store().Peek(id);
+    ASSERT_TRUE(segment.ok());
+    auto codec = segment.value().meta().codec;
+    EXPECT_TRUE(codec == compress::CodecId::kSprintz ||
+                codec == compress::CodecId::kBuffLossy ||
+                codec == compress::CodecId::kRaw)
+        << static_cast<int>(codec);
+  }
+}
+
+TEST(BaselineTest, CodecDbOnlinePinsBestLosslessArm) {
+  OnlineConfig config;
+  config.target_ratio = 1.0;
+  baseline::CodecDbOnline codecdb(config,
+                                  TargetSpec::AggAccuracy(
+                                      query::AggKind::kSum),
+                                  /*sample_segments=*/4);
+  auto segments = MakeCbfSegments(20, 31);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    auto outcome = codecdb.Process(i, 0.0, segments[i]);
+    ASSERT_TRUE(outcome.ok());
+  }
+  // On smooth quantized CBF, Sprintz is the expected static winner.
+  EXPECT_EQ(codecdb.chosen_arm(), "sprintz");
+}
+
+TEST(BaselineTest, CodecDbOnlineFailsBelowLosslessRange) {
+  OnlineConfig config;
+  config.target_ratio = 0.05;
+  baseline::CodecDbOnline codecdb(
+      config, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  auto segments = MakeCbfSegments(3, 37);
+  auto outcome = codecdb.Process(0, 0.0, segments[0]);
+  EXPECT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), util::StatusCode::kUnavailable);
+}
+
+TEST(BaselineTest, TvStoreOnlineAlwaysPla) {
+  OnlineConfig base;
+  base.target_ratio = 0.3;
+  auto config = baseline::TvStoreOnline(base);
+  OnlineSelector selector(config,
+                          TargetSpec::AggAccuracy(query::AggKind::kMax));
+  auto segments = MakeCbfSegments(10, 41);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    auto outcome = selector.Process(i, 0.0, segments[i]);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_EQ(outcome.value().arm_name, "pla");
+  }
+}
+
+TEST(PipelineTest, CompressesAllSegmentsAcrossThreads) {
+  PipelineConfig pipe_config;
+  pipe_config.compress_threads = 4;
+  pipe_config.segment_length = kSegmentLength;
+  OnlineConfig online;
+  online.target_ratio = 1.0;
+  Pipeline pipeline(pipe_config, online,
+                    TargetSpec::AggAccuracy(query::AggKind::kSum));
+  pipeline.Start();
+  constexpr size_t kSegments = 64;
+  std::thread consumer([&] {
+    size_t received = 0;
+    while (auto out = pipeline.PopCompressed()) {
+      EXPECT_GT(out->segment.SizeBytes(), 0u);
+      ++received;
+    }
+    EXPECT_EQ(received, kSegments);
+  });
+  auto segments = MakeCbfSegments(kSegments, 43);
+  for (auto& segment : segments) {
+    ASSERT_TRUE(pipeline.Ingest(std::move(segment), 0.0));
+  }
+  pipeline.Stop();
+  consumer.join();
+  EXPECT_EQ(pipeline.segments_in(), kSegments);
+  EXPECT_EQ(pipeline.segments_out(), kSegments);
+  EXPECT_LT(pipeline.bytes_out(), pipeline.bytes_in());
+}
+
+}  // namespace
+}  // namespace adaedge::core

@@ -1,0 +1,141 @@
+// Segment persistence tests: file roundtrips, CRC protection, store
+// reload, cross-codec coverage.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/core/store_io.h"
+#include "testing_util.h"
+
+namespace adaedge::core {
+namespace {
+
+using ::adaedge::testing::QuantizeDecimals;
+using ::adaedge::testing::SineSignal;
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::vector<Segment> MakeMixedSegments() {
+  std::vector<Segment> segments;
+  std::vector<double> values = QuantizeDecimals(SineSignal(512, 48), 4);
+  // One raw, one lossless, one lossy segment.
+  segments.push_back(Segment::FromValues(1, 0.5, values));
+  Segment lossless = Segment::FromValues(2, 1.0, values);
+  compress::CodecParams params;
+  params.precision = 4;
+  EXPECT_TRUE(
+      lossless.Reencode(compress::CodecId::kSprintz, params, values).ok());
+  segments.push_back(std::move(lossless));
+  Segment lossy = Segment::FromValues(3, 1.5, values);
+  params.target_ratio = 0.25;
+  EXPECT_TRUE(lossy.Reencode(compress::CodecId::kPaa, params, values).ok());
+  lossy.mutable_meta().access_count = 7;
+  segments.push_back(std::move(lossy));
+  return segments;
+}
+
+TEST(StoreIoTest, FileRoundtripPreservesEverything) {
+  std::string path = TempPath("roundtrip.seg");
+  std::vector<Segment> segments = MakeMixedSegments();
+  ASSERT_TRUE(SaveSegmentsToFile(segments, path).ok());
+  auto loaded = LoadSegmentsFromFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded.value().size(), segments.size());
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const Segment& a = segments[i];
+    const Segment& b = loaded.value()[i];
+    EXPECT_EQ(a.meta().id, b.meta().id);
+    EXPECT_EQ(a.meta().state, b.meta().state);
+    EXPECT_EQ(a.meta().codec, b.meta().codec);
+    EXPECT_EQ(a.meta().crc, b.meta().crc);
+    EXPECT_EQ(a.meta().access_count, b.meta().access_count);
+    EXPECT_EQ(a.payload(), b.payload());
+    // And the data still materializes identically.
+    auto va = a.Materialize();
+    auto vb = b.Materialize();
+    ASSERT_TRUE(va.ok());
+    ASSERT_TRUE(vb.ok());
+    EXPECT_EQ(va.value(), vb.value());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreIoTest, DetectsOnDiskCorruption) {
+  std::string path = TempPath("corrupt.seg");
+  ASSERT_TRUE(SaveSegmentsToFile(MakeMixedSegments(), path).ok());
+  // Flip one byte in the middle of the file (payload region).
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  int c = std::fgetc(f);
+  std::fseek(f, size / 2, SEEK_SET);
+  std::fputc(c ^ 0xff, f);
+  std::fclose(f);
+  auto loaded = LoadSegmentsFromFile(path);
+  EXPECT_FALSE(loaded.ok());
+  std::remove(path.c_str());
+}
+
+TEST(StoreIoTest, RejectsWrongMagic) {
+  std::string path = TempPath("magic.seg");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("definitely not a segment file", f);
+  std::fclose(f);
+  auto loaded = LoadSegmentsFromFile(path);
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(StoreIoTest, MissingFileIsNotFound) {
+  auto loaded = LoadSegmentsFromFile(TempPath("does_not_exist.seg"));
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST(StoreIoTest, StoreDumpAndReload) {
+  std::string path = TempPath("store.seg");
+  sim::StorageBudget budget(1 << 20, 0.8);
+  SegmentStore store(&budget, MakeLruPolicy());
+  for (Segment& segment : MakeMixedSegments()) {
+    ASSERT_TRUE(store.Put(std::move(segment)).ok());
+  }
+  ASSERT_TRUE(SaveStoreToFile(store, path).ok());
+
+  sim::StorageBudget budget2(1 << 20, 0.8);
+  SegmentStore restored(&budget2, MakeLruPolicy());
+  ASSERT_TRUE(LoadFileIntoStore(path, restored).ok());
+  EXPECT_EQ(restored.count(), store.count());
+  EXPECT_EQ(restored.total_bytes(), store.total_bytes());
+  EXPECT_EQ(budget2.used(), budget.used());
+  for (uint64_t id : store.AllIds()) {
+    auto a = store.Peek(id);
+    auto b = restored.Peek(id);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    EXPECT_EQ(a.value().payload(), b.value().payload());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StoreIoTest, LoadIntoTooSmallStoreFails) {
+  std::string path = TempPath("overflow.seg");
+  ASSERT_TRUE(SaveSegmentsToFile(MakeMixedSegments(), path).ok());
+  sim::StorageBudget tiny(256, 0.8);
+  SegmentStore store(&tiny, MakeLruPolicy());
+  auto status = LoadFileIntoStore(path, store);
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kResourceExhausted);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace adaedge::core

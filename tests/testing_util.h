@@ -1,0 +1,65 @@
+#ifndef ADAEDGE_TESTS_TESTING_UTIL_H_
+#define ADAEDGE_TESTS_TESTING_UTIL_H_
+
+#include <cmath>
+#include <vector>
+
+#include "adaedge/util/rng.h"
+
+namespace adaedge::testing {
+
+/// Deterministic signal fixtures shared across test suites.
+
+inline std::vector<double> SineSignal(size_t n, double period = 64.0,
+                                      double amplitude = 10.0,
+                                      double offset = 0.0) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = offset + amplitude * std::sin(2.0 * M_PI * i / period);
+  }
+  return v;
+}
+
+inline std::vector<double> RandomWalk(size_t n, uint64_t seed = 7,
+                                      double step = 0.5) {
+  util::Rng rng(seed);
+  std::vector<double> v(n);
+  double x = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    x += rng.NextGaussian() * step;
+    v[i] = x;
+  }
+  return v;
+}
+
+inline std::vector<double> ConstantSignal(size_t n, double value = 3.25) {
+  return std::vector<double>(n, value);
+}
+
+inline std::vector<double> SteppedSignal(size_t n, size_t step_len = 16) {
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<double>((i / step_len) % 7) * 2.5;
+  }
+  return v;
+}
+
+inline std::vector<double> NoisySignal(size_t n, uint64_t seed = 11) {
+  util::Rng rng(seed);
+  std::vector<double> v(n);
+  for (size_t i = 0; i < n; ++i) v[i] = rng.NextUniform(-100.0, 100.0);
+  return v;
+}
+
+/// Rounds every value to `digits` decimal digits, making the fixture exactly
+/// representable for BUFF/Sprintz at that precision.
+inline std::vector<double> QuantizeDecimals(std::vector<double> v,
+                                            int digits) {
+  double scale = std::pow(10.0, digits);
+  for (double& x : v) x = std::round(x * scale) / scale;
+  return v;
+}
+
+}  // namespace adaedge::testing
+
+#endif  // ADAEDGE_TESTS_TESTING_UTIL_H_

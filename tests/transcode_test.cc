@@ -1,0 +1,182 @@
+// Cross-codec transcoding tests (the paper's SIV-E future-work feature):
+// format compatibility between codecs and the shared internal decoders,
+// equivalence of direct transcodes with decompress-and-recompress, and
+// budget adherence.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/compress/internal_formats.h"
+#include "adaedge/compress/registry.h"
+#include "adaedge/compress/transcode.h"
+#include "adaedge/util/stats.h"
+#include "testing_util.h"
+
+namespace adaedge::compress {
+namespace {
+
+using ::adaedge::testing::QuantizeDecimals;
+using ::adaedge::testing::RandomWalk;
+using ::adaedge::testing::SineSignal;
+
+std::vector<double> Signal() {
+  auto a = SineSignal(2048, 96, 4.0);
+  auto b = RandomWalk(2048, 31, 0.15);
+  for (size_t i = 0; i < a.size(); ++i) a[i] += b[i];
+  return QuantizeDecimals(a, 4);
+}
+
+std::vector<uint8_t> CompressWith(const char* name, double ratio,
+                                  std::span<const double> values) {
+  auto arm = *FindArm(ExtendedLossyArms(4, ratio), name);
+  auto payload = arm.codec->Compress(values, arm.params);
+  EXPECT_TRUE(payload.ok()) << name;
+  return std::move(payload).value();
+}
+
+// ---------------------------------------------------------------------------
+// The shared internal decoders must agree byte-for-byte with the codecs'
+// own formats (Encode(Decode(payload)) == payload pins the duplication).
+
+TEST(InternalFormatsTest, PaaRoundtripsByteExact) {
+  auto payload = CompressWith("paa", 0.3, Signal());
+  auto decoded = internal::DecodePaa(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(internal::EncodePaa(decoded.value()), payload);
+}
+
+TEST(InternalFormatsTest, PlaRoundtripsByteExact) {
+  auto payload = CompressWith("pla", 0.3, Signal());
+  auto decoded = internal::DecodePla(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(internal::EncodePla(decoded.value()), payload);
+}
+
+TEST(InternalFormatsTest, LttbRoundtripsByteExact) {
+  auto payload = CompressWith("lttb", 0.3, Signal());
+  auto decoded = internal::DecodeLttb(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(internal::EncodeLttb(decoded.value()), payload);
+}
+
+TEST(InternalFormatsTest, RrdRoundtripsByteExact) {
+  auto payload = CompressWith("rrd", 0.3, Signal());
+  auto decoded = internal::DecodeRrd(payload);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(internal::EncodeRrd(decoded.value()), payload);
+}
+
+// ---------------------------------------------------------------------------
+// Direct transcodes.
+
+struct TranscodeCase {
+  CodecId from;
+  CodecId to;
+  const char* from_name;
+  double source_ratio;
+  double target_ratio;
+};
+
+class DirectTranscodeTest : public ::testing::TestWithParam<TranscodeCase> {
+};
+
+TEST_P(DirectTranscodeTest, MeetsBudgetAndStaysDecodable) {
+  const TranscodeCase& c = GetParam();
+  std::vector<double> input = Signal();
+  auto source = CompressWith(c.from_name, c.source_ratio, input);
+  ASSERT_TRUE(SupportsDirectTranscode(c.from, c.to));
+  auto transcoded = TranscodeDirect(c.from, source, c.to, c.target_ratio);
+  ASSERT_TRUE(transcoded.ok()) << transcoded.status().ToString();
+  EXPECT_LE(CompressionRatio(transcoded.value().size(), input.size()),
+            c.target_ratio * 1.05 + 0.005);
+  auto back = GetCodec(c.to)->Decompress(transcoded.value());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().size(), input.size());
+}
+
+TEST_P(DirectTranscodeTest, QualityMatchesDecompressRecompress) {
+  const TranscodeCase& c = GetParam();
+  std::vector<double> input = Signal();
+  auto source = CompressWith(c.from_name, c.source_ratio, input);
+
+  auto direct = TranscodeDirect(c.from, source, c.to, c.target_ratio);
+  ASSERT_TRUE(direct.ok());
+  auto direct_back = GetCodec(c.to)->Decompress(direct.value());
+  ASSERT_TRUE(direct_back.ok());
+
+  // Reference: decompress the source, recompress with the destination.
+  auto samples = GetCodec(c.from)->Decompress(source);
+  ASSERT_TRUE(samples.ok());
+  CodecParams params;
+  params.precision = 4;
+  params.target_ratio = c.target_ratio;
+  auto recompressed = GetCodec(c.to)->Compress(samples.value(), params);
+  ASSERT_TRUE(recompressed.ok());
+  auto reference_back = GetCodec(c.to)->Decompress(recompressed.value());
+  ASSERT_TRUE(reference_back.ok());
+
+  double direct_err =
+      util::RootMeanSquareError(input, direct_back.value());
+  double reference_err =
+      util::RootMeanSquareError(input, reference_back.value());
+  // The direct path works from the source representation alone, so it
+  // must land in the same quality regime as the full-reconstruction
+  // reference.
+  EXPECT_LE(direct_err, 1.5 * reference_err + 1e-6)
+      << "direct=" << direct_err << " reference=" << reference_err;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Pairs, DirectTranscodeTest,
+    ::testing::Values(
+        TranscodeCase{CodecId::kPaa, CodecId::kPla, "paa", 0.4, 0.15},
+        TranscodeCase{CodecId::kPaa, CodecId::kRrdSample, "paa", 0.4, 0.1},
+        TranscodeCase{CodecId::kPla, CodecId::kPaa, "pla", 0.4, 0.15},
+        TranscodeCase{CodecId::kLttb, CodecId::kPla, "lttb", 0.4, 0.15}),
+    [](const ::testing::TestParamInfo<TranscodeCase>& info) {
+      return std::string(CodecIdName(info.param.from)) + "_to_" +
+             std::string(CodecIdName(info.param.to));
+    });
+
+TEST(TranscodeTest, PlaToPaaIsExactOnReconstruction) {
+  // Integrating the lines is exact: the transcoded PAA must equal PAA
+  // applied to the PLA reconstruction (same window).
+  std::vector<double> input = Signal();
+  auto source = CompressWith("pla", 0.4, input);
+  auto transcoded =
+      TranscodeDirect(CodecId::kPla, source, CodecId::kPaa, 0.2);
+  ASSERT_TRUE(transcoded.ok());
+  auto samples = GetCodec(CodecId::kPla)->Decompress(source);
+  ASSERT_TRUE(samples.ok());
+  auto direct_means = internal::DecodePaa(transcoded.value());
+  ASSERT_TRUE(direct_means.ok());
+  // Recompute the window means from the reconstruction.
+  const auto& d = direct_means.value();
+  for (size_t i = 0; i < d.means.size(); ++i) {
+    size_t start = i * d.w;
+    size_t end = std::min<size_t>(start + d.w, samples.value().size());
+    double sum = 0.0;
+    for (size_t t = start; t < end; ++t) sum += samples.value()[t];
+    EXPECT_NEAR(d.means[i], sum / static_cast<double>(end - start), 1e-9)
+        << "window " << i;
+  }
+}
+
+TEST(TranscodeTest, FallbackPathWorksForUnsupportedPairs) {
+  std::vector<double> input = Signal();
+  auto source = CompressWith("fft", 0.4, input);
+  ASSERT_FALSE(SupportsDirectTranscode(CodecId::kFft, CodecId::kPaa));
+  EXPECT_FALSE(
+      TranscodeDirect(CodecId::kFft, source, CodecId::kPaa, 0.1).ok());
+  auto fallback =
+      TranscodeOrRecompress(CodecId::kFft, source, CodecId::kPaa, 0.1);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_LE(CompressionRatio(fallback.value().size(), input.size()),
+            0.105);
+  EXPECT_TRUE(GetCodec(CodecId::kPaa)->Decompress(fallback.value()).ok());
+}
+
+}  // namespace
+}  // namespace adaedge::compress

@@ -1,0 +1,275 @@
+// Unit tests for the util substrate: status, bit/byte IO, rng, stats,
+// crc32, bounded queue.
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/util/bit_io.h"
+#include "adaedge/util/bounded_queue.h"
+#include "adaedge/util/byte_io.h"
+#include "adaedge/util/crc32.h"
+#include "adaedge/util/rng.h"
+#include "adaedge/util/stats.h"
+#include "adaedge/util/status.h"
+
+namespace adaedge::util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::Corruption("bad magic");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  EXPECT_EQ(s.ToString(), "Corruption: bad magic");
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::InvalidArgument("not positive");
+  return x * 2;
+}
+
+Result<int> Doubler(int x) {
+  ADAEDGE_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  auto ok = Doubler(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value(), 11);
+  auto bad = Doubler(-1);
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, ValueOr) {
+  Result<int> bad = Status::NotFound("x");
+  EXPECT_EQ(bad.value_or(42), 42);
+  Result<int> good = 7;
+  EXPECT_EQ(good.value_or(42), 7);
+}
+
+TEST(BitIoTest, RoundtripsMixedWidths) {
+  BitWriter w;
+  w.WriteBits(0b101, 3);
+  w.WriteBits(0xdeadbeefcafebabeULL, 64);
+  w.WriteBit(true);
+  w.WriteBits(7, 5);
+  w.WriteUnary(13);
+  auto bytes = w.Finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.ReadBits(3).value(), 0b101u);
+  EXPECT_EQ(r.ReadBits(64).value(), 0xdeadbeefcafebabeULL);
+  EXPECT_TRUE(r.ReadBit().value());
+  EXPECT_EQ(r.ReadBits(5).value(), 7u);
+  EXPECT_EQ(r.ReadUnary().value(), 13u);
+}
+
+TEST(BitIoTest, ZeroBitWriteIsNoop) {
+  BitWriter w;
+  w.WriteBits(0xff, 0);
+  EXPECT_EQ(w.bit_count(), 0u);
+}
+
+TEST(BitIoTest, ReadPastEndFails) {
+  BitWriter w;
+  w.WriteBits(3, 2);
+  auto bytes = w.Finish();
+  BitReader r(bytes);
+  EXPECT_TRUE(r.ReadBits(8).ok());  // padded to one byte
+  EXPECT_FALSE(r.ReadBits(1).ok());
+}
+
+TEST(BitIoTest, MasksHighBits) {
+  BitWriter w;
+  w.WriteBits(0xffff, 4);  // only low 4 bits should land
+  auto bytes = w.Finish();
+  BitReader r(bytes);
+  EXPECT_EQ(r.ReadBits(4).value(), 0xfu);
+  EXPECT_EQ(r.ReadBits(4).value(), 0u);
+}
+
+TEST(ByteIoTest, RoundtripsScalars) {
+  ByteWriter w;
+  w.PutU8(0xab);
+  w.PutU16(0x1234);
+  w.PutU32(0xdeadbeef);
+  w.PutU64(0x0123456789abcdefULL);
+  w.PutF32(3.5f);
+  w.PutF64(-2.25);
+  w.PutVarint(300);
+  w.PutSignedVarint(-150);
+  w.PutString("hello");
+  auto bytes = w.Finish();
+  ByteReader r(bytes);
+  EXPECT_EQ(r.GetU8().value(), 0xab);
+  EXPECT_EQ(r.GetU16().value(), 0x1234);
+  EXPECT_EQ(r.GetU32().value(), 0xdeadbeefu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789abcdefULL);
+  EXPECT_FLOAT_EQ(r.GetF32().value(), 3.5f);
+  EXPECT_DOUBLE_EQ(r.GetF64().value(), -2.25);
+  EXPECT_EQ(r.GetVarint().value(), 300u);
+  EXPECT_EQ(r.GetSignedVarint().value(), -150);
+  EXPECT_EQ(r.GetString().value(), "hello");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(ByteIoTest, VarintBoundaries) {
+  for (uint64_t v : {0ull, 127ull, 128ull, 16383ull, 16384ull,
+                     0xffffffffffffffffull}) {
+    ByteWriter w;
+    w.PutVarint(v);
+    auto bytes = w.Finish();
+    ByteReader r(bytes);
+    EXPECT_EQ(r.GetVarint().value(), v);
+  }
+  for (int64_t v : std::vector<int64_t>{0, -1, 1, -64, 64, INT64_MIN,
+                                        INT64_MAX}) {
+    ByteWriter w;
+    w.PutSignedVarint(v);
+    auto bytes = w.Finish();
+    ByteReader r(bytes);
+    EXPECT_EQ(r.GetSignedVarint().value(), v);
+  }
+}
+
+TEST(ByteIoTest, TruncatedReadsFail) {
+  ByteWriter w;
+  w.PutU32(5);
+  auto bytes = w.Finish();
+  ByteReader r(bytes);
+  EXPECT_TRUE(r.GetU16().ok());
+  EXPECT_FALSE(r.GetU32().ok());
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RngTest, UniformInRange) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    uint64_t v = rng.NextBelow(17);
+    EXPECT_LT(v, 17u);
+    int k = rng.NextInt(-3, 3);
+    EXPECT_GE(k, -3);
+    EXPECT_LE(k, 3);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(123);
+  RunningStats stats;
+  for (int i = 0; i < 200000; ++i) stats.Add(rng.NextGaussian());
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+}
+
+TEST(StatsTest, WelfordMatchesDirect) {
+  std::vector<double> xs = {1.0, 2.0, 4.0, 8.0, 16.0};
+  RunningStats s;
+  for (double x : xs) s.Add(x);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 6.2);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 16.0);
+  EXPECT_NEAR(s.variance(), 29.76, 1e-9);
+}
+
+TEST(StatsTest, MergeEqualsSequential) {
+  Rng rng(7);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.NextGaussian();
+    all.Add(x);
+    (i % 2 == 0 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+}
+
+TEST(StatsTest, ByteEntropyExtremes) {
+  std::vector<uint8_t> constant(1000, 42);
+  EXPECT_NEAR(ByteEntropy(constant), 0.0, 1e-12);
+  std::vector<uint8_t> uniform(25600);
+  for (size_t i = 0; i < uniform.size(); ++i) uniform[i] = uint8_t(i % 256);
+  EXPECT_NEAR(ByteEntropy(uniform), 8.0, 1e-9);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> xs = {0.0, 1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 4.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 2.0);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.25), 1.0);
+}
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32("123456789") = 0xCBF43926 (IEEE).
+  const char* s = "123456789";
+  std::vector<uint8_t> data(s, s + 9);
+  EXPECT_EQ(Crc32(data), 0xcbf43926u);
+}
+
+TEST(Crc32Test, DetectsFlips) {
+  std::vector<uint8_t> data(100, 7);
+  uint32_t base = Crc32(data);
+  data[50] ^= 1;
+  EXPECT_NE(Crc32(data), base);
+}
+
+TEST(BoundedQueueTest, FifoOrder) {
+  BoundedQueue<int> q(10);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(q.Pop().value(), i);
+}
+
+TEST(BoundedQueueTest, TryPushRespectsCapacity) {
+  BoundedQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+}
+
+TEST(BoundedQueueTest, CloseDrainsThenEnds) {
+  BoundedQueue<int> q(4);
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_FALSE(q.Push(3));
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BoundedQueueTest, ProducerConsumerAcrossThreads) {
+  BoundedQueue<int> q(8);
+  constexpr int kCount = 10000;
+  long long sum = 0;
+  std::thread consumer([&] {
+    while (auto v = q.Pop()) sum += *v;
+  });
+  for (int i = 1; i <= kCount; ++i) q.Push(i);
+  q.Close();
+  consumer.join();
+  EXPECT_EQ(sum, static_cast<long long>(kCount) * (kCount + 1) / 2);
+}
+
+}  // namespace
+}  // namespace adaedge::util

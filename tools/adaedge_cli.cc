@@ -1,0 +1,380 @@
+// adaedge — command-line front end for the AdaEdge library.
+//
+//   adaedge gen out.raw --points 100000 [--seed 7]
+//       Generate a CBF sensor signal as raw little-endian doubles.
+//   adaedge compress in.raw out.seg [--codec NAME] [--ratio R]
+//                                   [--precision P] [--segment N]
+//       Compress a raw double file into an AdaEdge segment file. Without
+//       --codec the online bandit picks per segment (lossless first,
+//       lossy fallback when --ratio demands it).
+//   adaedge decompress in.seg out.raw
+//       Reconstruct the raw doubles.
+//   adaedge inspect in.seg
+//       Per-segment codec/ratio listing plus totals.
+//   adaedge query in.seg {sum|avg|min|max}
+//       Aggregate over the compressed file, using the in-situ fast path
+//       where the codec supports it.
+//   adaedge codecs
+//       List every codec arm and its properties.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "adaedge/adaedge.h"
+#include "adaedge/compress/payload_query.h"
+#include "adaedge/core/store_io.h"
+
+namespace {
+
+using namespace adaedge;
+
+struct Options {
+  std::string codec;
+  double ratio = 1.0;
+  int precision = 4;
+  size_t segment = 1024;
+  size_t points = 100000;
+  uint64_t seed = 42;
+};
+
+Options ParseOptions(int argc, char** argv, int first) {
+  Options options;
+  for (int i = first; i + 1 < argc; i += 2) {
+    std::string flag = argv[i];
+    std::string value = argv[i + 1];
+    if (flag == "--codec") {
+      options.codec = value;
+    } else if (flag == "--ratio") {
+      options.ratio = std::stod(value);
+    } else if (flag == "--precision") {
+      options.precision = std::stoi(value);
+    } else if (flag == "--segment") {
+      options.segment = std::stoul(value);
+    } else if (flag == "--points") {
+      options.points = std::stoul(value);
+    } else if (flag == "--seed") {
+      options.seed = std::stoull(value);
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", flag.c_str());
+      std::exit(2);
+    }
+  }
+  return options;
+}
+
+util::Result<std::vector<double>> ReadRawDoubles(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return util::Status::NotFound("cannot open " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  if (size < 0 || size % 8 != 0) {
+    std::fclose(f);
+    return util::Status::InvalidArgument(
+        path + " is not a whole number of doubles");
+  }
+  std::vector<double> values(static_cast<size_t>(size) / 8);
+  size_t read = std::fread(values.data(), 8, values.size(), f);
+  std::fclose(f);
+  if (read != values.size()) {
+    return util::Status::Internal("short read from " + path);
+  }
+  return values;
+}
+
+util::Status WriteRawDoubles(const std::string& path,
+                             const std::vector<double>& values) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return util::Status::Internal("cannot open " + path);
+  size_t written = std::fwrite(values.data(), 8, values.size(), f);
+  int rc = std::fclose(f);
+  if (written != values.size() || rc != 0) {
+    return util::Status::Internal("short write to " + path);
+  }
+  return util::Status::Ok();
+}
+
+int CmdGen(const std::string& out, const Options& options) {
+  data::CbfStream stream(options.seed, 128, options.precision);
+  std::vector<double> values(options.points);
+  stream.Fill(values);
+  util::Status status = WriteRawDoubles(out, values);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu points (%zu bytes) to %s\n", values.size(),
+              values.size() * 8, out.c_str());
+  return 0;
+}
+
+int CmdCompress(const std::string& in, const std::string& out,
+                const Options& options) {
+  auto values = ReadRawDoubles(in);
+  if (!values.ok()) {
+    std::fprintf(stderr, "%s\n", values.status().ToString().c_str());
+    return 1;
+  }
+  core::OnlineConfig config;
+  config.target_ratio = options.ratio;
+  config.precision = options.precision;
+  if (!options.codec.empty()) {
+    // Pin a single codec (lossless or lossy).
+    auto lossless = compress::ExtendedLosslessArms(options.precision);
+    auto lossy = compress::ExtendedLossyArms(options.precision,
+                                             options.ratio);
+    if (compress::FindArm(lossless, options.codec).has_value()) {
+      config = baseline::FixedLosslessOnline(config, options.codec);
+      config.allow_lossy = false;
+    } else if (compress::FindArm(lossy, options.codec).has_value()) {
+      config = baseline::FixedLossyOnline(config, options.codec);
+    } else {
+      std::fprintf(stderr, "unknown codec: %s\n", options.codec.c_str());
+      return 2;
+    }
+  }
+  core::OnlineSelector selector(
+      config, core::TargetSpec::AggAccuracy(query::AggKind::kSum));
+
+  std::vector<core::Segment> segments;
+  size_t n = values.value().size();
+  for (size_t start = 0, id = 0; start < n; start += options.segment, ++id) {
+    size_t len = std::min(options.segment, n - start);
+    std::span<const double> chunk(values.value().data() + start, len);
+    auto outcome = selector.Process(id, 0.0, chunk);
+    if (!outcome.ok()) {
+      std::fprintf(stderr, "segment %zu: %s\n", id,
+                   outcome.status().ToString().c_str());
+      return 1;
+    }
+    segments.push_back(std::move(outcome.value().segment));
+  }
+  util::Status status = core::SaveSegmentsToFile(segments, out);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  size_t compressed = 0;
+  for (const auto& segment : segments) compressed += segment.SizeBytes();
+  std::printf("%zu points -> %zu segments, %zu bytes (ratio %.4f) -> %s\n",
+              n, segments.size(), compressed,
+              compress::CompressionRatio(compressed, n), out.c_str());
+  return 0;
+}
+
+int CmdDecompress(const std::string& in, const std::string& out) {
+  auto segments = core::LoadSegmentsFromFile(in);
+  if (!segments.ok()) {
+    std::fprintf(stderr, "%s\n", segments.status().ToString().c_str());
+    return 1;
+  }
+  std::vector<double> values;
+  for (const core::Segment& segment : segments.value()) {
+    auto chunk = segment.Materialize();
+    if (!chunk.ok()) {
+      std::fprintf(stderr, "segment %llu: %s\n",
+                   static_cast<unsigned long long>(segment.meta().id),
+                   chunk.status().ToString().c_str());
+      return 1;
+    }
+    values.insert(values.end(), chunk.value().begin(), chunk.value().end());
+  }
+  util::Status status = WriteRawDoubles(out, values);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("restored %zu points to %s\n", values.size(), out.c_str());
+  return 0;
+}
+
+int CmdInspect(const std::string& in) {
+  auto segments = core::LoadSegmentsFromFile(in);
+  if (!segments.ok()) {
+    std::fprintf(stderr, "%s\n", segments.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("segment  codec       state     values   bytes    ratio\n");
+  size_t total_bytes = 0, total_values = 0;
+  for (const core::Segment& segment : segments.value()) {
+    const core::SegmentMeta& meta = segment.meta();
+    const char* state =
+        meta.state == core::SegmentState::kRaw
+            ? "raw"
+            : meta.state == core::SegmentState::kLossless ? "lossless"
+                                                          : "lossy";
+    std::printf("%7llu  %-10s  %-8s  %7u  %6zu  %7.4f\n",
+                static_cast<unsigned long long>(meta.id),
+                std::string(compress::CodecIdName(meta.codec)).c_str(),
+                state, meta.value_count, segment.SizeBytes(),
+                meta.achieved_ratio);
+    total_bytes += segment.SizeBytes();
+    total_values += meta.value_count;
+  }
+  std::printf("total: %zu segments, %zu values, %zu bytes, ratio %.4f\n",
+              segments.value().size(), total_values, total_bytes,
+              compress::CompressionRatio(total_bytes, total_values));
+  return 0;
+}
+
+int CmdQuery(const std::string& in, const std::string& agg_name) {
+  query::AggKind kind;
+  if (agg_name == "sum") {
+    kind = query::AggKind::kSum;
+  } else if (agg_name == "avg") {
+    kind = query::AggKind::kAvg;
+  } else if (agg_name == "min") {
+    kind = query::AggKind::kMin;
+  } else if (agg_name == "max") {
+    kind = query::AggKind::kMax;
+  } else {
+    std::fprintf(stderr, "unknown aggregate: %s\n", agg_name.c_str());
+    return 2;
+  }
+  auto segments = core::LoadSegmentsFromFile(in);
+  if (!segments.ok()) {
+    std::fprintf(stderr, "%s\n", segments.status().ToString().c_str());
+    return 1;
+  }
+  // Combine per-segment results: sums add; avg weights by count;
+  // min/max fold.
+  double sum = 0.0, min_v = 0.0, max_v = 0.0;
+  uint64_t count = 0;
+  size_t direct_hits = 0;
+  bool first = true;
+  for (const core::Segment& segment : segments.value()) {
+    query::AggKind per_segment =
+        kind == query::AggKind::kAvg ? query::AggKind::kSum : kind;
+    if (compress::SupportsDirectAggregate(segment.meta().codec,
+                                          per_segment)) {
+      ++direct_hits;
+    }
+    auto value = compress::AggregatePayloadOrDecompress(
+        per_segment, segment.meta().codec, segment.payload());
+    if (!value.ok()) {
+      std::fprintf(stderr, "segment %llu: %s\n",
+                   static_cast<unsigned long long>(segment.meta().id),
+                   value.status().ToString().c_str());
+      return 1;
+    }
+    switch (kind) {
+      case query::AggKind::kSum:
+      case query::AggKind::kAvg:
+        sum += value.value();
+        break;
+      case query::AggKind::kMin:
+        min_v = first ? value.value() : std::min(min_v, value.value());
+        break;
+      case query::AggKind::kMax:
+        max_v = first ? value.value() : std::max(max_v, value.value());
+        break;
+    }
+    count += segment.meta().value_count;
+    first = false;
+  }
+  double result = kind == query::AggKind::kSum ? sum
+                  : kind == query::AggKind::kAvg
+                      ? (count ? sum / static_cast<double>(count) : 0.0)
+                  : kind == query::AggKind::kMin ? min_v
+                                                 : max_v;
+  std::printf("%s = %.10g over %llu values (%zu/%zu segments answered "
+              "in-situ)\n",
+              agg_name.c_str(), result,
+              static_cast<unsigned long long>(count), direct_hits,
+              segments.value().size());
+  return 0;
+}
+
+int CmdAt(const std::string& in, uint64_t index) {
+  auto segments = core::LoadSegmentsFromFile(in);
+  if (!segments.ok()) {
+    std::fprintf(stderr, "%s\n", segments.status().ToString().c_str());
+    return 1;
+  }
+  uint64_t offset = 0;
+  for (const core::Segment& segment : segments.value()) {
+    uint64_t count = segment.meta().value_count;
+    if (index < offset + count) {
+      uint64_t local = index - offset;
+      auto codec = compress::GetCodec(segment.meta().codec);
+      bool direct = codec->SupportsRandomAccess();
+      util::Result<double> value =
+          direct ? codec->ValueAt(segment.payload(), local)
+                 : [&]() -> util::Result<double> {
+              ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> values,
+                                       segment.Materialize());
+              return values[local];
+            }();
+      if (!value.ok()) {
+        std::fprintf(stderr, "%s\n", value.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("value[%llu] = %.10g (segment %llu, codec %s, %s)\n",
+                  static_cast<unsigned long long>(index), value.value(),
+                  static_cast<unsigned long long>(segment.meta().id),
+                  std::string(compress::CodecIdName(segment.meta().codec))
+                      .c_str(),
+                  direct ? "random access" : "decompressed");
+      return 0;
+    }
+    offset += count;
+  }
+  std::fprintf(stderr, "index %llu past end (%llu values)\n",
+               static_cast<unsigned long long>(index),
+               static_cast<unsigned long long>(offset));
+  return 1;
+}
+
+int CmdCodecs() {
+  std::printf("lossless arms:\n");
+  for (const auto& arm : compress::ExtendedLosslessArms(4)) {
+    std::printf("  %-12s (codec %s)\n", arm.name.c_str(),
+                std::string(arm.codec->name()).c_str());
+  }
+  std::printf("lossy arms (ratio-tunable):\n");
+  for (const auto& arm : compress::ExtendedLossyArms(4)) {
+    std::printf("  %-12s recodable=%s\n", arm.name.c_str(),
+                arm.codec->SupportsRecode() ? "yes" : "no");
+  }
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  adaedge gen <out.raw> [--points N] [--seed S] [--precision P]\n"
+      "  adaedge compress <in.raw> <out.seg> [--codec NAME] [--ratio R]\n"
+      "                   [--precision P] [--segment N]\n"
+      "  adaedge decompress <in.seg> <out.raw>\n"
+      "  adaedge inspect <in.seg>\n"
+      "  adaedge query <in.seg> {sum|avg|min|max}\n"
+      "  adaedge at <in.seg> <index>\n"
+      "  adaedge codecs\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  std::string cmd = argv[1];
+  if (cmd == "codecs") return CmdCodecs();
+  if (cmd == "gen" && argc >= 3) {
+    return CmdGen(argv[2], ParseOptions(argc, argv, 3));
+  }
+  if (cmd == "compress" && argc >= 4) {
+    return CmdCompress(argv[2], argv[3], ParseOptions(argc, argv, 4));
+  }
+  if (cmd == "decompress" && argc >= 4) {
+    return CmdDecompress(argv[2], argv[3]);
+  }
+  if (cmd == "inspect" && argc >= 3) return CmdInspect(argv[2]);
+  if (cmd == "query" && argc >= 4) return CmdQuery(argv[2], argv[3]);
+  if (cmd == "at" && argc >= 4) {
+    return CmdAt(argv[2], std::stoull(argv[3]));
+  }
+  return Usage();
+}

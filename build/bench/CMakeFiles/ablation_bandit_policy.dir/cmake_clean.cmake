@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bandit_policy.dir/ablation_bandit_policy.cc.o"
+  "CMakeFiles/ablation_bandit_policy.dir/ablation_bandit_policy.cc.o.d"
+  "ablation_bandit_policy"
+  "ablation_bandit_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bandit_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bands.dir/ablation_bands.cc.o"
+  "CMakeFiles/ablation_bands.dir/ablation_bands.cc.o.d"
+  "ablation_bands"
+  "ablation_bands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_recode.dir/ablation_recode.cc.o"
+  "CMakeFiles/ablation_recode.dir/ablation_recode.cc.o.d"
+  "ablation_recode"
+  "ablation_recode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_recode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

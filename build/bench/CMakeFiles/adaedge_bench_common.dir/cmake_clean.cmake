@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaedge_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/adaedge_bench_common.dir/bench_common.cc.o.d"
+  "libadaedge_bench_common.a"
+  "libadaedge_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaedge_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

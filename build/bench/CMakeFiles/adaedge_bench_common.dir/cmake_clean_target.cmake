@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadaedge_bench_common.a"
+)

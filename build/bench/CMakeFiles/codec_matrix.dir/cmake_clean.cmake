@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codec_matrix.dir/codec_matrix.cc.o"
+  "CMakeFiles/codec_matrix.dir/codec_matrix.cc.o.d"
+  "codec_matrix"
+  "codec_matrix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codec_matrix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

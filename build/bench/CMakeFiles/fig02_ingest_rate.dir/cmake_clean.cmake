@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_ingest_rate.dir/fig02_ingest_rate.cc.o"
+  "CMakeFiles/fig02_ingest_rate.dir/fig02_ingest_rate.cc.o.d"
+  "fig02_ingest_rate"
+  "fig02_ingest_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_ingest_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

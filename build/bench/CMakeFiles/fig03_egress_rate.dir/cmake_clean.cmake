@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_egress_rate.dir/fig03_egress_rate.cc.o"
+  "CMakeFiles/fig03_egress_rate.dir/fig03_egress_rate.cc.o.d"
+  "fig03_egress_rate"
+  "fig03_egress_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_egress_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_dtree_lossy.dir/fig05_dtree_lossy.cc.o"
+  "CMakeFiles/fig05_dtree_lossy.dir/fig05_dtree_lossy.cc.o.d"
+  "fig05_dtree_lossy"
+  "fig05_dtree_lossy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_dtree_lossy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_rforest_lossy.dir/fig06_rforest_lossy.cc.o"
+  "CMakeFiles/fig06_rforest_lossy.dir/fig06_rforest_lossy.cc.o.d"
+  "fig06_rforest_lossy"
+  "fig06_rforest_lossy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_rforest_lossy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_online_ml.dir/fig07_online_ml.cc.o"
+  "CMakeFiles/fig07_online_ml.dir/fig07_online_ml.cc.o.d"
+  "fig07_online_ml"
+  "fig07_online_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_online_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

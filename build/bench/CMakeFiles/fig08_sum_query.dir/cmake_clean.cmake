@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_sum_query.dir/fig08_sum_query.cc.o"
+  "CMakeFiles/fig08_sum_query.dir/fig08_sum_query.cc.o.d"
+  "fig08_sum_query"
+  "fig08_sum_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_sum_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_max_query.dir/fig09_max_query.cc.o"
+  "CMakeFiles/fig09_max_query.dir/fig09_max_query.cc.o.d"
+  "fig09_max_query"
+  "fig09_max_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_max_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

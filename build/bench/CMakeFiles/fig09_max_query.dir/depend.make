@@ -1,0 +1,2 @@
+# Empty dependencies file for fig09_max_query.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_complex_agg_ml.dir/fig10_complex_agg_ml.cc.o"
+  "CMakeFiles/fig10_complex_agg_ml.dir/fig10_complex_agg_ml.cc.o.d"
+  "fig10_complex_agg_ml"
+  "fig10_complex_agg_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_complex_agg_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_complex_speed_ml.dir/fig11_complex_speed_ml.cc.o"
+  "CMakeFiles/fig11_complex_speed_ml.dir/fig11_complex_speed_ml.cc.o.d"
+  "fig11_complex_speed_ml"
+  "fig11_complex_speed_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_complex_speed_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

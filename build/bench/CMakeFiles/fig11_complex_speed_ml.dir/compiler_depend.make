@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig11_complex_speed_ml.
+# This may be replaced when dependencies are built.

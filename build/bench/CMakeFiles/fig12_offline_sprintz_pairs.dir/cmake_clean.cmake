@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_offline_sprintz_pairs.dir/fig12_offline_sprintz_pairs.cc.o"
+  "CMakeFiles/fig12_offline_sprintz_pairs.dir/fig12_offline_sprintz_pairs.cc.o.d"
+  "fig12_offline_sprintz_pairs"
+  "fig12_offline_sprintz_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_offline_sprintz_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_offline_sprintz_pairs.
+# This may be replaced when dependencies are built.

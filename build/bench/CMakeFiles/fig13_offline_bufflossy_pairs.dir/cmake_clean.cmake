@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_offline_bufflossy_pairs.dir/fig13_offline_bufflossy_pairs.cc.o"
+  "CMakeFiles/fig13_offline_bufflossy_pairs.dir/fig13_offline_bufflossy_pairs.cc.o.d"
+  "fig13_offline_bufflossy_pairs"
+  "fig13_offline_bufflossy_pairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_offline_bufflossy_pairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_offline_bufflossy_pairs.
+# This may be replaced when dependencies are built.

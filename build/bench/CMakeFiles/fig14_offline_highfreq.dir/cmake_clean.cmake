@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_offline_highfreq.dir/fig14_offline_highfreq.cc.o"
+  "CMakeFiles/fig14_offline_highfreq.dir/fig14_offline_highfreq.cc.o.d"
+  "fig14_offline_highfreq"
+  "fig14_offline_highfreq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_offline_highfreq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_data_shift.dir/fig15_data_shift.cc.o"
+  "CMakeFiles/fig15_data_shift.dir/fig15_data_shift.cc.o.d"
+  "fig15_data_shift"
+  "fig15_data_shift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_data_shift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/insitu_query.dir/insitu_query.cc.o"
+  "CMakeFiles/insitu_query.dir/insitu_query.cc.o.d"
+  "insitu_query"
+  "insitu_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/insitu_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

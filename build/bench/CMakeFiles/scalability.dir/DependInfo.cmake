@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/scalability.cc" "bench/CMakeFiles/scalability.dir/scalability.cc.o" "gcc" "bench/CMakeFiles/scalability.dir/scalability.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/adaedge_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/baseline/CMakeFiles/adaedge_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/core/CMakeFiles/adaedge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/compress/CMakeFiles/adaedge_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/bandit/CMakeFiles/adaedge_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/query/CMakeFiles/adaedge_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/sim/CMakeFiles/adaedge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/data/CMakeFiles/adaedge_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/ml/CMakeFiles/adaedge_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/util/CMakeFiles/adaedge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/deep_space_offline.dir/deep_space_offline.cpp.o"
+  "CMakeFiles/deep_space_offline.dir/deep_space_offline.cpp.o.d"
+  "deep_space_offline"
+  "deep_space_offline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/deep_space_offline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

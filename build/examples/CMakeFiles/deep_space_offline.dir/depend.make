@@ -1,0 +1,2 @@
+# Empty dependencies file for deep_space_offline.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factory_gateway_multisignal.dir/factory_gateway_multisignal.cpp.o"
+  "CMakeFiles/factory_gateway_multisignal.dir/factory_gateway_multisignal.cpp.o.d"
+  "factory_gateway_multisignal"
+  "factory_gateway_multisignal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factory_gateway_multisignal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

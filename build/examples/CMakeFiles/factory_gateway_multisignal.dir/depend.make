@@ -1,0 +1,2 @@
+# Empty dependencies file for factory_gateway_multisignal.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oil_platform_online.dir/oil_platform_online.cpp.o"
+  "CMakeFiles/oil_platform_online.dir/oil_platform_online.cpp.o.d"
+  "oil_platform_online"
+  "oil_platform_online.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oil_platform_online.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for oil_platform_online.
+# This may be replaced when dependencies are built.

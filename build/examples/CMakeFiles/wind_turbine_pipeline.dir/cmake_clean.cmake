@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wind_turbine_pipeline.dir/wind_turbine_pipeline.cpp.o"
+  "CMakeFiles/wind_turbine_pipeline.dir/wind_turbine_pipeline.cpp.o.d"
+  "wind_turbine_pipeline"
+  "wind_turbine_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wind_turbine_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

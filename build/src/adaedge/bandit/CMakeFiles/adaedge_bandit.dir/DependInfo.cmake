@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaedge/bandit/banded_bandit.cc" "src/adaedge/bandit/CMakeFiles/adaedge_bandit.dir/banded_bandit.cc.o" "gcc" "src/adaedge/bandit/CMakeFiles/adaedge_bandit.dir/banded_bandit.cc.o.d"
+  "/root/repo/src/adaedge/bandit/bandit.cc" "src/adaedge/bandit/CMakeFiles/adaedge_bandit.dir/bandit.cc.o" "gcc" "src/adaedge/bandit/CMakeFiles/adaedge_bandit.dir/bandit.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adaedge/util/CMakeFiles/adaedge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaedge_bandit.dir/banded_bandit.cc.o"
+  "CMakeFiles/adaedge_bandit.dir/banded_bandit.cc.o.d"
+  "CMakeFiles/adaedge_bandit.dir/bandit.cc.o"
+  "CMakeFiles/adaedge_bandit.dir/bandit.cc.o.d"
+  "libadaedge_bandit.a"
+  "libadaedge_bandit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaedge_bandit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaedge_baseline.dir/baselines.cc.o"
+  "CMakeFiles/adaedge_baseline.dir/baselines.cc.o.d"
+  "libadaedge_baseline.a"
+  "libadaedge_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaedge_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,42 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaedge/compress/buff.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/buff.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/buff.cc.o.d"
+  "/root/repo/src/adaedge/compress/chimp.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/chimp.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/chimp.cc.o.d"
+  "/root/repo/src/adaedge/compress/codec.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/codec.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/codec.cc.o.d"
+  "/root/repo/src/adaedge/compress/deflate.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/deflate.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/deflate.cc.o.d"
+  "/root/repo/src/adaedge/compress/dictionary.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/dictionary.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/dictionary.cc.o.d"
+  "/root/repo/src/adaedge/compress/dsp.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/dsp.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/dsp.cc.o.d"
+  "/root/repo/src/adaedge/compress/elf.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/elf.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/elf.cc.o.d"
+  "/root/repo/src/adaedge/compress/fastlz.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/fastlz.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/fastlz.cc.o.d"
+  "/root/repo/src/adaedge/compress/fft_codec.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/fft_codec.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/fft_codec.cc.o.d"
+  "/root/repo/src/adaedge/compress/gorilla.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/gorilla.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/gorilla.cc.o.d"
+  "/root/repo/src/adaedge/compress/internal_formats.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/internal_formats.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/internal_formats.cc.o.d"
+  "/root/repo/src/adaedge/compress/kernel_codec.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/kernel_codec.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/kernel_codec.cc.o.d"
+  "/root/repo/src/adaedge/compress/lttb.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/lttb.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/lttb.cc.o.d"
+  "/root/repo/src/adaedge/compress/paa.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/paa.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/paa.cc.o.d"
+  "/root/repo/src/adaedge/compress/payload_query.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/payload_query.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/payload_query.cc.o.d"
+  "/root/repo/src/adaedge/compress/pla.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/pla.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/pla.cc.o.d"
+  "/root/repo/src/adaedge/compress/raw.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/raw.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/raw.cc.o.d"
+  "/root/repo/src/adaedge/compress/registry.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/registry.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/registry.cc.o.d"
+  "/root/repo/src/adaedge/compress/rle.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/rle.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/rle.cc.o.d"
+  "/root/repo/src/adaedge/compress/rrd_sample.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/rrd_sample.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/rrd_sample.cc.o.d"
+  "/root/repo/src/adaedge/compress/sprintz.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/sprintz.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/sprintz.cc.o.d"
+  "/root/repo/src/adaedge/compress/transcode.cc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/transcode.cc.o" "gcc" "src/adaedge/compress/CMakeFiles/adaedge_compress.dir/transcode.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adaedge/query/CMakeFiles/adaedge_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/util/CMakeFiles/adaedge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaedge/core/evaluation.cc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/evaluation.cc.o" "gcc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/evaluation.cc.o.d"
+  "/root/repo/src/adaedge/core/offline_node.cc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/offline_node.cc.o" "gcc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/offline_node.cc.o.d"
+  "/root/repo/src/adaedge/core/online_node.cc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/online_node.cc.o" "gcc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/online_node.cc.o.d"
+  "/root/repo/src/adaedge/core/online_selector.cc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/online_selector.cc.o" "gcc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/online_selector.cc.o.d"
+  "/root/repo/src/adaedge/core/pipeline.cc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/pipeline.cc.o" "gcc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/pipeline.cc.o.d"
+  "/root/repo/src/adaedge/core/policy.cc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/policy.cc.o" "gcc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/policy.cc.o.d"
+  "/root/repo/src/adaedge/core/range_query.cc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/range_query.cc.o" "gcc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/range_query.cc.o.d"
+  "/root/repo/src/adaedge/core/segment.cc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/segment.cc.o" "gcc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/segment.cc.o.d"
+  "/root/repo/src/adaedge/core/segment_store.cc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/segment_store.cc.o" "gcc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/segment_store.cc.o.d"
+  "/root/repo/src/adaedge/core/store_io.cc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/store_io.cc.o" "gcc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/store_io.cc.o.d"
+  "/root/repo/src/adaedge/core/target.cc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/target.cc.o" "gcc" "src/adaedge/core/CMakeFiles/adaedge_core.dir/target.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adaedge/bandit/CMakeFiles/adaedge_bandit.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/compress/CMakeFiles/adaedge_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/ml/CMakeFiles/adaedge_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/query/CMakeFiles/adaedge_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/sim/CMakeFiles/adaedge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/util/CMakeFiles/adaedge_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/data/CMakeFiles/adaedge_data.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

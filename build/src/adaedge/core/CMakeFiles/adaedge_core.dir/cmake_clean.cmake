@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaedge_core.dir/evaluation.cc.o"
+  "CMakeFiles/adaedge_core.dir/evaluation.cc.o.d"
+  "CMakeFiles/adaedge_core.dir/offline_node.cc.o"
+  "CMakeFiles/adaedge_core.dir/offline_node.cc.o.d"
+  "CMakeFiles/adaedge_core.dir/online_node.cc.o"
+  "CMakeFiles/adaedge_core.dir/online_node.cc.o.d"
+  "CMakeFiles/adaedge_core.dir/online_selector.cc.o"
+  "CMakeFiles/adaedge_core.dir/online_selector.cc.o.d"
+  "CMakeFiles/adaedge_core.dir/pipeline.cc.o"
+  "CMakeFiles/adaedge_core.dir/pipeline.cc.o.d"
+  "CMakeFiles/adaedge_core.dir/policy.cc.o"
+  "CMakeFiles/adaedge_core.dir/policy.cc.o.d"
+  "CMakeFiles/adaedge_core.dir/range_query.cc.o"
+  "CMakeFiles/adaedge_core.dir/range_query.cc.o.d"
+  "CMakeFiles/adaedge_core.dir/segment.cc.o"
+  "CMakeFiles/adaedge_core.dir/segment.cc.o.d"
+  "CMakeFiles/adaedge_core.dir/segment_store.cc.o"
+  "CMakeFiles/adaedge_core.dir/segment_store.cc.o.d"
+  "CMakeFiles/adaedge_core.dir/store_io.cc.o"
+  "CMakeFiles/adaedge_core.dir/store_io.cc.o.d"
+  "CMakeFiles/adaedge_core.dir/target.cc.o"
+  "CMakeFiles/adaedge_core.dir/target.cc.o.d"
+  "libadaedge_core.a"
+  "libadaedge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaedge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

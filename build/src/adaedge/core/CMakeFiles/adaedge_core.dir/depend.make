@@ -1,0 +1,2 @@
+# Empty dependencies file for adaedge_core.
+# This may be replaced when dependencies are built.

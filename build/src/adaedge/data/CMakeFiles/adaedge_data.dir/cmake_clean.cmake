@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaedge_data.dir/generators.cc.o"
+  "CMakeFiles/adaedge_data.dir/generators.cc.o.d"
+  "libadaedge_data.a"
+  "libadaedge_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaedge_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

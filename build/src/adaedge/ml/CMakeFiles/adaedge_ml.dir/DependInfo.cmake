@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaedge/ml/dataset.cc" "src/adaedge/ml/CMakeFiles/adaedge_ml.dir/dataset.cc.o" "gcc" "src/adaedge/ml/CMakeFiles/adaedge_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/adaedge/ml/decision_tree.cc" "src/adaedge/ml/CMakeFiles/adaedge_ml.dir/decision_tree.cc.o" "gcc" "src/adaedge/ml/CMakeFiles/adaedge_ml.dir/decision_tree.cc.o.d"
+  "/root/repo/src/adaedge/ml/kmeans.cc" "src/adaedge/ml/CMakeFiles/adaedge_ml.dir/kmeans.cc.o" "gcc" "src/adaedge/ml/CMakeFiles/adaedge_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/adaedge/ml/knn.cc" "src/adaedge/ml/CMakeFiles/adaedge_ml.dir/knn.cc.o" "gcc" "src/adaedge/ml/CMakeFiles/adaedge_ml.dir/knn.cc.o.d"
+  "/root/repo/src/adaedge/ml/model.cc" "src/adaedge/ml/CMakeFiles/adaedge_ml.dir/model.cc.o" "gcc" "src/adaedge/ml/CMakeFiles/adaedge_ml.dir/model.cc.o.d"
+  "/root/repo/src/adaedge/ml/random_forest.cc" "src/adaedge/ml/CMakeFiles/adaedge_ml.dir/random_forest.cc.o" "gcc" "src/adaedge/ml/CMakeFiles/adaedge_ml.dir/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adaedge/util/CMakeFiles/adaedge_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

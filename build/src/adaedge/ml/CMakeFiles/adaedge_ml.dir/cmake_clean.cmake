@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaedge_ml.dir/dataset.cc.o"
+  "CMakeFiles/adaedge_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/adaedge_ml.dir/decision_tree.cc.o"
+  "CMakeFiles/adaedge_ml.dir/decision_tree.cc.o.d"
+  "CMakeFiles/adaedge_ml.dir/kmeans.cc.o"
+  "CMakeFiles/adaedge_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/adaedge_ml.dir/knn.cc.o"
+  "CMakeFiles/adaedge_ml.dir/knn.cc.o.d"
+  "CMakeFiles/adaedge_ml.dir/model.cc.o"
+  "CMakeFiles/adaedge_ml.dir/model.cc.o.d"
+  "CMakeFiles/adaedge_ml.dir/random_forest.cc.o"
+  "CMakeFiles/adaedge_ml.dir/random_forest.cc.o.d"
+  "libadaedge_ml.a"
+  "libadaedge_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaedge_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

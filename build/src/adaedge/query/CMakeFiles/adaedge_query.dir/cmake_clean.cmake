@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaedge_query.dir/aggregate.cc.o"
+  "CMakeFiles/adaedge_query.dir/aggregate.cc.o.d"
+  "libadaedge_query.a"
+  "libadaedge_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaedge_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaedge/sim/constraints.cc" "src/adaedge/sim/CMakeFiles/adaedge_sim.dir/constraints.cc.o" "gcc" "src/adaedge/sim/CMakeFiles/adaedge_sim.dir/constraints.cc.o.d"
+  "/root/repo/src/adaedge/sim/sensor_client.cc" "src/adaedge/sim/CMakeFiles/adaedge_sim.dir/sensor_client.cc.o" "gcc" "src/adaedge/sim/CMakeFiles/adaedge_sim.dir/sensor_client.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adaedge/util/CMakeFiles/adaedge_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/data/CMakeFiles/adaedge_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/adaedge/ml/CMakeFiles/adaedge_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaedge_sim.dir/constraints.cc.o"
+  "CMakeFiles/adaedge_sim.dir/constraints.cc.o.d"
+  "CMakeFiles/adaedge_sim.dir/sensor_client.cc.o"
+  "CMakeFiles/adaedge_sim.dir/sensor_client.cc.o.d"
+  "libadaedge_sim.a"
+  "libadaedge_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaedge_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaedge/util/bit_io.cc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/bit_io.cc.o" "gcc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/bit_io.cc.o.d"
+  "/root/repo/src/adaedge/util/byte_io.cc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/byte_io.cc.o" "gcc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/byte_io.cc.o.d"
+  "/root/repo/src/adaedge/util/crc32.cc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/crc32.cc.o" "gcc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/crc32.cc.o.d"
+  "/root/repo/src/adaedge/util/linalg.cc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/linalg.cc.o" "gcc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/linalg.cc.o.d"
+  "/root/repo/src/adaedge/util/logging.cc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/logging.cc.o" "gcc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/logging.cc.o.d"
+  "/root/repo/src/adaedge/util/rng.cc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/rng.cc.o" "gcc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/rng.cc.o.d"
+  "/root/repo/src/adaedge/util/stats.cc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/stats.cc.o" "gcc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/stats.cc.o.d"
+  "/root/repo/src/adaedge/util/status.cc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/status.cc.o" "gcc" "src/adaedge/util/CMakeFiles/adaedge_util.dir/status.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

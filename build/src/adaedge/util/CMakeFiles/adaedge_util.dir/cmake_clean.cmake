@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaedge_util.dir/bit_io.cc.o"
+  "CMakeFiles/adaedge_util.dir/bit_io.cc.o.d"
+  "CMakeFiles/adaedge_util.dir/byte_io.cc.o"
+  "CMakeFiles/adaedge_util.dir/byte_io.cc.o.d"
+  "CMakeFiles/adaedge_util.dir/crc32.cc.o"
+  "CMakeFiles/adaedge_util.dir/crc32.cc.o.d"
+  "CMakeFiles/adaedge_util.dir/linalg.cc.o"
+  "CMakeFiles/adaedge_util.dir/linalg.cc.o.d"
+  "CMakeFiles/adaedge_util.dir/logging.cc.o"
+  "CMakeFiles/adaedge_util.dir/logging.cc.o.d"
+  "CMakeFiles/adaedge_util.dir/rng.cc.o"
+  "CMakeFiles/adaedge_util.dir/rng.cc.o.d"
+  "CMakeFiles/adaedge_util.dir/stats.cc.o"
+  "CMakeFiles/adaedge_util.dir/stats.cc.o.d"
+  "CMakeFiles/adaedge_util.dir/status.cc.o"
+  "CMakeFiles/adaedge_util.dir/status.cc.o.d"
+  "libadaedge_util.a"
+  "libadaedge_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaedge_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_sim_test.dir/data_sim_test.cc.o"
+  "CMakeFiles/data_sim_test.dir/data_sim_test.cc.o.d"
+  "data_sim_test"
+  "data_sim_test.pdb"
+  "data_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

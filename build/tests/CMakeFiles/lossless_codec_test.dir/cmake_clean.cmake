@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossless_codec_test.dir/lossless_codec_test.cc.o"
+  "CMakeFiles/lossless_codec_test.dir/lossless_codec_test.cc.o.d"
+  "lossless_codec_test"
+  "lossless_codec_test.pdb"
+  "lossless_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossless_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossy_codec_test.dir/lossy_codec_test.cc.o"
+  "CMakeFiles/lossy_codec_test.dir/lossy_codec_test.cc.o.d"
+  "lossy_codec_test"
+  "lossy_codec_test.pdb"
+  "lossy_codec_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossy_codec_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

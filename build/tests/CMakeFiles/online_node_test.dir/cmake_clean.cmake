@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_node_test.dir/online_node_test.cc.o"
+  "CMakeFiles/online_node_test.dir/online_node_test.cc.o.d"
+  "online_node_test"
+  "online_node_test.pdb"
+  "online_node_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_node_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payload_query_test.dir/payload_query_test.cc.o"
+  "CMakeFiles/payload_query_test.dir/payload_query_test.cc.o.d"
+  "payload_query_test"
+  "payload_query_test.pdb"
+  "payload_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payload_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recode_property_test.dir/recode_property_test.cc.o"
+  "CMakeFiles/recode_property_test.dir/recode_property_test.cc.o.d"
+  "recode_property_test"
+  "recode_property_test.pdb"
+  "recode_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recode_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transcode_test.dir/transcode_test.cc.o"
+  "CMakeFiles/transcode_test.dir/transcode_test.cc.o.d"
+  "transcode_test"
+  "transcode_test.pdb"
+  "transcode_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transcode_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/lossless_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/lossy_codec_test[1]_include.cmake")
+include("/root/repo/build/tests/bandit_test[1]_include.cmake")
+include("/root/repo/build/tests/ml_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/data_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/selector_test[1]_include.cmake")
+include("/root/repo/build/tests/dsp_test[1]_include.cmake")
+include("/root/repo/build/tests/recode_property_test[1]_include.cmake")
+include("/root/repo/build/tests/payload_query_test[1]_include.cmake")
+include("/root/repo/build/tests/store_io_test[1]_include.cmake")
+include("/root/repo/build/tests/corruption_test[1]_include.cmake")
+include("/root/repo/build/tests/transcode_test[1]_include.cmake")
+include("/root/repo/build/tests/online_node_test[1]_include.cmake")
+include("/root/repo/build/tests/misc_test[1]_include.cmake")
+include("/root/repo/build/tests/chaos_test[1]_include.cmake")
+include("/root/repo/build/tests/random_access_test[1]_include.cmake")
+include("/root/repo/build/tests/range_query_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaedge_cli.dir/adaedge_cli.cc.o"
+  "CMakeFiles/adaedge_cli.dir/adaedge_cli.cc.o.d"
+  "adaedge"
+  "adaedge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaedge_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -7,6 +7,41 @@
 
 namespace adaedge::bandit {
 
+int BanditPolicy::AcquireArm() {
+  int arm = SelectArm();
+  NotePending(arm);
+  return arm;
+}
+
+void BanditPolicy::NotePending(int arm) {
+  assert(arm >= 0 && arm < num_arms());
+  if (pending_.empty()) pending_.resize(num_arms(), 0);
+  ++pending_[static_cast<size_t>(arm)];
+}
+
+void BanditPolicy::CompletePull(int arm, double reward) {
+  AbandonPull(arm);
+  Update(arm, reward);
+}
+
+void BanditPolicy::AbandonPull(int arm) {
+  assert(arm >= 0 && arm < num_arms());
+  if (!pending_.empty() && pending_[static_cast<size_t>(arm)] > 0) {
+    --pending_[static_cast<size_t>(arm)];
+  }
+}
+
+uint64_t BanditPolicy::PendingCount(int arm) const {
+  if (pending_.empty()) return 0;
+  return pending_[static_cast<size_t>(arm)];
+}
+
+uint64_t BanditPolicy::TotalPending() const {
+  uint64_t total = 0;
+  for (uint64_t p : pending_) total += p;
+  return total;
+}
+
 int BanditPolicy::BestArm() const {
   int best = 0;
   double best_value = -std::numeric_limits<double>::infinity();
@@ -36,16 +71,23 @@ int EpsilonGreedy::SelectArm() {
     return static_cast<int>(rng_.NextBelow(values_.size()));
   }
   // Greedy with random tie-breaking so equal estimates (e.g. the shared
-  // optimistic initial value) spread exploration across arms.
+  // optimistic initial value) spread exploration across arms. Among equal
+  // estimates, arms with fewer in-flight pulls win the tie outright:
+  // concurrent workers drawn by the same optimistic initial value then
+  // fan out over the untried arms instead of piling onto one.
   double best = -std::numeric_limits<double>::infinity();
+  uint64_t best_pending = 0;
   int ties = 0;
   int pick = 0;
   for (size_t a = 0; a < values_.size(); ++a) {
-    if (values_[a] > best) {
+    uint64_t pending = PendingCount(static_cast<int>(a));
+    if (values_[a] > best ||
+        (values_[a] == best && pending < best_pending)) {
       best = values_[a];
+      best_pending = pending;
       ties = 1;
       pick = static_cast<int>(a);
-    } else if (values_[a] == best &&
+    } else if (values_[a] == best && pending == best_pending &&
                rng_.NextBelow(static_cast<uint64_t>(++ties)) == 0) {
       pick = static_cast<int>(a);
     }
@@ -71,16 +113,24 @@ Ucb1::Ucb1(int num_arms, const BanditConfig& config)
 }
 
 int Ucb1::SelectArm() {
-  // Play each arm once before applying the confidence bound.
+  // Play each arm once before applying the confidence bound. In-flight
+  // pulls count as provisionally played so concurrent workers cover
+  // distinct arms during the initial sweep.
   for (size_t a = 0; a < counts_.size(); ++a) {
-    if (counts_[a] == 0) return static_cast<int>(a);
+    if (counts_[a] + PendingCount(static_cast<int>(a)) == 0) {
+      return static_cast<int>(a);
+    }
   }
   double best = -std::numeric_limits<double>::infinity();
   int pick = 0;
-  double log_t = std::log(static_cast<double>(total_pulls_));
+  // Pending pulls widen t and shrink the per-arm bonus, discounting arms
+  // that already have rewards on the way.
+  double log_t =
+      std::log(static_cast<double>(total_pulls_ + TotalPending()));
   for (size_t a = 0; a < values_.size(); ++a) {
-    double bonus =
-        config_.ucb_c * std::sqrt(log_t / static_cast<double>(counts_[a]));
+    double n = static_cast<double>(counts_[a] +
+                                   PendingCount(static_cast<int>(a)));
+    double bonus = config_.ucb_c * std::sqrt(log_t / n);
     double v = values_[a] + bonus;
     if (v > best) {
       best = v;

@@ -37,6 +37,13 @@ struct BanditConfig {
 /// the core layer does this per optimization target.
 ///
 /// Policies are NOT thread-safe; the selection components serialize access.
+/// They DO tolerate delayed rewards: a pull may be acquired (arm chosen,
+/// codec work in flight outside the caller's lock) long before its reward
+/// is known, and completions may arrive in any order relative to
+/// acquisition. Pending pulls make SelectArm treat an arm as provisionally
+/// tried, so optimistic initialization keeps spreading exploration across
+/// concurrent in-flight pulls instead of sending every worker to the same
+/// untried arm.
 class BanditPolicy {
  public:
   virtual ~BanditPolicy() = default;
@@ -46,6 +53,29 @@ class BanditPolicy {
 
   /// Feeds back the reward observed for `arm`.
   virtual void Update(int arm, double reward) = 0;
+
+  /// SelectArm() plus NotePending() in one step: the standard entry point
+  /// for callers that observe the reward later (delayed feedback).
+  int AcquireArm();
+
+  /// Registers an in-flight pull of `arm`. Use directly after an
+  /// out-of-band arm choice (e.g. a feasibility override of the selected
+  /// arm); otherwise prefer AcquireArm().
+  void NotePending(int arm);
+
+  /// Completes a pull started with AcquireArm()/NotePending(): clears one
+  /// pending pull and applies Update(arm, reward).
+  void CompletePull(int arm, double reward);
+
+  /// Drops one in-flight pull of `arm` without feeding back a reward
+  /// (the work was abandoned).
+  void AbandonPull(int arm);
+
+  /// Number of acquired-but-not-completed pulls of `arm`.
+  uint64_t PendingCount(int arm) const;
+
+  /// Sum of PendingCount over all arms.
+  uint64_t TotalPending() const;
 
   virtual int num_arms() const = 0;
 
@@ -60,6 +90,10 @@ class BanditPolicy {
 
   /// Policy name for logs/benches ("eps-greedy", "ucb1").
   virtual std::string name() const = 0;
+
+ private:
+  /// Per-arm in-flight pull counts (lazily sized on first NotePending).
+  std::vector<uint64_t> pending_;
 };
 
 /// epsilon-greedy with optional optimistic initialization and optional

@@ -33,25 +33,39 @@ Result<OnlineNode::IngestReport> OnlineNode::Ingest(
   report.used_lossy = outcome.used_lossy;
   report.accuracy = outcome.accuracy;
   {
+    // Enqueue, spill and drain under one lock so report.egressed is an
+    // exact statement about THIS segment: the queue is FIFO, so it left
+    // the node iff the drain sent more segments than were ahead of it.
     std::lock_guard<std::mutex> lock(mu_);
     egress_queue_.push_back(std::move(outcome.segment));
+    size_t ahead = egress_queue_.size() - 1;
+    bool ours_spilled = false;
     // Overflow: spill the oldest queued segments to local storage
     // instead of dropping them.
     while (egress_queue_.size() > config_.compressed_capacity_segments) {
       spilled_.push_back(std::move(egress_queue_.front()));
       egress_queue_.pop_front();
       report.spilled = true;
+      if (ahead > 0) {
+        --ahead;  // a segment ahead of ours left through the spill path
+      } else {
+        ours_spilled = true;  // capacity 0: our own segment spilled
+      }
     }
+    size_t sent = DrainLocked(now);
+    report.egressed = !ours_spilled && sent > ahead;
   }
-  size_t before = egressed_;
-  DrainEgress(now);
-  report.egressed = egressed_ > before && queued_segments() == 0;
   return report;
 }
 
-void OnlineNode::DrainEgress(double now) {
+size_t OnlineNode::DrainEgress(double now) {
   std::lock_guard<std::mutex> lock(mu_);
+  return DrainLocked(now);
+}
+
+size_t OnlineNode::DrainLocked(double now) {
   double earned = config_.bandwidth_bytes_per_sec * now;
+  size_t sent = 0;
   while (!egress_queue_.empty()) {
     double size = static_cast<double>(egress_queue_.front().SizeBytes());
     if (egress_credit_used_ + size > earned) break;  // link saturated
@@ -59,7 +73,9 @@ void OnlineNode::DrainEgress(double now) {
     network_.Send(egress_queue_.front().SizeBytes(), now);
     egress_queue_.pop_front();
     ++egressed_;
+    ++sent;
   }
+  return sent;
 }
 
 Status OnlineNode::Close() {
@@ -113,7 +129,7 @@ int MultiSignalNode::AddSignal(const std::string& name,
   config.bandit.seed = base_config_.bandit.seed + id * 7919 + 1;
   config.target_ratio = 1.0;  // set by Reallocate below
   signal.selector =
-      std::make_unique<OnlineSelector>(std::move(config), target_);
+      std::make_shared<OnlineSelector>(std::move(config), target_);
   signals_.emplace(id, std::move(signal));
   Reallocate();
   return id;
@@ -131,14 +147,18 @@ Status MultiSignalNode::RemoveSignal(int signal_id) {
 Result<OnlineSelector::Outcome> MultiSignalNode::Ingest(
     int signal_id, uint64_t segment_id, double now,
     std::span<const double> values) {
-  OnlineSelector* selector = nullptr;
+  // Copy the shared_ptr under the lock: a concurrent RemoveSignal may
+  // erase the map entry while this segment is mid-Process, and the
+  // selector must stay alive until the call returns (it is destroyed
+  // when the last in-flight ingest drops its reference).
+  std::shared_ptr<OnlineSelector> selector;
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = signals_.find(signal_id);
     if (it == signals_.end()) {
       return Status::NotFound("unknown signal id");
     }
-    selector = it->second.selector.get();
+    selector = it->second.selector;
   }
   // OnlineSelector is internally synchronized; signals can ingest
   // concurrently.

@@ -43,8 +43,10 @@ class OnlineNode {
     std::string arm_name;
     bool used_lossy = false;
     double accuracy = 1.0;
-    bool egressed = false;  // left through the link immediately
-    bool spilled = false;   // this ingest caused a spill of the oldest
+    /// THIS segment left through the link during this call (other
+    /// segments may remain queued; concurrent ingests report their own).
+    bool egressed = false;
+    bool spilled = false;  // this ingest caused a spill of the oldest
   };
 
   /// Compresses one segment at virtual time `now`, then drains the egress
@@ -52,8 +54,9 @@ class OnlineNode {
   Result<IngestReport> Ingest(uint64_t id, double now,
                               std::span<const double> values);
 
-  /// Sends queued segments while the link has earned capacity.
-  void DrainEgress(double now);
+  /// Sends queued segments while the link has earned capacity; returns
+  /// the number of segments sent by this call.
+  size_t DrainEgress(double now);
 
   /// Writes any spilled segments to config.spill_path (if set).
   Status Close();
@@ -65,6 +68,8 @@ class OnlineNode {
   uint64_t egressed_segments() const { return egressed_; }
 
  private:
+  size_t DrainLocked(double now);  // mu_ held by the caller
+
   OnlineNodeConfig config_;
   OnlineSelector selector_;
   sim::Network network_;
@@ -108,7 +113,9 @@ class MultiSignalNode {
     std::string name;
     double points_per_sec;
     double weight;
-    std::unique_ptr<OnlineSelector> selector;
+    /// Shared so Ingest can keep the selector alive after releasing mu_:
+    /// a concurrent RemoveSignal only drops the map's reference.
+    std::shared_ptr<OnlineSelector> selector;
   };
 
   void Reallocate();  // recompute every signal's target ratio

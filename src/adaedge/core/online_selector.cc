@@ -1,6 +1,8 @@
 #include "adaedge/core/online_selector.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 
 #include "adaedge/util/stopwatch.h"
 
@@ -22,6 +24,34 @@ Segment MakeSegment(uint64_t id, double now, std::span<const double> values,
 }
 
 }  // namespace
+
+Status OnlineConfig::Validate() const {
+  if (!(target_ratio > 0.0)) {
+    return Status::InvalidArgument(
+        "target_ratio must be positive (got " +
+        std::to_string(target_ratio) + ")");
+  }
+  if (lossless_patience <= 0) {
+    return Status::InvalidArgument(
+        "lossless_patience must be >= 1 (got " +
+        std::to_string(lossless_patience) + ")");
+  }
+  if (lossless_recheck_interval == 0) {
+    return Status::InvalidArgument(
+        "lossless_recheck_interval must be >= 1 (0 would divide by zero "
+        "in the re-probe schedule)");
+  }
+  if (bandit.epsilon < 0.0 || bandit.epsilon > 1.0) {
+    return Status::InvalidArgument("bandit.epsilon must be in [0, 1]");
+  }
+  if (bandit.step < 0.0 || bandit.step > 1.0) {
+    return Status::InvalidArgument("bandit.step must be in [0, 1]");
+  }
+  if (precision < 0) {
+    return Status::InvalidArgument("precision must be >= 0");
+  }
+  return Status::Ok();
+}
 
 OnlineSelector::OnlineSelector(OnlineConfig config, TargetSpec target)
     : config_(std::move(config)), evaluator_(std::move(target)) {
@@ -46,137 +76,202 @@ OnlineSelector::OnlineSelector(OnlineConfig config, TargetSpec target)
   lossless_active_ = !config_.force_lossy;
 }
 
+Result<std::unique_ptr<OnlineSelector>> OnlineSelector::Create(
+    OnlineConfig config, TargetSpec target) {
+  ADAEDGE_RETURN_IF_ERROR(config.Validate());
+  return std::make_unique<OnlineSelector>(std::move(config),
+                                          std::move(target));
+}
+
 Result<OnlineSelector::Outcome> OnlineSelector::Process(
     uint64_t id, double now, std::span<const double> values) {
-  std::lock_guard<std::mutex> lock(mu_);
-  ++processed_;
-  // Periodic re-probe: a shifted distribution may compress losslessly again.
-  if (!config_.force_lossy && !lossless_active_ &&
-      processed_ % config_.lossless_recheck_interval == 0) {
-    lossless_active_ = true;
-    consecutive_misses_ = 0;
+  bool try_lossless;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++processed_;
+    // Periodic re-probe: a shifted distribution may compress losslessly
+    // again. (Interval 0 is rejected by Validate; the guard keeps the
+    // unchecked constructor path out of a division by zero.)
+    if (!config_.force_lossy && !lossless_active_ &&
+        config_.lossless_recheck_interval > 0 &&
+        processed_ % config_.lossless_recheck_interval == 0) {
+      lossless_active_ = true;
+      consecutive_misses_ = 0;
+    }
+    try_lossless = lossless_active_;
   }
-  if (lossless_active_) {
-    auto outcome = ProcessLossless(id, now, values);
-    if (outcome.ok() && outcome.value().met_target) return outcome;
+  if (try_lossless) {
+    ADAEDGE_ASSIGN_OR_RETURN(std::optional<Outcome> outcome,
+                             TryLossless(id, now, values));
+    if (outcome.has_value()) return std::move(outcome).value();
+    // Target missed (or lossless failed outright): lossy fallback for
+    // this same segment; the miss was recorded under the lock.
+  }
+  return TryLossy(id, now, values);
+}
+
+void OnlineSelector::NoteLosslessMissLocked() {
+  // The phase flips only once every lossless arm has had a chance
+  // (optimistic exploration may try the weak arms first) AND the misses
+  // kept coming — otherwise a couple of unlucky early draws would hide a
+  // feasible arm (e.g. Sprintz) behind the lossy phase until the next
+  // recheck. In-flight pulls count as "had a chance": their rewards are
+  // already on the way.
+  bool all_arms_tried = true;
+  for (int a = 0; a < lossless_bandit_->num_arms(); ++a) {
+    if (lossless_bandit_->PullCount(a) +
+            lossless_bandit_->PendingCount(a) ==
+        0) {
+      all_arms_tried = false;
+      break;
+    }
+  }
+  if (++consecutive_misses_ >= config_.lossless_patience &&
+      all_arms_tried) {
+    lossless_active_ = false;
+  }
+}
+
+Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
+    uint64_t id, double now, std::span<const double> values) {
+  // Phase 1: snapshot an arm and the target under the lock.
+  int arm_idx;
+  compress::CodecArm arm;
+  double target_ratio;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    arm_idx = lossless_bandit_->AcquireArm();
+    arm = config_.lossless_arms[arm_idx];
+    target_ratio = config_.target_ratio;
+  }
+
+  // Phase 2: codec work with no lock held.
+  util::Stopwatch watch;
+  auto payload = arm.codec->Compress(values, arm.params);
+  double seconds = watch.ElapsedSeconds();
+  if (!payload.ok()) {
+    // E.g. dictionary refusing high-cardinality input: teach the bandit.
+    std::lock_guard<std::mutex> lock(mu_);
+    lossless_bandit_->CompletePull(arm_idx, 0.0);
     if (!config_.allow_lossy) {
       // Lossless-only selectors (CodecDB-style) fail hard here — the
       // paper's "CodecDB ... is otherwise ineffective" regime.
       return Status::Unavailable(
           "lossless compression cannot reach the target ratio");
     }
-    // Target missed (or lossless failed outright): lossy fallback for this
-    // same segment. The phase flips only once every lossless arm has had
-    // a chance (optimistic exploration may try the weak arms first) AND
-    // the misses kept coming — otherwise a couple of unlucky early draws
-    // would hide a feasible arm (e.g. Sprintz) behind the lossy phase
-    // until the next recheck.
-    bool all_arms_tried = true;
-    for (int a = 0; a < lossless_bandit_->num_arms(); ++a) {
-      if (lossless_bandit_->PullCount(a) == 0) {
-        all_arms_tried = false;
-        break;
-      }
-    }
-    if (++consecutive_misses_ >= config_.lossless_patience &&
-        all_arms_tried) {
-      lossless_active_ = false;
-    }
-    return ProcessLossy(id, now, values);
-  }
-  return ProcessLossy(id, now, values);
-}
-
-Result<OnlineSelector::Outcome> OnlineSelector::ProcessLossless(
-    uint64_t id, double now, std::span<const double> values) {
-  int arm_idx = lossless_bandit_->SelectArm();
-  const compress::CodecArm& arm = config_.lossless_arms[arm_idx];
-  util::Stopwatch watch;
-  auto payload = arm.codec->Compress(values, arm.params);
-  double seconds = watch.ElapsedSeconds();
-  if (!payload.ok()) {
-    // E.g. dictionary refusing high-cardinality input: teach the bandit.
-    lossless_bandit_->Update(arm_idx, 0.0);
-    Outcome outcome;
-    outcome.arm_name = arm.name;
-    outcome.met_target = false;
-    return outcome;
+    NoteLosslessMissLocked();
+    return std::optional<Outcome>();
   }
   double ratio =
       compress::CompressionRatio(payload.value().size(), values.size());
   // Paper SIV-C1: the lossless MAB minimizes compressed size only.
   double reward = std::clamp(1.0 - ratio, 0.0, 1.0);
-  lossless_bandit_->Update(arm_idx, reward);
+  // Ship uncompressed when the codec inflated the segment but raw already
+  // fits the link, instead of escalating to lossy.
+  bool ship_raw = ratio > target_ratio && target_ratio >= 1.0;
+  bool met_target = ship_raw || ratio <= target_ratio;
+
+  // Phase 3: feed the delayed reward back and advance the phase machine.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lossless_bandit_->CompletePull(arm_idx, reward);
+    if (met_target) {
+      consecutive_misses_ = 0;
+    } else {
+      if (!config_.allow_lossy) {
+        return Status::Unavailable(
+            "lossless compression cannot reach the target ratio");
+      }
+      NoteLosslessMissLocked();
+      return std::optional<Outcome>();
+    }
+  }
 
   Outcome outcome;
-  if (ratio > config_.target_ratio && config_.target_ratio >= 1.0) {
-    // The codec inflated the segment but raw already fits the link:
-    // ship uncompressed instead of escalating to lossy.
+  if (ship_raw) {
     outcome.segment = Segment::FromValues(id, now, values);
     outcome.arm_name = "raw";
-    outcome.met_target = true;
-    outcome.reward = reward;
-    outcome.accuracy = 1.0;
-    outcome.compress_seconds = seconds;
-    consecutive_misses_ = 0;
-    return outcome;
+  } else {
+    outcome.segment = MakeSegment(id, now, values, arm,
+                                  std::move(payload).value(),
+                                  SegmentState::kLossless);
+    outcome.arm_name = arm.name;
   }
-  outcome.segment = MakeSegment(id, now, values, arm,
-                                std::move(payload).value(),
-                                SegmentState::kLossless);
-  outcome.arm_name = arm.name;
   outcome.used_lossy = false;
-  outcome.met_target = ratio <= config_.target_ratio;
+  outcome.met_target = true;
   outcome.reward = reward;
   outcome.accuracy = 1.0;
   outcome.compress_seconds = seconds;
-  if (outcome.met_target) consecutive_misses_ = 0;
-  return outcome;
+  return std::optional<Outcome>(std::move(outcome));
 }
 
-Result<OnlineSelector::Outcome> OnlineSelector::ProcessLossy(
+Result<OnlineSelector::Outcome> OnlineSelector::TryLossy(
     uint64_t id, double now, std::span<const double> values) {
-  int arm_idx = lossy_bandit_->SelectArm();
-  // Arms that cannot reach the ratio at all (BUFF-lossy below its floor)
-  // are punished and skipped in favour of the best supporting arm.
-  auto supports = [&](int idx) {
-    return config_.lossy_arms[idx].codec->SupportsRatio(
-        config_.target_ratio, values.size());
-  };
-  if (!supports(arm_idx)) {
-    lossy_bandit_->Update(arm_idx, 0.0);
-    int best = -1;
-    double best_value = -1.0;
-    for (int i = 0; i < static_cast<int>(config_.lossy_arms.size()); ++i) {
-      if (!supports(i)) continue;
-      double v = lossy_bandit_->EstimatedValue(i);
-      if (v > best_value) {
-        best_value = v;
-        best = i;
+  // Phase 1: pick a feasible arm under the lock (SupportsRatio is a cheap
+  // pure function of the target and segment length).
+  int arm_idx;
+  compress::CodecArm arm;
+  double target_ratio;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    arm_idx = lossy_bandit_->SelectArm();
+    // Arms that cannot reach the ratio at all (BUFF-lossy below its
+    // floor) are punished and skipped in favour of the best supporting
+    // arm.
+    auto supports = [&](int idx) {
+      return config_.lossy_arms[idx].codec->SupportsRatio(
+          config_.target_ratio, values.size());
+    };
+    if (!supports(arm_idx)) {
+      lossy_bandit_->Update(arm_idx, 0.0);
+      int best = -1;
+      double best_value = -1.0;
+      for (int i = 0; i < static_cast<int>(config_.lossy_arms.size());
+           ++i) {
+        if (!supports(i)) continue;
+        double v = lossy_bandit_->EstimatedValue(i);
+        if (v > best_value) {
+          best_value = v;
+          best = i;
+        }
       }
+      if (best < 0) {
+        return Status::Unavailable(
+            "no lossy codec supports the target compression ratio");
+      }
+      arm_idx = best;
     }
-    if (best < 0) {
-      return Status::Unavailable(
-          "no lossy codec supports the target compression ratio");
-    }
-    arm_idx = best;
+    lossy_bandit_->NotePending(arm_idx);
+    arm = config_.lossy_arms[arm_idx];
+    target_ratio = config_.target_ratio;
   }
-  compress::CodecArm arm = config_.lossy_arms[arm_idx];
-  arm.params.target_ratio = config_.target_ratio;
+  arm.params.target_ratio = target_ratio;
 
+  // Phase 2: compress, reconstruct and evaluate with no lock held.
   util::Stopwatch watch;
   auto payload = arm.codec->Compress(values, arm.params);
   double seconds = watch.ElapsedSeconds();
   if (!payload.ok()) {
-    lossy_bandit_->Update(arm_idx, 0.0);
+    std::lock_guard<std::mutex> lock(mu_);
+    lossy_bandit_->CompletePull(arm_idx, 0.0);
     return payload.status();
   }
-  ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> reconstructed,
-                           arm.codec->Decompress(payload.value()));
-  double accuracy = evaluator_.Accuracy(values, reconstructed);
-  double reward = evaluator_.Reward(values, reconstructed,
-                                    values.size() * sizeof(double), seconds);
-  lossy_bandit_->Update(arm_idx, reward);
+  auto reconstructed = arm.codec->Decompress(payload.value());
+  if (!reconstructed.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    lossy_bandit_->CompletePull(arm_idx, 0.0);
+    return reconstructed.status();
+  }
+  double accuracy = evaluator_.Accuracy(values, reconstructed.value());
+  double reward =
+      evaluator_.Reward(values, reconstructed.value(),
+                        values.size() * sizeof(double), seconds);
+
+  // Phase 3: feed the delayed reward back.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    lossy_bandit_->CompletePull(arm_idx, reward);
+  }
 
   Outcome outcome;
   outcome.segment = MakeSegment(id, now, values, arm,
@@ -186,7 +281,7 @@ Result<OnlineSelector::Outcome> OnlineSelector::ProcessLossy(
   outcome.used_lossy = true;
   outcome.met_target =
       outcome.segment.meta().achieved_ratio <=
-      config_.target_ratio * 1.02 + 0.003;
+      target_ratio * 1.02 + 0.003;
   outcome.reward = reward;
   outcome.accuracy = accuracy;
   outcome.compress_seconds = seconds;
@@ -219,6 +314,7 @@ void OnlineSelector::SetTargetRatio(double target_ratio) {
   if (target_ratio == config_.target_ratio) return;
   config_.target_ratio = target_ratio;
   // Feasibility changed: give lossless another chance unless pinned lossy.
+  // Segments already in flight finish against the target they snapshotted.
   if (!config_.force_lossy) {
     lossless_active_ = true;
     consecutive_misses_ = 0;

@@ -3,6 +3,7 @@
 
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -44,8 +45,13 @@ struct OnlineConfig {
   bool force_lossy = false;
   bool allow_lossy = true;
   /// Re-probe lossless feasibility every this many segments (data shift
-  /// may have made the stream compressible again).
+  /// may have made the stream compressible again). Must be >= 1.
   uint64_t lossless_recheck_interval = 256;
+
+  /// InvalidArgument when a field is out of range (non-positive
+  /// target_ratio, patience or recheck interval, epsilon/step outside
+  /// [0, 1]). OnlineSelector::Create is the checked construction path.
+  Status Validate() const;
 };
 
 /// Selects and applies compression per segment for a continuously
@@ -58,10 +64,21 @@ struct OnlineConfig {
 ///     MAB takes over with the workload target (ML / aggregation /
 ///     throughput / weighted) as reward.
 ///
-/// Thread-safe; multiple compression threads may call Process.
+/// Thread-safe; multiple compression threads may call Process. The codec
+/// Compress/Decompress work and the target evaluation run with no lock
+/// held: Process only takes the selector mutex to pick an arm (phase 1)
+/// and to feed the delayed reward back (phase 3), so workers compress in
+/// parallel. The bandits tolerate the resulting out-of-order rewards via
+/// per-arm pending-pull counts (bandit::BanditPolicy::AcquireArm).
 class OnlineSelector {
  public:
   OnlineSelector(OnlineConfig config, TargetSpec target);
+
+  /// Checked construction: InvalidArgument when `config` fails
+  /// OnlineConfig::Validate (e.g. lossless_recheck_interval = 0, which
+  /// the unchecked constructor would otherwise have to tolerate).
+  static Result<std::unique_ptr<OnlineSelector>> Create(OnlineConfig config,
+                                                        TargetSpec target);
 
   struct Outcome {
     Segment segment;
@@ -93,10 +110,17 @@ class OnlineSelector {
   double target_ratio() const;
 
  private:
-  Result<Outcome> ProcessLossless(uint64_t id, double now,
-                                  std::span<const double> values);
-  Result<Outcome> ProcessLossy(uint64_t id, double now,
-                               std::span<const double> values);
+  /// Lossless attempt: nullopt means "missed the target, fall back to
+  /// lossy for this same segment" (the miss has already been recorded).
+  Result<std::optional<Outcome>> TryLossless(uint64_t id, double now,
+                                             std::span<const double> values);
+  Result<Outcome> TryLossy(uint64_t id, double now,
+                           std::span<const double> values);
+
+  /// Records a lossless miss and advances the phase machine (mu_ held):
+  /// after `lossless_patience` consecutive misses with every arm tried
+  /// (pending pulls count), the selector flips to the lossy phase.
+  void NoteLosslessMissLocked();
 
   OnlineConfig config_;
   TargetEvaluator evaluator_;

@@ -21,10 +21,15 @@ void Pipeline::Start() {
 }
 
 bool Pipeline::Ingest(std::vector<double> values, double now) {
-  bytes_in_ += values.size() * sizeof(double);
-  ++segments_in_;
+  size_t bytes = values.size() * sizeof(double);
   RawSegment raw{next_id_.fetch_add(1), now, std::move(values)};
-  return uncompressed_.Push(std::move(raw));
+  // Count only segments that actually entered the pipeline: a Push
+  // rejected after Stop() must not inflate segments_in/bytes_in, or the
+  // segments_out <= segments_in invariant breaks.
+  if (!uncompressed_.Push(std::move(raw))) return false;
+  bytes_in_ += bytes;
+  ++segments_in_;
+  return true;
 }
 
 std::optional<Pipeline::CompressedSegment> Pipeline::PopCompressed() {

@@ -79,8 +79,8 @@ double TargetEvaluator::AggAccuracy(
 double TargetEvaluator::NormalizedThroughput(size_t original_bytes,
                                              double seconds) {
   double thr = query::CompressionThroughput(original_bytes, seconds);
-  max_throughput_ = std::max(max_throughput_, thr);
-  return max_throughput_ > 0.0 ? thr / max_throughput_ : 0.0;
+  double max = RaiseMaxThroughput(thr);
+  return max > 0.0 ? thr / max : 0.0;
 }
 
 double TargetEvaluator::Accuracy(std::span<const double> original,

@@ -2,6 +2,7 @@
 #define ADAEDGE_CORE_TARGET_H_
 
 #include <algorithm>
+#include <atomic>
 #include <memory>
 #include <span>
 #include <string>
@@ -48,7 +49,9 @@ struct TargetSpec {
 /// normalized by the running maximum observed so far (so the weighted sum
 /// stays on [0, 1], as the paper requires for complex targets).
 ///
-/// Not thread-safe; selectors own one instance each and serialize access.
+/// Thread-safe: the accuracy methods are const and pure, and the
+/// throughput normalizer keeps its running maximum in an atomic, so
+/// concurrent compression workers may evaluate without a lock.
 class TargetEvaluator {
  public:
   explicit TargetEvaluator(TargetSpec spec) : spec_(std::move(spec)) {}
@@ -72,7 +75,7 @@ class TargetEvaluator {
   /// multiple selectors prime every evaluator with the same reference so
   /// their C_thr components share one scale.
   void SetThroughputReference(double bytes_per_sec) {
-    max_throughput_ = std::max(max_throughput_, bytes_per_sec);
+    RaiseMaxThroughput(bytes_per_sec);
   }
 
   /// The accuracy-only part of the target: the weighted mean of ACC_agg
@@ -88,8 +91,18 @@ class TargetEvaluator {
                 double compress_seconds);
 
  private:
+  /// Monotone CAS-max; returns the maximum after the raise.
+  double RaiseMaxThroughput(double candidate) {
+    double prev = max_throughput_.load(std::memory_order_relaxed);
+    while (candidate > prev &&
+           !max_throughput_.compare_exchange_weak(
+               prev, candidate, std::memory_order_relaxed)) {
+    }
+    return std::max(prev, candidate);
+  }
+
   TargetSpec spec_;
-  double max_throughput_ = 0.0;
+  std::atomic<double> max_throughput_{0.0};
 };
 
 }  // namespace adaedge::core

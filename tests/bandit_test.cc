@@ -164,6 +164,110 @@ TEST(EpsilonGreedyTest, LargerStepSwitchesFaster) {
   EXPECT_LT(steps_to_switch(0.5), steps_to_switch(0.05));
 }
 
+TEST(DelayedRewardTest, PendingPullsSpreadOptimisticExploration) {
+  // Four concurrent in-flight pulls under pure-greedy optimistic init
+  // must cover four DIFFERENT arms: the pending count breaks the
+  // optimistic tie instead of sending every worker to the same arm.
+  BanditConfig config;
+  config.epsilon = 0.0;
+  config.initial_value = 1.0;
+  EpsilonGreedy policy(4, config);
+  std::vector<int> arms;
+  std::vector<bool> seen(4, false);
+  for (int i = 0; i < 4; ++i) {
+    int arm = policy.AcquireArm();
+    EXPECT_FALSE(seen[arm]) << "arm " << arm
+                            << " acquired twice while others untried";
+    seen[arm] = true;
+    arms.push_back(arm);
+    EXPECT_EQ(policy.PendingCount(arm), 1u);
+  }
+  EXPECT_EQ(policy.TotalPending(), 4u);
+  // Complete out of order: estimates update, pending drains.
+  for (int i = 3; i >= 0; --i) {
+    policy.CompletePull(arms[i], 0.25 * i);
+    EXPECT_EQ(policy.PendingCount(arms[i]), 0u);
+    EXPECT_EQ(policy.PullCount(arms[i]), 1u);
+  }
+  EXPECT_EQ(policy.TotalPending(), 0u);
+  EXPECT_EQ(policy.BestArm(), arms[3]);  // highest completed reward
+}
+
+TEST(DelayedRewardTest, Ucb1PendingPullsCoverInitialSweep) {
+  BanditConfig config;
+  Ucb1 policy(4, config);
+  std::vector<bool> seen(4, false);
+  for (int i = 0; i < 4; ++i) {
+    int arm = policy.AcquireArm();
+    EXPECT_FALSE(seen[arm]) << "initial sweep repeated arm " << arm;
+    seen[arm] = true;
+  }
+  for (int a = 0; a < 4; ++a) policy.CompletePull(a, 0.5);
+  // After completion the policy behaves like the synchronous one.
+  int arm = policy.SelectArm();
+  EXPECT_GE(arm, 0);
+  EXPECT_LT(arm, 4);
+}
+
+TEST(DelayedRewardTest, AbandonPullLeavesEstimatesUntouched) {
+  BanditConfig config;
+  config.epsilon = 0.0;
+  config.initial_value = 1.0;
+  EpsilonGreedy policy(3, config);
+  int arm = policy.AcquireArm();
+  EXPECT_EQ(policy.PendingCount(arm), 1u);
+  policy.AbandonPull(arm);
+  EXPECT_EQ(policy.PendingCount(arm), 0u);
+  EXPECT_EQ(policy.PullCount(arm), 0u);
+  EXPECT_DOUBLE_EQ(policy.EstimatedValue(arm), 1.0);
+}
+
+TEST(DelayedRewardTest, OutOfOrderCompletionMatchesPerArmHistory) {
+  // Sample-average estimates depend only on each arm's own reward
+  // sequence, so interleaved/out-of-order completions across arms land
+  // exactly where synchronous updates would.
+  BanditConfig config;
+  config.epsilon = 0.0;
+  EpsilonGreedy delayed(2, config);
+  EpsilonGreedy synchronous(2, config);
+  delayed.NotePending(0);
+  delayed.NotePending(1);
+  delayed.NotePending(0);
+  delayed.CompletePull(1, 0.9);  // completes before arm 0's older pulls
+  delayed.CompletePull(0, 0.2);
+  delayed.CompletePull(0, 0.6);
+  synchronous.Update(0, 0.2);
+  synchronous.Update(0, 0.6);
+  synchronous.Update(1, 0.9);
+  for (int a = 0; a < 2; ++a) {
+    EXPECT_DOUBLE_EQ(delayed.EstimatedValue(a),
+                     synchronous.EstimatedValue(a));
+    EXPECT_EQ(delayed.PullCount(a), synchronous.PullCount(a));
+  }
+}
+
+TEST(DelayedRewardTest, ConvergesWithConcurrentInFlightPulls) {
+  // Simulates W workers with delayed feedback: acquire W pulls, then
+  // complete them in FIFO order while acquiring replacements. The policy
+  // must still find the best arm.
+  Bench bench{{0.3, 0.8, 0.5, 0.2}};
+  BanditConfig config;
+  config.epsilon = 0.05;
+  config.initial_value = 1.0;
+  EpsilonGreedy policy(4, config);
+  constexpr int kWorkers = 8;
+  std::vector<int> in_flight;
+  for (int i = 0; i < kWorkers; ++i) in_flight.push_back(policy.AcquireArm());
+  for (int t = 0; t < 4000; ++t) {
+    int arm = in_flight.front();
+    in_flight.erase(in_flight.begin());
+    policy.CompletePull(arm, bench.Pull(arm));
+    in_flight.push_back(policy.AcquireArm());
+  }
+  for (int arm : in_flight) policy.AbandonPull(arm);
+  EXPECT_EQ(policy.BestArm(), bench.best());
+}
+
 TEST(Ucb1Test, TriesEveryArmOnceFirst) {
   BanditConfig config;
   Ucb1 policy(4, config);

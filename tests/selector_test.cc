@@ -121,6 +121,75 @@ TEST(OnlineSelectorTest, ForceLossyUsesOnlyLossyArms) {
   }
 }
 
+TEST(OnlineConfigTest, ValidateRejectsZeroRecheckInterval) {
+  OnlineConfig config;
+  config.lossless_recheck_interval = 0;  // would divide by zero
+  Status status = config.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  auto selector = OnlineSelector::Create(
+      config, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  EXPECT_FALSE(selector.ok());
+  EXPECT_EQ(selector.status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineConfigTest, ValidateRejectsNonPositiveTargetRatio) {
+  OnlineConfig config;
+  config.target_ratio = 0.0;
+  EXPECT_EQ(config.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+  config.target_ratio = -0.5;
+  EXPECT_EQ(config.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineConfigTest, ValidateRejectsNonPositivePatience) {
+  OnlineConfig config;
+  config.lossless_patience = 0;
+  EXPECT_EQ(config.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+  config.lossless_patience = -3;
+  EXPECT_EQ(config.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineConfigTest, ValidateRejectsBadBanditRanges) {
+  OnlineConfig config;
+  config.bandit.epsilon = 1.5;
+  EXPECT_EQ(config.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+  config.bandit.epsilon = 0.1;
+  config.bandit.step = -0.1;
+  EXPECT_EQ(config.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(OnlineConfigTest, DefaultsValidateAndCreateWorks) {
+  OnlineConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  auto selector = OnlineSelector::Create(
+      config, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  ASSERT_TRUE(selector.ok());
+  auto segments = MakeCbfSegments(3);
+  EXPECT_TRUE(selector.value()->Process(0, 0.0, segments[0]).ok());
+}
+
+TEST(OnlineSelectorTest, ZeroRecheckIntervalDoesNotDivideByZero) {
+  // The unchecked constructor path must tolerate a 0 interval (the
+  // checked path rejects it): the re-probe is simply disabled.
+  OnlineConfig config;
+  config.target_ratio = 0.05;
+  config.lossless_recheck_interval = 0;
+  OnlineSelector selector(config,
+                          TargetSpec::AggAccuracy(query::AggKind::kSum));
+  auto segments = MakeCbfSegments(20);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    ASSERT_TRUE(selector.Process(i, 0.0, segments[i]).ok());
+  }
+  EXPECT_FALSE(selector.lossless_active());
+}
+
 TEST(OfflineNodeTest, StaysWithinBudgetAndDegradesGracefully) {
   OfflineConfig config;
   config.storage_budget_bytes = 256 << 10;  // 256 KB

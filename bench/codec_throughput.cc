@@ -1,0 +1,220 @@
+// Codec kernel throughput: encode/decode MB/s per codec over paper-default
+// 1024-point segments, with a machine-readable JSON artifact so CI can
+// track the perf trajectory across PRs (schema: EXPERIMENTS.md, "Codec
+// throughput bench").
+//
+// Usage:
+//   codec_throughput [--out=BENCH_codec.json] [--quick]
+//
+// --quick shrinks the measurement window for CI smoke runs; the JSON shape
+// is identical.
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "adaedge/compress/buff.h"
+#include "adaedge/compress/chimp.h"
+#include "adaedge/compress/deflate.h"
+#include "adaedge/compress/dictionary.h"
+#include "adaedge/compress/elf.h"
+#include "adaedge/compress/fastlz.h"
+#include "adaedge/compress/gorilla.h"
+#include "adaedge/compress/raw.h"
+#include "adaedge/compress/rle.h"
+#include "adaedge/compress/sprintz.h"
+#include "adaedge/util/rng.h"
+#include "adaedge/util/stopwatch.h"
+
+namespace {
+
+using adaedge::compress::Codec;
+using adaedge::compress::CodecParams;
+
+constexpr size_t kSegmentLength = 1024;
+constexpr size_t kSegments = 64;
+
+double Round4(double v) { return std::round(v * 1e4) / 1e4; }
+
+std::vector<std::vector<double>> MakeSegments(const std::string& kind) {
+  adaedge::util::Rng rng(0xbe7c0de5);
+  std::vector<std::vector<double>> segments(kSegments);
+  double walk = 100.0;
+  for (auto& segment : segments) {
+    segment.resize(kSegmentLength);
+    if (kind == "repeats") {
+      double level = Round4(rng.NextUniform(-50.0, 50.0));
+      for (auto& v : segment) {
+        if (rng.NextBool(0.08)) level = Round4(rng.NextUniform(-50.0, 50.0));
+        v = level;
+      }
+    } else {
+      for (auto& v : segment) {
+        walk += rng.NextUniform(-0.5, 0.5);
+        v = Round4(walk);
+      }
+    }
+  }
+  return segments;
+}
+
+struct BenchRow {
+  std::string name;
+  std::string input;
+  double encode_mb_s = 0.0;
+  double decode_mb_s = 0.0;
+  double ratio = 0.0;
+  size_t bytes_processed = 0;
+};
+
+struct BenchCase {
+  const char* name;
+  const char* input;
+  std::shared_ptr<const Codec> codec;
+  CodecParams params;
+};
+
+BenchRow RunCase(const BenchCase& c, double min_seconds) {
+  const std::vector<std::vector<double>> segments = MakeSegments(c.input);
+  const size_t raw_bytes = kSegments * kSegmentLength * sizeof(double);
+
+  // Warm-up + payload capture for the decode phase.
+  std::vector<std::vector<uint8_t>> payloads(segments.size());
+  size_t payload_bytes = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    auto p = c.codec->Compress(segments[i], c.params);
+    if (!p.ok()) {
+      std::fprintf(stderr, "FATAL: %s failed to compress: %s\n", c.name,
+                   p.status().ToString().c_str());
+      std::exit(1);
+    }
+    payloads[i] = std::move(p).value();
+    payload_bytes += payloads[i].size();
+  }
+
+  BenchRow row;
+  row.name = c.name;
+  row.input = c.input;
+  row.ratio = static_cast<double>(payload_bytes) /
+              static_cast<double>(raw_bytes);
+
+  // Encode: sweep all segments repeatedly until the window is filled.
+  {
+    adaedge::util::Stopwatch watch;
+    size_t sweeps = 0;
+    std::vector<uint8_t> scratch;
+    do {
+      for (const auto& segment : segments) {
+        if (!c.codec->CompressInto(segment, c.params, scratch).ok()) {
+          std::exit(1);
+        }
+      }
+      ++sweeps;
+    } while (watch.ElapsedSeconds() < min_seconds);
+    double seconds = watch.ElapsedSeconds();
+    row.encode_mb_s = static_cast<double>(raw_bytes) *
+                      static_cast<double>(sweeps) / seconds / 1e6;
+    row.bytes_processed = raw_bytes * sweeps;
+  }
+
+  // Decode.
+  {
+    adaedge::util::Stopwatch watch;
+    size_t sweeps = 0;
+    do {
+      for (const auto& payload : payloads) {
+        auto d = c.codec->Decompress(payload);
+        if (!d.ok()) std::exit(1);
+      }
+      ++sweeps;
+    } while (watch.ElapsedSeconds() < min_seconds);
+    double seconds = watch.ElapsedSeconds();
+    row.decode_mb_s = static_cast<double>(raw_bytes) *
+                      static_cast<double>(sweeps) / seconds / 1e6;
+  }
+  return row;
+}
+
+void WriteJson(const std::string& path, const std::vector<BenchRow>& rows,
+               double min_seconds) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "FATAL: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"bench\": \"codec_throughput\",\n");
+  std::fprintf(f, "  \"segment_length\": %zu,\n", kSegmentLength);
+  std::fprintf(f, "  \"segments\": %zu,\n", kSegments);
+  std::fprintf(f, "  \"min_seconds\": %.3f,\n", min_seconds);
+  std::fprintf(f, "  \"codecs\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const BenchRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"input\": \"%s\", "
+                 "\"encode_mb_s\": %.2f, \"decode_mb_s\": %.2f, "
+                 "\"ratio\": %.4f}%s\n",
+                 r.name.c_str(), r.input.c_str(), r.encode_mb_s,
+                 r.decode_mb_s, r.ratio, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_codec.json";
+  double min_seconds = 0.4;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      min_seconds = 0.05;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out=PATH] [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+
+  namespace ac = adaedge::compress;
+  CodecParams p4;
+  p4.precision = 4;
+  CodecParams lossy = p4;
+  lossy.target_ratio = 0.24;
+  CodecParams level1 = p4;
+  level1.level = 1;
+
+  std::vector<BenchCase> cases = {
+      {"raw", "walk", std::make_shared<ac::Raw>(), p4},
+      {"gorilla", "walk", std::make_shared<ac::Gorilla>(), p4},
+      {"chimp", "walk", std::make_shared<ac::Chimp>(), p4},
+      {"elf", "walk", std::make_shared<ac::Elf>(), p4},
+      {"sprintz", "walk", std::make_shared<ac::Sprintz>(), p4},
+      {"buff", "walk", std::make_shared<ac::Buff>(), p4},
+      {"bufflossy", "walk", std::make_shared<ac::BuffLossy>(), lossy},
+      {"deflate-1", "walk", std::make_shared<ac::Deflate>(), level1},
+      {"deflate-6", "walk", std::make_shared<ac::Deflate>(), p4},
+      {"snappy", "walk", std::make_shared<ac::FastLz>(), p4},
+      {"dictionary", "repeats", std::make_shared<ac::Dictionary>(), p4},
+      {"rle", "repeats", std::make_shared<ac::Rle>(), p4},
+  };
+
+  std::printf("%-12s %-8s %12s %12s %8s\n", "codec", "input", "enc MB/s",
+              "dec MB/s", "ratio");
+  std::vector<BenchRow> rows;
+  for (const BenchCase& c : cases) {
+    BenchRow row = RunCase(c, min_seconds);
+    std::printf("%-12s %-8s %12.2f %12.2f %8.4f\n", row.name.c_str(),
+                row.input.c_str(), row.encode_mb_s, row.decode_mb_s,
+                row.ratio);
+    rows.push_back(std::move(row));
+  }
+  WriteJson(out_path, rows, min_seconds);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -43,7 +43,6 @@ Result<Quantized> QuantizeValues(std::span<const double> values,
   const double scale = ScaleFor(precision);
   Quantized result;
   result.q.resize(values.size());
-  std::vector<int64_t> raw(values.size());
   int64_t q_min = 0, q_max = 0;
   for (size_t i = 0; i < values.size(); ++i) {
     double scaled = values[i] * scale;
@@ -52,16 +51,17 @@ Result<Quantized> QuantizeValues(std::span<const double> values,
       return Status::InvalidArgument(
           "buff: value magnitude exceeds quantization range");
     }
-    raw[i] = std::llround(scaled);
+    int64_t raw = std::llround(scaled);
+    result.q[i] = static_cast<uint64_t>(raw);
     if (i == 0) {
-      q_min = q_max = raw[i];
+      q_min = q_max = raw;
     } else {
-      q_min = std::min(q_min, raw[i]);
-      q_max = std::max(q_max, raw[i]);
+      q_min = std::min(q_min, raw);
+      q_max = std::max(q_max, raw);
     }
   }
-  for (size_t i = 0; i < values.size(); ++i) {
-    result.q[i] = static_cast<uint64_t>(raw[i] - q_min);
+  for (uint64_t& v : result.q) {
+    v = static_cast<uint64_t>(static_cast<int64_t>(v) - q_min);
   }
   result.q_min = q_min;
   result.bit_width =
@@ -71,35 +71,57 @@ Result<Quantized> QuantizeValues(std::span<const double> values,
 }
 
 // Serializes a BUFF payload keeping `kept_planes` of `quant.total_planes`
-// most significant byte planes.
-std::vector<uint8_t> EncodePlanes(const Quantized& quant, int precision,
-                                  int kept_planes) {
+// most significant byte planes, appending to `out`.
+void EncodePlanesInto(const Quantized& quant, int precision, int kept_planes,
+                      std::vector<uint8_t>& out) {
   int total = quant.total_planes;
   int dropped = total - kept_planes;
-  util::ByteWriter w;
+  util::ByteWriter w(&out);
   w.PutVarint(quant.q.size());
   w.PutU8(static_cast<uint8_t>(precision));
   w.PutSignedVarint(quant.q_min);
   w.PutU8(static_cast<uint8_t>(quant.bit_width));
   w.PutU8(static_cast<uint8_t>(dropped * 8));
   // Plane 0 holds the most significant byte (index total-1) of each value.
+  // Planes are written straight into the output with one resize instead of
+  // per-byte appends.
+  const size_t count = quant.q.size();
+  size_t base = out.size();
+  out.resize(base + static_cast<size_t>(kept_planes) * count);
+  uint8_t* dst = out.data() + base;
   for (int p = 0; p < kept_planes; ++p) {
     int shift = 8 * (total - 1 - p);
-    for (uint64_t q : quant.q) {
-      w.PutU8(static_cast<uint8_t>((q >> shift) & 0xff));
+    for (size_t i = 0; i < count; ++i) {
+      dst[i] = static_cast<uint8_t>((quant.q[i] >> shift) & 0xff);
     }
+    dst += count;
   }
-  return w.Finish();
 }
 
 }  // namespace
 
 Result<std::vector<uint8_t>> Buff::Compress(std::span<const double> values,
                                             const CodecParams& params) const {
+  std::vector<uint8_t> out;
+  ADAEDGE_RETURN_IF_ERROR(CompressInto(values, params, out));
+  return out;
+}
+
+size_t Buff::MaxCompressedSize(size_t value_count) const {
+  // Header bound + at most 8 byte planes per value.
+  return kHeaderBound + 8 * value_count;
+}
+
+Status Buff::CompressInto(std::span<const double> values,
+                          const CodecParams& params,
+                          std::vector<uint8_t>& out) const {
   const int precision = std::clamp(params.precision, 0, 12);
   ADAEDGE_ASSIGN_OR_RETURN(Quantized quant,
                            QuantizeValues(values, precision));
-  return EncodePlanes(quant, precision, quant.total_planes);
+  out.clear();
+  out.reserve(MaxCompressedSize(values.size()));
+  EncodePlanesInto(quant, precision, quant.total_planes, out);
+  return Status::Ok();
 }
 
 namespace {
@@ -198,26 +220,37 @@ Result<LossyHeader> ReadLossyHeader(util::ByteReader& r) {
   return h;
 }
 
-std::vector<uint8_t> EncodeLossy(const LossyHeader& h,
-                                 std::span<const uint64_t> kept_values) {
-  util::ByteWriter w;
+void EncodeLossyInto(const LossyHeader& h,
+                     std::span<const uint64_t> kept_values,
+                     std::vector<uint8_t>& out) {
+  util::ByteWriter w(&out);
   w.PutVarint(h.count);
   w.PutU8(h.precision);
   w.PutSignedVarint(h.q_min);
   w.PutU8(h.bit_width);
   w.PutU8(h.kept_bits);
-  util::BitWriter bits;
-  for (uint64_t v : kept_values) bits.WriteBits(v, h.kept_bits);
-  std::vector<uint8_t> out = w.Finish();
-  std::vector<uint8_t> body = bits.Finish();
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
+  util::BitWriter bits(&out);
+  bits.WritePackedBlock(kept_values, h.kept_bits);
+  bits.Flush();
 }
 
 }  // namespace
 
 Result<std::vector<uint8_t>> BuffLossy::Compress(
     std::span<const double> values, const CodecParams& params) const {
+  std::vector<uint8_t> out;
+  ADAEDGE_RETURN_IF_ERROR(CompressInto(values, params, out));
+  return out;
+}
+
+size_t BuffLossy::MaxCompressedSize(size_t value_count) const {
+  // Header bound + at most 64 kept bits per value.
+  return kHeaderBound + 8 * value_count;
+}
+
+Status BuffLossy::CompressInto(std::span<const double> values,
+                               const CodecParams& params,
+                               std::vector<uint8_t>& out) const {
   const int precision = std::clamp(params.precision, 0, 12);
   ADAEDGE_ASSIGN_OR_RETURN(Quantized quant,
                            QuantizeValues(values, precision));
@@ -239,11 +272,12 @@ Result<std::vector<uint8_t>> BuffLossy::Compress(
   h.bit_width = static_cast<uint8_t>(bw);
   h.kept_bits = static_cast<uint8_t>(std::min(budget_kept, bw));
   int dropped = bw - h.kept_bits;
-  std::vector<uint64_t> kept(quant.q.size());
-  for (size_t i = 0; i < quant.q.size(); ++i) {
-    kept[i] = quant.q[i] >> dropped;
-  }
-  return EncodeLossy(h, kept);
+  // Shift in place: quant.q is this call's scratch anyway.
+  for (uint64_t& v : quant.q) v >>= dropped;
+  out.clear();
+  out.reserve(MaxCompressedSize(values.size()));
+  EncodeLossyInto(h, quant.q, out);
+  return Status::Ok();
 }
 
 Result<std::vector<double>> BuffLossy::Decompress(
@@ -255,11 +289,17 @@ Result<std::vector<double>> BuffLossy::Decompress(
   uint64_t half = dropped > 0 ? (uint64_t{1} << (dropped - 1)) : 0;
   util::BitReader bits(r.cursor(), r.remaining());
   std::vector<double> out(h.count);
-  for (uint64_t i = 0; i < h.count; ++i) {
-    ADAEDGE_ASSIGN_OR_RETURN(uint64_t v, bits.ReadBits(h.kept_bits));
-    uint64_t approx = (v << dropped) + (dropped > 0 ? half : 0);
-    out[i] = static_cast<double>(h.q_min + static_cast<int64_t>(approx)) *
-             inv_scale;
+  uint64_t chunk[256];
+  for (uint64_t i = 0; i < h.count;) {
+    size_t len = std::min<uint64_t>(std::size(chunk), h.count - i);
+    ADAEDGE_RETURN_IF_ERROR(bits.ReadPackedBlock(chunk, len, h.kept_bits));
+    for (size_t j = 0; j < len; ++j) {
+      uint64_t approx = (chunk[j] << dropped) + (dropped > 0 ? half : 0);
+      out[i + j] =
+          static_cast<double>(h.q_min + static_cast<int64_t>(approx)) *
+          inv_scale;
+    }
+    i += len;
   }
   return out;
 }
@@ -298,11 +338,17 @@ Result<double> BuffLossy::AggregateDirect(
   util::BitReader bits(r.cursor(), r.remaining());
   double sum_approx = 0.0;
   uint64_t min_q = ~uint64_t{0}, max_q = 0;
-  for (uint64_t i = 0; i < h.count; ++i) {
-    ADAEDGE_ASSIGN_OR_RETURN(uint64_t v, bits.ReadBits(h.kept_bits));
-    min_q = std::min(min_q, v);
-    max_q = std::max(max_q, v);
-    sum_approx += static_cast<double>((v << dropped) + half);
+  uint64_t chunk[256];
+  for (uint64_t i = 0; i < h.count;) {
+    size_t len = std::min<uint64_t>(std::size(chunk), h.count - i);
+    ADAEDGE_RETURN_IF_ERROR(bits.ReadPackedBlock(chunk, len, h.kept_bits));
+    for (size_t j = 0; j < len; ++j) {
+      uint64_t v = chunk[j];
+      min_q = std::min(min_q, v);
+      max_q = std::max(max_q, v);
+      sum_approx += static_cast<double>((v << dropped) + half);
+    }
+    i += len;
   }
   auto to_value = [&](uint64_t q) {
     uint64_t approx = (q << dropped) + half;
@@ -348,13 +394,15 @@ Result<std::vector<uint8_t>> BuffLossy::Recode(
   int shift = h.kept_bits - budget_kept;
   util::BitReader bits(r.cursor(), r.remaining());
   std::vector<uint64_t> kept(h.count);
-  for (uint64_t i = 0; i < h.count; ++i) {
-    ADAEDGE_ASSIGN_OR_RETURN(uint64_t v, bits.ReadBits(h.kept_bits));
-    kept[i] = v >> shift;
-  }
-  LossyHeader out = h;
-  out.kept_bits = static_cast<uint8_t>(budget_kept);
-  return EncodeLossy(out, kept);
+  ADAEDGE_RETURN_IF_ERROR(
+      bits.ReadPackedBlock(kept.data(), h.count, h.kept_bits));
+  for (uint64_t& v : kept) v >>= shift;
+  LossyHeader out_header = h;
+  out_header.kept_bits = static_cast<uint8_t>(budget_kept);
+  std::vector<uint8_t> out;
+  out.reserve(MaxCompressedSize(h.count));
+  EncodeLossyInto(out_header, kept, out);
+  return out;
 }
 
 }  // namespace adaedge::compress

@@ -20,6 +20,9 @@ class Buff final : public Codec {
 
   Result<std::vector<uint8_t>> Compress(
       std::span<const double> values, const CodecParams& params) const override;
+  Status CompressInto(std::span<const double> values, const CodecParams& params,
+                      std::vector<uint8_t>& out) const override;
+  size_t MaxCompressedSize(size_t value_count) const override;
   Result<std::vector<double>> Decompress(
       std::span<const uint8_t> payload) const override;
 };
@@ -42,6 +45,9 @@ class BuffLossy final : public Codec {
 
   Result<std::vector<uint8_t>> Compress(
       std::span<const double> values, const CodecParams& params) const override;
+  Status CompressInto(std::span<const double> values, const CodecParams& params,
+                      std::vector<uint8_t>& out) const override;
+  size_t MaxCompressedSize(size_t value_count) const override;
   Result<std::vector<double>> Decompress(
       std::span<const uint8_t> payload) const override;
   bool SupportsRatio(double ratio, size_t value_count) const override;

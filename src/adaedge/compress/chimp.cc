@@ -39,13 +39,29 @@ constexpr int kTrailingThreshold = 6;
 
 Result<std::vector<uint8_t>> Chimp::Compress(std::span<const double> values,
                                              const CodecParams& params) const {
-  (void)params;
-  util::ByteWriter header;
-  header.PutVarint(values.size());
-  std::vector<uint8_t> out = header.Finish();
-  if (values.empty()) return out;
+  std::vector<uint8_t> out;
+  ADAEDGE_RETURN_IF_ERROR(CompressInto(values, params, out));
+  return out;
+}
 
-  util::BitWriter bw;
+size_t Chimp::MaxCompressedSize(size_t value_count) const {
+  // Varint count (<= 10) + first value (8) + worst-case record per delta:
+  // '01' flag + 3-bit class + 6-bit length + 64 payload bits = 75 bits.
+  if (value_count == 0) return 10;
+  return 18 + (75 * (value_count - 1) + 7) / 8;
+}
+
+Status Chimp::CompressInto(std::span<const double> values,
+                           const CodecParams& params,
+                           std::vector<uint8_t>& out) const {
+  (void)params;
+  out.clear();
+  out.reserve(MaxCompressedSize(values.size()));
+  util::ByteWriter header(&out);
+  header.PutVarint(values.size());
+  if (values.empty()) return Status::Ok();
+
+  util::BitWriter bw(&out);
   uint64_t prev = ToBits(values[0]);
   bw.WriteBits(prev, 64);
   int prev_class = -1;
@@ -78,9 +94,8 @@ Result<std::vector<uint8_t>> Chimp::Compress(std::span<const double> values,
       prev_class = cls;
     }
   }
-  std::vector<uint8_t> body = bw.Finish();
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
+  bw.Flush();
+  return Status::Ok();
 }
 
 Result<std::vector<double>> Chimp::Decompress(
@@ -96,6 +111,46 @@ Result<std::vector<double>> Chimp::Decompress(
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t prev, br.ReadBits(64));
   out.push_back(FromBits(prev));
   int prev_class = -1;
+  // Worst-case record: '01' + 3-bit class + 6-bit length + up to 64 payload
+  // bits. One hoisted bounds check per record lets the inner reads use the
+  // unchecked fast path.
+  constexpr size_t kMaxRecordBits = 75;
+  while (out.size() < count && br.remaining_bits() >= kMaxRecordBits) {
+    uint64_t flag = br.ReadBitsUnchecked(2);
+    uint64_t x = 0;
+    switch (flag) {
+      case 0b00:
+        break;
+      case 0b01: {
+        int cls = static_cast<int>(br.ReadBitsUnchecked(3));
+        int significant = static_cast<int>(br.ReadBitsUnchecked(6));
+        int leading = kLeadingClass[cls];
+        int trailing = 64 - leading - significant;
+        if (trailing < 0) return Status::Corruption("chimp: bad lengths");
+        // significant == 0 would mean trailing == 64 - leading; guard the
+        // shift (encoders never emit it, corrupt streams can).
+        if (significant > 0) {
+          x = br.ReadBitsUnchecked(significant) << trailing;
+        }
+        prev_class = -1;
+        break;
+      }
+      case 0b10: {
+        if (prev_class < 0) {
+          return Status::Corruption("chimp: reuse flag without window");
+        }
+        x = br.ReadBitsUnchecked(64 - kLeadingClass[prev_class]);
+        break;
+      }
+      default: {  // 0b11
+        prev_class = static_cast<int>(br.ReadBitsUnchecked(3));
+        x = br.ReadBitsUnchecked(64 - kLeadingClass[prev_class]);
+        break;
+      }
+    }
+    prev ^= x;
+    out.push_back(FromBits(prev));
+  }
   while (out.size() < count) {
     ADAEDGE_ASSIGN_OR_RETURN(uint64_t flag, br.ReadBits(2));
     uint64_t x = 0;
@@ -110,7 +165,7 @@ Result<std::vector<double>> Chimp::Decompress(
         if (trailing < 0) return Status::Corruption("chimp: bad lengths");
         ADAEDGE_ASSIGN_OR_RETURN(uint64_t bits,
                                  br.ReadBits(static_cast<int>(significant)));
-        x = bits << trailing;
+        if (significant > 0) x = bits << trailing;
         prev_class = -1;
         break;
       }

@@ -42,6 +42,22 @@ std::string_view CodecIdName(CodecId id) {
   return "unknown";
 }
 
+size_t Codec::MaxCompressedSize(size_t value_count) const {
+  // Covers every codec in the registry: the worst known expansion is
+  // Deflate's all-literal case (~15 bits per input byte = ~15 bytes per
+  // value) plus its code-length tables. Codecs override with exact bounds.
+  return 64 + 16 * value_count;
+}
+
+Status Codec::CompressInto(std::span<const double> values,
+                           const CodecParams& params,
+                           std::vector<uint8_t>& out) const {
+  ADAEDGE_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
+                           Compress(values, params));
+  out = std::move(payload);
+  return Status::Ok();
+}
+
 bool Codec::SupportsRatio(double ratio, size_t value_count) const {
   (void)value_count;
   // Lossless codecs cannot promise a ratio up front; the selector verifies

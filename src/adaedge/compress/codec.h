@@ -87,6 +87,24 @@ class Codec {
   virtual Result<std::vector<uint8_t>> Compress(
       std::span<const double> values, const CodecParams& params) const = 0;
 
+  /// Upper bound on the payload Compress can produce for `value_count`
+  /// values (the worst case, before any compression wins). Scratch buffers
+  /// reserve this once so encode paths never reallocate mid-stream. The
+  /// default is a conservative generic bound; codecs with tight worst
+  /// cases override it (and tests assert the bound really holds).
+  virtual size_t MaxCompressedSize(size_t value_count) const;
+
+  /// Compresses into a caller-owned scratch buffer: `out` is cleared,
+  /// reserved to MaxCompressedSize(values.size()), and filled with the
+  /// payload. Callers that encode many segments (OnlineSelector,
+  /// OfflineNode, benches) reuse one scratch vector across calls so the
+  /// steady state performs no heap allocation. On error `out` is left in
+  /// an unspecified (but valid) state. The default delegates to Compress;
+  /// the bitstream codecs override it with in-place encoders.
+  virtual Status CompressInto(std::span<const double> values,
+                              const CodecParams& params,
+                              std::vector<uint8_t>& out) const;
+
   /// Restores a segment. Lossy codecs return the approximation at the
   /// original length.
   virtual Result<std::vector<double>> Decompress(

@@ -347,6 +347,19 @@ Result<int> Decoder::Decode(util::BitReader& reader) const {
 
 Result<std::vector<uint8_t>> Deflate::CompressBytes(
     std::span<const uint8_t> input, int level) {
+  std::vector<uint8_t> out;
+  ADAEDGE_RETURN_IF_ERROR(CompressBytesInto(input, level, out));
+  return out;
+}
+
+size_t Deflate::MaxCompressedBytesSize(size_t input_bytes) {
+  // Varint size (<= 10) + nibble-packed length tables (143 + 15 bytes) +
+  // at most kTableBits bits per all-literal input byte + the end symbol.
+  return 176 + (input_bytes * huffman::Decoder::kTableBits + 18) / 8;
+}
+
+Status Deflate::CompressBytesInto(std::span<const uint8_t> input, int level,
+                                  std::vector<uint8_t>& out) {
   MatcherConfig cfg = ConfigForLevel(level);
   std::vector<Token> tokens = Tokenize(input, cfg);
 
@@ -370,12 +383,14 @@ Result<std::vector<uint8_t>> Deflate::CompressBytes(
   std::vector<uint32_t> lit_codes = huffman::LengthsToCodes(lit_lengths);
   std::vector<uint32_t> dist_codes = huffman::LengthsToCodes(dist_lengths);
 
-  util::ByteWriter header;
+  out.clear();
+  out.reserve(MaxCompressedBytesSize(input.size()));
+  util::ByteWriter header(&out);
   header.PutVarint(input.size());
   WriteLengths(header, lit_lengths);
   WriteLengths(header, dist_lengths);
 
-  util::BitWriter bits;
+  util::BitWriter bits(&out);
   auto emit = [&](int sym, const std::vector<uint8_t>& lens,
                   const std::vector<uint32_t>& codes) {
     bits.WriteBits(codes[sym], lens[sym]);
@@ -394,10 +409,8 @@ Result<std::vector<uint8_t>> Deflate::CompressBytes(
   }
   emit(kEndSymbol, lit_lengths, lit_codes);
 
-  std::vector<uint8_t> out = header.Finish();
-  std::vector<uint8_t> body = bits.Finish();
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
+  bits.Flush();
+  return Status::Ok();
 }
 
 Result<std::vector<uint8_t>> Deflate::DecompressBytes(
@@ -451,6 +464,16 @@ Result<std::vector<uint8_t>> Deflate::DecompressBytes(
 Result<std::vector<uint8_t>> Deflate::Compress(
     std::span<const double> values, const CodecParams& params) const {
   return CompressBytes(DoublesToBytes(values), params.level);
+}
+
+size_t Deflate::MaxCompressedSize(size_t value_count) const {
+  return MaxCompressedBytesSize(value_count * sizeof(double));
+}
+
+Status Deflate::CompressInto(std::span<const double> values,
+                             const CodecParams& params,
+                             std::vector<uint8_t>& out) const {
+  return CompressBytesInto(DoublesToBytes(values), params.level, out);
 }
 
 Result<std::vector<double>> Deflate::Decompress(

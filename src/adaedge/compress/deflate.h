@@ -29,6 +29,9 @@ class Deflate final : public Codec {
 
   Result<std::vector<uint8_t>> Compress(
       std::span<const double> values, const CodecParams& params) const override;
+  Status CompressInto(std::span<const double> values, const CodecParams& params,
+                      std::vector<uint8_t>& out) const override;
+  size_t MaxCompressedSize(size_t value_count) const override;
   Result<std::vector<double>> Decompress(
       std::span<const uint8_t> payload) const override;
 
@@ -36,8 +39,14 @@ class Deflate final : public Codec {
   /// that want an entropy-coded back end).
   static Result<std::vector<uint8_t>> CompressBytes(
       std::span<const uint8_t> input, int level);
+  static Status CompressBytesInto(std::span<const uint8_t> input, int level,
+                                  std::vector<uint8_t>& out);
   static Result<std::vector<uint8_t>> DecompressBytes(
       std::span<const uint8_t> payload);
+
+  /// Worst case for CompressBytes: all-literal tokens at the kTableBits
+  /// cap plus the serialized code-length tables.
+  static size_t MaxCompressedBytesSize(size_t input_bytes);
 };
 
 namespace huffman {

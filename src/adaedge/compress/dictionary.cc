@@ -25,10 +25,24 @@ int BitsFor(size_t distinct) {
 
 Result<std::vector<uint8_t>> Dictionary::Compress(
     std::span<const double> values, const CodecParams& params) const {
+  std::vector<uint8_t> out;
+  ADAEDGE_RETURN_IF_ERROR(CompressInto(values, params, out));
+  return out;
+}
+
+size_t Dictionary::MaxCompressedSize(size_t value_count) const {
+  // Two varints (<= 10 each) + worst-case dictionary (cardinality cap is
+  // n/2 + 1 entries x 8 bytes) + width byte + ids at <= 32 bits each.
+  return 32 + 8 * (value_count / 2 + 1) + (value_count * 32 + 7) / 8;
+}
+
+Status Dictionary::CompressInto(std::span<const double> values,
+                                const CodecParams& params,
+                                std::vector<uint8_t>& out) const {
   (void)params;
   std::unordered_map<double, uint32_t> index;
   std::vector<double> dict;
-  std::vector<uint32_t> ids;
+  std::vector<uint64_t> ids;
   ids.reserve(values.size());
   // Cap cardinality so a pathological input fails fast instead of building
   // a dictionary larger than the data.
@@ -45,19 +59,19 @@ Result<std::vector<uint8_t>> Dictionary::Compress(
     ids.push_back(it->second);
   }
 
-  util::ByteWriter w;
+  out.clear();
+  out.reserve(MaxCompressedSize(values.size()));
+  util::ByteWriter w(&out);
   w.PutVarint(values.size());
   w.PutVarint(dict.size());
   for (double v : dict) w.PutF64(v);
   int bits = BitsFor(dict.size());
   w.PutU8(static_cast<uint8_t>(bits));
 
-  util::BitWriter bw;
-  for (uint32_t id : ids) bw.WriteBits(id, bits);
-  std::vector<uint8_t> out = w.Finish();
-  std::vector<uint8_t> packed = bw.Finish();
-  out.insert(out.end(), packed.begin(), packed.end());
-  return out;
+  util::BitWriter bw(&out);
+  bw.WritePackedBlock(ids, bits);
+  bw.Flush();
+  return Status::Ok();
 }
 
 Result<std::vector<double>> Dictionary::Decompress(
@@ -81,10 +95,17 @@ Result<std::vector<double>> Dictionary::Decompress(
   util::BitReader br(r.cursor(), r.remaining());
   std::vector<double> out;
   out.reserve(count);
-  for (uint64_t i = 0; i < count; ++i) {
-    ADAEDGE_ASSIGN_OR_RETURN(uint64_t id, br.ReadBits(bits));
-    if (id >= dict_size) return Status::Corruption("dictionary: bad id");
-    out.push_back(dict[id]);
+  uint64_t chunk[256];
+  for (uint64_t i = 0; i < count;) {
+    size_t len = std::min<uint64_t>(std::size(chunk), count - i);
+    ADAEDGE_RETURN_IF_ERROR(br.ReadPackedBlock(chunk, len, bits));
+    for (size_t j = 0; j < len; ++j) {
+      if (chunk[j] >= dict_size) {
+        return Status::Corruption("dictionary: bad id");
+      }
+      out.push_back(dict[chunk[j]]);
+    }
+    i += len;
   }
   return out;
 }

@@ -54,19 +54,31 @@ double Elf::EraseTail(double v, int precision) {
 
 Result<std::vector<uint8_t>> Elf::Compress(std::span<const double> values,
                                            const CodecParams& params) const {
+  std::vector<uint8_t> out;
+  ADAEDGE_RETURN_IF_ERROR(CompressInto(values, params, out));
+  return out;
+}
+
+size_t Elf::MaxCompressedSize(size_t value_count) const {
+  return 1 + Chimp().MaxCompressedSize(value_count);  // precision byte
+}
+
+Status Elf::CompressInto(std::span<const double> values,
+                         const CodecParams& params,
+                         std::vector<uint8_t>& out) const {
   const int precision = std::clamp(params.precision, 0, 12);
   std::vector<double> erased(values.size());
   for (size_t i = 0; i < values.size(); ++i) {
     erased[i] = EraseTail(values[i], precision);
   }
   Chimp xor_stage;
-  ADAEDGE_ASSIGN_OR_RETURN(std::vector<uint8_t> body,
-                           xor_stage.Compress(erased, params));
-  util::ByteWriter w;
-  w.PutU8(static_cast<uint8_t>(precision));
-  std::vector<uint8_t> out = w.Finish();
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
+  // Reserve for the final layout up front so prepending the precision byte
+  // cannot outgrow the capacity the CHIMP stage established.
+  out.clear();
+  out.reserve(MaxCompressedSize(values.size()));
+  ADAEDGE_RETURN_IF_ERROR(xor_stage.CompressInto(erased, params, out));
+  out.insert(out.begin(), static_cast<uint8_t>(precision));
+  return Status::Ok();
 }
 
 Result<std::vector<double>> Elf::Decompress(

@@ -26,13 +26,29 @@ double FromBits(uint64_t b) {
 
 Result<std::vector<uint8_t>> Gorilla::Compress(
     std::span<const double> values, const CodecParams& params) const {
-  (void)params;
-  util::ByteWriter header;
-  header.PutVarint(values.size());
-  std::vector<uint8_t> out = header.Finish();
-  if (values.empty()) return out;
+  std::vector<uint8_t> out;
+  ADAEDGE_RETURN_IF_ERROR(CompressInto(values, params, out));
+  return out;
+}
 
-  util::BitWriter bw;
+size_t Gorilla::MaxCompressedSize(size_t value_count) const {
+  // Varint count (<= 10) + first value (8) + worst-case record per delta:
+  // '11' flag + 5-bit leading + 6-bit length + 64 payload bits = 77 bits.
+  if (value_count == 0) return 10;
+  return 18 + (77 * (value_count - 1) + 7) / 8;
+}
+
+Status Gorilla::CompressInto(std::span<const double> values,
+                             const CodecParams& params,
+                             std::vector<uint8_t>& out) const {
+  (void)params;
+  out.clear();
+  out.reserve(MaxCompressedSize(values.size()));
+  util::ByteWriter header(&out);
+  header.PutVarint(values.size());
+  if (values.empty()) return Status::Ok();
+
+  util::BitWriter bw(&out);
   uint64_t prev = ToBits(values[0]);
   bw.WriteBits(prev, 64);
   int prev_leading = -1;   // leading zeros of the active window
@@ -69,9 +85,8 @@ Result<std::vector<uint8_t>> Gorilla::Compress(
       prev_meaningful = meaningful;
     }
   }
-  std::vector<uint8_t> body = bw.Finish();
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
+  bw.Flush();
+  return Status::Ok();
 }
 
 Result<std::vector<double>> Gorilla::Decompress(
@@ -88,6 +103,28 @@ Result<std::vector<double>> Gorilla::Decompress(
   out.push_back(FromBits(prev));
   int leading = 0;
   int meaningful = 0;
+  // Worst-case record: '11' + 5 + 6 + 64 payload bits. While at least that
+  // much input remains, one hoisted bounds check covers the whole record
+  // and the inner reads can use the unchecked fast path.
+  constexpr size_t kMaxRecordBits = 77;
+  while (out.size() < count && br.remaining_bits() >= kMaxRecordBits) {
+    if (br.ReadBitsUnchecked(1) == 0) {
+      out.push_back(FromBits(prev));
+      continue;
+    }
+    if (br.ReadBitsUnchecked(1) != 0) {
+      leading = static_cast<int>(br.ReadBitsUnchecked(5));
+      uint64_t mlen = br.ReadBitsUnchecked(6);
+      meaningful = mlen == 0 ? 64 : static_cast<int>(mlen);
+      if (leading + meaningful > 64) {
+        return Status::Corruption("gorilla: invalid window");
+      }
+    } else if (meaningful == 0) {
+      return Status::Corruption("gorilla: '10' flag before any window");
+    }
+    prev ^= br.ReadBitsUnchecked(meaningful) << (64 - leading - meaningful);
+    out.push_back(FromBits(prev));
+  }
   while (out.size() < count) {
     ADAEDGE_ASSIGN_OR_RETURN(bool nonzero, br.ReadBit());
     if (!nonzero) {

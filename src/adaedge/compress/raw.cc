@@ -12,6 +12,22 @@ Result<std::vector<uint8_t>> Raw::Compress(std::span<const double> values,
   return DoublesToBytes(values);
 }
 
+size_t Raw::MaxCompressedSize(size_t value_count) const {
+  return value_count * sizeof(double);
+}
+
+Status Raw::CompressInto(std::span<const double> values,
+                         const CodecParams& params,
+                         std::vector<uint8_t>& out) const {
+  (void)params;
+  out.clear();
+  out.resize(values.size() * sizeof(double));
+  if (!values.empty()) {
+    std::memcpy(out.data(), values.data(), out.size());
+  }
+  return Status::Ok();
+}
+
 Result<std::vector<double>> Raw::Decompress(
     std::span<const uint8_t> payload) const {
   return BytesToDoubles(payload);

@@ -8,8 +8,24 @@ namespace adaedge::compress {
 
 Result<std::vector<uint8_t>> Rle::Compress(std::span<const double> values,
                                            const CodecParams& params) const {
+  std::vector<uint8_t> out;
+  ADAEDGE_RETURN_IF_ERROR(CompressInto(values, params, out));
+  return out;
+}
+
+size_t Rle::MaxCompressedSize(size_t value_count) const {
+  // Varint count (<= 10) + worst case of all runs of length 1 (1-byte
+  // varint + 8-byte value each); longer runs only shrink the per-value cost.
+  return 16 + 9 * value_count;
+}
+
+Status Rle::CompressInto(std::span<const double> values,
+                         const CodecParams& params,
+                         std::vector<uint8_t>& out) const {
   (void)params;
-  util::ByteWriter w;
+  out.clear();
+  out.reserve(MaxCompressedSize(values.size()));
+  util::ByteWriter w(&out);
   w.PutVarint(values.size());
   size_t i = 0;
   while (i < values.size()) {
@@ -19,7 +35,7 @@ Result<std::vector<uint8_t>> Rle::Compress(std::span<const double> values,
     w.PutF64(values[i]);
     i = j;
   }
-  return w.Finish();
+  return Status::Ok();
 }
 
 Result<std::vector<double>> Rle::Decompress(

@@ -42,59 +42,87 @@ int BitWidth(uint64_t v) {
 
 Result<std::vector<uint8_t>> Sprintz::Compress(
     std::span<const double> values, const CodecParams& params) const {
+  std::vector<uint8_t> out;
+  ADAEDGE_RETURN_IF_ERROR(CompressInto(values, params, out));
+  return out;
+}
+
+size_t Sprintz::MaxCompressedSize(size_t value_count) const {
+  // Varint count (<= 10) + precision byte + first value (64 bits) + per
+  // 8-value block: 1-bit predictor flag + 7-bit width + 8 x 64-bit
+  // residuals.
+  if (value_count == 0) return 11;
+  size_t blocks = (value_count - 1 + kBlock - 1) / kBlock;
+  size_t body_bits = 64 + blocks * (8 + 64 * kBlock);
+  return 11 + (body_bits + 7) / 8;
+}
+
+Status Sprintz::CompressInto(std::span<const double> values,
+                             const CodecParams& params,
+                             std::vector<uint8_t>& out) const {
   const int precision = std::clamp(params.precision, 0, 12);
   const double scale = ScaleFor(precision);
+  out.clear();
+  out.reserve(MaxCompressedSize(values.size()));
 
-  std::vector<int64_t> q(values.size());
-  for (size_t i = 0; i < values.size(); ++i) {
-    double scaled = values[i] * scale;
-    if (!std::isfinite(scaled) || std::abs(scaled) >=
-                                      static_cast<double>(kMaxQuantized)) {
-      return Status::InvalidArgument(
-          "sprintz: value magnitude exceeds quantization range");
+  // Values are quantized block by block on the stack (no scratch vector).
+  auto quantize = [scale](double v, int64_t* q) -> bool {
+    double scaled = v * scale;
+    if (!std::isfinite(scaled) ||
+        std::abs(scaled) >= static_cast<double>(kMaxQuantized)) {
+      return false;
     }
-    q[i] = std::llround(scaled);
-  }
+    *q = std::llround(scaled);
+    return true;
+  };
 
-  util::ByteWriter header;
+  util::ByteWriter header(&out);
   header.PutVarint(values.size());
   header.PutU8(static_cast<uint8_t>(precision));
-  std::vector<uint8_t> out = header.Finish();
-  if (values.empty()) return out;
+  if (values.empty()) return Status::Ok();
 
-  util::BitWriter bw;
-  bw.WriteBits(static_cast<uint64_t>(q[0]), 64);
-  int64_t prev = q[0];
+  int64_t first;
+  if (!quantize(values[0], &first)) {
+    return Status::InvalidArgument(
+        "sprintz: value magnitude exceeds quantization range");
+  }
+  util::BitWriter bw(&out);
+  bw.WriteBits(static_cast<uint64_t>(first), 64);
+  int64_t prev = first;
   int64_t prev_delta = 0;
   size_t pos = 1;
-  while (pos < q.size()) {
-    size_t len = std::min<size_t>(kBlock, q.size() - pos);
+  while (pos < values.size()) {
+    size_t len = std::min<size_t>(kBlock, values.size() - pos);
     // Try both predictors; keep the one with the narrower residual block.
     uint64_t delta_res[kBlock], dd_res[kBlock];
     int64_t p = prev, pd = prev_delta;
     int w_delta = 0, w_dd = 0;
     for (size_t i = 0; i < len; ++i) {
-      int64_t d = q[pos + i] - p;
+      int64_t q;
+      if (!quantize(values[pos + i], &q)) {
+        return Status::InvalidArgument(
+            "sprintz: value magnitude exceeds quantization range");
+      }
+      int64_t d = q - p;
       delta_res[i] = ZigZag(d);
       dd_res[i] = ZigZag(d - pd);
       w_delta = std::max(w_delta, BitWidth(delta_res[i]));
       w_dd = std::max(w_dd, BitWidth(dd_res[i]));
       pd = d;
-      p = q[pos + i];
+      p = q;
     }
     bool use_dd = w_dd < w_delta;
     int width = use_dd ? w_dd : w_delta;
     const uint64_t* res = use_dd ? dd_res : delta_res;
     bw.WriteBit(use_dd);
     bw.WriteBits(static_cast<uint64_t>(width), 7);
-    for (size_t i = 0; i < len; ++i) bw.WriteBits(res[i], width);
+    bw.WritePackedBlock(std::span<const uint64_t>(res, len), width);
     prev = p;
     prev_delta = pd;
     pos += len;
   }
-  std::vector<uint8_t> body = bw.Finish();
-  out.insert(out.end(), body.begin(), body.end());
-  return out;
+  bw.Flush();
+  return Status::Ok();
 }
 
 Result<std::vector<double>> Sprintz::Decompress(
@@ -120,10 +148,11 @@ Result<std::vector<double>> Sprintz::Decompress(
     ADAEDGE_ASSIGN_OR_RETURN(bool use_dd, br.ReadBit());
     ADAEDGE_ASSIGN_OR_RETURN(uint64_t width, br.ReadBits(7));
     if (width > 64) return Status::Corruption("sprintz: bad width");
+    uint64_t z[kBlock];
+    ADAEDGE_RETURN_IF_ERROR(
+        br.ReadPackedBlock(z, len, static_cast<int>(width)));
     for (size_t i = 0; i < len; ++i) {
-      ADAEDGE_ASSIGN_OR_RETURN(uint64_t z,
-                               br.ReadBits(static_cast<int>(width)));
-      int64_t residual = UnZigZag(z);
+      int64_t residual = UnZigZag(z[i]);
       int64_t d = use_dd ? residual + prev_delta : residual;
       prev += d;
       prev_delta = d;

@@ -22,6 +22,9 @@ class Sprintz final : public Codec {
 
   Result<std::vector<uint8_t>> Compress(
       std::span<const double> values, const CodecParams& params) const override;
+  Status CompressInto(std::span<const double> values, const CodecParams& params,
+                      std::vector<uint8_t>& out) const override;
+  size_t MaxCompressedSize(size_t value_count) const override;
   Result<std::vector<double>> Decompress(
       std::span<const uint8_t> payload) const override;
 };

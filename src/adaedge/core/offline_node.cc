@@ -38,11 +38,14 @@ Status OfflineNode::Ingest(uint64_t id, double now,
   // Free space first if the threshold has tripped.
   ADAEDGE_RETURN_IF_ERROR(DrainRecoding(now));
 
-  // Lossless-compress the new segment; reward = size reduction.
+  // Lossless-compress the new segment into the node's reusable scratch
+  // (Ingest holds mu_, so one member buffer serves every segment and its
+  // capacity persists across them); reward = size reduction.
   int arm_idx = lossless_bandit_->SelectArm();
   const compress::CodecArm& arm = config_.lossless_arms[arm_idx];
   util::Stopwatch watch;
-  auto payload = arm.codec->Compress(values, arm.params);
+  Status compressed =
+      arm.codec->CompressInto(values, arm.params, compress_scratch_);
   double seconds = watch.ElapsedSeconds() * config_.cpu_scale;
   compress_busy_ += seconds;
 
@@ -51,14 +54,16 @@ Status OfflineNode::Ingest(uint64_t id, double now,
   meta.ingest_time = now;
   meta.value_count = static_cast<uint32_t>(values.size());
   Segment segment;
-  if (payload.ok()) {
-    double ratio =
-        compress::CompressionRatio(payload.value().size(), values.size());
+  if (compressed.ok()) {
+    double ratio = compress::CompressionRatio(compress_scratch_.size(),
+                                              values.size());
     lossless_bandit_->Update(arm_idx, std::clamp(1.0 - ratio, 0.0, 1.0));
     meta.state = SegmentState::kLossless;
     meta.codec = arm.codec->id();
     meta.params = arm.params;
-    segment = Segment::FromPayload(meta, std::move(payload).value());
+    segment = Segment::FromPayload(
+        meta, std::vector<uint8_t>(compress_scratch_.begin(),
+                                   compress_scratch_.end()));
   } else {
     // Codec refused (e.g. dictionary on high-cardinality data): penalize
     // and store raw; the recoder will deal with it.
@@ -74,14 +79,12 @@ Status OfflineNode::Ingest(uint64_t id, double now,
   // failure of Fig 14.
   ADAEDGE_RETURN_IF_ERROR(DrainRecoding(now));
   Segment retry;
-  if (payload.ok()) {
-    // `payload` was moved; rebuild from the codec (rare path).
-    auto payload2 = arm.codec->Compress(values, arm.params);
-    if (payload2.ok()) {
-      retry = Segment::FromPayload(meta, std::move(payload2).value());
-    } else {
-      retry = Segment::FromValues(id, now, values);
-    }
+  if (compressed.ok()) {
+    // The compressed image is still sitting in the scratch — no need to
+    // recompress for the retry.
+    retry = Segment::FromPayload(
+        meta, std::vector<uint8_t>(compress_scratch_.begin(),
+                                   compress_scratch_.end()));
   } else {
     retry = Segment::FromValues(id, now, values);
   }

@@ -103,6 +103,11 @@ class OfflineNode {
   mutable std::mutex mu_;
   std::unique_ptr<bandit::BanditPolicy> lossless_bandit_;
   std::unique_ptr<bandit::BandedBanditSet> lossy_bandits_;
+  /// Reusable CompressInto target for Ingest (guarded by mu_). Stored
+  /// payloads are exact-size copies; the capacity stays here across
+  /// segments, and the hard-capacity retry path re-reads it instead of
+  /// recompressing.
+  std::vector<uint8_t> compress_scratch_;
   double compress_busy_ = 0.0;
   double recode_busy_ = 0.0;
   /// Virtual time at which recoding first became necessary (metered mode).

@@ -23,6 +23,16 @@ Segment MakeSegment(uint64_t id, double now, std::span<const double> values,
   return Segment::FromPayload(meta, std::move(payload));
 }
 
+// Per-thread compression scratch. Process runs codec work with no lock
+// held, so each worker thread owns one buffer whose capacity persists
+// across segments (codecs reserve MaxCompressedSize up front, so steady
+// state is allocation-free). Stored payloads are exact-size copies; the
+// scratch never escapes.
+std::vector<uint8_t>& CompressScratch() {
+  static thread_local std::vector<uint8_t> scratch;
+  return scratch;
+}
+
 }  // namespace
 
 Status OnlineConfig::Validate() const {
@@ -145,11 +155,13 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
     target_ratio = config_.target_ratio;
   }
 
-  // Phase 2: codec work with no lock held.
+  // Phase 2: codec work with no lock held, into this thread's reusable
+  // scratch — a failed or target-missing attempt costs no allocation.
+  std::vector<uint8_t>& scratch = CompressScratch();
   util::Stopwatch watch;
-  auto payload = arm.codec->Compress(values, arm.params);
+  Status compressed = arm.codec->CompressInto(values, arm.params, scratch);
   double seconds = watch.ElapsedSeconds();
-  if (!payload.ok()) {
+  if (!compressed.ok()) {
     // E.g. dictionary refusing high-cardinality input: teach the bandit.
     std::lock_guard<std::mutex> lock(mu_);
     lossless_bandit_->CompletePull(arm_idx, 0.0);
@@ -162,8 +174,7 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
     NoteLosslessMissLocked();
     return std::optional<Outcome>();
   }
-  double ratio =
-      compress::CompressionRatio(payload.value().size(), values.size());
+  double ratio = compress::CompressionRatio(scratch.size(), values.size());
   // Paper SIV-C1: the lossless MAB minimizes compressed size only.
   double reward = std::clamp(1.0 - ratio, 0.0, 1.0);
   // Ship uncompressed when the codec inflated the segment but raw already
@@ -192,9 +203,12 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
     outcome.segment = Segment::FromValues(id, now, values);
     outcome.arm_name = "raw";
   } else {
-    outcome.segment = MakeSegment(id, now, values, arm,
-                                  std::move(payload).value(),
-                                  SegmentState::kLossless);
+    // Exact-size copy out of the scratch; its capacity stays with the
+    // thread for the next segment.
+    outcome.segment = MakeSegment(
+        id, now, values, arm,
+        std::vector<uint8_t>(scratch.begin(), scratch.end()),
+        SegmentState::kLossless);
     outcome.arm_name = arm.name;
   }
   outcome.used_lossy = false;
@@ -247,16 +261,18 @@ Result<OnlineSelector::Outcome> OnlineSelector::TryLossy(
   }
   arm.params.target_ratio = target_ratio;
 
-  // Phase 2: compress, reconstruct and evaluate with no lock held.
+  // Phase 2: compress, reconstruct and evaluate with no lock held, the
+  // compressed image going into this thread's reusable scratch.
+  std::vector<uint8_t>& scratch = CompressScratch();
   util::Stopwatch watch;
-  auto payload = arm.codec->Compress(values, arm.params);
+  Status compressed = arm.codec->CompressInto(values, arm.params, scratch);
   double seconds = watch.ElapsedSeconds();
-  if (!payload.ok()) {
+  if (!compressed.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     lossy_bandit_->CompletePull(arm_idx, 0.0);
-    return payload.status();
+    return compressed;
   }
-  auto reconstructed = arm.codec->Decompress(payload.value());
+  auto reconstructed = arm.codec->Decompress(scratch);
   if (!reconstructed.ok()) {
     std::lock_guard<std::mutex> lock(mu_);
     lossy_bandit_->CompletePull(arm_idx, 0.0);
@@ -274,9 +290,10 @@ Result<OnlineSelector::Outcome> OnlineSelector::TryLossy(
   }
 
   Outcome outcome;
-  outcome.segment = MakeSegment(id, now, values, arm,
-                                std::move(payload).value(),
-                                SegmentState::kLossy);
+  outcome.segment = MakeSegment(
+      id, now, values, arm,
+      std::vector<uint8_t>(scratch.begin(), scratch.end()),
+      SegmentState::kLossy);
   outcome.arm_name = arm.name;
   outcome.used_lossy = true;
   outcome.met_target =

@@ -1,68 +1,46 @@
 #include "adaedge/util/bit_io.h"
 
+#include <bit>
+
 namespace adaedge::util {
 
-void BitWriter::WriteBits(uint64_t bits, int count) {
-  if (count <= 0) return;
-  if (count < 64) bits &= (uint64_t{1} << count) - 1;
-  bit_count_ += count;
-  while (count > 0) {
-    int space = 8 - used_;
-    int take = count < space ? count : space;
-    uint8_t chunk =
-        static_cast<uint8_t>((bits >> (count - take)) & ((1u << take) - 1));
-    current_ = static_cast<uint8_t>(current_ | (chunk << (space - take)));
-    used_ += take;
-    count -= take;
-    if (used_ == 8) {
-      bytes_.push_back(current_);
-      current_ = 0;
-      used_ = 0;
-    }
+void BitWriter::WriteUnary(uint32_t value) {
+  // Emit the run in whole-word chunks instead of bit by bit; the final
+  // chunk carries the remaining ones plus the terminating zero.
+  while (value >= 64) {
+    WriteBits(~uint64_t{0}, 64);
+    value -= 64;
   }
+  uint64_t ones = value == 0 ? 0 : ((uint64_t{1} << value) - 1) << 1;
+  WriteBits(ones, static_cast<int>(value) + 1);
 }
 
-void BitWriter::WriteUnary(uint32_t value) {
-  for (uint32_t i = 0; i < value; ++i) WriteBit(true);
-  WriteBit(false);
+void BitWriter::WritePackedBlock(std::span<const uint64_t> values,
+                                 int width) {
+  if (width <= 0 || values.empty()) return;
+  if (width > 64) width = 64;
+  Reserve((values.size() * static_cast<size_t>(width)) / 8 + 16);
+  for (uint64_t v : values) WriteBits(v, width);
 }
 
 void BitWriter::Align() {
-  if (used_ > 0) {
-    bytes_.push_back(current_);
-    bit_count_ += 8 - used_;
-    current_ = 0;
-    used_ = 0;
+  int pad = (8 - (used_ & 7)) & 7;
+  if (pad > 0) WriteBits(0, pad);
+}
+
+void BitWriter::Flush() {
+  Align();
+  int whole_bytes = used_ >> 3;  // 0..7 after Align
+  for (int i = whole_bytes - 1; i >= 0; --i) {
+    bytes_->push_back(static_cast<uint8_t>(acc_ >> (8 * i)));
   }
+  acc_ = 0;
+  used_ = 0;
 }
 
 std::vector<uint8_t> BitWriter::Finish() {
-  Align();
-  return std::move(bytes_);
-}
-
-Result<uint64_t> BitReader::ReadBits(int count) {
-  if (count < 0 || count > 64) {
-    return Status::InvalidArgument("ReadBits count out of [0,64]");
-  }
-  if (pos_ + static_cast<size_t>(count) > size_ * 8) {
-    return Status::OutOfRange("bit stream exhausted");
-  }
-  uint64_t out = 0;
-  int remaining = count;
-  while (remaining > 0) {
-    size_t byte_idx = pos_ >> 3;
-    int bit_off = static_cast<int>(pos_ & 7);
-    int avail = 8 - bit_off;
-    int take = remaining < avail ? remaining : avail;
-    uint8_t byte = data_[byte_idx];
-    uint8_t chunk = static_cast<uint8_t>(
-        (byte >> (avail - take)) & ((1u << take) - 1));
-    out = (out << take) | chunk;
-    pos_ += take;
-    remaining -= take;
-  }
-  return out;
+  Flush();
+  return std::move(*bytes_);
 }
 
 Result<bool> BitReader::ReadBit() {
@@ -71,45 +49,60 @@ Result<bool> BitReader::ReadBit() {
 }
 
 Result<uint32_t> BitReader::ReadUnary(uint32_t limit) {
+  // Scan the run 32 bits at a time with countl_one instead of bit by bit.
   uint32_t count = 0;
-  while (true) {
-    ADAEDGE_ASSIGN_OR_RETURN(bool bit, ReadBit());
-    if (!bit) return count;
-    if (++count > limit) {
-      return Status::Corruption("unary code exceeds limit");
+  for (;;) {
+    size_t rem = remaining_bits();
+    if (overrun_ || rem == 0) {
+      overrun_ = true;
+      return Status::OutOfRange("bit stream exhausted");
     }
+    int chunk = rem < 32 ? static_cast<int>(rem) : 32;
+    uint32_t bits = PeekBits(chunk);
+    // Left-align the chunk so countl_one sees only real stream bits.
+    uint32_t aligned = chunk == 32 ? bits : bits << (32 - chunk);
+    int ones = std::countl_one(aligned);
+    if (ones >= chunk) {
+      // The whole chunk is ones: consume it and keep scanning.
+      count += static_cast<uint32_t>(chunk);
+      if (count > limit) return Status::Corruption("unary code exceeds limit");
+      Consume(static_cast<size_t>(chunk));
+      continue;
+    }
+    count += static_cast<uint32_t>(ones);
+    if (count > limit) return Status::Corruption("unary code exceeds limit");
+    Consume(static_cast<size_t>(ones) + 1);  // the run plus its zero bit
+    return count;
   }
+}
+
+Status BitReader::ReadPackedBlock(uint64_t* out, size_t count, int width) {
+  if (width < 0 || width > 64) {
+    return Status::InvalidArgument("ReadPackedBlock width out of [0,64]");
+  }
+  if (overrun_) return Status::OutOfRange("bit stream exhausted");
+  if (width == 0) {
+    for (size_t i = 0; i < count; ++i) out[i] = 0;
+    return Status::Ok();
+  }
+  if (count * static_cast<uint64_t>(width) > remaining_bits()) {
+    overrun_ = true;
+    return Status::OutOfRange("bit stream exhausted");
+  }
+  for (size_t i = 0; i < count; ++i) out[i] = ReadBitsUnchecked(width);
+  return Status::Ok();
 }
 
 void BitReader::Align() { pos_ = (pos_ + 7) & ~size_t{7}; }
 
 uint32_t BitReader::PeekBits(int count) const {
-  uint32_t out = 0;
-  size_t pos = pos_;
-  int remaining = count;
-  size_t total_bits = size_ * 8;
-  while (remaining > 0) {
-    if (pos >= total_bits) {
-      out <<= remaining;  // zero-pad past the end
-      break;
-    }
-    size_t byte_idx = pos >> 3;
-    int bit_off = static_cast<int>(pos & 7);
-    int avail = 8 - bit_off;
-    int take = remaining < avail ? remaining : avail;
-    uint8_t chunk = static_cast<uint8_t>(
-        (data_[byte_idx] >> (avail - take)) & ((1u << take) - 1));
-    out = (out << take) | chunk;
-    pos += take;
-    remaining -= take;
-  }
-  return out;
-}
-
-void BitReader::Consume(size_t count) {
-  pos_ += count;
-  size_t total = size_ * 8;
-  if (pos_ > total) pos_ = total;
+  if (count <= 0) return 0;
+  size_t avail = remaining_bits();
+  int take = avail < static_cast<size_t>(count) ? static_cast<int>(avail)
+                                                : count;
+  if (take == 0) return 0;
+  uint64_t out = ExtractBits(pos_, take);
+  return static_cast<uint32_t>(out << (count - take));  // zero-pad past end
 }
 
 }  // namespace adaedge::util

@@ -1,24 +1,91 @@
 #ifndef ADAEDGE_UTIL_BIT_IO_H_
 #define ADAEDGE_UTIL_BIT_IO_H_
 
+#include <bit>
 #include <cstdint>
 #include <cstring>
+#include <span>
 #include <vector>
 
 #include "adaedge/util/status.h"
 
 namespace adaedge::util {
 
+namespace bit_io_internal {
+
+inline uint64_t ByteSwap64(uint64_t v) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_bswap64(v);
+#else
+  v = ((v & 0x00ff00ff00ff00ffULL) << 8) | ((v >> 8) & 0x00ff00ff00ff00ffULL);
+  v = ((v & 0x0000ffff0000ffffULL) << 16) |
+      ((v >> 16) & 0x0000ffff0000ffffULL);
+  return (v << 32) | (v >> 32);
+#endif
+}
+
+/// Loads 8 bytes as a big-endian (MSB-first) 64-bit word.
+inline uint64_t LoadBigEndian64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, sizeof(v));
+  if constexpr (std::endian::native == std::endian::little) {
+    v = ByteSwap64(v);
+  }
+  return v;
+}
+
+}  // namespace bit_io_internal
+
 /// MSB-first bit stream writer used by the bit-level codecs
-/// (Gorilla, Chimp, Sprintz, Huffman). Bits are packed into bytes most
-/// significant bit first; `Finish()` pads the final byte with zeros.
+/// (Gorilla, Chimp, Sprintz, BUFF-lossy, Dictionary, Deflate's Huffman
+/// stage). Bits are packed into bytes most significant bit first;
+/// `Finish()`/`Flush()` pad the final byte with zeros.
+///
+/// Bits are buffered in a 64-bit accumulator word and flushed to the byte
+/// buffer eight bytes at a time, so the per-call cost of WriteBits is a
+/// couple of shifts; the byte buffer is touched once per 64 bits.
+///
+/// Invariants: `acc_` holds the `used_` (< 64) most recently written bits
+/// in its low bits (earliest bit most significant); when `used_ == 0`,
+/// `acc_ == 0`. `bit_count_` counts every bit written including Align
+/// padding.
+///
+/// The writer appends either to its own buffer (default constructor;
+/// retrieve with Finish()) or to a caller-owned vector (pointer
+/// constructor; call Flush() and read the vector directly — Finish()
+/// would move the caller's buffer away). In external mode the caller must
+/// not touch the vector between the first WriteBits and Flush().
 class BitWriter {
  public:
-  BitWriter() = default;
+  BitWriter() : bytes_(&own_) {}
+
+  /// Appends to `*out` (after its current contents) instead of the
+  /// internal buffer. `*out` must outlive the writer.
+  explicit BitWriter(std::vector<uint8_t>* out) : bytes_(out) {}
+
+  /// Reserves room for `payload_bytes` more bytes of output.
+  void Reserve(size_t payload_bytes) {
+    bytes_->reserve(bytes_->size() + payload_bytes);
+  }
 
   /// Appends the low `count` bits of `bits` (0 <= count <= 64),
   /// most significant of those bits first.
-  void WriteBits(uint64_t bits, int count);
+  void WriteBits(uint64_t bits, int count) {
+    if (count <= 0) return;
+    if (count < 64) bits &= (uint64_t{1} << count) - 1;
+    bit_count_ += static_cast<size_t>(count);
+    int space = 64 - used_;
+    if (count < space) {
+      acc_ = (acc_ << count) | bits;
+      used_ += count;
+      return;
+    }
+    int rest = count - space;  // bits that do not fit the accumulator
+    uint64_t top = rest == 0 ? bits : bits >> rest;
+    FlushWord(used_ == 0 ? top : (acc_ << space) | top);
+    used_ = rest;
+    acc_ = rest == 0 ? 0 : bits & ((uint64_t{1} << rest) - 1);
+  }
 
   /// Appends a single bit (0 or 1).
   void WriteBit(bool bit) { WriteBits(bit ? 1 : 0, 1); }
@@ -26,27 +93,52 @@ class BitWriter {
   /// Appends unary code: `value` one-bits followed by a zero bit.
   void WriteUnary(uint32_t value);
 
+  /// Bulk kernel: appends each value's low `width` bits (0 <= width <=
+  /// 64), MSB-first — byte-identical to calling WriteBits(v, width) per
+  /// value.
+  void WritePackedBlock(std::span<const uint64_t> values, int width);
+
   /// Byte-aligns the stream (pads the current byte with zero bits).
   void Align();
 
-  /// Number of bits written so far.
+  /// Byte-aligns and drains the accumulator into the byte buffer. After
+  /// Flush the external buffer (or bytes()) holds the complete stream.
+  void Flush();
+
+  /// Number of bits written so far (including alignment padding).
   size_t bit_count() const { return bit_count_; }
 
-  /// Pads to a byte boundary and returns the backing buffer.
+  /// Pads to a byte boundary and returns the backing buffer. In external
+  /// mode this moves out of the caller's vector — prefer Flush() there.
   std::vector<uint8_t> Finish();
 
-  /// Read-only view of bytes written so far (excluding a partial byte).
-  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  /// Read-only view of the bytes drained so far (complete only after
+  /// Flush/Finish: up to 7 aligned bytes may still sit in the
+  /// accumulator).
+  const std::vector<uint8_t>& bytes() const { return *bytes_; }
 
  private:
-  std::vector<uint8_t> bytes_;
-  uint8_t current_ = 0;  // partial byte being filled
-  int used_ = 0;         // bits used in current_
+  void FlushWord(uint64_t word) {
+    size_t n = bytes_->size();
+    bytes_->resize(n + 8);
+    uint64_t be = word;
+    if constexpr (std::endian::native == std::endian::little) {
+      be = bit_io_internal::ByteSwap64(word);
+    }
+    std::memcpy(bytes_->data() + n, &be, 8);
+  }
+
+  std::vector<uint8_t> own_;
+  std::vector<uint8_t>* bytes_;
+  uint64_t acc_ = 0;     // low `used_` bits are valid
+  int used_ = 0;         // bits buffered in acc_ (0..63)
   size_t bit_count_ = 0;
 };
 
 /// MSB-first bit stream reader; the counterpart of BitWriter.
-/// Reads never run past the end: out-of-range reads return an error.
+/// Checked reads never run past the end: out-of-range reads return an
+/// error and latch the overrun flag. Hot loops that pre-validate the
+/// stream length (remaining_bits()) can use the unchecked fast path.
 class BitReader {
  public:
   BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
@@ -54,7 +146,30 @@ class BitReader {
       : BitReader(data.data(), data.size()) {}
 
   /// Reads `count` bits (0 <= count <= 64) into the low bits of the result.
-  Result<uint64_t> ReadBits(int count);
+  Result<uint64_t> ReadBits(int count) {
+    if (count < 0 || count > 64) {
+      return Status::InvalidArgument("ReadBits count out of [0,64]");
+    }
+    if (overrun_ || static_cast<size_t>(count) > size_ * 8 - pos_) {
+      overrun_ = true;
+      return Status::OutOfRange("bit stream exhausted");
+    }
+    if (count == 0) return uint64_t{0};
+    uint64_t out = ExtractBits(pos_, count);
+    pos_ += static_cast<size_t>(count);
+    return out;
+  }
+
+  /// Unchecked fast path: the caller must guarantee 0 <= count <= 64 and
+  /// count <= remaining_bits() (e.g. one bounds check hoisted out of a
+  /// fixed-width loop). Under that contract no out-of-bounds memory is
+  /// ever touched; violating it is undefined behavior.
+  uint64_t ReadBitsUnchecked(int count) {
+    if (count <= 0) return 0;
+    uint64_t out = ExtractBits(pos_, count);
+    pos_ += static_cast<size_t>(count);
+    return out;
+  }
 
   /// Reads a single bit.
   Result<bool> ReadBit();
@@ -62,6 +177,11 @@ class BitReader {
   /// Reads a unary code written by BitWriter::WriteUnary. `limit` bounds the
   /// number of one-bits accepted (guards against corrupt streams).
   Result<uint32_t> ReadUnary(uint32_t limit = 1u << 20);
+
+  /// Bulk kernel: reads `count` fields of `width` bits (0 <= width <= 64)
+  /// into `out` after a single bounds check — byte-identical to calling
+  /// ReadBits(width) per field.
+  Status ReadPackedBlock(uint64_t* out, size_t count, int width);
 
   /// Skips to the next byte boundary.
   void Align();
@@ -71,17 +191,69 @@ class BitReader {
   /// Consume for table-driven decoders.
   uint32_t PeekBits(int count) const;
 
-  /// Advances by `count` bits (clamped to the stream end).
-  void Consume(size_t count);
+  /// Advances by `count` bits. Saturates at the stream end and latches
+  /// the overrun flag, after which every checked read reports OutOfRange
+  /// (a clamped-over-the-end seek means the stream is corrupt).
+  void Consume(size_t count) {
+    size_t total = size_ * 8;
+    if (count > total - pos_) {
+      pos_ = total;
+      overrun_ = true;
+    } else {
+      pos_ += count;
+    }
+  }
+
+  /// True once any operation tried to move past the end of the stream.
+  bool overrun() const { return overrun_; }
 
   /// Bits remaining in the stream.
   size_t remaining_bits() const { return size_ * 8 - pos_; }
   size_t bit_pos() const { return pos_; }
 
  private:
+  /// Extracts `count` (1..64) bits at absolute bit `pos`; requires
+  /// pos + count <= size_ * 8. Word-at-a-time whenever 8 bytes are in
+  /// range, byte-at-a-time on the stream tail.
+  uint64_t ExtractBits(size_t pos, int count) const {
+    size_t byte_idx = pos >> 3;
+    int bit_off = static_cast<int>(pos & 7);
+    if (byte_idx + 8 <= size_) {
+      uint64_t w = bit_io_internal::LoadBigEndian64(data_ + byte_idx);
+      int avail = 64 - bit_off;
+      if (count <= avail) {
+        uint64_t shifted = w << bit_off;
+        return count == 64 ? shifted : shifted >> (64 - count);
+      }
+      // count > avail implies bit_off > 0, so 1 <= rest <= 7 and the
+      // bounds precondition guarantees one more byte exists.
+      int rest = count - avail;
+      uint64_t high = w & (~uint64_t{0} >> bit_off);
+      uint64_t next = data_[byte_idx + 8];
+      return (high << rest) | (next >> (8 - rest));
+    }
+    uint64_t out = 0;
+    int remaining = count;
+    while (remaining > 0) {
+      int avail = 8 - bit_off;
+      int take = remaining < avail ? remaining : avail;
+      uint8_t chunk = static_cast<uint8_t>(
+          (data_[byte_idx] >> (avail - take)) & ((1u << take) - 1));
+      out = (out << take) | chunk;
+      remaining -= take;
+      bit_off += take;
+      if (bit_off == 8) {
+        bit_off = 0;
+        ++byte_idx;
+      }
+    }
+    return out;
+  }
+
   const uint8_t* data_;
   size_t size_;
   size_t pos_ = 0;  // absolute bit position
+  bool overrun_ = false;
 };
 
 }  // namespace adaedge::util

@@ -4,10 +4,10 @@ namespace adaedge::util {
 
 void ByteWriter::PutVarint(uint64_t v) {
   while (v >= 0x80) {
-    bytes_.push_back(static_cast<uint8_t>(v) | 0x80);
+    bytes_->push_back(static_cast<uint8_t>(v) | 0x80);
     v >>= 7;
   }
-  bytes_.push_back(static_cast<uint8_t>(v));
+  bytes_->push_back(static_cast<uint8_t>(v));
 }
 
 void ByteWriter::PutSignedVarint(int64_t v) {
@@ -18,11 +18,11 @@ void ByteWriter::PutSignedVarint(int64_t v) {
 
 void ByteWriter::PutString(const std::string& s) {
   PutVarint(s.size());
-  bytes_.insert(bytes_.end(), s.begin(), s.end());
+  bytes_->insert(bytes_->end(), s.begin(), s.end());
 }
 
 void ByteWriter::PutBytes(const uint8_t* data, size_t size) {
-  bytes_.insert(bytes_.end(), data, data + size);
+  bytes_->insert(bytes_->end(), data, data + size);
 }
 
 Result<uint64_t> ByteReader::GetLittleEndian(int n) {

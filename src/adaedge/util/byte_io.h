@@ -13,11 +13,20 @@ namespace adaedge::util {
 /// Little-endian byte-stream writer used by codec headers and model
 /// serialization. All multi-byte integers are little-endian; varints are
 /// LEB128.
+///
+/// Appends either to its own buffer (default constructor; retrieve with
+/// Finish()) or to a caller-owned vector (pointer constructor) so codecs
+/// can assemble header + body in one reusable scratch buffer without a
+/// trailing concatenation.
 class ByteWriter {
  public:
-  ByteWriter() = default;
+  ByteWriter() : bytes_(&own_) {}
 
-  void PutU8(uint8_t v) { bytes_.push_back(v); }
+  /// Appends to `*out` (after its current contents) instead of the
+  /// internal buffer. `*out` must outlive the writer.
+  explicit ByteWriter(std::vector<uint8_t>* out) : bytes_(out) {}
+
+  void PutU8(uint8_t v) { bytes_->push_back(v); }
   void PutU16(uint16_t v) { PutLittleEndian(v, 2); }
   void PutU32(uint32_t v) { PutLittleEndian(v, 4); }
   void PutU64(uint64_t v) { PutLittleEndian(v, 8); }
@@ -48,16 +57,20 @@ class ByteWriter {
     PutBytes(data.data(), data.size());
   }
 
-  size_t size() const { return bytes_.size(); }
-  std::vector<uint8_t> Finish() { return std::move(bytes_); }
-  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  size_t size() const { return bytes_->size(); }
+  /// Returns the backing buffer. In external mode this moves out of the
+  /// caller's vector — external-mode callers normally just read their own
+  /// vector instead.
+  std::vector<uint8_t> Finish() { return std::move(*bytes_); }
+  const std::vector<uint8_t>& bytes() const { return *bytes_; }
 
  private:
   void PutLittleEndian(uint64_t v, int n) {
-    for (int i = 0; i < n; ++i) bytes_.push_back(uint8_t(v >> (8 * i)));
+    for (int i = 0; i < n; ++i) bytes_->push_back(uint8_t(v >> (8 * i)));
   }
 
-  std::vector<uint8_t> bytes_;
+  std::vector<uint8_t> own_;
+  std::vector<uint8_t>* bytes_;
 };
 
 /// Little-endian byte-stream reader; the counterpart of ByteWriter.

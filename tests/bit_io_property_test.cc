@@ -1,0 +1,358 @@
+// Seeded property tests for the word-buffered bit I/O layer.
+//
+// The reference model is a naive bit-at-a-time MSB-first packer: whatever
+// the 64-bit-accumulator BitWriter and the word-at-a-time BitReader do
+// internally, the bytes on the wire and the values read back must match
+// it exactly, for every width 0..64 and every alignment.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/util/bit_io.h"
+#include "adaedge/util/rng.h"
+
+namespace adaedge::util {
+namespace {
+
+uint64_t MaskLow(int count) {
+  return count >= 64 ? ~uint64_t{0} : (uint64_t{1} << count) - 1;
+}
+
+// Naive MSB-first packer: one bit at a time into a byte vector. Slow and
+// obviously correct.
+class ReferencePacker {
+ public:
+  void Write(uint64_t bits, int count) {
+    if (count <= 0) return;
+    bits &= MaskLow(count);
+    for (int i = count - 1; i >= 0; --i) PushBit((bits >> i) & 1);
+  }
+
+  void Align() {
+    while (nbits_ % 8 != 0) PushBit(0);
+  }
+
+  std::vector<uint8_t> Finish() {
+    Align();
+    return bytes_;
+  }
+
+ private:
+  void PushBit(uint64_t b) {
+    if (nbits_ % 8 == 0) bytes_.push_back(0);
+    if (b) bytes_.back() |= static_cast<uint8_t>(1u << (7 - nbits_ % 8));
+    ++nbits_;
+  }
+
+  std::vector<uint8_t> bytes_;
+  size_t nbits_ = 0;
+};
+
+struct Field {
+  uint64_t value;
+  int width;
+};
+
+// Random width-0..64 fields, deliberately hitting the accumulator edges
+// (width 64 fields, and runs of 1-bit writes that straddle word flushes).
+std::vector<Field> RandomFields(Rng& rng, size_t n) {
+  std::vector<Field> fields(n);
+  for (auto& f : fields) {
+    switch (rng.NextBelow(4)) {
+      case 0:
+        f.width = static_cast<int>(rng.NextBelow(65));  // 0..64 uniform
+        break;
+      case 1:
+        f.width = 64;  // exact word
+        break;
+      case 2:
+        f.width = 1;  // worst case per-bit overhead
+        break;
+      default:
+        f.width = static_cast<int>(1 + rng.NextBelow(8));  // small fields
+        break;
+    }
+    f.value = rng.NextU64();
+  }
+  return fields;
+}
+
+// The writer must be byte-identical to the reference packer, and the
+// reader must give back every field (masked to its width), for many
+// random sequences of widths 0..64.
+TEST(BitIoPropertyTest, RandomSweepMatchesReferencePacker) {
+  Rng rng(0xb17c0de5);
+  for (int round = 0; round < 50; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    std::vector<Field> fields = RandomFields(rng, 1 + rng.NextBelow(400));
+
+    BitWriter writer;
+    ReferencePacker reference;
+    for (const Field& f : fields) {
+      writer.WriteBits(f.value, f.width);
+      reference.Write(f.value, f.width);
+    }
+    std::vector<uint8_t> got = writer.Finish();
+    ASSERT_EQ(got, reference.Finish());
+
+    BitReader reader(got);
+    for (size_t i = 0; i < fields.size(); ++i) {
+      auto r = reader.ReadBits(fields[i].width);
+      ASSERT_TRUE(r.ok()) << "field " << i << ": " << r.status().ToString();
+      ASSERT_EQ(r.value(), fields[i].value & MaskLow(fields[i].width))
+          << "field " << i << " width " << fields[i].width;
+    }
+    EXPECT_FALSE(reader.overrun());
+    EXPECT_LT(reader.remaining_bits(), 8u);  // only the padding remains
+  }
+}
+
+// Interleaved Align calls must pad with zero bits on both sides.
+TEST(BitIoPropertyTest, AlignInterleavingMatchesReference) {
+  Rng rng(0xa119d);
+  for (int round = 0; round < 20; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    std::vector<Field> fields = RandomFields(rng, 64);
+
+    BitWriter writer;
+    ReferencePacker reference;
+    std::vector<bool> aligned(fields.size());
+    for (size_t i = 0; i < fields.size(); ++i) {
+      writer.WriteBits(fields[i].value, fields[i].width);
+      reference.Write(fields[i].value, fields[i].width);
+      aligned[i] = rng.NextBool(0.25);
+      if (aligned[i]) {
+        writer.Align();
+        reference.Align();
+      }
+    }
+    std::vector<uint8_t> got = writer.Finish();
+    ASSERT_EQ(got, reference.Finish());
+
+    BitReader reader(got);
+    for (size_t i = 0; i < fields.size(); ++i) {
+      auto r = reader.ReadBits(fields[i].width);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      ASSERT_EQ(r.value(), fields[i].value & MaskLow(fields[i].width));
+      if (aligned[i]) reader.Align();
+    }
+    EXPECT_FALSE(reader.overrun());
+  }
+}
+
+// PeekBits must return the same bits the next ReadBits consumes, must not
+// advance the position, and must zero-pad past the end of the stream.
+TEST(BitIoPropertyTest, PeekMatchesSubsequentRead) {
+  Rng rng(0x9eeb);
+  std::vector<Field> fields = RandomFields(rng, 300);
+  BitWriter writer;
+  for (const Field& f : fields) writer.WriteBits(f.value, f.width);
+  std::vector<uint8_t> bytes = writer.Finish();
+
+  BitReader reader(bytes);
+  while (reader.remaining_bits() > 0) {
+    int count = static_cast<int>(1 + rng.NextBelow(32));
+    size_t before = reader.bit_pos();
+    uint32_t peeked = reader.PeekBits(count);
+    ASSERT_EQ(reader.bit_pos(), before);  // peek must not consume
+
+    size_t avail = reader.remaining_bits();
+    if (static_cast<size_t>(count) <= avail) {
+      auto read = reader.ReadBits(count);
+      ASSERT_TRUE(read.ok());
+      ASSERT_EQ(peeked, static_cast<uint32_t>(read.value()));
+    } else {
+      // Tail: in-range bits left-aligned against count, zeros below.
+      auto read = reader.ReadBits(static_cast<int>(avail));
+      ASSERT_TRUE(read.ok());
+      ASSERT_EQ(peeked, static_cast<uint32_t>(read.value())
+                            << (count - static_cast<int>(avail)));
+      break;
+    }
+  }
+}
+
+// The packed-block kernels must be byte-identical to per-value calls.
+TEST(BitIoPropertyTest, PackedBlockKernelsMatchPerValueCalls) {
+  Rng rng(0x910c);
+  for (int width = 0; width <= 64; ++width) {
+    SCOPED_TRACE("width " + std::to_string(width));
+    size_t count = 1 + rng.NextBelow(300);
+    std::vector<uint64_t> values(count);
+    for (auto& v : values) v = rng.NextU64();
+
+    // Start both streams unaligned to exercise the straddle paths.
+    BitWriter bulk;
+    bulk.WriteBits(0x5, 3);
+    bulk.WritePackedBlock(values, width);
+    BitWriter scalar;
+    scalar.WriteBits(0x5, 3);
+    for (uint64_t v : values) scalar.WriteBits(v, width);
+    std::vector<uint8_t> bytes = bulk.Finish();
+    ASSERT_EQ(bytes, scalar.Finish());
+
+    BitReader reader(bytes);
+    ASSERT_TRUE(reader.ReadBits(3).ok());
+    std::vector<uint64_t> decoded(count);
+    Status read = reader.ReadPackedBlock(decoded.data(), count, width);
+    ASSERT_TRUE(read.ok()) << read.ToString();
+    for (size_t i = 0; i < count; ++i) {
+      ASSERT_EQ(decoded[i], values[i] & MaskLow(width)) << "index " << i;
+    }
+  }
+}
+
+TEST(BitIoPropertyTest, ReadPackedBlockRejectsShortStreams) {
+  BitWriter writer;
+  writer.WriteBits(0, 17);  // 17 bits: one 16-bit field fits, two do not
+  std::vector<uint8_t> bytes = writer.Finish();
+  BitReader reader(bytes.data(), 2);  // view only the first 2 bytes
+  uint64_t out[2];
+  Status read = reader.ReadPackedBlock(out, 2, 16);
+  EXPECT_FALSE(read.ok());
+  EXPECT_TRUE(reader.overrun());
+}
+
+// WriteUnary emits value one-bits then a zero, in WriteBits-sized chunks;
+// the bytes must match the bit-by-bit reference even past 64-bit runs.
+TEST(BitIoPropertyTest, UnaryMatchesReferenceAndRoundTrips) {
+  const uint32_t kValues[] = {0, 1, 7, 63, 64, 65, 127, 128, 200};
+  BitWriter writer;
+  ReferencePacker reference;
+  for (uint32_t v : kValues) {
+    writer.WriteUnary(v);
+    for (uint32_t i = 0; i < v; ++i) reference.Write(1, 1);
+    reference.Write(0, 1);
+  }
+  std::vector<uint8_t> bytes = writer.Finish();
+  ASSERT_EQ(bytes, reference.Finish());
+
+  BitReader reader(bytes);
+  for (uint32_t v : kValues) {
+    auto r = reader.ReadUnary();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r.value(), v);
+  }
+}
+
+TEST(BitIoPropertyTest, ReadUnaryEnforcesLimit) {
+  BitWriter writer;
+  writer.WriteUnary(200);
+  std::vector<uint8_t> bytes = writer.Finish();
+  BitReader reader(bytes);
+  auto r = reader.ReadUnary(/*limit=*/100);
+  EXPECT_FALSE(r.ok());
+}
+
+// A stream of all ones never terminates: ReadUnary must report the
+// overrun instead of running past the end.
+TEST(BitIoPropertyTest, ReadUnaryStopsAtStreamEnd) {
+  std::vector<uint8_t> ones(4, 0xff);
+  BitReader reader(ones);
+  auto r = reader.ReadUnary();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(reader.overrun());
+}
+
+// ReadBitsUnchecked must agree with ReadBits whenever its precondition
+// (count <= remaining_bits) holds, from every bit offset.
+TEST(BitIoPropertyTest, UncheckedReadMatchesChecked) {
+  Rng rng(0x0c4ec4ed);
+  std::vector<Field> fields = RandomFields(rng, 200);
+  BitWriter writer;
+  for (const Field& f : fields) writer.WriteBits(f.value, f.width);
+  std::vector<uint8_t> bytes = writer.Finish();
+
+  BitReader checked(bytes);
+  BitReader unchecked(bytes);
+  while (checked.remaining_bits() > 0) {
+    int count = static_cast<int>(
+        1 + rng.NextBelow(std::min<uint64_t>(64, checked.remaining_bits())));
+    auto a = checked.ReadBits(count);
+    ASSERT_TRUE(a.ok());
+    ASSERT_EQ(a.value(), unchecked.ReadBitsUnchecked(count));
+    ASSERT_EQ(checked.bit_pos(), unchecked.bit_pos());
+  }
+}
+
+// Short buffers force the reader's byte-wise tail path: every (offset,
+// count) pair inside an 1..10-byte stream must match the reference.
+TEST(BitIoPropertyTest, TailPathMatchesReferenceAtEveryOffset) {
+  Rng rng(0x7a11);
+  for (size_t size = 1; size <= 10; ++size) {
+    std::vector<uint8_t> bytes(size);
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.NextU64());
+    for (size_t pos = 0; pos < size * 8; ++pos) {
+      for (size_t count = 1; count <= size * 8 - pos && count <= 64;
+           ++count) {
+        // Reference: collect bits one at a time.
+        uint64_t want = 0;
+        for (size_t i = 0; i < count; ++i) {
+          size_t p = pos + i;
+          want = (want << 1) | ((bytes[p >> 3] >> (7 - (p & 7))) & 1);
+        }
+        BitReader reader(bytes);
+        reader.Consume(pos);
+        auto got = reader.ReadBits(static_cast<int>(count));
+        ASSERT_TRUE(got.ok());
+        ASSERT_EQ(got.value(), want)
+            << "size " << size << " pos " << pos << " count " << count;
+      }
+    }
+  }
+}
+
+// Regression for the Consume clamping bug: seeking past the end used to
+// silently clamp, making the next reads return in-bounds garbage. Now the
+// overrun latches and every checked read reports OutOfRange.
+TEST(BitIoPropertyTest, ConsumePastEndLatchesOverrun) {
+  std::vector<uint8_t> bytes = {0xab, 0xcd};
+  BitReader reader(bytes);
+  ASSERT_FALSE(reader.overrun());
+  reader.Consume(100);  // only 16 bits exist
+  EXPECT_TRUE(reader.overrun());
+  EXPECT_EQ(reader.remaining_bits(), 0u);
+  EXPECT_EQ(reader.bit_pos(), 16u);
+
+  auto r = reader.ReadBits(1);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(reader.PeekBits(8), 0u);  // past-the-end bits read as zero
+
+  uint64_t out;
+  EXPECT_FALSE(reader.ReadPackedBlock(&out, 1, 4).ok());
+  EXPECT_FALSE(reader.ReadUnary().ok());
+  EXPECT_FALSE(reader.ReadBit().ok());
+}
+
+// An in-range Consume works as a seek and does not latch anything.
+TEST(BitIoPropertyTest, ConsumeInRangeSeeks) {
+  std::vector<uint8_t> bytes = {0xab, 0xcd};  // 1010 1011 1100 1101
+  BitReader reader(bytes);
+  reader.Consume(4);
+  EXPECT_FALSE(reader.overrun());
+  auto r = reader.ReadBits(8);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0xbcu);
+  reader.Consume(4);  // consumes exactly to the end
+  EXPECT_FALSE(reader.overrun());
+  EXPECT_EQ(reader.remaining_bits(), 0u);
+}
+
+// External-buffer mode must append after existing contents and leave the
+// complete stream in the caller's vector on Flush.
+TEST(BitIoPropertyTest, ExternalBufferModeAppends) {
+  std::vector<uint8_t> out = {0xde, 0xad};
+  BitWriter writer(&out);
+  writer.WriteBits(0x1234, 16);
+  writer.WriteBits(1, 1);
+  writer.Flush();
+  std::vector<uint8_t> expect = {0xde, 0xad, 0x12, 0x34, 0x80};
+  EXPECT_EQ(out, expect);
+}
+
+}  // namespace
+}  // namespace adaedge::util

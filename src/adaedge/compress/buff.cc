@@ -150,7 +150,7 @@ Result<std::vector<double>> DecodePlanes(std::span<const uint8_t> payload) {
   for (int p = 0; p < kept; ++p) {
     int shift = 8 * (total - 1 - p);
     const uint8_t* plane = r.cursor();
-    (void)r.Skip(count);
+    ADAEDGE_RETURN_IF_ERROR(r.Skip(count));  // in range: checked above
     for (uint64_t i = 0; i < count; ++i) {
       q[i] |= static_cast<uint64_t>(plane[i]) << shift;
     }
@@ -216,6 +216,18 @@ Result<LossyHeader> ReadLossyHeader(util::ByteReader& r) {
   if (h.precision > 12 || h.bit_width > 64 ||
       h.kept_bits > h.bit_width) {
     return Status::Corruption("bufflossy: bad header");
+  }
+  // The encoder always keeps >= kMinKeptBits >= 1 bit per value; a forged
+  // kept_bits of 0 would make `dropped` reach 64 and turn the
+  // reconstruction shift into UB.
+  if (h.kept_bits == 0 && h.count > 0) {
+    return Status::Corruption("bufflossy: zero kept bits");
+  }
+  // The packed block follows immediately: count values of kept_bits each
+  // (count <= 2^26, kept_bits <= 64 — no overflow). Rejecting short
+  // payloads here protects every caller's count-sized allocation.
+  if (h.count * h.kept_bits > r.remaining() * uint64_t{8}) {
+    return Status::Corruption("bufflossy: payload too short for count");
   }
   return h;
 }

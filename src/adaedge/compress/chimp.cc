@@ -104,8 +104,13 @@ Result<std::vector<double>> Chimp::Decompress(
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
   ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(count));
   std::vector<double> out;
-  out.reserve(count);
   if (count == 0) return out;
+  // Cheapest possible stream: 64-bit first value + a 2-bit flag per value.
+  // Reject shorter payloads before reserving (allocation-bomb guard).
+  if (r.remaining() * 8 < 64 + 2 * (count - 1)) {
+    return Status::Corruption("chimp: payload too short for count");
+  }
+  out.reserve(count);
 
   util::BitReader br(r.cursor(), r.remaining());
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t prev, br.ReadBits(64));

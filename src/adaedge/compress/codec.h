@@ -58,6 +58,22 @@ inline util::Status ValidateDecodedCount(uint64_t count) {
   return util::Status::Ok();
 }
 
+/// Cap for speculative `reserve(declared_count)` calls in decoders whose
+/// formats legitimately expand (RLE runs, LZ matches): a tiny hostile
+/// payload may declare up to kMaxDecodedValues, so reserving the declared
+/// count up front is an allocation bomb even when the decode loop itself
+/// is payload-bounded. Reserve at most this many elements and let the
+/// vector grow amortized past it (64 Ki values covers every realistic
+/// segment; see DESIGN.md "Decoder robustness contract").
+inline constexpr uint64_t kDecoderReserveCap = uint64_t{1} << 16;
+
+/// min(declared, kDecoderReserveCap) as a size_t, for reserve() calls.
+inline size_t CappedReserve(uint64_t declared_count) {
+  return static_cast<size_t>(declared_count < kDecoderReserveCap
+                                 ? declared_count
+                                 : kDecoderReserveCap);
+}
+
 /// Per-call knobs. Lossless codecs read `level`/`precision`; lossy codecs
 /// read `target_ratio` (and `precision` where quantization applies).
 struct CodecParams {
@@ -101,9 +117,9 @@ class Codec {
   /// steady state performs no heap allocation. On error `out` is left in
   /// an unspecified (but valid) state. The default delegates to Compress;
   /// the bitstream codecs override it with in-place encoders.
-  virtual Status CompressInto(std::span<const double> values,
-                              const CodecParams& params,
-                              std::vector<uint8_t>& out) const;
+  [[nodiscard]] virtual Status CompressInto(std::span<const double> values,
+                                            const CodecParams& params,
+                                            std::vector<uint8_t>& out) const;
 
   /// Restores a segment. Lossy codecs return the approximation at the
   /// original length.

@@ -425,7 +425,12 @@ Result<std::vector<uint8_t>> Deflate::DecompressBytes(
   huffman::Decoder dist_dec(dist_lengths);
 
   std::vector<uint8_t> out;
-  out.reserve(original_size);
+  // Matches expand the stream, so the declared size can legitimately
+  // exceed the payload length — but a hostile header can declare 512 MB
+  // against a 20-byte body. Cap the speculative reserve (growth past it
+  // amortizes) instead of trusting the header.
+  out.reserve(std::min<uint64_t>(original_size,
+                                 kDecoderReserveCap * sizeof(double)));
   util::BitReader bits(r.cursor(), r.remaining());
   while (true) {
     ADAEDGE_ASSIGN_OR_RETURN(int sym, lit_dec.Decode(bits));

@@ -84,6 +84,10 @@ Result<std::vector<double>> Dictionary::Decompress(
   if (dict_size == 0 && count > 0) {
     return Status::Corruption("dictionary: empty dict for nonempty series");
   }
+  // The payload must hold the full dictionary before we allocate it.
+  if (r.remaining() < dict_size * 8) {
+    return Status::Corruption("dictionary: truncated dictionary");
+  }
   std::vector<double> dict(dict_size);
   for (auto& v : dict) {
     ADAEDGE_ASSIGN_OR_RETURN(v, r.GetF64());
@@ -91,6 +95,11 @@ Result<std::vector<double>> Dictionary::Decompress(
   ADAEDGE_ASSIGN_OR_RETURN(uint8_t bits, r.GetU8());
   if (bits == 0 || bits > 32) {
     return Status::Corruption("dictionary: invalid id width");
+  }
+  // ... and the id stream must hold count ids before we reserve the
+  // output (count <= 2^26 and bits <= 32, so the product cannot wrap).
+  if (count * static_cast<uint64_t>(bits) > r.remaining() * uint64_t{8}) {
+    return Status::Corruption("dictionary: payload too short for count");
   }
   util::BitReader br(r.cursor(), r.remaining());
   std::vector<double> out;
@@ -114,6 +123,7 @@ Result<double> Dictionary::ValueAt(std::span<const uint8_t> payload,
                                    uint64_t index) const {
   util::ByteReader r(payload.data(), payload.size());
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(count));
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t dict_size, r.GetVarint());
   ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(dict_size));
   if (index >= count) return Status::OutOfRange("dictionary: index");

@@ -81,7 +81,12 @@ Result<std::vector<uint8_t>> FastLz::DecompressBytes(
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t original_size, r.GetVarint());
   ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(original_size / 8));
   std::vector<uint8_t> out;
-  out.reserve(original_size);
+  // True output bound reachable from this payload: a 3-byte match tag
+  // expands to at most kMaxMatch bytes, literals expand less. Reserving
+  // the raw declared size would let a tiny payload with a hostile header
+  // allocate 512 MB up front.
+  out.reserve(std::min<uint64_t>(original_size,
+                                 r.remaining() * (kMaxMatch / 3 + 1)));
   while (r.remaining() > 0) {
     ADAEDGE_ASSIGN_OR_RETURN(uint8_t tag, r.GetU8());
     if ((tag & 0x80) == 0) {

@@ -15,6 +15,14 @@ constexpr size_t kHeaderBound = 20;
 // varint freq (<=3 for segment sizes in practice) + two f32.
 constexpr double kBytesPerCoefficient = 11.0;
 
+// Tighter decode-side cap than the generic kMaxDecodedValues: the inverse
+// transform allocates an n-point complex spectrum (16 bytes/value) plus,
+// for non-power-of-two n, Bluestein scratch several times larger — so a
+// dozen-byte payload declaring 2^26 values would demand gigabytes and
+// seconds of FFT work. Real segments are at most a few Ki values; 2^20
+// leaves two orders of magnitude of headroom.
+constexpr uint64_t kMaxFftDecodeValues = uint64_t{1} << 20;
+
 Result<uint64_t> CoefficientsForRatio(size_t n, double ratio) {
   if (n == 0) return uint64_t{0};
   double budget_bytes = ratio * 8.0 * static_cast<double>(n) -
@@ -79,6 +87,9 @@ Result<std::vector<double>> FftCodec::Decompress(
   ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(n));
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t k, r.GetVarint());
   if (n == 0) return std::vector<double>{};
+  if (n > kMaxFftDecodeValues) {
+    return Status::Corruption("fft: declared count exceeds decode cap");
+  }
   std::vector<std::complex<double>> spectrum(n, {0.0, 0.0});
   double dn = static_cast<double>(n);
   for (uint64_t i = 0; i < k; ++i) {

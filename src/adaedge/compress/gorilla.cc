@@ -95,8 +95,14 @@ Result<std::vector<double>> Gorilla::Decompress(
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
   ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(count));
   std::vector<double> out;
-  out.reserve(count);
   if (count == 0) return out;
+  // Cheapest possible stream: 64-bit first value + 1 bit per repeat. A
+  // shorter payload cannot decode `count` values, so reject before the
+  // reserve — a flipped count byte must not drive a large allocation.
+  if (r.remaining() * 8 < 64 + (count - 1)) {
+    return Status::Corruption("gorilla: payload too short for count");
+  }
+  out.reserve(count);
 
   util::BitReader br(r.cursor(), r.remaining());
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t prev, br.ReadBits(64));

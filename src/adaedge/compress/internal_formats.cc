@@ -15,7 +15,9 @@ Result<PaaPayload> DecodePaa(std::span<const uint8_t> payload) {
   ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(p.n));
   ADAEDGE_ASSIGN_OR_RETURN(p.w, r.GetVarint());
   if (p.w == 0) return Status::Corruption("paa: zero window");
-  uint64_t num_means = (p.n + p.w - 1) / p.w;
+  // ceil(n / w) without `n + w - 1`: a near-2^64 window wraps the sum to
+  // zero means, and the decoders then index past the empty vector.
+  uint64_t num_means = p.n == 0 ? 0 : (p.n - 1) / p.w + 1;
   if (r.remaining() < num_means * 8) {
     return Status::Corruption("paa: truncated means");
   }
@@ -41,6 +43,11 @@ Result<PlaPayload> DecodePla(std::span<const uint8_t> payload) {
   ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(p.n));
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
   if (count > p.n + 1) return Status::Corruption("pla: segment count > n");
+  // Every segment occupies >= 9 payload bytes (varint length + two f32);
+  // reject short payloads before reserving count segments.
+  if (count * 9 > r.remaining()) {
+    return Status::Corruption("pla: payload too short for segment count");
+  }
   p.segments.reserve(count);
   uint64_t total = 0;
   for (uint64_t i = 0; i < count; ++i) {
@@ -77,11 +84,19 @@ Result<LttbPayload> DecodeLttb(std::span<const uint8_t> payload) {
   ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(p.n));
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t k, r.GetVarint());
   if (k > p.n + 1) return Status::Corruption("lttb: point count > n");
+  // Every point occupies >= 5 payload bytes (varint delta + f32); reject
+  // short payloads before reserving k points.
+  if (k * 5 > r.remaining()) {
+    return Status::Corruption("lttb: payload too short for point count");
+  }
   p.points.reserve(k);
   uint64_t prev = 0;
   for (uint64_t i = 0; i < k; ++i) {
     ADAEDGE_ASSIGN_OR_RETURN(uint64_t delta, r.GetVarint());
     ADAEDGE_ASSIGN_OR_RETURN(float v, r.GetF32());
+    // delta is bounded before the sum so `prev + delta` cannot wrap past
+    // the index check (prev < n <= 2^26, delta <= n after this guard).
+    if (delta > p.n) return Status::Corruption("lttb: index out of range");
     uint64_t idx = prev + delta;
     if (idx >= p.n) return Status::Corruption("lttb: index out of range");
     if (i > 0 && delta == 0) return Status::Corruption("lttb: repeated index");
@@ -115,7 +130,8 @@ Result<RrdPayload> DecodeRrd(std::span<const uint8_t> payload) {
   ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(p.n));
   ADAEDGE_ASSIGN_OR_RETURN(p.w, r.GetVarint());
   if (p.w == 0) return Status::Corruption("rrd: zero window");
-  uint64_t samples = (p.n + p.w - 1) / p.w;
+  // Overflow-safe ceil(n / w); see DecodePaa.
+  uint64_t samples = p.n == 0 ? 0 : (p.n - 1) / p.w + 1;
   if (r.remaining() < samples * 8) {
     return Status::Corruption("rrd: truncated samples");
   }

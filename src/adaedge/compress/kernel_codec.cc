@@ -101,6 +101,11 @@ Result<std::vector<double>> KernelRegression::Decompress(
   ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(n));
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t m, r.GetVarint());
   (void)m;
+  // Every block of kBlock values needs at least a varint count plus one
+  // f32 coefficient (5 bytes); reject shorter payloads before reserving.
+  if (((n + kBlock - 1) / kBlock) * 5 > r.remaining()) {
+    return Status::Corruption("kernel: payload too short for count");
+  }
   std::vector<double> out;
   out.reserve(n);
   for (size_t start = 0; start < n; start += kBlock) {

@@ -44,11 +44,16 @@ Result<std::vector<double>> Rle::Decompress(
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
   ADAEDGE_RETURN_IF_ERROR(ValidateDecodedCount(count));
   std::vector<double> out;
-  out.reserve(count);
+  // A single 13-byte run may legitimately cover the whole count, so the
+  // payload length says nothing about the real count; cap the speculative
+  // reserve instead and let push growth amortize past it.
+  out.reserve(CappedReserve(count));
   while (out.size() < count) {
     ADAEDGE_ASSIGN_OR_RETURN(uint64_t run, r.GetVarint());
     ADAEDGE_ASSIGN_OR_RETURN(double v, r.GetF64());
-    if (run == 0 || out.size() + run > count) {
+    // Compare as "run > room left": the additive form out.size() + run
+    // wraps for runs near 2^64 and let a forged run through to insert.
+    if (run == 0 || run > count - out.size()) {
       return Status::Corruption("rle: bad run length");
     }
     out.insert(out.end(), run, v);
@@ -65,7 +70,9 @@ Result<double> Rle::ValueAt(std::span<const uint8_t> payload,
   while (seen < count) {
     ADAEDGE_ASSIGN_OR_RETURN(uint64_t run, r.GetVarint());
     ADAEDGE_ASSIGN_OR_RETURN(double v, r.GetF64());
-    if (run == 0) return Status::Corruption("rle: bad run length");
+    if (run == 0 || run > count - seen) {
+      return Status::Corruption("rle: bad run length");
+    }
     if (index < seen + run) return v;
     seen += run;
   }
@@ -84,7 +91,7 @@ Result<double> Rle::AggregateDirect(query::AggKind kind,
   while (seen < count) {
     ADAEDGE_ASSIGN_OR_RETURN(uint64_t run, r.GetVarint());
     ADAEDGE_ASSIGN_OR_RETURN(double v, r.GetF64());
-    if (run == 0 || seen + run > count) {
+    if (run == 0 || run > count - seen) {
       return Status::Corruption("rle: bad run length");
     }
     sum += v * static_cast<double>(run);

@@ -135,8 +135,14 @@ Result<std::vector<double>> Sprintz::Decompress(
   const double inv_scale = 1.0 / ScaleFor(precision);
 
   std::vector<double> out;
-  out.reserve(count);
   if (count == 0) return out;
+  // Cheapest possible stream: 64-bit first value, then >= 8 header bits
+  // per block of up to kBlock values (>= 1 bit/value). Reject shorter
+  // payloads before reserving (allocation-bomb guard).
+  if (r.remaining() * 8 < 64 + (count - 1)) {
+    return Status::Corruption("sprintz: payload too short for count");
+  }
+  out.reserve(count);
 
   util::BitReader br(r.cursor(), r.remaining());
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t first, br.ReadBits(64));
@@ -152,10 +158,14 @@ Result<std::vector<double>> Sprintz::Decompress(
     ADAEDGE_RETURN_IF_ERROR(
         br.ReadPackedBlock(z, len, static_cast<int>(width)));
     for (size_t i = 0; i < len; ++i) {
-      int64_t residual = UnZigZag(z[i]);
-      int64_t d = use_dd ? residual + prev_delta : residual;
-      prev += d;
-      prev_delta = d;
+      // Unsigned arithmetic: corrupt residuals can exceed int64 range,
+      // and the reconstruction is modulo 2^64 anyway (inverse of the
+      // encoder's wrapping subtraction).
+      uint64_t residual = static_cast<uint64_t>(UnZigZag(z[i]));
+      uint64_t d =
+          use_dd ? residual + static_cast<uint64_t>(prev_delta) : residual;
+      prev = static_cast<int64_t>(static_cast<uint64_t>(prev) + d);
+      prev_delta = static_cast<int64_t>(d);
       out.push_back(static_cast<double>(prev) * inv_scale);
     }
   }

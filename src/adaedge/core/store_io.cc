@@ -110,7 +110,11 @@ Result<std::vector<Segment>> LoadSegmentsFromFile(const std::string& path) {
   }
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t count, reader.GetVarint());
   std::vector<Segment> segments;
-  segments.reserve(count);
+  // Cap the reserve by what the file can actually hold (a serialized
+  // segment is well over 16 bytes): a corrupt count must not drive the
+  // allocation, only the per-record deserialization loop below.
+  segments.reserve(
+      std::min<uint64_t>(count, reader.remaining() / 16 + 1));
   for (uint64_t i = 0; i < count; ++i) {
     ADAEDGE_ASSIGN_OR_RETURN(Segment segment, DeserializeSegment(reader));
     segments.push_back(std::move(segment));

@@ -85,7 +85,8 @@ Status BitReader::ReadPackedBlock(uint64_t* out, size_t count, int width) {
     for (size_t i = 0; i < count; ++i) out[i] = 0;
     return Status::Ok();
   }
-  if (count * static_cast<uint64_t>(width) > remaining_bits()) {
+  // Divide instead of multiply: count * width can wrap for hostile counts.
+  if (count > remaining_bits() / static_cast<size_t>(width)) {
     overrun_ = true;
     return Status::OutOfRange("bit stream exhausted");
   }
@@ -96,7 +97,7 @@ Status BitReader::ReadPackedBlock(uint64_t* out, size_t count, int width) {
 void BitReader::Align() { pos_ = (pos_ + 7) & ~size_t{7}; }
 
 uint32_t BitReader::PeekBits(int count) const {
-  if (count <= 0) return 0;
+  if (count <= 0 || overrun_) return 0;
   size_t avail = remaining_bits();
   int take = avail < static_cast<size_t>(count) ? static_cast<int>(avail)
                                                 : count;

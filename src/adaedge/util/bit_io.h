@@ -188,15 +188,19 @@ class BitReader {
 
   /// Returns the next `count` (<= 32) bits MSB-first WITHOUT consuming
   /// them; bits past the end of the stream read as zero. Pair with
-  /// Consume for table-driven decoders.
+  /// Consume for table-driven decoders. Once the overrun flag is latched
+  /// the reader is poisoned: PeekBits returns 0 so a peek-then-consume
+  /// loop cannot keep decoding real-looking bits after a failed read.
   uint32_t PeekBits(int count) const;
 
   /// Advances by `count` bits. Saturates at the stream end and latches
   /// the overrun flag, after which every checked read reports OutOfRange
-  /// (a clamped-over-the-end seek means the stream is corrupt).
+  /// (a clamped-over-the-end seek means the stream is corrupt). A latched
+  /// reader stays pinned at the end: further Consume calls do not move
+  /// pos_, keeping bit_pos()/remaining_bits() consistent with the latch.
   void Consume(size_t count) {
     size_t total = size_ * 8;
-    if (count > total - pos_) {
+    if (overrun_ || count > total - pos_) {
       pos_ = total;
       overrun_ = true;
     } else {

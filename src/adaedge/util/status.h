@@ -28,7 +28,11 @@ const char* StatusCodeName(StatusCode code);
 
 /// A lightweight success-or-error value. Cheap to copy on the OK path
 /// (no allocation); errors carry a message.
-class Status {
+///
+/// [[nodiscard]] on the type: any function returning a Status must have
+/// its result checked (or explicitly handed to a consumer) — a silently
+/// dropped error from a decoder or I/O path is a latent corruption bug.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -81,7 +85,7 @@ class Status {
 
 /// A value-or-error union. `value()` asserts success; call `ok()` first.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from error Status, so functions can
   /// `return value;` or `return Status::...;` directly.

@@ -342,6 +342,38 @@ TEST(BitIoPropertyTest, ConsumeInRangeSeeks) {
   EXPECT_EQ(reader.remaining_bits(), 0u);
 }
 
+// The speculative peek-then-consume pattern (gorilla/chimp/deflate inner
+// loops) near end-of-stream: PeekBits past the end zero-pads WITHOUT
+// latching, so a decoder can over-peek and then consume only the bits
+// that exist. Once an over-consume DOES latch the overrun, the reader is
+// poisoned: PeekBits returns 0 from then on — even for positions that
+// were in range — and further Consume calls keep the position pinned, so
+// a decoder that ignores one failure cannot resynthesize garbage values
+// from a stale window.
+TEST(BitIoPropertyTest, PeekAfterLatchedOverrunIsPoisoned) {
+  std::vector<uint8_t> bytes = {0xff, 0xff, 0xff};
+  BitReader reader(bytes);
+  reader.Consume(20);  // 4 valid bits left
+
+  // Over-peek near the end: zero-padded, not an overrun.
+  EXPECT_EQ(reader.PeekBits(16), 0xf000u);
+  EXPECT_FALSE(reader.overrun());
+  reader.Consume(4);  // consume only the real bits; still clean
+  EXPECT_FALSE(reader.overrun());
+  EXPECT_EQ(reader.remaining_bits(), 0u);
+
+  // Now over-consume: latches, and the poison sticks.
+  reader.Consume(1);
+  EXPECT_TRUE(reader.overrun());
+  EXPECT_EQ(reader.PeekBits(8), 0u);
+  EXPECT_EQ(reader.bit_pos(), 24u);
+  reader.Consume(7);  // consuming from a poisoned reader stays pinned
+  EXPECT_TRUE(reader.overrun());
+  EXPECT_EQ(reader.bit_pos(), 24u);
+  EXPECT_EQ(reader.remaining_bits(), 0u);
+  EXPECT_EQ(reader.PeekBits(1), 0u);
+}
+
 // External-buffer mode must append after existing contents and leave the
 // complete stream in the caller's vector on Flush.
 TEST(BitIoPropertyTest, ExternalBufferModeAppends) {

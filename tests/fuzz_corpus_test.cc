@@ -1,0 +1,105 @@
+// Deterministic replay of the committed fuzz corpus (tests/corpus/*.bin)
+// through the real fuzz targets from tools/fuzz. Every corpus file —
+// including crash reproducers dropped in as <target>__crash_<what>.bin —
+// becomes a permanent regression that runs under the full sanitizer
+// matrix with no libFuzzer dependency.
+//
+// The target is picked from the filename prefix before the double
+// underscore ("gorilla__smooth64.bin" -> FuzzGorilla). An unknown prefix
+// or an empty corpus directory is a test failure: it means a corpus file
+// was added without a matching fuzz target (or the build lost track of
+// the corpus path), not that there is nothing to check.
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "fuzz_targets.h"
+
+#ifndef ADAEDGE_CORPUS_DIR
+#error "ADAEDGE_CORPUS_DIR must point at tests/corpus (set by CMake)"
+#endif
+
+namespace adaedge {
+namespace {
+
+using FuzzTarget = int (*)(const uint8_t*, size_t);
+
+const std::map<std::string, FuzzTarget>& TargetsByPrefix() {
+  static const std::map<std::string, FuzzTarget> kTargets = {
+      {"gorilla", fuzz::FuzzGorilla},
+      {"chimp", fuzz::FuzzChimp},
+      {"elf", fuzz::FuzzElf},
+      {"sprintz", fuzz::FuzzSprintz},
+      {"buff", fuzz::FuzzBuff},
+      {"dictionary", fuzz::FuzzDictionary},
+      {"rle", fuzz::FuzzRle},
+      {"deflate", fuzz::FuzzDeflate},
+      {"fastlz", fuzz::FuzzFastLz},
+      {"raw", fuzz::FuzzRaw},
+      {"internal_formats", fuzz::FuzzInternalFormats},
+      {"payload_query", fuzz::FuzzPayloadQuery},
+      {"store_io", fuzz::FuzzStoreIo},
+      {"roundtrip", fuzz::FuzzRoundTrip},
+  };
+  return kTargets;
+}
+
+std::vector<uint8_t> ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  return std::vector<uint8_t>(std::istreambuf_iterator<char>(in),
+                              std::istreambuf_iterator<char>());
+}
+
+TEST(FuzzCorpusTest, ReplaysEveryCorpusFile) {
+  const std::filesystem::path dir = ADAEDGE_CORPUS_DIR;
+  ASSERT_TRUE(std::filesystem::is_directory(dir))
+      << "corpus directory missing: " << dir;
+
+  size_t replayed = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.size() < 4 || name.substr(name.size() - 4) != ".bin") continue;
+
+    const size_t sep = name.find("__");
+    ASSERT_NE(sep, std::string::npos)
+        << name << ": corpus files are named <target>__<desc>.bin";
+    const std::string prefix = name.substr(0, sep);
+    const auto it = TargetsByPrefix().find(prefix);
+    ASSERT_NE(it, TargetsByPrefix().end())
+        << name << ": no fuzz target registered for prefix '" << prefix
+        << "'";
+
+    SCOPED_TRACE(name);
+    const std::vector<uint8_t> bytes = ReadFile(entry.path());
+    // A finding aborts the process (ADAEDGE_FUZZ_CHECK) or trips a
+    // sanitizer; reaching the return value means the input was handled.
+    EXPECT_EQ(it->second(bytes.data(), bytes.size()), 0);
+    ++replayed;
+  }
+  EXPECT_GT(replayed, 0u) << "corpus directory is empty: " << dir
+                          << " (run adaedge_make_corpus to regenerate)";
+}
+
+// Every registered target must also be total on degenerate inputs that
+// never appear in the committed corpus: empty, and a one-byte input per
+// possible selector value.
+TEST(FuzzCorpusTest, EveryTargetHandlesDegenerateInputs) {
+  for (const auto& [prefix, target] : TargetsByPrefix()) {
+    SCOPED_TRACE(prefix);
+    EXPECT_EQ(target(nullptr, 0), 0);
+    for (int b = 0; b < 256; ++b) {
+      const uint8_t byte = static_cast<uint8_t>(b);
+      EXPECT_EQ(target(&byte, 1), 0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adaedge

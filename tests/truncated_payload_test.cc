@@ -1,0 +1,149 @@
+// Truncation totality: every codec must survive every byte-length prefix
+// of each of its own valid payloads. Truncation is the corruption mode
+// storage actually produces (torn writes, short reads, partial
+// transfers), so unlike the random mutations in tools/fuzz this sweep is
+// exhaustive: all prefixes of real payloads, all codecs, including the
+// transform and lossy ones.
+//
+// The contract (DESIGN.md "Decoder robustness contract") is totality,
+// not detection: a truncated prefix may still decode successfully (a
+// prefix of an RLE stream is often itself a valid stream) — it must
+// simply return a Status or bounded values, never crash, hang, or
+// allocate unboundedly.
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/compress/codec.h"
+#include "adaedge/compress/registry.h"
+#include "adaedge/query/aggregate.h"
+#include "adaedge/util/rng.h"
+
+namespace adaedge::compress {
+namespace {
+
+double Round4(double v) { return std::round(v * 1e4) / 1e4; }
+
+// Same seeded shapes as golden_payload_test.cc (shorter n keeps the
+// all-prefixes sweep fast).
+std::vector<double> MakeSmooth(size_t n) {
+  util::Rng rng(0x5eed0001);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = Round4(10.0 * std::sin(0.01 * static_cast<double>(i)) +
+                    0.01 * rng.NextGaussian());
+  }
+  return out;
+}
+
+std::vector<double> MakeRepeats(size_t n) {
+  util::Rng rng(0x5eed0003);
+  std::vector<double> levels(16);
+  for (auto& l : levels) l = Round4(rng.NextUniform(-50.0, 50.0));
+  std::vector<double> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    double level = levels[rng.NextBelow(levels.size())];
+    size_t run = 1 + rng.NextBelow(20);
+    for (size_t i = 0; i < run && out.size() < n; ++i) out.push_back(level);
+  }
+  return out;
+}
+
+struct CodecCase {
+  const char* name;
+  CodecId id;
+};
+
+constexpr CodecCase kCodecs[] = {
+    {"raw", CodecId::kRaw},
+    {"deflate", CodecId::kDeflate},
+    {"fastlz", CodecId::kFastLz},
+    {"dictionary", CodecId::kDictionary},
+    {"rle", CodecId::kRle},
+    {"gorilla", CodecId::kGorilla},
+    {"chimp", CodecId::kChimp},
+    {"sprintz", CodecId::kSprintz},
+    {"buff", CodecId::kBuff},
+    {"elf", CodecId::kElf},
+    {"bufflossy", CodecId::kBuffLossy},
+    {"paa", CodecId::kPaa},
+    {"pla", CodecId::kPla},
+    {"fft", CodecId::kFft},
+    {"rrdsample", CodecId::kRrdSample},
+    {"lttb", CodecId::kLttb},
+    {"kernel", CodecId::kKernel},
+};
+
+// Decoding a prefix may legitimately succeed; when it does the result
+// must stay within the bounds declared by the (intact) header.
+void CheckPrefix(const Codec& codec, const std::vector<uint8_t>& prefix,
+                 size_t original_count) {
+  auto decoded = codec.Decompress(prefix);
+  if (decoded.ok()) {
+    EXPECT_LE(decoded.value().size(), original_count);
+  }
+  if (codec.SupportsRandomAccess()) {
+    (void)codec.ValueAt(prefix, 0);
+    (void)codec.ValueAt(prefix, original_count - 1);
+    (void)codec.ValueAt(prefix, original_count);
+  }
+  if (codec.SupportsDirectAggregate(query::AggKind::kSum)) {
+    (void)codec.AggregateDirect(query::AggKind::kSum, prefix);
+  }
+  if (codec.SupportsDirectAggregate(query::AggKind::kMin)) {
+    (void)codec.AggregateDirect(query::AggKind::kMin, prefix);
+  }
+}
+
+class TruncatedPayloadTest : public ::testing::TestWithParam<CodecCase> {};
+
+TEST_P(TruncatedPayloadTest, EveryPrefixIsHandled) {
+  const CodecCase& tc = GetParam();
+  auto codec = GetCodec(tc.id);
+  ASSERT_NE(codec, nullptr);
+
+  CodecParams params;
+  params.precision = 4;
+  params.target_ratio = 0.3;
+
+  // Dictionary refuses high-cardinality input, so offer both shapes and
+  // sweep whichever payloads the codec actually produces.
+  const std::vector<std::vector<double>> inputs = {MakeSmooth(257),
+                                                   MakeRepeats(257)};
+  size_t swept = 0;
+  for (const auto& values : inputs) {
+    auto payload = codec->Compress(values, params);
+    if (!payload.ok()) continue;  // codec declined this shape; fine
+    const std::vector<uint8_t>& bytes = payload.value();
+
+    // Sanity: the intact payload decodes to the declared length.
+    auto full = codec->Decompress(bytes);
+    ASSERT_TRUE(full.ok()) << full.status().ToString();
+    EXPECT_LE(full.value().size(), values.size());
+
+    for (size_t len = 0; len < bytes.size(); ++len) {
+      SCOPED_TRACE(std::string(tc.name) + " truncated to " +
+                   std::to_string(len) + "/" + std::to_string(bytes.size()) +
+                   " bytes");
+      CheckPrefix(*codec,
+                  std::vector<uint8_t>(bytes.begin(),
+                                       bytes.begin() + static_cast<long>(len)),
+                  values.size());
+    }
+    ++swept;
+  }
+  EXPECT_GT(swept, 0u) << tc.name << " compressed neither test shape";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCodecs, TruncatedPayloadTest,
+                         ::testing::ValuesIn(kCodecs),
+                         [](const ::testing::TestParamInfo<CodecCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace adaedge::compress

@@ -1,0 +1,13 @@
+// Per-target libFuzzer entry point. Each fuzz binary compiles this file
+// with -DADAEDGE_FUZZ_TARGET=<function from fuzz_targets.h>; under
+// ADAEDGE_SANITIZE=fuzzer libFuzzer provides main(), otherwise
+// standalone_main.cc does (file replay + deterministic mutator).
+#include "fuzz_targets.h"
+
+#ifndef ADAEDGE_FUZZ_TARGET
+#error "compile with -DADAEDGE_FUZZ_TARGET=<target function>"
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  return adaedge::fuzz::ADAEDGE_FUZZ_TARGET(data, size);
+}

@@ -1,0 +1,317 @@
+#include "fuzz_targets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "adaedge/compress/codec.h"
+#include "adaedge/compress/internal_formats.h"
+#include "adaedge/compress/payload_query.h"
+#include "adaedge/compress/registry.h"
+#include "adaedge/core/store_io.h"
+#include "adaedge/query/aggregate.h"
+#include "adaedge/util/byte_io.h"
+#include "adaedge/util/status.h"
+
+namespace adaedge::fuzz {
+namespace {
+
+using compress::Codec;
+using compress::CodecId;
+using compress::CodecParams;
+using compress::GetCodec;
+using query::AggKind;
+using util::Result;
+using util::Status;
+
+// A failed invariant is reported as a crash (that is what fuzz drivers
+// and sanitizers key on), with a message naming the broken contract.
+#define ADAEDGE_FUZZ_CHECK(cond, msg)                            \
+  do {                                                           \
+    if (!(cond)) {                                               \
+      std::fprintf(stderr, "FUZZ CHECK failed: %s\n", (msg));    \
+      std::abort();                                              \
+    }                                                            \
+  } while (0)
+
+// Results are funneled through a volatile sink so the compiler cannot
+// elide the decode work whose side effects we are fuzzing for.
+volatile uint8_t g_sink = 0;
+
+void SinkBytes(size_t n) { g_sink = g_sink ^ static_cast<uint8_t>(n); }
+
+void Touch(const Status& s) { SinkBytes(static_cast<size_t>(s.code())); }
+
+void Touch(const Result<double>& r) {
+  if (r.ok()) {
+    uint64_t bits;
+    double v = r.value();
+    std::memcpy(&bits, &v, sizeof(bits));
+    SinkBytes(static_cast<size_t>(bits));
+  } else {
+    Touch(r.status());
+  }
+}
+
+template <typename T>
+void Touch(const Result<std::vector<T>>& r) {
+  if (r.ok()) {
+    SinkBytes(r.value().size());
+  } else {
+    Touch(r.status());
+  }
+}
+
+/// Shared per-codec harness: the payload is attacker-controlled, so every
+/// entry point that parses it must return a Status instead of crashing,
+/// and a "successful" decode must stay within the documented caps.
+void ExerciseCodec(const Codec& codec, std::span<const uint8_t> payload) {
+  auto decoded = codec.Decompress(payload);
+  if (decoded.ok()) {
+    ADAEDGE_FUZZ_CHECK(decoded.value().size() <= compress::kMaxDecodedValues,
+                       "decode exceeded kMaxDecodedValues");
+  }
+  Touch(decoded);
+  if (codec.SupportsRandomAccess()) {
+    Touch(codec.ValueAt(payload, 0));
+    Touch(codec.ValueAt(payload, 255));
+    Touch(codec.ValueAt(payload, uint64_t{1} << 20));
+  }
+  for (AggKind kind :
+       {AggKind::kSum, AggKind::kAvg, AggKind::kMin, AggKind::kMax}) {
+    if (codec.SupportsDirectAggregate(kind)) {
+      Touch(codec.AggregateDirect(kind, payload));
+    }
+  }
+  if (codec.SupportsRecode()) {
+    Touch(codec.Recode(payload, 0.3));
+    Touch(codec.Recode(payload, 0.11));
+  }
+}
+
+int ExerciseCodecId(CodecId id, const uint8_t* data, size_t size) {
+  std::shared_ptr<const Codec> codec = GetCodec(id);
+  ADAEDGE_FUZZ_CHECK(codec != nullptr, "codec missing from registry");
+  ExerciseCodec(*codec, std::span<const uint8_t>(data, size));
+  return 0;
+}
+
+}  // namespace
+
+int FuzzGorilla(const uint8_t* data, size_t size) {
+  return ExerciseCodecId(CodecId::kGorilla, data, size);
+}
+int FuzzChimp(const uint8_t* data, size_t size) {
+  return ExerciseCodecId(CodecId::kChimp, data, size);
+}
+int FuzzElf(const uint8_t* data, size_t size) {
+  return ExerciseCodecId(CodecId::kElf, data, size);
+}
+int FuzzSprintz(const uint8_t* data, size_t size) {
+  return ExerciseCodecId(CodecId::kSprintz, data, size);
+}
+int FuzzBuff(const uint8_t* data, size_t size) {
+  ExerciseCodecId(CodecId::kBuff, data, size);
+  return ExerciseCodecId(CodecId::kBuffLossy, data, size);
+}
+int FuzzDictionary(const uint8_t* data, size_t size) {
+  return ExerciseCodecId(CodecId::kDictionary, data, size);
+}
+int FuzzRle(const uint8_t* data, size_t size) {
+  return ExerciseCodecId(CodecId::kRle, data, size);
+}
+int FuzzDeflate(const uint8_t* data, size_t size) {
+  return ExerciseCodecId(CodecId::kDeflate, data, size);
+}
+int FuzzFastLz(const uint8_t* data, size_t size) {
+  return ExerciseCodecId(CodecId::kFastLz, data, size);
+}
+int FuzzRaw(const uint8_t* data, size_t size) {
+  return ExerciseCodecId(CodecId::kRaw, data, size);
+}
+
+int FuzzInternalFormats(const uint8_t* data, size_t size) {
+  if (size < 1) return 0;
+  std::span<const uint8_t> payload(data + 1, size - 1);
+  // Each decoded header must survive an encode/decode round trip: the
+  // encoders are the canonical writers, so Decode(Encode(x)) failing
+  // means decode accepted a header encode cannot represent.
+  switch (data[0] % 4) {
+    case 0: {
+      auto p = compress::internal::DecodePaa(payload);
+      if (p.ok()) {
+        auto again =
+            compress::internal::DecodePaa(compress::internal::EncodePaa(p.value()));
+        ADAEDGE_FUZZ_CHECK(again.ok(), "paa re-encode did not decode");
+      }
+      Touch(p.ok() ? Status::Ok() : p.status());
+      break;
+    }
+    case 1: {
+      auto p = compress::internal::DecodePla(payload);
+      if (p.ok()) {
+        auto again =
+            compress::internal::DecodePla(compress::internal::EncodePla(p.value()));
+        ADAEDGE_FUZZ_CHECK(again.ok(), "pla re-encode did not decode");
+      }
+      Touch(p.ok() ? Status::Ok() : p.status());
+      break;
+    }
+    case 2: {
+      auto p = compress::internal::DecodeLttb(payload);
+      if (p.ok()) {
+        auto again = compress::internal::DecodeLttb(
+            compress::internal::EncodeLttb(p.value()));
+        ADAEDGE_FUZZ_CHECK(again.ok(), "lttb re-encode did not decode");
+      }
+      Touch(p.ok() ? Status::Ok() : p.status());
+      break;
+    }
+    default: {
+      auto p = compress::internal::DecodeRrd(payload);
+      if (p.ok()) {
+        auto again =
+            compress::internal::DecodeRrd(compress::internal::EncodeRrd(p.value()));
+        ADAEDGE_FUZZ_CHECK(again.ok(), "rrd re-encode did not decode");
+      }
+      Touch(p.ok() ? Status::Ok() : p.status());
+      break;
+    }
+  }
+  return 0;
+}
+
+int FuzzPayloadQuery(const uint8_t* data, size_t size) {
+  if (size < 2) return 0;
+  static constexpr CodecId kIds[] = {
+      CodecId::kRaw,       CodecId::kDeflate, CodecId::kFastLz,
+      CodecId::kDictionary, CodecId::kRle,    CodecId::kGorilla,
+      CodecId::kChimp,     CodecId::kSprintz, CodecId::kBuff,
+      CodecId::kElf,       CodecId::kBuffLossy, CodecId::kPaa,
+      CodecId::kPla,       CodecId::kFft,     CodecId::kRrdSample,
+      CodecId::kLttb,      CodecId::kKernel,
+  };
+  CodecId id = kIds[data[0] % std::size(kIds)];
+  AggKind kind = static_cast<AggKind>(data[1] % 4);
+  std::span<const uint8_t> payload(data + 2, size - 2);
+  Touch(compress::AggregatePayloadDirect(kind, id, payload));
+  Touch(compress::AggregatePayloadOrDecompress(kind, id, payload));
+  g_sink = g_sink ^ static_cast<uint8_t>(
+      compress::SupportsDirectAggregate(id, kind));
+  return 0;
+}
+
+int FuzzStoreIo(const uint8_t* data, size_t size) {
+  util::ByteReader reader(data, size);
+  // The file body is a sequence of serialized segments; parse until the
+  // first error, re-serializing every accepted segment (the writer must
+  // be able to represent anything the parser accepts).
+  while (reader.remaining() > 0) {
+    auto segment = core::DeserializeSegment(reader);
+    if (!segment.ok()) {
+      Touch(segment.status());
+      break;
+    }
+    util::ByteWriter writer;
+    core::SerializeSegment(segment.value(), writer);
+    std::vector<uint8_t> bytes = writer.Finish();
+    util::ByteReader again(bytes.data(), bytes.size());
+    auto reparsed = core::DeserializeSegment(again);
+    ADAEDGE_FUZZ_CHECK(reparsed.ok(), "serialized segment did not reparse");
+    ADAEDGE_FUZZ_CHECK(
+        reparsed.value().payload() == segment.value().payload(),
+        "segment payload changed across serialize/deserialize");
+  }
+  return 0;
+}
+
+namespace {
+
+struct RoundTripArm {
+  CodecId id;
+  bool exact;  // decode must reproduce input values (bitwise or +-0)
+};
+
+// Lossy arms have no equality invariant but must still decode their own
+// payloads at the original length.
+constexpr RoundTripArm kRoundTripArms[] = {
+    {CodecId::kRaw, true},      {CodecId::kDeflate, true},
+    {CodecId::kFastLz, true},   {CodecId::kRle, true},
+    {CodecId::kGorilla, true},  {CodecId::kChimp, true},
+    {CodecId::kDictionary, false},  // merges +-0.0; values survive via ==
+    {CodecId::kBuff, false},    {CodecId::kSprintz, false},
+    {CodecId::kElf, false},     {CodecId::kBuffLossy, false},
+    {CodecId::kPaa, false},     {CodecId::kPla, false},
+    {CodecId::kFft, false},     {CodecId::kRrdSample, false},
+    {CodecId::kLttb, false},    {CodecId::kKernel, false},
+};
+
+bool SameValue(double a, double b) {
+  if (a == b) return true;  // covers -0.0 vs 0.0 run/dict merges
+  uint64_t ab, bb;
+  std::memcpy(&ab, &a, sizeof(ab));
+  std::memcpy(&bb, &b, sizeof(bb));
+  return ab == bb;  // covers NaN payload bits carried through losslessly
+}
+
+}  // namespace
+
+int FuzzRoundTrip(const uint8_t* data, size_t size) {
+  if (size < 3) return 0;
+  const RoundTripArm arm = kRoundTripArms[data[0] % std::size(kRoundTripArms)];
+  const uint8_t mutation_seed = data[1];
+  data += 2;
+  size -= 2;
+
+  // Interpret the remaining bytes as raw doubles (any bit pattern,
+  // including NaN/Inf — encoders must reject or carry them, never trap).
+  // Cap the count so a single iteration stays fast under sanitizers.
+  size_t count = std::min<size_t>(size / sizeof(double), 1024);
+  std::vector<double> values(count);
+  if (count > 0) std::memcpy(values.data(), data, count * sizeof(double));
+
+  std::shared_ptr<const Codec> codec = GetCodec(arm.id);
+  ADAEDGE_FUZZ_CHECK(codec != nullptr, "codec missing from registry");
+  CodecParams params;
+  params.precision = 4;
+  params.target_ratio = 0.3;
+  auto payload = codec->Compress(values, params);
+  if (!payload.ok()) {
+    // A refusal (quantization range, ratio infeasible, cardinality) is
+    // fine; silently mangling the data is not, and is caught below.
+    Touch(payload.status());
+    return 0;
+  }
+
+  auto decoded = codec->Decompress(payload.value());
+  ADAEDGE_FUZZ_CHECK(decoded.ok(), "own payload did not decode");
+  ADAEDGE_FUZZ_CHECK(decoded.value().size() == values.size(),
+                     "own payload decoded to a different length");
+  if (arm.exact) {
+    for (size_t i = 0; i < count; ++i) {
+      ADAEDGE_FUZZ_CHECK(SameValue(values[i], decoded.value()[i]),
+                         "lossless codec did not round-trip");
+    }
+  }
+
+  // Differential half: flip one byte (position/value derived from the
+  // input, so runs are reproducible) and decode again. Any outcome except
+  // a crash/hang/unbounded allocation is acceptable.
+  std::vector<uint8_t> mutated = payload.value();
+  if (!mutated.empty()) {
+    size_t pos = (mutation_seed * size_t{2654435761u}) % mutated.size();
+    mutated[pos] ^= static_cast<uint8_t>(mutation_seed | 1);
+    ExerciseCodec(*codec, mutated);
+    // Truncations at a derived length, same contract.
+    size_t cut = (mutation_seed * size_t{40503}) % mutated.size();
+    ExerciseCodec(*codec, std::span<const uint8_t>(mutated.data(), cut));
+  }
+  return 0;
+}
+
+}  // namespace adaedge::fuzz

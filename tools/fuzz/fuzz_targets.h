@@ -1,0 +1,49 @@
+#ifndef ADAEDGE_TOOLS_FUZZ_FUZZ_TARGETS_H_
+#define ADAEDGE_TOOLS_FUZZ_FUZZ_TARGETS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// One entry point per fuzz target, all with the libFuzzer
+/// LLVMFuzzerTestOneInput signature (return value is always 0; a finding
+/// is a crash/sanitizer report, never a return code).
+///
+/// The targets live in a plain library so the same code runs in three
+/// harnesses without modification:
+///   - real libFuzzer binaries (clang, ADAEDGE_SANITIZE=fuzzer),
+///   - the standalone driver (any compiler; file replay + built-in
+///     deterministic mutator, see standalone_main.cc),
+///   - the in-tree corpus replay test (tests/fuzz_corpus_test.cc), which
+///     turns every committed corpus file into a permanent regression.
+///
+/// Contract under test (DESIGN.md "Decoder robustness contract"): on
+/// arbitrary bytes every decoder must return a Status — no crash, no
+/// hang, no unbounded allocation, no UB.
+namespace adaedge::fuzz {
+
+// One per bitstream codec: Decompress + every side channel the codec
+// supports (ValueAt, AggregateDirect, Recode) on the raw input bytes.
+int FuzzGorilla(const uint8_t* data, size_t size);
+int FuzzChimp(const uint8_t* data, size_t size);
+int FuzzElf(const uint8_t* data, size_t size);
+int FuzzSprintz(const uint8_t* data, size_t size);
+int FuzzBuff(const uint8_t* data, size_t size);      // lossless + lossy
+int FuzzDictionary(const uint8_t* data, size_t size);
+int FuzzRle(const uint8_t* data, size_t size);
+int FuzzDeflate(const uint8_t* data, size_t size);
+int FuzzFastLz(const uint8_t* data, size_t size);
+int FuzzRaw(const uint8_t* data, size_t size);
+
+// Structured-header targets.
+int FuzzInternalFormats(const uint8_t* data, size_t size);
+int FuzzPayloadQuery(const uint8_t* data, size_t size);
+int FuzzStoreIo(const uint8_t* data, size_t size);
+
+// Differential target: bytes -> values -> Compress -> (mutate one byte)
+// -> Decompress. The unmutated payload must decode losslessly; the
+// mutated one must come back as a Status, never a crash.
+int FuzzRoundTrip(const uint8_t* data, size_t size);
+
+}  // namespace adaedge::fuzz
+
+#endif  // ADAEDGE_TOOLS_FUZZ_FUZZ_TARGETS_H_

@@ -1,0 +1,184 @@
+// Regenerates the seed corpus under tests/corpus/ (committed to the
+// repo; replayed by tests/fuzz_corpus_test.cc and used as fuzzing seeds).
+//
+//   ./adaedge_make_corpus <output-dir>
+//
+// Seeds are deterministic valid payloads — deep, format-correct inputs
+// that put the fuzzers past the header checks from round one. Crashing
+// inputs found by fuzzing should ALSO be dropped into tests/corpus/
+// (named <target>__crash_<what>.bin) so they become permanent ctest
+// regressions; this tool never deletes files it did not write.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "adaedge/compress/codec.h"
+#include "adaedge/compress/internal_formats.h"
+#include "adaedge/compress/registry.h"
+#include "adaedge/core/segment.h"
+#include "adaedge/core/store_io.h"
+#include "adaedge/util/byte_io.h"
+#include "adaedge/util/rng.h"
+
+namespace {
+
+using namespace adaedge;  // tool-local brevity
+
+std::string g_dir;
+int g_failures = 0;
+
+void WriteFile(const std::string& name, const std::vector<uint8_t>& bytes) {
+  std::string path = g_dir + "/" + name;
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    ++g_failures;
+    return;
+  }
+  if (!bytes.empty()) std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  std::printf("%-40s %5zu bytes\n", name.c_str(), bytes.size());
+}
+
+// Same seeded generators as tests/golden_payload_test.cc (shorter n).
+std::vector<double> Smooth(size_t n) {
+  util::Rng rng(0x5eed0001);
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    double v = 10.0 * std::sin(0.01 * static_cast<double>(i)) +
+               0.01 * rng.NextGaussian();
+    out[i] = std::round(v * 1e4) / 1e4;
+  }
+  return out;
+}
+
+std::vector<double> Repeats(size_t n) {
+  util::Rng rng(0x5eed0003);
+  std::vector<double> levels(16);
+  for (auto& l : levels) {
+    l = std::round(rng.NextUniform(-50.0, 50.0) * 1e4) / 1e4;
+  }
+  std::vector<double> out;
+  out.reserve(n);
+  while (out.size() < n) {
+    double level = levels[rng.NextBelow(levels.size())];
+    size_t run = 1 + rng.NextBelow(20);
+    for (size_t i = 0; i < run && out.size() < n; ++i) out.push_back(level);
+  }
+  return out;
+}
+
+std::vector<uint8_t> Payload(compress::CodecId id,
+                             const std::vector<double>& values,
+                             double target_ratio = 0.3) {
+  auto codec = compress::GetCodec(id);
+  compress::CodecParams params;
+  params.precision = 4;
+  params.target_ratio = target_ratio;
+  auto payload = codec->Compress(values, params);
+  if (!payload.ok()) {
+    std::fprintf(stderr, "compress %d failed: %s\n", static_cast<int>(id),
+                 payload.status().ToString().c_str());
+    ++g_failures;
+    return {};
+  }
+  return payload.value();
+}
+
+std::vector<uint8_t> Prefixed(std::vector<uint8_t> head,
+                              const std::vector<uint8_t>& tail) {
+  head.insert(head.end(), tail.begin(), tail.end());
+  return head;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <output-dir>\n", argv[0]);
+    return 2;
+  }
+  g_dir = argv[1];
+
+  const std::vector<double> smooth = Smooth(64);
+  const std::vector<double> repeats = Repeats(64);
+  using compress::CodecId;
+
+  // Bitstream codec targets: one smooth + one low-cardinality seed each
+  // (dictionary only accepts low cardinality).
+  WriteFile("gorilla__smooth64.bin", Payload(CodecId::kGorilla, smooth));
+  WriteFile("gorilla__repeats64.bin", Payload(CodecId::kGorilla, repeats));
+  WriteFile("chimp__smooth64.bin", Payload(CodecId::kChimp, smooth));
+  WriteFile("chimp__repeats64.bin", Payload(CodecId::kChimp, repeats));
+  WriteFile("elf__smooth64.bin", Payload(CodecId::kElf, smooth));
+  WriteFile("elf__repeats64.bin", Payload(CodecId::kElf, repeats));
+  WriteFile("sprintz__smooth64.bin", Payload(CodecId::kSprintz, smooth));
+  WriteFile("sprintz__repeats64.bin", Payload(CodecId::kSprintz, repeats));
+  WriteFile("buff__smooth64.bin", Payload(CodecId::kBuff, smooth));
+  WriteFile("buff__lossy64.bin", Payload(CodecId::kBuffLossy, smooth));
+  WriteFile("dictionary__repeats64.bin",
+            Payload(CodecId::kDictionary, repeats));
+  WriteFile("rle__repeats64.bin", Payload(CodecId::kRle, repeats));
+  WriteFile("deflate__smooth64.bin", Payload(CodecId::kDeflate, smooth));
+  WriteFile("fastlz__repeats64.bin", Payload(CodecId::kFastLz, repeats));
+  WriteFile("raw__smooth8.bin", Payload(CodecId::kRaw, Smooth(8)));
+
+  // Structured-format target: selector byte + a valid encoding each.
+  WriteFile("internal_formats__paa.bin",
+            Prefixed({0}, Payload(CodecId::kPaa, smooth)));
+  WriteFile("internal_formats__pla.bin",
+            Prefixed({1}, Payload(CodecId::kPla, smooth)));
+  WriteFile("internal_formats__lttb.bin",
+            Prefixed({2}, Payload(CodecId::kLttb, smooth)));
+  WriteFile("internal_formats__rrd.bin",
+            Prefixed({3}, Payload(CodecId::kRrdSample, smooth)));
+
+  // Crash reproducer (found by fuzz_rle, 60 s run, seed 1): declared
+  // count 10, one valid run, then run length 2^64-1. The additive guard
+  // `out.size() + run > count` wrapped, letting the forged run reach
+  // vector::insert (std::length_error -> terminate).
+  {
+    util::ByteWriter w;
+    w.PutVarint(10);
+    w.PutVarint(1);
+    w.PutF64(1.0);
+    w.PutVarint(~uint64_t{0});
+    w.PutF64(2.0);
+    WriteFile("rle__crash_run_overflow.bin", w.Finish());
+  }
+
+  // Payload-query target: [codec-selector][agg-kind] + matching payload.
+  // Selector indexes fuzz_targets.cc's kIds table (5 = gorilla, 11 = paa).
+  WriteFile("payload_query__gorilla_sum.bin",
+            Prefixed({5, 0}, Payload(CodecId::kGorilla, smooth)));
+  WriteFile("payload_query__paa_avg.bin",
+            Prefixed({11, 1}, Payload(CodecId::kPaa, smooth)));
+
+  // Store-io target: one serialized segment (raw codec payload).
+  {
+    core::SegmentMeta meta;
+    meta.id = 1;
+    meta.ingest_time = 1.0;
+    meta.value_count = 8;
+    meta.state = core::SegmentState::kRaw;
+    meta.codec = CodecId::kRaw;
+    core::Segment segment =
+        core::Segment::FromPayload(meta, Payload(CodecId::kRaw, Smooth(8)));
+    util::ByteWriter w;
+    core::SerializeSegment(segment, w);
+    WriteFile("store_io__segment.bin", w.Finish());
+  }
+
+  // Round-trip target: [arm][mutation-seed] + raw double bytes.
+  {
+    util::ByteWriter w;
+    for (double v : Smooth(32)) w.PutF64(v);
+    std::vector<uint8_t> doubles = w.Finish();
+    WriteFile("roundtrip__gorilla32.bin", Prefixed({4, 17}, doubles));
+    WriteFile("roundtrip__deflate32.bin", Prefixed({1, 90}, doubles));
+    WriteFile("roundtrip__fft32.bin", Prefixed({13, 201}, doubles));
+  }
+
+  return g_failures == 0 ? 0 : 1;
+}

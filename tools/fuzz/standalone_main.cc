@@ -1,0 +1,174 @@
+// Driver for fuzz targets on toolchains without libFuzzer (the in-repo
+// toolchain is GCC, which has no -fsanitize=fuzzer runtime). Two modes:
+//
+//   fuzz_<target> FILE...
+//       Replay: run every file once through the target (what the CI
+//       corpus job and local crash triage use).
+//
+//   fuzz_<target> --rounds=N [--seed=S] [--max-len=L] [--max-seconds=T]
+//                 [FILE...]
+//       Built-in mutation fuzzing: a seeded xorshift RNG grows inputs
+//       from the given corpus files (or from scratch) with byte flips,
+//       truncations, insertions and splices. Fully deterministic for a
+//       fixed seed + corpus, so "60 s of fuzzing under ASan+UBSan" is a
+//       reproducible local gate, not a flaky one. Not coverage-guided —
+//       real campaigns should use the clang+libFuzzer build (see
+//       EXPERIMENTS.md "Fuzzing the decoders").
+//
+// Exit code 0 means no target crashed; findings abort the process.
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+// xorshift64*: deterministic, seedable, good enough for structural
+// mutations (quality of randomness is not the point of this driver).
+struct Rng {
+  uint64_t state;
+  uint64_t Next() {
+    state ^= state >> 12;
+    state ^= state << 25;
+    state ^= state >> 27;
+    return state * 0x2545f4914f6cdd1dULL;
+  }
+  size_t Below(size_t n) { return n == 0 ? 0 : Next() % n; }
+};
+
+std::vector<uint8_t> ReadFile(const char* path) {
+  std::vector<uint8_t> bytes;
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path);
+    std::exit(2);
+  }
+  uint8_t buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void Mutate(Rng& rng, std::vector<uint8_t>& input, size_t max_len) {
+  int edits = 1 + static_cast<int>(rng.Below(8));
+  for (int e = 0; e < edits; ++e) {
+    switch (rng.Below(6)) {
+      case 0:  // flip a byte
+        if (!input.empty()) {
+          input[rng.Below(input.size())] ^=
+              static_cast<uint8_t>(1 + rng.Below(255));
+        }
+        break;
+      case 1:  // flip a single bit
+        if (!input.empty()) {
+          input[rng.Below(input.size())] ^=
+              static_cast<uint8_t>(1u << rng.Below(8));
+        }
+        break;
+      case 2:  // truncate
+        if (!input.empty()) input.resize(rng.Below(input.size()));
+        break;
+      case 3:  // insert random bytes
+        if (input.size() < max_len) {
+          size_t n = 1 + rng.Below(16);
+          size_t at = rng.Below(input.size() + 1);
+          std::vector<uint8_t> chunk(n);
+          for (auto& b : chunk) b = static_cast<uint8_t>(rng.Next());
+          input.insert(input.begin() + static_cast<ptrdiff_t>(at),
+                       chunk.begin(), chunk.end());
+        }
+        break;
+      case 4:  // overwrite with an interesting varint/length-like value
+        if (input.size() >= 8) {
+          static constexpr uint64_t kMagic[] = {
+              0,    1,    0x7f, 0x80, 0xff, 0x3fff, 0xffff, uint64_t{1} << 26,
+              (uint64_t{1} << 26) + 1, ~uint64_t{0}, uint64_t{1} << 63};
+          uint64_t v = kMagic[rng.Below(std::size(kMagic))];
+          std::memcpy(&input[rng.Below(input.size() - 7)], &v, 8);
+        }
+        break;
+      default:  // duplicate a slice (splice-with-self)
+        if (!input.empty() && input.size() < max_len) {
+          size_t from = rng.Below(input.size());
+          size_t n = 1 + rng.Below(input.size() - from);
+          std::vector<uint8_t> chunk(input.begin() + static_cast<ptrdiff_t>(from),
+                                     input.begin() +
+                                         static_cast<ptrdiff_t>(from + n));
+          size_t at = rng.Below(input.size() + 1);
+          input.insert(input.begin() + static_cast<ptrdiff_t>(at),
+                       chunk.begin(), chunk.end());
+        }
+        break;
+    }
+  }
+  if (input.size() > max_len) input.resize(max_len);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  uint64_t rounds = 0;
+  uint64_t seed = 0x5eedf022;
+  size_t max_len = 4096;
+  double max_seconds = 0.0;
+  std::vector<std::vector<uint8_t>> corpus;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--rounds=", 0) == 0) {
+      rounds = std::strtoull(arg.c_str() + 9, nullptr, 10);
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else if (arg.rfind("--max-len=", 0) == 0) {
+      max_len = std::strtoull(arg.c_str() + 10, nullptr, 10);
+    } else if (arg.rfind("--max-seconds=", 0) == 0) {
+      max_seconds = std::strtod(arg.c_str() + 14, nullptr);
+    } else {
+      corpus.push_back(ReadFile(arg.c_str()));
+    }
+  }
+
+  // Replay every corpus file as-is first (also the pure-replay mode).
+  for (const auto& bytes : corpus) {
+    LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  }
+  if (rounds == 0 && max_seconds == 0.0) {
+    std::printf("replayed %zu file(s)\n", corpus.size());
+    return 0;
+  }
+
+  Rng rng{seed != 0 ? seed : 1};
+  std::vector<uint8_t> input;
+  uint64_t executed = 0;
+  std::clock_t start = std::clock();
+  for (uint64_t r = 0; rounds == 0 || r < rounds; ++r) {
+    if (max_seconds > 0.0 && (r & 0x3ff) == 0) {
+      double elapsed = static_cast<double>(std::clock() - start) /
+                       static_cast<double>(CLOCKS_PER_SEC);
+      if (elapsed >= max_seconds) break;
+    }
+    if (corpus.empty() || rng.Below(4) == 0) {
+      // Fresh random input.
+      input.resize(rng.Below(max_len + 1));
+      for (auto& b : input) b = static_cast<uint8_t>(rng.Next());
+    } else {
+      input = corpus[rng.Below(corpus.size())];
+      Mutate(rng, input, max_len);
+    }
+    LLVMFuzzerTestOneInput(input.data(), input.size());
+    ++executed;
+  }
+  std::printf("executed %llu round(s), seed %llu\n",
+              static_cast<unsigned long long>(executed),
+              static_cast<unsigned long long>(seed));
+  return 0;
+}

@@ -16,6 +16,13 @@ namespace adaedge::bandit {
 /// Bands are defined by descending upper edges; ratio r maps to the first
 /// band whose edge is >= r. E.g. edges {1.0, 0.5, 0.25, 0.125} create
 /// bands (0.5,1.0], (0.25,0.5], (0.125,0.25], (0,0.125].
+///
+/// Not thread-safe: like BanditPolicy, the selection component serializes
+/// access (OfflineNode's bandit mutex). The band instances DO tolerate
+/// delayed rewards (AcquireArm/NotePending/CompletePull), so a recode
+/// worker may acquire an arm, run the codec outside the mutex, and feed
+/// the reward back later — concurrent workers only ever touch the set
+/// inside those brief locked windows.
 class BandedBanditSet {
  public:
   /// `edges` must be strictly descending, all in (0, 1].
@@ -31,7 +38,15 @@ class BandedBanditSet {
 
   size_t num_bands() const { return bandits_.size(); }
   BanditPolicy& band(size_t i) { return *bandits_[i]; }
+  const BanditPolicy& band(size_t i) const { return *bandits_[i]; }
   double band_edge(size_t i) const { return edges_[i]; }
+
+  /// Sum of in-flight (acquired-but-not-completed) pulls across bands.
+  uint64_t TotalPending() const {
+    uint64_t total = 0;
+    for (const auto& bandit : bandits_) total += bandit->TotalPending();
+    return total;
+  }
 
   /// The paper's default banding: {1.0, 0.5, 0.25, 0.125, 0.0625}.
   static std::vector<double> DefaultEdges();

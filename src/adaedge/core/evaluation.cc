@@ -17,6 +17,10 @@ Result<RetainedQuality> EvaluateRetained(
   for (size_t i = 0; i < ids.size(); ++i) {
     auto original_it = originals.find(ids[i]);
     if (original_it == originals.end()) continue;
+    // Peek borrows the stored payload (shared immutable buffer; no byte
+    // copy, no LRU perturbation) and Materialize decompresses it outside
+    // the store lock — this sweep touches every segment per evaluation,
+    // so its only per-segment allocation is the reconstructed output.
     ADAEDGE_ASSIGN_OR_RETURN(Segment segment, store.Peek(ids[i]));
     ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> reconstructed,
                              segment.Materialize());

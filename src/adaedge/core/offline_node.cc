@@ -1,11 +1,77 @@
 #include "adaedge/core/offline_node.h"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
 
 #include "adaedge/compress/transcode.h"
 #include "adaedge/util/stopwatch.h"
 
 namespace adaedge::core {
+
+namespace {
+
+// Per-thread compression scratch. Ingest runs codec work with no lock
+// held, so each ingesting thread owns one buffer whose capacity persists
+// across segments (codecs reserve MaxCompressedSize up front, so steady
+// state is allocation-free). Stored payloads are exact-size copies; the
+// scratch never escapes.
+std::vector<uint8_t>& CompressScratch() {
+  static thread_local std::vector<uint8_t> scratch;
+  return scratch;
+}
+
+constexpr const char kCodecDbFailure[] =
+    "recoding budget reached and lossless-only selection cannot free "
+    "space (CodecDB failure mode)";
+
+}  // namespace
+
+Status OfflineConfig::Validate() const {
+  if (storage_budget_bytes == 0) {
+    return Status::InvalidArgument("storage_budget_bytes must be > 0");
+  }
+  if (!(recode_threshold > 0.0 && recode_threshold <= 1.0)) {
+    return Status::InvalidArgument(
+        "recode_threshold must be in (0, 1] (got " +
+        std::to_string(recode_threshold) + ")");
+  }
+  if (!(shrink_factor > 0.0 && shrink_factor < 1.0)) {
+    return Status::InvalidArgument(
+        "shrink_factor must be in (0, 1) (got " +
+        std::to_string(shrink_factor) +
+        "); 1 cannot make progress and 0 demands an impossible ratio");
+  }
+  if (compress_threads < 1) {
+    return Status::InvalidArgument(
+        "compress_threads must be >= 1 (got " +
+        std::to_string(compress_threads) + ")");
+  }
+  if (recode_threads < 1) {
+    return Status::InvalidArgument(
+        "recode_threads must be >= 1 (got " +
+        std::to_string(recode_threads) + ")");
+  }
+  if (!(cpu_scale > 0.0)) {
+    return Status::InvalidArgument(
+        "cpu_scale must be positive (got " + std::to_string(cpu_scale) +
+        ")");
+  }
+  if (backpressure_timeout_seconds < 0.0) {
+    return Status::InvalidArgument(
+        "backpressure_timeout_seconds must be >= 0");
+  }
+  if (bandit.epsilon < 0.0 || bandit.epsilon > 1.0) {
+    return Status::InvalidArgument("bandit.epsilon must be in [0, 1]");
+  }
+  if (bandit.step < 0.0 || bandit.step > 1.0) {
+    return Status::InvalidArgument("bandit.step must be in [0, 1]");
+  }
+  if (precision < 0) {
+    return Status::InvalidArgument("precision must be >= 0");
+  }
+  return Status::Ok();
+}
 
 OfflineNode::OfflineNode(OfflineConfig config, TargetSpec target)
     : config_(std::move(config)), evaluator_(std::move(target)) {
@@ -30,165 +96,262 @@ OfflineNode::OfflineNode(OfflineConfig config, TargetSpec target)
   lossy_bandits_ = std::make_unique<bandit::BandedBanditSet>(
       config_.band_edges, config_.policy,
       static_cast<int>(config_.lossy_arms.size()), config_.bandit);
+  // recode_threads == 1 keeps the serial engine (deterministic seeded
+  // runs); a lossless-only node has nothing for recode workers to do and
+  // keeps the serial fail-fast semantics instead.
+  if (config_.recode_threads >= 2 && config_.allow_lossy) {
+    recode_workers_.reserve(static_cast<size_t>(config_.recode_threads));
+    for (int i = 0; i < config_.recode_threads; ++i) {
+      recode_workers_.emplace_back([this] { RecodeWorkerLoop(); });
+    }
+  }
+}
+
+OfflineNode::~OfflineNode() {
+  {
+    std::lock_guard<std::mutex> pool(pool_mu_);
+    stopping_ = true;
+    work_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+  for (auto& worker : recode_workers_) worker.join();
+}
+
+Result<std::unique_ptr<OfflineNode>> OfflineNode::Create(
+    OfflineConfig config, TargetSpec target) {
+  ADAEDGE_RETURN_IF_ERROR(config.Validate());
+  return std::make_unique<OfflineNode>(std::move(config),
+                                       std::move(target));
 }
 
 Status OfflineNode::Ingest(uint64_t id, double now,
                            std::span<const double> values) {
-  std::lock_guard<std::mutex> lock(mu_);
-  // Free space first if the threshold has tripped.
-  ADAEDGE_RETURN_IF_ERROR(DrainRecoding(now));
+  const bool background = !recode_workers_.empty();
+  if (background) {
+    // Fail-fast parity with the serial engine: a lossless-only node
+    // cannot free space once the threshold trips (Fig 12). (Unreachable
+    // today — lossless-only nodes never spawn workers — but kept so the
+    // invariant survives a change to that spawn rule.)
+    if (!config_.allow_lossy && budget_->NeedsRecoding()) {
+      return Status::ResourceExhausted(kCodecDbFailure);
+    }
+  } else {
+    // Serial engine: free space first if the threshold has tripped, in
+    // the fixed inline order seeded runs depend on.
+    ADAEDGE_RETURN_IF_ERROR(DrainRecoding(now));
+  }
 
-  // Lossless-compress the new segment into the node's reusable scratch
-  // (Ingest holds mu_, so one member buffer serves every segment and its
-  // capacity persists across them); reward = size reduction.
-  int arm_idx = lossless_bandit_->SelectArm();
-  const compress::CodecArm& arm = config_.lossless_arms[arm_idx];
+  // Phase 1: pick a lossless arm under the bandit lock; reward = size
+  // reduction.
+  int arm_idx;
+  compress::CodecArm arm;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    arm_idx = lossless_bandit_->AcquireArm();
+    arm = config_.lossless_arms[arm_idx];
+  }
+
+  // Phase 2: codec work with no lock held, into this thread's reusable
+  // scratch.
+  std::vector<uint8_t>& scratch = CompressScratch();
   util::Stopwatch watch;
-  Status compressed =
-      arm.codec->CompressInto(values, arm.params, compress_scratch_);
+  Status compressed = arm.codec->CompressInto(values, arm.params, scratch);
   double seconds = watch.ElapsedSeconds() * config_.cpu_scale;
-  compress_busy_ += seconds;
 
   SegmentMeta meta;
   meta.id = id;
   meta.ingest_time = now;
   meta.value_count = static_cast<uint32_t>(values.size());
   Segment segment;
+  double reward = 0.0;
   if (compressed.ok()) {
-    double ratio = compress::CompressionRatio(compress_scratch_.size(),
-                                              values.size());
-    lossless_bandit_->Update(arm_idx, std::clamp(1.0 - ratio, 0.0, 1.0));
+    double ratio =
+        compress::CompressionRatio(scratch.size(), values.size());
+    reward = std::clamp(1.0 - ratio, 0.0, 1.0);
     meta.state = SegmentState::kLossless;
     meta.codec = arm.codec->id();
     meta.params = arm.params;
     segment = Segment::FromPayload(
-        meta, std::vector<uint8_t>(compress_scratch_.begin(),
-                                   compress_scratch_.end()));
+        meta, std::vector<uint8_t>(scratch.begin(), scratch.end()));
   } else {
     // Codec refused (e.g. dictionary on high-cardinality data): penalize
     // and store raw; the recoder will deal with it.
-    lossless_bandit_->Update(arm_idx, 0.0);
     segment = Segment::FromValues(id, now, values);
   }
 
-  Status put = store_->Put(std::move(segment));
-  if (put.ok()) return put;
+  // Phase 3: feed the delayed reward back under the lock.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    compress_busy_ += seconds;
+    lossless_bandit_->CompletePull(arm_idx,
+                                   compressed.ok() ? reward : 0.0);
+  }
+
+  // Segment copies are cheap (meta + payload refcount), so the retry
+  // paths below reuse `segment` instead of recompressing.
+  Status put = store_->Put(segment);
+  if (put.ok()) {
+    if (background) NotifyIngest(now);
+    return put;
+  }
   if (put.code() != util::StatusCode::kResourceExhausted) return put;
+  if (background) {
+    return AwaitSpaceAndPut(std::move(segment), now, std::move(put));
+  }
   // Hard capacity hit before the threshold logic could free space: recode
   // aggressively once more, then retry. Failure here is the experiment
   // failure of Fig 14.
   ADAEDGE_RETURN_IF_ERROR(DrainRecoding(now));
-  Segment retry;
-  if (compressed.ok()) {
-    // The compressed image is still sitting in the scratch — no need to
-    // recompress for the retry.
-    retry = Segment::FromPayload(
-        meta, std::vector<uint8_t>(compress_scratch_.begin(),
-                                   compress_scratch_.end()));
-  } else {
-    retry = Segment::FromValues(id, now, values);
-  }
-  return store_->Put(std::move(retry));
+  return store_->Put(std::move(segment));
 }
 
 Status OfflineNode::DrainRecoding(double now) {
   if (!budget_->NeedsRecoding()) return Status::Ok();
   if (!config_.allow_lossy) {
-    return Status::ResourceExhausted(
-        "recoding budget reached and lossless-only selection cannot free "
-        "space (CodecDB failure mode)");
+    return Status::ResourceExhausted(kCodecDbFailure);
   }
   // Skip victims that cannot shrink further within one pass.
   size_t skipped = 0;
   while (budget_->NeedsRecoding()) {
-    if (config_.meter_compute) {
-      // The recoding pool earns CPU time only from the moment recoding
-      // first became necessary (an idle thread cannot bank time), so the
-      // first recoding wave is a genuine race against ingestion — the
-      // paper's Fig 14 failure mechanism. Busy time is measured wall time
-      // scaled by cpu_scale into edge-CPU-seconds.
-      if (recode_clock_start_ < 0.0) recode_clock_start_ = now;
-      double available =
-          (now - recode_clock_start_) * config_.recode_threads;
-      if (recode_busy_ >= available) {
-        ++deferred_recodes_;
-        return Status::Ok();  // defer: the recode thread is saturated
-      }
+    if (!RecodeBudgetAvailable(now)) {
+      return Status::Ok();  // defer: the recode thread is saturated
     }
-    std::optional<uint64_t> victim = store_->NextVictim();
-    if (!victim.has_value()) return Status::Ok();  // nothing stored yet
+    std::optional<SegmentStore::ClaimedVictim> claim =
+        store_->ClaimNextVictim();
+    if (!claim.has_value()) return Status::Ok();  // nothing stored yet
     if (skipped >= store_->count()) {
       // Every stored segment is at its floor; give up (caller will fail
       // on Put if space is really out).
+      store_->ReleaseClaim(claim->id);
       return Status::Ok();
     }
     bool freed = false;
-    ADAEDGE_RETURN_IF_ERROR(RecodeVictim(*victim, now, freed));
+    ADAEDGE_RETURN_IF_ERROR(RecodeClaimedVictim(*claim, freed));
     if (freed) {
       skipped = 0;  // progress was made; keep going
     } else {
-      // At its floor: rotate it to the back so the pass visits the rest.
-      store_->RequeueVictim(*victim);
       ++skipped;
     }
   }
   return Status::Ok();
 }
 
-Status OfflineNode::RecodeVictim(uint64_t victim, double now, bool& freed) {
-  (void)now;
+bool OfflineNode::RecodeBudgetAvailable(double now) {
+  if (!config_.meter_compute) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  // The recoding pool earns CPU time only from the moment recoding first
+  // became necessary (an idle thread cannot bank time), so the first
+  // recoding wave is a genuine race against ingestion — the paper's
+  // Fig 14 failure mechanism. Busy time is measured wall time scaled by
+  // cpu_scale into edge-CPU-seconds.
+  if (recode_clock_start_ < 0.0) recode_clock_start_ = now;
+  double available = (now - recode_clock_start_) * config_.recode_threads;
+  if (recode_busy_ >= available) {
+    ++deferred_recodes_;
+    return false;
+  }
+  return true;
+}
+
+bool OfflineNode::RecodeSaturated(double now) const {
+  if (!config_.meter_compute) return false;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (recode_clock_start_ < 0.0) return false;
+  double available = (now - recode_clock_start_) * config_.recode_threads;
+  return recode_busy_ >= available;
+}
+
+Status OfflineNode::RecodeClaimedVictim(
+    const SegmentStore::ClaimedVictim& claim, bool& freed) {
   freed = false;
   util::Stopwatch watch;
-  Status status = store_->Mutate(victim, [&](Segment& segment) -> Status {
-    double current_ratio = segment.meta().achieved_ratio;
-    double target_ratio =
-        std::min(current_ratio * config_.shrink_factor, 1.0);
+  // Working copy: metadata plus a borrowed payload refcount. All codec
+  // work runs on this local object with no store lock held; the result
+  // is committed as one swap under Mutate.
+  Segment working = claim.segment;
+  Status status = RecodeWorking(claim, working, watch);
 
-    // Clamp the target to what some arm can still achieve.
-    double min_supported = 2.0;
-    for (const auto& arm : config_.lossy_arms) {
-      // Probe a small set of floors per arm via SupportsRatio.
-      double lo = 0.0, hi = 1.0;
-      if (arm.codec->SupportsRatio(target_ratio,
-                                   segment.meta().value_count)) {
-        min_supported = std::min(min_supported, target_ratio);
-        continue;
-      }
-      // Binary-search this arm's floor to know how far we could go.
-      for (int i = 0; i < 12; ++i) {
-        double mid = 0.5 * (lo + hi);
-        if (arm.codec->SupportsRatio(mid, segment.meta().value_count)) {
-          hi = mid;
-        } else {
-          lo = mid;
-        }
-      }
-      min_supported = std::min(min_supported, hi);
-    }
-    if (min_supported > 1.0) {
-      return Status::FailedPrecondition("no lossy arm available");
-    }
-    target_ratio = std::max(target_ratio, min_supported);
-    if (target_ratio >= current_ratio * 0.98) {
-      // Already at (or effectively at) the floor: nothing to gain.
-      return Status::FailedPrecondition("segment at compression floor");
-    }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    recode_busy_ += watch.ElapsedSeconds() * config_.cpu_scale;
+    if (status.ok()) ++recode_ops_;
+  }
+  if (status.ok()) {
+    freed = true;
+    store_->ReleaseClaim(claim.id);
+    return status;
+  }
+  if (status.code() == util::StatusCode::kFailedPrecondition) {
+    // At its floor: rotate it to the back so the pass visits the rest,
+    // and report not-freed.
+    store_->RequeueVictim(claim.id);
+    store_->ReleaseClaim(claim.id);
+    return Status::Ok();
+  }
+  store_->ReleaseClaim(claim.id);
+  return status;
+}
 
-    bandit::BanditPolicy& band = lossy_bandits_->ForRatio(target_ratio);
-    auto supports = [&](int idx) {
-      return config_.lossy_arms[idx].codec->SupportsRatio(
-          target_ratio, segment.meta().value_count);
-    };
-    int arm_idx = band.SelectArm();
+Status OfflineNode::RecodeWorking(const SegmentStore::ClaimedVictim& claim,
+                                  Segment& working,
+                                  const util::Stopwatch& watch) {
+  double current_ratio = working.meta().achieved_ratio;
+  double target_ratio =
+      std::min(current_ratio * config_.shrink_factor, 1.0);
+
+  // Clamp the target to what some arm can still achieve. SupportsRatio is
+  // a cheap pure function of ratio and length: no lock needed.
+  double min_supported = 2.0;
+  for (const auto& arm : config_.lossy_arms) {
+    // Probe a small set of floors per arm via SupportsRatio.
+    double lo = 0.0, hi = 1.0;
+    if (arm.codec->SupportsRatio(target_ratio,
+                                 working.meta().value_count)) {
+      min_supported = std::min(min_supported, target_ratio);
+      continue;
+    }
+    // Binary-search this arm's floor to know how far we could go.
+    for (int i = 0; i < 12; ++i) {
+      double mid = 0.5 * (lo + hi);
+      if (arm.codec->SupportsRatio(mid, working.meta().value_count)) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    min_supported = std::min(min_supported, hi);
+  }
+  if (min_supported > 1.0) {
+    return Status::FailedPrecondition("no lossy arm available");
+  }
+  target_ratio = std::max(target_ratio, min_supported);
+  if (target_ratio >= current_ratio * 0.98) {
+    // Already at (or effectively at) the floor: nothing to gain.
+    return Status::FailedPrecondition("segment at compression floor");
+  }
+
+  auto supports = [&](int idx) {
+    return config_.lossy_arms[idx].codec->SupportsRatio(
+        target_ratio, working.meta().value_count);
+  };
+
+  // Phase 1: acquire an arm from this band's bandit under the bandit
+  // lock. Arms that cannot reach the ratio are punished and skipped in
+  // favour of the best supporting arm.
+  bandit::BanditPolicy* band = nullptr;
+  int arm_idx = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    band = &lossy_bandits_->ForRatio(target_ratio);
+    arm_idx = band->AcquireArm();
     if (!supports(arm_idx)) {
-      band.Update(arm_idx, 0.0);
-      // Fall back to the best supporting arm of this band.
+      band->CompletePull(arm_idx, 0.0);
       int best = -1;
       double best_value = -1.0;
       for (int i = 0; i < static_cast<int>(config_.lossy_arms.size());
            ++i) {
         if (!supports(i)) continue;
-        double v = band.EstimatedValue(i);
+        double v = band->EstimatedValue(i);
         if (v > best_value) {
           best_value = v;
           best = i;
@@ -198,92 +361,247 @@ Status OfflineNode::RecodeVictim(uint64_t victim, double now, bool& freed) {
         return Status::FailedPrecondition("band has no supporting arm");
       }
       arm_idx = best;
+      band->NotePending(arm_idx);
     }
+  }
 
-    // Reference = the segment's current reconstruction; the recode reward
-    // is how well the tighter encoding preserves the workload relative to
-    // it (the best ground truth an offline node still has).
-    ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> reference,
-                             segment.Materialize());
+  // Phase 2: codec work with no lock held. Reference = the segment's
+  // current reconstruction; the recode reward is how well the tighter
+  // encoding preserves the workload relative to it (the best ground
+  // truth an offline node still has).
+  auto reference_or = working.Materialize();
+  if (!reference_or.ok()) {
+    std::lock_guard<std::mutex> lock(mu_);
+    band->AbandonPull(arm_idx);
+    return reference_or.status();
+  }
+  std::vector<double> reference = std::move(reference_or).value();
 
-    // Applies one arm to `target` — same-codec virtual decompression
-    // first, then direct cross-codec transcoding (SIV-E future work),
-    // full re-encode as the last resort — and returns the observed
-    // reward.
-    auto apply_arm = [&](Segment& target, int idx) -> Result<double> {
-      compress::CodecArm arm = config_.lossy_arms[idx];
-      arm.params.precision = config_.precision;
-      arm.params.target_ratio = target_ratio;
-      Status applied = Status::Unimplemented("");
-      if (config_.use_virtual_decompression &&
-          target.meta().codec == arm.codec->id() &&
-          arm.codec->SupportsRecode()) {
-        applied = target.RecodeInPlace(target_ratio);
+  // Applies one arm to `target` — same-codec virtual decompression
+  // first, then direct cross-codec transcoding (SIV-E future work),
+  // full re-encode as the last resort — and returns the observed reward.
+  auto apply_arm = [&](Segment& target, int idx) -> Result<double> {
+    compress::CodecArm arm = config_.lossy_arms[idx];
+    arm.params.precision = config_.precision;
+    arm.params.target_ratio = target_ratio;
+    Status applied = Status::Unimplemented("");
+    if (config_.use_virtual_decompression &&
+        target.meta().codec == arm.codec->id() &&
+        arm.codec->SupportsRecode()) {
+      applied = target.RecodeInPlace(target_ratio);
+    }
+    if (!applied.ok() && config_.use_virtual_decompression &&
+        compress::SupportsDirectTranscode(target.meta().codec,
+                                          arm.codec->id())) {
+      auto transcoded = compress::TranscodeDirect(
+          target.meta().codec, target.payload(), arm.codec->id(),
+          target_ratio);
+      if (transcoded.ok()) {
+        SegmentMeta meta = target.meta();
+        meta.codec = arm.codec->id();
+        meta.params = arm.params;
+        meta.state = SegmentState::kLossy;
+        target = Segment::FromPayload(meta, std::move(transcoded).value());
+        applied = Status::Ok();
       }
-      if (!applied.ok() && config_.use_virtual_decompression &&
-          compress::SupportsDirectTranscode(target.meta().codec,
-                                            arm.codec->id())) {
-        auto transcoded = compress::TranscodeDirect(
-            target.meta().codec, target.payload(), arm.codec->id(),
-            target_ratio);
-        if (transcoded.ok()) {
-          SegmentMeta meta = target.meta();
-          meta.codec = arm.codec->id();
-          meta.params = arm.params;
-          meta.state = SegmentState::kLossy;
-          target = Segment::FromPayload(meta, std::move(transcoded).value());
-          applied = Status::Ok();
-        }
+    }
+    if (!applied.ok()) {
+      // Full re-encode through the arm's OWN codec object (identical to
+      // a registry lookup for the stock arms, which hold the registry
+      // singletons — but instrumented arm codecs in tests/benches must
+      // see the Compress call).
+      auto payload = arm.codec->Compress(reference, arm.params);
+      if (payload.ok()) {
+        SegmentMeta meta = target.meta();
+        meta.codec = arm.codec->id();
+        meta.params = arm.params;
+        meta.state = arm.codec->kind() == compress::CodecKind::kLossy
+                         ? SegmentState::kLossy
+                         : (arm.codec->id() == compress::CodecId::kRaw
+                                ? SegmentState::kRaw
+                                : SegmentState::kLossless);
+        target = Segment::FromPayload(meta, std::move(payload).value());
+        applied = Status::Ok();
+      } else {
+        applied = payload.status();
       }
-      if (!applied.ok()) {
-        applied = target.Reencode(arm.codec->id(), arm.params, reference);
-      }
-      ADAEDGE_RETURN_IF_ERROR(applied);
-      ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> recoded,
-                               target.Materialize());
-      return evaluator_.Reward(reference, recoded,
-                               reference.size() * sizeof(double),
-                               watch.ElapsedSeconds());
-    };
+    }
+    ADAEDGE_RETURN_IF_ERROR(applied);
+    ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> recoded,
+                             target.Materialize());
+    return evaluator_.Reward(reference, recoded,
+                             reference.size() * sizeof(double),
+                             watch.ElapsedSeconds());
+  };
 
-    Segment snapshot = segment;
-    auto reward = apply_arm(segment, arm_idx);
+  auto reward = apply_arm(working, arm_idx);
+
+  // Phase 3: feed the delayed reward back. Exploration is accuracy-free
+  // in offline recoding: the pre-recode payload is still at hand (the
+  // claim borrows it), so if the explored arm underperformed the
+  // (updated) greedy arm's estimate, redo from the snapshot with the
+  // greedy arm and keep the better outcome. Information is only ever
+  // lost through the committed encoding.
+  int greedy = -1;
+  bool redo_wanted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     if (!reward.ok()) {
-      band.Update(arm_idx, 0.0);
+      band->CompletePull(arm_idx, 0.0);
       return reward.status();
     }
-    band.Update(arm_idx, reward.value());
-
-    // Exploration is accuracy-free in offline recoding: the pre-recode
-    // payload is still at hand, so if the explored arm underperformed the
-    // (updated) greedy arm's estimate, redo from the snapshot with the
-    // greedy arm and keep the better outcome. Information is only ever
-    // lost through the committed encoding.
-    int greedy = band.BestArm();
-    if (greedy != arm_idx && supports(greedy) &&
-        reward.value() < band.EstimatedValue(greedy)) {
-      Segment redo = snapshot;
-      auto redo_reward = apply_arm(redo, greedy);
-      if (redo_reward.ok()) {
-        band.Update(greedy, redo_reward.value());
-        if (redo_reward.value() > reward.value()) {
-          segment = std::move(redo);
-        }
+    band->CompletePull(arm_idx, reward.value());
+    greedy = band->BestArm();
+    redo_wanted = greedy != arm_idx && supports(greedy) &&
+                  reward.value() < band->EstimatedValue(greedy);
+    if (redo_wanted) band->NotePending(greedy);
+  }
+  if (redo_wanted) {
+    Segment redo = claim.segment;  // pre-recode snapshot, borrowed bytes
+    auto redo_reward = apply_arm(redo, greedy);
+    std::lock_guard<std::mutex> lock(mu_);
+    if (redo_reward.ok()) {
+      band->CompletePull(greedy, redo_reward.value());
+      if (redo_reward.value() > reward.value()) {
+        working = std::move(redo);
       }
+    } else {
+      band->AbandonPull(greedy);
     }
+  }
+
+  // Commit: one swap under the store lock (the recode itself never held
+  // it). Concurrent Gets may have bumped the access counter since the
+  // claim; carry it over.
+  return store_->Mutate(claim.id, [&](Segment& stored) -> Status {
+    working.mutable_meta().access_count = stored.meta().access_count;
+    stored = std::move(working);
     return Status::Ok();
   });
-  recode_busy_ += watch.ElapsedSeconds() * config_.cpu_scale;
-  if (status.ok()) {
-    ++recode_ops_;
-    freed = true;
-    return status;
+}
+
+void OfflineNode::RecodeWorkerLoop() {
+  // When a pass finds nothing claimable (all pinned, metered out), sleep
+  // until the pool epoch moves instead of spinning.
+  bool waiting = false;
+  uint64_t waiting_epoch = 0;
+  for (;;) {
+    double now = 0.0;
+    {
+      std::unique_lock<std::mutex> pool(pool_mu_);
+      work_cv_.wait(pool, [&] {
+        if (stopping_) return true;
+        if (waiting && pool_epoch_ == waiting_epoch) return false;
+        return budget_->NeedsRecoding() &&
+               floor_streak_ < store_->count();
+      });
+      if (stopping_) return;
+      waiting = false;
+      now = latest_now_;
+      ++active_claims_;
+    }
+
+    bool freed = false;
+    bool claimed = false;
+    if (RecodeBudgetAvailable(now)) {
+      if (std::optional<SegmentStore::ClaimedVictim> claim =
+              store_->ClaimNextVictim()) {
+        claimed = true;
+        // Errors leave the victim in place (its bandit pull was already
+        // settled); the streak/backpressure machinery handles the lack
+        // of progress.
+        bool ignored = false;
+        (void)RecodeClaimedVictim(*claim, ignored);
+        freed = ignored;
+      }
+    }
+
+    {
+      std::lock_guard<std::mutex> pool(pool_mu_);
+      --active_claims_;
+      ++pool_epoch_;
+      if (freed) {
+        floor_streak_ = 0;
+      } else if (claimed) {
+        ++floor_streak_;
+      } else {
+        // Nothing claimable (every victim pinned by a peer, or metered
+        // out): wait for the next epoch bump.
+        waiting = true;
+        waiting_epoch = pool_epoch_;
+      }
+      work_cv_.notify_all();
+      space_cv_.notify_all();
+    }
   }
-  if (status.code() == util::StatusCode::kFailedPrecondition) {
-    // Victim could not shrink; leave it requeued and report not-freed.
-    return Status::Ok();
+}
+
+void OfflineNode::NotifyIngest(double now) {
+  std::lock_guard<std::mutex> pool(pool_mu_);
+  if (now > latest_now_) latest_now_ = now;
+  floor_streak_ = 0;  // a fresh segment is a fresh recode candidate
+  ++pool_epoch_;
+  work_cv_.notify_all();
+}
+
+Status OfflineNode::AwaitSpaceAndPut(Segment segment, double now,
+                                     Status first_failure) {
+  if (!config_.block_on_full || !config_.allow_lossy) {
+    return first_failure;
   }
-  return status;
+  util::Stopwatch watch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> pool(pool_mu_);
+      if (now > latest_now_) latest_now_ = now;
+      ++pool_epoch_;
+      work_cv_.notify_all();
+      if (active_claims_ == 0 && floor_streak_ >= store_->count()) {
+        // A full pool rotation proved every stored segment is at its
+        // compression floor and nothing is in flight: waiting cannot
+        // free space.
+        return first_failure;
+      }
+      space_cv_.wait_for(pool, std::chrono::milliseconds(5));
+    }
+    Status retry = store_->Put(segment);
+    if (retry.ok()) {
+      NotifyIngest(now);
+      return retry;
+    }
+    if (retry.code() != util::StatusCode::kResourceExhausted) {
+      return retry;
+    }
+    if (watch.ElapsedSeconds() >= config_.backpressure_timeout_seconds) {
+      return retry;  // the Fig 14 failure condition
+    }
+  }
+}
+
+Status OfflineNode::WaitForRecodingIdle(double timeout_seconds) {
+  if (recode_workers_.empty()) return Status::Ok();  // serial: inline
+  util::Stopwatch watch;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> pool(pool_mu_);
+      bool stalled = floor_streak_ >= store_->count();
+      double now = latest_now_;
+      if (active_claims_ == 0) {
+        // NeedsRecoding/RecodeSaturated take other locks; evaluate the
+        // cheap pinned-state first, then the store/meter probes (lock
+        // order pool_mu_ -> {store, mu_} is the only nesting used).
+        if (!budget_->NeedsRecoding() || stalled ||
+            RecodeSaturated(now)) {
+          return Status::Ok();
+        }
+      }
+      if (watch.ElapsedSeconds() >= timeout_seconds) {
+        return Status::Unavailable(
+            "recoding pool did not quiesce within the timeout");
+      }
+      space_cv_.wait_for(pool, std::chrono::milliseconds(5));
+    }
+  }
 }
 
 double OfflineNode::compress_busy_seconds() const {

@@ -1,15 +1,19 @@
 #ifndef ADAEDGE_CORE_OFFLINE_NODE_H_
 #define ADAEDGE_CORE_OFFLINE_NODE_H_
 
+#include <condition_variable>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "adaedge/bandit/banded_bandit.h"
 #include "adaedge/compress/registry.h"
 #include "adaedge/core/segment_store.h"
 #include "adaedge/core/target.h"
+#include "adaedge/util/stopwatch.h"
 
 namespace adaedge::core {
 
@@ -55,7 +59,29 @@ struct OfflineConfig {
   bool meter_compute = false;
   double cpu_scale = 1.0;
   int compress_threads = 1;
+  /// 1 selects the serial engine: recoding runs inline inside Ingest, in
+  /// a fixed order, so a seeded run is byte-for-byte reproducible (every
+  /// figure bench uses this). >= 2 spawns that many REAL background
+  /// recoding threads: Ingest no longer stalls behind the recode drain,
+  /// and the backpressure knobs below govern the hard-capacity path.
   int recode_threads = 1;
+  /// --- backpressure (background engine, recode_threads >= 2) ---
+  /// When a Put hits hard capacity while recoding is still catching up,
+  /// block the ingesting thread until workers free space (true) or
+  /// reject with ResourceExhausted immediately (false).
+  bool block_on_full = true;
+  /// Upper wall-clock bound on how long a blocked Ingest waits for the
+  /// recoding pool before reporting ResourceExhausted (the Fig 14
+  /// failure condition).
+  double backpressure_timeout_seconds = 5.0;
+
+  /// InvalidArgument when a field is out of range: zero storage budget,
+  /// recode_threshold outside (0, 1], shrink_factor outside (0, 1) — a
+  /// shrink factor of 1 would wedge the recode drain in an infinite
+  /// no-progress loop, and 0 would demand impossible ratios — thread
+  /// counts < 1, non-positive cpu_scale, epsilon/step outside [0, 1].
+  /// OfflineNode::Create is the checked construction path.
+  Status Validate() const;
 };
 
 /// An edge node with no egress path: data keeps evolving inside the
@@ -64,14 +90,44 @@ struct OfflineConfig {
 /// half their size with the lossy arm chosen by the ratio band's MAB,
 /// whose reward is how well the recode preserved the target workload
 /// relative to the segment's previous state.
+///
+/// Concurrency: Ingest is thread-safe and three-phase (pick an arm under
+/// the bandit lock, run the codec with NO lock held into a thread-local
+/// scratch, feed the delayed reward back under the lock). With
+/// recode_threads >= 2 a pool of background workers drains recoding:
+/// each worker claims (pins) a victim from the store, recodes the
+/// borrowed payload outside every lock, and commits the result as one
+/// swap under SegmentStore::Mutate. With recode_threads == 1 recoding
+/// runs inline inside Ingest in the exact serial order, so seeded runs
+/// stay deterministic. See DESIGN.md "Concurrency model".
 class OfflineNode {
  public:
   OfflineNode(OfflineConfig config, TargetSpec target);
+  ~OfflineNode();
+
+  OfflineNode(const OfflineNode&) = delete;
+  OfflineNode& operator=(const OfflineNode&) = delete;
+
+  /// Checked construction: InvalidArgument when `config` fails
+  /// OfflineConfig::Validate (e.g. shrink_factor = 1, which the unchecked
+  /// constructor would otherwise have to tolerate as a recode-drain
+  /// infinite loop).
+  static Result<std::unique_ptr<OfflineNode>> Create(OfflineConfig config,
+                                                     TargetSpec target);
 
   /// Ingests one segment at virtual time `now`. ResourceExhausted means
   /// the node could not keep the data inside the hard budget — the
-  /// experiment-failure condition of Fig 14.
+  /// experiment-failure condition of Fig 14. With background recoding
+  /// this may block up to backpressure_timeout_seconds (block_on_full).
   Status Ingest(uint64_t id, double now, std::span<const double> values);
+
+  /// Blocks until the background recoding pool is quiescent: no claim in
+  /// flight AND (usage back under the threshold OR no further progress
+  /// possible — every segment at its floor, or the virtual-time meter
+  /// saturated). Returns Unavailable on `timeout_seconds`. A serial node
+  /// (recode_threads == 1) is always quiescent. Tests and benches call
+  /// this before asserting on exact byte accounting.
+  Status WaitForRecodingIdle(double timeout_seconds = 30.0);
 
   SegmentStore& store() { return *store_; }
   const SegmentStore& store() const { return *store_; }
@@ -89,31 +145,78 @@ class OfflineNode {
   std::vector<std::string> ArmCounts() const;
 
  private:
-  /// Runs recoding until usage is back under the threshold, compute
-  /// budget (if metered) runs out, or no further shrink is possible.
+  /// Serial engine: runs recoding inline until usage is back under the
+  /// threshold, compute budget (if metered) runs out, or no further
+  /// shrink is possible.
   Status DrainRecoding(double now);
 
-  /// One recoding step on one victim. Sets `freed` if bytes were freed.
-  Status RecodeVictim(uint64_t victim, double now, bool& freed);
+  /// One recoding step on one claimed (pinned) victim, shared by the
+  /// serial drain and the background workers: select an arm under the
+  /// bandit lock, recode the borrowed payload with no lock held, feed
+  /// the delayed reward back, commit via SegmentStore::Mutate, release
+  /// the claim. Sets `freed` when bytes were freed; a floor victim is
+  /// requeued and reported not-freed.
+  Status RecodeClaimedVictim(const SegmentStore::ClaimedVictim& claim,
+                             bool& freed);
+
+  /// The select/recode/reward pipeline on the local working segment
+  /// (claim stays pinned; no store lock held across codec work).
+  Status RecodeWorking(const SegmentStore::ClaimedVictim& claim,
+                       Segment& working, const util::Stopwatch& watch);
+
+  /// True when the virtual-time meter permits another recode at `now`;
+  /// otherwise counts a deferral. Starts the recode clock on first need.
+  bool RecodeBudgetAvailable(double now);
+
+  /// Metered-saturation probe without side effects (quiesce check).
+  bool RecodeSaturated(double now) const;
+
+  /// Background worker main loop (recode_threads >= 2).
+  void RecodeWorkerLoop();
+
+  /// Wakes the pool after an ingest: advances the virtual clock, resets
+  /// the floor streak (a fresh segment is a fresh candidate).
+  void NotifyIngest(double now);
+
+  /// Backpressure path: the Put at hard capacity failed while workers
+  /// may still free space. Blocks (bounded) retrying the Put.
+  Status AwaitSpaceAndPut(Segment segment, double now, Status first_failure);
 
   OfflineConfig config_;
   TargetEvaluator evaluator_;
   std::unique_ptr<sim::StorageBudget> budget_;
   std::unique_ptr<SegmentStore> store_;
+
+  /// Bandit-and-stats lock. Never held across codec work; ordered AFTER
+  /// pool_mu_ (pool_mu_ -> mu_ is allowed, the reverse never taken).
   mutable std::mutex mu_;
   std::unique_ptr<bandit::BanditPolicy> lossless_bandit_;
   std::unique_ptr<bandit::BandedBanditSet> lossy_bandits_;
-  /// Reusable CompressInto target for Ingest (guarded by mu_). Stored
-  /// payloads are exact-size copies; the capacity stays here across
-  /// segments, and the hard-capacity retry path re-reads it instead of
-  /// recompressing.
-  std::vector<uint8_t> compress_scratch_;
   double compress_busy_ = 0.0;
   double recode_busy_ = 0.0;
   /// Virtual time at which recoding first became necessary (metered mode).
   double recode_clock_start_ = -1.0;
   uint64_t recode_ops_ = 0;
   uint64_t deferred_recodes_ = 0;
+
+  /// --- background recoding pool (guarded by pool_mu_) ---
+  std::mutex pool_mu_;
+  std::condition_variable work_cv_;   // workers: work may be available
+  std::condition_variable space_cv_;  // ingest/quiesce: pool state changed
+  bool stopping_ = false;
+  /// Latest ingest virtual time; the workers' metering clock input.
+  double latest_now_ = 0.0;
+  /// Bumped on every pool-visible state change; lets a worker that found
+  /// nothing claimable sleep until something actually changed.
+  uint64_t pool_epoch_ = 0;
+  /// Consecutive claims that could not free bytes (floor victims). At
+  /// >= store.count() the whole pool rotation proved no segment can
+  /// shrink; workers sleep until a new segment or a freed recode resets
+  /// it, and backpressure gives up instead of waiting out its timeout.
+  size_t floor_streak_ = 0;
+  /// Claims currently being recoded by workers.
+  size_t active_claims_ = 0;
+  std::vector<std::thread> recode_workers_;
 };
 
 }  // namespace adaedge::core

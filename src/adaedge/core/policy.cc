@@ -30,6 +30,14 @@ std::optional<uint64_t> LruPolicy::NextVictim() {
   return order_.front();
 }
 
+std::optional<uint64_t> LruPolicy::NextVictimWhere(
+    const std::function<bool(uint64_t)>& eligible) const {
+  for (uint64_t id : order_) {
+    if (eligible(id)) return id;
+  }
+  return std::nullopt;
+}
+
 void LruPolicy::Requeue(uint64_t id) { MoveToBack(id); }
 
 void FifoPolicy::OnInsert(uint64_t id) {
@@ -47,6 +55,14 @@ void FifoPolicy::OnRemove(uint64_t id) {
 std::optional<uint64_t> FifoPolicy::NextVictim() {
   if (order_.empty()) return std::nullopt;
   return order_.front();
+}
+
+std::optional<uint64_t> FifoPolicy::NextVictimWhere(
+    const std::function<bool(uint64_t)>& eligible) const {
+  for (uint64_t id : order_) {
+    if (eligible(id)) return id;
+  }
+  return std::nullopt;
 }
 
 void FifoPolicy::Requeue(uint64_t id) {

@@ -2,6 +2,7 @@
 #define ADAEDGE_CORE_POLICY_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <optional>
@@ -34,6 +35,13 @@ class CompressionPolicy {
   /// The victim stays tracked (recoding keeps the segment, smaller).
   virtual std::optional<uint64_t> NextVictim() = 0;
 
+  /// The front-most victim for which `eligible` returns true, without
+  /// reordering anything. Lets the store skip segments that are pinned by
+  /// an in-flight recode claim; with every segment eligible this is
+  /// exactly NextVictim().
+  virtual std::optional<uint64_t> NextVictimWhere(
+      const std::function<bool(uint64_t)>& eligible) const = 0;
+
   /// Re-queues a victim to the back (it was just recoded; recode the rest
   /// before touching it again).
   virtual void Requeue(uint64_t id) = 0;
@@ -48,6 +56,8 @@ class LruPolicy final : public CompressionPolicy {
   void OnAccess(uint64_t id) override;
   void OnRemove(uint64_t id) override;
   std::optional<uint64_t> NextVictim() override;
+  std::optional<uint64_t> NextVictimWhere(
+      const std::function<bool(uint64_t)>& eligible) const override;
   void Requeue(uint64_t id) override;
 
  private:
@@ -67,6 +77,8 @@ class FifoPolicy final : public CompressionPolicy {
   void OnAccess(uint64_t /*id*/) override {}  // age only, accesses ignored
   void OnRemove(uint64_t id) override;
   std::optional<uint64_t> NextVictim() override;
+  std::optional<uint64_t> NextVictimWhere(
+      const std::function<bool(uint64_t)>& eligible) const override;
   void Requeue(uint64_t id) override;
 
  private:

@@ -26,15 +26,23 @@ Segment Segment::FromPayload(SegmentMeta meta, std::vector<uint8_t> payload) {
   return segment;
 }
 
+const std::vector<uint8_t>& Segment::payload() const {
+  static const std::vector<uint8_t> kEmpty;
+  return payload_ ? *payload_ : kEmpty;
+}
+
 void Segment::SetPayload(std::vector<uint8_t> payload) {
-  payload_ = std::move(payload);
-  meta_.crc = util::Crc32(payload_);
+  // Always a fresh buffer: shared payload bytes are immutable, so readers
+  // that borrowed the previous pointer keep a consistent view.
+  payload_ =
+      std::make_shared<const std::vector<uint8_t>>(std::move(payload));
+  meta_.crc = util::Crc32(*payload_);
   meta_.achieved_ratio =
-      compress::CompressionRatio(payload_.size(), meta_.value_count);
+      compress::CompressionRatio(payload_->size(), meta_.value_count);
 }
 
 Result<std::vector<double>> Segment::Materialize() const {
-  if (util::Crc32(payload_) != meta_.crc) {
+  if (util::Crc32(payload()) != meta_.crc) {
     return Status::Corruption("segment payload CRC mismatch");
   }
   auto codec = compress::GetCodec(meta_.codec);
@@ -42,7 +50,7 @@ Result<std::vector<double>> Segment::Materialize() const {
     return Status::Corruption("segment references unknown codec");
   }
   ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> values,
-                           codec->Decompress(payload_));
+                           codec->Decompress(payload()));
   if (values.size() != meta_.value_count) {
     return Status::Corruption("segment value count mismatch");
   }
@@ -81,7 +89,7 @@ Status Segment::RecodeInPlace(double new_target_ratio) {
         "segment codec does not support virtual-decompression recoding");
   }
   ADAEDGE_ASSIGN_OR_RETURN(std::vector<uint8_t> payload,
-                           codec->Recode(payload_, new_target_ratio));
+                           codec->Recode(payload(), new_target_ratio));
   meta_.params.target_ratio = new_target_ratio;
   SetPayload(std::move(payload));
   return Status::Ok();

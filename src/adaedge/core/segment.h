@@ -2,6 +2,7 @@
 #define ADAEDGE_CORE_SEGMENT_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -40,8 +41,19 @@ struct SegmentMeta {
 };
 
 /// One fixed-length run of samples plus its encoded payload.
+///
+/// The payload is held as an immutable shared buffer: copying a Segment
+/// copies metadata plus one refcount, never the bytes. SegmentStore
+/// readers and the offline recode workers therefore *borrow* payloads out
+/// of the store's critical section instead of copying megabytes under the
+/// lock. Every payload-changing operation (Reencode/RecodeInPlace/
+/// SetPayload) installs a freshly allocated buffer — bytes behind a
+/// shared_ptr are never mutated, so a borrowed payload stays valid and
+/// bit-stable even if the stored segment is concurrently recoded.
 class Segment {
  public:
+  using PayloadPtr = std::shared_ptr<const std::vector<uint8_t>>;
+
   Segment() = default;
 
   /// Wraps raw (uncompressed) values.
@@ -53,10 +65,15 @@ class Segment {
 
   const SegmentMeta& meta() const { return meta_; }
   SegmentMeta& mutable_meta() { return meta_; }
-  const std::vector<uint8_t>& payload() const { return payload_; }
+  const std::vector<uint8_t>& payload() const;
+
+  /// The shared (immutable) payload buffer; null only for a
+  /// default-constructed segment. Holding the returned pointer keeps the
+  /// bytes alive independently of this Segment.
+  const PayloadPtr& shared_payload() const { return payload_; }
 
   /// Bytes this segment occupies in a buffer or on disk.
-  size_t SizeBytes() const { return payload_.size(); }
+  size_t SizeBytes() const { return payload_ ? payload_->size() : 0; }
 
   /// Decompresses (and CRC-checks) the payload back to samples.
   Result<std::vector<double>> Materialize() const;
@@ -76,7 +93,7 @@ class Segment {
   void SetPayload(std::vector<uint8_t> payload);
 
   SegmentMeta meta_;
-  std::vector<uint8_t> payload_;
+  PayloadPtr payload_;
 };
 
 }  // namespace adaedge::core

@@ -34,6 +34,8 @@ Result<Segment> SegmentStore::Get(uint64_t id) {
 }
 
 Result<std::vector<double>> SegmentStore::Read(uint64_t id) {
+  // Get() borrows the payload (shared immutable buffer) under the lock;
+  // Materialize then decompresses with no lock held and no input copy.
   ADAEDGE_ASSIGN_OR_RETURN(Segment segment, Get(id));
   return segment.Materialize();
 }
@@ -67,6 +69,23 @@ std::optional<uint64_t> SegmentStore::NextVictim() {
 void SegmentStore::RequeueVictim(uint64_t id) {
   std::lock_guard<std::mutex> lock(mu_);
   policy_->Requeue(id);
+}
+
+std::optional<SegmentStore::ClaimedVictim> SegmentStore::ClaimNextVictim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::optional<uint64_t> id = policy_->NextVictimWhere(
+      [&](uint64_t candidate) { return !pinned_.contains(candidate); });
+  if (!id.has_value()) return std::nullopt;
+  auto it = segments_.find(*id);
+  if (it == segments_.end()) return std::nullopt;  // policy out of sync
+  pinned_.insert(*id);
+  // Cheap borrow: metadata plus a payload refcount, no byte copy.
+  return ClaimedVictim{*id, it->second};
+}
+
+void SegmentStore::ReleaseClaim(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pinned_.erase(id);
 }
 
 Status SegmentStore::Mutate(

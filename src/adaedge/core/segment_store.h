@@ -6,6 +6,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "adaedge/core/policy.h"
@@ -20,6 +21,9 @@ namespace adaedge::core {
 /// accounting, and a pluggable recoding-order policy (LRU by default).
 ///
 /// Thread-safe: the compression and recoding threads share one store.
+/// Segment payloads are immutable shared buffers (see Segment), so Get/
+/// Peek/Read and recode claims *borrow* bytes under the lock — the only
+/// payload copies a store operation ever makes are refcount bumps.
 class SegmentStore {
  public:
   SegmentStore(sim::StorageBudget* budget,
@@ -29,11 +33,13 @@ class SegmentStore {
   /// ResourceExhausted if the hard capacity would be breached.
   Status Put(Segment segment);
 
-  /// Reads (a copy of) a segment and marks it accessed — under LRU this
-  /// protects it from the next recoding wave.
+  /// Reads a segment (borrowing its payload) and marks it accessed —
+  /// under LRU this protects it from the next recoding wave.
   Result<Segment> Get(uint64_t id);
 
-  /// Materializes a segment's samples (GET + decompress).
+  /// Materializes a segment's samples. The payload is borrowed under the
+  /// lock (refcount bump, no byte copy) and decompressed with the lock
+  /// released, so the only allocation is the output vector.
   Result<std::vector<double>> Read(uint64_t id);
 
   /// Reads a segment WITHOUT recording an access (evaluation sweeps must
@@ -49,6 +55,26 @@ class SegmentStore {
   /// Sends a victim to the back of the policy order without mutating it
   /// (e.g. it turned out to be at its compression floor).
   void RequeueVictim(uint64_t id);
+
+  /// A victim claimed for recoding: `segment` borrows the stored payload
+  /// so the recode pipeline (decompress -> recompress) runs on a stable
+  /// snapshot outside the store lock. Until ReleaseClaim(id) the id is
+  /// *pinned*: ClaimNextVictim skips it, so two workers never recode the
+  /// same segment and a claim cannot race the claimer's own Mutate.
+  struct ClaimedVictim {
+    uint64_t id = 0;
+    Segment segment;
+  };
+
+  /// Claims (and pins) the front-most unpinned victim; nullopt when every
+  /// stored segment is pinned or the store is empty. Does not reorder the
+  /// policy queue.
+  std::optional<ClaimedVictim> ClaimNextVictim();
+
+  /// Unpins a claimed victim. Call after the recode result was committed
+  /// via Mutate (or the claim was abandoned). Unknown / unpinned ids are
+  /// ignored.
+  void ReleaseClaim(uint64_t id);
 
   /// Applies `mutate` to the stored segment under the store lock and
   /// re-accounts its size with the budget. `mutate` returns non-OK to
@@ -70,6 +96,8 @@ class SegmentStore {
   std::unique_ptr<CompressionPolicy> policy_;
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, Segment> segments_;
+  /// Ids with an in-flight recode claim (guarded by mu_).
+  std::unordered_set<uint64_t> pinned_;
 };
 
 }  // namespace adaedge::core

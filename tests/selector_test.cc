@@ -271,6 +271,69 @@ TEST(OfflineNodeTest, MeteredComputeDefersRecodingUnderSlowCpu) {
   EXPECT_GT(node.deferred_recodes(), 0u);
 }
 
+TEST(OfflineConfigTest, ValidateRejectsBadShrinkFactor) {
+  OfflineConfig config;
+  config.shrink_factor = 1.0;  // would wedge the recode drain
+  Status status = config.Validate();
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+  config.shrink_factor = 0.0;  // impossible target ratios
+  EXPECT_EQ(config.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+  config.shrink_factor = -0.5;
+  EXPECT_EQ(config.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+  auto node = OfflineNode::Create(
+      config, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  EXPECT_FALSE(node.ok());
+  EXPECT_EQ(node.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(OfflineConfigTest, ValidateRejectsBadRecodeThreshold) {
+  OfflineConfig config;
+  config.recode_threshold = 0.0;  // recoding would never sleep
+  EXPECT_EQ(config.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+  config.recode_threshold = 1.5;  // would never wake before hard capacity
+  EXPECT_EQ(config.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(OfflineConfigTest, ValidateRejectsBadThreadCountsAndBudget) {
+  OfflineConfig config;
+  config.storage_budget_bytes = 0;
+  EXPECT_EQ(config.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+  config = OfflineConfig{};
+  config.recode_threads = 0;
+  EXPECT_EQ(config.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+  config = OfflineConfig{};
+  config.compress_threads = -1;
+  EXPECT_EQ(config.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+  config = OfflineConfig{};
+  config.cpu_scale = 0.0;
+  EXPECT_EQ(config.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+  config = OfflineConfig{};
+  config.bandit.epsilon = 1.5;
+  EXPECT_EQ(config.Validate().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(OfflineConfigTest, DefaultsValidateAndCreateWorks) {
+  OfflineConfig config;
+  config.storage_budget_bytes = 128 << 10;
+  EXPECT_TRUE(config.Validate().ok());
+  auto node = OfflineNode::Create(
+      config, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  ASSERT_TRUE(node.ok());
+  auto segments = MakeCbfSegments(3);
+  EXPECT_TRUE(node.value()->Ingest(0, 0.0, segments[0]).ok());
+  EXPECT_EQ(node.value()->store().count(), 1u);
+}
+
 TEST(BaselineTest, FixedPairUsesExactlyConfiguredArms) {
   OfflineConfig base;
   base.storage_budget_bytes = 128 << 10;

@@ -41,6 +41,13 @@ class BandedBanditSet {
   const BanditPolicy& band(size_t i) const { return *bandits_[i]; }
   double band_edge(size_t i) const { return edges_[i]; }
 
+  /// Grows every band's policy by one arm (runtime arm-pool change);
+  /// bands stay in lockstep so an arm index means the same arm in every
+  /// ratio regime.
+  void AddArm() {
+    for (auto& bandit : bandits_) bandit->AddArm();
+  }
+
   /// Sum of in-flight (acquired-but-not-completed) pulls across bands.
   uint64_t TotalPending() const {
     uint64_t total = 0;

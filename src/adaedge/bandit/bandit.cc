@@ -31,6 +31,13 @@ void BanditPolicy::AbandonPull(int arm) {
   }
 }
 
+void BanditPolicy::AddArm() {
+  GrowArm();
+  // pending_ is lazily sized; once materialized it must track num_arms()
+  // or the new arm's NotePending would index out of range.
+  if (!pending_.empty()) pending_.push_back(0);
+}
+
 uint64_t BanditPolicy::PendingCount(int arm) const {
   if (pending_.empty()) return 0;
   return pending_[static_cast<size_t>(arm)];

@@ -71,6 +71,14 @@ class BanditPolicy {
   /// (the work was abandoned).
   void AbandonPull(int arm);
 
+  /// Grows the policy by one arm at index num_arms() (runtime arm-pool
+  /// change: the arm runtime's ArmSet::Add must be mirrored here in the
+  /// same critical section). The new arm starts untried with the policy's
+  /// construction-time initial estimate (optimistic policies explore it
+  /// next) and zero pending pulls. Existing estimates, counts and any
+  /// in-flight pulls are unaffected.
+  void AddArm();
+
   /// Number of acquired-but-not-completed pulls of `arm`.
   uint64_t PendingCount(int arm) const;
 
@@ -91,6 +99,10 @@ class BanditPolicy {
   /// Policy name for logs/benches ("eps-greedy", "ucb1").
   virtual std::string name() const = 0;
 
+ protected:
+  /// Policy-specific growth: append one arm's estimate/count state.
+  virtual void GrowArm() = 0;
+
  private:
   /// Per-arm in-flight pull counts (lazily sized on first NotePending).
   std::vector<uint64_t> pending_;
@@ -108,6 +120,12 @@ class EpsilonGreedy final : public BanditPolicy {
   double EstimatedValue(int arm) const override { return values_[arm]; }
   uint64_t PullCount(int arm) const override { return counts_[arm]; }
   std::string name() const override { return "eps-greedy"; }
+
+ protected:
+  void GrowArm() override {
+    values_.push_back(config_.initial_value);
+    counts_.push_back(0);
+  }
 
  private:
   BanditConfig config_;
@@ -128,6 +146,14 @@ class Ucb1 final : public BanditPolicy {
   double EstimatedValue(int arm) const override { return values_[arm]; }
   uint64_t PullCount(int arm) const override { return counts_[arm]; }
   std::string name() const override { return "ucb1"; }
+
+ protected:
+  /// New arms start at 0 like at construction; the untried-arm sweep in
+  /// SelectArm plays them next regardless of estimate.
+  void GrowArm() override {
+    values_.push_back(0.0);
+    counts_.push_back(0);
+  }
 
  private:
   BanditConfig config_;
@@ -159,6 +185,15 @@ class GradientBandit final : public BanditPolicy {
 
   /// Current softmax selection probability of `arm`.
   double Probability(int arm) const;
+
+ protected:
+  /// New arms join at preference 0 (the constructor's neutral start);
+  /// their selection probability is the softmax of that against the
+  /// learned preferences.
+  void GrowArm() override {
+    preferences_.push_back(0.0);
+    counts_.push_back(0);
+  }
 
  private:
   BanditConfig config_;

@@ -44,13 +44,14 @@ core::OnlineConfig FixedLossyOnline(const core::OnlineConfig& base,
 CodecDbOnline::CodecDbOnline(core::OnlineConfig config,
                              core::TargetSpec target, int sample_segments)
     : config_(std::move(config)),
-      evaluator_(std::move(target)),
+      reward_model_(std::move(target)),
       sample_segments_(sample_segments) {
   if (config_.lossless_arms.empty()) {
     config_.lossless_arms =
         compress::DefaultLosslessArms(config_.precision);
   }
-  total_ratio_.assign(config_.lossless_arms.size(), 0.0);
+  arms_ = core::ArmSet(config_.lossless_arms);
+  total_ratio_.assign(static_cast<size_t>(arms_.size()), 0.0);
 }
 
 util::Result<core::OnlineSelector::Outcome> CodecDbOnline::Process(
@@ -62,17 +63,12 @@ util::Result<core::OnlineSelector::Outcome> CodecDbOnline::Process(
     // CodecDB's feature-based model inference).
     double best_ratio = std::numeric_limits<double>::infinity();
     int best = -1;
-    for (size_t i = 0; i < config_.lossless_arms.size(); ++i) {
-      const auto& arm = config_.lossless_arms[i];
-      auto payload = arm.codec->Compress(values, arm.params);
-      double ratio = payload.ok()
-                         ? compress::CompressionRatio(
-                               payload.value().size(), values.size())
-                         : 2.0;  // refusal counts as incompressible
-      total_ratio_[i] += ratio;
+    for (int i = 0; i < arms_.size(); ++i) {
+      double ratio = core::MeasureArmRatio(arms_.arm(i), values);
+      total_ratio_[static_cast<size_t>(i)] += ratio;
       if (ratio < best_ratio) {
         best_ratio = ratio;
-        best = static_cast<int>(i);
+        best = i;
       }
     }
     if (++sampled_ >= sample_segments_) {
@@ -84,7 +80,7 @@ util::Result<core::OnlineSelector::Outcome> CodecDbOnline::Process(
   } else {
     use_arm = chosen_;
   }
-  const auto& arm = config_.lossless_arms[use_arm];
+  const auto& arm = arms_.arm(use_arm);
   util::Stopwatch watch;
   auto payload = arm.codec->Compress(values, arm.params);
   double seconds = watch.ElapsedSeconds();
@@ -96,27 +92,24 @@ util::Result<core::OnlineSelector::Outcome> CodecDbOnline::Process(
     return util::Status::Unavailable(
         "CodecDB: best static lossless codec misses the target ratio");
   }
-  core::SegmentMeta meta;
-  meta.id = id;
-  meta.ingest_time = now;
-  meta.value_count = static_cast<uint32_t>(values.size());
-  meta.state = core::SegmentState::kLossless;
-  meta.codec = arm.codec->id();
-  meta.params = arm.params;
+  size_t compressed_bytes = payload.value().size();
   Outcome outcome;
   outcome.segment =
-      core::Segment::FromPayload(meta, std::move(payload).value());
+      core::MakeArmSegment(id, now, values, arm,
+                           std::move(payload).value(),
+                           core::SegmentState::kLossless);
   outcome.arm_name = arm.name;
   outcome.used_lossy = false;
   outcome.met_target = true;
-  outcome.reward = 1.0 - ratio;
+  outcome.reward = core::RewardModel::SizeReward(compressed_bytes,
+                                                 values.size());
   outcome.accuracy = 1.0;
   outcome.compress_seconds = seconds;
   return outcome;
 }
 
 std::string CodecDbOnline::chosen_arm() const {
-  return chosen_ >= 0 ? config_.lossless_arms[chosen_].name : "";
+  return chosen_ >= 0 ? arms_.name(chosen_) : "";
 }
 
 core::OfflineConfig CodecDbOffline(const core::OfflineConfig& base) {

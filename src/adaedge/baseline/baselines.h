@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "adaedge/core/arm_runtime.h"
 #include "adaedge/core/offline_node.h"
 #include "adaedge/core/online_selector.h"
 
@@ -47,7 +48,10 @@ class CodecDbOnline {
 
  private:
   core::OnlineConfig config_;
-  core::TargetEvaluator evaluator_;
+  /// Candidate pool and reward math come from the shared arm runtime —
+  /// the baseline pins selection, not the machinery.
+  core::ArmSet arms_;
+  core::RewardModel reward_model_;
   int sample_segments_;
   int sampled_ = 0;
   std::vector<double> total_ratio_;  // per arm, over the sample prefix

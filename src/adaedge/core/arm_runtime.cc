@@ -1,0 +1,83 @@
+#include "adaedge/core/arm_runtime.h"
+
+#include <utility>
+
+namespace adaedge::core {
+
+ArmSet::ArmSet(std::vector<compress::CodecArm> arms)
+    : arms_(std::move(arms)), enabled_(arms_.size(), 1) {}
+
+int ArmSet::enabled_count() const {
+  int count = 0;
+  for (uint8_t e : enabled_) count += e != 0 ? 1 : 0;
+  return count;
+}
+
+int ArmSet::Find(std::string_view name) const {
+  for (size_t i = 0; i < arms_.size(); ++i) {
+    if (arms_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int ArmSet::Add(compress::CodecArm arm) {
+  arms_.push_back(std::move(arm));
+  enabled_.push_back(1);
+  return static_cast<int>(arms_.size()) - 1;
+}
+
+bool ArmSet::SetEnabled(std::string_view name, bool enabled) {
+  int idx = Find(name);
+  if (idx < 0) return false;
+  SetEnabled(idx, enabled);
+  return true;
+}
+
+int AcquireSupportedArmLocked(
+    bandit::BanditPolicy& bandit, const ArmSet& arms,
+    const std::function<bool(const compress::CodecArm&)>& supports) {
+  auto usable = [&](int idx) {
+    return arms.arm_enabled(idx) && supports(arms.arm(idx));
+  };
+  int arm_idx = bandit.AcquireArm();
+  if (usable(arm_idx)) return arm_idx;
+  // The pick cannot serve this regime (gated out, or the codec cannot
+  // reach the ratio at all — e.g. BUFF-lossy below its floor): teach the
+  // bandit and fall back to the best-estimated usable arm.
+  bandit.CompletePull(arm_idx, 0.0);
+  int best = -1;
+  double best_value = -1.0;
+  for (int i = 0; i < arms.size(); ++i) {
+    if (!usable(i)) continue;
+    double v = bandit.EstimatedValue(i);
+    if (v > best_value) {
+      best_value = v;
+      best = i;
+    }
+  }
+  if (best >= 0) bandit.NotePending(best);
+  return best;
+}
+
+Segment MakeArmSegment(uint64_t id, double now,
+                       std::span<const double> values,
+                       const compress::CodecArm& arm,
+                       std::vector<uint8_t> payload, SegmentState state) {
+  SegmentMeta meta;
+  meta.id = id;
+  meta.ingest_time = now;
+  meta.value_count = static_cast<uint32_t>(values.size());
+  meta.state = state;
+  meta.codec = arm.codec->id();
+  meta.params = arm.params;
+  return Segment::FromPayload(meta, std::move(payload));
+}
+
+double MeasureArmRatio(const compress::CodecArm& arm,
+                       std::span<const double> values) {
+  auto payload = arm.codec->Compress(values, arm.params);
+  if (!payload.ok()) return 2.0;  // refusal counts as incompressible
+  return compress::CompressionRatio(payload.value().size(), values.size());
+}
+
+}  // namespace adaedge::core

@@ -1,0 +1,264 @@
+#ifndef ADAEDGE_CORE_ARM_RUNTIME_H_
+#define ADAEDGE_CORE_ARM_RUNTIME_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adaedge/bandit/bandit.h"
+#include "adaedge/compress/codec.h"
+#include "adaedge/core/segment.h"
+#include "adaedge/core/target.h"
+
+namespace adaedge::core {
+
+/// The arm runtime: the single implementation of AdaEdge's selection loop
+/// building blocks, shared by the online selector, the offline recode
+/// engine and the baselines. It owns three concerns that used to live in
+/// three hand-rolled copies:
+///
+///   - ArmSet      — arm descriptors and their gating state, with runtime
+///                   Add / SetEnabled so the arm pool can change mid-run.
+///   - RewardModel — the one mapping from an observed pull (original,
+///                   reconstructed, compressed bytes, elapsed) to the
+///                   clamped scalar reward the bandit consumes.
+///   - PullGuard   — RAII over the AcquireArm/CompletePull delayed-reward
+///                   protocol, so no early-return path can leak a pending
+///                   pull.
+///
+/// Thread-safety contract: ArmSet and the bandit policies are guarded by
+/// the owning engine's mutex (the same serialization the bandit layer has
+/// always required). PullGuard is handed that mutex and takes it for any
+/// settlement it performs itself; the *Locked variants are for callers
+/// already inside the critical section.
+
+/// One selectable arm plus its gating bit. The descriptor (codec, params,
+/// lossless/lossy class via codec->kind()) comes from compress::CodecArm;
+/// the runtime adds whether the arm currently participates in selection.
+class ArmSet {
+ public:
+  ArmSet() = default;
+  explicit ArmSet(std::vector<compress::CodecArm> arms);
+
+  /// Total number of arms, including disabled ones. Bandit arm indices
+  /// range over [0, size()): disabling never renumbers.
+  int size() const { return static_cast<int>(arms_.size()); }
+  bool empty() const { return arms_.empty(); }
+
+  const compress::CodecArm& arm(int idx) const {
+    return arms_[static_cast<size_t>(idx)];
+  }
+  const std::string& name(int idx) const {
+    return arms_[static_cast<size_t>(idx)].name;
+  }
+  bool arm_enabled(int idx) const {
+    return enabled_[static_cast<size_t>(idx)] != 0;
+  }
+  int enabled_count() const;
+
+  /// Index of the arm named `name`, -1 when absent.
+  int Find(std::string_view name) const;
+
+  /// Appends a new (enabled) arm and returns its index. The caller must
+  /// grow the paired bandit in the same critical section
+  /// (BanditPolicy::AddArm / BandedBanditSet::AddArm), or selection will
+  /// index out of the policy's range.
+  int Add(compress::CodecArm arm);
+
+  /// Gates an arm in or out of selection without renumbering. Disabled
+  /// arms keep their bandit estimates and pull counts; re-enabling
+  /// resumes where they left off. Returns false when `name` is absent.
+  bool SetEnabled(std::string_view name, bool enabled);
+  void SetEnabled(int idx, bool enabled) {
+    enabled_[static_cast<size_t>(idx)] = enabled ? 1 : 0;
+  }
+
+ private:
+  std::vector<compress::CodecArm> arms_;
+  std::vector<uint8_t> enabled_;  // parallel to arms_
+};
+
+/// One completed pull, recorded when reward tracing is enabled: which
+/// bandit ("lossless", "lossy", "band2", ...), which arm, what reward.
+/// Seeded serial runs produce a deterministic trace — the golden tests
+/// pin it to prove refactors change no behavior.
+struct RewardTraceEntry {
+  std::string bandit;
+  int arm = 0;
+  double reward = 0.0;
+};
+using RewardTrace = std::vector<RewardTraceEntry>;
+
+/// The one place that maps an observed pull to the scalar in [0, 1] the
+/// bandit consumes (DESIGN.md "Arm runtime" has the formula table):
+///
+///   lossless phase:  clamp(1 - compressed/(8*n), 0, 1)   (size only)
+///   lossy/workload:  w1*ACC_agg + w2*ACC_ml + w3*C_thr   (TargetSpec)
+///
+/// Wraps the TargetEvaluator (which stays the home of the accuracy and
+/// throughput math); engines hold one RewardModel instead of an ad-hoc
+/// evaluator plus inline clamp expressions.
+class RewardModel {
+ public:
+  explicit RewardModel(TargetSpec spec) : evaluator_(std::move(spec)) {}
+
+  /// Lossless-phase reward (paper SIV-C1: "solely ... minimizing the
+  /// compressed segment size"): 1 - achieved ratio, clamped to [0, 1].
+  static double SizeReward(size_t compressed_bytes, size_t value_count) {
+    return std::clamp(
+        1.0 - compress::CompressionRatio(compressed_bytes, value_count),
+        0.0, 1.0);
+  }
+
+  /// Lossy/workload reward: the weighted target over the reconstruction
+  /// (paper SIV-D). Thread-safe (the throughput ceiling is an atomic).
+  double WorkloadReward(std::span<const double> original,
+                        std::span<const double> reconstructed,
+                        size_t original_bytes, double elapsed_seconds) {
+    return evaluator_.Reward(original, reconstructed, original_bytes,
+                             elapsed_seconds);
+  }
+
+  /// Accuracy-only component (throughput excluded); 1.0 for targets with
+  /// no accuracy term.
+  double Accuracy(std::span<const double> original,
+                  std::span<const double> reconstructed) const {
+    return evaluator_.Accuracy(original, reconstructed);
+  }
+
+  TargetEvaluator& evaluator() { return evaluator_; }
+  const TargetEvaluator& evaluator() const { return evaluator_; }
+
+ private:
+  TargetEvaluator evaluator_;
+};
+
+/// RAII wrapper over one acquired pull of a bandit arm (works on plain
+/// BanditPolicy instances and on a BandedBanditSet band alike, since a
+/// band IS a BanditPolicy). Exactly one settlement happens per guard:
+///
+///   Complete(reward) — CompletePull(arm, reward); records a trace entry.
+///   Fail()           — Complete(0.0), the standard codec-failure verdict.
+///   Abandon()        — AbandonPull(arm): drop without feeding a reward.
+///   ~PullGuard       — Abandon()s when the caller settled nothing (an
+///                      early `return status` or an exception), so no
+///                      path can leak a pending pull.
+///
+/// The guard carries the engine mutex that serializes its bandit and
+/// locks it around any settlement it performs. The *Locked variants let
+/// phase-3 call sites settle inside a larger critical section (reward
+/// feedback + phase-machine update must stay atomic); the guard then
+/// skips its own locking. NEVER let an unsettled guard be destroyed
+/// while its mutex is held — declare guards before lock scopes.
+class PullGuard {
+ public:
+  PullGuard() = default;
+
+  /// Adopts a pull already noted on `bandit` (via AcquireArm /
+  /// NotePending under `mu`). `trace`, when non-null, receives one entry
+  /// per Complete, labelled `bandit_label`; it is guarded by `mu` too.
+  PullGuard(bandit::BanditPolicy& bandit, int arm, std::mutex& mu,
+            RewardTrace* trace = nullptr, std::string bandit_label = "")
+      : bandit_(&bandit),
+        mu_(&mu),
+        arm_(arm),
+        trace_(trace),
+        label_(std::move(bandit_label)) {}
+
+  PullGuard(PullGuard&& other) noexcept { *this = std::move(other); }
+  PullGuard& operator=(PullGuard&& other) noexcept {
+    if (this != &other) {
+      SettleDangling();
+      bandit_ = other.bandit_;
+      mu_ = other.mu_;
+      arm_ = other.arm_;
+      trace_ = other.trace_;
+      label_ = std::move(other.label_);
+      other.bandit_ = nullptr;
+    }
+    return *this;
+  }
+  PullGuard(const PullGuard&) = delete;
+  PullGuard& operator=(const PullGuard&) = delete;
+
+  ~PullGuard() { SettleDangling(); }
+
+  /// True while the pull is still pending settlement.
+  bool active() const { return bandit_ != nullptr; }
+  int arm() const { return arm_; }
+
+  /// Settles with `reward` (locks the mutex itself).
+  void Complete(double reward) {
+    if (!active()) return;
+    std::lock_guard<std::mutex> lock(*mu_);
+    CompleteLocked(reward);
+  }
+
+  /// Codec/decode failure: settle with zero reward.
+  void Fail() { Complete(0.0); }
+
+  /// Drops the pull without feeding a reward (work abandoned).
+  void Abandon() {
+    if (!active()) return;
+    std::lock_guard<std::mutex> lock(*mu_);
+    AbandonLocked();
+  }
+
+  /// Settlement variants for callers already holding the guard's mutex.
+  void CompleteLocked(double reward) {
+    if (!active()) return;
+    bandit_->CompletePull(arm_, reward);
+    if (trace_ != nullptr) trace_->push_back({label_, arm_, reward});
+    bandit_ = nullptr;
+  }
+  void AbandonLocked() {
+    if (!active()) return;
+    bandit_->AbandonPull(arm_);
+    bandit_ = nullptr;
+  }
+
+ private:
+  void SettleDangling() {
+    if (active()) Abandon();
+  }
+
+  bandit::BanditPolicy* bandit_ = nullptr;
+  std::mutex* mu_ = nullptr;
+  int arm_ = 0;
+  RewardTrace* trace_ = nullptr;
+  std::string label_;
+};
+
+/// The shared acquire-with-feasibility step (caller holds the bandit's
+/// mutex): pulls an arm via AcquireArm, and when the pick is gated out or
+/// fails `supports`, punishes it (CompletePull 0 — the arm learns it
+/// cannot serve this regime) and falls back to the best-estimated arm
+/// that is enabled AND supporting. Returns the arm index with its pending
+/// pull noted — wrap it in a PullGuard immediately — or -1 when no
+/// enabled arm supports (nothing left pending in that case; the caller
+/// maps -1 to its own Status).
+int AcquireSupportedArmLocked(
+    bandit::BanditPolicy& bandit, const ArmSet& arms,
+    const std::function<bool(const compress::CodecArm&)>& supports);
+
+/// Builds a stored Segment from one arm's compression output — the shared
+/// tail of every engine's compress step.
+Segment MakeArmSegment(uint64_t id, double now,
+                       std::span<const double> values,
+                       const compress::CodecArm& arm,
+                       std::vector<uint8_t> payload, SegmentState state);
+
+/// Measures the compression ratio `arm` achieves on `values` (refusals
+/// count as incompressible: ratio 2.0). Used by sampling baselines
+/// (CodecDB) that probe every arm before pinning one.
+double MeasureArmRatio(const compress::CodecArm& arm,
+                       std::span<const double> values);
+
+}  // namespace adaedge::core
+
+#endif  // ADAEDGE_CORE_ARM_RUNTIME_H_

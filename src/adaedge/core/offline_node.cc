@@ -74,7 +74,7 @@ Status OfflineConfig::Validate() const {
 }
 
 OfflineNode::OfflineNode(OfflineConfig config, TargetSpec target)
-    : config_(std::move(config)), evaluator_(std::move(target)) {
+    : config_(std::move(config)), reward_model_(std::move(target)) {
   if (config_.lossless_arms.empty()) {
     config_.lossless_arms =
         compress::DefaultLosslessArms(config_.precision);
@@ -85,17 +85,21 @@ OfflineNode::OfflineNode(OfflineConfig config, TargetSpec target)
   if (config_.band_edges.empty()) {
     config_.band_edges = bandit::BandedBanditSet::DefaultEdges();
   }
+  // The config vectors only seed the pools; after construction the
+  // ArmSets are the single source of truth (runtime Add/SetEnabled
+  // mutate them, never the config).
+  lossless_arms_ = ArmSet(config_.lossless_arms);
+  lossy_arms_ = ArmSet(config_.lossy_arms);
   budget_ = std::make_unique<sim::StorageBudget>(
       config_.storage_budget_bytes, config_.recode_threshold);
   store_ = std::make_unique<SegmentStore>(
       budget_.get(),
       config_.use_lru ? MakeLruPolicy() : MakeFifoPolicy());
   lossless_bandit_ = bandit::MakePolicy(
-      config_.policy, static_cast<int>(config_.lossless_arms.size()),
-      config_.bandit);
+      config_.policy, lossless_arms_.size(), config_.bandit);
   lossy_bandits_ = std::make_unique<bandit::BandedBanditSet>(
-      config_.band_edges, config_.policy,
-      static_cast<int>(config_.lossy_arms.size()), config_.bandit);
+      config_.band_edges, config_.policy, lossy_arms_.size(),
+      config_.bandit);
   // recode_threads == 1 keeps the serial engine (deterministic seeded
   // runs); a lossless-only node has nothing for recode workers to do and
   // keeps the serial fail-fast semantics instead.
@@ -142,40 +146,49 @@ Status OfflineNode::Ingest(uint64_t id, double now,
   }
 
   // Phase 1: pick a lossless arm under the bandit lock; reward = size
-  // reduction.
-  int arm_idx;
+  // reduction. The guard outlives every lock scope below so it never
+  // settles (or destructs unsettled) with the lock already held.
+  PullGuard pull;
   compress::CodecArm arm;
+  bool have_arm = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    arm_idx = lossless_bandit_->AcquireArm();
-    arm = config_.lossless_arms[arm_idx];
+    int arm_idx = AcquireSupportedArmLocked(
+        *lossless_bandit_, lossless_arms_,
+        [](const compress::CodecArm&) { return true; });
+    if (arm_idx >= 0) {
+      pull = PullGuard(*lossless_bandit_, arm_idx, mu_, TraceSink(),
+                       "lossless");
+      arm = lossless_arms_.arm(arm_idx);
+      have_arm = true;
+    }
   }
 
   // Phase 2: codec work with no lock held, into this thread's reusable
   // scratch.
   std::vector<uint8_t>& scratch = CompressScratch();
-  util::Stopwatch watch;
-  Status compressed = arm.codec->CompressInto(values, arm.params, scratch);
-  double seconds = watch.ElapsedSeconds() * config_.cpu_scale;
-
-  SegmentMeta meta;
-  meta.id = id;
-  meta.ingest_time = now;
-  meta.value_count = static_cast<uint32_t>(values.size());
-  Segment segment;
+  double seconds = 0.0;
   double reward = 0.0;
-  if (compressed.ok()) {
-    double ratio =
-        compress::CompressionRatio(scratch.size(), values.size());
-    reward = std::clamp(1.0 - ratio, 0.0, 1.0);
-    meta.state = SegmentState::kLossless;
-    meta.codec = arm.codec->id();
-    meta.params = arm.params;
-    segment = Segment::FromPayload(
-        meta, std::vector<uint8_t>(scratch.begin(), scratch.end()));
-  } else {
-    // Codec refused (e.g. dictionary on high-cardinality data): penalize
-    // and store raw; the recoder will deal with it.
+  bool encoded = false;
+  Segment segment;
+  if (have_arm) {
+    util::Stopwatch watch;
+    Status compressed =
+        arm.codec->CompressInto(values, arm.params, scratch);
+    seconds = watch.ElapsedSeconds() * config_.cpu_scale;
+    if (compressed.ok()) {
+      reward = RewardModel::SizeReward(scratch.size(), values.size());
+      segment = MakeArmSegment(
+          id, now, values, arm,
+          std::vector<uint8_t>(scratch.begin(), scratch.end()),
+          SegmentState::kLossless);
+      encoded = true;
+    }
+  }
+  if (!encoded) {
+    // Codec refused (e.g. dictionary on high-cardinality data) or every
+    // lossless arm is gated out: penalize (if an arm was pulled) and
+    // store raw; the recoder will deal with it.
     segment = Segment::FromValues(id, now, values);
   }
 
@@ -183,8 +196,7 @@ Status OfflineNode::Ingest(uint64_t id, double now,
   {
     std::lock_guard<std::mutex> lock(mu_);
     compress_busy_ += seconds;
-    lossless_bandit_->CompletePull(arm_idx,
-                                   compressed.ok() ? reward : 0.0);
+    pull.CompleteLocked(encoded ? reward : 0.0);
   }
 
   // Segment copies are cheap (meta + payload refcount), so the retry
@@ -299,10 +311,21 @@ Status OfflineNode::RecodeWorking(const SegmentStore::ClaimedVictim& claim,
   double target_ratio =
       std::min(current_ratio * config_.shrink_factor, 1.0);
 
-  // Clamp the target to what some arm can still achieve. SupportsRatio is
-  // a cheap pure function of ratio and length: no lock needed.
+  // Snapshot the enabled lossy arms under the lock (runtime Add /
+  // SetEnabled may race); the SupportsRatio probing below then runs on
+  // the copies with no lock held, as before.
+  std::vector<compress::CodecArm> pool;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < lossy_arms_.size(); ++i) {
+      if (lossy_arms_.arm_enabled(i)) pool.push_back(lossy_arms_.arm(i));
+    }
+  }
+
+  // Clamp the target to what some enabled arm can still achieve.
+  // SupportsRatio is a cheap pure function of ratio and length.
   double min_supported = 2.0;
-  for (const auto& arm : config_.lossy_arms) {
+  for (const auto& arm : pool) {
     // Probe a small set of floors per arm via SupportsRatio.
     double lo = 0.0, hi = 1.0;
     if (arm.codec->SupportsRatio(target_ratio,
@@ -330,39 +353,31 @@ Status OfflineNode::RecodeWorking(const SegmentStore::ClaimedVictim& claim,
     return Status::FailedPrecondition("segment at compression floor");
   }
 
-  auto supports = [&](int idx) {
-    return config_.lossy_arms[idx].codec->SupportsRatio(
-        target_ratio, working.meta().value_count);
+  auto supports = [&](const compress::CodecArm& a) {
+    return a.codec->SupportsRatio(target_ratio,
+                                  working.meta().value_count);
   };
+  const std::string band_label =
+      "band" + std::to_string(lossy_bandits_->BandIndex(target_ratio));
+
+  // Both guards outlive every lock scope below so neither ever settles
+  // (or destructs unsettled) with the lock already held.
+  PullGuard pull;
+  PullGuard redo_pull;
 
   // Phase 1: acquire an arm from this band's bandit under the bandit
-  // lock. Arms that cannot reach the ratio are punished and skipped in
-  // favour of the best supporting arm.
+  // lock. Arms that cannot reach the ratio (or are gated out) are
+  // punished and skipped in favour of the best supporting arm.
   bandit::BanditPolicy* band = nullptr;
   int arm_idx = -1;
   {
     std::lock_guard<std::mutex> lock(mu_);
     band = &lossy_bandits_->ForRatio(target_ratio);
-    arm_idx = band->AcquireArm();
-    if (!supports(arm_idx)) {
-      band->CompletePull(arm_idx, 0.0);
-      int best = -1;
-      double best_value = -1.0;
-      for (int i = 0; i < static_cast<int>(config_.lossy_arms.size());
-           ++i) {
-        if (!supports(i)) continue;
-        double v = band->EstimatedValue(i);
-        if (v > best_value) {
-          best_value = v;
-          best = i;
-        }
-      }
-      if (best < 0) {
-        return Status::FailedPrecondition("band has no supporting arm");
-      }
-      arm_idx = best;
-      band->NotePending(arm_idx);
+    arm_idx = AcquireSupportedArmLocked(*band, lossy_arms_, supports);
+    if (arm_idx < 0) {
+      return Status::FailedPrecondition("band has no supporting arm");
     }
+    pull = PullGuard(*band, arm_idx, mu_, TraceSink(), band_label);
   }
 
   // Phase 2: codec work with no lock held. Reference = the segment's
@@ -371,8 +386,7 @@ Status OfflineNode::RecodeWorking(const SegmentStore::ClaimedVictim& claim,
   // truth an offline node still has).
   auto reference_or = working.Materialize();
   if (!reference_or.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    band->AbandonPull(arm_idx);
+    pull.Abandon();
     return reference_or.status();
   }
   std::vector<double> reference = std::move(reference_or).value();
@@ -381,7 +395,13 @@ Status OfflineNode::RecodeWorking(const SegmentStore::ClaimedVictim& claim,
   // first, then direct cross-codec transcoding (SIV-E future work),
   // full re-encode as the last resort — and returns the observed reward.
   auto apply_arm = [&](Segment& target, int idx) -> Result<double> {
-    compress::CodecArm arm = config_.lossy_arms[idx];
+    // Copy the descriptor under the lock: a concurrent Add may grow (and
+    // reallocate) the live ArmSet.
+    compress::CodecArm arm;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      arm = lossy_arms_.arm(idx);
+    }
     arm.params.precision = config_.precision;
     arm.params.target_ratio = target_ratio;
     Status applied = Status::Unimplemented("");
@@ -429,9 +449,9 @@ Status OfflineNode::RecodeWorking(const SegmentStore::ClaimedVictim& claim,
     ADAEDGE_RETURN_IF_ERROR(applied);
     ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> recoded,
                              target.Materialize());
-    return evaluator_.Reward(reference, recoded,
-                             reference.size() * sizeof(double),
-                             watch.ElapsedSeconds());
+    return reward_model_.WorkloadReward(reference, recoded,
+                                        reference.size() * sizeof(double),
+                                        watch.ElapsedSeconds());
   };
 
   auto reward = apply_arm(working, arm_idx);
@@ -447,26 +467,30 @@ Status OfflineNode::RecodeWorking(const SegmentStore::ClaimedVictim& claim,
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!reward.ok()) {
-      band->CompletePull(arm_idx, 0.0);
+      pull.CompleteLocked(0.0);
       return reward.status();
     }
-    band->CompletePull(arm_idx, reward.value());
+    pull.CompleteLocked(reward.value());
     greedy = band->BestArm();
-    redo_wanted = greedy != arm_idx && supports(greedy) &&
+    redo_wanted = greedy != arm_idx && lossy_arms_.arm_enabled(greedy) &&
+                  supports(lossy_arms_.arm(greedy)) &&
                   reward.value() < band->EstimatedValue(greedy);
-    if (redo_wanted) band->NotePending(greedy);
+    if (redo_wanted) {
+      band->NotePending(greedy);
+      redo_pull = PullGuard(*band, greedy, mu_, TraceSink(), band_label);
+    }
   }
   if (redo_wanted) {
     Segment redo = claim.segment;  // pre-recode snapshot, borrowed bytes
     auto redo_reward = apply_arm(redo, greedy);
     std::lock_guard<std::mutex> lock(mu_);
     if (redo_reward.ok()) {
-      band->CompletePull(greedy, redo_reward.value());
+      redo_pull.CompleteLocked(redo_reward.value());
       if (redo_reward.value() > reward.value()) {
         working = std::move(redo);
       }
     } else {
-      band->AbandonPull(greedy);
+      redo_pull.AbandonLocked();
     }
   }
 
@@ -627,20 +651,66 @@ uint64_t OfflineNode::deferred_recodes() const {
 std::vector<std::string> OfflineNode::ArmCounts() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
-  for (size_t i = 0; i < config_.lossless_arms.size(); ++i) {
-    out.push_back(config_.lossless_arms[i].name + ":" +
-                  std::to_string(lossless_bandit_->PullCount(
-                      static_cast<int>(i))));
+  for (int i = 0; i < lossless_arms_.size(); ++i) {
+    out.push_back(lossless_arms_.name(i) + ":" +
+                  std::to_string(lossless_bandit_->PullCount(i)));
   }
   for (size_t b = 0; b < lossy_bandits_->num_bands(); ++b) {
     const auto& band = lossy_bandits_->band(b);
-    for (size_t i = 0; i < config_.lossy_arms.size(); ++i) {
+    for (int i = 0; i < lossy_arms_.size(); ++i) {
       out.push_back("band" + std::to_string(b) + "/" +
-                    config_.lossy_arms[i].name + ":" +
-                    std::to_string(band.PullCount(static_cast<int>(i))));
+                    lossy_arms_.name(i) + ":" +
+                    std::to_string(band.PullCount(i)));
     }
   }
   return out;
+}
+
+Status OfflineNode::AddLosslessArm(compress::CodecArm arm) {
+  if (arm.codec == nullptr || arm.name.empty()) {
+    return Status::InvalidArgument("arm needs a codec and a name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lossless_arms_.Find(arm.name) >= 0 ||
+      lossy_arms_.Find(arm.name) >= 0) {
+    return Status::InvalidArgument("duplicate arm name: " + arm.name);
+  }
+  lossless_arms_.Add(std::move(arm));
+  lossless_bandit_->AddArm();
+  return Status::Ok();
+}
+
+Status OfflineNode::AddLossyArm(compress::CodecArm arm) {
+  if (arm.codec == nullptr || arm.name.empty()) {
+    return Status::InvalidArgument("arm needs a codec and a name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lossless_arms_.Find(arm.name) >= 0 ||
+      lossy_arms_.Find(arm.name) >= 0) {
+    return Status::InvalidArgument("duplicate arm name: " + arm.name);
+  }
+  lossy_arms_.Add(std::move(arm));
+  // Every ratio band grows in lockstep: an arm index means the same arm
+  // in every regime.
+  lossy_bandits_->AddArm();
+  return Status::Ok();
+}
+
+Status OfflineNode::SetArmEnabled(std::string_view name, bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lossless_arms_.SetEnabled(name, enabled)) return Status::Ok();
+  if (lossy_arms_.SetEnabled(name, enabled)) return Status::Ok();
+  return Status::NotFound("no arm named " + std::string(name));
+}
+
+uint64_t OfflineNode::PendingPulls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lossless_bandit_->TotalPending() + lossy_bandits_->TotalPending();
+}
+
+RewardTrace OfflineNode::reward_trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reward_trace_;
 }
 
 }  // namespace adaedge::core

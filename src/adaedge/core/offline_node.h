@@ -11,6 +11,7 @@
 
 #include "adaedge/bandit/banded_bandit.h"
 #include "adaedge/compress/registry.h"
+#include "adaedge/core/arm_runtime.h"
 #include "adaedge/core/segment_store.h"
 #include "adaedge/core/target.h"
 #include "adaedge/util/stopwatch.h"
@@ -74,6 +75,10 @@ struct OfflineConfig {
   /// recoding pool before reporting ResourceExhausted (the Fig 14
   /// failure condition).
   double backpressure_timeout_seconds = 5.0;
+  /// Record every completed bandit pull in reward_trace() (serial seeded
+  /// runs with a timing-free target produce a deterministic trace; the
+  /// golden tests pin it). Off by default: the trace grows without bound.
+  bool record_reward_trace = false;
 
   /// InvalidArgument when a field is out of range: zero storage budget,
   /// recode_threshold outside (0, 1], shrink_factor outside (0, 1) — a
@@ -144,6 +149,26 @@ class OfflineNode {
   /// "name:count" pulls of the lossless bandit and each band's bandit.
   std::vector<std::string> ArmCounts() const;
 
+  /// --- runtime arm-pool changes (no node rebuild) ---
+  /// Appends an arm to the lossless / lossy pool; every ratio band's
+  /// bandit grows in lockstep for a lossy arm. InvalidArgument on a null
+  /// codec or a name already present in either pool.
+  Status AddLosslessArm(compress::CodecArm arm);
+  Status AddLossyArm(compress::CodecArm arm);
+
+  /// Gates an arm (searched in both pools) out of or back into
+  /// selection. Estimates and pull counts survive a disable/enable
+  /// cycle; indices never renumber. NotFound when no arm has `name`.
+  Status SetArmEnabled(std::string_view name, bool enabled);
+
+  /// Sum of in-flight (acquired-but-not-completed) pulls across the
+  /// lossless bandit and every band. 0 whenever no Ingest or recode is
+  /// in flight — PullGuard settles every pull, even on error paths.
+  uint64_t PendingPulls() const;
+
+  /// Copy of the completed-pull trace (requires record_reward_trace).
+  RewardTrace reward_trace() const;
+
  private:
   /// Serial engine: runs recoding inline until usage is back under the
   /// threshold, compute budget (if metered) runs out, or no further
@@ -182,16 +207,26 @@ class OfflineNode {
   /// may still free space. Blocks (bounded) retrying the Put.
   Status AwaitSpaceAndPut(Segment segment, double now, Status first_failure);
 
+  /// Where PullGuards record completed pulls (null when tracing is off).
+  RewardTrace* TraceSink() {
+    return config_.record_reward_trace ? &reward_trace_ : nullptr;
+  }
+
   OfflineConfig config_;
-  TargetEvaluator evaluator_;
+  RewardModel reward_model_;
   std::unique_ptr<sim::StorageBudget> budget_;
   std::unique_ptr<SegmentStore> store_;
 
   /// Bandit-and-stats lock. Never held across codec work; ordered AFTER
   /// pool_mu_ (pool_mu_ -> mu_ is allowed, the reverse never taken).
+  /// Guards the ArmSets (and the bandits that index into them): readers
+  /// snapshot CodecArm copies under the lock before running codecs.
   mutable std::mutex mu_;
+  ArmSet lossless_arms_;
+  ArmSet lossy_arms_;
   std::unique_ptr<bandit::BanditPolicy> lossless_bandit_;
   std::unique_ptr<bandit::BandedBanditSet> lossy_bandits_;
+  RewardTrace reward_trace_;
   double compress_busy_ = 0.0;
   double recode_busy_ = 0.0;
   /// Virtual time at which recoding first became necessary (metered mode).

@@ -1,6 +1,5 @@
 #include "adaedge/core/online_selector.h"
 
-#include <algorithm>
 #include <optional>
 #include <utility>
 
@@ -9,19 +8,6 @@
 namespace adaedge::core {
 
 namespace {
-
-Segment MakeSegment(uint64_t id, double now, std::span<const double> values,
-                    const compress::CodecArm& arm,
-                    std::vector<uint8_t> payload, SegmentState state) {
-  SegmentMeta meta;
-  meta.id = id;
-  meta.ingest_time = now;
-  meta.value_count = static_cast<uint32_t>(values.size());
-  meta.state = state;
-  meta.codec = arm.codec->id();
-  meta.params = arm.params;
-  return Segment::FromPayload(meta, std::move(payload));
-}
 
 // Per-thread compression scratch. Process runs codec work with no lock
 // held, so each worker thread owns one buffer whose capacity persists
@@ -64,7 +50,7 @@ Status OnlineConfig::Validate() const {
 }
 
 OnlineSelector::OnlineSelector(OnlineConfig config, TargetSpec target)
-    : config_(std::move(config)), evaluator_(std::move(target)) {
+    : config_(std::move(config)), reward_model_(std::move(target)) {
   if (config_.lossless_arms.empty()) {
     config_.lossless_arms =
         compress::DefaultLosslessArms(config_.precision);
@@ -73,14 +59,18 @@ OnlineSelector::OnlineSelector(OnlineConfig config, TargetSpec target)
     config_.lossy_arms =
         compress::DefaultLossyArms(config_.precision, config_.target_ratio);
   }
-  lossless_bandit_ = bandit::MakePolicy(
-      config_.policy, static_cast<int>(config_.lossless_arms.size()),
-      config_.bandit);
+  // The config vectors only seed the pools; after construction the
+  // ArmSets are the single source of truth (runtime Add/SetEnabled
+  // mutate them, never the config).
+  lossless_arms_ = ArmSet(config_.lossless_arms);
+  lossy_arms_ = ArmSet(config_.lossy_arms);
+  lossless_bandit_ = bandit::MakePolicy(config_.policy,
+                                        lossless_arms_.size(),
+                                        config_.bandit);
   bandit::BanditConfig lossy_config = config_.bandit;
   lossy_config.seed = config_.bandit.seed ^ 0xabcdefULL;
-  lossy_bandit_ = bandit::MakePolicy(
-      config_.policy, static_cast<int>(config_.lossy_arms.size()),
-      lossy_config);
+  lossy_bandit_ = bandit::MakePolicy(config_.policy, lossy_arms_.size(),
+                                     lossy_config);
   // Targets of >= 1 are always losslessly reachable (no compression even
   // qualifies); start in the lossless phase regardless.
   lossless_active_ = !config_.force_lossy;
@@ -108,7 +98,7 @@ Result<OnlineSelector::Outcome> OnlineSelector::Process(
       lossless_active_ = true;
       consecutive_misses_ = 0;
     }
-    try_lossless = lossless_active_;
+    try_lossless = lossless_active_ && !lossless_arms_.empty();
   }
   if (try_lossless) {
     ADAEDGE_ASSIGN_OR_RETURN(std::optional<Outcome> outcome,
@@ -121,14 +111,15 @@ Result<OnlineSelector::Outcome> OnlineSelector::Process(
 }
 
 void OnlineSelector::NoteLosslessMissLocked() {
-  // The phase flips only once every lossless arm has had a chance
+  // The phase flips only once every enabled lossless arm has had a chance
   // (optimistic exploration may try the weak arms first) AND the misses
   // kept coming — otherwise a couple of unlucky early draws would hide a
   // feasible arm (e.g. Sprintz) behind the lossy phase until the next
   // recheck. In-flight pulls count as "had a chance": their rewards are
   // already on the way.
   bool all_arms_tried = true;
-  for (int a = 0; a < lossless_bandit_->num_arms(); ++a) {
+  for (int a = 0; a < lossless_arms_.size(); ++a) {
+    if (!lossless_arms_.arm_enabled(a)) continue;
     if (lossless_bandit_->PullCount(a) +
             lossless_bandit_->PendingCount(a) ==
         0) {
@@ -144,14 +135,32 @@ void OnlineSelector::NoteLosslessMissLocked() {
 
 Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
     uint64_t id, double now, std::span<const double> values) {
-  // Phase 1: snapshot an arm and the target under the lock.
-  int arm_idx;
+  // The guard outlives every lock scope below so its destructor (which
+  // takes the mutex on an unsettled early return) never runs with the
+  // lock still held.
+  PullGuard pull;
   compress::CodecArm arm;
   double target_ratio;
+
+  // Phase 1: snapshot an arm and the target under the lock. Lossless
+  // arms have no ratio precondition — only gating filters here.
   {
     std::lock_guard<std::mutex> lock(mu_);
-    arm_idx = lossless_bandit_->AcquireArm();
-    arm = config_.lossless_arms[arm_idx];
+    int arm_idx = AcquireSupportedArmLocked(
+        *lossless_bandit_, lossless_arms_,
+        [](const compress::CodecArm&) { return true; });
+    if (arm_idx < 0) {
+      // Every lossless arm gated out at runtime: skip the phase.
+      if (!config_.allow_lossy) {
+        return Status::Unavailable(
+            "lossless compression cannot reach the target ratio");
+      }
+      NoteLosslessMissLocked();
+      return std::optional<Outcome>();
+    }
+    pull = PullGuard(*lossless_bandit_, arm_idx, mu_, TraceSink(),
+                     "lossless");
+    arm = lossless_arms_.arm(arm_idx);
     target_ratio = config_.target_ratio;
   }
 
@@ -164,7 +173,7 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
   if (!compressed.ok()) {
     // E.g. dictionary refusing high-cardinality input: teach the bandit.
     std::lock_guard<std::mutex> lock(mu_);
-    lossless_bandit_->CompletePull(arm_idx, 0.0);
+    pull.CompleteLocked(0.0);
     if (!config_.allow_lossy) {
       // Lossless-only selectors (CodecDB-style) fail hard here — the
       // paper's "CodecDB ... is otherwise ineffective" regime.
@@ -176,16 +185,17 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
   }
   double ratio = compress::CompressionRatio(scratch.size(), values.size());
   // Paper SIV-C1: the lossless MAB minimizes compressed size only.
-  double reward = std::clamp(1.0 - ratio, 0.0, 1.0);
+  double reward = RewardModel::SizeReward(scratch.size(), values.size());
   // Ship uncompressed when the codec inflated the segment but raw already
   // fits the link, instead of escalating to lossy.
   bool ship_raw = ratio > target_ratio && target_ratio >= 1.0;
   bool met_target = ship_raw || ratio <= target_ratio;
 
-  // Phase 3: feed the delayed reward back and advance the phase machine.
+  // Phase 3: feed the delayed reward back and advance the phase machine
+  // in one critical section.
   {
     std::lock_guard<std::mutex> lock(mu_);
-    lossless_bandit_->CompletePull(arm_idx, reward);
+    pull.CompleteLocked(reward);
     if (met_target) {
       consecutive_misses_ = 0;
     } else {
@@ -205,7 +215,7 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
   } else {
     // Exact-size copy out of the scratch; its capacity stays with the
     // thread for the next segment.
-    outcome.segment = MakeSegment(
+    outcome.segment = MakeArmSegment(
         id, now, values, arm,
         std::vector<uint8_t>(scratch.begin(), scratch.end()),
         SegmentState::kLossless);
@@ -221,42 +231,28 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
 
 Result<OnlineSelector::Outcome> OnlineSelector::TryLossy(
     uint64_t id, double now, std::span<const double> values) {
-  // Phase 1: pick a feasible arm under the lock (SupportsRatio is a cheap
-  // pure function of the target and segment length).
-  int arm_idx;
+  // Guard declared before any lock scope (see TryLossless).
+  PullGuard pull;
   compress::CodecArm arm;
   double target_ratio;
+
+  // Phase 1: pick a feasible arm under the lock (SupportsRatio is a cheap
+  // pure function of the target and segment length). Arms that cannot
+  // reach the ratio at all (BUFF-lossy below its floor) are punished and
+  // skipped in favour of the best supporting arm.
   {
     std::lock_guard<std::mutex> lock(mu_);
-    arm_idx = lossy_bandit_->SelectArm();
-    // Arms that cannot reach the ratio at all (BUFF-lossy below its
-    // floor) are punished and skipped in favour of the best supporting
-    // arm.
-    auto supports = [&](int idx) {
-      return config_.lossy_arms[idx].codec->SupportsRatio(
-          config_.target_ratio, values.size());
-    };
-    if (!supports(arm_idx)) {
-      lossy_bandit_->Update(arm_idx, 0.0);
-      int best = -1;
-      double best_value = -1.0;
-      for (int i = 0; i < static_cast<int>(config_.lossy_arms.size());
-           ++i) {
-        if (!supports(i)) continue;
-        double v = lossy_bandit_->EstimatedValue(i);
-        if (v > best_value) {
-          best_value = v;
-          best = i;
-        }
-      }
-      if (best < 0) {
-        return Status::Unavailable(
-            "no lossy codec supports the target compression ratio");
-      }
-      arm_idx = best;
+    int arm_idx = AcquireSupportedArmLocked(
+        *lossy_bandit_, lossy_arms_, [&](const compress::CodecArm& a) {
+          return a.codec->SupportsRatio(config_.target_ratio,
+                                        values.size());
+        });
+    if (arm_idx < 0) {
+      return Status::Unavailable(
+          "no lossy codec supports the target compression ratio");
     }
-    lossy_bandit_->NotePending(arm_idx);
-    arm = config_.lossy_arms[arm_idx];
+    pull = PullGuard(*lossy_bandit_, arm_idx, mu_, TraceSink(), "lossy");
+    arm = lossy_arms_.arm(arm_idx);
     target_ratio = config_.target_ratio;
   }
   arm.params.target_ratio = target_ratio;
@@ -268,29 +264,24 @@ Result<OnlineSelector::Outcome> OnlineSelector::TryLossy(
   Status compressed = arm.codec->CompressInto(values, arm.params, scratch);
   double seconds = watch.ElapsedSeconds();
   if (!compressed.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    lossy_bandit_->CompletePull(arm_idx, 0.0);
+    pull.Fail();
     return compressed;
   }
   auto reconstructed = arm.codec->Decompress(scratch);
   if (!reconstructed.ok()) {
-    std::lock_guard<std::mutex> lock(mu_);
-    lossy_bandit_->CompletePull(arm_idx, 0.0);
+    pull.Fail();
     return reconstructed.status();
   }
-  double accuracy = evaluator_.Accuracy(values, reconstructed.value());
-  double reward =
-      evaluator_.Reward(values, reconstructed.value(),
-                        values.size() * sizeof(double), seconds);
+  double accuracy = reward_model_.Accuracy(values, reconstructed.value());
+  double reward = reward_model_.WorkloadReward(
+      values, reconstructed.value(), values.size() * sizeof(double),
+      seconds);
 
   // Phase 3: feed the delayed reward back.
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    lossy_bandit_->CompletePull(arm_idx, reward);
-  }
+  pull.Complete(reward);
 
   Outcome outcome;
-  outcome.segment = MakeSegment(
+  outcome.segment = MakeArmSegment(
       id, now, values, arm,
       std::vector<uint8_t>(scratch.begin(), scratch.end()),
       SegmentState::kLossy);
@@ -305,20 +296,76 @@ Result<OnlineSelector::Outcome> OnlineSelector::TryLossy(
   return outcome;
 }
 
+Status OnlineSelector::AddLosslessArm(compress::CodecArm arm) {
+  if (arm.codec == nullptr || arm.name.empty()) {
+    return Status::InvalidArgument("arm needs a codec and a name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lossless_arms_.Find(arm.name) >= 0 ||
+      lossy_arms_.Find(arm.name) >= 0) {
+    return Status::InvalidArgument("duplicate arm name: " + arm.name);
+  }
+  lossless_arms_.Add(std::move(arm));
+  lossless_bandit_->AddArm();
+  // The new arm may reach a target the old pool missed: re-probe.
+  if (!config_.force_lossy) {
+    lossless_active_ = true;
+    consecutive_misses_ = 0;
+  }
+  return Status::Ok();
+}
+
+Status OnlineSelector::AddLossyArm(compress::CodecArm arm) {
+  if (arm.codec == nullptr || arm.name.empty()) {
+    return Status::InvalidArgument("arm needs a codec and a name");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lossless_arms_.Find(arm.name) >= 0 ||
+      lossy_arms_.Find(arm.name) >= 0) {
+    return Status::InvalidArgument("duplicate arm name: " + arm.name);
+  }
+  lossy_arms_.Add(std::move(arm));
+  lossy_bandit_->AddArm();
+  return Status::Ok();
+}
+
+Status OnlineSelector::SetArmEnabled(std::string_view name, bool enabled) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (lossless_arms_.SetEnabled(name, enabled)) {
+    // Gating changed what the lossless pool can do; re-probe feasibility
+    // the same way SetTargetRatio does.
+    if (!config_.force_lossy && enabled) {
+      lossless_active_ = true;
+      consecutive_misses_ = 0;
+    }
+    return Status::Ok();
+  }
+  if (lossy_arms_.SetEnabled(name, enabled)) return Status::Ok();
+  return Status::NotFound("no arm named " + std::string(name));
+}
+
 std::vector<std::string> OnlineSelector::ArmCounts() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
-  for (size_t i = 0; i < config_.lossless_arms.size(); ++i) {
-    out.push_back(config_.lossless_arms[i].name + ":" +
-                  std::to_string(lossless_bandit_->PullCount(
-                      static_cast<int>(i))));
+  for (int i = 0; i < lossless_arms_.size(); ++i) {
+    out.push_back(lossless_arms_.name(i) + ":" +
+                  std::to_string(lossless_bandit_->PullCount(i)));
   }
-  for (size_t i = 0; i < config_.lossy_arms.size(); ++i) {
-    out.push_back(config_.lossy_arms[i].name + "*:" +
-                  std::to_string(
-                      lossy_bandit_->PullCount(static_cast<int>(i))));
+  for (int i = 0; i < lossy_arms_.size(); ++i) {
+    out.push_back(lossy_arms_.name(i) + "*:" +
+                  std::to_string(lossy_bandit_->PullCount(i)));
   }
   return out;
+}
+
+uint64_t OnlineSelector::PendingPulls() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lossless_bandit_->TotalPending() + lossy_bandit_->TotalPending();
+}
+
+RewardTrace OnlineSelector::reward_trace() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return reward_trace_;
 }
 
 bool OnlineSelector::lossless_active() const {

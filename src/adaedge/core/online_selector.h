@@ -5,10 +5,12 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "adaedge/bandit/bandit.h"
 #include "adaedge/compress/registry.h"
+#include "adaedge/core/arm_runtime.h"
 #include "adaedge/core/segment.h"
 #include "adaedge/core/target.h"
 
@@ -34,7 +36,9 @@ struct OnlineConfig {
     return config;
   }
   bandit::PolicyKind policy = bandit::PolicyKind::kEpsilonGreedy;
-  /// Candidate sets; empty selects the paper defaults.
+  /// Candidate sets; empty selects the paper defaults. These seed the
+  /// selector's ArmSet at construction; the pool can then change at
+  /// runtime via AddLossyArm / SetArmEnabled without a rebuild.
   std::vector<compress::CodecArm> lossless_arms;
   std::vector<compress::CodecArm> lossy_arms;
   /// Consecutive lossless misses before switching to the lossy MAB.
@@ -47,6 +51,10 @@ struct OnlineConfig {
   /// Re-probe lossless feasibility every this many segments (data shift
   /// may have made the stream compressible again). Must be >= 1.
   uint64_t lossless_recheck_interval = 256;
+  /// Record every completed bandit pull in reward_trace() (seeded serial
+  /// runs produce a deterministic trace; the golden tests pin it). Off by
+  /// default: the trace grows without bound.
+  bool record_reward_trace = false;
 
   /// InvalidArgument when a field is out of range (non-positive
   /// target_ratio, patience or recheck interval, epsilon/step outside
@@ -63,6 +71,11 @@ struct OnlineConfig {
 ///  2. Once lossless repeatedly misses the target ratio, a dedicated lossy
 ///     MAB takes over with the workload target (ML / aggregation /
 ///     throughput / weighted) as reward.
+///
+/// Arm descriptors, gating, reward math and the delayed-reward protocol
+/// all come from the shared arm runtime (arm_runtime.h): ArmSet owns the
+/// two pools, RewardModel maps observations to rewards, and every pull is
+/// held by a PullGuard so no early return can leak a pending pull.
 ///
 /// Thread-safe; multiple compression threads may call Process. The codec
 /// Compress/Decompress work and the target evaluation run with no lock
@@ -97,8 +110,30 @@ class OnlineSelector {
   Result<Outcome> Process(uint64_t id, double now,
                           std::span<const double> values);
 
+  /// --- runtime arm-pool changes (no selector rebuild) ---
+  /// Appends an arm to the lossless / lossy pool; it participates from
+  /// the next Process call (optimistic policies explore it promptly).
+  /// Adding a lossless arm re-probes the lossless phase: the new arm may
+  /// reach a target the old pool missed. InvalidArgument on a null codec
+  /// or a name already present in either pool.
+  Status AddLosslessArm(compress::CodecArm arm);
+  Status AddLossyArm(compress::CodecArm arm);
+
+  /// Gates an arm (searched in both pools) out of or back into
+  /// selection. Estimates and pull counts survive a disable/enable
+  /// cycle; indices never renumber. NotFound when no arm has `name`.
+  Status SetArmEnabled(std::string_view name, bool enabled);
+
   /// Arm pull counts for introspection, "<name>:<count>" per arm.
   std::vector<std::string> ArmCounts() const;
+
+  /// Sum of in-flight (acquired-but-not-completed) pulls across both
+  /// bandits. 0 whenever no Process call is in flight — PullGuard settles
+  /// every pull, even on error paths.
+  uint64_t PendingPulls() const;
+
+  /// Copy of the completed-pull trace (requires record_reward_trace).
+  RewardTrace reward_trace() const;
 
   bool lossless_active() const;
 
@@ -118,15 +153,24 @@ class OnlineSelector {
                            std::span<const double> values);
 
   /// Records a lossless miss and advances the phase machine (mu_ held):
-  /// after `lossless_patience` consecutive misses with every arm tried
-  /// (pending pulls count), the selector flips to the lossy phase.
+  /// after `lossless_patience` consecutive misses with every enabled arm
+  /// tried (pending pulls count), the selector flips to the lossy phase.
   void NoteLosslessMissLocked();
 
+  /// Where PullGuards record completed pulls (null when tracing is off).
+  RewardTrace* TraceSink() {
+    return config_.record_reward_trace ? &reward_trace_ : nullptr;
+  }
+
   OnlineConfig config_;
-  TargetEvaluator evaluator_;
+  RewardModel reward_model_;
   mutable std::mutex mu_;
+  /// Arm pools (guarded by mu_, like the bandits that index into them).
+  ArmSet lossless_arms_;
+  ArmSet lossy_arms_;
   std::unique_ptr<bandit::BanditPolicy> lossless_bandit_;
   std::unique_ptr<bandit::BanditPolicy> lossy_bandit_;
+  RewardTrace reward_trace_;
   bool lossless_active_;
   int consecutive_misses_ = 0;
   uint64_t processed_ = 0;

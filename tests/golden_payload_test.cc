@@ -27,6 +27,9 @@
 #include "adaedge/compress/gorilla.h"
 #include "adaedge/compress/rle.h"
 #include "adaedge/compress/sprintz.h"
+#include "adaedge/core/offline_node.h"
+#include "adaedge/core/online_selector.h"
+#include "adaedge/data/generators.h"
 #include "adaedge/util/crc32.h"
 #include "adaedge/util/rng.h"
 
@@ -261,6 +264,82 @@ TEST(GoldenPayloadTest, MaxCompressedSizeBoundsAllLengths) {
           << "n = " << n;
     }
   }
+}
+
+// ------------------------------------------------------------------------
+// Seeded reward-trace goldens. The arm runtime records every completed
+// pull (bandit label, arm, reward) when record_reward_trace is set; for a
+// seeded serial run with a timing-free target (AggAccuracy ignores
+// elapsed) the trace is fully deterministic. Pinning its bytes proves a
+// selection-layer refactor changed neither which arms get pulled nor what
+// rewards they are fed — a stronger invariant than pinning payloads alone.
+//
+// Regenerating (only after an INTENTIONAL selection/reward change):
+//   ADAEDGE_GOLDEN_PRINT=1 ./tests/golden_payload_test
+//       --gtest_filter='GoldenRewardTraceTest.*'
+
+std::string TraceText(const core::RewardTrace& trace) {
+  std::string out;
+  char line[96];
+  for (const auto& entry : trace) {
+    std::snprintf(line, sizeof(line), "%s:%d:%.17g\n",
+                  entry.bandit.c_str(), entry.arm, entry.reward);
+    out += line;
+  }
+  return out;
+}
+
+void CheckTraceGolden(const char* label, const core::RewardTrace& trace,
+                      size_t want_size, uint32_t want_crc) {
+  std::string text = TraceText(trace);
+  std::span<const uint8_t> bytes(
+      reinterpret_cast<const uint8_t*>(text.data()), text.size());
+  if (std::getenv("ADAEDGE_GOLDEN_PRINT") != nullptr) {
+    std::printf("  %s: size %zu crc 0x%08x\n%s", label, text.size(),
+                util::Crc32(bytes), text.c_str());
+    return;
+  }
+  EXPECT_EQ(text.size(), want_size) << label;
+  EXPECT_EQ(util::Crc32(bytes), want_crc) << label << "\n" << text;
+}
+
+TEST(GoldenRewardTraceTest, OnlineSelectorTraceIsStable) {
+  core::OnlineConfig config;
+  config.target_ratio = 0.12;  // forces the lossless -> lossy handover
+  config.bandit.seed = 77;
+  config.record_reward_trace = true;
+  core::OnlineSelector selector(
+      config, core::TargetSpec::AggAccuracy(query::AggKind::kSum));
+  data::CbfStream stream(5);
+  std::vector<double> values(1024);
+  for (uint64_t i = 0; i < 48; ++i) {
+    stream.Fill(values);
+    auto outcome = selector.Process(i, 0.01 * static_cast<double>(i),
+                                    values);
+    ASSERT_TRUE(outcome.ok()) << outcome.status().ToString();
+  }
+  EXPECT_EQ(selector.PendingPulls(), 0u);
+  CheckTraceGolden("online", selector.reward_trace(), 1467, 0x9d4fa117);
+}
+
+TEST(GoldenRewardTraceTest, OfflineNodeTraceIsStable) {
+  core::OfflineConfig config;
+  config.storage_budget_bytes = 96 << 10;  // overcommit: recoding engages
+  config.bandit.seed = 99;
+  config.recode_threads = 1;  // serial: deterministic pull order
+  config.record_reward_trace = true;
+  core::OfflineNode node(config,
+                         core::TargetSpec::AggAccuracy(query::AggKind::kSum));
+  data::CbfStream stream(9);
+  std::vector<double> values(256);
+  for (uint64_t i = 0; i < 120; ++i) {
+    stream.Fill(values);
+    ASSERT_TRUE(node.Ingest(i, 0.005 * static_cast<double>(i), values).ok());
+  }
+  ASSERT_TRUE(node.WaitForRecodingIdle().ok());
+  EXPECT_EQ(node.PendingPulls(), 0u);
+  EXPECT_GT(node.recode_ops(), 0u);
+  CheckTraceGolden("offline", node.reward_trace(), 3164, 0xa671a133);
 }
 
 }  // namespace

@@ -1,0 +1,216 @@
+// Fleet-scale sharded ingestion: sustained signals/sec and per-Ingest
+// latency of core::FleetNode as the shard count scales 1 -> 8.
+//
+//   fleet [--out=BENCH_fleet.json] [--quick]
+//
+// The workload is latency-bound by construction: every batch pays a fixed
+// wall-clock codec stall (standing in for accelerator/DMA/IO-offloaded
+// codecs), so the table isolates the sharding structure from the host's
+// core count — on a 1-core machine a CPU-bound workload cannot scale, but
+// per-shard stalls overlap no matter how many cores there are. With one
+// shard every batch stall serializes behind one worker; with N shards
+// they overlap N ways, so signals/sec grows with the shard count and the
+// backpressure wait behind a full shard queue (the tail of the ingest
+// latency distribution) shrinks.
+//
+// CI runs `--quick --out=BENCH_fleet.json` and asserts signals/sec
+// improves monotonically from 1 to 2 shards with no p99 ingest-latency
+// regression (schema in EXPERIMENTS.md).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adaedge/util/stopwatch.h"
+#include "bench_common.h"
+
+namespace adaedge::bench {
+namespace {
+
+constexpr size_t kPointsPerSignal = 16;
+constexpr size_t kBatchSegments = 32;
+constexpr auto kStall = std::chrono::microseconds(200);
+
+/// Raw store with a fixed wall-clock stall per batch compression: models
+/// a codec whose latency is not CPU-bound. Same trick as the scalability
+/// bench's StallCodec — it makes shard scaling measurable on any host.
+class StallCodec final : public compress::Codec {
+ public:
+  explicit StallCodec(std::chrono::microseconds stall) : stall_(stall) {}
+
+  compress::CodecId id() const override { return compress::CodecId::kRaw; }
+  compress::CodecKind kind() const override {
+    return compress::CodecKind::kLossless;
+  }
+
+  util::Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values,
+      const compress::CodecParams&) const override {
+    std::this_thread::sleep_for(stall_);
+    const auto* bytes = reinterpret_cast<const uint8_t*>(values.data());
+    return std::vector<uint8_t>(bytes,
+                                bytes + values.size() * sizeof(double));
+  }
+
+  util::Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override {
+    const auto* doubles = reinterpret_cast<const double*>(payload.data());
+    return std::vector<double>(doubles,
+                               doubles + payload.size() / sizeof(double));
+  }
+
+ private:
+  std::chrono::microseconds stall_;
+};
+
+struct FleetRow {
+  int shards = 0;
+  double signals_per_sec = 0.0;
+  double mean_ingest_us = 0.0;
+  double p99_ingest_us = 0.0;
+  uint64_t batches = 0;
+  uint64_t merges = 0;
+};
+
+FleetRow MeasureFleet(int shards, uint64_t sensors) {
+  core::FleetConfig config;
+  config.shards = shards;
+  config.batch_segments = kBatchSegments;
+  config.queue_capacity = 64;
+  config.threads_per_shard = 1;
+  config.merge_interval_batches = 64;
+  config.online.target_ratio = 2.0;  // raw always fits: stays lossless
+  compress::CodecArm arm;
+  arm.name = "stall";
+  arm.codec = std::make_shared<StallCodec>(kStall);
+  config.online.lossless_arms = {arm};
+  core::FleetNode fleet(
+      config, core::TargetSpec::AggAccuracy(query::AggKind::kSum));
+  fleet.Start();
+  std::thread consumer([&] {
+    while (fleet.PopCompressed()) {
+    }
+  });
+
+  data::CbfStream stream(601);
+  std::vector<double> values(kPointsPerSignal);
+  std::vector<double> latencies_us;
+  latencies_us.reserve(sensors);
+  util::Stopwatch run_watch;
+  for (uint64_t sensor = 0; sensor < sensors; ++sensor) {
+    stream.Fill(values);
+    util::Stopwatch call_watch;
+    (void)fleet.Ingest(sensor, values, static_cast<double>(sensor));
+    latencies_us.push_back(call_watch.ElapsedSeconds() * 1e6);
+  }
+  // Throughput over ingest + drain: Stop() flushes partial batches and
+  // joins the workers, so the clock covers all compression work.
+  (void)fleet.Flush();
+  fleet.Stop();
+  double seconds = run_watch.ElapsedSeconds();
+  consumer.join();
+
+  FleetRow row;
+  row.shards = shards;
+  row.signals_per_sec = static_cast<double>(sensors) / seconds;
+  double total_us = 0.0;
+  for (double us : latencies_us) total_us += us;
+  row.mean_ingest_us = total_us / static_cast<double>(sensors);
+  size_t p99_index = latencies_us.size() * 99 / 100;
+  std::nth_element(latencies_us.begin(),
+                   latencies_us.begin() + static_cast<ptrdiff_t>(p99_index),
+                   latencies_us.end());
+  row.p99_ingest_us = latencies_us[p99_index];
+  row.batches = fleet.batches_out();
+  row.merges = fleet.merges();
+  return row;
+}
+
+void WriteFleetJson(const std::string& path,
+                    const std::vector<FleetRow>& rows, uint64_t sensors) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "FATAL: cannot open %s\n", path.c_str());
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"bench\": \"fleet\",\n");
+  std::fprintf(f, "  \"sensors\": %llu,\n",
+               static_cast<unsigned long long>(sensors));
+  std::fprintf(f, "  \"points_per_signal\": %zu,\n", kPointsPerSignal);
+  std::fprintf(f, "  \"batch_segments\": %zu,\n", kBatchSegments);
+  std::fprintf(f, "  \"stall_us\": %lld,\n",
+               static_cast<long long>(kStall.count()));
+  std::fprintf(f, "  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"rows\": [\n");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const FleetRow& r = rows[i];
+    std::fprintf(f,
+                 "    {\"shards\": %d, \"signals_per_sec\": %.0f, "
+                 "\"mean_ingest_us\": %.2f, \"p99_ingest_us\": %.2f, "
+                 "\"batches\": %llu, \"merges\": %llu}%s\n",
+                 r.shards, r.signals_per_sec, r.mean_ingest_us,
+                 r.p99_ingest_us,
+                 static_cast<unsigned long long>(r.batches),
+                 static_cast<unsigned long long>(r.merges),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+}
+
+void Run(const std::string& out_path, bool quick) {
+  uint64_t sensors = quick ? 20000 : 100000;
+  std::printf("# Fleet sharding: %llu sensors (%zu-point signals, "
+              "batches of %zu, %lld us codec stall per batch) vs shard "
+              "count\n",
+              static_cast<unsigned long long>(sensors), kPointsPerSignal,
+              kBatchSegments, static_cast<long long>(kStall.count()));
+  std::printf(
+      "shards,signals_per_sec,mean_ingest_us,p99_ingest_us,batches,"
+      "merges,speedup_vs_1\n");
+  std::vector<FleetRow> rows;
+  double base = 0.0;
+  for (int shards : {1, 2, 4, 8}) {
+    FleetRow row = MeasureFleet(shards, sensors);
+    if (shards == 1) base = row.signals_per_sec;
+    std::printf("%d,%.0f,%.2f,%.2f,%llu,%llu,%.2f\n", row.shards,
+                row.signals_per_sec, row.mean_ingest_us, row.p99_ingest_us,
+                static_cast<unsigned long long>(row.batches),
+                static_cast<unsigned long long>(row.merges),
+                row.signals_per_sec / base);
+    rows.push_back(row);
+  }
+  std::printf("# hardware_concurrency=%u\n",
+              std::thread::hardware_concurrency());
+  if (!out_path.empty()) {
+    WriteFleetJson(out_path, rows, sensors);
+    std::printf("wrote %s\n", out_path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace adaedge::bench
+
+int main(int argc, char** argv) {
+  std::string out_path;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) {
+      out_path = argv[i] + 6;
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      std::fprintf(stderr, "usage: %s [--out=PATH] [--quick]\n", argv[0]);
+      return 2;
+    }
+  }
+  adaedge::bench::Run(out_path, quick);
+  return 0;
+}

@@ -28,6 +28,7 @@
 #include "adaedge/compress/registry.h"
 #include "adaedge/compress/transcode.h"
 #include "adaedge/core/evaluation.h"
+#include "adaedge/core/fleet.h"
 #include "adaedge/core/offline_node.h"
 #include "adaedge/core/online_node.h"
 #include "adaedge/core/online_selector.h"

@@ -48,6 +48,37 @@ class BandedBanditSet {
     for (auto& bandit : bandits_) bandit->AddArm();
   }
 
+  /// --- cross-instance knowledge sharing (fleet policy merge) ---
+  /// Per-band snapshots, outer index = band (aligned with band_edge()).
+  std::vector<std::vector<ArmStats>> ExportStats() const {
+    std::vector<std::vector<ArmStats>> stats;
+    stats.reserve(bandits_.size());
+    for (const auto& bandit : bandits_) {
+      stats.push_back(bandit->ExportStats());
+    }
+    return stats;
+  }
+
+  /// Band-wise BanditPolicy::MergeEstimates — band i merges peer band i,
+  /// so ratio-regime knowledge never smears across bands. Extra peer
+  /// bands are ignored (sets should share one edge vector).
+  void MergeEstimates(const std::vector<std::vector<ArmStats>>& peer,
+                      double weight) {
+    size_t n = std::min(peer.size(), bandits_.size());
+    for (size_t i = 0; i < n; ++i) {
+      bandits_[i]->MergeEstimates(peer[i], weight);
+    }
+  }
+
+  /// Band-wise BanditPolicy::WarmStart for a freshly constructed set.
+  void WarmStart(const std::vector<std::vector<ArmStats>>& peer,
+                 uint64_t count_cap) {
+    size_t n = std::min(peer.size(), bandits_.size());
+    for (size_t i = 0; i < n; ++i) {
+      bandits_[i]->WarmStart(peer[i], count_cap);
+    }
+  }
+
   /// Sum of in-flight (acquired-but-not-completed) pulls across bands.
   uint64_t TotalPending() const {
     uint64_t total = 0;

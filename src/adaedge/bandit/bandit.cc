@@ -38,6 +38,41 @@ void BanditPolicy::AddArm() {
   if (!pending_.empty()) pending_.push_back(0);
 }
 
+std::vector<ArmStats> BanditPolicy::ExportStats() const {
+  std::vector<ArmStats> stats(static_cast<size_t>(num_arms()));
+  for (int a = 0; a < num_arms(); ++a) {
+    stats[static_cast<size_t>(a)] = {EstimatedValue(a), PullCount(a)};
+  }
+  return stats;
+}
+
+void BanditPolicy::MergeEstimates(const std::vector<ArmStats>& peer,
+                                  double weight) {
+  if (weight <= 0.0) return;
+  weight = std::min(weight, 1.0);
+  size_t n = std::min(peer.size(), static_cast<size_t>(num_arms()));
+  for (size_t a = 0; a < n; ++a) {
+    // An arm the peer never pulled carries no information — blending its
+    // initial value in would just drag this policy back toward the prior.
+    if (peer[a].pulls == 0) continue;
+    int arm = static_cast<int>(a);
+    double blended = EstimatedValue(arm) +
+                     weight * (peer[a].value - EstimatedValue(arm));
+    AdoptArm(arm, blended, PullCount(arm));
+  }
+}
+
+void BanditPolicy::WarmStart(const std::vector<ArmStats>& peer,
+                             uint64_t count_cap) {
+  size_t n = std::min(peer.size(), static_cast<size_t>(num_arms()));
+  for (size_t a = 0; a < n; ++a) {
+    int arm = static_cast<int>(a);
+    if (peer[a].pulls == 0) continue;
+    if (PullCount(arm) + PendingCount(arm) > 0) continue;
+    AdoptArm(arm, peer[a].value, std::min(peer[a].pulls, count_cap));
+  }
+}
+
 uint64_t BanditPolicy::PendingCount(int arm) const {
   if (pending_.empty()) return 0;
   return pending_[static_cast<size_t>(arm)];

@@ -31,6 +31,16 @@ struct BanditConfig {
   uint64_t seed = 42;
 };
 
+/// One arm's exported learning state: the current action-value estimate
+/// (preference for gradient policies) and how many completed pulls back
+/// it. The fleet layer ships vectors of these between policy instances
+/// for cross-shard knowledge sharing (ExportStats / MergeEstimates /
+/// WarmStart below).
+struct ArmStats {
+  double value = 0.0;
+  uint64_t pulls = 0;
+};
+
 /// A K-armed bandit policy: SelectArm() returns the next action,
 /// Update(arm, reward) feeds back the observed optimization target.
 /// Rewards should be normalized to roughly [0, 1] (larger = better);
@@ -79,6 +89,28 @@ class BanditPolicy {
   /// in-flight pulls are unaffected.
   void AddArm();
 
+  /// --- cross-instance knowledge sharing (fleet policy merge) ---
+  /// Snapshot of every arm's estimate and completed-pull count. Pending
+  /// pulls are deliberately excluded: they carry no reward yet.
+  std::vector<ArmStats> ExportStats() const;
+
+  /// Blends peer knowledge into this policy: for each arm the peer has
+  /// actually pulled, value <- value + weight * (peer - value). Pull
+  /// counts and pending pulls stay untouched — merging shares estimates,
+  /// not credit, so repeated periodic merges cannot inflate counts.
+  /// Arms beyond min(num_arms(), peer.size()) are ignored (grow pools
+  /// via AddArm before merging).
+  void MergeEstimates(const std::vector<ArmStats>& peer, double weight);
+
+  /// Warm start for a freshly constructed instance (a shard added at
+  /// runtime): every arm never pulled here adopts the peer estimate with
+  /// min(peer.pulls, count_cap) synthetic pulls, so optimistic
+  /// initialization does not force the new instance to re-pay the whole
+  /// exploration phase. The cap keeps the adopted state revisable: a few
+  /// local rewards can still move the estimate. Locally-tried arms are
+  /// untouched.
+  void WarmStart(const std::vector<ArmStats>& peer, uint64_t count_cap);
+
   /// Number of acquired-but-not-completed pulls of `arm`.
   uint64_t PendingCount(int arm) const;
 
@@ -103,6 +135,11 @@ class BanditPolicy {
   /// Policy-specific growth: append one arm's estimate/count state.
   virtual void GrowArm() = 0;
 
+  /// Policy-specific adoption of externally supplied arm state (the
+  /// write half of ExportStats). Implementations must keep any derived
+  /// totals (e.g. UCB's t) consistent with the new counts.
+  virtual void AdoptArm(int arm, double value, uint64_t pulls) = 0;
+
  private:
   /// Per-arm in-flight pull counts (lazily sized on first NotePending).
   std::vector<uint64_t> pending_;
@@ -125,6 +162,10 @@ class EpsilonGreedy final : public BanditPolicy {
   void GrowArm() override {
     values_.push_back(config_.initial_value);
     counts_.push_back(0);
+  }
+  void AdoptArm(int arm, double value, uint64_t pulls) override {
+    values_[static_cast<size_t>(arm)] = value;
+    counts_[static_cast<size_t>(arm)] = pulls;
   }
 
  private:
@@ -153,6 +194,15 @@ class Ucb1 final : public BanditPolicy {
   void GrowArm() override {
     values_.push_back(0.0);
     counts_.push_back(0);
+  }
+  /// Adopted pulls must feed the shared t of the confidence bound, or a
+  /// warm-started arm would see log(t)/n computed from inconsistent
+  /// totals; recompute t as the sum of per-arm counts.
+  void AdoptArm(int arm, double value, uint64_t pulls) override {
+    values_[static_cast<size_t>(arm)] = value;
+    counts_[static_cast<size_t>(arm)] = pulls;
+    total_pulls_ = 0;
+    for (uint64_t c : counts_) total_pulls_ += c;
   }
 
  private:
@@ -193,6 +243,15 @@ class GradientBandit final : public BanditPolicy {
   void GrowArm() override {
     preferences_.push_back(0.0);
     counts_.push_back(0);
+  }
+  /// For gradient policies the exported "value" is the preference H_a.
+  /// total_pulls_ tracks the count sum (the baseline stays a local
+  /// running average — preferences are what carry the knowledge).
+  void AdoptArm(int arm, double value, uint64_t pulls) override {
+    preferences_[static_cast<size_t>(arm)] = value;
+    counts_[static_cast<size_t>(arm)] = pulls;
+    total_pulls_ = 0;
+    for (uint64_t c : counts_) total_pulls_ += c;
   }
 
  private:

@@ -1,0 +1,373 @@
+#include "adaedge/core/fleet.h"
+
+#include <algorithm>
+#include <limits>
+#include <string>
+#include <utility>
+
+#include "adaedge/util/logging.h"
+
+namespace adaedge::core {
+
+namespace {
+
+/// splitmix64 finalizer: sensor ids are often dense (0..N-1), and a
+/// plain modulo would stripe neighbouring sensors across shards in lock
+/// step with any periodic ingest pattern. The mix decorrelates id and
+/// shard while staying deterministic across runs and platforms.
+uint64_t HashSensorId(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Pull-weighted fleet average of per-arm stats: shards with more
+/// evidence for an arm count proportionally more. Arms no shard pulled
+/// keep pulls = 0 so MergeEstimates/WarmStart skip them.
+std::vector<bandit::ArmStats> AverageStats(
+    const std::vector<std::vector<bandit::ArmStats>>& per_shard) {
+  size_t arms = 0;
+  for (const auto& stats : per_shard) arms = std::max(arms, stats.size());
+  std::vector<bandit::ArmStats> avg(arms);
+  for (size_t a = 0; a < arms; ++a) {
+    double weighted = 0.0;
+    uint64_t pulls = 0;
+    for (const auto& stats : per_shard) {
+      if (a >= stats.size() || stats[a].pulls == 0) continue;
+      weighted += stats[a].value * static_cast<double>(stats[a].pulls);
+      pulls += stats[a].pulls;
+    }
+    if (pulls > 0) {
+      avg[a].value = weighted / static_cast<double>(pulls);
+      avg[a].pulls = pulls;
+    }
+  }
+  return avg;
+}
+
+}  // namespace
+
+Status FleetConfig::Validate() const {
+  if (shards <= 0) {
+    return Status::InvalidArgument("shards must be >= 1 (got " +
+                                   std::to_string(shards) + ")");
+  }
+  if (batch_segments == 0) {
+    return Status::InvalidArgument(
+        "batch_segments must be >= 1 (an empty batch never fills)");
+  }
+  if (queue_capacity == 0) {
+    return Status::InvalidArgument(
+        "queue_capacity must be >= 1 (a zero-capacity shard queue blocks "
+        "the first batch push forever)");
+  }
+  if (threads_per_shard <= 0) {
+    return Status::InvalidArgument(
+        "threads_per_shard must be >= 1 (got " +
+        std::to_string(threads_per_shard) +
+        "; without workers a shard never drains)");
+  }
+  if (merge_weight < 0.0 || merge_weight > 1.0) {
+    return Status::InvalidArgument("merge_weight must be in [0, 1]");
+  }
+  ADAEDGE_RETURN_IF_ERROR(online.Validate());
+  return Status::Ok();
+}
+
+FleetNode::FleetNode(FleetConfig config, TargetSpec target)
+    : config_(std::move(config)),
+      target_(std::move(target)),
+      out_(config_.out_capacity != 0
+               ? config_.out_capacity
+               : static_cast<size_t>(config_.shards) *
+                     config_.queue_capacity) {
+  shards_.reserve(static_cast<size_t>(config_.shards));
+  for (int i = 0; i < config_.shards; ++i) {
+    shards_.push_back(MakeShard(i));
+  }
+}
+
+FleetNode::~FleetNode() { Stop(); }
+
+Result<std::unique_ptr<FleetNode>> FleetNode::Create(FleetConfig config,
+                                                     TargetSpec target) {
+  ADAEDGE_RETURN_IF_ERROR(config.Validate());
+  return std::make_unique<FleetNode>(std::move(config), std::move(target));
+}
+
+std::unique_ptr<FleetNode::Shard> FleetNode::MakeShard(int index) const {
+  OnlineConfig online = config_.online;
+  // Decorrelate per-shard exploration: identical seeds would send every
+  // shard down the same epsilon-greedy trajectory and the periodic merge
+  // would have nothing to share.
+  online.bandit.seed ^=
+      0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(index) + 1);
+  auto selector = std::make_unique<OnlineSelector>(std::move(online),
+                                                   target_);
+  return std::make_unique<Shard>(config_.queue_capacity,
+                                 std::move(selector));
+}
+
+void FleetNode::Start() {
+  if (started_.exchange(true)) return;
+  std::unique_lock<std::shared_mutex> lock(shards_mu_);
+  for (auto& shard : shards_) StartShardLocked(*shard);
+}
+
+void FleetNode::StartShardLocked(Shard& shard) {
+  for (int i = 0; i < config_.threads_per_shard; ++i) {
+    shard.workers.emplace_back([this, s = &shard] { WorkerLoop(s); });
+  }
+}
+
+std::vector<FleetNode::Shard*> FleetNode::SnapshotShards() const {
+  std::shared_lock<std::shared_mutex> lock(shards_mu_);
+  std::vector<Shard*> shards;
+  shards.reserve(shards_.size());
+  for (const auto& shard : shards_) shards.push_back(shard.get());
+  return shards;
+}
+
+int FleetNode::ShardOf(uint64_t sensor_id) const {
+  std::shared_lock<std::shared_mutex> lock(shards_mu_);
+  return static_cast<int>(HashSensorId(sensor_id) % shards_.size());
+}
+
+int FleetNode::NumShards() const {
+  std::shared_lock<std::shared_mutex> lock(shards_mu_);
+  return static_cast<int>(shards_.size());
+}
+
+OnlineSelector& FleetNode::shard_selector(int shard) {
+  std::shared_lock<std::shared_mutex> lock(shards_mu_);
+  return *shards_[static_cast<size_t>(shard)]->selector;
+}
+
+Status FleetNode::Ingest(uint64_t sensor_id,
+                         std::span<const double> values, double now) {
+  if (values.empty()) {
+    return Status::InvalidArgument("empty sensor segment");
+  }
+  if (values.size() > std::numeric_limits<uint32_t>::max()) {
+    return Status::InvalidArgument(
+        "sensor segment too large for a batch descriptor");
+  }
+  if (stopped_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("fleet is stopped");
+  }
+  Shard* shard;
+  {
+    // Shared lock only for the routing read: shards are append-only and
+    // never reseated, so the raw pointer stays valid after release and a
+    // blocking queue push below cannot stall AddShard.
+    std::shared_lock<std::shared_mutex> lock(shards_mu_);
+    shard =
+        shards_[HashSensorId(sensor_id) % shards_.size()].get();
+  }
+  std::optional<PendingBatch> full;
+  {
+    std::lock_guard<std::mutex> lock(shard->accum_mu);
+    PendingBatch& accum = shard->accum;
+    // Offsets are uint32: cap one batch's value run. Unreachable with
+    // sane segment sizes (batch_segments * segment_length), but a
+    // descriptor that cannot address its payload must never be built.
+    if (accum.values.size() + values.size() >
+        std::numeric_limits<uint32_t>::max()) {
+      full = std::move(accum);
+      accum = PendingBatch{};
+    } else {
+      accum.entries.push_back(
+          {sensor_id, static_cast<uint32_t>(accum.values.size()),
+           static_cast<uint32_t>(values.size())});
+      accum.values.insert(accum.values.end(), values.begin(),
+                          values.end());
+      accum.now = std::max(accum.now, now);
+      signals_in_.fetch_add(1);
+      bytes_in_.fetch_add(values.size() * sizeof(double));
+      if (accum.entries.size() >= config_.batch_segments) {
+        full = std::move(accum);
+        accum = PendingBatch{};
+      }
+    }
+  }
+  if (full.has_value()) {
+    Status pushed = PushBatch(*shard, std::move(full).value());
+    ADAEDGE_RETURN_IF_ERROR(pushed);
+  }
+  return Status::Ok();
+}
+
+Status FleetNode::PushBatch(Shard& shard, PendingBatch batch) {
+  batch.id = next_batch_id_.fetch_add(1);
+  uint64_t signals = batch.entries.size();
+  bool pushed;
+  if (config_.block_on_full) {
+    // Block-vs-reject mirrors the offline engine's backpressure choice:
+    // blocking is loss-free (the producer absorbs the stall) ...
+    pushed = shard.queue.Push(std::move(batch));
+  } else {
+    // ... rejecting sheds load and surfaces it as a status + counter.
+    pushed = shard.queue.TryPush(std::move(batch));
+    if (!pushed && !shard.queue.closed()) {
+      signals_rejected_.fetch_add(signals);
+      return Status::ResourceExhausted(
+          "shard queue full (" + std::to_string(signals) +
+          " signals shed)");
+    }
+  }
+  if (!pushed) {
+    // Queue closed mid-stop: the batch can no longer be compressed.
+    signals_rejected_.fetch_add(signals);
+    return Status::Unavailable("fleet is stopping");
+  }
+  batches_in_.fetch_add(1);
+  return Status::Ok();
+}
+
+Status FleetNode::Flush() {
+  Status first = Status::Ok();
+  for (Shard* shard : SnapshotShards()) {
+    std::optional<PendingBatch> partial;
+    {
+      std::lock_guard<std::mutex> lock(shard->accum_mu);
+      if (!shard->accum.entries.empty()) {
+        partial = std::move(shard->accum);
+        shard->accum = PendingBatch{};
+      }
+    }
+    if (partial.has_value()) {
+      Status pushed = PushBatch(*shard, std::move(partial).value());
+      if (!pushed.ok() && first.ok()) first = pushed;
+    }
+  }
+  return first;
+}
+
+std::optional<FleetNode::CompressedBatch> FleetNode::PopCompressed() {
+  return out_.Pop();
+}
+
+void FleetNode::Stop() {
+  if (stopped_.exchange(true)) return;
+  // Partial batches still hold accepted signals: push them before
+  // closing so a clean Stop loses nothing.
+  (void)Flush();
+  auto shards = SnapshotShards();
+  for (Shard* shard : shards) shard->queue.Close();
+  for (Shard* shard : shards) {
+    for (auto& worker : shard->workers) {
+      if (worker.joinable()) worker.join();
+    }
+    shard->workers.clear();
+  }
+  out_.Close();
+}
+
+void FleetNode::WorkerLoop(Shard* shard) {
+  while (auto batch = shard->queue.Pop()) {
+    ProcessBatch(*shard, std::move(batch).value());
+  }
+}
+
+void FleetNode::ProcessBatch(Shard& shard, PendingBatch batch) {
+  uint64_t signals = batch.entries.size();
+  auto outcome =
+      shard.selector->Process(batch.id, batch.now, batch.values);
+  if (!outcome.ok()) {
+    ADAEDGE_LOG(kWarn) << "fleet batch " << batch.id
+                       << " compression failed: "
+                       << outcome.status().ToString();
+    signals_rejected_.fetch_add(signals);
+    return;
+  }
+  CompressedBatch out;
+  out.segment = std::move(outcome.value().segment);
+  out.entries = std::move(batch.entries);
+  out.arm_name = std::move(outcome.value().arm_name);
+  out.accuracy = outcome.value().accuracy;
+  out.shard = ShardOf(out.entries.front().sensor_id);
+  bytes_out_.fetch_add(out.segment.SizeBytes());
+  batches_out_.fetch_add(1);
+  signals_out_.fetch_add(signals);
+  (void)out_.Push(std::move(out));
+
+  uint64_t done = batches_done_.fetch_add(1) + 1;
+  if (config_.merge_interval_batches != 0 &&
+      done % config_.merge_interval_batches == 0) {
+    MergePolicies();
+  }
+}
+
+void FleetNode::MergePolicies() {
+  // Serialized: overlapping merges from two workers crossing the cadence
+  // boundary would interleave Export and Merge arbitrarily.
+  std::lock_guard<std::mutex> merge_lock(merge_mu_);
+  auto shards = SnapshotShards();
+  if (shards.size() < 2) return;
+  std::vector<std::vector<bandit::ArmStats>> lossless, lossy;
+  lossless.reserve(shards.size());
+  lossy.reserve(shards.size());
+  for (Shard* shard : shards) {
+    auto snapshot = shard->selector->ExportPolicy();
+    lossless.push_back(std::move(snapshot.lossless));
+    lossy.push_back(std::move(snapshot.lossy));
+  }
+  OnlineSelector::PolicySnapshot average;
+  average.lossless = AverageStats(lossless);
+  average.lossy = AverageStats(lossy);
+  for (Shard* shard : shards) {
+    shard->selector->MergePolicy(average, config_.merge_weight);
+  }
+  merges_.fetch_add(1);
+}
+
+Status FleetNode::AddShard() {
+  if (stopped_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("fleet is stopped");
+  }
+  std::unique_lock<std::shared_mutex> lock(shards_mu_);
+  auto shard = MakeShard(static_cast<int>(shards_.size()));
+  // Warm-start from the fleet-averaged posterior before the shard takes
+  // traffic, so its optimistic bandit does not re-pay the exploration
+  // the rest of the fleet already did.
+  std::vector<std::vector<bandit::ArmStats>> lossless, lossy;
+  for (const auto& existing : shards_) {
+    auto snapshot = existing->selector->ExportPolicy();
+    lossless.push_back(std::move(snapshot.lossless));
+    lossy.push_back(std::move(snapshot.lossy));
+  }
+  OnlineSelector::PolicySnapshot average;
+  average.lossless = AverageStats(lossless);
+  average.lossy = AverageStats(lossy);
+  shard->selector->WarmStartPolicy(average,
+                                   config_.warm_start_count_cap);
+  if (started_.load()) StartShardLocked(*shard);
+  shards_.push_back(std::move(shard));
+  return Status::Ok();
+}
+
+Result<std::vector<FleetNode::SensorSegment>> FleetNode::SplitBatch(
+    const CompressedBatch& batch) {
+  ADAEDGE_ASSIGN_OR_RETURN(std::vector<double> values,
+                           batch.segment.Materialize());
+  std::vector<SensorSegment> out;
+  out.reserve(batch.entries.size());
+  for (const BatchEntry& entry : batch.entries) {
+    uint64_t end = static_cast<uint64_t>(entry.offset) + entry.count;
+    if (end > values.size()) {
+      return Status::Corruption(
+          "batch descriptor addresses past the reconstructed payload "
+          "(offset " + std::to_string(entry.offset) + " + count " +
+          std::to_string(entry.count) + " > " +
+          std::to_string(values.size()) + " values)");
+    }
+    out.push_back({entry.sensor_id,
+                   std::vector<double>(
+                       values.begin() + static_cast<ptrdiff_t>(entry.offset),
+                       values.begin() + static_cast<ptrdiff_t>(end))});
+  }
+  return out;
+}
+
+}  // namespace adaedge::core

@@ -1,0 +1,238 @@
+#ifndef ADAEDGE_CORE_FLEET_H_
+#define ADAEDGE_CORE_FLEET_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "adaedge/core/online_selector.h"
+#include "adaedge/core/segment.h"
+#include "adaedge/util/bounded_queue.h"
+
+namespace adaedge::core {
+
+/// Fleet-layer configuration. One FleetNode multiplexes 10^5-10^6
+/// simulated sensors over `shards` independent pipeline shards; each
+/// shard owns one OnlineSelector (its own bandit state, seeded
+/// per-shard), one bounded batch queue and `threads_per_shard` workers.
+struct FleetConfig {
+  /// Initial shard count; AddShard() can grow it at runtime.
+  int shards = 1;
+  /// Segments accumulated into one batch before it is pushed: a batch
+  /// costs one queue push and ONE bandit pull regardless of how many
+  /// sensors contributed, which is what lets a single node keep up with
+  /// hundreds of thousands of tiny per-sensor segments.
+  size_t batch_segments = 16;
+  /// Per-shard ingest queue capacity, in batches.
+  size_t queue_capacity = 64;
+  /// Compressed-output queue capacity, in batches; 0 derives
+  /// shards * queue_capacity.
+  size_t out_capacity = 0;
+  int threads_per_shard = 1;
+  /// Backpressure semantics at a full shard queue, mirroring the offline
+  /// engine's block_on_full: true blocks the ingesting caller until the
+  /// shard drains (loss-free; producer slows down), false rejects the
+  /// batch with ResourceExhausted (load shedding; the signals_rejected
+  /// counter accounts every dropped segment).
+  bool block_on_full = true;
+  /// Fleet-wide processed-batch cadence for the periodic cross-shard
+  /// policy merge; 0 disables. See DESIGN.md "Fleet sharding" for the
+  /// determinism caveats.
+  uint64_t merge_interval_batches = 0;
+  /// MergeEstimates blend weight toward the fleet average.
+  double merge_weight = 0.5;
+  /// Synthetic-pull cap when AddShard() warm-starts a new shard from the
+  /// fleet-averaged posterior.
+  uint64_t warm_start_count_cap = 8;
+  /// Per-shard selector configuration. Every shard gets the same arm
+  /// pools in the same order (policy snapshots merge positionally); only
+  /// the bandit seed is decorrelated per shard.
+  OnlineConfig online;
+
+  /// InvalidArgument on degenerate values (no shards, empty batches,
+  /// zero-capacity queues, no workers, out-of-range merge weight) or a
+  /// per-shard OnlineConfig that fails its own Validate().
+  Status Validate() const;
+};
+
+/// Routes a sensor fleet across N pipeline shards:
+///
+///   Ingest(sensor, values) --hash(sensor)--> shard accumulator
+///     --batch_segments full--> shard queue --worker--> OnlineSelector
+///     (one bandit pull per batch) --> compressed-output queue
+///
+/// Batching format: a batch concatenates the values of up to
+/// `batch_segments` per-sensor segments; its descriptor records
+/// (sensor_id, offset, count) per contribution. The whole batch is
+/// compressed as one Segment; SplitBatch() is the decode side, slicing
+/// the materialized values back per sensor.
+///
+/// Cross-shard bandit knowledge sharing: every merge_interval_batches
+/// processed batches (fleet-wide), shard estimates are blended toward
+/// the fleet average (MergePolicies), and AddShard() warm-starts a
+/// runtime-added shard from that average so it does not re-pay the
+/// exploration phase.
+///
+/// Thread-safe: any number of ingest producers and one or more
+/// PopCompressed consumers may run concurrently with the shard workers.
+class FleetNode {
+ public:
+  /// One sensor's contribution to a batch payload.
+  struct BatchEntry {
+    uint64_t sensor_id = 0;
+    uint32_t offset = 0;  // index into the batch's value array
+    uint32_t count = 0;   // number of values contributed
+  };
+
+  /// One compressed batch: a single Segment covering every entry.
+  struct CompressedBatch {
+    Segment segment;
+    std::vector<BatchEntry> entries;
+    std::string arm_name;
+    double accuracy = 1.0;
+    int shard = 0;
+  };
+
+  /// One sensor's reconstructed slice of a batch.
+  struct SensorSegment {
+    uint64_t sensor_id = 0;
+    std::vector<double> values;
+  };
+
+  FleetNode(FleetConfig config, TargetSpec target);
+  ~FleetNode();
+
+  FleetNode(const FleetNode&) = delete;
+  FleetNode& operator=(const FleetNode&) = delete;
+
+  /// Checked construction: InvalidArgument when `config` fails Validate.
+  static Result<std::unique_ptr<FleetNode>> Create(FleetConfig config,
+                                                   TargetSpec target);
+
+  /// Starts the shard workers.
+  void Start();
+
+  /// Routes one sensor segment to its shard's accumulator; when the
+  /// accumulated batch is full it is pushed to the shard queue. Ok when
+  /// the values were accepted; ResourceExhausted when the shard queue is
+  /// full in reject mode (the full batch is dropped and accounted in
+  /// signals_rejected); Unavailable after Stop().
+  Status Ingest(uint64_t sensor_id, std::span<const double> values,
+                double now);
+
+  /// Pushes every shard's partial accumulated batch (same backpressure
+  /// semantics as Ingest). Returns the first non-OK push status.
+  Status Flush();
+
+  /// Pops the next compressed batch; nullopt once stopped and drained.
+  std::optional<CompressedBatch> PopCompressed();
+
+  /// Flushes partial batches, closes the intake, drains the workers,
+  /// joins threads and closes the output queue. Idempotent.
+  void Stop();
+
+  /// Decode-side split: materializes the batch segment and slices it
+  /// back into per-sensor value runs following the descriptor.
+  static Result<std::vector<SensorSegment>> SplitBatch(
+      const CompressedBatch& batch);
+
+  /// Adds one shard at runtime, warm-started from the fleet-averaged
+  /// posterior (WarmStartPolicy with warm_start_count_cap) so it skips
+  /// the exploration phase; its workers start immediately when the fleet
+  /// is running. Sensors re-route under the new modulus from the next
+  /// Ingest. FailedPrecondition after Stop().
+  Status AddShard();
+
+  /// Blends every shard's bandit estimates toward the fleet average
+  /// (also runs automatically every merge_interval_batches).
+  void MergePolicies();
+
+  /// Stable sensor -> shard routing under the current shard count.
+  int ShardOf(uint64_t sensor_id) const;
+
+  int NumShards() const;
+
+  /// Shard-local selector access (bench/test introspection).
+  OnlineSelector& shard_selector(int shard);
+
+  /// --- accounting ---
+  /// signals = per-sensor segments. Accepted signals either reach a
+  /// compressed batch (signals_out), are dropped by a reject-mode push
+  /// (signals_rejected), or are still buffered in an accumulator or
+  /// queue; after Stop(), in + dropped-at-close = out + rejected.
+  uint64_t signals_in() const { return signals_in_.load(); }
+  uint64_t signals_out() const { return signals_out_.load(); }
+  uint64_t signals_rejected() const { return signals_rejected_.load(); }
+  uint64_t batches_in() const { return batches_in_.load(); }
+  uint64_t batches_out() const { return batches_out_.load(); }
+  uint64_t bytes_in() const { return bytes_in_.load(); }
+  uint64_t bytes_out() const { return bytes_out_.load(); }
+  uint64_t merges() const { return merges_.load(); }
+
+ private:
+  /// A batch being accumulated or queued: concatenated values plus the
+  /// per-sensor descriptor.
+  struct PendingBatch {
+    uint64_t id = 0;
+    double now = 0.0;
+    std::vector<double> values;
+    std::vector<BatchEntry> entries;
+  };
+
+  /// One pipeline shard. Shards are append-only and owned until Stop():
+  /// readers snapshot the raw pointer under the shared routing lock and
+  /// may keep using it after releasing (AddShard never invalidates).
+  struct Shard {
+    Shard(size_t queue_capacity, std::unique_ptr<OnlineSelector> sel)
+        : selector(std::move(sel)), queue(queue_capacity) {}
+
+    std::unique_ptr<OnlineSelector> selector;
+    util::BoundedQueue<PendingBatch> queue;
+    std::vector<std::thread> workers;
+    std::mutex accum_mu;
+    PendingBatch accum;  // guarded by accum_mu
+  };
+
+  std::unique_ptr<Shard> MakeShard(int index) const;
+  void StartShardLocked(Shard& shard);
+  /// Snapshot of the live shard pointers (shared routing lock held only
+  /// for the copy).
+  std::vector<Shard*> SnapshotShards() const;
+  Status PushBatch(Shard& shard, PendingBatch batch);
+  void WorkerLoop(Shard* shard);
+  void ProcessBatch(Shard& shard, PendingBatch batch);
+
+  FleetConfig config_;
+  TargetSpec target_;
+  util::BoundedQueue<CompressedBatch> out_;
+
+  /// Guards shards_ growth; Ingest/routing take it shared, AddShard
+  /// exclusive. Entries are never removed or reseated while running.
+  mutable std::shared_mutex shards_mu_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::mutex merge_mu_;  // serializes concurrent MergePolicies calls
+
+  std::atomic<uint64_t> next_batch_id_{0};
+  std::atomic<uint64_t> batches_done_{0};  // merge cadence counter
+  std::atomic<uint64_t> signals_in_{0};
+  std::atomic<uint64_t> signals_out_{0};
+  std::atomic<uint64_t> signals_rejected_{0};
+  std::atomic<uint64_t> batches_in_{0};
+  std::atomic<uint64_t> batches_out_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> merges_{0};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+};
+
+}  // namespace adaedge::core
+
+#endif  // ADAEDGE_CORE_FLEET_H_

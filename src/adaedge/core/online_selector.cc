@@ -344,6 +344,25 @@ Status OnlineSelector::SetArmEnabled(std::string_view name, bool enabled) {
   return Status::NotFound("no arm named " + std::string(name));
 }
 
+OnlineSelector::PolicySnapshot OnlineSelector::ExportPolicy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {lossless_bandit_->ExportStats(), lossy_bandit_->ExportStats()};
+}
+
+void OnlineSelector::MergePolicy(const PolicySnapshot& peer,
+                                 double weight) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lossless_bandit_->MergeEstimates(peer.lossless, weight);
+  lossy_bandit_->MergeEstimates(peer.lossy, weight);
+}
+
+void OnlineSelector::WarmStartPolicy(const PolicySnapshot& peer,
+                                     uint64_t count_cap) {
+  std::lock_guard<std::mutex> lock(mu_);
+  lossless_bandit_->WarmStart(peer.lossless, count_cap);
+  lossy_bandit_->WarmStart(peer.lossy, count_cap);
+}
+
 std::vector<std::string> OnlineSelector::ArmCounts() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;

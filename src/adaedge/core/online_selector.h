@@ -124,6 +124,29 @@ class OnlineSelector {
   /// cycle; indices never renumber. NotFound when no arm has `name`.
   Status SetArmEnabled(std::string_view name, bool enabled);
 
+  /// --- cross-selector bandit knowledge sharing (fleet layer) ---
+  /// Snapshot of both bandits' per-arm estimates and completed-pull
+  /// counts. Arm indices are positional: snapshots are only meaningful
+  /// between selectors built from the same arm pools in the same order
+  /// (the FleetNode invariant — every shard shares one OnlineConfig).
+  struct PolicySnapshot {
+    std::vector<bandit::ArmStats> lossless;
+    std::vector<bandit::ArmStats> lossy;
+  };
+  PolicySnapshot ExportPolicy() const;
+
+  /// Blends `peer` into this selector's bandits
+  /// (bandit::BanditPolicy::MergeEstimates with `weight`): periodic
+  /// fleet-wide merge so one shard's discovery reaches the others without
+  /// transferring pull credit.
+  void MergePolicy(const PolicySnapshot& peer, double weight);
+
+  /// Warm-starts untried arms from `peer` with at most `count_cap`
+  /// synthetic pulls per arm (bandit::BanditPolicy::WarmStart): a shard
+  /// added at runtime starts from the fleet posterior instead of
+  /// re-paying the exploration phase.
+  void WarmStartPolicy(const PolicySnapshot& peer, uint64_t count_cap);
+
   /// Arm pull counts for introspection, "<name>:<count>" per arm.
   std::vector<std::string> ArmCounts() const;
 

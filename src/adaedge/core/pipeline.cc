@@ -1,8 +1,42 @@
 #include "adaedge/core/pipeline.h"
 
+#include <string>
+
 #include "adaedge/util/logging.h"
 
 namespace adaedge::core {
+
+Status PipelineConfig::Validate() const {
+  if (segment_length == 0) {
+    return Status::InvalidArgument("segment_length must be >= 1");
+  }
+  if (uncompressed_capacity == 0) {
+    return Status::InvalidArgument(
+        "uncompressed_capacity must be >= 1 (a zero-capacity queue "
+        "blocks the first Ingest forever)");
+  }
+  if (compressed_capacity == 0) {
+    return Status::InvalidArgument(
+        "compressed_capacity must be >= 1 (a zero-capacity queue blocks "
+        "the first compression worker forever)");
+  }
+  if (compress_threads <= 0) {
+    return Status::InvalidArgument(
+        "compress_threads must be >= 1 (got " +
+        std::to_string(compress_threads) +
+        "; without workers the pipeline never drains)");
+  }
+  return Status::Ok();
+}
+
+Result<std::unique_ptr<Pipeline>> Pipeline::Create(PipelineConfig config,
+                                                   OnlineConfig online,
+                                                   TargetSpec target) {
+  ADAEDGE_RETURN_IF_ERROR(config.Validate());
+  ADAEDGE_RETURN_IF_ERROR(online.Validate());
+  return std::make_unique<Pipeline>(config, std::move(online),
+                                    std::move(target));
+}
 
 Pipeline::Pipeline(PipelineConfig config, OnlineConfig online,
                    TargetSpec target)

@@ -23,6 +23,13 @@ struct PipelineConfig {
   size_t uncompressed_capacity = 128;
   size_t compressed_capacity = 128;
   int compress_threads = 1;
+
+  /// InvalidArgument on degenerate configs the unchecked constructor
+  /// would silently accept: a zero queue capacity deadlocks
+  /// BoundedQueue::Push forever (it waits for space that can never
+  /// exist), and compress_threads <= 0 builds a pipeline that never
+  /// drains. Pipeline::Create is the checked construction path.
+  Status Validate() const;
 };
 
 class Pipeline {
@@ -35,6 +42,13 @@ class Pipeline {
 
   Pipeline(PipelineConfig config, OnlineConfig online, TargetSpec target);
   ~Pipeline();
+
+  /// Checked construction: InvalidArgument when either config fails its
+  /// Validate() (e.g. uncompressed_capacity = 0, which would block the
+  /// first Ingest forever; compress_threads = 0, which would never drain).
+  static Result<std::unique_ptr<Pipeline>> Create(PipelineConfig config,
+                                                  OnlineConfig online,
+                                                  TargetSpec target);
 
   Pipeline(const Pipeline&) = delete;
   Pipeline& operator=(const Pipeline&) = delete;

@@ -66,7 +66,10 @@ bool Network::WithinCapacity(double now_seconds) const {
 
 bool StorageBudget::TryReserve(size_t bytes) {
   std::lock_guard<std::mutex> lock(mu_);
-  if (used_ + bytes > capacity_) return false;
+  // Subtraction form: `used_ + bytes` wraps for huge `bytes` (size_t is
+  // modulo 2^64) and would grant reservations past capacity. used_ <=
+  // capacity_ is a class invariant, so capacity_ - used_ cannot wrap.
+  if (bytes > capacity_ - used_) return false;
   used_ += bytes;
   return true;
 }
@@ -79,7 +82,9 @@ void StorageBudget::Release(size_t bytes) {
 bool StorageBudget::Resize(size_t old_bytes, size_t new_bytes) {
   std::lock_guard<std::mutex> lock(mu_);
   size_t base = old_bytes > used_ ? 0 : used_ - old_bytes;
-  if (base + new_bytes > capacity_) return false;
+  // Subtraction form, like TryReserve: `base + new_bytes` wraps for huge
+  // `new_bytes`; base <= capacity_ by the used_ <= capacity_ invariant.
+  if (new_bytes > capacity_ - base) return false;
   used_ = base + new_bytes;
   return true;
 }

@@ -1,12 +1,42 @@
 #include "adaedge/sim/sensor_client.h"
 
+#include <cmath>
+
 namespace adaedge::sim {
 
 SensorClient::SensorClient(std::unique_ptr<data::Stream> stream,
                            double points_per_sec, size_t segment_length)
     : stream_(std::move(stream)),
       points_per_sec_(points_per_sec),
-      segment_length_(segment_length) {}
+      segment_length_(segment_length) {
+  // Keep the virtual clock finite even on the unchecked path: a rate of
+  // 0 (or NaN/inf) would make now_seconds() inf/NaN. Create() rejects
+  // such rates with a proper status instead of clamping.
+  if (!std::isfinite(points_per_sec_) || points_per_sec_ <= 0.0) {
+    points_per_sec_ = 1.0;
+  }
+}
+
+util::Result<std::unique_ptr<SensorClient>> SensorClient::Create(
+    std::unique_ptr<data::Stream> stream, double points_per_sec,
+    size_t segment_length) {
+  if (stream == nullptr) {
+    return util::Status::InvalidArgument("SensorClient needs a stream");
+  }
+  if (segment_length == 0) {
+    return util::Status::InvalidArgument(
+        "segment_length must be >= 1 (a zero-length segment never "
+        "advances the virtual clock)");
+  }
+  if (!std::isfinite(points_per_sec) || points_per_sec <= 0.0) {
+    return util::Status::InvalidArgument(
+        "points_per_sec must be positive and finite (got " +
+        std::to_string(points_per_sec) +
+        "); it divides the virtual clock");
+  }
+  return std::make_unique<SensorClient>(std::move(stream), points_per_sec,
+                                        segment_length);
+}
 
 std::vector<double> SensorClient::NextSegment() {
   std::vector<double> segment(segment_length_);

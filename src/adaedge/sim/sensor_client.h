@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "adaedge/data/generators.h"
+#include "adaedge/util/status.h"
 
 namespace adaedge::sim {
 
@@ -15,9 +16,19 @@ namespace adaedge::sim {
 class SensorClient {
  public:
   /// `points_per_sec` drives the virtual clock (paper default: 200,000;
-  /// high-frequency experiment: 1,000,000).
+  /// high-frequency experiment: 1,000,000). Must be positive and finite,
+  /// or now_seconds() would divide to inf/NaN and poison every virtual-
+  /// clock consumer (Network::WithinCapacity, offline ingest pacing);
+  /// the unchecked constructor clamps invalid rates to 1 point/s —
+  /// Create() is the checked construction path.
   SensorClient(std::unique_ptr<data::Stream> stream, double points_per_sec,
                size_t segment_length);
+
+  /// Checked construction: InvalidArgument on a null stream, a zero
+  /// segment length, or a non-positive / non-finite point rate.
+  static util::Result<std::unique_ptr<SensorClient>> Create(
+      std::unique_ptr<data::Stream> stream, double points_per_sec,
+      size_t segment_length);
 
   /// Produces the next segment and advances the virtual clock.
   std::vector<double> NextSegment();

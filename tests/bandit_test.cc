@@ -313,6 +313,122 @@ TEST(BandedBanditSetTest, BandsLearnIndependently) {
   EXPECT_EQ(set.ForRatio(0.1).BestArm(), 1);
 }
 
+TEST(PolicySharingTest, ExportStatsRoundTripsEstimates) {
+  BanditConfig config;
+  EpsilonGreedy policy(3, config);
+  policy.Update(0, 1.0);
+  policy.Update(0, 0.0);
+  policy.Update(2, 0.25);
+  auto stats = policy.ExportStats();
+  ASSERT_EQ(stats.size(), 3u);
+  EXPECT_DOUBLE_EQ(stats[0].value, policy.EstimatedValue(0));
+  EXPECT_EQ(stats[0].pulls, 2u);
+  EXPECT_EQ(stats[1].pulls, 0u);
+  EXPECT_DOUBLE_EQ(stats[2].value, 0.25);
+  EXPECT_EQ(stats[2].pulls, 1u);
+}
+
+TEST(PolicySharingTest, MergeEstimatesBlendsValuesWithoutPullCredit) {
+  BanditConfig config;
+  config.initial_value = 0.0;
+  EpsilonGreedy local(2, config);
+  local.Update(0, 0.2);  // local estimate 0.2, 1 pull
+
+  std::vector<ArmStats> peer = {{0.8, 10}, {0.9, 10}};
+  local.MergeEstimates(peer, 0.5);
+
+  // Arm 0: blended halfway toward the peer; pull count untouched.
+  EXPECT_DOUBLE_EQ(local.EstimatedValue(0), 0.5);
+  EXPECT_EQ(local.PullCount(0), 1u);
+  // Arm 1: blended even though local never pulled it — but still no
+  // synthetic pull credit.
+  EXPECT_DOUBLE_EQ(local.EstimatedValue(1), 0.45);
+  EXPECT_EQ(local.PullCount(1), 0u);
+}
+
+TEST(PolicySharingTest, MergeEstimatesSkipsUnpulledPeerArmsAndBadWeights) {
+  BanditConfig config;
+  config.initial_value = 1.0;
+  EpsilonGreedy local(2, config);
+  std::vector<ArmStats> peer = {{0.0, 0}, {0.5, 4}};
+  local.MergeEstimates(peer, 0.0);  // no-op weight
+  EXPECT_DOUBLE_EQ(local.EstimatedValue(1), 1.0);
+  local.MergeEstimates(peer, 1.0);
+  EXPECT_DOUBLE_EQ(local.EstimatedValue(0), 1.0);  // peer never pulled it
+  EXPECT_DOUBLE_EQ(local.EstimatedValue(1), 0.5);
+}
+
+TEST(PolicySharingTest, WarmStartCapsSyntheticPullsAndSkipsTriedArms) {
+  BanditConfig config;
+  config.initial_value = 1.0;
+  EpsilonGreedy policy(3, config);
+  policy.Update(1, 0.9);  // locally tried: warm-start must not clobber
+
+  std::vector<ArmStats> peer = {{0.3, 1000}, {0.1, 1000}, {0.0, 0}};
+  policy.WarmStart(peer, 8);
+
+  EXPECT_DOUBLE_EQ(policy.EstimatedValue(0), 0.3);
+  EXPECT_EQ(policy.PullCount(0), 8u);  // capped, not 1000
+  EXPECT_DOUBLE_EQ(policy.EstimatedValue(1), 0.9);
+  EXPECT_EQ(policy.PullCount(1), 1u);
+  // Arm 2: peer had no evidence either — stays optimistic-untried.
+  EXPECT_DOUBLE_EQ(policy.EstimatedValue(2), 1.0);
+  EXPECT_EQ(policy.PullCount(2), 0u);
+}
+
+TEST(PolicySharingTest, Ucb1AdoptedPullsFeedConfidenceTotal) {
+  BanditConfig config;
+  Ucb1 policy(2, config);
+  std::vector<ArmStats> peer = {{0.7, 50}, {0.6, 50}};
+  policy.WarmStart(peer, 16);
+  // Warm-started arms count as tried: UCB's cold-start "play every arm
+  // once" phase must not re-trigger, and the shared t must include the
+  // adopted pulls (a zero t with nonzero counts would divide by zero /
+  // skew the confidence bound).
+  EXPECT_EQ(policy.PullCount(0), 16u);
+  EXPECT_EQ(policy.PullCount(1), 16u);
+  for (int t = 0; t < 10; ++t) {
+    int arm = policy.SelectArm();
+    ASSERT_GE(arm, 0);
+    ASSERT_LT(arm, 2);
+    policy.Update(arm, 0.5);
+  }
+}
+
+TEST(PolicySharingTest, GradientWarmStartBiasesPreferences) {
+  BanditConfig config;
+  GradientBandit policy(2, config);
+  // Preferences exported as "value": adopting peer preferences should
+  // tilt the softmax toward the peer's favourite.
+  std::vector<ArmStats> peer = {{2.0, 30}, {-2.0, 30}};
+  policy.WarmStart(peer, 8);
+  auto stats = policy.ExportStats();
+  EXPECT_GT(stats[0].value, stats[1].value);
+  int hits = 0;
+  for (int t = 0; t < 200; ++t) {
+    if (policy.SelectArm() == 0) ++hits;
+  }
+  EXPECT_GT(hits, 120);  // softmax(2 vs -2) ~ 0.98
+}
+
+TEST(PolicySharingTest, BandedSetMergesBandWise) {
+  BanditConfig config;
+  config.initial_value = 0.0;
+  BandedBanditSet a({1.0, 0.25}, PolicyKind::kEpsilonGreedy, 2, config);
+  BandedBanditSet b({1.0, 0.25}, PolicyKind::kEpsilonGreedy, 2, config);
+  a.ForRatio(0.8).Update(0, 1.0);   // band 0 knowledge
+  a.ForRatio(0.1).Update(1, 1.0);   // band 1 knowledge
+  b.MergeEstimates(a.ExportStats(), 1.0);
+  EXPECT_DOUBLE_EQ(b.ForRatio(0.8).EstimatedValue(0), 1.0);
+  EXPECT_DOUBLE_EQ(b.ForRatio(0.1).EstimatedValue(1), 1.0);
+  EXPECT_EQ(b.ForRatio(0.8).PullCount(0), 0u);
+
+  BandedBanditSet c({1.0, 0.25}, PolicyKind::kEpsilonGreedy, 2, config);
+  c.WarmStart(a.ExportStats(), 4);
+  EXPECT_DOUBLE_EQ(c.ForRatio(0.1).EstimatedValue(1), 1.0);
+  EXPECT_EQ(c.ForRatio(0.1).PullCount(1), 1u);  // min(1 pull, cap 4)
+}
+
 TEST(BandedBanditSetTest, DefaultEdgesDescendFromOne) {
   auto edges = BandedBanditSet::DefaultEdges();
   ASSERT_FALSE(edges.empty());

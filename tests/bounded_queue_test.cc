@@ -1,0 +1,184 @@
+// util::BoundedQueue unit tests. The queue is the seam every pipeline
+// stage (online, offline, fleet) hangs off, but until now it was only
+// exercised indirectly through those engines' stress tests. These pin
+// the contract directly: capacity boundaries, close-wakes-everyone
+// semantics, FIFO order, and an MPMC stress run (under TSan in CI).
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/util/bounded_queue.h"
+
+namespace adaedge::util {
+namespace {
+
+TEST(BoundedQueueTest, TryPushRespectsCapacityBoundary) {
+  BoundedQueue<int> queue(2);
+  EXPECT_EQ(queue.capacity(), 2u);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // full: non-blocking reject
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.TryPop().value(), 1);  // FIFO
+  EXPECT_TRUE(queue.TryPush(3));         // space freed
+  EXPECT_EQ(queue.TryPop().value(), 2);
+  EXPECT_EQ(queue.TryPop().value(), 3);
+  EXPECT_EQ(queue.TryPop(), std::nullopt);  // empty: no block
+}
+
+TEST(BoundedQueueTest, TryOpsFailAfterClose) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(1));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.TryPush(2));
+  EXPECT_FALSE(queue.Push(3));
+  // Closed still drains what it holds, then reports empty.
+  EXPECT_EQ(queue.TryPop().value(), 1);
+  EXPECT_EQ(queue.TryPop(), std::nullopt);
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+}
+
+TEST(BoundedQueueTest, CloseWhileFullWakesBlockedPushers) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(0));
+  std::atomic<int> results{0};
+  // Two pushers wedge against the full queue; Close must wake BOTH (a
+  // notify_one bug here strands one pusher forever).
+  std::thread a([&] { results += queue.Push(1) ? 0 : 1; });
+  std::thread b([&] { results += queue.Push(2) ? 0 : 1; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  a.join();
+  b.join();
+  EXPECT_EQ(results.load(), 2);  // both returned false, neither hung
+  EXPECT_EQ(queue.size(), 1u);   // the wedged items were not enqueued
+}
+
+TEST(BoundedQueueTest, CloseWhileEmptyWakesBlockedPoppers) {
+  BoundedQueue<int> queue(4);
+  std::atomic<int> drained{0};
+  std::thread a([&] { drained += queue.Pop().has_value() ? 0 : 1; });
+  std::thread b([&] { drained += queue.Pop().has_value() ? 0 : 1; });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  queue.Close();
+  a.join();
+  b.join();
+  EXPECT_EQ(drained.load(), 2);  // both woke with nullopt
+}
+
+TEST(BoundedQueueTest, PushBlocksUntilSpaceThenDelivers) {
+  BoundedQueue<int> queue(1);
+  ASSERT_TRUE(queue.Push(1));
+  std::atomic<bool> pushed{false};
+  std::thread pusher([&] {
+    ASSERT_TRUE(queue.Push(2));  // blocks: queue is full
+    pushed = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // still wedged
+  EXPECT_EQ(queue.Pop().value(), 1);
+  pusher.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_EQ(queue.Pop().value(), 2);
+}
+
+TEST(BoundedQueueTest, MoveOnlyPayloadsMoveThrough) {
+  BoundedQueue<std::unique_ptr<int>> queue(2);
+  ASSERT_TRUE(queue.Push(std::make_unique<int>(42)));
+  auto out = queue.Pop();
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(**out, 42);
+  // A rejected TryPush must not half-consume the payload path: the queue
+  // stays usable afterwards.
+  ASSERT_TRUE(queue.TryPush(std::make_unique<int>(1)));
+  ASSERT_TRUE(queue.TryPush(std::make_unique<int>(2)));
+  EXPECT_FALSE(queue.TryPush(std::make_unique<int>(3)));
+  EXPECT_EQ(*queue.Pop().value(), 1);
+}
+
+TEST(BoundedQueueStressTest, MpmcDeliversEveryItemExactlyOnce) {
+  // 4 producers x 4 consumers over a tiny queue: maximal contention on
+  // both condition variables. Every pushed value must be popped exactly
+  // once, in per-producer FIFO order.
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 2000;
+  BoundedQueue<int> queue(8);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  std::vector<std::vector<int>> got(kConsumers);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      while (auto item = queue.Pop()) got[c].push_back(*item);
+    });
+  }
+  for (auto& producer : producers) producer.join();
+  queue.Close();
+  for (auto& consumer : consumers) consumer.join();
+
+  std::set<int> seen;
+  std::vector<int> last(kProducers, -1);
+  size_t total = 0;
+  for (const auto& lane : got) {
+    total += lane.size();
+    for (int item : lane) {
+      EXPECT_TRUE(seen.insert(item).second) << "duplicate " << item;
+    }
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kProducers) * kPerProducer);
+  // Per-producer order is preserved within any single consumer's lane
+  // (the queue is FIFO; interleaving across consumers is free).
+  for (const auto& lane : got) {
+    std::vector<int> cursor(kProducers, -1);
+    for (int item : lane) {
+      int producer = item / kPerProducer;
+      EXPECT_GT(item, cursor[producer]) << "producer order inverted";
+      cursor[producer] = item;
+    }
+  }
+}
+
+TEST(BoundedQueueStressTest, ConcurrentCloseRaceNeverHangs) {
+  // Producers, consumers and an asynchronous Close racing: the contract
+  // is only that everyone returns (no deadlock) and pops never invent
+  // items. Runs under TSan in CI to shake ordering bugs out.
+  for (int round = 0; round < 20; ++round) {
+    BoundedQueue<int> queue(2);
+    std::atomic<int> popped{0};
+    std::atomic<int> pushed{0};
+    std::vector<std::thread> threads;
+    for (int p = 0; p < 2; ++p) {
+      threads.emplace_back([&] {
+        for (int i = 0; i < 100; ++i) {
+          if (queue.Push(i)) pushed.fetch_add(1);
+        }
+      });
+    }
+    for (int c = 0; c < 2; ++c) {
+      threads.emplace_back([&] {
+        while (queue.Pop()) popped.fetch_add(1);
+      });
+    }
+    threads.emplace_back([&] { queue.Close(); });
+    for (auto& thread : threads) thread.join();
+    EXPECT_LE(popped.load(), pushed.load());
+  }
+}
+
+}  // namespace
+}  // namespace adaedge::util

@@ -1,6 +1,9 @@
 // Data generators and simulation substrate tests.
 
 #include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
 #include <unordered_set>
 #include <vector>
 
@@ -145,6 +148,77 @@ TEST(StorageBudgetTest, ReserveReleaseResize) {
   EXPECT_FALSE(budget.NeedsRecoding());
   budget.Release(750);
   EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(StorageBudgetTest, HugeReservationDoesNotWrapPastCapacity) {
+  // Regression: the old check was `used_ + bytes > capacity_`, which
+  // wraps modulo 2^64 for huge `bytes` — SIZE_MAX "fit" into a 1000-byte
+  // budget and used_ wrapped to nonsense. The subtraction form cannot.
+  sim::StorageBudget budget(1000, 0.8);
+  EXPECT_TRUE(budget.TryReserve(100));
+  EXPECT_FALSE(budget.TryReserve(SIZE_MAX));
+  EXPECT_FALSE(budget.TryReserve(SIZE_MAX - 99));  // 100 + this == 2^64
+  EXPECT_EQ(budget.used(), 100u);
+  EXPECT_TRUE(budget.TryReserve(900));  // exact fit still granted
+  EXPECT_FALSE(budget.TryReserve(1));
+  EXPECT_EQ(budget.used(), 1000u);
+}
+
+TEST(StorageBudgetTest, HugeResizeDoesNotWrapPastCapacity) {
+  sim::StorageBudget budget(1000, 0.8);
+  ASSERT_TRUE(budget.TryReserve(500));
+  // Regression: `used_ - old_bytes + new_bytes` wrapped twice over — a
+  // recode "growing" a 100-byte segment to SIZE_MAX passed the check.
+  EXPECT_FALSE(budget.Resize(100, SIZE_MAX));
+  EXPECT_EQ(budget.used(), 500u);  // rejected resize must not mutate
+  // old_bytes > used_ (double-release bug upstream) clamps instead of
+  // wrapping used_ to ~2^64.
+  EXPECT_TRUE(budget.Resize(600, 200));
+  EXPECT_EQ(budget.used(), 200u);
+  EXPECT_TRUE(budget.Resize(200, 1000));  // exact fit at the boundary
+  EXPECT_EQ(budget.used(), 1000u);
+  EXPECT_FALSE(budget.Resize(0, 1));
+}
+
+TEST(StorageBudgetTest, NearSizeMaxCapacityStaysConsistent) {
+  sim::StorageBudget budget(SIZE_MAX, 1.0);
+  EXPECT_TRUE(budget.TryReserve(SIZE_MAX - 1));
+  EXPECT_FALSE(budget.TryReserve(2));  // 1 byte of headroom left
+  EXPECT_TRUE(budget.TryReserve(1));
+  EXPECT_EQ(budget.used(), SIZE_MAX);
+  EXPECT_FALSE(budget.TryReserve(1));
+  EXPECT_TRUE(budget.Resize(SIZE_MAX, 0));
+  EXPECT_EQ(budget.used(), 0u);
+}
+
+TEST(SensorClientTest, CreateRejectsDegenerateRatesAndInputs) {
+  auto make_stream = [] { return std::make_unique<data::CbfStream>(7); };
+  EXPECT_EQ(sim::SensorClient::Create(nullptr, 100.0, 64).status().code(),
+            util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(
+      sim::SensorClient::Create(make_stream(), 100.0, 0).status().code(),
+      util::StatusCode::kInvalidArgument);
+  for (double rate : {0.0, -5.0, std::nan(""),
+                      std::numeric_limits<double>::infinity()}) {
+    auto client = sim::SensorClient::Create(make_stream(), rate, 64);
+    EXPECT_EQ(client.status().code(), util::StatusCode::kInvalidArgument)
+        << "rate " << rate << " accepted";
+  }
+  auto ok = sim::SensorClient::Create(make_stream(), 100.0, 64);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_DOUBLE_EQ(ok.value()->now_seconds(), 0.0);
+}
+
+TEST(SensorClientTest, UncheckedConstructorKeepsClockFinite) {
+  // Regression: points_per_sec = 0 made now_seconds() infinite (and NaN
+  // rates made it NaN), which poisoned every downstream `now` timestamp.
+  for (double rate : {0.0, -1.0, std::nan("")}) {
+    auto stream = std::make_unique<data::CbfStream>(9);
+    sim::SensorClient client(std::move(stream), rate, 10);
+    client.NextSegment();
+    EXPECT_TRUE(std::isfinite(client.now_seconds())) << "rate " << rate;
+    EXPECT_GT(client.now_seconds(), 0.0);
+  }
 }
 
 TEST(SensorClientTest, VirtualClockAdvances) {

@@ -1,0 +1,351 @@
+// FleetNode tests: config rejection, hash routing, segment batching and
+// the decode-side split, block-vs-reject backpressure, cross-shard policy
+// merge / runtime AddShard warm-start, and a 10^5-sensor ingest stress
+// run (in CI also under ThreadSanitizer).
+
+#include <atomic>
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/compress/registry.h"
+#include "adaedge/core/fleet.h"
+#include "adaedge/data/generators.h"
+
+namespace adaedge::core {
+namespace {
+
+/// Single raw lossless arm with target_ratio 2.0: every batch stays in
+/// the lossless phase, compresses deterministically (ratio 1.0) and
+/// yields reward 0 — the fleet mechanics are the subject, not the codec.
+FleetConfig RawFleetConfig(int shards) {
+  FleetConfig config;
+  config.shards = shards;
+  compress::CodecArm raw;
+  raw.name = "raw";
+  raw.codec = compress::GetCodec(compress::CodecId::kRaw);
+  config.online.target_ratio = 2.0;
+  config.online.lossless_arms = {raw};
+  config.online.lossy_arms = compress::DefaultLossyArms(4);
+  return config;
+}
+
+TargetSpec SumTarget() {
+  return TargetSpec::AggAccuracy(query::AggKind::kSum);
+}
+
+std::vector<double> MakeValues(size_t n, uint64_t seed) {
+  data::CbfStream stream(seed);
+  std::vector<double> values(n);
+  stream.Fill(values);
+  return values;
+}
+
+/// First `count` sensor ids that route to `shard` under the fleet's
+/// current modulus.
+std::vector<uint64_t> SensorsOnShard(const FleetNode& fleet, int shard,
+                                     size_t count) {
+  std::vector<uint64_t> ids;
+  for (uint64_t id = 0; ids.size() < count; ++id) {
+    if (fleet.ShardOf(id) == shard) ids.push_back(id);
+  }
+  return ids;
+}
+
+TEST(FleetConfigTest, ValidateRejectsDegenerateValues) {
+  FleetConfig ok = RawFleetConfig(2);
+  EXPECT_TRUE(ok.Validate().ok());
+
+  FleetConfig config = ok;
+  config.shards = 0;
+  EXPECT_EQ(config.Validate().code(), util::StatusCode::kInvalidArgument);
+
+  config = ok;
+  config.batch_segments = 0;
+  EXPECT_EQ(config.Validate().code(), util::StatusCode::kInvalidArgument);
+
+  config = ok;
+  config.queue_capacity = 0;  // would block the first batch push forever
+  EXPECT_EQ(config.Validate().code(), util::StatusCode::kInvalidArgument);
+
+  config = ok;
+  config.threads_per_shard = 0;  // shard would never drain
+  EXPECT_EQ(config.Validate().code(), util::StatusCode::kInvalidArgument);
+
+  config = ok;
+  config.merge_weight = 1.5;
+  EXPECT_EQ(config.Validate().code(), util::StatusCode::kInvalidArgument);
+
+  config = ok;
+  config.online.lossless_recheck_interval = 0;  // nested Validate runs
+  EXPECT_EQ(config.Validate().code(), util::StatusCode::kInvalidArgument);
+
+  auto fleet = FleetNode::Create(FleetConfig{.shards = -3}, SumTarget());
+  ASSERT_FALSE(fleet.ok());
+  EXPECT_EQ(fleet.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(FleetTest, RoutingIsStableAndCoversEveryShard) {
+  FleetNode fleet(RawFleetConfig(4), SumTarget());
+  std::set<int> hit;
+  for (uint64_t id = 0; id < 1000; ++id) {
+    int shard = fleet.ShardOf(id);
+    ASSERT_GE(shard, 0);
+    ASSERT_LT(shard, 4);
+    EXPECT_EQ(fleet.ShardOf(id), shard);  // stable
+    hit.insert(shard);
+  }
+  // splitmix64 over 1000 dense ids must not starve any of 4 shards.
+  EXPECT_EQ(hit.size(), 4u);
+}
+
+TEST(FleetTest, BatchesSegmentsAndSplitsThemBackPerSensor) {
+  FleetConfig config = RawFleetConfig(1);
+  config.batch_segments = 4;
+  FleetNode fleet(config, SumTarget());
+  fleet.Start();
+
+  // 8 segments with distinct lengths/payloads from 8 sensors -> exactly
+  // two 4-segment batches, ONE bandit pull each.
+  std::map<uint64_t, std::vector<double>> sent;
+  for (uint64_t sensor = 0; sensor < 8; ++sensor) {
+    auto values = MakeValues(16 + sensor, sensor);
+    sent[sensor] = values;
+    ASSERT_TRUE(fleet.Ingest(sensor, values, 0.1 * sensor).ok());
+  }
+  fleet.Stop();
+
+  EXPECT_EQ(fleet.signals_in(), 8u);
+  EXPECT_EQ(fleet.batches_in(), 2u);
+  EXPECT_EQ(fleet.batches_out(), 2u);
+  EXPECT_EQ(fleet.signals_out(), 8u);
+  EXPECT_EQ(fleet.signals_rejected(), 0u);
+
+  size_t batches = 0;
+  while (auto batch = fleet.PopCompressed()) {
+    ++batches;
+    EXPECT_EQ(batch->arm_name, "raw");
+    EXPECT_EQ(batch->entries.size(), 4u);
+    auto split = FleetNode::SplitBatch(*batch);
+    ASSERT_TRUE(split.ok()) << split.status().ToString();
+    for (const auto& piece : split.value()) {
+      ASSERT_TRUE(sent.count(piece.sensor_id));
+      EXPECT_EQ(piece.values, sent[piece.sensor_id])
+          << "sensor " << piece.sensor_id << " round-trip mismatch";
+      sent.erase(piece.sensor_id);
+    }
+  }
+  EXPECT_EQ(batches, 2u);
+  EXPECT_TRUE(sent.empty()) << sent.size() << " sensors never decoded";
+
+  // One pull per batch, not per segment: that is the scaling claim.
+  uint64_t pulls = 0;
+  for (const auto& row : fleet.shard_selector(0).ArmCounts()) {
+    pulls += std::stoull(row.substr(row.rfind(':') + 1));
+  }
+  EXPECT_EQ(pulls, 2u);
+}
+
+TEST(FleetTest, SplitBatchRejectsDescriptorPastPayload) {
+  FleetConfig config = RawFleetConfig(1);
+  config.batch_segments = 1;
+  FleetNode fleet(config, SumTarget());
+  fleet.Start();
+  ASSERT_TRUE(fleet.Ingest(7, MakeValues(32, 7), 0.0).ok());
+  fleet.Stop();
+  auto batch = fleet.PopCompressed();
+  ASSERT_TRUE(batch.has_value());
+
+  // Corrupt the descriptor: count addresses past the 32 decoded values.
+  batch->entries[0].count = 33;
+  auto split = FleetNode::SplitBatch(*batch);
+  ASSERT_FALSE(split.ok());
+  EXPECT_EQ(split.status().code(), util::StatusCode::kCorruption);
+}
+
+TEST(FleetTest, IngestValidatesInputAndStop) {
+  FleetNode fleet(RawFleetConfig(1), SumTarget());
+  fleet.Start();
+  EXPECT_EQ(fleet.Ingest(0, {}, 0.0).code(),
+            util::StatusCode::kInvalidArgument);
+  fleet.Stop();
+  auto values = MakeValues(8, 0);
+  EXPECT_EQ(fleet.Ingest(0, values, 0.0).code(),
+            util::StatusCode::kUnavailable);
+  EXPECT_EQ(fleet.signals_in(), 0u);
+}
+
+TEST(FleetTest, RejectModeShedsFullBatchesAndAccountsThem) {
+  FleetConfig config = RawFleetConfig(1);
+  config.batch_segments = 1;
+  config.queue_capacity = 2;
+  config.block_on_full = false;
+  FleetNode fleet(config, SumTarget());
+  // Workers never started: the shard queue fills and stays full, so the
+  // third single-segment batch must be rejected, not block the caller.
+  auto values = MakeValues(8, 1);
+  ASSERT_TRUE(fleet.Ingest(0, values, 0.0).ok());
+  ASSERT_TRUE(fleet.Ingest(1, values, 0.0).ok());
+  Status third = fleet.Ingest(2, values, 0.0);
+  EXPECT_EQ(third.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(fleet.signals_in(), 3u);
+  EXPECT_EQ(fleet.signals_rejected(), 1u);
+  fleet.Stop();
+  // in = out + rejected + dropped-at-close: the two queued batches were
+  // never processed (no workers), so they drop when the queue closes.
+  EXPECT_EQ(fleet.signals_out(), 0u);
+}
+
+TEST(FleetTest, MergePoliciesBlendsShardEstimatesWithoutPullCredit) {
+  FleetConfig config = RawFleetConfig(2);
+  config.batch_segments = 1;
+  FleetNode fleet(config, SumTarget());
+  fleet.Start();
+
+  // Traffic only to shard 0: raw achieves ratio 1.0 -> reward 0, so its
+  // estimate decays from the optimistic 1.0 toward 0.
+  for (uint64_t id : SensorsOnShard(fleet, 0, 32)) {
+    ASSERT_TRUE(fleet.Ingest(id, MakeValues(64, id), 0.0).ok());
+  }
+  fleet.Stop();
+  while (fleet.PopCompressed()) {
+  }
+  double shard0 = fleet.shard_selector(0).ExportPolicy().lossless[0].value;
+  EXPECT_LT(shard0, 0.1);
+  auto before = fleet.shard_selector(1).ExportPolicy().lossless[0];
+  EXPECT_DOUBLE_EQ(before.value, 1.0);  // optimistic init, untried
+  EXPECT_EQ(before.pulls, 0u);
+
+  fleet.MergePolicies();
+  EXPECT_EQ(fleet.merges(), 1u);
+  auto after = fleet.shard_selector(1).ExportPolicy().lossless[0];
+  // Blended halfway (merge_weight 0.5) toward shard 0's evidence; no
+  // pull credit transferred.
+  EXPECT_NEAR(after.value, (1.0 + shard0) / 2.0, 1e-9);
+  EXPECT_EQ(after.pulls, 0u);
+}
+
+TEST(FleetTest, MergeCadenceFiresAutomatically) {
+  FleetConfig config = RawFleetConfig(2);
+  config.batch_segments = 1;
+  config.merge_interval_batches = 4;
+  FleetNode fleet(config, SumTarget());
+  fleet.Start();
+  for (uint64_t id = 0; id < 32; ++id) {
+    ASSERT_TRUE(fleet.Ingest(id, MakeValues(16, id), 0.0).ok());
+  }
+  fleet.Stop();
+  while (fleet.PopCompressed()) {
+  }
+  EXPECT_EQ(fleet.batches_out(), 32u);
+  // 32 processed batches at a cadence of 4 -> exactly 8 merges.
+  EXPECT_EQ(fleet.merges(), 8u);
+}
+
+TEST(FleetTest, AddShardWarmStartsFromFleetPosteriorAndReroutes) {
+  FleetConfig config = RawFleetConfig(1);
+  config.batch_segments = 1;
+  config.warm_start_count_cap = 8;
+  config.out_capacity = 128;  // no consumer runs until after Stop()
+  FleetNode fleet(config, SumTarget());
+  fleet.Start();
+  for (uint64_t id = 0; id < 64; ++id) {
+    ASSERT_TRUE(fleet.Ingest(id, MakeValues(32, id), 0.0).ok());
+  }
+  // Drain so shard 0's posterior is settled before the snapshot.
+  while (fleet.batches_out() < 64) {
+    std::this_thread::yield();
+  }
+  double learned =
+      fleet.shard_selector(0).ExportPolicy().lossless[0].value;
+
+  ASSERT_TRUE(fleet.AddShard().ok());
+  ASSERT_EQ(fleet.NumShards(), 2);
+  auto fresh = fleet.shard_selector(1).ExportPolicy().lossless[0];
+  // The new shard adopted shard 0's estimate with capped synthetic
+  // pulls instead of starting from the optimistic init.
+  EXPECT_NEAR(fresh.value, learned, 1e-9);
+  EXPECT_EQ(fresh.pulls, 8u);
+
+  // Routing now spans both shards and the new shard actually processes.
+  std::set<int> hit;
+  for (uint64_t id = 0; id < 256; ++id) hit.insert(fleet.ShardOf(id));
+  EXPECT_EQ(hit.size(), 2u);
+  for (uint64_t id : SensorsOnShard(fleet, 1, 8)) {
+    ASSERT_TRUE(fleet.Ingest(id, MakeValues(32, id), 1.0).ok());
+  }
+  fleet.Stop();
+  while (fleet.PopCompressed()) {
+  }
+  EXPECT_EQ(fleet.signals_out(), 64u + 8u);
+  EXPECT_GT(fleet.shard_selector(1).ExportPolicy().lossless[0].pulls, 8u);
+
+  EXPECT_EQ(fleet.AddShard().code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(FleetStressTest, HundredThousandSensorsNoLossNoDeadlock) {
+  // The acceptance-criteria run: 10^5 sensors of one 8-point segment
+  // each, 2 shards, batch 64, concurrent producers + consumer + a
+  // control-plane thread merging policies and adding a shard mid-flight.
+  FleetConfig config = RawFleetConfig(2);
+  config.batch_segments = 64;
+  config.queue_capacity = 64;
+  config.threads_per_shard = 2;
+  config.merge_interval_batches = 128;
+  FleetNode fleet(config, SumTarget());
+  fleet.Start();
+
+  constexpr uint64_t kSensors = 100000;
+  constexpr int kProducers = 2;
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> received_signals{0};
+  std::thread consumer([&] {
+    while (auto batch = fleet.PopCompressed()) {
+      received_signals.fetch_add(batch->entries.size());
+    }
+  });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      std::vector<double> values(8);
+      data::CbfStream stream(900 + static_cast<uint64_t>(p));
+      for (uint64_t id = static_cast<uint64_t>(p); id < kSensors;
+           id += kProducers) {
+        stream.Fill(values);
+        if (fleet.Ingest(id, values, static_cast<double>(id)).ok()) {
+          accepted.fetch_add(1);
+        }
+      }
+    });
+  }
+  std::thread control([&] {
+    ASSERT_TRUE(fleet.AddShard().ok());
+    for (int i = 0; i < 8; ++i) {
+      fleet.MergePolicies();
+      std::this_thread::yield();
+    }
+  });
+  for (auto& producer : producers) producer.join();
+  control.join();
+  fleet.Stop();
+  consumer.join();
+
+  // Loss-free in block mode: every accepted signal reaches a compressed
+  // batch and the consumer sees all of them exactly once.
+  EXPECT_EQ(accepted.load(), kSensors);
+  EXPECT_EQ(fleet.signals_in(), kSensors);
+  EXPECT_EQ(fleet.signals_rejected(), 0u);
+  EXPECT_EQ(fleet.signals_out(), kSensors);
+  EXPECT_EQ(received_signals.load(), kSensors);
+  EXPECT_EQ(fleet.NumShards(), 3);
+  EXPECT_GT(fleet.merges(), 0u);
+  EXPECT_EQ(fleet.bytes_in(), kSensors * 8 * sizeof(double));
+}
+
+}  // namespace
+}  // namespace adaedge::core

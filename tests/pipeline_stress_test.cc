@@ -34,6 +34,71 @@ std::vector<std::vector<double>> MakeCbfSegments(size_t count,
   return segments;
 }
 
+TEST(PipelineConfigTest, CreateRejectsConfigsThatWouldDeadlock) {
+  // Regression: the unchecked constructor accepted capacity-0 queues —
+  // BoundedQueue::Push waits for space that can never exist, so the
+  // first Ingest (or the first compression worker) deadlocked forever.
+  // Create() is the checked path that refuses to build such a pipeline.
+  OnlineConfig online;
+  TargetSpec target = TargetSpec::AggAccuracy(query::AggKind::kSum);
+
+  PipelineConfig config;
+  EXPECT_TRUE(config.Validate().ok());
+  ASSERT_TRUE(Pipeline::Create(config, online, target).ok());
+
+  config = PipelineConfig{};
+  config.uncompressed_capacity = 0;
+  EXPECT_EQ(config.Validate().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_FALSE(Pipeline::Create(config, online, target).ok());
+
+  config = PipelineConfig{};
+  config.compressed_capacity = 0;
+  EXPECT_EQ(config.Validate().code(), util::StatusCode::kInvalidArgument);
+
+  config = PipelineConfig{};
+  config.compress_threads = 0;  // pipeline would never drain
+  EXPECT_EQ(config.Validate().code(), util::StatusCode::kInvalidArgument);
+  config.compress_threads = -2;
+  EXPECT_EQ(config.Validate().code(), util::StatusCode::kInvalidArgument);
+
+  config = PipelineConfig{};
+  config.segment_length = 0;
+  EXPECT_EQ(config.Validate().code(), util::StatusCode::kInvalidArgument);
+
+  // A bad nested OnlineConfig is rejected through the same gate.
+  config = PipelineConfig{};
+  online.target_ratio = -1.0;
+  auto pipeline = Pipeline::Create(config, online, target);
+  ASSERT_FALSE(pipeline.ok());
+  EXPECT_EQ(pipeline.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(PipelineConfigTest, CreatedPipelineRuns) {
+  PipelineConfig config;
+  config.compress_threads = 2;
+  config.uncompressed_capacity = 8;
+  config.compressed_capacity = 8;
+  OnlineConfig online;
+  online.target_ratio = 1.0;
+  auto pipeline = Pipeline::Create(
+      config, online, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  ASSERT_TRUE(pipeline.ok());
+  auto& pipe = *pipeline.value();
+  pipe.Start();
+  auto segments = MakeCbfSegments(16, 77);
+  for (auto& segment : segments) {
+    ASSERT_TRUE(pipe.Ingest(std::move(segment), 0.0));
+  }
+  size_t received = 0;
+  std::thread consumer([&] {
+    while (pipe.PopCompressed()) ++received;
+  });
+  pipe.Stop();
+  consumer.join();
+  EXPECT_EQ(received, 16u);
+  EXPECT_EQ(pipe.segments_out(), 16u);
+}
+
 TEST(PipelineStressTest, FourThreadsMixedTargetsNoLostNoDuplicatedIds) {
   PipelineConfig pipe_config;
   pipe_config.compress_threads = 4;

@@ -27,6 +27,7 @@
 #include "adaedge/compress/rle.h"
 #include "adaedge/compress/sprintz.h"
 #include "adaedge/util/rng.h"
+#include "adaedge/util/simd.h"
 #include "adaedge/util/stopwatch.h"
 
 namespace {
@@ -138,7 +139,154 @@ BenchRow RunCase(const BenchCase& c, double min_seconds) {
   return row;
 }
 
+// --- SIMD kernel micro-bench: scalar oracle vs dispatched tier ----------
+
+struct KernelRow {
+  std::string name;
+  double scalar_mb_s = 0.0;
+  double dispatched_mb_s = 0.0;
+  double speedup() const {
+    return scalar_mb_s > 0.0 ? dispatched_mb_s / scalar_mb_s : 0.0;
+  }
+};
+
+template <typename Body>
+double TimeKernelMbS(Body body, size_t bytes_per_iter, double min_seconds) {
+  adaedge::util::Stopwatch watch;
+  size_t iters = 0;
+  do {
+    body();
+    ++iters;
+  } while (watch.ElapsedSeconds() < min_seconds);
+  return static_cast<double>(bytes_per_iter) * static_cast<double>(iters) /
+         watch.ElapsedSeconds() / 1e6;
+}
+
+// Keeps results observable so the kernel loops cannot be optimized away.
+volatile uint64_t g_sink = 0;
+
+std::vector<KernelRow> RunKernelBench(double min_seconds) {
+  namespace simd = adaedge::util::simd;
+  const simd::Kernels& scalar = simd::KernelsFor(simd::Isa::kScalar);
+  const simd::Kernels& active = simd::ActiveKernels();
+
+  constexpr size_t kN = 4096;
+  adaedge::util::Rng rng(0x51bedc);
+  std::vector<uint64_t> values(kN);
+  for (auto& v : values) v = rng.NextU64() & 0xfffu;  // 12-bit fields
+  std::vector<int64_t> quantized(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    quantized[i] = 100000 + static_cast<int64_t>(rng.NextU64() % 512);
+  }
+  std::vector<uint64_t> residuals(kN);
+  for (auto& z : residuals) z = rng.NextU64() & 0x3ffu;
+  std::vector<uint8_t> match_a(kN), match_b(kN);
+  for (size_t i = 0; i < kN; ++i) {
+    match_a[i] = static_cast<uint8_t>(rng.NextU64());
+    match_b[i] = i < kN - 64 ? match_a[i] : static_cast<uint8_t>(~match_a[i]);
+  }
+  const size_t bytes = kN * sizeof(uint64_t);
+
+  auto bench = [&](const char* name, auto make_body,
+                   size_t bytes_per_iter) -> KernelRow {
+    KernelRow row;
+    row.name = name;
+    row.scalar_mb_s =
+        TimeKernelMbS(make_body(scalar), bytes_per_iter, min_seconds);
+    row.dispatched_mb_s =
+        TimeKernelMbS(make_body(active), bytes_per_iter, min_seconds);
+    return row;
+  };
+
+  std::vector<KernelRow> rows;
+  rows.push_back(bench(
+      "packed_block_pack",
+      [&](const simd::Kernels& k) {
+        return [&values, &k] {
+          std::vector<uint8_t> out;
+          out.reserve(values.size() * 2);
+          uint64_t acc = 0;
+          int used = 0;
+          k.pack_bits(&out, &acc, &used, values.data(), values.size(), 12);
+          g_sink = g_sink + acc + out.size();
+        };
+      },
+      bytes));
+  // A packed stream for unpack (12-bit fields, arbitrary alignment 5).
+  std::vector<uint8_t> packed;
+  {
+    uint64_t acc = 0x15;
+    int used = 5;
+    scalar.pack_bits(&packed, &acc, &used, values.data(), values.size(), 12);
+    for (int i = 0; i < 8; ++i) {
+      packed.push_back(static_cast<uint8_t>(acc >> (56 - 8 * i)));
+    }
+  }
+  rows.push_back(bench(
+      "packed_block_unpack",
+      [&](const simd::Kernels& k) {
+        return [&packed, &k] {
+          uint64_t out[kN];
+          k.unpack_bits(packed.data(), packed.size(), 5, out, kN, 12);
+          g_sink = g_sink + out[kN - 1];
+        };
+      },
+      bytes));
+  rows.push_back(bench(
+      "sprintz_delta_zigzag",
+      [&](const simd::Kernels& k) {
+        return [&quantized, &k] {
+          uint64_t d[8], dd[8];
+          int wd = 0, wdd = 0;
+          int64_t prev = quantized[0], prev_delta = 0;
+          for (size_t pos = 0; pos + 8 <= kN; pos += 8) {
+            k.delta_zigzag(quantized.data() + pos, 8, prev, prev_delta, d,
+                           dd, &wd, &wdd);
+            prev_delta = quantized[pos + 7] - quantized[pos + 6];
+            prev = quantized[pos + 7];
+          }
+          g_sink = g_sink + static_cast<uint64_t>(wd + wdd);
+        };
+      },
+      bytes));
+  rows.push_back(bench(
+      "sprintz_unzigzag_prefix",
+      [&](const simd::Kernels& k) {
+        return [&residuals, &k] {
+          uint64_t rec[8];
+          uint64_t prev = 100000, prev_delta = 0;
+          for (size_t pos = 0; pos + 8 <= kN; pos += 8) {
+            k.unzigzag_prefix(residuals.data() + pos, 8, true, &prev,
+                              &prev_delta, rec);
+          }
+          g_sink = g_sink + prev;
+        };
+      },
+      bytes));
+  rows.push_back(bench(
+      "xor_scan",
+      [&](const simd::Kernels& k) {
+        return [&values, &k] {
+          uint64_t xors[kN];
+          uint8_t lead[kN], trail[kN];
+          k.xor_scan(values.data(), kN, 0, xors, lead, trail);
+          g_sink = g_sink + xors[kN - 1] + lead[0] + trail[0];
+        };
+      },
+      bytes));
+  rows.push_back(bench(
+      "match_length",
+      [&](const simd::Kernels& k) {
+        return [&match_a, &match_b, &k] {
+          g_sink = g_sink + k.match_length(match_a.data(), match_b.data(), kN);
+        };
+      },
+      kN));
+  return rows;
+}
+
 void WriteJson(const std::string& path, const std::vector<BenchRow>& rows,
+               const std::vector<KernelRow>& kernel_rows,
                double min_seconds) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (!f) {
@@ -146,8 +294,10 @@ void WriteJson(const std::string& path, const std::vector<BenchRow>& rows,
     std::exit(1);
   }
   std::fprintf(f, "{\n");
-  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"schema_version\": 2,\n");
   std::fprintf(f, "  \"bench\": \"codec_throughput\",\n");
+  std::fprintf(f, "  \"isa\": \"%s\",\n",
+               adaedge::util::simd::IsaName(adaedge::util::simd::ActiveIsa()));
   std::fprintf(f, "  \"segment_length\": %zu,\n", kSegmentLength);
   std::fprintf(f, "  \"segments\": %zu,\n", kSegments);
   std::fprintf(f, "  \"min_seconds\": %.3f,\n", min_seconds);
@@ -160,6 +310,16 @@ void WriteJson(const std::string& path, const std::vector<BenchRow>& rows,
                  "\"ratio\": %.4f}%s\n",
                  r.name.c_str(), r.input.c_str(), r.encode_mb_s,
                  r.decode_mb_s, r.ratio, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"kernels\": [\n");
+  for (size_t i = 0; i < kernel_rows.size(); ++i) {
+    const KernelRow& r = kernel_rows[i];
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"scalar_mb_s\": %.2f, "
+                 "\"dispatched_mb_s\": %.2f, \"speedup\": %.2f}%s\n",
+                 r.name.c_str(), r.scalar_mb_s, r.dispatched_mb_s,
+                 r.speedup(), i + 1 < kernel_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -204,6 +364,8 @@ int main(int argc, char** argv) {
       {"rle", "repeats", std::make_shared<ac::Rle>(), p4},
   };
 
+  namespace simd = adaedge::util::simd;
+  std::printf("isa: %s\n", simd::IsaName(simd::ActiveIsa()));
   std::printf("%-12s %-8s %12s %12s %8s\n", "codec", "input", "enc MB/s",
               "dec MB/s", "ratio");
   std::vector<BenchRow> rows;
@@ -214,7 +376,16 @@ int main(int argc, char** argv) {
                 row.ratio);
     rows.push_back(std::move(row));
   }
-  WriteJson(out_path, rows, min_seconds);
+
+  std::vector<KernelRow> kernel_rows = RunKernelBench(min_seconds);
+  std::printf("\n%-24s %12s %12s %8s\n", "kernel", "scalar MB/s",
+              "dispat MB/s", "speedup");
+  for (const KernelRow& r : kernel_rows) {
+    std::printf("%-24s %12.2f %12.2f %7.2fx\n", r.name.c_str(),
+                r.scalar_mb_s, r.dispatched_mb_s, r.speedup());
+  }
+
+  WriteJson(out_path, rows, kernel_rows, min_seconds);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

@@ -1,10 +1,12 @@
 #include "adaedge/compress/chimp.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
 #include "adaedge/util/bit_io.h"
 #include "adaedge/util/byte_io.h"
+#include "adaedge/util/simd.h"
 
 namespace adaedge::compress {
 
@@ -65,34 +67,45 @@ Status Chimp::CompressInto(std::span<const double> values,
   uint64_t prev = ToBits(values[0]);
   bw.WriteBits(prev, 64);
   int prev_class = -1;
-  for (size_t i = 1; i < values.size(); ++i) {
-    uint64_t cur = ToBits(values[i]);
-    uint64_t x = cur ^ prev;
-    prev = cur;
-    if (x == 0) {
-      bw.WriteBits(0b00, 2);
-      continue;
+  // XOR deltas and leading/trailing-zero counts come from the dispatched
+  // kernel a chunk at a time; the flag/class logic below stays serial.
+  constexpr size_t kChunk = 256;
+  uint64_t bits[kChunk], xors[kChunk];
+  uint8_t lead[kChunk], trail[kChunk];
+  const util::simd::Kernels& kernels = util::simd::ActiveKernels();
+  size_t pos = 1;
+  while (pos < values.size()) {
+    size_t len = std::min(kChunk, values.size() - pos);
+    std::memcpy(bits, values.data() + pos, len * sizeof(uint64_t));
+    kernels.xor_scan(bits, len, prev, xors, lead, trail);
+    prev = bits[len - 1];
+    for (size_t i = 0; i < len; ++i) {
+      uint64_t x = xors[i];
+      if (x == 0) {
+        bw.WriteBits(0b00, 2);
+        continue;
+      }
+      int trailing = trail[i];
+      int cls = ClassIndexFor(lead[i]);
+      int leading = kLeadingClass[cls];
+      if (trailing > kTrailingThreshold) {
+        int significant = 64 - leading - trailing;
+        bw.WriteBits(0b01, 2);
+        bw.WriteBits(static_cast<uint64_t>(cls), 3);
+        bw.WriteBits(static_cast<uint64_t>(significant), 6);
+        bw.WriteBits(x >> trailing, significant);
+        prev_class = -1;  // CHIMP resets the reuse window after flag 01
+      } else if (cls == prev_class) {
+        bw.WriteBits(0b10, 2);
+        bw.WriteBits(x, 64 - leading);
+      } else {
+        bw.WriteBits(0b11, 2);
+        bw.WriteBits(static_cast<uint64_t>(cls), 3);
+        bw.WriteBits(x, 64 - leading);
+        prev_class = cls;
+      }
     }
-    int leading_exact = std::countl_zero(x);
-    int trailing = std::countr_zero(x);
-    int cls = ClassIndexFor(leading_exact);
-    int leading = kLeadingClass[cls];
-    if (trailing > kTrailingThreshold) {
-      int significant = 64 - leading - trailing;
-      bw.WriteBits(0b01, 2);
-      bw.WriteBits(static_cast<uint64_t>(cls), 3);
-      bw.WriteBits(static_cast<uint64_t>(significant), 6);
-      bw.WriteBits(x >> trailing, significant);
-      prev_class = -1;  // CHIMP resets the reuse window after flag 01
-    } else if (cls == prev_class) {
-      bw.WriteBits(0b10, 2);
-      bw.WriteBits(x, 64 - leading);
-    } else {
-      bw.WriteBits(0b11, 2);
-      bw.WriteBits(static_cast<uint64_t>(cls), 3);
-      bw.WriteBits(x, 64 - leading);
-      prev_class = cls;
-    }
+    pos += len;
   }
   bw.Flush();
   return Status::Ok();

@@ -4,6 +4,7 @@
 
 #include "adaedge/compress/double_bytes.h"
 #include "adaedge/util/byte_io.h"
+#include "adaedge/util/simd.h"
 
 namespace adaedge::compress {
 
@@ -56,8 +57,12 @@ std::vector<uint8_t> FastLz::CompressBytes(std::span<const uint8_t> input) {
       continue;
     }
     size_t limit = std::min<size_t>(n - pos, kMaxMatch);
-    size_t len = kMinMatch;
-    while (len < limit && data[cand + len] == data[pos + len]) ++len;
+    // Dispatched match extension: vectorized 16/32-byte compares on the
+    // SIMD tiers. Both sides stay within data[0..n): pos + limit <= n
+    // and cand < pos.
+    size_t len = kMinMatch + util::simd::ActiveKernels().match_length(
+                                 data + cand + kMinMatch,
+                                 data + pos + kMinMatch, limit - kMinMatch);
 
     FlushLiterals(out, data, literal_start, pos);
     out.push_back(static_cast<uint8_t>(0x80 | (len - kMinMatch)));

@@ -1,10 +1,12 @@
 #include "adaedge/compress/gorilla.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
 #include "adaedge/util/bit_io.h"
 #include "adaedge/util/byte_io.h"
+#include "adaedge/util/simd.h"
 
 namespace adaedge::compress {
 
@@ -53,37 +55,50 @@ Status Gorilla::CompressInto(std::span<const double> values,
   bw.WriteBits(prev, 64);
   int prev_leading = -1;   // leading zeros of the active window
   int prev_meaningful = 0; // meaningful bit count of the active window
-  for (size_t i = 1; i < values.size(); ++i) {
-    uint64_t cur = ToBits(values[i]);
-    uint64_t x = cur ^ prev;
-    prev = cur;
-    if (x == 0) {
-      bw.WriteBit(false);  // '0': identical value
-      continue;
+  // XOR deltas and their leading/trailing-zero counts are precomputed a
+  // chunk at a time through the dispatched kernel; the flag/window logic
+  // below stays serial (each record depends on the previous window).
+  constexpr size_t kChunk = 256;
+  uint64_t bits[kChunk], xors[kChunk];
+  uint8_t lead[kChunk], trail[kChunk];
+  const util::simd::Kernels& kernels = util::simd::ActiveKernels();
+  size_t pos = 1;
+  while (pos < values.size()) {
+    size_t len = std::min(kChunk, values.size() - pos);
+    std::memcpy(bits, values.data() + pos, len * sizeof(uint64_t));
+    kernels.xor_scan(bits, len, prev, xors, lead, trail);
+    prev = bits[len - 1];
+    for (size_t i = 0; i < len; ++i) {
+      uint64_t x = xors[i];
+      if (x == 0) {
+        bw.WriteBit(false);  // '0': identical value
+        continue;
+      }
+      int leading = lead[i];
+      int trailing = trail[i];
+      // Gorilla caps the stored leading-zero count at 31 (5 bits).
+      if (leading > 31) leading = 31;
+      int meaningful = 64 - leading - trailing;
+      if (prev_leading >= 0 && leading >= prev_leading &&
+          trailing >= 64 - prev_leading - prev_meaningful) {
+        // '10': fits inside the previous window.
+        bw.WriteBits(0b10, 2);
+        bw.WriteBits(x >> (64 - prev_leading - prev_meaningful),
+                     prev_meaningful);
+      } else {
+        // '11': open a new window.
+        bw.WriteBits(0b11, 2);
+        bw.WriteBits(static_cast<uint64_t>(leading), 5);
+        // 6 bits encode the meaningful length; 64 is stored as 0
+        // (Gorilla's convention) since meaningful >= 1 always.
+        bw.WriteBits(
+            static_cast<uint64_t>(meaningful == 64 ? 0 : meaningful), 6);
+        bw.WriteBits(x >> trailing, meaningful);
+        prev_leading = leading;
+        prev_meaningful = meaningful;
+      }
     }
-    int leading = std::countl_zero(x);
-    int trailing = std::countr_zero(x);
-    // Gorilla caps the stored leading-zero count at 31 (5 bits).
-    if (leading > 31) leading = 31;
-    int meaningful = 64 - leading - trailing;
-    if (prev_leading >= 0 && leading >= prev_leading &&
-        trailing >= 64 - prev_leading - prev_meaningful) {
-      // '10': fits inside the previous window.
-      bw.WriteBits(0b10, 2);
-      bw.WriteBits(x >> (64 - prev_leading - prev_meaningful),
-                   prev_meaningful);
-    } else {
-      // '11': open a new window.
-      bw.WriteBits(0b11, 2);
-      bw.WriteBits(static_cast<uint64_t>(leading), 5);
-      // 6 bits encode the meaningful length; 64 is stored as 0 (Gorilla's
-      // convention) since meaningful >= 1 always.
-      bw.WriteBits(static_cast<uint64_t>(meaningful == 64 ? 0 : meaningful),
-                   6);
-      bw.WriteBits(x >> trailing, meaningful);
-      prev_leading = leading;
-      prev_meaningful = meaningful;
-    }
+    pos += len;
   }
   bw.Flush();
   return Status::Ok();

@@ -6,6 +6,7 @@
 
 #include "adaedge/util/bit_io.h"
 #include "adaedge/util/byte_io.h"
+#include "adaedge/util/simd.h"
 
 namespace adaedge::compress {
 
@@ -19,23 +20,6 @@ double ScaleFor(int precision) {
   double s = 1.0;
   for (int i = 0; i < precision; ++i) s *= 10.0;
   return s;
-}
-
-uint64_t ZigZag(int64_t v) {
-  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
-}
-
-int64_t UnZigZag(uint64_t z) {
-  return static_cast<int64_t>((z >> 1) ^ (~(z & 1) + 1));
-}
-
-int BitWidth(uint64_t v) {
-  int w = 0;
-  while (v > 0) {
-    ++w;
-    v >>= 1;
-  }
-  return w;
 }
 
 }  // namespace
@@ -88,37 +72,35 @@ Status Sprintz::CompressInto(std::span<const double> values,
   }
   util::BitWriter bw(&out);
   bw.WriteBits(static_cast<uint64_t>(first), 64);
+  const util::simd::Kernels& kernels = util::simd::ActiveKernels();
   int64_t prev = first;
   int64_t prev_delta = 0;
   size_t pos = 1;
   while (pos < values.size()) {
     size_t len = std::min<size_t>(kBlock, values.size() - pos);
-    // Try both predictors; keep the one with the narrower residual block.
-    uint64_t delta_res[kBlock], dd_res[kBlock];
-    int64_t p = prev, pd = prev_delta;
-    int w_delta = 0, w_dd = 0;
+    // Quantize the block, then try both predictors via the dispatched
+    // delta/zigzag kernel; keep the one with the narrower residuals.
+    int64_t q[kBlock];
     for (size_t i = 0; i < len; ++i) {
-      int64_t q;
-      if (!quantize(values[pos + i], &q)) {
+      if (!quantize(values[pos + i], &q[i])) {
         return Status::InvalidArgument(
             "sprintz: value magnitude exceeds quantization range");
       }
-      int64_t d = q - p;
-      delta_res[i] = ZigZag(d);
-      dd_res[i] = ZigZag(d - pd);
-      w_delta = std::max(w_delta, BitWidth(delta_res[i]));
-      w_dd = std::max(w_dd, BitWidth(dd_res[i]));
-      pd = d;
-      p = q;
     }
+    uint64_t delta_res[kBlock], dd_res[kBlock];
+    int w_delta = 0, w_dd = 0;
+    kernels.delta_zigzag(q, len, prev, prev_delta, delta_res, dd_res,
+                         &w_delta, &w_dd);
     bool use_dd = w_dd < w_delta;
     int width = use_dd ? w_dd : w_delta;
     const uint64_t* res = use_dd ? dd_res : delta_res;
     bw.WriteBit(use_dd);
     bw.WriteBits(static_cast<uint64_t>(width), 7);
     bw.WritePackedBlock(std::span<const uint64_t>(res, len), width);
-    prev = p;
-    prev_delta = pd;
+    prev_delta = static_cast<int64_t>(
+        static_cast<uint64_t>(q[len - 1]) -
+        static_cast<uint64_t>(len >= 2 ? q[len - 2] : prev));
+    prev = q[len - 1];
     pos += len;
   }
   bw.Flush();
@@ -144,11 +126,15 @@ Result<std::vector<double>> Sprintz::Decompress(
   }
   out.reserve(count);
 
+  const util::simd::Kernels& kernels = util::simd::ActiveKernels();
   util::BitReader br(r.cursor(), r.remaining());
   ADAEDGE_ASSIGN_OR_RETURN(uint64_t first, br.ReadBits(64));
-  int64_t prev = static_cast<int64_t>(first);
-  int64_t prev_delta = 0;
-  out.push_back(static_cast<double>(prev) * inv_scale);
+  // Unsigned state: corrupt residuals can exceed int64 range, and the
+  // reconstruction is modulo 2^64 anyway (inverse of the encoder's
+  // wrapping subtraction).
+  uint64_t prev = first;
+  uint64_t prev_delta = 0;
+  out.push_back(static_cast<double>(static_cast<int64_t>(prev)) * inv_scale);
   while (out.size() < count) {
     size_t len = std::min<uint64_t>(kBlock, count - out.size());
     ADAEDGE_ASSIGN_OR_RETURN(bool use_dd, br.ReadBit());
@@ -157,16 +143,11 @@ Result<std::vector<double>> Sprintz::Decompress(
     uint64_t z[kBlock];
     ADAEDGE_RETURN_IF_ERROR(
         br.ReadPackedBlock(z, len, static_cast<int>(width)));
+    uint64_t rec[kBlock];
+    kernels.unzigzag_prefix(z, len, use_dd, &prev, &prev_delta, rec);
     for (size_t i = 0; i < len; ++i) {
-      // Unsigned arithmetic: corrupt residuals can exceed int64 range,
-      // and the reconstruction is modulo 2^64 anyway (inverse of the
-      // encoder's wrapping subtraction).
-      uint64_t residual = static_cast<uint64_t>(UnZigZag(z[i]));
-      uint64_t d =
-          use_dd ? residual + static_cast<uint64_t>(prev_delta) : residual;
-      prev = static_cast<int64_t>(static_cast<uint64_t>(prev) + d);
-      prev_delta = static_cast<int64_t>(d);
-      out.push_back(static_cast<double>(prev) * inv_scale);
+      out.push_back(static_cast<double>(static_cast<int64_t>(rec[i])) *
+                    inv_scale);
     }
   }
   return out;

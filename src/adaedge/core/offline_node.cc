@@ -15,7 +15,10 @@ namespace {
 // held, so each ingesting thread owns one buffer whose capacity persists
 // across segments (codecs reserve MaxCompressedSize up front, so steady
 // state is allocation-free). Stored payloads are exact-size copies; the
-// scratch never escapes.
+// scratch never escapes. The high-water capacity is retained for the
+// thread's lifetime on purpose — it is bounded by the single-segment
+// MaxCompressedSize, so there is no shrink hook (DESIGN.md §7,
+// "Scratch-buffer ownership").
 std::vector<uint8_t>& CompressScratch() {
   static thread_local std::vector<uint8_t> scratch;
   return scratch;

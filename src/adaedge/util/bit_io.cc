@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "adaedge/util/simd.h"
+
 namespace adaedge::util {
 
 void BitWriter::WriteUnary(uint32_t value) {
@@ -20,7 +22,11 @@ void BitWriter::WritePackedBlock(std::span<const uint64_t> values,
   if (width <= 0 || values.empty()) return;
   if (width > 64) width = 64;
   Reserve((values.size() * static_cast<size_t>(width)) / 8 + 16);
-  for (uint64_t v : values) WriteBits(v, width);
+  // ISA-dispatched bulk kernel; byte-identical to WriteBits per value
+  // (the scalar kernel is the oracle, tests/simd_dispatch_test.cc).
+  simd::ActiveKernels().pack_bits(bytes_, &acc_, &used_, values.data(),
+                                  values.size(), width);
+  bit_count_ += values.size() * static_cast<size_t>(width);
 }
 
 void BitWriter::Align() {
@@ -90,7 +96,9 @@ Status BitReader::ReadPackedBlock(uint64_t* out, size_t count, int width) {
     overrun_ = true;
     return Status::OutOfRange("bit stream exhausted");
   }
-  for (size_t i = 0; i < count; ++i) out[i] = ReadBitsUnchecked(width);
+  // ISA-dispatched bulk kernel; byte-identical to ReadBits per field.
+  simd::ActiveKernels().unpack_bits(data_, size_, pos_, out, count, width);
+  pos_ += count * static_cast<size_t>(width);
   return Status::Ok();
 }
 

@@ -34,6 +34,46 @@ inline uint64_t LoadBigEndian64(const uint8_t* p) {
   return v;
 }
 
+/// Extracts `count` (1..64) bits at absolute bit `pos` of `data[0..size)`;
+/// requires pos + count <= size * 8. Word-at-a-time whenever 8 bytes are
+/// in range, byte-at-a-time on the stream tail. Shared by BitReader and
+/// the scalar unpack kernel in util/simd_kernels.h.
+inline uint64_t ExtractBitsAt(const uint8_t* data, size_t size, size_t pos,
+                              int count) {
+  size_t byte_idx = pos >> 3;
+  int bit_off = static_cast<int>(pos & 7);
+  if (byte_idx + 8 <= size) {
+    uint64_t w = LoadBigEndian64(data + byte_idx);
+    int avail = 64 - bit_off;
+    if (count <= avail) {
+      uint64_t shifted = w << bit_off;
+      return count == 64 ? shifted : shifted >> (64 - count);
+    }
+    // count > avail implies bit_off > 0, so 1 <= rest <= 7 and the
+    // bounds precondition guarantees one more byte exists.
+    int rest = count - avail;
+    uint64_t high = w & (~uint64_t{0} >> bit_off);
+    uint64_t next = data[byte_idx + 8];
+    return (high << rest) | (next >> (8 - rest));
+  }
+  uint64_t out = 0;
+  int remaining = count;
+  while (remaining > 0) {
+    int avail = 8 - bit_off;
+    int take = remaining < avail ? remaining : avail;
+    uint8_t chunk = static_cast<uint8_t>(
+        (data[byte_idx] >> (avail - take)) & ((1u << take) - 1));
+    out = (out << take) | chunk;
+    remaining -= take;
+    bit_off += take;
+    if (bit_off == 8) {
+      bit_off = 0;
+      ++byte_idx;
+    }
+  }
+  return out;
+}
+
 }  // namespace bit_io_internal
 
 /// MSB-first bit stream writer used by the bit-level codecs
@@ -217,41 +257,9 @@ class BitReader {
 
  private:
   /// Extracts `count` (1..64) bits at absolute bit `pos`; requires
-  /// pos + count <= size_ * 8. Word-at-a-time whenever 8 bytes are in
-  /// range, byte-at-a-time on the stream tail.
+  /// pos + count <= size_ * 8.
   uint64_t ExtractBits(size_t pos, int count) const {
-    size_t byte_idx = pos >> 3;
-    int bit_off = static_cast<int>(pos & 7);
-    if (byte_idx + 8 <= size_) {
-      uint64_t w = bit_io_internal::LoadBigEndian64(data_ + byte_idx);
-      int avail = 64 - bit_off;
-      if (count <= avail) {
-        uint64_t shifted = w << bit_off;
-        return count == 64 ? shifted : shifted >> (64 - count);
-      }
-      // count > avail implies bit_off > 0, so 1 <= rest <= 7 and the
-      // bounds precondition guarantees one more byte exists.
-      int rest = count - avail;
-      uint64_t high = w & (~uint64_t{0} >> bit_off);
-      uint64_t next = data_[byte_idx + 8];
-      return (high << rest) | (next >> (8 - rest));
-    }
-    uint64_t out = 0;
-    int remaining = count;
-    while (remaining > 0) {
-      int avail = 8 - bit_off;
-      int take = remaining < avail ? remaining : avail;
-      uint8_t chunk = static_cast<uint8_t>(
-          (data_[byte_idx] >> (avail - take)) & ((1u << take) - 1));
-      out = (out << take) | chunk;
-      remaining -= take;
-      bit_off += take;
-      if (bit_off == 8) {
-        bit_off = 0;
-        ++byte_idx;
-      }
-    }
-    return out;
+    return bit_io_internal::ExtractBitsAt(data_, size_, pos, count);
   }
 
   const uint8_t* data_;

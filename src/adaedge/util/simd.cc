@@ -1,0 +1,112 @@
+#include "adaedge/util/simd.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "adaedge/util/simd_kernels.h"
+
+namespace adaedge::util::simd {
+
+namespace {
+
+const Kernels kScalarKernels = {
+    Isa::kScalar,          internal::PackBitsScalar,
+    internal::UnpackBitsScalar, internal::DeltaZigZagScalar,
+    internal::UnzigzagPrefixScalar, internal::XorScanScalar,
+    internal::MatchLengthScalar,
+};
+
+}  // namespace
+
+const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kSse42:
+      return "sse42";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kNeon:
+      return "neon";
+    case Isa::kScalar:
+    default:
+      return "scalar";
+  }
+}
+
+Isa DetectCpuIsa() {
+#if defined(ADAEDGE_SIMD_X86)
+  // Runtime cpuid probe (heterogeneous edge fleets run one binary on
+  // many x86 steppings, so this cannot be a compile-time decision).
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+  if (__builtin_cpu_supports("sse4.2")) return Isa::kSse42;
+  return Isa::kScalar;
+#elif defined(ADAEDGE_SIMD_NEON)
+  // NEON is architecturally mandatory on AArch64: compile-time gate.
+  return Isa::kNeon;
+#else
+  return Isa::kScalar;
+#endif
+}
+
+namespace {
+
+bool TierSupported(Isa tier, Isa detected) {
+  if (tier == Isa::kScalar) return true;
+  if (tier == Isa::kNeon) return detected == Isa::kNeon;
+  // x86 tiers are ordered and cumulative.
+  return detected != Isa::kNeon &&
+         static_cast<int>(tier) <= static_cast<int>(detected);
+}
+
+}  // namespace
+
+Isa ResolveIsa(const char* force, Isa detected) {
+  if (force == nullptr || force[0] == '\0') return detected;
+  Isa tier;
+  if (std::strcmp(force, "scalar") == 0) {
+    tier = Isa::kScalar;
+  } else if (std::strcmp(force, "sse42") == 0) {
+    tier = Isa::kSse42;
+  } else if (std::strcmp(force, "avx2") == 0) {
+    tier = Isa::kAvx2;
+  } else if (std::strcmp(force, "neon") == 0) {
+    tier = Isa::kNeon;
+  } else {
+    return detected;  // unrecognized override: ignore it
+  }
+  // A recognized tier the CPU cannot run falls back to scalar, never to
+  // some other vector tier: forcing is for tests, and tests need a
+  // predictable answer.
+  return TierSupported(tier, detected) ? tier : Isa::kScalar;
+}
+
+Isa ActiveIsa() {
+  static const Isa active =
+      ResolveIsa(std::getenv("ADAEDGE_FORCE_ISA"), DetectCpuIsa());
+  return active;
+}
+
+const Kernels& KernelsFor(Isa isa) {
+  const Isa detected = DetectCpuIsa();
+  if (!TierSupported(isa, detected)) return kScalarKernels;
+  switch (isa) {
+#if defined(ADAEDGE_SIMD_X86)
+    case Isa::kAvx2:
+      return *GetAvx2Kernels();
+    case Isa::kSse42:
+      return *GetSse42Kernels();
+#endif
+#if defined(ADAEDGE_SIMD_NEON)
+    case Isa::kNeon:
+      return *GetNeonKernels();
+#endif
+    default:
+      return kScalarKernels;
+  }
+}
+
+const Kernels& ActiveKernels() {
+  static const Kernels& active = KernelsFor(ActiveIsa());
+  return active;
+}
+
+}  // namespace adaedge::util::simd

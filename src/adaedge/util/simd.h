@@ -1,0 +1,105 @@
+#ifndef ADAEDGE_UTIL_SIMD_H_
+#define ADAEDGE_UTIL_SIMD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adaedge::util::simd {
+
+/// ISA tiers the codec kernels can be specialized for. On x86 the tiers
+/// are ordered (kScalar < kSse42 < kAvx2): a CPU that supports AVX2 also
+/// supports SSE4.2. kNeon is the AArch64 tier (baseline there, never
+/// available on x86).
+enum class Isa : int {
+  kScalar = 0,
+  kSse42 = 1,
+  kAvx2 = 2,
+  kNeon = 3,
+};
+
+/// Lowercase tier name: "scalar" | "sse42" | "avx2" | "neon".
+const char* IsaName(Isa isa);
+
+/// Best tier this CPU supports (cpuid probe on x86, compile-time on
+/// AArch64). Pure hardware capability — ignores ADAEDGE_FORCE_ISA.
+Isa DetectCpuIsa();
+
+/// Maps the ADAEDGE_FORCE_ISA override onto a usable tier. Pure function
+/// so the policy is unit-testable without process-global state:
+///   - null/empty/unrecognized `force` -> `detected` (no override);
+///   - a recognized tier the CPU supports -> that tier;
+///   - a recognized tier the CPU does NOT support -> kScalar (predictable
+///     and safe: a test forcing "neon" on x86 must not get a random tier).
+Isa ResolveIsa(const char* force, Isa detected);
+
+/// The tier the dispatch table actually uses:
+/// ResolveIsa(getenv("ADAEDGE_FORCE_ISA"), DetectCpuIsa()), resolved once
+/// at first use and cached for the life of the process.
+Isa ActiveIsa();
+
+/// Per-ISA implementations of the codec inner loops. Every entry is
+/// byte-for-byte output-identical to the scalar entry (the reference
+/// oracle): dispatch may change speed, never bitstreams.
+///
+/// Domain preconditions (asserted nowhere — callers guarantee them):
+///   - pack_bits/unpack_bits: 1 <= width <= 64.
+///   - unpack_bits: pos + count * width <= size * 8.
+///   - delta_zigzag: inputs within the sprintz quantized domain is NOT
+///     required — arithmetic is wrapping mod 2^64 throughout.
+struct Kernels {
+  Isa isa;
+
+  /// Appends `count` fields of `width` bits each, MSB-first, continuing a
+  /// BitWriter-style stream: `*acc` holds the low `*used` (< 64) bits
+  /// written so far (earliest most significant; `*used == 0` implies
+  /// `*acc == 0`), and every completed 64-bit word is appended to `bytes`
+  /// big-endian. Values are masked to `width` bits.
+  void (*pack_bits)(std::vector<uint8_t>* bytes, uint64_t* acc, int* used,
+                    const uint64_t* values, size_t count, int width);
+
+  /// Extracts `count` fields of `width` bits each starting at absolute
+  /// bit `pos` of `data[0..size)`. Never touches memory outside the
+  /// buffer given the precondition above.
+  void (*unpack_bits)(const uint8_t* data, size_t size, size_t pos,
+                      uint64_t* out, size_t count, int width);
+
+  /// Sprintz encode kernel: for one block of quantized values `q[0..n)`
+  /// with predecessors `prev` / `prev_delta`, computes the zigzagged
+  /// residuals of both predictors (delta and delta-of-delta) and the max
+  /// bit width of each residual set. Arithmetic wraps mod 2^64.
+  void (*delta_zigzag)(const int64_t* q, size_t n, int64_t prev,
+                       int64_t prev_delta, uint64_t* delta_res,
+                       uint64_t* dd_res, int* w_delta, int* w_dd);
+
+  /// Sprintz decode kernel: un-zigzags `z[0..n)` and reconstructs the
+  /// running values into `rec[0..n)` (mod 2^64), updating `*prev` /
+  /// `*prev_delta` to the post-block state.
+  void (*unzigzag_prefix)(const uint64_t* z, size_t n, bool use_dd,
+                          uint64_t* prev, uint64_t* prev_delta,
+                          uint64_t* rec);
+
+  /// Gorilla/Chimp encode kernel: xors[i] = v[i] ^ v[i-1] (v[-1] = seed)
+  /// with per-element leading/trailing zero counts (64 when the XOR is
+  /// zero).
+  void (*xor_scan)(const uint64_t* v, size_t n, uint64_t seed,
+                   uint64_t* xors, uint8_t* lead, uint8_t* trail);
+
+  /// FastLZ match-extension kernel: length of the common prefix of
+  /// `a[0..limit)` and `b[0..limit)`. Reads no byte past index
+  /// `limit - 1` on either side.
+  size_t (*match_length)(const uint8_t* a, const uint8_t* b, size_t limit);
+};
+
+/// Kernel table for `isa`, or the scalar table when that tier is not
+/// supported on this CPU (or not compiled into this binary). The returned
+/// table's `.isa` field says which tier was actually selected, so callers
+/// can detect the fallback.
+const Kernels& KernelsFor(Isa isa);
+
+/// The dispatch table for ActiveIsa(); resolved once, then a plain load.
+const Kernels& ActiveKernels();
+
+}  // namespace adaedge::util::simd
+
+#endif  // ADAEDGE_UTIL_SIMD_H_

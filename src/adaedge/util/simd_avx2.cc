@@ -1,0 +1,245 @@
+// AVX2 specializations of the codec inner-loop kernels. This TU is
+// compiled with -mavx2 and must only ever run after the runtime probe
+// (simd.cc) confirmed AVX2 — nothing here may leak into other TUs.
+// Output contract: byte-identical to the scalar kernels in
+// simd_kernels.h (enforced by tests/simd_dispatch_test.cc).
+
+#include <immintrin.h>
+
+#include <bit>
+#include <cstring>
+
+#include "adaedge/util/simd_kernels.h"
+
+namespace adaedge::util::simd {
+
+namespace {
+
+using internal::PackOne;
+
+void PackBitsAvx2(std::vector<uint8_t>* bytes, uint64_t* acc, int* used,
+                  const uint64_t* values, size_t count, int width) {
+  uint64_t a = *acc;
+  int u = *used;
+  size_t i = 0;
+  if (width <= 16) {
+    // Merge 4 fields into one <= 64-bit chunk per accumulator step:
+    // lane i shifted left by (3-i)*width, OR-reduced across lanes.
+    const __m256i shifts =
+        _mm256_set_epi64x(0, width, 2 * width, 3 * width);
+    const __m256i mask = _mm256_set1_epi64x((1ll << width) - 1);
+    for (; i + 4 <= count; i += 4) {
+      __m256i v =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i));
+      v = _mm256_sllv_epi64(_mm256_and_si256(v, mask), shifts);
+      __m128i o = _mm_or_si128(_mm256_castsi256_si128(v),
+                               _mm256_extracti128_si256(v, 1));
+      o = _mm_or_si128(o, _mm_unpackhi_epi64(o, o));
+      PackOne(*bytes, a, u, static_cast<uint64_t>(_mm_cvtsi128_si64(o)),
+              4 * width);
+    }
+  } else if (width <= 32) {
+    const uint64_t mask = (uint64_t{1} << width) - 1;
+    for (; i + 2 <= count; i += 2) {
+      PackOne(*bytes, a, u,
+              ((values[i] & mask) << width) | (values[i + 1] & mask),
+              2 * width);
+    }
+  }
+  for (; i < count; ++i) PackOne(*bytes, a, u, values[i], width);
+  *acc = a;
+  *used = u;
+}
+
+void UnpackBitsAvx2(const uint8_t* data, size_t size, size_t pos,
+                    uint64_t* out, size_t count, int width) {
+  size_t i = 0;
+  // Vector path: gather the 8-byte window holding each field, byte-swap
+  // to big-endian lane order, shift the consumed bits out. Needs
+  // bit_off + width <= 64, i.e. width <= 57 (bit_off <= 7), and the full
+  // 8-byte window in bounds — the buffer tail falls through to scalar.
+  if (width <= 57) {
+    const __m256i bswap = _mm256_setr_epi8(
+        7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8,  //
+        7, 6, 5, 4, 3, 2, 1, 0, 15, 14, 13, 12, 11, 10, 9, 8);
+    const __m256i seven = _mm256_set1_epi64x(7);
+    const __m128i rshift = _mm_cvtsi32_si128(64 - width);
+    const size_t w = static_cast<size_t>(width);
+    for (; i + 4 <= count; i += 4) {
+      const size_t p0 = pos + i * w;
+      const size_t p3 = p0 + 3 * w;
+      if ((p3 >> 3) + 8 > size) break;
+      __m256i vpos = _mm256_set_epi64x(
+          static_cast<long long>(p3), static_cast<long long>(p0 + 2 * w),
+          static_cast<long long>(p0 + w), static_cast<long long>(p0));
+      __m256i idx = _mm256_srli_epi64(vpos, 3);
+      __m256i off = _mm256_and_si256(vpos, seven);
+      __m256i word = _mm256_i64gather_epi64(
+          reinterpret_cast<const long long*>(data), idx, 1);
+      word = _mm256_shuffle_epi8(word, bswap);
+      word = _mm256_sllv_epi64(word, off);
+      word = _mm256_srl_epi64(word, rshift);
+      _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + i), word);
+    }
+  }
+  if (i < count) {
+    internal::UnpackBitsScalar(data, size,
+                               pos + i * static_cast<size_t>(width), out + i,
+                               count - i, width);
+  }
+}
+
+// zigzag on 4 signed lanes: (x << 1) ^ (x >> 63). AVX2 has no 64-bit
+// arithmetic shift; 0 > x yields the same all-ones/all-zeros mask.
+inline __m256i ZigZag4(__m256i x) {
+  return _mm256_xor_si256(_mm256_slli_epi64(x, 1),
+                          _mm256_cmpgt_epi64(_mm256_setzero_si256(), x));
+}
+
+inline uint64_t OrReduce4(__m256i x) {
+  __m128i o = _mm_or_si128(_mm256_castsi256_si128(x),
+                           _mm256_extracti128_si256(x, 1));
+  o = _mm_or_si128(o, _mm_unpackhi_epi64(o, o));
+  return static_cast<uint64_t>(_mm_cvtsi128_si64(o));
+}
+
+inline __m256i BroadcastLane3(__m256i x) {
+  return _mm256_permute4x64_epi64(x, _MM_SHUFFLE(3, 3, 3, 3));
+}
+
+// Lanes shifted one element right, with `carry` (any lane of carry_bcast)
+// entering at lane 0: (carry, x0, x1, x2). Register-only — a memory
+// round-trip here costs a store-forwarding stall per block.
+inline __m256i ShiftInLane(__m256i x, __m256i carry_bcast) {
+  __m256i rot = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(2, 1, 0, 3));
+  return _mm256_blend_epi32(rot, carry_bcast, 0x03);
+}
+
+void DeltaZigZagAvx2(const int64_t* q, size_t n, int64_t prev,
+                     int64_t prev_delta, uint64_t* delta_res,
+                     uint64_t* dd_res, int* w_delta, int* w_dd) {
+  if (n != 8) {  // only the final short block of a stream lands here
+    internal::DeltaZigZagScalar(q, n, prev, prev_delta, delta_res, dd_res,
+                                w_delta, w_dd);
+    return;
+  }
+  __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q));
+  __m256i a1 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(q + 4));
+  __m256i d0 = _mm256_sub_epi64(
+      a0, ShiftInLane(a0, _mm256_set1_epi64x(static_cast<long long>(prev))));
+  __m256i d1 = _mm256_sub_epi64(a1, ShiftInLane(a1, BroadcastLane3(a0)));
+  __m256i dd0 = _mm256_sub_epi64(
+      d0, ShiftInLane(
+              d0, _mm256_set1_epi64x(static_cast<long long>(prev_delta))));
+  __m256i dd1 = _mm256_sub_epi64(d1, ShiftInLane(d1, BroadcastLane3(d0)));
+  __m256i z0 = ZigZag4(d0), z1 = ZigZag4(d1);
+  __m256i y0 = ZigZag4(dd0), y1 = ZigZag4(dd1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(delta_res), z0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(delta_res + 4), z1);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dd_res), y0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(dd_res + 4), y1);
+  *w_delta = internal::BitWidth64(OrReduce4(_mm256_or_si256(z0, z1)));
+  *w_dd = internal::BitWidth64(OrReduce4(_mm256_or_si256(y0, y1)));
+}
+
+// Inclusive prefix sum over the 4 lanes of x.
+inline __m256i Prefix4(__m256i x) {
+  const __m256i zero = _mm256_setzero_si256();
+  __m256i s = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(2, 1, 0, 3));
+  x = _mm256_add_epi64(x, _mm256_blend_epi32(s, zero, 0x03));
+  s = _mm256_permute4x64_epi64(x, _MM_SHUFFLE(1, 0, 0, 0));
+  return _mm256_add_epi64(x, _mm256_blend_epi32(s, zero, 0x0F));
+}
+
+inline __m256i UnZigZag4(__m256i z) {
+  const __m256i one = _mm256_set1_epi64x(1);
+  return _mm256_xor_si256(
+      _mm256_srli_epi64(z, 1),
+      _mm256_sub_epi64(_mm256_setzero_si256(), _mm256_and_si256(z, one)));
+}
+
+void UnzigzagPrefixAvx2(const uint64_t* z, size_t n, bool use_dd,
+                        uint64_t* prev, uint64_t* prev_delta,
+                        uint64_t* rec) {
+  if (n != 8) {
+    internal::UnzigzagPrefixScalar(z, n, use_dd, prev, prev_delta, rec);
+    return;
+  }
+  __m256i r0 =
+      UnZigZag4(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(z)));
+  __m256i r1 =
+      UnZigZag4(_mm256_loadu_si256(reinterpret_cast<const __m256i*>(z + 4)));
+  __m256i d0 = r0, d1 = r1;
+  if (use_dd) {
+    // delta[i] = prev_delta + prefixsum(r)[i]
+    d0 = _mm256_add_epi64(
+        Prefix4(r0),
+        _mm256_set1_epi64x(static_cast<long long>(*prev_delta)));
+    d1 = _mm256_add_epi64(Prefix4(r1), BroadcastLane3(d0));
+  }
+  // rec[i] = prev + prefixsum(delta)[i]
+  __m256i p0 = _mm256_add_epi64(
+      Prefix4(d0), _mm256_set1_epi64x(static_cast<long long>(*prev)));
+  __m256i p1 = _mm256_add_epi64(Prefix4(d1), BroadcastLane3(p0));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(rec), p0);
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(rec + 4), p1);
+  *prev = static_cast<uint64_t>(_mm256_extract_epi64(p1, 3));
+  *prev_delta = static_cast<uint64_t>(_mm256_extract_epi64(d1, 3));
+}
+
+void XorScanAvx2(const uint64_t* v, size_t n, uint64_t seed, uint64_t* xors,
+                 uint8_t* lead, uint8_t* trail) {
+  if (n == 0) return;
+  xors[0] = v[0] ^ seed;
+  size_t i = 1;
+  for (; i + 4 <= n; i += 4) {
+    __m256i cur =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i));
+    __m256i prv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(v + i - 1));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(xors + i),
+                        _mm256_xor_si256(cur, prv));
+  }
+  for (; i < n; ++i) xors[i] = v[i] ^ v[i - 1];
+  for (size_t j = 0; j < n; ++j) {
+    lead[j] = static_cast<uint8_t>(std::countl_zero(xors[j]));
+    trail[j] = static_cast<uint8_t>(std::countr_zero(xors[j]));
+  }
+}
+
+size_t MatchLengthAvx2(const uint8_t* a, const uint8_t* b, size_t limit) {
+  size_t i = 0;
+  while (i + 32 <= limit) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    uint32_t eq = static_cast<uint32_t>(
+        _mm256_movemask_epi8(_mm256_cmpeq_epi8(va, vb)));
+    if (eq != 0xffffffffu) {
+      return i + static_cast<size_t>(std::countr_zero(~eq));
+    }
+    i += 32;
+  }
+  if (i + 16 <= limit) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    uint32_t eq =
+        static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (eq != 0xffffu) {
+      return i + static_cast<size_t>(std::countr_zero(~eq & 0xffffu));
+    }
+    i += 16;
+  }
+  while (i < limit && a[i] == b[i]) ++i;
+  return i;
+}
+
+const Kernels kAvx2Kernels = {
+    Isa::kAvx2,     PackBitsAvx2, UnpackBitsAvx2, DeltaZigZagAvx2,
+    UnzigzagPrefixAvx2, XorScanAvx2,  MatchLengthAvx2,
+};
+
+}  // namespace
+
+const Kernels* GetAvx2Kernels() { return &kAvx2Kernels; }
+
+}  // namespace adaedge::util::simd

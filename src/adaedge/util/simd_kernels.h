@@ -1,0 +1,152 @@
+// Internal building blocks shared by the per-ISA kernel translation
+// units (simd.cc, simd_sse42.cc, simd_avx2.cc, simd_neon.cc). The scalar
+// implementations here are the reference oracle: every vectorized kernel
+// must produce byte-identical output (tests/simd_dispatch_test.cc runs
+// the full cross-check matrix). Not part of the public API.
+
+#ifndef ADAEDGE_UTIL_SIMD_KERNELS_H_
+#define ADAEDGE_UTIL_SIMD_KERNELS_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "adaedge/util/bit_io.h"
+#include "adaedge/util/simd.h"
+
+namespace adaedge::util::simd::internal {
+
+/// Appends one full big-endian 64-bit word to the stream byte buffer
+/// (the out-of-line twin of BitWriter::FlushWord).
+inline void FlushWordTo(std::vector<uint8_t>& bytes, uint64_t word) {
+  size_t n = bytes.size();
+  bytes.resize(n + 8);
+  if constexpr (std::endian::native == std::endian::little) {
+    word = bit_io_internal::ByteSwap64(word);
+  }
+  std::memcpy(bytes.data() + n, &word, 8);
+}
+
+/// One WriteBits step against externally held accumulator state. Must
+/// mirror BitWriter::WriteBits exactly (minus the bit_count_ update,
+/// which the BitWriter wrapper applies for the whole block).
+inline void PackOne(std::vector<uint8_t>& bytes, uint64_t& acc, int& used,
+                    uint64_t bits, int count) {
+  if (count < 64) bits &= (uint64_t{1} << count) - 1;
+  int space = 64 - used;
+  if (count < space) {
+    acc = (acc << count) | bits;
+    used += count;
+    return;
+  }
+  int rest = count - space;
+  uint64_t top = rest == 0 ? bits : bits >> rest;
+  FlushWordTo(bytes, used == 0 ? top : (acc << space) | top);
+  used = rest;
+  acc = rest == 0 ? 0 : bits & ((uint64_t{1} << rest) - 1);
+}
+
+inline void PackBitsScalar(std::vector<uint8_t>* bytes, uint64_t* acc,
+                           int* used, const uint64_t* values, size_t count,
+                           int width) {
+  uint64_t a = *acc;
+  int u = *used;
+  for (size_t i = 0; i < count; ++i) PackOne(*bytes, a, u, values[i], width);
+  *acc = a;
+  *used = u;
+}
+
+inline void UnpackBitsScalar(const uint8_t* data, size_t size, size_t pos,
+                             uint64_t* out, size_t count, int width) {
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = bit_io_internal::ExtractBitsAt(data, size, pos, width);
+    pos += static_cast<size_t>(width);
+  }
+}
+
+inline uint64_t ZigZag64(uint64_t v) {
+  // (v << 1) ^ (v >> 63 arithmetic), on wrapping unsigned lanes.
+  return (v << 1) ^ (~uint64_t{0} * (v >> 63));
+}
+
+inline uint64_t UnZigZag64(uint64_t z) { return (z >> 1) ^ (~(z & 1) + 1); }
+
+inline int BitWidth64(uint64_t v) {
+  return v == 0 ? 0 : 64 - std::countl_zero(v);
+}
+
+inline void DeltaZigZagScalar(const int64_t* q, size_t n, int64_t prev,
+                              int64_t prev_delta, uint64_t* delta_res,
+                              uint64_t* dd_res, int* w_delta, int* w_dd) {
+  // All arithmetic on unsigned lanes so hostile inputs wrap instead of
+  // overflowing; in the sprintz quantized domain the results match the
+  // signed math bit for bit.
+  uint64_t p = static_cast<uint64_t>(prev);
+  uint64_t pd = static_cast<uint64_t>(prev_delta);
+  uint64_t or_delta = 0, or_dd = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t qi = static_cast<uint64_t>(q[i]);
+    uint64_t d = qi - p;
+    delta_res[i] = ZigZag64(d);
+    dd_res[i] = ZigZag64(d - pd);
+    or_delta |= delta_res[i];
+    or_dd |= dd_res[i];
+    pd = d;
+    p = qi;
+  }
+  // max over per-element bit widths == bit width of the OR.
+  *w_delta = BitWidth64(or_delta);
+  *w_dd = BitWidth64(or_dd);
+}
+
+inline void UnzigzagPrefixScalar(const uint64_t* z, size_t n, bool use_dd,
+                                 uint64_t* prev, uint64_t* prev_delta,
+                                 uint64_t* rec) {
+  uint64_t p = *prev;
+  uint64_t pd = *prev_delta;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t r = UnZigZag64(z[i]);
+    uint64_t d = use_dd ? r + pd : r;
+    p += d;
+    pd = d;
+    rec[i] = p;
+  }
+  *prev = p;
+  *prev_delta = pd;
+}
+
+inline void XorScanScalar(const uint64_t* v, size_t n, uint64_t seed,
+                          uint64_t* xors, uint8_t* lead, uint8_t* trail) {
+  uint64_t prev = seed;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t x = v[i] ^ prev;
+    prev = v[i];
+    xors[i] = x;
+    // countl/countr_zero(0) == 64, matching the documented convention.
+    lead[i] = static_cast<uint8_t>(std::countl_zero(x));
+    trail[i] = static_cast<uint8_t>(std::countr_zero(x));
+  }
+}
+
+inline size_t MatchLengthScalar(const uint8_t* a, const uint8_t* b,
+                                size_t limit) {
+  size_t i = 0;
+  while (i < limit && a[i] == b[i]) ++i;
+  return i;
+}
+
+}  // namespace adaedge::util::simd::internal
+
+namespace adaedge::util::simd {
+
+// Per-ISA dispatch tables, defined only in the TUs CMake compiles for
+// this architecture (simd.cc references them under matching guards).
+const Kernels* GetSse42Kernels();
+const Kernels* GetAvx2Kernels();
+const Kernels* GetNeonKernels();
+
+}  // namespace adaedge::util::simd
+
+#endif  // ADAEDGE_UTIL_SIMD_KERNELS_H_

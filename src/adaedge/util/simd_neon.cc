@@ -1,0 +1,92 @@
+// NEON specializations for AArch64, where NEON is architecturally
+// mandatory (no runtime probe needed — the compile-time gate in
+// DetectCpuIsa() is the dispatch decision). Kernels with no 128-bit win
+// stay on the scalar reference implementations; the table mixes per
+// kernel. Output contract: byte-identical to the scalar oracle.
+
+#include <arm_neon.h>
+
+#include <bit>
+
+#include "adaedge/util/simd_kernels.h"
+
+namespace adaedge::util::simd {
+
+namespace {
+
+using internal::PackOne;
+
+void PackBitsNeon(std::vector<uint8_t>* bytes, uint64_t* acc, int* used,
+                  const uint64_t* values, size_t count, int width) {
+  uint64_t a = *acc;
+  int u = *used;
+  size_t i = 0;
+  if (width <= 16) {
+    const uint64_t mask = (uint64_t{1} << width) - 1;
+    for (; i + 4 <= count; i += 4) {
+      uint64_t chunk = ((values[i] & mask) << (3 * width)) |
+                       ((values[i + 1] & mask) << (2 * width)) |
+                       ((values[i + 2] & mask) << width) |
+                       (values[i + 3] & mask);
+      PackOne(*bytes, a, u, chunk, 4 * width);
+    }
+  } else if (width <= 32) {
+    const uint64_t mask = (uint64_t{1} << width) - 1;
+    for (; i + 2 <= count; i += 2) {
+      PackOne(*bytes, a, u,
+              ((values[i] & mask) << width) | (values[i + 1] & mask),
+              2 * width);
+    }
+  }
+  for (; i < count; ++i) PackOne(*bytes, a, u, values[i], width);
+  *acc = a;
+  *used = u;
+}
+
+void XorScanNeon(const uint64_t* v, size_t n, uint64_t seed, uint64_t* xors,
+                 uint8_t* lead, uint8_t* trail) {
+  if (n == 0) return;
+  xors[0] = v[0] ^ seed;
+  size_t i = 1;
+  for (; i + 2 <= n; i += 2) {
+    uint64x2_t cur = vld1q_u64(v + i);
+    uint64x2_t prv = vld1q_u64(v + i - 1);
+    vst1q_u64(xors + i, veorq_u64(cur, prv));
+  }
+  for (; i < n; ++i) xors[i] = v[i] ^ v[i - 1];
+  for (size_t j = 0; j < n; ++j) {
+    lead[j] = static_cast<uint8_t>(std::countl_zero(xors[j]));
+    trail[j] = static_cast<uint8_t>(std::countr_zero(xors[j]));
+  }
+}
+
+size_t MatchLengthNeon(const uint8_t* a, const uint8_t* b, size_t limit) {
+  size_t i = 0;
+  while (i + 16 <= limit) {
+    uint8x16_t eq = vceqq_u8(vld1q_u8(a + i), vld1q_u8(b + i));
+    // All-equal iff the minimum lane of the compare mask is 0xff.
+    if (vminvq_u8(eq) != 0xff) {
+      while (i < limit && a[i] == b[i]) ++i;
+      return i;
+    }
+    i += 16;
+  }
+  while (i < limit && a[i] == b[i]) ++i;
+  return i;
+}
+
+const Kernels kNeonKernels = {
+    Isa::kNeon,
+    PackBitsNeon,
+    internal::UnpackBitsScalar,
+    internal::DeltaZigZagScalar,
+    internal::UnzigzagPrefixScalar,
+    XorScanNeon,
+    MatchLengthNeon,
+};
+
+}  // namespace
+
+const Kernels* GetNeonKernels() { return &kNeonKernels; }
+
+}  // namespace adaedge::util::simd

@@ -1,0 +1,99 @@
+// SSE4.2 specializations — the mid tier for pre-AVX2 x86 edge boxes.
+// Compiled with -msse4.2; only runs after the cpuid probe confirmed the
+// tier. Kernels where 128-bit lanes buy nothing (bit unpack needs
+// per-lane variable shifts, sprintz blocks are 8 wide) stay on the
+// scalar reference implementations — the dispatch table mixes per
+// kernel. Output contract: byte-identical to the scalar oracle.
+
+#include <nmmintrin.h>
+
+#include <bit>
+
+#include "adaedge/util/simd_kernels.h"
+
+namespace adaedge::util::simd {
+
+namespace {
+
+using internal::PackOne;
+
+void PackBitsSse42(std::vector<uint8_t>* bytes, uint64_t* acc, int* used,
+                   const uint64_t* values, size_t count, int width) {
+  uint64_t a = *acc;
+  int u = *used;
+  size_t i = 0;
+  if (width <= 16) {
+    // 4-way merge into one accumulator step; the merge itself is scalar
+    // (SSE2 lacks per-lane variable 64-bit shifts) but the accumulator
+    // and flush work is amortized 4x.
+    const uint64_t mask = (uint64_t{1} << width) - 1;
+    for (; i + 4 <= count; i += 4) {
+      uint64_t chunk = ((values[i] & mask) << (3 * width)) |
+                       ((values[i + 1] & mask) << (2 * width)) |
+                       ((values[i + 2] & mask) << width) |
+                       (values[i + 3] & mask);
+      PackOne(*bytes, a, u, chunk, 4 * width);
+    }
+  } else if (width <= 32) {
+    const uint64_t mask = (uint64_t{1} << width) - 1;
+    for (; i + 2 <= count; i += 2) {
+      PackOne(*bytes, a, u,
+              ((values[i] & mask) << width) | (values[i + 1] & mask),
+              2 * width);
+    }
+  }
+  for (; i < count; ++i) PackOne(*bytes, a, u, values[i], width);
+  *acc = a;
+  *used = u;
+}
+
+void XorScanSse42(const uint64_t* v, size_t n, uint64_t seed, uint64_t* xors,
+                  uint8_t* lead, uint8_t* trail) {
+  if (n == 0) return;
+  xors[0] = v[0] ^ seed;
+  size_t i = 1;
+  for (; i + 2 <= n; i += 2) {
+    __m128i cur = _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i));
+    __m128i prv =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(v + i - 1));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(xors + i),
+                     _mm_xor_si128(cur, prv));
+  }
+  for (; i < n; ++i) xors[i] = v[i] ^ v[i - 1];
+  for (size_t j = 0; j < n; ++j) {
+    lead[j] = static_cast<uint8_t>(std::countl_zero(xors[j]));
+    trail[j] = static_cast<uint8_t>(std::countr_zero(xors[j]));
+  }
+}
+
+size_t MatchLengthSse42(const uint8_t* a, const uint8_t* b, size_t limit) {
+  size_t i = 0;
+  while (i + 16 <= limit) {
+    __m128i va = _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    __m128i vb = _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    uint32_t eq =
+        static_cast<uint32_t>(_mm_movemask_epi8(_mm_cmpeq_epi8(va, vb)));
+    if (eq != 0xffffu) {
+      return i + static_cast<size_t>(std::countr_zero(~eq & 0xffffu));
+    }
+    i += 16;
+  }
+  while (i < limit && a[i] == b[i]) ++i;
+  return i;
+}
+
+const Kernels kSse42Kernels = {
+    Isa::kSse42,
+    PackBitsSse42,
+    internal::UnpackBitsScalar,
+    internal::DeltaZigZagScalar,
+    internal::UnzigzagPrefixScalar,
+    XorScanSse42,
+    MatchLengthSse42,
+};
+
+}  // namespace
+
+const Kernels* GetSse42Kernels() { return &kSse42Kernels; }
+
+}  // namespace adaedge::util::simd

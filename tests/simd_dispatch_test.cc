@@ -1,0 +1,303 @@
+// The SIMD dispatch seam: every kernel in every tier this CPU supports
+// must produce output identical to the scalar reference oracle, over the
+// full width/alignment/tail matrix. A vector kernel that is faster but
+// not byte-identical is a bug by definition (DESIGN.md, "SIMD dispatch").
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/util/bit_io.h"
+#include "adaedge/util/rng.h"
+#include "adaedge/util/simd.h"
+
+namespace adaedge::util::simd {
+namespace {
+
+// Tiers to cross-check against scalar: every distinct table that
+// KernelsFor hands out on this host (unsupported tiers fall back to the
+// scalar table and are skipped as duplicates), plus the active one.
+std::vector<Isa> TiersUnderTest() {
+  std::vector<Isa> tiers;
+  for (Isa isa : {Isa::kSse42, Isa::kAvx2, Isa::kNeon}) {
+    if (KernelsFor(isa).isa == isa) tiers.push_back(isa);
+  }
+  return tiers;
+}
+
+TEST(SimdDispatchTest, ResolveIsaPolicy) {
+  // No override: the detected tier wins.
+  EXPECT_EQ(ResolveIsa(nullptr, Isa::kAvx2), Isa::kAvx2);
+  EXPECT_EQ(ResolveIsa("", Isa::kSse42), Isa::kSse42);
+  // Forcing a supported tier selects it.
+  EXPECT_EQ(ResolveIsa("scalar", Isa::kAvx2), Isa::kScalar);
+  EXPECT_EQ(ResolveIsa("sse42", Isa::kAvx2), Isa::kSse42);
+  EXPECT_EQ(ResolveIsa("avx2", Isa::kAvx2), Isa::kAvx2);
+  EXPECT_EQ(ResolveIsa("neon", Isa::kNeon), Isa::kNeon);
+  // Forcing a recognized tier the CPU lacks falls back to scalar,
+  // never to a different vector tier.
+  EXPECT_EQ(ResolveIsa("avx2", Isa::kSse42), Isa::kScalar);
+  EXPECT_EQ(ResolveIsa("neon", Isa::kAvx2), Isa::kScalar);
+  EXPECT_EQ(ResolveIsa("sse42", Isa::kNeon), Isa::kScalar);
+  EXPECT_EQ(ResolveIsa("avx2", Isa::kScalar), Isa::kScalar);
+  // Unrecognized strings are ignored.
+  EXPECT_EQ(ResolveIsa("avx512", Isa::kAvx2), Isa::kAvx2);
+  EXPECT_EQ(ResolveIsa("SCALAR", Isa::kAvx2), Isa::kAvx2);
+}
+
+TEST(SimdDispatchTest, ActiveIsaMatchesEnvPolicy) {
+  EXPECT_EQ(ActiveIsa(),
+            ResolveIsa(std::getenv("ADAEDGE_FORCE_ISA"), DetectCpuIsa()));
+  EXPECT_EQ(ActiveKernels().isa, ActiveIsa());
+}
+
+TEST(SimdDispatchTest, KernelsForFallsBackToScalar) {
+  // Whatever this host is, at least one of the vector tiers is foreign
+  // to it and must resolve to the scalar table.
+  EXPECT_EQ(KernelsFor(Isa::kScalar).isa, Isa::kScalar);
+  Isa foreign = DetectCpuIsa() == Isa::kNeon ? Isa::kAvx2 : Isa::kNeon;
+  EXPECT_EQ(KernelsFor(foreign).isa, Isa::kScalar);
+}
+
+// --- pack/unpack ----------------------------------------------------------
+
+// Packs `values` at `width` through `k`, starting from a stream that
+// already holds `preamble_bits` random bits (so the accumulator sits at
+// every possible offset), and returns the full flushed byte stream.
+std::vector<uint8_t> PackVia(const Kernels& k,
+                             const std::vector<uint64_t>& values, int width,
+                             int preamble_bits, uint64_t preamble) {
+  std::vector<uint8_t> bytes;
+  uint64_t acc = 0;
+  int used = 0;
+  // Seed the accumulator exactly like BitWriter::WriteBits would.
+  if (preamble_bits > 0) {
+    uint64_t bits = preamble;
+    if (preamble_bits < 64) bits &= (uint64_t{1} << preamble_bits) - 1;
+    acc = bits;
+    used = preamble_bits;
+  }
+  k.pack_bits(&bytes, &acc, &used, values.data(), values.size(), width);
+  // Drain the accumulator (mirrors BitWriter::Flush without Align — raw
+  // state equality matters more than byte padding here, so append state).
+  bytes.push_back(static_cast<uint8_t>(used));  // fold state into output
+  for (int i = 0; i < 8; ++i) {
+    bytes.push_back(static_cast<uint8_t>(acc >> (8 * i)));
+  }
+  return bytes;
+}
+
+TEST(SimdDispatchTest, PackBitsMatchesScalarAllWidthsAllAlignments) {
+  Rng rng(0x51u);
+  const Kernels& scalar = KernelsFor(Isa::kScalar);
+  for (Isa tier : TiersUnderTest()) {
+    const Kernels& k = KernelsFor(tier);
+    for (int width = 1; width <= 64; ++width) {
+      for (size_t count : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                           size_t{5}, size_t{8}, size_t{9}, size_t{31},
+                           size_t{100}}) {
+        std::vector<uint64_t> values(count);
+        for (auto& v : values) v = rng.NextU64();
+        int preamble_bits = static_cast<int>(rng.NextU64() % 64);
+        uint64_t preamble = rng.NextU64();
+        EXPECT_EQ(PackVia(k, values, width, preamble_bits, preamble),
+                  PackVia(scalar, values, width, preamble_bits, preamble))
+            << IsaName(tier) << " width=" << width << " count=" << count
+            << " preamble_bits=" << preamble_bits;
+      }
+    }
+  }
+}
+
+TEST(SimdDispatchTest, UnpackBitsMatchesScalarAllWidthsAllAlignments) {
+  Rng rng(0x52u);
+  const Kernels& scalar = KernelsFor(Isa::kScalar);
+  // Byte-misaligned data pointer on top of bit-level offsets.
+  std::vector<uint8_t> storage(4 * 1024 + 1);
+  for (auto& b : storage) b = static_cast<uint8_t>(rng.NextU64());
+  const uint8_t* data = storage.data() + 1;
+  const size_t size = storage.size() - 1;
+  for (Isa tier : TiersUnderTest()) {
+    const Kernels& k = KernelsFor(tier);
+    for (int width = 1; width <= 64; ++width) {
+      for (size_t count : {size_t{0}, size_t{1}, size_t{2}, size_t{3},
+                           size_t{4}, size_t{5}, size_t{7}, size_t{8},
+                           size_t{9}, size_t{64}, size_t{100}}) {
+        for (size_t pos_off : {size_t{0}, size_t{1}, size_t{3}, size_t{7},
+                               size_t{8}, size_t{13}, size_t{63}}) {
+          if (pos_off + count * static_cast<size_t>(width) > size * 8) {
+            continue;
+          }
+          std::vector<uint64_t> got(count, 0), want(count, 0);
+          k.unpack_bits(data, size, pos_off, got.data(), count, width);
+          scalar.unpack_bits(data, size, pos_off, want.data(), count,
+                             width);
+          EXPECT_EQ(got, want)
+              << IsaName(tier) << " width=" << width << " count=" << count
+              << " pos=" << pos_off;
+        }
+        // Buffer-tail case: end the fields exactly at the end of the
+        // stream so the vector path must hand over to the scalar tail.
+        size_t bits = count * static_cast<size_t>(width);
+        size_t tail_pos = size * 8 - bits;
+        std::vector<uint64_t> got(count, 0), want(count, 0);
+        k.unpack_bits(data, size, tail_pos, got.data(), count, width);
+        scalar.unpack_bits(data, size, tail_pos, want.data(), count, width);
+        EXPECT_EQ(got, want) << IsaName(tier) << " tail width=" << width
+                             << " count=" << count;
+      }
+    }
+  }
+}
+
+// --- sprintz kernels ------------------------------------------------------
+
+TEST(SimdDispatchTest, DeltaZigZagMatchesScalar) {
+  Rng rng(0x53u);
+  const Kernels& scalar = KernelsFor(Isa::kScalar);
+  for (Isa tier : TiersUnderTest()) {
+    const Kernels& k = KernelsFor(tier);
+    for (int round = 0; round < 200; ++round) {
+      size_t n = 1 + rng.NextU64() % 8;
+      if (round < 8) n = 8;  // make sure the full-block fast path runs
+      int64_t q[8];
+      for (size_t i = 0; i < n; ++i) {
+        // Mix small deltas with extreme magnitudes (wrapping domain).
+        q[i] = static_cast<int64_t>(rng.NextU64());
+        if (round % 3 == 0) q[i] >>= 20;
+      }
+      int64_t prev = static_cast<int64_t>(rng.NextU64());
+      int64_t prev_delta = static_cast<int64_t>(rng.NextU64() % 1024);
+      uint64_t d1[8], dd1[8], d2[8], dd2[8];
+      int w1 = -1, wdd1 = -1, w2 = -1, wdd2 = -1;
+      k.delta_zigzag(q, n, prev, prev_delta, d1, dd1, &w1, &wdd1);
+      scalar.delta_zigzag(q, n, prev, prev_delta, d2, dd2, &w2, &wdd2);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(d1[i], d2[i]) << IsaName(tier) << " n=" << n;
+        ASSERT_EQ(dd1[i], dd2[i]) << IsaName(tier) << " n=" << n;
+      }
+      EXPECT_EQ(w1, w2) << IsaName(tier);
+      EXPECT_EQ(wdd1, wdd2) << IsaName(tier);
+    }
+  }
+}
+
+TEST(SimdDispatchTest, UnzigzagPrefixMatchesScalar) {
+  Rng rng(0x54u);
+  const Kernels& scalar = KernelsFor(Isa::kScalar);
+  for (Isa tier : TiersUnderTest()) {
+    const Kernels& k = KernelsFor(tier);
+    for (int round = 0; round < 200; ++round) {
+      size_t n = 1 + rng.NextU64() % 8;
+      if (round < 8) n = 8;
+      uint64_t z[8];
+      for (size_t i = 0; i < n; ++i) {
+        z[i] = rng.NextU64();
+        if (round % 3 == 0) z[i] &= 0xffffu;  // realistic narrow residuals
+      }
+      for (bool use_dd : {false, true}) {
+        uint64_t p1 = rng.NextU64(), pd1 = rng.NextU64();
+        uint64_t p2 = p1, pd2 = pd1;
+        uint64_t r1[8], r2[8];
+        k.unzigzag_prefix(z, n, use_dd, &p1, &pd1, r1);
+        scalar.unzigzag_prefix(z, n, use_dd, &p2, &pd2, r2);
+        for (size_t i = 0; i < n; ++i) {
+          ASSERT_EQ(r1[i], r2[i])
+              << IsaName(tier) << " n=" << n << " dd=" << use_dd;
+        }
+        EXPECT_EQ(p1, p2) << IsaName(tier);
+        EXPECT_EQ(pd1, pd2) << IsaName(tier);
+      }
+    }
+  }
+}
+
+// --- gorilla/chimp xor scan ----------------------------------------------
+
+TEST(SimdDispatchTest, XorScanMatchesScalar) {
+  Rng rng(0x55u);
+  const Kernels& scalar = KernelsFor(Isa::kScalar);
+  for (Isa tier : TiersUnderTest()) {
+    const Kernels& k = KernelsFor(tier);
+    for (size_t n : {size_t{0}, size_t{1}, size_t{2}, size_t{3}, size_t{4},
+                     size_t{5}, size_t{17}, size_t{256}}) {
+      std::vector<uint64_t> v(n);
+      for (size_t i = 0; i < n; ++i) {
+        // Runs of identical values (zero XORs) plus noise.
+        v[i] = (i > 0 && rng.NextBool(0.4)) ? v[i - 1] : rng.NextU64();
+      }
+      uint64_t seed = rng.NextU64();
+      std::vector<uint64_t> x1(n), x2(n);
+      std::vector<uint8_t> l1(n), l2(n), t1(n), t2(n);
+      k.xor_scan(v.data(), n, seed, x1.data(), l1.data(), t1.data());
+      scalar.xor_scan(v.data(), n, seed, x2.data(), l2.data(), t2.data());
+      EXPECT_EQ(x1, x2) << IsaName(tier) << " n=" << n;
+      EXPECT_EQ(l1, l2) << IsaName(tier) << " n=" << n;
+      EXPECT_EQ(t1, t2) << IsaName(tier) << " n=" << n;
+    }
+  }
+}
+
+// --- fastlz match extension ----------------------------------------------
+
+TEST(SimdDispatchTest, MatchLengthMatchesScalar) {
+  Rng rng(0x56u);
+  const Kernels& scalar = KernelsFor(Isa::kScalar);
+  // Misaligned bases: +1/+3 below shift both buffers off 16-byte
+  // alignment.
+  std::vector<uint8_t> a(512 + 3), b(512 + 3);
+  for (Isa tier : TiersUnderTest()) {
+    const Kernels& k = KernelsFor(tier);
+    for (size_t match : {size_t{0}, size_t{1}, size_t{3}, size_t{15},
+                         size_t{16}, size_t{17}, size_t{31}, size_t{32},
+                         size_t{33}, size_t{127}, size_t{128}, size_t{300}}) {
+      for (size_t limit : {match, match + 1, match + 40, size_t{512}}) {
+        if (limit > 512) continue;
+        uint8_t* pa = a.data() + 1;
+        uint8_t* pb = b.data() + 3;
+        for (size_t i = 0; i < 512; ++i) {
+          pa[i] = static_cast<uint8_t>(rng.NextU64());
+          pb[i] = i < match ? pa[i] : static_cast<uint8_t>(pa[i] + 1);
+        }
+        size_t got = k.match_length(pa, pb, limit);
+        size_t want = scalar.match_length(pa, pb, limit);
+        EXPECT_EQ(got, want)
+            << IsaName(tier) << " match=" << match << " limit=" << limit;
+        EXPECT_EQ(want, std::min(match, limit));
+      }
+    }
+  }
+}
+
+// --- end-to-end: BitWriter/BitReader over the dispatch seam ---------------
+
+TEST(SimdDispatchTest, PackedBlockRoundTripsThroughBitIo) {
+  Rng rng(0x57u);
+  for (int width = 0; width <= 64; ++width) {
+    for (int pre : {0, 1, 7, 13}) {
+      std::vector<uint64_t> values(37);
+      for (auto& v : values) v = rng.NextU64();
+      BitWriter bw;
+      bw.WriteBits(rng.NextU64(), pre);
+      bw.WritePackedBlock(values, width);
+      std::vector<uint8_t> bytes = bw.Finish();
+      BitReader br(bytes);
+      ASSERT_TRUE(br.ReadBits(pre).ok());
+      std::vector<uint64_t> got(values.size());
+      ASSERT_TRUE(
+          br.ReadPackedBlock(got.data(), got.size(), width).ok());
+      uint64_t mask = width >= 64  ? ~uint64_t{0}
+                      : width == 0 ? 0
+                                   : (uint64_t{1} << width) - 1;
+      for (size_t i = 0; i < values.size(); ++i) {
+        ASSERT_EQ(got[i], values[i] & mask) << "width=" << width;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace adaedge::util::simd

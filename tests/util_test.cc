@@ -234,6 +234,32 @@ TEST(Crc32Test, DetectsFlips) {
   EXPECT_NE(Crc32(data), base);
 }
 
+// The slice-by-8 implementation must match a bitwise reference for every
+// length 0..64 (covering the 8-byte main loop, the bytewise tail, and
+// their boundary) plus a large buffer. Bitwise CRC-32 (IEEE, reflected,
+// poly 0xEDB88320) is the oracle.
+TEST(Crc32Test, SliceBy8MatchesBitwiseReference) {
+  auto bitwise = [](const std::vector<uint8_t>& data) {
+    uint32_t crc = 0xffffffffu;
+    for (uint8_t byte : data) {
+      crc ^= byte;
+      for (int b = 0; b < 8; ++b) {
+        crc = (crc >> 1) ^ (0xedb88320u & (~(crc & 1u) + 1u));
+      }
+    }
+    return crc ^ 0xffffffffu;
+  };
+  Rng rng(0xc2c32u);
+  for (size_t len = 0; len <= 64; ++len) {
+    std::vector<uint8_t> data(len);
+    for (auto& b : data) b = static_cast<uint8_t>(rng.NextU64());
+    EXPECT_EQ(Crc32(data), bitwise(data)) << "len " << len;
+  }
+  std::vector<uint8_t> big(10000);
+  for (auto& b : big) b = static_cast<uint8_t>(rng.NextU64());
+  EXPECT_EQ(Crc32(big), bitwise(big));
+}
+
 TEST(BoundedQueueTest, FifoOrder) {
   BoundedQueue<int> q(10);
   for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.Push(i));

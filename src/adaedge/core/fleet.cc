@@ -111,7 +111,7 @@ std::unique_ptr<FleetNode::Shard> FleetNode::MakeShard(int index) const {
 
 void FleetNode::Start() {
   if (started_.exchange(true)) return;
-  std::unique_lock<std::shared_mutex> lock(shards_mu_);
+  util::WriterMutexLock lock(&shards_mu_);
   for (auto& shard : shards_) StartShardLocked(*shard);
 }
 
@@ -122,7 +122,7 @@ void FleetNode::StartShardLocked(Shard& shard) {
 }
 
 std::vector<FleetNode::Shard*> FleetNode::SnapshotShards() const {
-  std::shared_lock<std::shared_mutex> lock(shards_mu_);
+  util::ReaderMutexLock lock(&shards_mu_);
   std::vector<Shard*> shards;
   shards.reserve(shards_.size());
   for (const auto& shard : shards_) shards.push_back(shard.get());
@@ -130,17 +130,17 @@ std::vector<FleetNode::Shard*> FleetNode::SnapshotShards() const {
 }
 
 int FleetNode::ShardOf(uint64_t sensor_id) const {
-  std::shared_lock<std::shared_mutex> lock(shards_mu_);
+  util::ReaderMutexLock lock(&shards_mu_);
   return static_cast<int>(HashSensorId(sensor_id) % shards_.size());
 }
 
 int FleetNode::NumShards() const {
-  std::shared_lock<std::shared_mutex> lock(shards_mu_);
+  util::ReaderMutexLock lock(&shards_mu_);
   return static_cast<int>(shards_.size());
 }
 
 OnlineSelector& FleetNode::shard_selector(int shard) {
-  std::shared_lock<std::shared_mutex> lock(shards_mu_);
+  util::ReaderMutexLock lock(&shards_mu_);
   return *shards_[static_cast<size_t>(shard)]->selector;
 }
 
@@ -161,13 +161,13 @@ Status FleetNode::Ingest(uint64_t sensor_id,
     // Shared lock only for the routing read: shards are append-only and
     // never reseated, so the raw pointer stays valid after release and a
     // blocking queue push below cannot stall AddShard.
-    std::shared_lock<std::shared_mutex> lock(shards_mu_);
+    util::ReaderMutexLock lock(&shards_mu_);
     shard =
         shards_[HashSensorId(sensor_id) % shards_.size()].get();
   }
   std::optional<PendingBatch> full;
   {
-    std::lock_guard<std::mutex> lock(shard->accum_mu);
+    util::MutexLock lock(&shard->accum_mu);
     PendingBatch& accum = shard->accum;
     // Offsets are uint32: cap one batch's value run. Unreachable with
     // sane segment sizes (batch_segments * segment_length), but a
@@ -230,7 +230,7 @@ Status FleetNode::Flush() {
   for (Shard* shard : SnapshotShards()) {
     std::optional<PendingBatch> partial;
     {
-      std::lock_guard<std::mutex> lock(shard->accum_mu);
+      util::MutexLock lock(&shard->accum_mu);
       if (!shard->accum.entries.empty()) {
         partial = std::move(shard->accum);
         shard->accum = PendingBatch{};
@@ -302,7 +302,7 @@ void FleetNode::ProcessBatch(Shard& shard, PendingBatch batch) {
 void FleetNode::MergePolicies() {
   // Serialized: overlapping merges from two workers crossing the cadence
   // boundary would interleave Export and Merge arbitrarily.
-  std::lock_guard<std::mutex> merge_lock(merge_mu_);
+  util::MutexLock merge_lock(&merge_mu_);
   auto shards = SnapshotShards();
   if (shards.size() < 2) return;
   std::vector<std::vector<bandit::ArmStats>> lossless, lossy;
@@ -326,7 +326,14 @@ Status FleetNode::AddShard() {
   if (stopped_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("fleet is stopped");
   }
-  std::unique_lock<std::shared_mutex> lock(shards_mu_);
+  util::WriterMutexLock lock(&shards_mu_);
+  // Re-check under the exclusive lock: a Stop() that completed between
+  // the unlocked check above and this acquisition has already taken its
+  // final shard snapshot, so a shard added now would keep workers running
+  // (and its queue open) past the join barrier.
+  if (stopped_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("fleet is stopped");
+  }
   auto shard = MakeShard(static_cast<int>(shards_.size()));
   // Warm-start from the fleet-averaged posterior before the shard takes
   // traffic, so its optimistic bandit does not re-pay the exploration

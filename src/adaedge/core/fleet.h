@@ -3,9 +3,7 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <optional>
-#include <shared_mutex>
 #include <span>
 #include <string>
 #include <thread>
@@ -14,6 +12,8 @@
 #include "adaedge/core/online_selector.h"
 #include "adaedge/core/segment.h"
 #include "adaedge/util/bounded_queue.h"
+#include "adaedge/util/mutex.h"
+#include "adaedge/util/thread_annotations.h"
 
 namespace adaedge::core {
 
@@ -116,7 +116,7 @@ class FleetNode {
                                                    TargetSpec target);
 
   /// Starts the shard workers.
-  void Start();
+  void Start() ADAEDGE_EXCLUDES(shards_mu_);
 
   /// Routes one sensor segment to its shard's accumulator; when the
   /// accumulated batch is full it is pushed to the shard queue. Ok when
@@ -124,11 +124,11 @@ class FleetNode {
   /// full in reject mode (the full batch is dropped and accounted in
   /// signals_rejected); Unavailable after Stop().
   Status Ingest(uint64_t sensor_id, std::span<const double> values,
-                double now);
+                double now) ADAEDGE_EXCLUDES(shards_mu_);
 
   /// Pushes every shard's partial accumulated batch (same backpressure
   /// semantics as Ingest). Returns the first non-OK push status.
-  Status Flush();
+  Status Flush() ADAEDGE_EXCLUDES(shards_mu_);
 
   /// Pops the next compressed batch; nullopt once stopped and drained.
   std::optional<CompressedBatch> PopCompressed();
@@ -147,19 +147,19 @@ class FleetNode {
   /// the exploration phase; its workers start immediately when the fleet
   /// is running. Sensors re-route under the new modulus from the next
   /// Ingest. FailedPrecondition after Stop().
-  Status AddShard();
+  Status AddShard() ADAEDGE_EXCLUDES(shards_mu_);
 
   /// Blends every shard's bandit estimates toward the fleet average
   /// (also runs automatically every merge_interval_batches).
-  void MergePolicies();
+  void MergePolicies() ADAEDGE_EXCLUDES(merge_mu_, shards_mu_);
 
   /// Stable sensor -> shard routing under the current shard count.
-  int ShardOf(uint64_t sensor_id) const;
+  int ShardOf(uint64_t sensor_id) const ADAEDGE_EXCLUDES(shards_mu_);
 
-  int NumShards() const;
+  int NumShards() const ADAEDGE_EXCLUDES(shards_mu_);
 
   /// Shard-local selector access (bench/test introspection).
-  OnlineSelector& shard_selector(int shard);
+  OnlineSelector& shard_selector(int shard) ADAEDGE_EXCLUDES(shards_mu_);
 
   /// --- accounting ---
   /// signals = per-sensor segments. Accepted signals either reach a
@@ -194,16 +194,19 @@ class FleetNode {
 
     std::unique_ptr<OnlineSelector> selector;
     util::BoundedQueue<PendingBatch> queue;
+    /// Mutated only by StartShardLocked (shards_mu_ held exclusive) and
+    /// Stop (after the queue close/join barrier); not lock-annotatable
+    /// from a nested struct.
     std::vector<std::thread> workers;
-    std::mutex accum_mu;
-    PendingBatch accum;  // guarded by accum_mu
+    util::Mutex accum_mu{util::LockRank::kFleetAccum, "fleet.accum"};
+    PendingBatch accum ADAEDGE_GUARDED_BY(accum_mu);
   };
 
   std::unique_ptr<Shard> MakeShard(int index) const;
-  void StartShardLocked(Shard& shard);
+  void StartShardLocked(Shard& shard) ADAEDGE_REQUIRES(shards_mu_);
   /// Snapshot of the live shard pointers (shared routing lock held only
   /// for the copy).
-  std::vector<Shard*> SnapshotShards() const;
+  std::vector<Shard*> SnapshotShards() const ADAEDGE_EXCLUDES(shards_mu_);
   Status PushBatch(Shard& shard, PendingBatch batch);
   void WorkerLoop(Shard* shard);
   void ProcessBatch(Shard& shard, PendingBatch batch);
@@ -214,10 +217,12 @@ class FleetNode {
 
   /// Guards shards_ growth; Ingest/routing take it shared, AddShard
   /// exclusive. Entries are never removed or reseated while running.
-  mutable std::shared_mutex shards_mu_;
-  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable util::SharedMutex shards_mu_{util::LockRank::kFleetRouting,
+                                       "fleet.routing"};
+  std::vector<std::unique_ptr<Shard>> shards_ ADAEDGE_GUARDED_BY(shards_mu_);
 
-  std::mutex merge_mu_;  // serializes concurrent MergePolicies calls
+  /// Serializes concurrent MergePolicies calls.
+  util::Mutex merge_mu_{util::LockRank::kFleetMerge, "fleet.merge"};
 
   std::atomic<uint64_t> next_batch_id_{0};
   std::atomic<uint64_t> batches_done_{0};  // merge cadence counter

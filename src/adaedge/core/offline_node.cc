@@ -116,10 +116,10 @@ OfflineNode::OfflineNode(OfflineConfig config, TargetSpec target)
 
 OfflineNode::~OfflineNode() {
   {
-    std::lock_guard<std::mutex> pool(pool_mu_);
+    util::MutexLock pool(&pool_mu_);
     stopping_ = true;
-    work_cv_.notify_all();
-    space_cv_.notify_all();
+    work_cv_.NotifyAll();
+    space_cv_.NotifyAll();
   }
   for (auto& worker : recode_workers_) worker.join();
 }
@@ -155,7 +155,7 @@ Status OfflineNode::Ingest(uint64_t id, double now,
   compress::CodecArm arm;
   bool have_arm = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     int arm_idx = AcquireSupportedArmLocked(
         *lossless_bandit_, lossless_arms_,
         [](const compress::CodecArm&) { return true; });
@@ -197,7 +197,7 @@ Status OfflineNode::Ingest(uint64_t id, double now,
 
   // Phase 3: feed the delayed reward back under the lock.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     compress_busy_ += seconds;
     pull.CompleteLocked(encoded ? reward : 0.0);
   }
@@ -253,7 +253,7 @@ Status OfflineNode::DrainRecoding(double now) {
 
 bool OfflineNode::RecodeBudgetAvailable(double now) {
   if (!config_.meter_compute) return true;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   // The recoding pool earns CPU time only from the moment recoding first
   // became necessary (an idle thread cannot bank time), so the first
   // recoding wave is a genuine race against ingestion — the paper's
@@ -270,7 +270,7 @@ bool OfflineNode::RecodeBudgetAvailable(double now) {
 
 bool OfflineNode::RecodeSaturated(double now) const {
   if (!config_.meter_compute) return false;
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (recode_clock_start_ < 0.0) return false;
   double available = (now - recode_clock_start_) * config_.recode_threads;
   return recode_busy_ >= available;
@@ -287,7 +287,7 @@ Status OfflineNode::RecodeClaimedVictim(
   Status status = RecodeWorking(claim, working, watch);
 
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     recode_busy_ += watch.ElapsedSeconds() * config_.cpu_scale;
     if (status.ok()) ++recode_ops_;
   }
@@ -319,7 +319,7 @@ Status OfflineNode::RecodeWorking(const SegmentStore::ClaimedVictim& claim,
   // the copies with no lock held, as before.
   std::vector<compress::CodecArm> pool;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     for (int i = 0; i < lossy_arms_.size(); ++i) {
       if (lossy_arms_.arm_enabled(i)) pool.push_back(lossy_arms_.arm(i));
     }
@@ -360,9 +360,6 @@ Status OfflineNode::RecodeWorking(const SegmentStore::ClaimedVictim& claim,
     return a.codec->SupportsRatio(target_ratio,
                                   working.meta().value_count);
   };
-  const std::string band_label =
-      "band" + std::to_string(lossy_bandits_->BandIndex(target_ratio));
-
   // Both guards outlive every lock scope below so neither ever settles
   // (or destructs unsettled) with the lock already held.
   PullGuard pull;
@@ -370,12 +367,16 @@ Status OfflineNode::RecodeWorking(const SegmentStore::ClaimedVictim& claim,
 
   // Phase 1: acquire an arm from this band's bandit under the bandit
   // lock. Arms that cannot reach the ratio (or are gated out) are
-  // punished and skipped in favour of the best supporting arm.
+  // punished and skipped in favour of the best supporting arm. The band
+  // label is derived here too: lossy_bandits_ is guarded state.
+  std::string band_label;
   bandit::BanditPolicy* band = nullptr;
   int arm_idx = -1;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     band = &lossy_bandits_->ForRatio(target_ratio);
+    band_label =
+        "band" + std::to_string(lossy_bandits_->BandIndex(target_ratio));
     arm_idx = AcquireSupportedArmLocked(*band, lossy_arms_, supports);
     if (arm_idx < 0) {
       return Status::FailedPrecondition("band has no supporting arm");
@@ -402,7 +403,7 @@ Status OfflineNode::RecodeWorking(const SegmentStore::ClaimedVictim& claim,
     // reallocate) the live ArmSet.
     compress::CodecArm arm;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      util::MutexLock lock(&mu_);
       arm = lossy_arms_.arm(idx);
     }
     arm.params.precision = config_.precision;
@@ -468,7 +469,7 @@ Status OfflineNode::RecodeWorking(const SegmentStore::ClaimedVictim& claim,
   int greedy = -1;
   bool redo_wanted = false;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (!reward.ok()) {
       pull.CompleteLocked(0.0);
       return reward.status();
@@ -486,7 +487,7 @@ Status OfflineNode::RecodeWorking(const SegmentStore::ClaimedVictim& claim,
   if (redo_wanted) {
     Segment redo = claim.segment;  // pre-recode snapshot, borrowed bytes
     auto redo_reward = apply_arm(redo, greedy);
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (redo_reward.ok()) {
       redo_pull.CompleteLocked(redo_reward.value());
       if (redo_reward.value() > reward.value()) {
@@ -515,14 +516,17 @@ void OfflineNode::RecodeWorkerLoop() {
   for (;;) {
     double now = 0.0;
     {
-      std::unique_lock<std::mutex> pool(pool_mu_);
-      work_cv_.wait(pool, [&] {
-        if (stopping_) return true;
-        if (waiting && pool_epoch_ == waiting_epoch) return false;
-        return budget_->NeedsRecoding() &&
-               floor_streak_ < store_->count();
-      });
-      if (stopping_) return;
+      util::MutexLock pool(&pool_mu_);
+      // Manual wait loop (not a predicate lambda) so the analysis can see
+      // the guarded reads happen with pool_mu_ held.
+      for (;;) {
+        if (stopping_) return;
+        if (!(waiting && pool_epoch_ == waiting_epoch) &&
+            budget_->NeedsRecoding() && floor_streak_ < store_->count()) {
+          break;
+        }
+        work_cv_.Wait(pool_mu_);
+      }
       waiting = false;
       now = latest_now_;
       ++active_claims_;
@@ -544,7 +548,7 @@ void OfflineNode::RecodeWorkerLoop() {
     }
 
     {
-      std::lock_guard<std::mutex> pool(pool_mu_);
+      util::MutexLock pool(&pool_mu_);
       --active_claims_;
       ++pool_epoch_;
       if (freed) {
@@ -557,18 +561,18 @@ void OfflineNode::RecodeWorkerLoop() {
         waiting = true;
         waiting_epoch = pool_epoch_;
       }
-      work_cv_.notify_all();
-      space_cv_.notify_all();
+      work_cv_.NotifyAll();
+      space_cv_.NotifyAll();
     }
   }
 }
 
 void OfflineNode::NotifyIngest(double now) {
-  std::lock_guard<std::mutex> pool(pool_mu_);
+  util::MutexLock pool(&pool_mu_);
   if (now > latest_now_) latest_now_ = now;
   floor_streak_ = 0;  // a fresh segment is a fresh recode candidate
   ++pool_epoch_;
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
 }
 
 Status OfflineNode::AwaitSpaceAndPut(Segment segment, double now,
@@ -579,17 +583,17 @@ Status OfflineNode::AwaitSpaceAndPut(Segment segment, double now,
   util::Stopwatch watch;
   for (;;) {
     {
-      std::unique_lock<std::mutex> pool(pool_mu_);
+      util::MutexLock pool(&pool_mu_);
       if (now > latest_now_) latest_now_ = now;
       ++pool_epoch_;
-      work_cv_.notify_all();
+      work_cv_.NotifyAll();
       if (active_claims_ == 0 && floor_streak_ >= store_->count()) {
         // A full pool rotation proved every stored segment is at its
         // compression floor and nothing is in flight: waiting cannot
         // free space.
         return first_failure;
       }
-      space_cv_.wait_for(pool, std::chrono::milliseconds(5));
+      space_cv_.WaitFor(pool_mu_, std::chrono::milliseconds(5));
     }
     Status retry = store_->Put(segment);
     if (retry.ok()) {
@@ -610,7 +614,7 @@ Status OfflineNode::WaitForRecodingIdle(double timeout_seconds) {
   util::Stopwatch watch;
   for (;;) {
     {
-      std::unique_lock<std::mutex> pool(pool_mu_);
+      util::MutexLock pool(&pool_mu_);
       bool stalled = floor_streak_ >= store_->count();
       double now = latest_now_;
       if (active_claims_ == 0) {
@@ -626,33 +630,33 @@ Status OfflineNode::WaitForRecodingIdle(double timeout_seconds) {
         return Status::Unavailable(
             "recoding pool did not quiesce within the timeout");
       }
-      space_cv_.wait_for(pool, std::chrono::milliseconds(5));
+      space_cv_.WaitFor(pool_mu_, std::chrono::milliseconds(5));
     }
   }
 }
 
 double OfflineNode::compress_busy_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return compress_busy_;
 }
 
 double OfflineNode::recode_busy_seconds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return recode_busy_;
 }
 
 uint64_t OfflineNode::recode_ops() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return recode_ops_;
 }
 
 uint64_t OfflineNode::deferred_recodes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return deferred_recodes_;
 }
 
 std::vector<std::string> OfflineNode::ArmCounts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (int i = 0; i < lossless_arms_.size(); ++i) {
     out.push_back(lossless_arms_.name(i) + ":" +
@@ -673,7 +677,7 @@ Status OfflineNode::AddLosslessArm(compress::CodecArm arm) {
   if (arm.codec == nullptr || arm.name.empty()) {
     return Status::InvalidArgument("arm needs a codec and a name");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (lossless_arms_.Find(arm.name) >= 0 ||
       lossy_arms_.Find(arm.name) >= 0) {
     return Status::InvalidArgument("duplicate arm name: " + arm.name);
@@ -687,7 +691,7 @@ Status OfflineNode::AddLossyArm(compress::CodecArm arm) {
   if (arm.codec == nullptr || arm.name.empty()) {
     return Status::InvalidArgument("arm needs a codec and a name");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (lossless_arms_.Find(arm.name) >= 0 ||
       lossy_arms_.Find(arm.name) >= 0) {
     return Status::InvalidArgument("duplicate arm name: " + arm.name);
@@ -700,19 +704,19 @@ Status OfflineNode::AddLossyArm(compress::CodecArm arm) {
 }
 
 Status OfflineNode::SetArmEnabled(std::string_view name, bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (lossless_arms_.SetEnabled(name, enabled)) return Status::Ok();
   if (lossy_arms_.SetEnabled(name, enabled)) return Status::Ok();
   return Status::NotFound("no arm named " + std::string(name));
 }
 
 uint64_t OfflineNode::PendingPulls() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return lossless_bandit_->TotalPending() + lossy_bandits_->TotalPending();
 }
 
 RewardTrace OfflineNode::reward_trace() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return reward_trace_;
 }
 

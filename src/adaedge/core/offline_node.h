@@ -1,9 +1,7 @@
 #ifndef ADAEDGE_CORE_OFFLINE_NODE_H_
 #define ADAEDGE_CORE_OFFLINE_NODE_H_
 
-#include <condition_variable>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
@@ -14,7 +12,9 @@
 #include "adaedge/core/arm_runtime.h"
 #include "adaedge/core/segment_store.h"
 #include "adaedge/core/target.h"
+#include "adaedge/util/mutex.h"
 #include "adaedge/util/stopwatch.h"
+#include "adaedge/util/thread_annotations.h"
 
 namespace adaedge::core {
 
@@ -124,7 +124,8 @@ class OfflineNode {
   /// the node could not keep the data inside the hard budget — the
   /// experiment-failure condition of Fig 14. With background recoding
   /// this may block up to backpressure_timeout_seconds (block_on_full).
-  Status Ingest(uint64_t id, double now, std::span<const double> values);
+  Status Ingest(uint64_t id, double now, std::span<const double> values)
+      ADAEDGE_EXCLUDES(mu_, pool_mu_);
 
   /// Blocks until the background recoding pool is quiescent: no claim in
   /// flight AND (usage back under the threshold OR no further progress
@@ -132,48 +133,49 @@ class OfflineNode {
   /// saturated). Returns Unavailable on `timeout_seconds`. A serial node
   /// (recode_threads == 1) is always quiescent. Tests and benches call
   /// this before asserting on exact byte accounting.
-  Status WaitForRecodingIdle(double timeout_seconds = 30.0);
+  Status WaitForRecodingIdle(double timeout_seconds = 30.0)
+      ADAEDGE_EXCLUDES(mu_, pool_mu_);
 
   SegmentStore& store() { return *store_; }
   const SegmentStore& store() const { return *store_; }
 
   /// CPU-seconds spent by the compression / recoding stages (scaled).
-  double compress_busy_seconds() const;
-  double recode_busy_seconds() const;
+  double compress_busy_seconds() const ADAEDGE_EXCLUDES(mu_);
+  double recode_busy_seconds() const ADAEDGE_EXCLUDES(mu_);
 
   /// Number of recode operations performed / deferred for lack of
   /// metered compute.
-  uint64_t recode_ops() const;
-  uint64_t deferred_recodes() const;
+  uint64_t recode_ops() const ADAEDGE_EXCLUDES(mu_);
+  uint64_t deferred_recodes() const ADAEDGE_EXCLUDES(mu_);
 
   /// "name:count" pulls of the lossless bandit and each band's bandit.
-  std::vector<std::string> ArmCounts() const;
+  std::vector<std::string> ArmCounts() const ADAEDGE_EXCLUDES(mu_);
 
   /// --- runtime arm-pool changes (no node rebuild) ---
   /// Appends an arm to the lossless / lossy pool; every ratio band's
   /// bandit grows in lockstep for a lossy arm. InvalidArgument on a null
   /// codec or a name already present in either pool.
-  Status AddLosslessArm(compress::CodecArm arm);
-  Status AddLossyArm(compress::CodecArm arm);
+  Status AddLosslessArm(compress::CodecArm arm) ADAEDGE_EXCLUDES(mu_);
+  Status AddLossyArm(compress::CodecArm arm) ADAEDGE_EXCLUDES(mu_);
 
   /// Gates an arm (searched in both pools) out of or back into
   /// selection. Estimates and pull counts survive a disable/enable
   /// cycle; indices never renumber. NotFound when no arm has `name`.
-  Status SetArmEnabled(std::string_view name, bool enabled);
+  Status SetArmEnabled(std::string_view name, bool enabled) ADAEDGE_EXCLUDES(mu_);
 
   /// Sum of in-flight (acquired-but-not-completed) pulls across the
   /// lossless bandit and every band. 0 whenever no Ingest or recode is
   /// in flight — PullGuard settles every pull, even on error paths.
-  uint64_t PendingPulls() const;
+  uint64_t PendingPulls() const ADAEDGE_EXCLUDES(mu_);
 
   /// Copy of the completed-pull trace (requires record_reward_trace).
-  RewardTrace reward_trace() const;
+  RewardTrace reward_trace() const ADAEDGE_EXCLUDES(mu_);
 
  private:
   /// Serial engine: runs recoding inline until usage is back under the
   /// threshold, compute budget (if metered) runs out, or no further
   /// shrink is possible.
-  Status DrainRecoding(double now);
+  Status DrainRecoding(double now) ADAEDGE_EXCLUDES(mu_);
 
   /// One recoding step on one claimed (pinned) victim, shared by the
   /// serial drain and the background workers: select an arm under the
@@ -182,33 +184,35 @@ class OfflineNode {
   /// the claim. Sets `freed` when bytes were freed; a floor victim is
   /// requeued and reported not-freed.
   Status RecodeClaimedVictim(const SegmentStore::ClaimedVictim& claim,
-                             bool& freed);
+                             bool& freed) ADAEDGE_EXCLUDES(mu_);
 
   /// The select/recode/reward pipeline on the local working segment
   /// (claim stays pinned; no store lock held across codec work).
   Status RecodeWorking(const SegmentStore::ClaimedVictim& claim,
-                       Segment& working, const util::Stopwatch& watch);
+                       Segment& working, const util::Stopwatch& watch)
+      ADAEDGE_EXCLUDES(mu_);
 
   /// True when the virtual-time meter permits another recode at `now`;
   /// otherwise counts a deferral. Starts the recode clock on first need.
-  bool RecodeBudgetAvailable(double now);
+  bool RecodeBudgetAvailable(double now) ADAEDGE_EXCLUDES(mu_);
 
   /// Metered-saturation probe without side effects (quiesce check).
-  bool RecodeSaturated(double now) const;
+  bool RecodeSaturated(double now) const ADAEDGE_EXCLUDES(mu_);
 
   /// Background worker main loop (recode_threads >= 2).
-  void RecodeWorkerLoop();
+  void RecodeWorkerLoop() ADAEDGE_EXCLUDES(mu_, pool_mu_);
 
   /// Wakes the pool after an ingest: advances the virtual clock, resets
   /// the floor streak (a fresh segment is a fresh candidate).
-  void NotifyIngest(double now);
+  void NotifyIngest(double now) ADAEDGE_EXCLUDES(pool_mu_);
 
   /// Backpressure path: the Put at hard capacity failed while workers
   /// may still free space. Blocks (bounded) retrying the Put.
-  Status AwaitSpaceAndPut(Segment segment, double now, Status first_failure);
+  Status AwaitSpaceAndPut(Segment segment, double now, Status first_failure)
+      ADAEDGE_EXCLUDES(pool_mu_);
 
   /// Where PullGuards record completed pulls (null when tracing is off).
-  RewardTrace* TraceSink() {
+  RewardTrace* TraceSink() ADAEDGE_REQUIRES(mu_) {
     return config_.record_reward_trace ? &reward_trace_ : nullptr;
   }
 
@@ -217,40 +221,44 @@ class OfflineNode {
   std::unique_ptr<sim::StorageBudget> budget_;
   std::unique_ptr<SegmentStore> store_;
 
-  /// Bandit-and-stats lock. Never held across codec work; ordered AFTER
-  /// pool_mu_ (pool_mu_ -> mu_ is allowed, the reverse never taken).
-  /// Guards the ArmSets (and the bandits that index into them): readers
-  /// snapshot CodecArm copies under the lock before running codecs.
-  mutable std::mutex mu_;
-  ArmSet lossless_arms_;
-  ArmSet lossy_arms_;
-  std::unique_ptr<bandit::BanditPolicy> lossless_bandit_;
-  std::unique_ptr<bandit::BandedBanditSet> lossy_bandits_;
-  RewardTrace reward_trace_;
-  double compress_busy_ = 0.0;
-  double recode_busy_ = 0.0;
+  /// Bandit-and-stats lock (LockRank::kBandit). Never held across codec
+  /// work; ordered AFTER pool_mu_ (pool_mu_ -> mu_ is allowed, the
+  /// reverse never taken). Guards the ArmSets (and the bandits that index
+  /// into them): readers snapshot CodecArm copies under the lock before
+  /// running codecs.
+  mutable util::Mutex mu_{util::LockRank::kBandit, "offline_node.bandit"};
+  ArmSet lossless_arms_ ADAEDGE_GUARDED_BY(mu_);
+  ArmSet lossy_arms_ ADAEDGE_GUARDED_BY(mu_);
+  std::unique_ptr<bandit::BanditPolicy> lossless_bandit_
+      ADAEDGE_GUARDED_BY(mu_);
+  std::unique_ptr<bandit::BandedBanditSet> lossy_bandits_
+      ADAEDGE_GUARDED_BY(mu_);
+  RewardTrace reward_trace_ ADAEDGE_GUARDED_BY(mu_);
+  double compress_busy_ ADAEDGE_GUARDED_BY(mu_) = 0.0;
+  double recode_busy_ ADAEDGE_GUARDED_BY(mu_) = 0.0;
   /// Virtual time at which recoding first became necessary (metered mode).
-  double recode_clock_start_ = -1.0;
-  uint64_t recode_ops_ = 0;
-  uint64_t deferred_recodes_ = 0;
+  double recode_clock_start_ ADAEDGE_GUARDED_BY(mu_) = -1.0;
+  uint64_t recode_ops_ ADAEDGE_GUARDED_BY(mu_) = 0;
+  uint64_t deferred_recodes_ ADAEDGE_GUARDED_BY(mu_) = 0;
 
-  /// --- background recoding pool (guarded by pool_mu_) ---
-  std::mutex pool_mu_;
-  std::condition_variable work_cv_;   // workers: work may be available
-  std::condition_variable space_cv_;  // ingest/quiesce: pool state changed
-  bool stopping_ = false;
+  /// --- background recoding pool (LockRank::kNode) ---
+  util::Mutex pool_mu_{util::LockRank::kNode, "offline_node.pool"};
+  util::CondVar work_cv_;   // workers: work may be available
+  util::CondVar space_cv_;  // ingest/quiesce: pool state changed
+  bool stopping_ ADAEDGE_GUARDED_BY(pool_mu_) = false;
   /// Latest ingest virtual time; the workers' metering clock input.
-  double latest_now_ = 0.0;
+  double latest_now_ ADAEDGE_GUARDED_BY(pool_mu_) = 0.0;
   /// Bumped on every pool-visible state change; lets a worker that found
   /// nothing claimable sleep until something actually changed.
-  uint64_t pool_epoch_ = 0;
+  uint64_t pool_epoch_ ADAEDGE_GUARDED_BY(pool_mu_) = 0;
   /// Consecutive claims that could not free bytes (floor victims). At
   /// >= store.count() the whole pool rotation proved no segment can
   /// shrink; workers sleep until a new segment or a freed recode resets
   /// it, and backpressure gives up instead of waiting out its timeout.
-  size_t floor_streak_ = 0;
+  size_t floor_streak_ ADAEDGE_GUARDED_BY(pool_mu_) = 0;
   /// Claims currently being recoded by workers.
-  size_t active_claims_ = 0;
+  size_t active_claims_ ADAEDGE_GUARDED_BY(pool_mu_) = 0;
+  /// Immutable after the constructor returns (joined in the destructor).
   std::vector<std::thread> recode_workers_;
 };
 

@@ -36,7 +36,7 @@ Result<OnlineNode::IngestReport> OnlineNode::Ingest(
     // Enqueue, spill and drain under one lock so report.egressed is an
     // exact statement about THIS segment: the queue is FIFO, so it left
     // the node iff the drain sent more segments than were ahead of it.
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     egress_queue_.push_back(std::move(outcome.segment));
     size_t ahead = egress_queue_.size() - 1;
     bool ours_spilled = false;
@@ -59,7 +59,7 @@ Result<OnlineNode::IngestReport> OnlineNode::Ingest(
 }
 
 size_t OnlineNode::DrainEgress(double now) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return DrainLocked(now);
 }
 
@@ -79,18 +79,18 @@ size_t OnlineNode::DrainLocked(double now) {
 }
 
 Status OnlineNode::Close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (config_.spill_path.empty() || spilled_.empty()) return Status::Ok();
   return SaveSegmentsToFile(spilled_, config_.spill_path);
 }
 
 size_t OnlineNode::queued_segments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return egress_queue_.size();
 }
 
 size_t OnlineNode::spilled_segments() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return spilled_.size();
 }
 
@@ -119,7 +119,7 @@ void MultiSignalNode::Reallocate() {
 
 int MultiSignalNode::AddSignal(const std::string& name,
                                double points_per_sec, double weight) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   int id = next_id_++;
   Signal signal;
   signal.name = name;
@@ -136,7 +136,7 @@ int MultiSignalNode::AddSignal(const std::string& name,
 }
 
 Status MultiSignalNode::RemoveSignal(int signal_id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (signals_.erase(signal_id) == 0) {
     return Status::NotFound("unknown signal id");
   }
@@ -153,7 +153,7 @@ Result<OnlineSelector::Outcome> MultiSignalNode::Ingest(
   // when the last in-flight ingest drops its reference).
   std::shared_ptr<OnlineSelector> selector;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     auto it = signals_.find(signal_id);
     if (it == signals_.end()) {
       return Status::NotFound("unknown signal id");
@@ -166,14 +166,14 @@ Result<OnlineSelector::Outcome> MultiSignalNode::Ingest(
 }
 
 Result<double> MultiSignalNode::TargetRatioOf(int signal_id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = signals_.find(signal_id);
   if (it == signals_.end()) return Status::NotFound("unknown signal id");
   return it->second.selector->target_ratio();
 }
 
 size_t MultiSignalNode::signal_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return signals_.size();
 }
 

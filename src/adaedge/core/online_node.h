@@ -4,13 +4,14 @@
 #include <atomic>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "adaedge/core/online_selector.h"
 #include "adaedge/sim/constraints.h"
+#include "adaedge/util/mutex.h"
+#include "adaedge/util/thread_annotations.h"
 
 namespace adaedge::core {
 
@@ -52,31 +53,32 @@ class OnlineNode {
   /// Compresses one segment at virtual time `now`, then drains the egress
   /// queue against the link capacity.
   Result<IngestReport> Ingest(uint64_t id, double now,
-                              std::span<const double> values);
+                              std::span<const double> values)
+      ADAEDGE_EXCLUDES(mu_);
 
   /// Sends queued segments while the link has earned capacity; returns
   /// the number of segments sent by this call.
-  size_t DrainEgress(double now);
+  size_t DrainEgress(double now) ADAEDGE_EXCLUDES(mu_);
 
   /// Writes any spilled segments to config.spill_path (if set).
-  Status Close();
+  Status Close() ADAEDGE_EXCLUDES(mu_);
 
   OnlineSelector& selector() { return selector_; }
   const sim::Network& network() const { return network_; }
-  size_t queued_segments() const;
-  size_t spilled_segments() const;
+  size_t queued_segments() const ADAEDGE_EXCLUDES(mu_);
+  size_t spilled_segments() const ADAEDGE_EXCLUDES(mu_);
   uint64_t egressed_segments() const { return egressed_; }
 
  private:
-  size_t DrainLocked(double now);  // mu_ held by the caller
+  size_t DrainLocked(double now) ADAEDGE_REQUIRES(mu_);
 
   OnlineNodeConfig config_;
   OnlineSelector selector_;
   sim::Network network_;
-  mutable std::mutex mu_;
-  std::deque<Segment> egress_queue_;
-  std::vector<Segment> spilled_;
-  double egress_credit_used_ = 0.0;  // bytes already sent
+  mutable util::Mutex mu_{util::LockRank::kNode, "online_node"};
+  std::deque<Segment> egress_queue_ ADAEDGE_GUARDED_BY(mu_);
+  std::vector<Segment> spilled_ ADAEDGE_GUARDED_BY(mu_);
+  double egress_credit_used_ ADAEDGE_GUARDED_BY(mu_) = 0.0;  // bytes sent
   std::atomic<uint64_t> egressed_{0};
 };
 
@@ -93,20 +95,21 @@ class MultiSignalNode {
 
   /// Registers a signal; returns its handle.
   int AddSignal(const std::string& name, double points_per_sec,
-                double weight = 1.0);
+                double weight = 1.0) ADAEDGE_EXCLUDES(mu_);
 
   /// Unregisters a signal; remaining signals inherit its bandwidth.
-  Status RemoveSignal(int signal_id);
+  Status RemoveSignal(int signal_id) ADAEDGE_EXCLUDES(mu_);
 
   /// Processes one segment of the given signal.
   Result<OnlineSelector::Outcome> Ingest(int signal_id, uint64_t segment_id,
                                          double now,
-                                         std::span<const double> values);
+                                         std::span<const double> values)
+      ADAEDGE_EXCLUDES(mu_);
 
   /// The signal's current target ratio under the bandwidth split.
-  Result<double> TargetRatioOf(int signal_id) const;
+  Result<double> TargetRatioOf(int signal_id) const ADAEDGE_EXCLUDES(mu_);
 
-  size_t signal_count() const;
+  size_t signal_count() const ADAEDGE_EXCLUDES(mu_);
 
  private:
   struct Signal {
@@ -118,14 +121,15 @@ class MultiSignalNode {
     std::shared_ptr<OnlineSelector> selector;
   };
 
-  void Reallocate();  // recompute every signal's target ratio
+  /// Recomputes every signal's target ratio under the bandwidth split.
+  void Reallocate() ADAEDGE_REQUIRES(mu_);
 
   double bandwidth_;
   TargetSpec target_;
   OnlineConfig base_config_;
-  mutable std::mutex mu_;
-  std::unordered_map<int, Signal> signals_;
-  int next_id_ = 0;
+  mutable util::Mutex mu_{util::LockRank::kNode, "multi_signal_node"};
+  std::unordered_map<int, Signal> signals_ ADAEDGE_GUARDED_BY(mu_);
+  int next_id_ ADAEDGE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace adaedge::core

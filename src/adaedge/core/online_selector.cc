@@ -90,7 +90,7 @@ Result<OnlineSelector::Outcome> OnlineSelector::Process(
     uint64_t id, double now, std::span<const double> values) {
   bool try_lossless;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     ++processed_;
     // Periodic re-probe: a shifted distribution may compress losslessly
     // again. (Interval 0 is rejected by Validate; the guard keeps the
@@ -148,7 +148,7 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
   // Phase 1: snapshot an arm and the target under the lock. Lossless
   // arms have no ratio precondition — only gating filters here.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     int arm_idx = AcquireSupportedArmLocked(
         *lossless_bandit_, lossless_arms_,
         [](const compress::CodecArm&) { return true; });
@@ -175,7 +175,7 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
   double seconds = watch.ElapsedSeconds();
   if (!compressed.ok()) {
     // E.g. dictionary refusing high-cardinality input: teach the bandit.
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     pull.CompleteLocked(0.0);
     if (!config_.allow_lossy) {
       // Lossless-only selectors (CodecDB-style) fail hard here — the
@@ -197,7 +197,7 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
   // Phase 3: feed the delayed reward back and advance the phase machine
   // in one critical section.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     pull.CompleteLocked(reward);
     if (met_target) {
       consecutive_misses_ = 0;
@@ -244,9 +244,13 @@ Result<OnlineSelector::Outcome> OnlineSelector::TryLossy(
   // reach the ratio at all (BUFF-lossy below its floor) are punished and
   // skipped in favour of the best supporting arm.
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     int arm_idx = AcquireSupportedArmLocked(
         *lossy_bandit_, lossy_arms_, [&](const compress::CodecArm& a) {
+          // AcquireSupportedArmLocked runs the filter synchronously inside
+          // this critical section; the analysis cannot see through the
+          // std::function.
+          mu_.AssertHeld();
           return a.codec->SupportsRatio(config_.target_ratio,
                                         values.size());
         });
@@ -303,7 +307,7 @@ Status OnlineSelector::AddLosslessArm(compress::CodecArm arm) {
   if (arm.codec == nullptr || arm.name.empty()) {
     return Status::InvalidArgument("arm needs a codec and a name");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (lossless_arms_.Find(arm.name) >= 0 ||
       lossy_arms_.Find(arm.name) >= 0) {
     return Status::InvalidArgument("duplicate arm name: " + arm.name);
@@ -322,7 +326,7 @@ Status OnlineSelector::AddLossyArm(compress::CodecArm arm) {
   if (arm.codec == nullptr || arm.name.empty()) {
     return Status::InvalidArgument("arm needs a codec and a name");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (lossless_arms_.Find(arm.name) >= 0 ||
       lossy_arms_.Find(arm.name) >= 0) {
     return Status::InvalidArgument("duplicate arm name: " + arm.name);
@@ -333,7 +337,7 @@ Status OnlineSelector::AddLossyArm(compress::CodecArm arm) {
 }
 
 Status OnlineSelector::SetArmEnabled(std::string_view name, bool enabled) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (lossless_arms_.SetEnabled(name, enabled)) {
     // Gating changed what the lossless pool can do; re-probe feasibility
     // the same way SetTargetRatio does.
@@ -348,26 +352,26 @@ Status OnlineSelector::SetArmEnabled(std::string_view name, bool enabled) {
 }
 
 OnlineSelector::PolicySnapshot OnlineSelector::ExportPolicy() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return {lossless_bandit_->ExportStats(), lossy_bandit_->ExportStats()};
 }
 
 void OnlineSelector::MergePolicy(const PolicySnapshot& peer,
                                  double weight) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   lossless_bandit_->MergeEstimates(peer.lossless, weight);
   lossy_bandit_->MergeEstimates(peer.lossy, weight);
 }
 
 void OnlineSelector::WarmStartPolicy(const PolicySnapshot& peer,
                                      uint64_t count_cap) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   lossless_bandit_->WarmStart(peer.lossless, count_cap);
   lossy_bandit_->WarmStart(peer.lossy, count_cap);
 }
 
 std::vector<std::string> OnlineSelector::ArmCounts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::vector<std::string> out;
   for (int i = 0; i < lossless_arms_.size(); ++i) {
     out.push_back(lossless_arms_.name(i) + ":" +
@@ -381,22 +385,22 @@ std::vector<std::string> OnlineSelector::ArmCounts() const {
 }
 
 uint64_t OnlineSelector::PendingPulls() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return lossless_bandit_->TotalPending() + lossy_bandit_->TotalPending();
 }
 
 RewardTrace OnlineSelector::reward_trace() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return reward_trace_;
 }
 
 bool OnlineSelector::lossless_active() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return lossless_active_;
 }
 
 void OnlineSelector::SetTargetRatio(double target_ratio) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (target_ratio == config_.target_ratio) return;
   config_.target_ratio = target_ratio;
   // Feasibility changed: give lossless another chance unless pinned lossy.
@@ -408,7 +412,7 @@ void OnlineSelector::SetTargetRatio(double target_ratio) {
 }
 
 double OnlineSelector::target_ratio() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return config_.target_ratio;
 }
 

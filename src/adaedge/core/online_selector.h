@@ -2,7 +2,6 @@
 #define ADAEDGE_CORE_ONLINE_SELECTOR_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -13,6 +12,8 @@
 #include "adaedge/core/arm_runtime.h"
 #include "adaedge/core/segment.h"
 #include "adaedge/core/target.h"
+#include "adaedge/util/mutex.h"
+#include "adaedge/util/thread_annotations.h"
 
 namespace adaedge::core {
 
@@ -108,7 +109,7 @@ class OnlineSelector {
 
   /// Compresses one ingested segment, updating the bandit state.
   Result<Outcome> Process(uint64_t id, double now,
-                          std::span<const double> values);
+                          std::span<const double> values) ADAEDGE_EXCLUDES(mu_);
 
   /// --- runtime arm-pool changes (no selector rebuild) ---
   /// Appends an arm to the lossless / lossy pool; it participates from
@@ -116,13 +117,13 @@ class OnlineSelector {
   /// Adding a lossless arm re-probes the lossless phase: the new arm may
   /// reach a target the old pool missed. InvalidArgument on a null codec
   /// or a name already present in either pool.
-  Status AddLosslessArm(compress::CodecArm arm);
-  Status AddLossyArm(compress::CodecArm arm);
+  Status AddLosslessArm(compress::CodecArm arm) ADAEDGE_EXCLUDES(mu_);
+  Status AddLossyArm(compress::CodecArm arm) ADAEDGE_EXCLUDES(mu_);
 
   /// Gates an arm (searched in both pools) out of or back into
   /// selection. Estimates and pull counts survive a disable/enable
   /// cycle; indices never renumber. NotFound when no arm has `name`.
-  Status SetArmEnabled(std::string_view name, bool enabled);
+  Status SetArmEnabled(std::string_view name, bool enabled) ADAEDGE_EXCLUDES(mu_);
 
   /// --- cross-selector bandit knowledge sharing (fleet layer) ---
   /// Snapshot of both bandits' per-arm estimates and completed-pull
@@ -133,70 +134,76 @@ class OnlineSelector {
     std::vector<bandit::ArmStats> lossless;
     std::vector<bandit::ArmStats> lossy;
   };
-  PolicySnapshot ExportPolicy() const;
+  PolicySnapshot ExportPolicy() const ADAEDGE_EXCLUDES(mu_);
 
   /// Blends `peer` into this selector's bandits
   /// (bandit::BanditPolicy::MergeEstimates with `weight`): periodic
   /// fleet-wide merge so one shard's discovery reaches the others without
   /// transferring pull credit.
-  void MergePolicy(const PolicySnapshot& peer, double weight);
+  void MergePolicy(const PolicySnapshot& peer, double weight) ADAEDGE_EXCLUDES(mu_);
 
   /// Warm-starts untried arms from `peer` with at most `count_cap`
   /// synthetic pulls per arm (bandit::BanditPolicy::WarmStart): a shard
   /// added at runtime starts from the fleet posterior instead of
   /// re-paying the exploration phase.
-  void WarmStartPolicy(const PolicySnapshot& peer, uint64_t count_cap);
+  void WarmStartPolicy(const PolicySnapshot& peer, uint64_t count_cap)
+      ADAEDGE_EXCLUDES(mu_);
 
   /// Arm pull counts for introspection, "<name>:<count>" per arm.
-  std::vector<std::string> ArmCounts() const;
+  std::vector<std::string> ArmCounts() const ADAEDGE_EXCLUDES(mu_);
 
   /// Sum of in-flight (acquired-but-not-completed) pulls across both
   /// bandits. 0 whenever no Process call is in flight — PullGuard settles
   /// every pull, even on error paths.
-  uint64_t PendingPulls() const;
+  uint64_t PendingPulls() const ADAEDGE_EXCLUDES(mu_);
 
   /// Copy of the completed-pull trace (requires record_reward_trace).
-  RewardTrace reward_trace() const;
+  RewardTrace reward_trace() const ADAEDGE_EXCLUDES(mu_);
 
-  bool lossless_active() const;
+  bool lossless_active() const ADAEDGE_EXCLUDES(mu_);
 
   /// Updates the target compression ratio (bandwidth changed, or a
   /// multi-signal node reallocated shares). Takes effect on the next
   /// Process call; lossless feasibility is re-probed.
-  void SetTargetRatio(double target_ratio);
+  void SetTargetRatio(double target_ratio) ADAEDGE_EXCLUDES(mu_);
 
-  double target_ratio() const;
+  double target_ratio() const ADAEDGE_EXCLUDES(mu_);
 
  private:
   /// Lossless attempt: nullopt means "missed the target, fall back to
   /// lossy for this same segment" (the miss has already been recorded).
   Result<std::optional<Outcome>> TryLossless(uint64_t id, double now,
-                                             std::span<const double> values);
+                                             std::span<const double> values)
+      ADAEDGE_EXCLUDES(mu_);
   Result<Outcome> TryLossy(uint64_t id, double now,
-                           std::span<const double> values);
+                           std::span<const double> values)
+      ADAEDGE_EXCLUDES(mu_);
 
   /// Records a lossless miss and advances the phase machine (mu_ held):
   /// after `lossless_patience` consecutive misses with every enabled arm
   /// tried (pending pulls count), the selector flips to the lossy phase.
-  void NoteLosslessMissLocked();
+  void NoteLosslessMissLocked() ADAEDGE_REQUIRES(mu_);
 
   /// Where PullGuards record completed pulls (null when tracing is off).
-  RewardTrace* TraceSink() {
+  RewardTrace* TraceSink() ADAEDGE_REQUIRES(mu_) {
     return config_.record_reward_trace ? &reward_trace_ : nullptr;
   }
 
-  OnlineConfig config_;
+  mutable util::Mutex mu_{util::LockRank::kBandit, "online_selector"};
+  /// Guarded as a whole even though only target_ratio ever changes after
+  /// construction (SetTargetRatio): one rule is simpler than a split.
+  OnlineConfig config_ ADAEDGE_GUARDED_BY(mu_);
   RewardModel reward_model_;
-  mutable std::mutex mu_;
-  /// Arm pools (guarded by mu_, like the bandits that index into them).
-  ArmSet lossless_arms_;
-  ArmSet lossy_arms_;
-  std::unique_ptr<bandit::BanditPolicy> lossless_bandit_;
-  std::unique_ptr<bandit::BanditPolicy> lossy_bandit_;
-  RewardTrace reward_trace_;
-  bool lossless_active_;
-  int consecutive_misses_ = 0;
-  uint64_t processed_ = 0;
+  /// Arm pools (guarded like the bandits that index into them).
+  ArmSet lossless_arms_ ADAEDGE_GUARDED_BY(mu_);
+  ArmSet lossy_arms_ ADAEDGE_GUARDED_BY(mu_);
+  std::unique_ptr<bandit::BanditPolicy> lossless_bandit_
+      ADAEDGE_GUARDED_BY(mu_);
+  std::unique_ptr<bandit::BanditPolicy> lossy_bandit_ ADAEDGE_GUARDED_BY(mu_);
+  RewardTrace reward_trace_ ADAEDGE_GUARDED_BY(mu_);
+  bool lossless_active_ ADAEDGE_GUARDED_BY(mu_);
+  int consecutive_misses_ ADAEDGE_GUARDED_BY(mu_) = 0;
+  uint64_t processed_ ADAEDGE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace adaedge::core

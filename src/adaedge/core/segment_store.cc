@@ -9,7 +9,7 @@ SegmentStore::SegmentStore(sim::StorageBudget* budget,
     : budget_(budget), policy_(std::move(policy)) {}
 
 Status SegmentStore::Put(Segment segment) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   uint64_t id = segment.meta().id;
   if (segments_.contains(id)) {
     return Status::InvalidArgument("segment id already stored");
@@ -23,7 +23,7 @@ Status SegmentStore::Put(Segment segment) {
 }
 
 Result<Segment> SegmentStore::Get(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = segments_.find(id);
   if (it == segments_.end()) {
     return Status::NotFound("segment not in store");
@@ -41,7 +41,7 @@ Result<std::vector<double>> SegmentStore::Read(uint64_t id) {
 }
 
 Result<Segment> SegmentStore::Peek(uint64_t id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = segments_.find(id);
   if (it == segments_.end()) {
     return Status::NotFound("segment not in store");
@@ -50,7 +50,7 @@ Result<Segment> SegmentStore::Peek(uint64_t id) const {
 }
 
 Status SegmentStore::Remove(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = segments_.find(id);
   if (it == segments_.end()) {
     return Status::NotFound("segment not in store");
@@ -62,19 +62,23 @@ Status SegmentStore::Remove(uint64_t id) {
 }
 
 std::optional<uint64_t> SegmentStore::NextVictim() {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return policy_->NextVictim();
 }
 
 void SegmentStore::RequeueVictim(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   policy_->Requeue(id);
 }
 
 std::optional<SegmentStore::ClaimedVictim> SegmentStore::ClaimNextVictim() {
-  std::lock_guard<std::mutex> lock(mu_);
-  std::optional<uint64_t> id = policy_->NextVictimWhere(
-      [&](uint64_t candidate) { return !pinned_.contains(candidate); });
+  util::MutexLock lock(&mu_);
+  std::optional<uint64_t> id = policy_->NextVictimWhere([&](uint64_t candidate) {
+    // NextVictimWhere runs the filter synchronously under the store lock,
+    // which the static analysis cannot see through the std::function.
+    mu_.AssertHeld();
+    return !pinned_.contains(candidate);
+  });
   if (!id.has_value()) return std::nullopt;
   auto it = segments_.find(*id);
   if (it == segments_.end()) return std::nullopt;  // policy out of sync
@@ -84,13 +88,13 @@ std::optional<SegmentStore::ClaimedVictim> SegmentStore::ClaimNextVictim() {
 }
 
 void SegmentStore::ReleaseClaim(uint64_t id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   pinned_.erase(id);
 }
 
 Status SegmentStore::Mutate(
     uint64_t id, const std::function<Status(Segment&)>& mutate) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   auto it = segments_.find(id);
   if (it == segments_.end()) {
     return Status::NotFound("segment not in store");
@@ -106,19 +110,19 @@ Status SegmentStore::Mutate(
 }
 
 size_t SegmentStore::count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return segments_.size();
 }
 
 size_t SegmentStore::total_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   size_t total = 0;
   for (const auto& [id, segment] : segments_) total += segment.SizeBytes();
   return total;
 }
 
 std::vector<uint64_t> SegmentStore::AllIds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   std::vector<std::pair<double, uint64_t>> by_time;
   by_time.reserve(segments_.size());
   for (const auto& [id, segment] : segments_) {

@@ -3,7 +3,6 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
@@ -12,6 +11,8 @@
 #include "adaedge/core/policy.h"
 #include "adaedge/core/segment.h"
 #include "adaedge/sim/constraints.h"
+#include "adaedge/util/mutex.h"
+#include "adaedge/util/thread_annotations.h"
 
 namespace adaedge::core {
 
@@ -31,30 +32,30 @@ class SegmentStore {
 
   /// Inserts a segment, reserving its bytes from the budget.
   /// ResourceExhausted if the hard capacity would be breached.
-  Status Put(Segment segment);
+  Status Put(Segment segment) ADAEDGE_EXCLUDES(mu_);
 
   /// Reads a segment (borrowing its payload) and marks it accessed —
   /// under LRU this protects it from the next recoding wave.
-  Result<Segment> Get(uint64_t id);
+  Result<Segment> Get(uint64_t id) ADAEDGE_EXCLUDES(mu_);
 
   /// Materializes a segment's samples. The payload is borrowed under the
   /// lock (refcount bump, no byte copy) and decompressed with the lock
   /// released, so the only allocation is the output vector.
-  Result<std::vector<double>> Read(uint64_t id);
+  Result<std::vector<double>> Read(uint64_t id) ADAEDGE_EXCLUDES(mu_);
 
   /// Reads a segment WITHOUT recording an access (evaluation sweeps must
   /// not perturb the LRU order).
-  Result<Segment> Peek(uint64_t id) const;
+  Result<Segment> Peek(uint64_t id) const ADAEDGE_EXCLUDES(mu_);
 
   /// Removes a segment, releasing its bytes.
-  Status Remove(uint64_t id);
+  Status Remove(uint64_t id) ADAEDGE_EXCLUDES(mu_);
 
   /// Next recoding victim per the policy (without consuming it).
-  std::optional<uint64_t> NextVictim();
+  std::optional<uint64_t> NextVictim() ADAEDGE_EXCLUDES(mu_);
 
   /// Sends a victim to the back of the policy order without mutating it
   /// (e.g. it turned out to be at its compression floor).
-  void RequeueVictim(uint64_t id);
+  void RequeueVictim(uint64_t id) ADAEDGE_EXCLUDES(mu_);
 
   /// A victim claimed for recoding: `segment` borrows the stored payload
   /// so the recode pipeline (decompress -> recompress) runs on a stable
@@ -69,35 +70,36 @@ class SegmentStore {
   /// Claims (and pins) the front-most unpinned victim; nullopt when every
   /// stored segment is pinned or the store is empty. Does not reorder the
   /// policy queue.
-  std::optional<ClaimedVictim> ClaimNextVictim();
+  std::optional<ClaimedVictim> ClaimNextVictim() ADAEDGE_EXCLUDES(mu_);
 
   /// Unpins a claimed victim. Call after the recode result was committed
   /// via Mutate (or the claim was abandoned). Unknown / unpinned ids are
   /// ignored.
-  void ReleaseClaim(uint64_t id);
+  void ReleaseClaim(uint64_t id) ADAEDGE_EXCLUDES(mu_);
 
   /// Applies `mutate` to the stored segment under the store lock and
   /// re-accounts its size with the budget. `mutate` returns non-OK to
   /// abort (no size change is committed). On success the segment is
   /// re-queued at the protected end of the policy order.
   Status Mutate(uint64_t id,
-                const std::function<Status(Segment&)>& mutate);
+                const std::function<Status(Segment&)>& mutate)
+      ADAEDGE_EXCLUDES(mu_);
 
-  size_t count() const;
-  size_t total_bytes() const;
+  size_t count() const ADAEDGE_EXCLUDES(mu_);
+  size_t total_bytes() const ADAEDGE_EXCLUDES(mu_);
 
   /// Ids ordered by ingestion time (for evaluation sweeps).
-  std::vector<uint64_t> AllIds() const;
+  std::vector<uint64_t> AllIds() const ADAEDGE_EXCLUDES(mu_);
 
   sim::StorageBudget* budget() { return budget_; }
 
  private:
   sim::StorageBudget* budget_;  // not owned
-  std::unique_ptr<CompressionPolicy> policy_;
-  mutable std::mutex mu_;
-  std::unordered_map<uint64_t, Segment> segments_;
-  /// Ids with an in-flight recode claim (guarded by mu_).
-  std::unordered_set<uint64_t> pinned_;
+  mutable util::Mutex mu_{util::LockRank::kStore, "segment_store"};
+  std::unique_ptr<CompressionPolicy> policy_ ADAEDGE_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, Segment> segments_ ADAEDGE_GUARDED_BY(mu_);
+  /// Ids with an in-flight recode claim.
+  std::unordered_set<uint64_t> pinned_ ADAEDGE_GUARDED_BY(mu_);
 };
 
 }  // namespace adaedge::core

@@ -47,25 +47,25 @@ double TargetRatio(double bandwidth_bytes_per_sec, double points_per_sec) {
 }
 
 void Network::Send(size_t bytes, double now_seconds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   bytes_sent_ += bytes;
   last_send_time_ = std::max(last_send_time_, now_seconds);
 }
 
 size_t Network::bytes_sent() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return bytes_sent_;
 }
 
 bool Network::WithinCapacity(double now_seconds) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   if (now_seconds <= 0.0) return bytes_sent_ == 0;
   return static_cast<double>(bytes_sent_) <=
          bytes_per_sec_ * now_seconds * 1.0001;
 }
 
 bool StorageBudget::TryReserve(size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   // Subtraction form: `used_ + bytes` wraps for huge `bytes` (size_t is
   // modulo 2^64) and would grant reservations past capacity. used_ <=
   // capacity_ is a class invariant, so capacity_ - used_ cannot wrap.
@@ -75,12 +75,12 @@ bool StorageBudget::TryReserve(size_t bytes) {
 }
 
 void StorageBudget::Release(size_t bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   used_ = bytes > used_ ? 0 : used_ - bytes;
 }
 
 bool StorageBudget::Resize(size_t old_bytes, size_t new_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   size_t base = old_bytes > used_ ? 0 : used_ - old_bytes;
   // Subtraction form, like TryReserve: `base + new_bytes` wraps for huge
   // `new_bytes`; base <= capacity_ by the used_ <= capacity_ invariant.
@@ -90,7 +90,7 @@ bool StorageBudget::Resize(size_t old_bytes, size_t new_bytes) {
 }
 
 size_t StorageBudget::used() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return used_;
 }
 

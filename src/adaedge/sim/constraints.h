@@ -3,8 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <string_view>
+
+#include "adaedge/util/mutex.h"
+#include "adaedge/util/thread_annotations.h"
 
 namespace adaedge::sim {
 
@@ -42,20 +44,20 @@ class Network {
   double bytes_per_sec() const { return bytes_per_sec_; }
 
   /// Records an egress of `bytes` at virtual time `now_seconds`.
-  void Send(size_t bytes, double now_seconds);
+  void Send(size_t bytes, double now_seconds) ADAEDGE_EXCLUDES(mu_);
 
   /// Total bytes sent so far.
-  size_t bytes_sent() const;
+  size_t bytes_sent() const ADAEDGE_EXCLUDES(mu_);
 
   /// True if the cumulative egress rate has stayed within capacity up to
   /// `now_seconds`.
-  bool WithinCapacity(double now_seconds) const;
+  bool WithinCapacity(double now_seconds) const ADAEDGE_EXCLUDES(mu_);
 
  private:
   double bytes_per_sec_;
-  mutable std::mutex mu_;
-  size_t bytes_sent_ = 0;
-  double last_send_time_ = 0.0;
+  mutable util::Mutex mu_{util::LockRank::kNetwork, "sim.network"};
+  size_t bytes_sent_ ADAEDGE_GUARDED_BY(mu_) = 0;
+  double last_send_time_ ADAEDGE_GUARDED_BY(mu_) = 0.0;
 };
 
 /// Thread-safe storage accounting with the paper's recoding threshold
@@ -68,27 +70,27 @@ class StorageBudget {
 
   /// Reserves `bytes`; false (and no change) if the hard capacity would be
   /// exceeded — the experiment-failure condition of Fig 14.
-  bool TryReserve(size_t bytes);
+  bool TryReserve(size_t bytes) ADAEDGE_EXCLUDES(mu_);
 
   /// Releases `bytes` (recoding shrank or dropped a segment).
-  void Release(size_t bytes);
+  void Release(size_t bytes) ADAEDGE_EXCLUDES(mu_);
 
   /// Adjusts usage by the signed difference new_size - old_size.
-  bool Resize(size_t old_bytes, size_t new_bytes);
+  bool Resize(size_t old_bytes, size_t new_bytes) ADAEDGE_EXCLUDES(mu_);
 
-  size_t used() const;
+  size_t used() const ADAEDGE_EXCLUDES(mu_);
   size_t capacity() const { return capacity_; }
   double threshold() const { return threshold_; }
-  double utilization() const;
+  double utilization() const ADAEDGE_EXCLUDES(mu_);
 
   /// True when usage has crossed the recoding threshold.
-  bool NeedsRecoding() const;
+  bool NeedsRecoding() const ADAEDGE_EXCLUDES(mu_);
 
  private:
   const size_t capacity_;
   const double threshold_;
-  mutable std::mutex mu_;
-  size_t used_ = 0;
+  mutable util::Mutex mu_{util::LockRank::kBudget, "sim.budget"};
+  size_t used_ ADAEDGE_GUARDED_BY(mu_) = 0;
 };
 
 /// Thread allocation limits (paper SV: "4 threads by default: one for

@@ -1,11 +1,12 @@
 #ifndef ADAEDGE_UTIL_BOUNDED_QUEUE_H_
 #define ADAEDGE_UTIL_BOUNDED_QUEUE_H_
 
-#include <condition_variable>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "adaedge/util/mutex.h"
+#include "adaedge/util/thread_annotations.h"
 
 namespace adaedge::util {
 
@@ -21,60 +22,60 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   /// Blocks while full. Returns false if the queue was closed.
-  bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
+  bool Push(T item) ADAEDGE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (items_.size() >= capacity_ && !closed_) not_full_.Wait(mu_);
     if (closed_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Non-blocking push. Returns false when full or closed.
-  bool TryPush(T item) {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool TryPush(T item) ADAEDGE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (closed_ || items_.size() >= capacity_) return false;
     items_.push_back(std::move(item));
-    not_empty_.notify_one();
+    not_empty_.NotifyOne();
     return true;
   }
 
   /// Blocks while empty. Returns nullopt once closed and drained.
-  std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
+  std::optional<T> Pop() ADAEDGE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
+    while (items_.empty() && !closed_) not_empty_.Wait(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Non-blocking pop.
-  std::optional<T> TryPop() {
-    std::lock_guard<std::mutex> lock(mu_);
+  std::optional<T> TryPop() ADAEDGE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
-    not_full_.notify_one();
+    not_full_.NotifyOne();
     return item;
   }
 
   /// Closes the queue: pushes fail, pops drain then return nullopt.
-  void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+  void Close() ADAEDGE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     closed_ = true;
-    not_empty_.notify_all();
-    not_full_.notify_all();
+    not_empty_.NotifyAll();
+    not_full_.NotifyAll();
   }
 
-  bool closed() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  bool closed() const ADAEDGE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return closed_;
   }
 
-  size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+  size_t size() const ADAEDGE_EXCLUDES(mu_) {
+    MutexLock lock(&mu_);
     return items_.size();
   }
 
@@ -82,11 +83,11 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;
-  std::condition_variable not_empty_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mu_{LockRank::kQueue, "bounded_queue"};
+  CondVar not_full_;
+  CondVar not_empty_;
+  std::deque<T> items_ ADAEDGE_GUARDED_BY(mu_);
+  bool closed_ ADAEDGE_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace adaedge::util

@@ -2,14 +2,15 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "adaedge/util/mutex.h"
 
 namespace adaedge::util {
 
 namespace {
 
 std::atomic<int> g_min_level{static_cast<int>(LogLevel::kInfo)};
-std::mutex g_log_mutex;
+Mutex g_log_mutex{LockRank::kLogging, "logging"};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -40,7 +41,7 @@ void LogMessage(LogLevel level, const std::string& message) {
       g_min_level.load(std::memory_order_relaxed)) {
     return;
   }
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(&g_log_mutex);
   std::fprintf(stderr, "[adaedge %s] %s\n", LevelName(level),
                message.c_str());
 }

@@ -1,0 +1,82 @@
+#include "adaedge/util/mutex.h"
+
+#if ADAEDGE_LOCK_RANK_CHECK
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace adaedge::util::lock_rank {
+namespace {
+
+// Per-thread stack of held locks.  Fixed capacity: the documented hierarchy
+// is six levels deep, so 16 simultaneously held locks on one thread is
+// already a contract violation in spirit; overflow aborts loudly rather than
+// silently dropping entries.
+constexpr int kMaxHeld = 16;
+
+struct HeldLock {
+  const void* mu;
+  LockRank rank;
+  const char* name;
+};
+
+struct ThreadLockState {
+  HeldLock held[kMaxHeld];
+  int count = 0;
+};
+
+thread_local ThreadLockState t_state;
+
+[[noreturn]] void Die(const char* fmt, const char* a, const char* b) {
+  std::fprintf(stderr, "adaedge lock-rank checker: ");
+  std::fprintf(stderr, fmt, a, b);
+  std::fprintf(stderr, "\n");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+void NoteAcquire(const void* mu, LockRank rank, const char* name) {
+  ThreadLockState& s = t_state;
+  const HeldLock* worst = nullptr;
+  for (int i = 0; i < s.count; ++i) {
+    const HeldLock& h = s.held[i];
+    if (h.mu == mu) {
+      Die("recursive acquisition of lock '%s' (already held by this thread)%s",
+          name, "");
+    }
+    if (h.rank != LockRank::kUnranked &&
+        (worst == nullptr || h.rank > worst->rank)) {
+      worst = &h;
+    }
+  }
+  if (rank != LockRank::kUnranked && worst != nullptr && rank <= worst->rank) {
+    Die("lock-order inversion: acquiring '%s' while holding '%s' "
+        "(see the lock-rank table in DESIGN.md)",
+        name, worst->name);
+  }
+  if (s.count >= kMaxHeld) {
+    Die("thread holds more than %s locks at once (last acquired: '%s')", "16",
+        name);
+  }
+  s.held[s.count++] = HeldLock{mu, rank, name};
+}
+
+void NoteRelease(const void* mu) {
+  ThreadLockState& s = t_state;
+  for (int i = s.count - 1; i >= 0; --i) {
+    if (s.held[i].mu == mu) {
+      for (int j = i; j < s.count - 1; ++j) s.held[j] = s.held[j + 1];
+      --s.count;
+      return;
+    }
+  }
+  Die("release of a lock this thread does not hold%s%s", "", "");
+}
+
+int HeldCount() { return t_state.count; }
+
+}  // namespace adaedge::util::lock_rank
+
+#endif  // ADAEDGE_LOCK_RANK_CHECK

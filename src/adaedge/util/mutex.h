@@ -1,0 +1,233 @@
+#ifndef ADAEDGE_UTIL_MUTEX_H_
+#define ADAEDGE_UTIL_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+#include "adaedge/util/thread_annotations.h"
+
+// Capability-annotated mutex wrappers plus a debug-build runtime lock-rank
+// checker.
+//
+// Every mutex in src/ is a util::Mutex (or util::SharedMutex) carrying a
+// LockRank from the canonical hierarchy in DESIGN.md §6.  Two independent
+// detectors enforce the concurrency contract:
+//
+//  1. Clang Thread Safety Analysis (compile time): ADAEDGE_GUARDED_BY fields
+//     and ADAEDGE_REQUIRES functions are verified on every clang build with
+//     -Wthread-safety (see util/thread_annotations.h).
+//  2. The lock-rank checker (run time, debug builds): each thread keeps a
+//     stack of held locks; acquiring a ranked lock whose rank is <= the
+//     highest ranked lock already held aborts with both lock names, as does
+//     re-acquiring a lock the thread already holds.  Compiled out entirely in
+//     release builds unless ADAEDGE_LOCK_RANK_CHECK=1 is defined.
+
+#if !defined(ADAEDGE_LOCK_RANK_CHECK)
+#if !defined(NDEBUG)
+#define ADAEDGE_LOCK_RANK_CHECK 1
+#else
+#define ADAEDGE_LOCK_RANK_CHECK 0
+#endif
+#endif
+
+namespace adaedge::util {
+
+// Canonical lock hierarchy, outermost (lowest rank) first.  A thread may only
+// acquire a ranked lock with a rank strictly greater than every ranked lock
+// it already holds.  This table and the one in DESIGN.md §6 must be updated
+// together.
+enum class LockRank : int {
+  // Order-exempt.  Unranked locks are still checked for same-thread
+  // re-acquisition but impose no ordering constraint (used by tests and
+  // tools; no lock in src/ should stay unranked).
+  kUnranked = 0,
+  kFleetMerge = 10,    // FleetNode::merge_mu_
+  kFleetRouting = 20,  // FleetNode::shards_mu_ (shared for routing reads)
+  kFleetAccum = 30,    // FleetNode::Shard::accum_mu
+  kQueue = 40,         // BoundedQueue<T>::mu_
+  kNode = 50,          // OnlineNode/MultiSignalNode mu_, OfflineNode pool_mu_
+  kStore = 60,         // SegmentStore::mu_
+  kBandit = 70,        // OnlineSelector::mu_, OfflineNode::mu_
+  kBudget = 80,        // sim::StorageBudget::mu_
+  kNetwork = 85,       // sim::Network::mu_
+  kLogging = 90,       // logging.cc g_log_mutex
+};
+
+namespace lock_rank {
+
+#if ADAEDGE_LOCK_RANK_CHECK
+// Record acquisition of `mu`; aborts (with both lock names) if `mu` is
+// already held by this thread or if a ranked lock with rank >= `rank` is
+// already held.  Called before blocking on the underlying mutex so that a
+// would-be deadlock is reported instead of hanging.
+void NoteAcquire(const void* mu, LockRank rank, const char* name);
+// Record release of `mu`; aborts if this thread does not hold it.
+void NoteRelease(const void* mu);
+// Number of locks the calling thread currently holds (test hook).
+int HeldCount();
+#else
+inline void NoteAcquire(const void*, LockRank, const char*) {}
+inline void NoteRelease(const void*) {}
+inline int HeldCount() { return 0; }
+#endif
+
+}  // namespace lock_rank
+
+// A std::mutex with a capability annotation, a rank, and a name.
+class ADAEDGE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() noexcept = default;
+  Mutex(LockRank rank, const char* name) noexcept : rank_(rank), name_(name) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() ADAEDGE_ACQUIRE() {
+    lock_rank::NoteAcquire(this, rank_, name_);
+    mu_.lock();
+  }
+  void Unlock() ADAEDGE_RELEASE() {
+    mu_.unlock();
+    lock_rank::NoteRelease(this);
+  }
+  bool TryLock() ADAEDGE_TRY_ACQUIRE(true) {
+    if (!mu_.try_lock()) return false;
+    lock_rank::NoteAcquire(this, rank_, name_);
+    return true;
+  }
+  // Tells the static analysis (not the runtime) that the lock is held; used
+  // in code reached only through a runtime-chosen lock the analysis cannot
+  // name, never as a substitute for locking.
+  void AssertHeld() const ADAEDGE_ASSERT_CAPABILITY(this) {}
+
+  LockRank rank() const noexcept { return rank_; }
+  const char* name() const noexcept { return name_; }
+  // Underlying mutex, for CondVar only.
+  std::mutex& native() noexcept { return mu_; }
+
+ private:
+  std::mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = "unranked";
+};
+
+// A std::shared_mutex with a capability annotation, a rank, and a name.
+// Shared (reader) acquisitions participate in the rank check exactly like
+// exclusive ones: no thread in this codebase ever holds two read locks on
+// the same SharedMutex.
+class ADAEDGE_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  SharedMutex() noexcept = default;
+  SharedMutex(LockRank rank, const char* name) noexcept
+      : rank_(rank), name_(name) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ADAEDGE_ACQUIRE() {
+    lock_rank::NoteAcquire(this, rank_, name_);
+    mu_.lock();
+  }
+  void Unlock() ADAEDGE_RELEASE() {
+    mu_.unlock();
+    lock_rank::NoteRelease(this);
+  }
+  void LockShared() ADAEDGE_ACQUIRE_SHARED() {
+    lock_rank::NoteAcquire(this, rank_, name_);
+    mu_.lock_shared();
+  }
+  void UnlockShared() ADAEDGE_RELEASE_SHARED() {
+    mu_.unlock_shared();
+    lock_rank::NoteRelease(this);
+  }
+
+  LockRank rank() const noexcept { return rank_; }
+  const char* name() const noexcept { return name_; }
+
+ private:
+  std::shared_mutex mu_;
+  LockRank rank_ = LockRank::kUnranked;
+  const char* name_ = "unranked";
+};
+
+// RAII exclusive lock on a Mutex.
+class ADAEDGE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) ADAEDGE_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+  ~MutexLock() ADAEDGE_RELEASE() { mu_->Unlock(); }
+
+ private:
+  Mutex* const mu_;
+};
+
+// RAII exclusive lock on a SharedMutex.
+class ADAEDGE_SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex* mu) ADAEDGE_ACQUIRE(mu) : mu_(mu) {
+    mu_->Lock();
+  }
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+  ~WriterMutexLock() ADAEDGE_RELEASE() { mu_->Unlock(); }
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// RAII shared (reader) lock on a SharedMutex.
+class ADAEDGE_SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex* mu) ADAEDGE_ACQUIRE_SHARED(mu)
+      : mu_(mu) {
+    mu_->LockShared();
+  }
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+  ~ReaderMutexLock() ADAEDGE_RELEASE() { mu_->UnlockShared(); }
+
+ private:
+  SharedMutex* const mu_;
+};
+
+// Condition variable paired with util::Mutex.  Wait/WaitFor require the
+// mutex to be held, exactly like std::condition_variable with a unique_lock;
+// the lock-rank bookkeeping is suspended while the thread is parked (the
+// mutex is not held during the wait) and restored before returning.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) ADAEDGE_REQUIRES(mu) {
+    lock_rank::NoteRelease(&mu);
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+    lock_rank::NoteAcquire(&mu, mu.rank(), mu.name());
+  }
+
+  template <typename Rep, typename Period>
+  std::cv_status WaitFor(Mutex& mu,
+                         const std::chrono::duration<Rep, Period>& timeout)
+      ADAEDGE_REQUIRES(mu) {
+    lock_rank::NoteRelease(&mu);
+    std::unique_lock<std::mutex> lock(mu.native(), std::adopt_lock);
+    std::cv_status status = cv_.wait_for(lock, timeout);
+    lock.release();
+    lock_rank::NoteAcquire(&mu, mu.rank(), mu.name());
+    return status;
+  }
+
+  void NotifyOne() noexcept { cv_.notify_one(); }
+  void NotifyAll() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace adaedge::util
+
+#endif  // ADAEDGE_UTIL_MUTEX_H_

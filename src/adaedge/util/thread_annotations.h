@@ -1,0 +1,71 @@
+#ifndef ADAEDGE_UTIL_THREAD_ANNOTATIONS_H_
+#define ADAEDGE_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang Thread Safety Analysis attribute macros.
+//
+// These expand to clang's `capability` attribute family when compiling with
+// clang (where `-Wthread-safety` turns the annotations into compile errors
+// under `-Werror`) and to nothing everywhere else, so GCC builds are
+// unaffected.  See DESIGN.md §6 for the annotation conventions and the
+// canonical lock-rank table that these annotations enforce together with the
+// runtime checker in util/mutex.h.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define ADAEDGE_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define ADAEDGE_THREAD_ANNOTATION_(x)
+#endif
+
+// Marks a class as a lockable capability (e.g. a mutex type).
+#define ADAEDGE_CAPABILITY(x) ADAEDGE_THREAD_ANNOTATION_(capability(x))
+
+// Marks an RAII class whose lifetime acquires/releases a capability.
+#define ADAEDGE_SCOPED_CAPABILITY ADAEDGE_THREAD_ANNOTATION_(scoped_lockable)
+
+// Data members: may only be read/written while holding the named mutex.
+#define ADAEDGE_GUARDED_BY(x) ADAEDGE_THREAD_ANNOTATION_(guarded_by(x))
+
+// Pointer members: the pointed-to data is protected by the named mutex.
+#define ADAEDGE_PT_GUARDED_BY(x) ADAEDGE_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// Functions: the caller must hold the named mutex(es).  This is the
+// machine-checked form of the `*Locked()` naming convention.
+#define ADAEDGE_REQUIRES(...) \
+  ADAEDGE_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define ADAEDGE_REQUIRES_SHARED(...) \
+  ADAEDGE_THREAD_ANNOTATION_(requires_shared_capability(__VA_ARGS__))
+
+// Functions: the caller must NOT hold the named mutex(es).
+#define ADAEDGE_EXCLUDES(...) \
+  ADAEDGE_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// Functions that acquire/release capabilities (mutex methods and RAII types).
+#define ADAEDGE_ACQUIRE(...) \
+  ADAEDGE_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define ADAEDGE_ACQUIRE_SHARED(...) \
+  ADAEDGE_THREAD_ANNOTATION_(acquire_shared_capability(__VA_ARGS__))
+#define ADAEDGE_RELEASE(...) \
+  ADAEDGE_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define ADAEDGE_RELEASE_SHARED(...) \
+  ADAEDGE_THREAD_ANNOTATION_(release_shared_capability(__VA_ARGS__))
+#define ADAEDGE_RELEASE_GENERIC(...) \
+  ADAEDGE_THREAD_ANNOTATION_(release_generic_capability(__VA_ARGS__))
+
+// Try-lock functions; first argument is the value returned on success.
+#define ADAEDGE_TRY_ACQUIRE(...) \
+  ADAEDGE_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// Runtime assertion that the capability is held (e.g. Mutex::AssertHeld).
+#define ADAEDGE_ASSERT_CAPABILITY(x) \
+  ADAEDGE_THREAD_ANNOTATION_(assert_capability(x))
+
+// Functions returning a reference to a mutex, so annotations can name it.
+#define ADAEDGE_RETURN_CAPABILITY(x) ADAEDGE_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch for code the analysis cannot model (e.g. locking through a
+// runtime-chosen mutex pointer, as PullGuard does).  Use sparingly; every use
+// should carry a comment explaining why the analysis cannot see the lock.
+#define ADAEDGE_NO_THREAD_SAFETY_ANALYSIS \
+  ADAEDGE_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // ADAEDGE_UTIL_THREAD_ANNOTATIONS_H_

@@ -136,7 +136,7 @@ TEST(PullGuardTest, DestructorAbandonsUnsettledPull) {
   bandit::BanditConfig config;
   auto bandit = bandit::MakePolicy(bandit::PolicyKind::kEpsilonGreedy, 3,
                                    config);
-  std::mutex mu;
+  adaedge::util::Mutex mu;
   {
     int arm = bandit->AcquireArm();
     PullGuard pull(*bandit, arm, mu);
@@ -154,7 +154,7 @@ TEST(PullGuardTest, CompleteFeedsRewardExactlyOnce) {
   bandit::BanditConfig config;
   auto bandit = bandit::MakePolicy(bandit::PolicyKind::kEpsilonGreedy, 2,
                                    config);
-  std::mutex mu;
+  adaedge::util::Mutex mu;
   RewardTrace trace;
   int arm = bandit->AcquireArm();
   {
@@ -177,7 +177,7 @@ TEST(PullGuardTest, CompleteFeedsRewardExactlyOnce) {
 TEST(PullGuardTest, SurvivesExceptionWithoutLeakingPull) {
   bandit::BanditConfig config;
   auto bandit = bandit::MakePolicy(bandit::PolicyKind::kUcb1, 2, config);
-  std::mutex mu;
+  adaedge::util::Mutex mu;
   auto risky = [&] {
     PullGuard pull(*bandit, bandit->AcquireArm(), mu);
     throw std::runtime_error("codec blew up");
@@ -190,7 +190,7 @@ TEST(PullGuardTest, MoveTransfersOwnership) {
   bandit::BanditConfig config;
   auto bandit = bandit::MakePolicy(bandit::PolicyKind::kEpsilonGreedy, 2,
                                    config);
-  std::mutex mu;
+  adaedge::util::Mutex mu;
   PullGuard outer;
   EXPECT_FALSE(outer.active());
   {

@@ -1,0 +1,17 @@
+// Positive control for the negative-compile harness: the same shapes the
+// must-fail cases use, but correctly locked. If THIS stops compiling the
+// harness is broken (or the wrapper API changed), not the annotation gate.
+#include "adaedge/util/mutex.h"
+#include "adaedge/util/thread_annotations.h"
+
+struct GuardedState {
+  adaedge::util::Mutex mu;
+  int value ADAEDGE_GUARDED_BY(mu) = 0;
+
+  int ReadLocked() ADAEDGE_REQUIRES(mu) { return value; }
+};
+
+int ReadWithLock(GuardedState& state) {
+  adaedge::util::MutexLock lock(&state.mu);
+  return state.value + state.ReadLocked();
+}

@@ -1,0 +1,14 @@
+// MUST-FAIL case: reading an ADAEDGE_GUARDED_BY field without holding its
+// mutex. If this file ever compiles under clang -Wthread-safety -Werror,
+// the annotation gate has rotted (macros no-op'ed, flags dropped, ...).
+#include "adaedge/util/mutex.h"
+#include "adaedge/util/thread_annotations.h"
+
+struct GuardedState {
+  adaedge::util::Mutex mu;
+  int value ADAEDGE_GUARDED_BY(mu) = 0;
+};
+
+int ReadWithoutLock(GuardedState& state) {
+  return state.value;  // -Wthread-safety: reading value requires mu
+}

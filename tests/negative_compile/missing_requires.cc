@@ -1,0 +1,16 @@
+// MUST-FAIL case: calling an ADAEDGE_REQUIRES function without holding the
+// required mutex. If this file ever compiles under clang -Wthread-safety
+// -Werror, the annotation gate has rotted.
+#include "adaedge/util/mutex.h"
+#include "adaedge/util/thread_annotations.h"
+
+struct GuardedState {
+  adaedge::util::Mutex mu;
+  int value ADAEDGE_GUARDED_BY(mu) = 0;
+
+  int ReadLocked() ADAEDGE_REQUIRES(mu) { return value; }
+};
+
+int CallWithoutLock(GuardedState& state) {
+  return state.ReadLocked();  // -Wthread-safety: calling requires mu
+}

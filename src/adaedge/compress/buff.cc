@@ -119,7 +119,7 @@ Status Buff::CompressInto(std::span<const double> values,
   ADAEDGE_ASSIGN_OR_RETURN(Quantized quant,
                            QuantizeValues(values, precision));
   out.clear();
-  out.reserve(MaxCompressedSize(values.size()));
+  out.reserve(EncodeReserve(params, MaxCompressedSize(values.size())));
   EncodePlanesInto(quant, precision, quant.total_planes, out);
   return Status::Ok();
 }
@@ -287,7 +287,7 @@ Status BuffLossy::CompressInto(std::span<const double> values,
   // Shift in place: quant.q is this call's scratch anyway.
   for (uint64_t& v : quant.q) v >>= dropped;
   out.clear();
-  out.reserve(MaxCompressedSize(values.size()));
+  out.reserve(EncodeReserve(params, MaxCompressedSize(values.size())));
   EncodeLossyInto(h, quant.q, out);
   return Status::Ok();
 }

@@ -56,9 +56,8 @@ size_t Chimp::MaxCompressedSize(size_t value_count) const {
 Status Chimp::CompressInto(std::span<const double> values,
                            const CodecParams& params,
                            std::vector<uint8_t>& out) const {
-  (void)params;
   out.clear();
-  out.reserve(MaxCompressedSize(values.size()));
+  out.reserve(EncodeReserve(params, MaxCompressedSize(values.size())));
   util::ByteWriter header(&out);
   header.PutVarint(values.size());
   if (values.empty()) return Status::Ok();

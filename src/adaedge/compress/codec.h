@@ -84,7 +84,29 @@ struct CodecParams {
   int precision = 4;
   /// Lossy codecs: compressed_size must be <= target_ratio * 8 * n bytes.
   double target_ratio = 1.0;
+  /// Encode-side scratch reserve hint in bytes; 0 = reserve the full
+  /// MaxCompressedSize worst case (the historical behavior, and the
+  /// no-realloc guarantee the golden tests pin). Callers with a learned
+  /// size prediction (core::RatioEstimator's presize consumer) set it
+  /// per call; CompressInto then reserves min(worst_case, hint) via
+  /// EncodeReserve and lets the vector grow amortized past a
+  /// misprediction. Runtime-only: never persisted in segment metadata
+  /// (store_io serializes level/precision/target_ratio only), never read
+  /// by decoders.
+  size_t reserve_hint_bytes = 0;
 };
+
+/// The reserve size CompressInto implementations pass to out.reserve():
+/// the worst case by default, the (floored, capped) caller hint when one
+/// was provided. The hint never raises the reserve above the worst case,
+/// so the documented "never reallocates within MaxCompressedSize when
+/// pre-reserved to it" bound is unchanged for hintless callers.
+inline size_t EncodeReserve(const CodecParams& params, size_t worst_case) {
+  if (params.reserve_hint_bytes == 0) return worst_case;
+  size_t hint =
+      params.reserve_hint_bytes < 64 ? 64 : params.reserve_hint_bytes;
+  return hint < worst_case ? hint : worst_case;
+}
 
 /// A compression algorithm operating on one segment of double samples.
 ///

@@ -39,7 +39,6 @@ size_t Dictionary::MaxCompressedSize(size_t value_count) const {
 Status Dictionary::CompressInto(std::span<const double> values,
                                 const CodecParams& params,
                                 std::vector<uint8_t>& out) const {
-  (void)params;
   std::unordered_map<double, uint32_t> index;
   std::vector<double> dict;
   std::vector<uint64_t> ids;
@@ -60,7 +59,7 @@ Status Dictionary::CompressInto(std::span<const double> values,
   }
 
   out.clear();
-  out.reserve(MaxCompressedSize(values.size()));
+  out.reserve(EncodeReserve(params, MaxCompressedSize(values.size())));
   util::ByteWriter w(&out);
   w.PutVarint(values.size());
   w.PutVarint(dict.size());

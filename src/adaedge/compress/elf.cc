@@ -75,7 +75,7 @@ Status Elf::CompressInto(std::span<const double> values,
   // Reserve for the final layout up front so prepending the precision byte
   // cannot outgrow the capacity the CHIMP stage established.
   out.clear();
-  out.reserve(MaxCompressedSize(values.size()));
+  out.reserve(EncodeReserve(params, MaxCompressedSize(values.size())));
   ADAEDGE_RETURN_IF_ERROR(xor_stage.CompressInto(erased, params, out));
   out.insert(out.begin(), static_cast<uint8_t>(precision));
   return Status::Ok();

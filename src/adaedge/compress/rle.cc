@@ -22,9 +22,8 @@ size_t Rle::MaxCompressedSize(size_t value_count) const {
 Status Rle::CompressInto(std::span<const double> values,
                          const CodecParams& params,
                          std::vector<uint8_t>& out) const {
-  (void)params;
   out.clear();
-  out.reserve(MaxCompressedSize(values.size()));
+  out.reserve(EncodeReserve(params, MaxCompressedSize(values.size())));
   util::ByteWriter w(&out);
   w.PutVarint(values.size());
   size_t i = 0;

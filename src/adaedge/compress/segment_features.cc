@@ -1,0 +1,121 @@
+#include "adaedge/compress/segment_features.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+namespace adaedge::compress {
+
+namespace {
+
+inline uint64_t ToBits(double value) {
+  uint64_t bits;
+  std::memcpy(&bits, &value, sizeof(bits));
+  return bits;
+}
+
+// log2(1 + x) / 64, clamped to [0, 1]: maps any non-negative magnitude
+// (doubles span ~2^-1074 .. 2^1024) onto the unit interval. Non-finite
+// accumulators (overflowed sums, inf - inf) clamp to the saturated end
+// instead of propagating.
+inline double LogScale(double x) {
+  if (!std::isfinite(x) || x >= 1e300) return 1.0;
+  if (x <= 0.0) return 0.0;
+  return std::clamp(std::log2(1.0 + x) / 64.0, 0.0, 1.0);
+}
+
+}  // namespace
+
+SegmentFeatures ExtractSegmentFeatures(std::span<const double> values) {
+  SegmentFeatures f;
+  f.v[0] = 1.0;
+  const size_t n = values.size();
+  if (n == 0) return f;
+
+  // Bit-level accumulators (total over all values, NaN-safe).
+  uint64_t repeats = 0;
+  uint64_t xor_leading = 0;
+  // Finite-value moment accumulators.
+  size_t finite = 0;
+  double sum = 0.0;
+  double sumsq = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+  // Consecutive-finite-pair delta accumulators.
+  size_t deltas = 0;
+  double abs_delta_sum = 0.0;
+  size_t flips = 0;
+  size_t flip_pairs = 0;
+
+  uint64_t prev_bits = ToBits(values[0]);
+  bool have_prev_finite = false;
+  double prev_finite = 0.0;
+  bool have_prev_delta = false;
+  double prev_delta = 0.0;
+
+  for (size_t i = 0; i < n; ++i) {
+    const double x = values[i];
+    const uint64_t bits = ToBits(x);
+    if (i > 0) {
+      if (bits == prev_bits) ++repeats;
+      const uint64_t x_or = bits ^ prev_bits;
+      xor_leading += x_or == 0
+                         ? 64
+                         : static_cast<uint64_t>(std::countl_zero(x_or));
+    }
+    prev_bits = bits;
+    if (std::isfinite(x)) {
+      if (finite == 0) {
+        lo = hi = x;
+      } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+      }
+      ++finite;
+      sum += x;
+      sumsq += x * x;
+      if (have_prev_finite) {
+        const double d = x - prev_finite;
+        ++deltas;
+        abs_delta_sum += std::fabs(d);
+        if (have_prev_delta) {
+          ++flip_pairs;
+          if ((d > 0.0 && prev_delta < 0.0) ||
+              (d < 0.0 && prev_delta > 0.0)) {
+            ++flips;
+          }
+        }
+        have_prev_delta = true;
+        prev_delta = d;
+      }
+      have_prev_finite = true;
+      prev_finite = x;
+    }
+  }
+
+  if (finite > 0) {
+    const double mean = sum / static_cast<double>(finite);
+    // Catastrophic cancellation or an overflowed sumsq can go (slightly)
+    // negative or non-finite; LogScale saturates either way.
+    const double variance = sumsq / static_cast<double>(finite) - mean * mean;
+    f.v[1] = LogScale(variance);
+    f.v[6] = LogScale(hi - lo);
+  }
+  if (deltas > 0) {
+    f.v[2] = LogScale(abs_delta_sum / static_cast<double>(deltas));
+  }
+  if (flip_pairs > 0) {
+    f.v[3] = static_cast<double>(flips) / static_cast<double>(flip_pairs);
+  }
+  if (n > 1) {
+    f.v[4] = static_cast<double>(repeats) / static_cast<double>(n - 1);
+    f.v[5] = static_cast<double>(xor_leading) /
+             (64.0 * static_cast<double>(n - 1));
+  }
+  f.v[7] = static_cast<double>(n - finite) / static_cast<double>(n);
+  return f;
+}
+
+}  // namespace adaedge::compress

@@ -1,0 +1,42 @@
+#ifndef ADAEDGE_COMPRESS_SEGMENT_FEATURES_H_
+#define ADAEDGE_COMPRESS_SEGMENT_FEATURES_H_
+
+#include <array>
+#include <cstddef>
+#include <span>
+
+namespace adaedge::compress {
+
+/// Number of entries in the per-segment feature vector (including the
+/// leading bias term). Fixed: the online estimator's weight vectors are
+/// sized by it, and estimator snapshots exchange raw weight arrays.
+inline constexpr int kSegmentFeatureCount = 8;
+
+/// Cheap compressibility descriptors of one value segment, the input to
+/// core::RatioEstimator. Every entry is finite and in [0, 1] for ANY
+/// input — empty, length-1, constant, NaN/±Inf, denormal — so a single
+/// hostile segment can never push the estimator weights toward NaN
+/// (tests/segment_features_test.cc pins the degenerate cases).
+///
+///   v[0]  bias, always 1
+///   v[1]  log-scaled variance of the finite values
+///   v[2]  log-scaled mean |delta| between consecutive finite values
+///   v[3]  delta sign-flip fraction (oscillation; hard for delta coders)
+///   v[4]  exact-repeat fraction, bitwise (RLE / dictionary affinity)
+///   v[5]  mean leading-zero count of consecutive-value XOR, over 64
+///         (Gorilla/Chimp affinity)
+///   v[6]  log-scaled value range (bits a range coder would spend)
+///   v[7]  non-finite value fraction (NaN/±Inf payload share)
+struct SegmentFeatures {
+  std::array<double, kSegmentFeatureCount> v{};
+};
+
+/// Extracts the feature vector in one pass (bit-level work uses the raw
+/// IEEE-754 images, so NaN payloads participate in the repeat/XOR
+/// features instead of poisoning them). Cost is a few ns per value —
+/// bench/estimator.cc reports it next to real codec cost per value.
+SegmentFeatures ExtractSegmentFeatures(std::span<const double> values);
+
+}  // namespace adaedge::compress
+
+#endif  // ADAEDGE_COMPRESS_SEGMENT_FEATURES_H_

@@ -47,7 +47,7 @@ Status Sprintz::CompressInto(std::span<const double> values,
   const int precision = std::clamp(params.precision, 0, 12);
   const double scale = ScaleFor(precision);
   out.clear();
-  out.reserve(MaxCompressedSize(values.size()));
+  out.reserve(EncodeReserve(params, MaxCompressedSize(values.size())));
 
   // Values are quantized block by block on the stack (no scratch vector).
   auto quantize = [scale](double v, int64_t* q) -> bool {

@@ -35,20 +35,49 @@ bool ArmSet::SetEnabled(std::string_view name, bool enabled) {
 
 int AcquireSupportedArmLocked(
     bandit::BanditPolicy& bandit, const ArmSet& arms,
-    const std::function<bool(const compress::CodecArm&)>& supports) {
+    const std::function<bool(const compress::CodecArm&)>& supports,
+    const PruneGate* gate) {
   auto usable = [&](int idx) {
     return arms.arm_enabled(idx) && supports(arms.arm(idx));
   };
+  // Resolve the advisory prune gate before pulling: if it would leave no
+  // admitted arm, either skip the whole phase (empty_means_skip, nothing
+  // pending) or fall back to ungated selection — the gate can never
+  // strand the caller with zero supported arms.
+  bool use_gate = false;
+  if (gate != nullptr && gate->pruned != nullptr) {
+    bool any_usable = false;
+    for (int i = 0; i < arms.size(); ++i) {
+      if (!usable(i)) continue;
+      any_usable = true;
+      if (!gate->pruned(i)) {
+        use_gate = true;
+        break;
+      }
+    }
+    if (!use_gate && any_usable && gate->empty_means_skip) return -1;
+  }
+  auto admitted = [&](int idx) {
+    return usable(idx) && (!use_gate || !gate->pruned(idx));
+  };
   int arm_idx = bandit.AcquireArm();
-  if (usable(arm_idx)) return arm_idx;
-  // The pick cannot serve this regime (gated out, or the codec cannot
-  // reach the ratio at all — e.g. BUFF-lossy below its floor): teach the
-  // bandit and fall back to the best-estimated usable arm.
-  bandit.CompletePull(arm_idx, 0.0);
+  if (admitted(arm_idx)) return arm_idx;
+  if (usable(arm_idx)) {
+    // Only the estimator's prediction gates this pick: the arm could
+    // serve, it is just predicted dominated for this segment. Drop the
+    // pull without feeding a reward — a 0 here would teach the bandit a
+    // lesson nothing was observed to support.
+    bandit.AbandonPull(arm_idx);
+  } else {
+    // The pick cannot serve this regime (gated out, or the codec cannot
+    // reach the ratio at all — e.g. BUFF-lossy below its floor): teach
+    // the bandit and fall back to the best-estimated usable arm.
+    bandit.CompletePull(arm_idx, 0.0);
+  }
   int best = -1;
   double best_value = -1.0;
   for (int i = 0; i < arms.size(); ++i) {
-    if (!usable(i)) continue;
+    if (!admitted(i)) continue;
     double v = bandit.EstimatedValue(i);
     if (v > best_value) {
       best_value = v;

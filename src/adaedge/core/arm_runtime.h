@@ -238,6 +238,26 @@ class PullGuard {
   std::string label_;
 };
 
+/// Estimator-driven selection gate (RatioEstimator::PruneMask feeds
+/// `pruned`). A pruned pick is NOT punished: the arm is merely predicted
+/// dominated for this segment, so its pending pull is abandoned and the
+/// fallback scan skips it. The gate is advisory — it can never leave the
+/// caller without an arm:
+///
+///   - When every usable arm is pruned and `empty_means_skip` is false
+///     (lossy pools: selection MUST yield an arm), the gate is ignored
+///     and selection proceeds over the usable arms as if no gate were
+///     passed.
+///   - With `empty_means_skip` true (the online lossless phase, whose
+///     caller already has a skip-this-phase path), -1 is returned with
+///     nothing left pending, exactly like the no-usable-arm case — the
+///     predicted-infeasible pool costs zero trial compressions.
+struct PruneGate {
+  /// Per-arm verdict over ArmSet indices; true = gate out.
+  std::function<bool(int)> pruned;
+  bool empty_means_skip = false;
+};
+
 /// The shared acquire-with-feasibility step (caller holds the bandit's
 /// mutex): pulls an arm via AcquireArm, and when the pick is gated out or
 /// fails `supports`, punishes it (CompletePull 0 — the arm learns it
@@ -245,10 +265,26 @@ class PullGuard {
 /// that is enabled AND supporting. Returns the arm index with its pending
 /// pull noted — wrap it in a PullGuard immediately — or -1 when no
 /// enabled arm supports (nothing left pending in that case; the caller
-/// maps -1 to its own Status).
+/// maps -1 to its own Status). `gate`, when non-null, additionally
+/// filters predicted-dominated arms (see PruneGate above; a pruned pick
+/// is abandoned, not punished).
 int AcquireSupportedArmLocked(
     bandit::BanditPolicy& bandit, const ArmSet& arms,
-    const std::function<bool(const compress::CodecArm&)>& supports);
+    const std::function<bool(const compress::CodecArm&)>& supports,
+    const PruneGate* gate = nullptr);
+
+/// Bounds thread-local compression-scratch retention: when `trim_bytes`
+/// is non-zero and the scratch holds more capacity than that, the buffer
+/// is released outright (capacity 0 — the next CompressInto re-reserves
+/// what it needs). Default-off via the scratch_trim_bytes config knobs;
+/// see the retention-policy note in DESIGN.md §7 ("Scratch-buffer
+/// ownership") for when bounding beats retaining.
+inline void TrimScratchCapacity(std::vector<uint8_t>& scratch,
+                                size_t trim_bytes) {
+  if (trim_bytes == 0 || scratch.capacity() <= trim_bytes) return;
+  scratch.clear();
+  scratch.shrink_to_fit();
+}
 
 /// Builds a stored Segment from one arm's compression output — the shared
 /// tail of every engine's compress step.

@@ -339,14 +339,32 @@ Status FleetNode::AddShard() {
   // traffic, so its optimistic bandit does not re-pay the exploration
   // the rest of the fleet already did.
   std::vector<std::vector<bandit::ArmStats>> lossless, lossy;
+  std::vector<OnlineSelector::PolicySnapshot> snapshots;
+  snapshots.reserve(shards_.size());
   for (const auto& existing : shards_) {
-    auto snapshot = existing->selector->ExportPolicy();
-    lossless.push_back(std::move(snapshot.lossless));
-    lossy.push_back(std::move(snapshot.lossy));
+    snapshots.push_back(existing->selector->ExportPolicy());
+    lossless.push_back(snapshots.back().lossless);
+    lossy.push_back(snapshots.back().lossy);
   }
   OnlineSelector::PolicySnapshot average;
   average.lossless = AverageStats(lossless);
   average.lossy = AverageStats(lossy);
+  // Estimator state is adopted from the single most-observed shard, not
+  // averaged: NLMS weights trained on different traffic mixes do not
+  // blend meaningfully, and the most-observed model is the best single
+  // predictor the fleet has. (WarmStartPolicy only adopts it while the
+  // new shard has zero observations of its own, which it always does
+  // here; a disabled estimator makes this a no-op.)
+  uint64_t best_observations = 0;
+  for (const OnlineSelector::PolicySnapshot& snapshot : snapshots) {
+    uint64_t total = snapshot.lossless_estimator.TotalObservations() +
+                     snapshot.lossy_estimator.TotalObservations();
+    if (total > best_observations) {
+      best_observations = total;
+      average.lossless_estimator = snapshot.lossless_estimator;
+      average.lossy_estimator = snapshot.lossy_estimator;
+    }
+  }
   shard->selector->WarmStartPolicy(average,
                                    config_.warm_start_count_cap);
   if (started_.load()) StartShardLocked(*shard);

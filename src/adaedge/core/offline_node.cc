@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <limits>
 #include <utility>
 
+#include "adaedge/compress/segment_features.h"
 #include "adaedge/compress/transcode.h"
 #include "adaedge/util/stopwatch.h"
 
@@ -15,10 +17,11 @@ namespace {
 // held, so each ingesting thread owns one buffer whose capacity persists
 // across segments (codecs reserve MaxCompressedSize up front, so steady
 // state is allocation-free). Stored payloads are exact-size copies; the
-// scratch never escapes. The high-water capacity is retained for the
-// thread's lifetime on purpose — it is bounded by the single-segment
-// MaxCompressedSize, so there is no shrink hook (DESIGN.md §7,
-// "Scratch-buffer ownership").
+// scratch never escapes. By default the high-water capacity is retained
+// for the thread's lifetime — it is bounded by the single-segment
+// MaxCompressedSize. OfflineConfig::scratch_trim_bytes optionally caps
+// the retained capacity via TrimScratchCapacity after each segment
+// (DESIGN.md §7, "Scratch-buffer ownership").
 std::vector<uint8_t>& CompressScratch() {
   static thread_local std::vector<uint8_t> scratch;
   return scratch;
@@ -73,6 +76,7 @@ Status OfflineConfig::Validate() const {
   if (precision < 0) {
     return Status::InvalidArgument("precision must be >= 0");
   }
+  ADAEDGE_RETURN_IF_ERROR(estimator.Validate());
   return Status::Ok();
 }
 
@@ -103,6 +107,8 @@ OfflineNode::OfflineNode(OfflineConfig config, TargetSpec target)
   lossy_bandits_ = std::make_unique<bandit::BandedBanditSet>(
       config_.band_edges, config_.policy, lossy_arms_.size(),
       config_.bandit);
+  lossless_estimator_ =
+      RatioEstimator(lossless_arms_.size(), config_.estimator);
   // recode_threads == 1 keeps the serial engine (deterministic seeded
   // runs); a lossless-only node has nothing for recode workers to do and
   // keeps the serial fail-fast semantics instead.
@@ -148,6 +154,15 @@ Status OfflineNode::Ingest(uint64_t id, double now,
     ADAEDGE_RETURN_IF_ERROR(DrainRecoding(now));
   }
 
+  // Feature extraction for the estimator, outside every lock (config_ is
+  // immutable after construction, so the enabled check is lock-free).
+  compress::SegmentFeatures features;
+  const compress::SegmentFeatures* f = nullptr;
+  if (config_.estimator.enabled) {
+    features = compress::ExtractSegmentFeatures(values);
+    f = &features;
+  }
+
   // Phase 1: pick a lossless arm under the bandit lock; reward = size
   // reduction. The guard outlives every lock scope below so it never
   // settles (or destructs unsettled) with the lock already held.
@@ -156,13 +171,36 @@ Status OfflineNode::Ingest(uint64_t id, double now,
   bool have_arm = false;
   {
     util::MutexLock lock(&mu_);
+    // Dominance-only prune gate: an offline node has no per-segment
+    // feasibility bound (raw storage always works), so the infeasibility
+    // threshold is +inf, an all-pruned gate falls back to ungated
+    // selection, and the phase is never skipped. A deterministic periodic
+    // forced-exploration tick bypasses the gate so real observations keep
+    // flowing to arms the model believes dominated.
+    std::vector<uint8_t> prune_mask;
+    PruneGate gate;
+    const PruneGate* gate_ptr = nullptr;
+    if (f != nullptr && config_.estimator.prune &&
+        !lossless_estimator_.ShouldForceExplore(++estimator_ticks_)) {
+      prune_mask = lossless_estimator_.PruneMask(
+          *f, std::numeric_limits<double>::infinity(), [this](int i) {
+            mu_.AssertHeld();
+            return lossless_arms_.arm_enabled(i);
+          });
+      gate.pruned = [&prune_mask](int i) { return prune_mask[i] != 0; };
+      gate_ptr = &gate;
+    }
     int arm_idx = AcquireSupportedArmLocked(
         *lossless_bandit_, lossless_arms_,
-        [](const compress::CodecArm&) { return true; });
+        [](const compress::CodecArm&) { return true; }, gate_ptr);
     if (arm_idx >= 0) {
       pull = PullGuard(*lossless_bandit_, arm_idx, mu_, TraceSink(),
                        "lossless");
       arm = lossless_arms_.arm(arm_idx);
+      if (f != nullptr) {
+        arm.params.reserve_hint_bytes =
+            lossless_estimator_.PresizeHint(arm_idx, *f, values.size());
+      }
       have_arm = true;
     }
   }
@@ -172,6 +210,7 @@ Status OfflineNode::Ingest(uint64_t id, double now,
   std::vector<uint8_t>& scratch = CompressScratch();
   double seconds = 0.0;
   double reward = 0.0;
+  double ratio = 2.0;  // estimator convention: refusal = incompressible
   bool encoded = false;
   Segment segment;
   if (have_arm) {
@@ -180,6 +219,7 @@ Status OfflineNode::Ingest(uint64_t id, double now,
         arm.codec->CompressInto(values, arm.params, scratch);
     seconds = watch.ElapsedSeconds() * config_.cpu_scale;
     if (compressed.ok()) {
+      ratio = compress::CompressionRatio(scratch.size(), values.size());
       reward = RewardModel::SizeReward(scratch.size(), values.size());
       segment = MakeArmSegment(
           id, now, values, arm,
@@ -195,12 +235,21 @@ Status OfflineNode::Ingest(uint64_t id, double now,
     segment = Segment::FromValues(id, now, values);
   }
 
-  // Phase 3: feed the delayed reward back under the lock.
+  // Phase 3: feed the delayed reward back under the lock (bandit and
+  // estimator).
   {
     util::MutexLock lock(&mu_);
     compress_busy_ += seconds;
+    if (f != nullptr && have_arm) {
+      lossless_estimator_.Observe(
+          pull.arm(), *f, ratio,
+          values.empty() ? 0.0
+                         : seconds / static_cast<double>(values.size()),
+          encoded ? reward : 0.0);
+    }
     pull.CompleteLocked(encoded ? reward : 0.0);
   }
+  TrimScratchCapacity(scratch, config_.scratch_trim_bytes);
 
   // Segment copies are cheap (meta + payload refcount), so the retry
   // paths below reuse `segment` instead of recompressing.
@@ -377,6 +426,10 @@ Status OfflineNode::RecodeWorking(const SegmentStore::ClaimedVictim& claim,
     band = &lossy_bandits_->ForRatio(target_ratio);
     band_label =
         "band" + std::to_string(lossy_bandits_->BandIndex(target_ratio));
+    // No estimator prune gate here: the victim was claimed before its
+    // values were materialized, so no segment features exist at selection
+    // time (features of the STORED payload are not the features the codec
+    // will see). Recodes are off the ingest hot path anyway.
     arm_idx = AcquireSupportedArmLocked(*band, lossy_arms_, supports);
     if (arm_idx < 0) {
       return Status::FailedPrecondition("band has no supporting arm");
@@ -684,6 +737,18 @@ Status OfflineNode::AddLosslessArm(compress::CodecArm arm) {
   }
   lossless_arms_.Add(std::move(arm));
   lossless_bandit_->AddArm();
+  lossless_estimator_.AddArm();
+  // Prediction-derived prior for the new arm: a full-size snapshot whose
+  // only nonzero-pull entry is the new index, so WarmStart (which skips
+  // zero-pull peer entries and locally-tried arms) seeds ONLY it.
+  bandit::ArmStats prior = lossless_estimator_.NewArmPrior();
+  if (prior.pulls > 0) {
+    std::vector<bandit::ArmStats> seed(
+        static_cast<size_t>(lossless_arms_.size()));
+    seed.back() = prior;
+    lossless_bandit_->WarmStart(seed,
+                                config_.estimator.warm_start_count_cap);
+  }
   return Status::Ok();
 }
 
@@ -700,6 +765,29 @@ Status OfflineNode::AddLossyArm(compress::CodecArm arm) {
   // Every ratio band grows in lockstep: an arm index means the same arm
   // in every regime.
   lossy_bandits_->AddArm();
+  if (config_.estimator.enabled && config_.estimator.warm_start) {
+    // Band-local prior: seed the new arm from each band's pull-weighted
+    // mean estimate (bands model different ratio regimes, so one pooled
+    // prior would blur them). Bands with no completed pulls keep the
+    // optimistic initial estimate.
+    for (size_t b = 0; b < lossy_bandits_->num_bands(); ++b) {
+      std::vector<bandit::ArmStats> stats =
+          lossy_bandits_->band(b).ExportStats();
+      double weighted = 0.0;
+      uint64_t pulls = 0;
+      for (const bandit::ArmStats& s : stats) {
+        weighted += s.value * static_cast<double>(s.pulls);
+        pulls += s.pulls;
+      }
+      if (pulls == 0) continue;
+      std::vector<bandit::ArmStats> seed(stats.size());
+      seed.back() = {
+          weighted / static_cast<double>(pulls),
+          std::min(pulls, config_.estimator.warm_start_count_cap)};
+      lossy_bandits_->band(b).WarmStart(
+          seed, config_.estimator.warm_start_count_cap);
+    }
+  }
   return Status::Ok();
 }
 

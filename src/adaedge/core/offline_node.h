@@ -10,6 +10,7 @@
 #include "adaedge/bandit/banded_bandit.h"
 #include "adaedge/compress/registry.h"
 #include "adaedge/core/arm_runtime.h"
+#include "adaedge/core/ratio_estimator.h"
 #include "adaedge/core/segment_store.h"
 #include "adaedge/core/target.h"
 #include "adaedge/util/mutex.h"
@@ -79,12 +80,24 @@ struct OfflineConfig {
   /// runs with a timing-free target produce a deterministic trace; the
   /// golden tests pin it). Off by default: the trace grows without bound.
   bool record_reward_trace = false;
+  /// Learned per-arm ratio/throughput estimation for the ingest-side
+  /// lossless pool (ratio_estimator.h): dominated-arm pruning, new-arm
+  /// prior warm-start and predicted-size scratch pre-sizing. Everything
+  /// defaults off — the golden traces stay byte-identical. (The recode
+  /// path stays ungated: band victims are selected before the stored
+  /// segment's values are materialized, so no features exist yet.)
+  RatioEstimatorConfig estimator;
+  /// Bound on retained thread-local compression-scratch capacity, in
+  /// bytes; 0 (default) keeps the historical retain-forever policy. See
+  /// TrimScratchCapacity (arm_runtime.h) and DESIGN.md §7.
+  size_t scratch_trim_bytes = 0;
 
   /// InvalidArgument when a field is out of range: zero storage budget,
   /// recode_threshold outside (0, 1], shrink_factor outside (0, 1) — a
   /// shrink factor of 1 would wedge the recode drain in an infinite
   /// no-progress loop, and 0 would demand impossible ratios — thread
-  /// counts < 1, non-positive cpu_scale, epsilon/step outside [0, 1].
+  /// counts < 1, non-positive cpu_scale, epsilon/step outside [0, 1],
+  /// estimator knobs failing RatioEstimatorConfig::Validate.
   /// OfflineNode::Create is the checked construction path.
   Status Validate() const;
 };
@@ -234,6 +247,12 @@ class OfflineNode {
   std::unique_ptr<bandit::BandedBanditSet> lossy_bandits_
       ADAEDGE_GUARDED_BY(mu_);
   RewardTrace reward_trace_ ADAEDGE_GUARDED_BY(mu_);
+  /// Learned ratio estimator for the ingest-side lossless pool, guarded
+  /// by the same bandit mutex as the policy it advises (DESIGN.md §11).
+  RatioEstimator lossless_estimator_ ADAEDGE_GUARDED_BY(mu_);
+  /// Monotonic estimator-guided-selection counter for the periodic
+  /// forced-exploration escape hatch.
+  uint64_t estimator_ticks_ ADAEDGE_GUARDED_BY(mu_) = 0;
   double compress_busy_ ADAEDGE_GUARDED_BY(mu_) = 0.0;
   double recode_busy_ ADAEDGE_GUARDED_BY(mu_) = 0.0;
   /// Virtual time at which recoding first became necessary (metered mode).

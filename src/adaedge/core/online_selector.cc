@@ -1,5 +1,6 @@
 #include "adaedge/core/online_selector.h"
 
+#include <limits>
 #include <optional>
 #include <utility>
 
@@ -13,10 +14,11 @@ namespace {
 // held, so each worker thread owns one buffer whose capacity persists
 // across segments (codecs reserve MaxCompressedSize up front, so steady
 // state is allocation-free). Stored payloads are exact-size copies; the
-// scratch never escapes. The high-water capacity is retained for the
-// thread's lifetime on purpose — it is bounded by the single-segment
-// MaxCompressedSize, so there is no shrink hook (DESIGN.md §7,
-// "Scratch-buffer ownership").
+// scratch never escapes. By default the high-water capacity is retained
+// for the thread's lifetime — it is bounded by the single-segment
+// MaxCompressedSize. OnlineConfig::scratch_trim_bytes optionally caps
+// the retained capacity via TrimScratchCapacity after each segment
+// (DESIGN.md §7, "Scratch-buffer ownership").
 std::vector<uint8_t>& CompressScratch() {
   static thread_local std::vector<uint8_t> scratch;
   return scratch;
@@ -49,6 +51,7 @@ Status OnlineConfig::Validate() const {
   if (precision < 0) {
     return Status::InvalidArgument("precision must be >= 0");
   }
+  ADAEDGE_RETURN_IF_ERROR(estimator.Validate());
   return Status::Ok();
 }
 
@@ -74,6 +77,9 @@ OnlineSelector::OnlineSelector(OnlineConfig config, TargetSpec target)
   lossy_config.seed = config_.bandit.seed ^ 0xabcdefULL;
   lossy_bandit_ = bandit::MakePolicy(config_.policy, lossy_arms_.size(),
                                      lossy_config);
+  lossless_estimator_ =
+      RatioEstimator(lossless_arms_.size(), config_.estimator);
+  lossy_estimator_ = RatioEstimator(lossy_arms_.size(), config_.estimator);
   // Targets of >= 1 are always losslessly reachable (no compression even
   // qualifies); start in the lossless phase regardless.
   lossless_active_ = !config_.force_lossy;
@@ -89,6 +95,7 @@ Result<std::unique_ptr<OnlineSelector>> OnlineSelector::Create(
 Result<OnlineSelector::Outcome> OnlineSelector::Process(
     uint64_t id, double now, std::span<const double> values) {
   bool try_lossless;
+  bool estimate;
   {
     util::MutexLock lock(&mu_);
     ++processed_;
@@ -102,15 +109,24 @@ Result<OnlineSelector::Outcome> OnlineSelector::Process(
       consecutive_misses_ = 0;
     }
     try_lossless = lossless_active_ && !lossless_arms_.empty();
+    estimate = config_.estimator.enabled;
+  }
+  // One feature pass per segment, outside every lock; both phases see
+  // the same vector (the lossy fallback compresses the same segment).
+  compress::SegmentFeatures features;
+  const compress::SegmentFeatures* f = nullptr;
+  if (estimate) {
+    features = compress::ExtractSegmentFeatures(values);
+    f = &features;
   }
   if (try_lossless) {
     ADAEDGE_ASSIGN_OR_RETURN(std::optional<Outcome> outcome,
-                             TryLossless(id, now, values));
+                             TryLossless(id, now, values, f));
     if (outcome.has_value()) return std::move(outcome).value();
     // Target missed (or lossless failed outright): lossy fallback for
     // this same segment; the miss was recorded under the lock.
   }
-  return TryLossy(id, now, values);
+  return TryLossy(id, now, values, f);
 }
 
 void OnlineSelector::NoteLosslessMissLocked() {
@@ -137,23 +153,54 @@ void OnlineSelector::NoteLosslessMissLocked() {
 }
 
 Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
-    uint64_t id, double now, std::span<const double> values) {
+    uint64_t id, double now, std::span<const double> values,
+    const compress::SegmentFeatures* f) {
   // The guard outlives every lock scope below so its destructor (which
   // takes the mutex on an unsettled early return) never runs with the
   // lock still held.
   PullGuard pull;
   compress::CodecArm arm;
   double target_ratio;
+  size_t trim_bytes = 0;
 
   // Phase 1: snapshot an arm and the target under the lock. Lossless
-  // arms have no ratio precondition — only gating filters here.
+  // arms have no ratio precondition — only gating (and the estimator's
+  // prune gate) filters here.
   {
     util::MutexLock lock(&mu_);
+    // Estimator prune gate: arms predicted infeasible (or dominated) are
+    // gated out before any trial compression. empty_means_skip — when
+    // EVERY trained arm is predicted to miss the target, the whole
+    // lossless attempt is skipped and counted as a miss; that skipped
+    // trial compression is the hot-path saving. A deterministic periodic
+    // forced-exploration tick bypasses the gate so real observations
+    // keep flowing to arms the model believes dominated.
+    std::vector<uint8_t> prune_mask;
+    PruneGate gate;
+    const PruneGate* gate_ptr = nullptr;
+    if (f != nullptr && config_.estimator.prune &&
+        !lossless_estimator_.ShouldForceExplore(++estimator_ticks_)) {
+      // Targets >= 1 are reachable by shipping raw, so feasibility never
+      // gates there; only a real (< 1) target can empty the pool.
+      const double infeasible_above =
+          config_.target_ratio < 1.0
+              ? config_.target_ratio
+              : std::numeric_limits<double>::infinity();
+      prune_mask = lossless_estimator_.PruneMask(
+          *f, infeasible_above, [this](int i) {
+            mu_.AssertHeld();
+            return lossless_arms_.arm_enabled(i);
+          });
+      gate.pruned = [&prune_mask](int i) { return prune_mask[i] != 0; };
+      gate.empty_means_skip = true;
+      gate_ptr = &gate;
+    }
     int arm_idx = AcquireSupportedArmLocked(
         *lossless_bandit_, lossless_arms_,
-        [](const compress::CodecArm&) { return true; });
+        [](const compress::CodecArm&) { return true; }, gate_ptr);
     if (arm_idx < 0) {
-      // Every lossless arm gated out at runtime: skip the phase.
+      // Every lossless arm gated out (runtime gating, or all predicted
+      // infeasible): skip the phase without compressing anything.
       if (!config_.allow_lossy) {
         return Status::Unavailable(
             "lossless compression cannot reach the target ratio");
@@ -164,7 +211,12 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
     pull = PullGuard(*lossless_bandit_, arm_idx, mu_, TraceSink(),
                      "lossless");
     arm = lossless_arms_.arm(arm_idx);
+    if (f != nullptr) {
+      arm.params.reserve_hint_bytes =
+          lossless_estimator_.PresizeHint(arm_idx, *f, values.size());
+    }
     target_ratio = config_.target_ratio;
+    trim_bytes = config_.scratch_trim_bytes;
   }
 
   // Phase 2: codec work with no lock held, into this thread's reusable
@@ -174,8 +226,16 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
   Status compressed = arm.codec->CompressInto(values, arm.params, scratch);
   double seconds = watch.ElapsedSeconds();
   if (!compressed.ok()) {
-    // E.g. dictionary refusing high-cardinality input: teach the bandit.
+    // E.g. dictionary refusing high-cardinality input: teach the bandit
+    // (and the estimator, with the refusal-convention ratio).
     util::MutexLock lock(&mu_);
+    if (f != nullptr) {
+      lossless_estimator_.Observe(
+          pull.arm(), *f, 2.0,
+          values.empty() ? 0.0
+                         : seconds / static_cast<double>(values.size()),
+          0.0);
+    }
     pull.CompleteLocked(0.0);
     if (!config_.allow_lossy) {
       // Lossless-only selectors (CodecDB-style) fail hard here — the
@@ -194,10 +254,17 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
   bool ship_raw = ratio > target_ratio && target_ratio >= 1.0;
   bool met_target = ship_raw || ratio <= target_ratio;
 
-  // Phase 3: feed the delayed reward back and advance the phase machine
-  // in one critical section.
+  // Phase 3: feed the delayed reward back (bandit and estimator) and
+  // advance the phase machine in one critical section.
   {
     util::MutexLock lock(&mu_);
+    if (f != nullptr) {
+      lossless_estimator_.Observe(
+          pull.arm(), *f, ratio,
+          values.empty() ? 0.0
+                         : seconds / static_cast<double>(values.size()),
+          reward);
+    }
     pull.CompleteLocked(reward);
     if (met_target) {
       consecutive_misses_ = 0;
@@ -229,15 +296,18 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
   outcome.reward = reward;
   outcome.accuracy = 1.0;
   outcome.compress_seconds = seconds;
+  TrimScratchCapacity(scratch, trim_bytes);
   return std::optional<Outcome>(std::move(outcome));
 }
 
 Result<OnlineSelector::Outcome> OnlineSelector::TryLossy(
-    uint64_t id, double now, std::span<const double> values) {
+    uint64_t id, double now, std::span<const double> values,
+    const compress::SegmentFeatures* f) {
   // Guard declared before any lock scope (see TryLossless).
   PullGuard pull;
   compress::CodecArm arm;
   double target_ratio;
+  size_t trim_bytes = 0;
 
   // Phase 1: pick a feasible arm under the lock (SupportsRatio is a cheap
   // pure function of the target and segment length). Arms that cannot
@@ -245,22 +315,49 @@ Result<OnlineSelector::Outcome> OnlineSelector::TryLossy(
   // skipped in favour of the best supporting arm.
   {
     util::MutexLock lock(&mu_);
+    // Dominance-only prune gate: every supporting lossy arm is feasible
+    // by construction, so the feasibility bound is +inf and an all-pruned
+    // gate falls back to ungated selection (empty_means_skip = false —
+    // the segment must be stored either way).
+    std::vector<uint8_t> prune_mask;
+    PruneGate gate;
+    const PruneGate* gate_ptr = nullptr;
+    if (f != nullptr && config_.estimator.prune &&
+        !lossy_estimator_.ShouldForceExplore(++estimator_ticks_)) {
+      prune_mask = lossy_estimator_.PruneMask(
+          *f, std::numeric_limits<double>::infinity(), [&](int i) {
+            mu_.AssertHeld();
+            return lossy_arms_.arm_enabled(i) &&
+                   lossy_arms_.arm(i).codec->SupportsRatio(
+                       config_.target_ratio, values.size());
+          });
+      gate.pruned = [&prune_mask](int i) { return prune_mask[i] != 0; };
+      gate.empty_means_skip = false;
+      gate_ptr = &gate;
+    }
     int arm_idx = AcquireSupportedArmLocked(
-        *lossy_bandit_, lossy_arms_, [&](const compress::CodecArm& a) {
+        *lossy_bandit_, lossy_arms_,
+        [&](const compress::CodecArm& a) {
           // AcquireSupportedArmLocked runs the filter synchronously inside
           // this critical section; the analysis cannot see through the
           // std::function.
           mu_.AssertHeld();
           return a.codec->SupportsRatio(config_.target_ratio,
                                         values.size());
-        });
+        },
+        gate_ptr);
     if (arm_idx < 0) {
       return Status::Unavailable(
           "no lossy codec supports the target compression ratio");
     }
     pull = PullGuard(*lossy_bandit_, arm_idx, mu_, TraceSink(), "lossy");
     arm = lossy_arms_.arm(arm_idx);
+    if (f != nullptr) {
+      arm.params.reserve_hint_bytes =
+          lossy_estimator_.PresizeHint(arm_idx, *f, values.size());
+    }
     target_ratio = config_.target_ratio;
+    trim_bytes = config_.scratch_trim_bytes;
   }
   arm.params.target_ratio = target_ratio;
 
@@ -284,8 +381,19 @@ Result<OnlineSelector::Outcome> OnlineSelector::TryLossy(
       values, reconstructed.value(), values.size() * sizeof(double),
       seconds);
 
-  // Phase 3: feed the delayed reward back.
-  pull.Complete(reward);
+  // Phase 3: feed the delayed reward back (bandit and estimator).
+  {
+    util::MutexLock lock(&mu_);
+    if (f != nullptr) {
+      lossy_estimator_.Observe(
+          pull.arm(), *f,
+          compress::CompressionRatio(scratch.size(), values.size()),
+          values.empty() ? 0.0
+                         : seconds / static_cast<double>(values.size()),
+          reward);
+    }
+    pull.CompleteLocked(reward);
+  }
 
   Outcome outcome;
   outcome.segment = MakeArmSegment(
@@ -300,6 +408,7 @@ Result<OnlineSelector::Outcome> OnlineSelector::TryLossy(
   outcome.reward = reward;
   outcome.accuracy = accuracy;
   outcome.compress_seconds = seconds;
+  TrimScratchCapacity(scratch, trim_bytes);
   return outcome;
 }
 
@@ -314,6 +423,18 @@ Status OnlineSelector::AddLosslessArm(compress::CodecArm arm) {
   }
   lossless_arms_.Add(std::move(arm));
   lossless_bandit_->AddArm();
+  lossless_estimator_.AddArm();
+  // Prediction-derived prior for the new arm: a full-size snapshot whose
+  // only nonzero-pull entry is the new index, so WarmStart (which skips
+  // zero-pull peer entries and locally-tried arms) seeds ONLY it.
+  bandit::ArmStats prior = lossless_estimator_.NewArmPrior();
+  if (prior.pulls > 0) {
+    std::vector<bandit::ArmStats> seed(
+        static_cast<size_t>(lossless_arms_.size()));
+    seed.back() = prior;
+    lossless_bandit_->WarmStart(seed,
+                                config_.estimator.warm_start_count_cap);
+  }
   // The new arm may reach a target the old pool missed: re-probe.
   if (!config_.force_lossy) {
     lossless_active_ = true;
@@ -333,6 +454,16 @@ Status OnlineSelector::AddLossyArm(compress::CodecArm arm) {
   }
   lossy_arms_.Add(std::move(arm));
   lossy_bandit_->AddArm();
+  lossy_estimator_.AddArm();
+  // Same single-entry warm start as AddLosslessArm.
+  bandit::ArmStats prior = lossy_estimator_.NewArmPrior();
+  if (prior.pulls > 0) {
+    std::vector<bandit::ArmStats> seed(
+        static_cast<size_t>(lossy_arms_.size()));
+    seed.back() = prior;
+    lossy_bandit_->WarmStart(seed,
+                             config_.estimator.warm_start_count_cap);
+  }
   return Status::Ok();
 }
 
@@ -353,7 +484,12 @@ Status OnlineSelector::SetArmEnabled(std::string_view name, bool enabled) {
 
 OnlineSelector::PolicySnapshot OnlineSelector::ExportPolicy() const {
   util::MutexLock lock(&mu_);
-  return {lossless_bandit_->ExportStats(), lossy_bandit_->ExportStats()};
+  PolicySnapshot snapshot;
+  snapshot.lossless = lossless_bandit_->ExportStats();
+  snapshot.lossy = lossy_bandit_->ExportStats();
+  snapshot.lossless_estimator = lossless_estimator_.Export();
+  snapshot.lossy_estimator = lossy_estimator_.Export();
+  return snapshot;
 }
 
 void OnlineSelector::MergePolicy(const PolicySnapshot& peer,
@@ -368,6 +504,10 @@ void OnlineSelector::WarmStartPolicy(const PolicySnapshot& peer,
   util::MutexLock lock(&mu_);
   lossless_bandit_->WarmStart(peer.lossless, count_cap);
   lossy_bandit_->WarmStart(peer.lossy, count_cap);
+  // Estimator state transfers whole-model (adopted, never blended):
+  // no-op unless this selector has zero observations of its own.
+  lossless_estimator_.AdoptIfUntrained(peer.lossless_estimator);
+  lossy_estimator_.AdoptIfUntrained(peer.lossy_estimator);
 }
 
 std::vector<std::string> OnlineSelector::ArmCounts() const {
@@ -380,6 +520,24 @@ std::vector<std::string> OnlineSelector::ArmCounts() const {
   for (int i = 0; i < lossy_arms_.size(); ++i) {
     out.push_back(lossy_arms_.name(i) + "*:" +
                   std::to_string(lossy_bandit_->PullCount(i)));
+  }
+  return out;
+}
+
+std::vector<OnlineSelector::ArmEstimate> OnlineSelector::EstimatorReport()
+    const {
+  util::MutexLock lock(&mu_);
+  std::vector<ArmEstimate> out;
+  if (!config_.estimator.enabled) return out;
+  for (int i = 0; i < lossless_arms_.size(); ++i) {
+    out.push_back({lossless_arms_.name(i), false,
+                   lossless_estimator_.Observations(i),
+                   lossless_estimator_.MeanAbsError(i)});
+  }
+  for (int i = 0; i < lossy_arms_.size(); ++i) {
+    out.push_back({lossy_arms_.name(i), true,
+                   lossy_estimator_.Observations(i),
+                   lossy_estimator_.MeanAbsError(i)});
   }
   return out;
 }

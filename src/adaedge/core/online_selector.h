@@ -9,7 +9,9 @@
 
 #include "adaedge/bandit/bandit.h"
 #include "adaedge/compress/registry.h"
+#include "adaedge/compress/segment_features.h"
 #include "adaedge/core/arm_runtime.h"
+#include "adaedge/core/ratio_estimator.h"
 #include "adaedge/core/segment.h"
 #include "adaedge/core/target.h"
 #include "adaedge/util/mutex.h"
@@ -56,10 +58,20 @@ struct OnlineConfig {
   /// runs produce a deterministic trace; the golden tests pin it). Off by
   /// default: the trace grows without bound.
   bool record_reward_trace = false;
+  /// Learned per-arm ratio/throughput estimation (ratio_estimator.h):
+  /// prior warm-start for runtime-added arms, dominated-arm pruning that
+  /// skips trial compressions, and predicted-size scratch pre-sizing.
+  /// Everything defaults off — the golden traces stay byte-identical.
+  RatioEstimatorConfig estimator;
+  /// Bound on retained thread-local compression-scratch capacity, in
+  /// bytes; 0 (default) keeps the historical retain-forever policy. See
+  /// TrimScratchCapacity (arm_runtime.h) and DESIGN.md §7.
+  size_t scratch_trim_bytes = 0;
 
   /// InvalidArgument when a field is out of range (non-positive
   /// target_ratio, patience or recheck interval, epsilon/step outside
-  /// [0, 1]). OnlineSelector::Create is the checked construction path.
+  /// [0, 1], estimator knobs failing RatioEstimatorConfig::Validate).
+  /// OnlineSelector::Create is the checked construction path.
   Status Validate() const;
 };
 
@@ -133,6 +145,11 @@ class OnlineSelector {
   struct PolicySnapshot {
     std::vector<bandit::ArmStats> lossless;
     std::vector<bandit::ArmStats> lossy;
+    /// Estimator state rides along (empty when the estimator is off).
+    /// MergePolicy ignores it — NLMS weights do not blend incrementally
+    /// — but WarmStartPolicy adopts it into an untrained selector.
+    RatioEstimator::Snapshot lossless_estimator;
+    RatioEstimator::Snapshot lossy_estimator;
   };
   PolicySnapshot ExportPolicy() const ADAEDGE_EXCLUDES(mu_);
 
@@ -151,6 +168,16 @@ class OnlineSelector {
 
   /// Arm pull counts for introspection, "<name>:<count>" per arm.
   std::vector<std::string> ArmCounts() const ADAEDGE_EXCLUDES(mu_);
+
+  /// Per-arm estimator introspection (bench/test): observation counts
+  /// and running prediction MAE. Empty when the estimator is disabled.
+  struct ArmEstimate {
+    std::string arm;
+    bool lossy = false;
+    uint64_t observations = 0;
+    double mae = 0.0;
+  };
+  std::vector<ArmEstimate> EstimatorReport() const ADAEDGE_EXCLUDES(mu_);
 
   /// Sum of in-flight (acquired-but-not-completed) pulls across both
   /// bandits. 0 whenever no Process call is in flight — PullGuard settles
@@ -172,11 +199,14 @@ class OnlineSelector {
  private:
   /// Lossless attempt: nullopt means "missed the target, fall back to
   /// lossy for this same segment" (the miss has already been recorded).
-  Result<std::optional<Outcome>> TryLossless(uint64_t id, double now,
-                                             std::span<const double> values)
-      ADAEDGE_EXCLUDES(mu_);
+  /// `features` is null when the estimator is disabled (extracted once
+  /// per Process call, outside every lock).
+  Result<std::optional<Outcome>> TryLossless(
+      uint64_t id, double now, std::span<const double> values,
+      const compress::SegmentFeatures* features) ADAEDGE_EXCLUDES(mu_);
   Result<Outcome> TryLossy(uint64_t id, double now,
-                           std::span<const double> values)
+                           std::span<const double> values,
+                           const compress::SegmentFeatures* features)
       ADAEDGE_EXCLUDES(mu_);
 
   /// Records a lossless miss and advances the phase machine (mu_ held):
@@ -204,6 +234,14 @@ class OnlineSelector {
   bool lossless_active_ ADAEDGE_GUARDED_BY(mu_);
   int consecutive_misses_ ADAEDGE_GUARDED_BY(mu_) = 0;
   uint64_t processed_ ADAEDGE_GUARDED_BY(mu_) = 0;
+  /// Learned ratio estimators, one per pool, guarded by the same bandit
+  /// mutex as the policies they advise (LockRank::kBandit; no lock of
+  /// their own — see DESIGN.md §6 lock table and §11).
+  RatioEstimator lossless_estimator_ ADAEDGE_GUARDED_BY(mu_);
+  RatioEstimator lossy_estimator_ ADAEDGE_GUARDED_BY(mu_);
+  /// Monotonic estimator-guided-selection counter driving the periodic
+  /// forced-exploration escape hatch.
+  uint64_t estimator_ticks_ ADAEDGE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace adaedge::core

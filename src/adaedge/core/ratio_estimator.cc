@@ -1,0 +1,238 @@
+#include "adaedge/core/ratio_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+namespace adaedge::core {
+
+namespace {
+
+// NLMS normalization floor: |x|^2 >= 1 always holds (the bias feature is
+// 1), so this only guards a future feature-vector change.
+constexpr double kNormEps = 1e-6;
+// EWMA smoothing for the MAE and reward trackers.
+constexpr double kEwmaAlpha = 0.25;
+// Ratio targets are clamped here: 2.0 is the "refusal" convention of
+// MeasureArmRatio and already twice the raw ratio.
+constexpr double kMaxRatio = 2.0;
+// The throughput head learns log2(1 + ns/value), bounded (2^40 ns/value
+// is ~18 minutes per value — beyond any real codec).
+constexpr double kMaxLogNs = 40.0;
+
+double ClampFinite(double x, double lo, double hi, double fallback) {
+  if (!std::isfinite(x)) return fallback;
+  return std::clamp(x, lo, hi);
+}
+
+}  // namespace
+
+Status RatioEstimatorConfig::Validate() const {
+  if (!(learning_rate > 0.0 && learning_rate < 2.0)) {
+    return Status::InvalidArgument(
+        "estimator.learning_rate must be in (0, 2) (got " +
+        std::to_string(learning_rate) + ")");
+  }
+  if (prune_margin < 0.0 || prune_mae_factor < 0.0) {
+    return Status::InvalidArgument(
+        "estimator prune margins must be >= 0");
+  }
+  if (prune && explore_interval == 0) {
+    return Status::InvalidArgument(
+        "estimator.explore_interval must be >= 1 when pruning (0 would "
+        "let a wrong model gate an arm forever)");
+  }
+  if (!(presize_slack >= 1.0)) {
+    return Status::InvalidArgument(
+        "estimator.presize_slack must be >= 1 (got " +
+        std::to_string(presize_slack) + ")");
+  }
+  if (min_observations == 0) {
+    return Status::InvalidArgument(
+        "estimator.min_observations must be >= 1 (an untrained model "
+        "must never gate selection)");
+  }
+  return Status::Ok();
+}
+
+RatioEstimator::RatioEstimator(int num_arms,
+                               const RatioEstimatorConfig& config)
+    : config_(config) {
+  arms_.reserve(static_cast<size_t>(num_arms));
+  for (int i = 0; i < num_arms; ++i) AddArm();
+}
+
+void RatioEstimator::AddArm() {
+  ArmModel model;
+  // Bias-only prior: predict the raw ratio (1.0) and ~1 ns/value until
+  // observations arrive. Deterministic — no random initialization.
+  model.ratio_weights[0] = 1.0;
+  model.seconds_weights[0] = 1.0;
+  arms_.push_back(model);
+}
+
+double RatioEstimator::Dot(
+    const std::array<double, compress::kSegmentFeatureCount>& w,
+    const compress::SegmentFeatures& f) const {
+  double acc = 0.0;
+  for (int i = 0; i < compress::kSegmentFeatureCount; ++i) {
+    acc += w[static_cast<size_t>(i)] * f.v[static_cast<size_t>(i)];
+  }
+  return acc;
+}
+
+void RatioEstimator::Observe(int arm, const compress::SegmentFeatures& f,
+                             double ratio, double seconds_per_value,
+                             double reward) {
+  if (!config_.enabled || arm < 0 || arm >= num_arms()) return;
+  ArmModel& m = arms_[static_cast<size_t>(arm)];
+
+  double norm = kNormEps;
+  for (double x : f.v) norm += x * x;
+  const double step = config_.learning_rate / norm;
+
+  // Ratio head. Non-finite observations (a hostile segment making a
+  // codec report nonsense) degrade to the refusal ratio instead of
+  // poisoning the weights.
+  const double y = ClampFinite(ratio, 0.0, kMaxRatio, kMaxRatio);
+  const double err = y - Dot(m.ratio_weights, f);
+  for (int i = 0; i < compress::kSegmentFeatureCount; ++i) {
+    m.ratio_weights[static_cast<size_t>(i)] +=
+        step * err * f.v[static_cast<size_t>(i)];
+  }
+  m.mae += kEwmaAlpha * (std::fabs(err) - m.mae);
+
+  // Throughput head, in log2(1 + ns/value).
+  const double ns = ClampFinite(seconds_per_value, 0.0, 1e12, 0.0) * 1e9;
+  const double yt = std::clamp(std::log2(1.0 + ns), 0.0, kMaxLogNs);
+  const double errt = yt - Dot(m.seconds_weights, f);
+  for (int i = 0; i < compress::kSegmentFeatureCount; ++i) {
+    m.seconds_weights[static_cast<size_t>(i)] +=
+        step * errt * f.v[static_cast<size_t>(i)];
+  }
+
+  // Reward EWMA (per arm and pooled): the new-arm warm-start prior.
+  const double r = ClampFinite(reward, 0.0, 1.0, 0.0);
+  m.reward_ewma += kEwmaAlpha * (r - m.reward_ewma);
+  pool_reward_ewma_ += kEwmaAlpha * (r - pool_reward_ewma_);
+  ++m.observations;
+  ++pool_observations_;
+}
+
+double RatioEstimator::PredictRatio(
+    int arm, const compress::SegmentFeatures& f) const {
+  if (arm < 0 || arm >= num_arms()) return 1.0;
+  return std::clamp(Dot(arms_[static_cast<size_t>(arm)].ratio_weights, f),
+                    0.0, kMaxRatio);
+}
+
+double RatioEstimator::PredictSecondsPerValue(
+    int arm, const compress::SegmentFeatures& f) const {
+  if (arm < 0 || arm >= num_arms()) return 0.0;
+  const double log_ns = std::clamp(
+      Dot(arms_[static_cast<size_t>(arm)].seconds_weights, f), 0.0,
+      kMaxLogNs);
+  return (std::exp2(log_ns) - 1.0) * 1e-9;
+}
+
+bool RatioEstimator::Trained(int arm) const {
+  if (arm < 0 || arm >= num_arms()) return false;
+  return arms_[static_cast<size_t>(arm)].observations >=
+         config_.min_observations;
+}
+
+uint64_t RatioEstimator::Observations(int arm) const {
+  if (arm < 0 || arm >= num_arms()) return 0;
+  return arms_[static_cast<size_t>(arm)].observations;
+}
+
+double RatioEstimator::MeanAbsError(int arm) const {
+  if (arm < 0 || arm >= num_arms()) return 0.0;
+  return arms_[static_cast<size_t>(arm)].mae;
+}
+
+bool RatioEstimator::ShouldForceExplore(uint64_t tick) const {
+  if (!config_.enabled || !config_.prune || config_.explore_interval == 0) {
+    return false;
+  }
+  return (tick + config_.seed) % config_.explore_interval == 0;
+}
+
+double RatioEstimator::Margin(int arm) const {
+  return config_.prune_margin +
+         config_.prune_mae_factor * MeanAbsError(arm);
+}
+
+std::vector<uint8_t> RatioEstimator::PruneMask(
+    const compress::SegmentFeatures& f, double infeasible_above,
+    const std::function<bool(int)>& usable) const {
+  std::vector<uint8_t> mask(static_cast<size_t>(num_arms()), 0);
+  if (!config_.enabled || !config_.prune) return mask;
+
+  // Incumbent: the best (lowest) predicted ratio among trained usable
+  // arms. Untrained arms are never pruned and never serve as incumbent.
+  int incumbent = -1;
+  double incumbent_pred = std::numeric_limits<double>::infinity();
+  std::vector<double> pred(static_cast<size_t>(num_arms()), 0.0);
+  for (int a = 0; a < num_arms(); ++a) {
+    if (!usable(a) || !Trained(a)) continue;
+    pred[static_cast<size_t>(a)] = PredictRatio(a, f);
+    if (pred[static_cast<size_t>(a)] < incumbent_pred) {
+      incumbent_pred = pred[static_cast<size_t>(a)];
+      incumbent = a;
+    }
+  }
+  if (incumbent < 0) return mask;  // nothing trained: gate nothing
+
+  const double dominance_bound = incumbent_pred + Margin(incumbent);
+  for (int a = 0; a < num_arms(); ++a) {
+    if (!usable(a) || !Trained(a)) continue;
+    const double optimistic = pred[static_cast<size_t>(a)] - Margin(a);
+    if (optimistic > infeasible_above ||
+        (a != incumbent && optimistic > dominance_bound)) {
+      mask[static_cast<size_t>(a)] = 1;
+    }
+  }
+  return mask;
+}
+
+size_t RatioEstimator::PresizeHint(int arm,
+                                   const compress::SegmentFeatures& f,
+                                   size_t value_count) const {
+  if (!config_.enabled || !config_.presize || !Trained(arm)) return 0;
+  const double bytes = PredictRatio(arm, f) * 8.0 *
+                       static_cast<double>(value_count) *
+                       config_.presize_slack;
+  if (!(bytes > 0.0)) return 64;
+  if (bytes >= 1e18) return 0;  // degenerate: fall back to worst case
+  return std::max<size_t>(static_cast<size_t>(bytes), 64);
+}
+
+bandit::ArmStats RatioEstimator::NewArmPrior() const {
+  bandit::ArmStats prior;
+  if (!config_.enabled || !config_.warm_start) return prior;
+  prior.value = std::clamp(pool_reward_ewma_, 0.0, 1.0);
+  prior.pulls =
+      std::min(pool_observations_, config_.warm_start_count_cap);
+  return prior;
+}
+
+RatioEstimator::Snapshot RatioEstimator::Export() const {
+  Snapshot snapshot;
+  snapshot.arms = arms_;
+  snapshot.pool_reward_ewma = pool_reward_ewma_;
+  snapshot.pool_observations = pool_observations_;
+  return snapshot;
+}
+
+void RatioEstimator::AdoptIfUntrained(const Snapshot& peer) {
+  if (!config_.enabled || pool_observations_ != 0) return;
+  const size_t n =
+      std::min(arms_.size(), peer.arms.size());
+  for (size_t a = 0; a < n; ++a) arms_[a] = peer.arms[a];
+  pool_reward_ewma_ = peer.pool_reward_ewma;
+  pool_observations_ = peer.pool_observations;
+}
+
+}  // namespace adaedge::core

@@ -1,0 +1,202 @@
+#ifndef ADAEDGE_CORE_RATIO_ESTIMATOR_H_
+#define ADAEDGE_CORE_RATIO_ESTIMATOR_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "adaedge/bandit/bandit.h"
+#include "adaedge/compress/segment_features.h"
+#include "adaedge/util/status.h"
+
+namespace adaedge::core {
+
+using util::Status;
+
+/// Knobs for the learned per-arm ratio/throughput estimator. Everything
+/// defaults OFF: a default-constructed selector behaves byte-identically
+/// to one built before the estimator existed (the golden payload/trace
+/// tests pin this). `enabled` turns on observation + prediction; the
+/// three consumer knobs below each gate one use of the predictions.
+struct RatioEstimatorConfig {
+  /// Master switch: extract features and update the per-arm models from
+  /// every completed pull. Off: the estimator is inert (no feature
+  /// extraction, no state, zero behavior change).
+  bool enabled = false;
+  /// Gate predicted-dominated / predicted-infeasible arms out of
+  /// selection (AcquireSupportedArmLocked's PruneGate). This is what
+  /// kills wasted trial compressions on the hot path.
+  bool prune = false;
+  /// Seed bandit estimates for runtime-added arms (and warm-started
+  /// shards) from the pooled prediction instead of the uniform
+  /// optimistic prior, via BanditPolicy::WarmStart's capped synthetic
+  /// pulls.
+  bool warm_start = false;
+  /// Pass a predicted-size reserve hint to CompressInto so the encode
+  /// scratch reserves ~predicted bytes instead of the worst case
+  /// (compress::CodecParams::reserve_hint_bytes).
+  bool presize = false;
+  /// Normalized-LMS step size, in (0, 2).
+  double learning_rate = 0.5;
+  /// Base prune margin in ratio units: an arm is gated only when its
+  /// prediction is worse than the incumbent's (or the feasibility bound)
+  /// by at least this much...
+  double prune_margin = 0.02;
+  /// ...plus this multiple of the arm's running mean absolute error, so
+  /// poorly-modelled arms are harder to prune than well-modelled ones.
+  double prune_mae_factor = 2.0;
+  /// Observations an arm needs before its predictions gate anything or
+  /// pre-size any buffer. Below it the arm is never pruned.
+  uint64_t min_observations = 4;
+  /// Forced-exploration escape hatch: every this-many estimator-guided
+  /// selections, the prune gate is skipped entirely so real observations
+  /// keep flowing even for arms the model believes dominated. Must be
+  /// >= 1 when prune is on; the phase offset is derived from `seed` so a
+  /// fleet's shards do not explore in lockstep.
+  uint64_t explore_interval = 64;
+  /// Pre-size slack multiplier on the predicted payload size (>= 1).
+  double presize_slack = 1.25;
+  /// Synthetic-pull cap for warm-started priors (mirrors the fleet's
+  /// warm_start_count_cap, but for prediction-derived priors).
+  uint64_t warm_start_count_cap = 4;
+  /// Decorrelates the forced-exploration phase across instances. The
+  /// estimator itself is deterministic: weights are a pure function of
+  /// the observation sequence (no RNG anywhere in the update path).
+  uint64_t seed = 17;
+
+  /// InvalidArgument when a field is out of range (learning_rate outside
+  /// (0, 2), negative margins, zero explore_interval with prune on,
+  /// presize_slack < 1).
+  Status Validate() const;
+};
+
+/// Deterministic online per-arm estimator of compressed ratio and
+/// encode throughput from cheap segment features (ROADMAP item 4; the
+/// normalized-LMS formulation follows the online-sequential-learning
+/// ratio-estimation line in PAPERS.md). One instance models one arm
+/// pool (the online selector owns two: lossless and lossy).
+///
+/// Per arm it maintains two weight vectors over
+/// compress::kSegmentFeatureCount features — one predicting the
+/// compression ratio, one predicting log-scaled encode ns/value — plus
+/// a running mean-absolute-error (the prune confidence margin), an
+/// observed-reward EWMA and an observation count. Updates are NLMS:
+///
+///   err = y - w.x;  w += learning_rate * err * x / (eps + |x|^2)
+///
+/// with features bounded in [0, 1] (segment_features.h) and targets
+/// clamped, so weights stay finite for any input. No RNG: for a fixed
+/// observation sequence the weights are bit-identical across runs.
+///
+/// Thread-compatible, not thread-safe: guarded by the owning engine's
+/// bandit mutex exactly like ArmSet and BanditPolicy (the owners
+/// annotate their member ADAEDGE_GUARDED_BY(mu_); see DESIGN.md §6).
+class RatioEstimator {
+ public:
+  /// Inert estimator (zero arms, disabled config).
+  RatioEstimator() = default;
+  RatioEstimator(int num_arms, const RatioEstimatorConfig& config);
+
+  const RatioEstimatorConfig& config() const { return config_; }
+  bool enabled() const { return config_.enabled; }
+  int num_arms() const { return static_cast<int>(arms_.size()); }
+
+  /// Grows the pool by one untrained arm (call alongside
+  /// BanditPolicy::AddArm, under the same lock).
+  void AddArm();
+
+  /// Feeds one completed pull back: the features the segment showed, the
+  /// achieved ratio (compressed/(8n); refusals conventionally 2.0), the
+  /// measured encode seconds per value, and the reward the bandit was
+  /// paid (pooled into the new-arm prior).
+  void Observe(int arm, const compress::SegmentFeatures& f, double ratio,
+               double seconds_per_value, double reward);
+
+  /// Predicted compression ratio for `arm` on a segment showing `f`,
+  /// clamped to [0, 2]. 1.0 (the raw ratio) before any observation.
+  double PredictRatio(int arm, const compress::SegmentFeatures& f) const;
+
+  /// Predicted encode seconds per value (>= 0).
+  double PredictSecondsPerValue(int arm,
+                                const compress::SegmentFeatures& f) const;
+
+  /// True once `arm` has at least min_observations updates — the gate on
+  /// every prediction consumer.
+  bool Trained(int arm) const;
+  uint64_t Observations(int arm) const;
+  /// Running EWMA of |predicted - achieved| ratio error.
+  double MeanAbsError(int arm) const;
+
+  /// True when this selection should bypass the prune gate entirely
+  /// (the forced-exploration escape hatch). `tick` is the caller's
+  /// monotonically increasing selection counter.
+  bool ShouldForceExplore(uint64_t tick) const;
+
+  /// Per-arm prune verdicts for one segment (1 = gate out). An arm is
+  /// pruned only when usable, trained, and its prediction minus its
+  /// confidence margin (prune_margin + prune_mae_factor * MAE) is still
+  /// worse than `infeasible_above` (pass the target ratio, or +inf when
+  /// feasibility is not the question) or than the best trained usable
+  /// arm's prediction plus ITS margin. The incumbent itself can never
+  /// satisfy the dominance test, so at least one trained usable arm
+  /// always survives dominance pruning; only the feasibility bound can
+  /// empty the pool (the lossless-phase skip).
+  std::vector<uint8_t> PruneMask(
+      const compress::SegmentFeatures& f, double infeasible_above,
+      const std::function<bool(int)>& usable) const;
+
+  /// Encode-scratch reserve hint for `arm` on `f`: predicted payload
+  /// bytes times presize_slack, floored at 64. 0 (= no hint, reserve the
+  /// worst case) when the arm is untrained or presize is off.
+  size_t PresizeHint(int arm, const compress::SegmentFeatures& f,
+                     size_t value_count) const;
+
+  /// Bandit prior for a freshly added arm: the pooled observed-reward
+  /// EWMA with min(pool observations, warm_start_count_cap) synthetic
+  /// pulls. pulls == 0 (which BanditPolicy::WarmStart ignores) until the
+  /// pool has observed anything.
+  bandit::ArmStats NewArmPrior() const;
+
+  /// --- cross-instance state sharing (fleet warm start) ---
+  struct ArmModel {
+    std::array<double, compress::kSegmentFeatureCount> ratio_weights{};
+    std::array<double, compress::kSegmentFeatureCount> seconds_weights{};
+    double mae = 0.0;
+    double reward_ewma = 0.0;
+    uint64_t observations = 0;
+  };
+  struct Snapshot {
+    std::vector<ArmModel> arms;
+    double pool_reward_ewma = 0.0;
+    uint64_t pool_observations = 0;
+
+    uint64_t TotalObservations() const {
+      uint64_t total = 0;
+      for (const ArmModel& a : arms) total += a.observations;
+      return total;
+    }
+  };
+  Snapshot Export() const;
+
+  /// Adopts `peer` state wholesale when this instance has not observed
+  /// anything yet (a fresh shard warm-starting from the fleet). NLMS
+  /// weights are adopted, never blended: parameter averages of models
+  /// trained on different regimes predict neither regime.
+  void AdoptIfUntrained(const Snapshot& peer);
+
+ private:
+  double Dot(const std::array<double, compress::kSegmentFeatureCount>& w,
+             const compress::SegmentFeatures& f) const;
+  double Margin(int arm) const;
+
+  RatioEstimatorConfig config_;
+  std::vector<ArmModel> arms_;
+  double pool_reward_ewma_ = 0.0;
+  uint64_t pool_observations_ = 0;
+};
+
+}  // namespace adaedge::core
+
+#endif  // ADAEDGE_CORE_RATIO_ESTIMATOR_H_

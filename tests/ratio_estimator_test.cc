@@ -1,0 +1,534 @@
+// RatioEstimator tests: NLMS convergence and regime-change adaptation,
+// the pinned update rule, bit-identical determinism, prune-gate safety
+// (never leaves zero supported arms), warm-started priors for arms added
+// at runtime, estimator-state adoption across selectors and fleet
+// shards, and a concurrent Process/mutation stress run (in CI also under
+// ThreadSanitizer via the RatioEstimator test_filter entry).
+
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/compress/registry.h"
+#include "adaedge/compress/segment_features.h"
+#include "adaedge/core/arm_runtime.h"
+#include "adaedge/core/fleet.h"
+#include "adaedge/core/offline_node.h"
+#include "adaedge/core/online_selector.h"
+#include "adaedge/core/ratio_estimator.h"
+#include "adaedge/data/generators.h"
+
+namespace adaedge::core {
+namespace {
+
+using compress::ExtractSegmentFeatures;
+using compress::SegmentFeatures;
+
+RatioEstimatorConfig EnabledConfig() {
+  RatioEstimatorConfig config;
+  config.enabled = true;
+  return config;
+}
+
+/// Feature vectors from a seeded CBF stream: realistic, varied, and
+/// reproducible across runs.
+std::vector<SegmentFeatures> CbfFeatures(size_t count, uint64_t seed) {
+  data::CbfStream stream(seed);
+  std::vector<double> values(256);
+  std::vector<SegmentFeatures> out(count);
+  for (auto& f : out) {
+    stream.Fill(values);
+    f = ExtractSegmentFeatures(values);
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- config
+
+TEST(RatioEstimatorConfigTest, ValidateRejectsBadKnobs) {
+  EXPECT_TRUE(RatioEstimatorConfig{}.Validate().ok());
+
+  RatioEstimatorConfig config;
+  config.learning_rate = 0.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.learning_rate = 2.0;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = RatioEstimatorConfig{};
+  config.prune_margin = -0.1;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = RatioEstimatorConfig{};
+  config.prune = true;
+  config.explore_interval = 0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.explore_interval = 1;
+  EXPECT_TRUE(config.Validate().ok());
+
+  config = RatioEstimatorConfig{};
+  config.presize_slack = 0.5;
+  EXPECT_FALSE(config.Validate().ok());
+
+  config = RatioEstimatorConfig{};
+  config.min_observations = 0;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+// ------------------------------------------------------------ learning
+
+TEST(RatioEstimatorTest, UntrainedPredictsRawRatio) {
+  RatioEstimator estimator(3, EnabledConfig());
+  SegmentFeatures f = CbfFeatures(1, 3)[0];
+  for (int arm = 0; arm < 3; ++arm) {
+    EXPECT_DOUBLE_EQ(estimator.PredictRatio(arm, f), 1.0);
+    EXPECT_FALSE(estimator.Trained(arm));
+    EXPECT_EQ(estimator.Observations(arm), 0u);
+  }
+}
+
+TEST(RatioEstimatorTest, ConvergesOnLinearTarget) {
+  // The true ratio is linear in the features, so NLMS can represent it
+  // exactly; after a few hundred observations the prediction and the
+  // running MAE must both be tight.
+  RatioEstimator estimator(1, EnabledConfig());
+  auto train = CbfFeatures(400, 11);
+  for (const auto& f : train) {
+    const double y = 0.2 + 0.5 * f.v[1] + 0.1 * f.v[3];
+    estimator.Observe(0, f, y, 2e-9, 0.5);
+  }
+  EXPECT_TRUE(estimator.Trained(0));
+  EXPECT_LT(estimator.MeanAbsError(0), 0.02);
+  for (const auto& f : CbfFeatures(20, 12)) {
+    const double y = 0.2 + 0.5 * f.v[1] + 0.1 * f.v[3];
+    EXPECT_NEAR(estimator.PredictRatio(0, f), y, 0.05);
+  }
+}
+
+TEST(RatioEstimatorTest, AdaptsAfterRegimeChange) {
+  // Same feature distribution, ratio regime jumps 0.8 -> 0.3 (the data
+  // behind the features changed in a way the features do not see): the
+  // online update must track the new regime, not average the two.
+  RatioEstimator estimator(1, EnabledConfig());
+  auto features = CbfFeatures(100, 21);
+  for (const auto& f : features) estimator.Observe(0, f, 0.8, 2e-9, 0.5);
+  EXPECT_NEAR(estimator.PredictRatio(0, features[0]), 0.8, 0.05);
+  for (const auto& f : features) estimator.Observe(0, f, 0.3, 2e-9, 0.5);
+  EXPECT_NEAR(estimator.PredictRatio(0, features[0]), 0.3, 0.05);
+}
+
+TEST(RatioEstimatorTest, NlmsUpdateRulePinned) {
+  // Regression pin of the exact update rule on a short seeded trace:
+  //   err = y - w.x;  w += learning_rate * err * x / (1e-6 + |x|^2)
+  // with the bias-only prior w = (1, 0, ...). Any change to the rule,
+  // the prior, the normalization floor, or the MAE EWMA (alpha = 0.25)
+  // fails this test.
+  RatioEstimatorConfig config = EnabledConfig();
+  config.learning_rate = 0.5;
+  RatioEstimator estimator(1, config);
+  auto features = CbfFeatures(3, 31);
+  const double ratios[] = {0.42, 0.5, 0.61};
+
+  std::array<double, compress::kSegmentFeatureCount> w{};
+  w[0] = 1.0;
+  double mae = 0.0;
+  for (int i = 0; i < 3; ++i) {
+    estimator.Observe(0, features[i], ratios[i], 0.0, 0.0);
+    double norm = 1e-6;
+    for (double x : features[i].v) norm += x * x;
+    double pred = 0.0;
+    for (int j = 0; j < compress::kSegmentFeatureCount; ++j) {
+      pred += w[static_cast<size_t>(j)] * features[i].v[static_cast<size_t>(j)];
+    }
+    const double err = ratios[i] - pred;
+    for (int j = 0; j < compress::kSegmentFeatureCount; ++j) {
+      w[static_cast<size_t>(j)] +=
+          0.5 * err * features[i].v[static_cast<size_t>(j)] / norm;
+    }
+    mae += 0.25 * (std::fabs(err) - mae);
+  }
+  RatioEstimator::Snapshot snapshot = estimator.Export();
+  ASSERT_EQ(snapshot.arms.size(), 1u);
+  for (int j = 0; j < compress::kSegmentFeatureCount; ++j) {
+    EXPECT_DOUBLE_EQ(snapshot.arms[0].ratio_weights[static_cast<size_t>(j)],
+                     w[static_cast<size_t>(j)])
+        << "weight " << j;
+  }
+  EXPECT_DOUBLE_EQ(snapshot.arms[0].mae, mae);
+  EXPECT_EQ(snapshot.arms[0].observations, 3u);
+}
+
+TEST(RatioEstimatorTest, BitIdenticalAcrossInstances) {
+  // No RNG anywhere in the update path: two instances fed the same
+  // observation sequence end with bit-identical weights.
+  RatioEstimator a(2, EnabledConfig());
+  RatioEstimator b(2, EnabledConfig());
+  auto features = CbfFeatures(200, 41);
+  for (size_t i = 0; i < features.size(); ++i) {
+    const double ratio = 0.3 + 0.4 * features[i].v[1];
+    const double seconds = 1e-9 * static_cast<double>(i % 7);
+    a.Observe(static_cast<int>(i % 2), features[i], ratio, seconds, 0.6);
+    b.Observe(static_cast<int>(i % 2), features[i], ratio, seconds, 0.6);
+  }
+  RatioEstimator::Snapshot sa = a.Export();
+  RatioEstimator::Snapshot sb = b.Export();
+  ASSERT_EQ(sa.arms.size(), sb.arms.size());
+  for (size_t arm = 0; arm < sa.arms.size(); ++arm) {
+    for (int j = 0; j < compress::kSegmentFeatureCount; ++j) {
+      EXPECT_EQ(sa.arms[arm].ratio_weights[static_cast<size_t>(j)],
+                sb.arms[arm].ratio_weights[static_cast<size_t>(j)]);
+      EXPECT_EQ(sa.arms[arm].seconds_weights[static_cast<size_t>(j)],
+                sb.arms[arm].seconds_weights[static_cast<size_t>(j)]);
+    }
+    EXPECT_EQ(sa.arms[arm].mae, sb.arms[arm].mae);
+  }
+  EXPECT_EQ(sa.pool_reward_ewma, sb.pool_reward_ewma);
+}
+
+// ------------------------------------------------------------- pruning
+
+TEST(RatioEstimatorTest, ForcedExplorationPeriodicity) {
+  RatioEstimatorConfig config = EnabledConfig();
+  config.prune = true;
+  config.explore_interval = 8;
+  RatioEstimator estimator(1, config);
+  int fired = 0;
+  for (uint64_t tick = 1; tick <= 64; ++tick) {
+    if (estimator.ShouldForceExplore(tick)) ++fired;
+  }
+  EXPECT_EQ(fired, 8);
+  // Prune off: the escape hatch is moot and must never fire.
+  RatioEstimator inert(1, EnabledConfig());
+  for (uint64_t tick = 1; tick <= 64; ++tick) {
+    EXPECT_FALSE(inert.ShouldForceExplore(tick));
+  }
+}
+
+TEST(RatioEstimatorTest, PruneMaskSparesUntrainedUnusableAndIncumbent) {
+  RatioEstimatorConfig config = EnabledConfig();
+  config.prune = true;
+  RatioEstimator estimator(3, config);
+  auto features = CbfFeatures(40, 51);
+  for (const auto& f : features) {
+    estimator.Observe(0, f, 0.3, 1e-9, 0.7);  // incumbent-to-be
+    estimator.Observe(1, f, 0.9, 1e-9, 0.1);  // clearly dominated
+    // arm 2 never observed: untrained.
+  }
+  const SegmentFeatures& f = features[0];
+  auto all = [](int) { return true; };
+  const double inf = std::numeric_limits<double>::infinity();
+
+  std::vector<uint8_t> mask = estimator.PruneMask(f, inf, all);
+  EXPECT_EQ(mask[0], 0) << "incumbent is never dominance-pruned";
+  EXPECT_EQ(mask[1], 1) << "0.9 vs 0.3 clears margin + MAE easily";
+  EXPECT_EQ(mask[2], 0) << "untrained arms are never pruned";
+
+  // Feasibility bound tighter than every trained prediction: the whole
+  // trained pool is gated (the lossless-skip case), untrained spared.
+  mask = estimator.PruneMask(f, 0.1, all);
+  EXPECT_EQ(mask[0], 1);
+  EXPECT_EQ(mask[1], 1);
+  EXPECT_EQ(mask[2], 0);
+
+  // Unusable arms are ignored entirely — and the incumbent role moves to
+  // the best remaining trained arm, which then survives.
+  mask = estimator.PruneMask(f, inf, [](int a) { return a != 0; });
+  EXPECT_EQ(mask[0], 0);
+  EXPECT_EQ(mask[1], 0) << "sole trained usable arm is its own incumbent";
+
+  // Prune knob off: all-zero mask no matter what was learned.
+  RatioEstimator no_prune(3, EnabledConfig());
+  for (const auto& g : features) no_prune.Observe(1, g, 0.9, 1e-9, 0.1);
+  mask = no_prune.PruneMask(f, 0.0, all);
+  EXPECT_EQ(mask, std::vector<uint8_t>(3, 0));
+}
+
+TEST(RatioEstimatorTest, PruneGateNeverLeavesZeroSupportedArms) {
+  // The arm-runtime contract under a gate that (wrongly) prunes every
+  // arm: without empty_means_skip the gate is ignored outright — a
+  // usable arm is still acquired, the bandit keeps learning; with it the
+  // acquire returns -1 with nothing pending (the caller-level skip).
+  ArmSet arms(compress::DefaultLosslessArms(4));
+  bandit::BanditConfig config;
+  config.epsilon = 0.0;
+  auto bandit = bandit::MakePolicy(bandit::PolicyKind::kEpsilonGreedy,
+                                   arms.size(), config);
+  auto supports = [](const compress::CodecArm&) { return true; };
+
+  PruneGate gate;
+  gate.pruned = [](int) { return true; };
+  gate.empty_means_skip = false;
+  int picked = AcquireSupportedArmLocked(*bandit, arms, supports, &gate);
+  ASSERT_GE(picked, 0);
+  EXPECT_EQ(bandit->TotalPending(), 1u);
+  bandit->CompletePull(picked, 0.5);
+
+  gate.empty_means_skip = true;
+  EXPECT_EQ(AcquireSupportedArmLocked(*bandit, arms, supports, &gate), -1);
+  EXPECT_EQ(bandit->TotalPending(), 0u);
+
+  // A partial gate routes around the pruned pick without punishing it:
+  // pull counts on pruned arms stay untouched (abandon, not a 0 reward).
+  const uint64_t pulls_before = bandit->PullCount(0);
+  gate.pruned = [](int a) { return a == 0; };
+  gate.empty_means_skip = false;
+  picked = AcquireSupportedArmLocked(*bandit, arms, supports, &gate);
+  ASSERT_GE(picked, 0);
+  EXPECT_NE(picked, 0);
+  EXPECT_EQ(bandit->PullCount(0), pulls_before);
+  bandit->CompletePull(picked, 0.5);
+}
+
+// -------------------------------------------------- selector integration
+
+OnlineConfig SelectorConfig(double target_ratio) {
+  OnlineConfig config;
+  config.target_ratio = target_ratio;
+  config.precision = 4;
+  config.lossless_recheck_interval = 16;
+  return config;
+}
+
+/// Runs `segments` CBF segments through a fresh selector and returns the
+/// (arm, payload bytes, reward) outcome sequence.
+std::vector<std::tuple<std::string, size_t, double>> RunSelector(
+    const OnlineConfig& config, size_t segments, uint64_t seed) {
+  OnlineSelector selector(config,
+                          TargetSpec::AggAccuracy(query::AggKind::kSum));
+  data::CbfStream stream(seed);
+  std::vector<double> values(256);
+  std::vector<std::tuple<std::string, size_t, double>> out;
+  for (size_t i = 0; i < segments; ++i) {
+    stream.Fill(values);
+    auto outcome = selector.Process(i, static_cast<double>(i), values);
+    EXPECT_TRUE(outcome.ok()) << outcome.status().ToString();
+    if (!outcome.ok()) break;
+    out.emplace_back(outcome.value().arm_name,
+                     outcome.value().segment.SizeBytes(),
+                     outcome.value().reward);
+  }
+  return out;
+}
+
+TEST(RatioEstimatorSelectorTest, ObserveAndPresizeAreBehaviorNeutral) {
+  // enabled (observe-only), enabled+presize, and scratch trimming must
+  // all make byte-for-byte the decisions the estimator-free selector
+  // makes — only `prune` may change behavior.
+  OnlineConfig off = SelectorConfig(0.1);
+  auto baseline = RunSelector(off, 200, 7);
+
+  OnlineConfig observe = off;
+  observe.estimator.enabled = true;
+  EXPECT_EQ(RunSelector(observe, 200, 7), baseline);
+
+  OnlineConfig presize = observe;
+  presize.estimator.presize = true;
+  EXPECT_EQ(RunSelector(presize, 200, 7), baseline);
+
+  OnlineConfig trimmed = presize;
+  trimmed.scratch_trim_bytes = 128;
+  EXPECT_EQ(RunSelector(trimmed, 200, 7), baseline);
+}
+
+TEST(RatioEstimatorSelectorTest, PruneOnIsDeterministicAndAlwaysStores) {
+  OnlineConfig config = SelectorConfig(0.1);
+  config.estimator.enabled = true;
+  config.estimator.prune = true;
+  config.estimator.presize = true;
+  auto first = RunSelector(config, 300, 9);
+  ASSERT_EQ(first.size(), 300u) << "every segment must store a payload";
+  // Fixed seed + prune on: still fully deterministic (the prune path has
+  // no RNG; forced exploration is modular arithmetic on the tick).
+  EXPECT_EQ(RunSelector(config, 300, 9), first);
+  // The estimator actually observed the run.
+  OnlineSelector selector(config,
+                          TargetSpec::AggAccuracy(query::AggKind::kSum));
+  data::CbfStream stream(9);
+  std::vector<double> values(256);
+  for (size_t i = 0; i < 64; ++i) {
+    stream.Fill(values);
+    ASSERT_TRUE(selector.Process(i, static_cast<double>(i), values).ok());
+  }
+  uint64_t observations = 0;
+  for (const auto& row : selector.EstimatorReport()) {
+    observations += row.observations;
+  }
+  EXPECT_GT(observations, 0u);
+}
+
+TEST(RatioEstimatorSelectorTest, AddLossyArmWarmStartsFromPooledPrior) {
+  OnlineConfig config = SelectorConfig(0.1);
+  config.estimator.enabled = true;
+  config.estimator.warm_start = true;
+  OnlineSelector selector(config,
+                          TargetSpec::AggAccuracy(query::AggKind::kSum));
+  data::CbfStream stream(13);
+  std::vector<double> values(256);
+  for (size_t i = 0; i < 100; ++i) {
+    stream.Fill(values);
+    ASSERT_TRUE(selector.Process(i, static_cast<double>(i), values).ok());
+  }
+
+  compress::CodecArm clone = compress::DefaultLossyArms(4, 0.1)[0];
+  clone.name = "warmstart-clone";
+  ASSERT_TRUE(selector.AddLossyArm(clone).ok());
+  bandit::ArmStats fresh = selector.ExportPolicy().lossy.back();
+  // Synthetic pulls from the pooled prior, capped at
+  // estimator.warm_start_count_cap (4) — not the optimistic init.
+  EXPECT_EQ(fresh.pulls, config.estimator.warm_start_count_cap);
+  EXPECT_GE(fresh.value, 0.0);
+  EXPECT_LE(fresh.value, 1.0);
+
+  // Control: warm_start off leaves the optimistic untouched prior.
+  OnlineConfig control_config = SelectorConfig(0.1);
+  control_config.estimator.enabled = true;
+  OnlineSelector control(control_config,
+                         TargetSpec::AggAccuracy(query::AggKind::kSum));
+  data::CbfStream control_stream(13);
+  for (size_t i = 0; i < 100; ++i) {
+    control_stream.Fill(values);
+    ASSERT_TRUE(control.Process(i, static_cast<double>(i), values).ok());
+  }
+  ASSERT_TRUE(control.AddLossyArm(clone).ok());
+  bandit::ArmStats cold = control.ExportPolicy().lossy.back();
+  EXPECT_EQ(cold.pulls, 0u);
+  EXPECT_DOUBLE_EQ(cold.value, 1.0);
+}
+
+TEST(RatioEstimatorSelectorTest, WarmStartPolicyAdoptsEstimatorState) {
+  OnlineConfig config = SelectorConfig(0.1);
+  config.estimator.enabled = true;
+  OnlineSelector trained(config,
+                         TargetSpec::AggAccuracy(query::AggKind::kSum));
+  data::CbfStream stream(17);
+  std::vector<double> values(256);
+  for (size_t i = 0; i < 80; ++i) {
+    stream.Fill(values);
+    ASSERT_TRUE(trained.Process(i, static_cast<double>(i), values).ok());
+  }
+  OnlineSelector::PolicySnapshot snapshot = trained.ExportPolicy();
+  EXPECT_GT(snapshot.lossless_estimator.TotalObservations() +
+                snapshot.lossy_estimator.TotalObservations(),
+            0u);
+
+  OnlineSelector fresh(config,
+                       TargetSpec::AggAccuracy(query::AggKind::kSum));
+  uint64_t before = 0;
+  for (const auto& row : fresh.EstimatorReport()) {
+    before += row.observations;
+  }
+  EXPECT_EQ(before, 0u);
+  fresh.WarmStartPolicy(snapshot, 8);
+  uint64_t after = 0;
+  for (const auto& row : fresh.EstimatorReport()) {
+    after += row.observations;
+  }
+  EXPECT_GT(after, 0u) << "adoption must carry the per-arm models over";
+}
+
+TEST(RatioEstimatorFleetTest, AddShardAdoptsEstimatorFromBusiestShard) {
+  FleetConfig config;
+  config.shards = 1;
+  config.batch_segments = 1;
+  config.out_capacity = 256;
+  config.online.target_ratio = 1.0;
+  config.online.estimator.enabled = true;
+  config.online.estimator.warm_start = true;
+  FleetNode fleet(config, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  fleet.Start();
+  data::CbfStream stream(19);
+  std::vector<double> values(64);
+  for (uint64_t id = 0; id < 48; ++id) {
+    stream.Fill(values);
+    ASSERT_TRUE(fleet.Ingest(id, values, static_cast<double>(id)).ok());
+  }
+  while (fleet.batches_out() < 48) std::this_thread::yield();
+
+  ASSERT_TRUE(fleet.AddShard().ok());
+  ASSERT_EQ(fleet.NumShards(), 2);
+  uint64_t adopted = 0;
+  for (const auto& row : fleet.shard_selector(1).EstimatorReport()) {
+    adopted += row.observations;
+  }
+  EXPECT_GT(adopted, 0u)
+      << "new shard must inherit the most-observed shard's models";
+  fleet.Stop();
+  while (fleet.PopCompressed()) {
+  }
+}
+
+// ----------------------------------------------------- concurrency (TSan)
+
+TEST(RatioEstimatorStressTest, ConcurrentProcessWithPruneAndMutation) {
+  OnlineConfig config = SelectorConfig(0.1);
+  config.estimator.enabled = true;
+  config.estimator.prune = true;
+  config.estimator.presize = true;
+  config.estimator.warm_start = true;
+  config.scratch_trim_bytes = 4096;
+  OnlineSelector selector(config,
+                          TargetSpec::AggAccuracy(query::AggKind::kSum));
+
+  constexpr int kThreads = 4;
+  constexpr size_t kPerThread = 48;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&selector, &failures, t] {
+      data::CbfStream stream(100 + static_cast<uint64_t>(t));
+      std::vector<double> values(256);
+      for (size_t i = 0; i < kPerThread; ++i) {
+        stream.Fill(values);
+        const uint64_t id =
+            static_cast<uint64_t>(t) * kPerThread + i;
+        if (!selector.Process(id, static_cast<double>(id), values).ok()) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  // Concurrent introspection + pool growth against the hot path.
+  compress::CodecArm extra;
+  extra.name = "stress-gorilla";
+  extra.codec = compress::GetCodec(compress::CodecId::kGorilla);
+  ASSERT_TRUE(selector.AddLosslessArm(extra).ok());
+  for (int i = 0; i < 16; ++i) {
+    (void)selector.ExportPolicy();
+    (void)selector.EstimatorReport();
+    std::this_thread::yield();
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  uint64_t observations = 0;
+  for (const auto& row : selector.EstimatorReport()) {
+    observations += row.observations;
+  }
+  EXPECT_GT(observations, 0u);
+}
+
+TEST(RatioEstimatorOfflineTest, IngestWithPruneStoresEverySegment) {
+  OfflineConfig config;
+  config.storage_budget_bytes = 4 << 20;
+  config.estimator.enabled = true;
+  config.estimator.prune = true;
+  config.estimator.presize = true;
+  config.scratch_trim_bytes = 8192;
+  OfflineNode node(config, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  data::CbfStream stream(23);
+  std::vector<double> values(256);
+  for (uint64_t i = 0; i < 200; ++i) {
+    stream.Fill(values);
+    ASSERT_TRUE(node.Ingest(i, static_cast<double>(i), values).ok());
+  }
+  EXPECT_EQ(node.store().count(), 200u);
+}
+
+}  // namespace
+}  // namespace adaedge::core

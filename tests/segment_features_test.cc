@@ -1,0 +1,167 @@
+// Edge-case tests for the segment feature extractor: every feature must
+// come back finite and in [0, 1] for ANY input — empty, length-1,
+// constant, NaN/Inf-laden, denormal, adversarially oscillating — because
+// the ratio estimator's NLMS weights are only NaN-safe if its inputs
+// are. Also checks the semantic direction of the individual features on
+// segments where the right answer is obvious.
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/compress/segment_features.h"
+#include "adaedge/core/ratio_estimator.h"
+
+namespace adaedge::compress {
+namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+void ExpectWellFormed(const SegmentFeatures& f, const std::string& what) {
+  EXPECT_DOUBLE_EQ(f.v[0], 1.0) << what << ": bias must be exactly 1";
+  for (int i = 0; i < kSegmentFeatureCount; ++i) {
+    const double x = f.v[static_cast<size_t>(i)];
+    EXPECT_TRUE(std::isfinite(x)) << what << ": v[" << i << "] = " << x;
+    EXPECT_GE(x, 0.0) << what << ": v[" << i << "]";
+    EXPECT_LE(x, 1.0) << what << ": v[" << i << "]";
+  }
+}
+
+TEST(SegmentFeaturesTest, EmptySegment) {
+  ExpectWellFormed(ExtractSegmentFeatures({}), "empty");
+}
+
+TEST(SegmentFeaturesTest, SingleValue) {
+  std::vector<double> one{3.25};
+  ExpectWellFormed(ExtractSegmentFeatures(one), "single");
+  std::vector<double> nan_one{kNan};
+  ExpectWellFormed(ExtractSegmentFeatures(nan_one), "single NaN");
+}
+
+TEST(SegmentFeaturesTest, AllConstant) {
+  std::vector<double> v(256, 42.5);
+  SegmentFeatures f = ExtractSegmentFeatures(v);
+  ExpectWellFormed(f, "constant");
+  // No variance, no deltas, no sign flips; every value repeats its
+  // predecessor bit-for-bit, and the XOR leading-zero count is maximal.
+  EXPECT_DOUBLE_EQ(f.v[1], 0.0);
+  EXPECT_DOUBLE_EQ(f.v[2], 0.0);
+  EXPECT_DOUBLE_EQ(f.v[3], 0.0);
+  EXPECT_DOUBLE_EQ(f.v[4], 1.0);
+  EXPECT_DOUBLE_EQ(f.v[5], 1.0);
+  EXPECT_DOUBLE_EQ(f.v[7], 0.0);
+}
+
+TEST(SegmentFeaturesTest, NonFiniteFractionIsExact) {
+  std::vector<double> v{kNan, kInf, -kInf, 1.0, 2.0, 3.0, 4.0, 5.0};
+  SegmentFeatures f = ExtractSegmentFeatures(v);
+  ExpectWellFormed(f, "mixed non-finite");
+  EXPECT_DOUBLE_EQ(f.v[7], 3.0 / 8.0);
+}
+
+TEST(SegmentFeaturesTest, AllNonFinite) {
+  std::vector<double> v(64, kNan);
+  v[1] = kInf;
+  v[2] = -kInf;
+  SegmentFeatures f = ExtractSegmentFeatures(v);
+  ExpectWellFormed(f, "all non-finite");
+  EXPECT_DOUBLE_EQ(f.v[7], 1.0);
+}
+
+TEST(SegmentFeaturesTest, DenormalsStayFinite) {
+  std::vector<double> v(128);
+  const double tiny = std::numeric_limits<double>::denorm_min();
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = tiny * static_cast<double>(i % 7);
+  }
+  ExpectWellFormed(ExtractSegmentFeatures(v), "denormal");
+}
+
+TEST(SegmentFeaturesTest, HugeMagnitudesStayFinite) {
+  // max * -max overflows a naive variance; the log scaling must absorb it.
+  std::vector<double> v(64);
+  const double huge = std::numeric_limits<double>::max();
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = (i % 2 == 0) ? huge : -huge;
+  }
+  SegmentFeatures f = ExtractSegmentFeatures(v);
+  ExpectWellFormed(f, "huge alternating");
+  // Every delta flips sign: the oscillation feature saturates high.
+  EXPECT_GT(f.v[3], 0.9);
+}
+
+TEST(SegmentFeaturesTest, AlternatingSignOscillation) {
+  std::vector<double> v(256);
+  for (size_t i = 0; i < v.size(); ++i) v[i] = (i % 2 == 0) ? 1.0 : -1.0;
+  SegmentFeatures f = ExtractSegmentFeatures(v);
+  ExpectWellFormed(f, "alternating sign");
+  EXPECT_GT(f.v[3], 0.9);
+  // Monotone ramp for contrast: no sign flips at all.
+  std::vector<double> ramp(256);
+  for (size_t i = 0; i < ramp.size(); ++i) ramp[i] = static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(ExtractSegmentFeatures(ramp).v[3], 0.0);
+}
+
+TEST(SegmentFeaturesTest, BitIdenticalAcrossCalls) {
+  std::vector<double> v(512);
+  for (size_t i = 0; i < v.size(); ++i) {
+    v[i] = std::sin(static_cast<double>(i) * 0.37) * 12.5;
+  }
+  v[17] = kNan;
+  v[401] = -kInf;
+  SegmentFeatures a = ExtractSegmentFeatures(v);
+  SegmentFeatures b = ExtractSegmentFeatures(v);
+  EXPECT_EQ(std::memcmp(a.v.data(), b.v.data(), sizeof(a.v)), 0);
+}
+
+// The end-to-end NaN-safety property the features exist for: an
+// estimator fed exclusively hostile segments and hostile observations
+// must keep every weight, prediction and error statistic finite.
+TEST(SegmentFeaturesTest, HostileInputsNeverPoisonEstimator) {
+  core::RatioEstimatorConfig config;
+  config.enabled = true;
+  core::RatioEstimator estimator(2, config);
+
+  const std::vector<std::vector<double>> hostile = {
+      {},
+      {kNan},
+      std::vector<double>(32, kInf),
+      {kNan, -kInf, std::numeric_limits<double>::denorm_min(), 0.0},
+  };
+  const double bad_ratios[] = {kNan, kInf, -kInf, -5.0, 1e300};
+  int i = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (const auto& segment : hostile) {
+      SegmentFeatures f = ExtractSegmentFeatures(segment);
+      estimator.Observe(i % 2, f, bad_ratios[i % 5], kNan, kInf);
+      ++i;
+    }
+  }
+  for (int arm = 0; arm < 2; ++arm) {
+    for (const auto& segment : hostile) {
+      SegmentFeatures f = ExtractSegmentFeatures(segment);
+      const double ratio = estimator.PredictRatio(arm, f);
+      EXPECT_TRUE(std::isfinite(ratio));
+      EXPECT_GE(ratio, 0.0);
+      EXPECT_LE(ratio, 2.0);
+      EXPECT_TRUE(
+          std::isfinite(estimator.PredictSecondsPerValue(arm, f)));
+    }
+    EXPECT_TRUE(std::isfinite(estimator.MeanAbsError(arm)));
+  }
+  core::RatioEstimator::Snapshot snapshot = estimator.Export();
+  for (const auto& arm : snapshot.arms) {
+    for (double w : arm.ratio_weights) EXPECT_TRUE(std::isfinite(w));
+    for (double w : arm.seconds_weights) EXPECT_TRUE(std::isfinite(w));
+    EXPECT_TRUE(std::isfinite(arm.mae));
+    EXPECT_TRUE(std::isfinite(arm.reward_ewma));
+  }
+  EXPECT_TRUE(std::isfinite(snapshot.pool_reward_ewma));
+}
+
+}  // namespace
+}  // namespace adaedge::compress

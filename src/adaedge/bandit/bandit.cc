@@ -73,6 +73,17 @@ void BanditPolicy::WarmStart(const std::vector<ArmStats>& peer,
   }
 }
 
+void BanditPolicy::Discount(double keep_fraction, double toward_value) {
+  double keep = std::clamp(keep_fraction, 0.0, 1.0);
+  for (int arm = 0; arm < num_arms(); ++arm) {
+    double value =
+        toward_value + keep * (EstimatedValue(arm) - toward_value);
+    uint64_t pulls = static_cast<uint64_t>(
+        static_cast<double>(PullCount(arm)) * keep);
+    AdoptArm(arm, value, pulls);
+  }
+}
+
 uint64_t BanditPolicy::PendingCount(int arm) const {
   if (pending_.empty()) return 0;
   return pending_[static_cast<size_t>(arm)];

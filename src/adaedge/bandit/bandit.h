@@ -111,6 +111,18 @@ class BanditPolicy {
   /// untouched.
   void WarmStart(const std::vector<ArmStats>& peer, uint64_t count_cap);
 
+  /// Regime-shift decay (the network environment layer's
+  /// on_shift: discount|rewarm): every arm's estimate moves toward
+  /// `toward_value` keeping `keep_fraction` of its learned offset, and
+  /// its completed-pull count is scaled by the same fraction so fresh
+  /// post-shift rewards move the estimate quickly again.
+  /// keep_fraction = 0 is a full reset (estimate = toward_value, zero
+  /// pulls, so a following WarmStart may re-seed every arm);
+  /// keep_fraction = 1 is a no-op. Pending pulls are untouched — their
+  /// rewards are already in flight. Values are interpreted per-policy
+  /// (preferences for gradient bandits), like ExportStats.
+  void Discount(double keep_fraction, double toward_value);
+
   /// Number of acquired-but-not-completed pulls of `arm`.
   uint64_t PendingCount(int arm) const;
 

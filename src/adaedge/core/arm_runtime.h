@@ -125,6 +125,32 @@ class RewardModel {
                              elapsed_seconds);
   }
 
+  /// Deadline-shaped reward (the network environment layer's objective;
+  /// off unless OnlineConfig::deadline.enabled): latency is measured
+  /// compress seconds plus compressed bytes over the current link
+  /// bandwidth. Fitting the budget passes `base_reward` through
+  /// unchanged; missing it decays the reward by budget/latency, so the
+  /// bandit re-routes toward arms whose compress+transmit fits. A zero
+  /// budget means "no deadline in this trace segment" (base passes
+  /// through); zero bandwidth with a nonzero payload is an outage —
+  /// nothing ships, reward 0. Infinite bandwidth makes transmit free
+  /// (the selector's default before any link observation).
+  static double DeadlineReward(double base_reward, size_t compressed_bytes,
+                               double compress_seconds,
+                               double bandwidth_bytes_per_sec,
+                               double budget_seconds) {
+    if (!(budget_seconds > 0.0)) return base_reward;
+    double transmit = 0.0;
+    if (compressed_bytes > 0) {
+      if (!(bandwidth_bytes_per_sec > 0.0)) return 0.0;
+      transmit = static_cast<double>(compressed_bytes) /
+                 bandwidth_bytes_per_sec;
+    }
+    double latency = compress_seconds + transmit;
+    if (latency <= budget_seconds) return base_reward;
+    return std::clamp(base_reward * budget_seconds / latency, 0.0, 1.0);
+  }
+
   /// Accuracy-only component (throughput excluded); 1.0 for targets with
   /// no accuracy term.
   double Accuracy(std::span<const double> original,

@@ -1,10 +1,13 @@
 #include "adaedge/core/fleet.h"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
+#include <map>
 #include <string>
 #include <utility>
 
+#include "adaedge/sim/constraints.h"
 #include "adaedge/util/logging.h"
 
 namespace adaedge::core {
@@ -46,6 +49,18 @@ std::vector<bandit::ArmStats> AverageStats(
   return avg;
 }
 
+/// Link-regime band of a shard for the regime-aware merge: quantized
+/// log2 of the shard's CURRENT target ratio, so shards whose links
+/// currently demand similar compression aggressiveness blend while
+/// shards in divergent regimes (a 4G shard vs one mid-outage) do not.
+/// Band 0 is "no compression pressure" (ratio >= 1); band k is
+/// ratio in [2^-k, 2^(1-k)).
+int RegimeBand(double target_ratio) {
+  if (!(target_ratio > 0.0)) return std::numeric_limits<int>::min();
+  if (target_ratio >= 1.0) return 0;
+  return static_cast<int>(-std::floor(std::log2(target_ratio)));
+}
+
 }  // namespace
 
 Status FleetConfig::Validate() const {
@@ -70,6 +85,16 @@ Status FleetConfig::Validate() const {
   }
   if (merge_weight < 0.0 || merge_weight > 1.0) {
     return Status::InvalidArgument("merge_weight must be in [0, 1]");
+  }
+  for (const auto& network : shard_networks) {
+    if (network == nullptr) {
+      return Status::InvalidArgument(
+          "shard_networks entries must be non-null");
+    }
+  }
+  if (!(network_points_per_sec >= 0.0)) {
+    return Status::InvalidArgument(
+        "network_points_per_sec must be >= 0");
   }
   ADAEDGE_RETURN_IF_ERROR(online.Validate());
   return Status::Ok();
@@ -103,10 +128,24 @@ std::unique_ptr<FleetNode::Shard> FleetNode::MakeShard(int index) const {
   // would have nothing to share.
   online.bandit.seed ^=
       0x9e3779b97f4a7c15ULL * (static_cast<uint64_t>(index) + 1);
+  std::shared_ptr<const sim::NetworkModel> network;
+  if (!config_.shard_networks.empty()) {
+    network = config_.shard_networks[static_cast<size_t>(index) %
+                                     config_.shard_networks.size()];
+    if (config_.network_points_per_sec > 0.0) {
+      // The shard starts on its link's t = 0 regime instead of the
+      // config target; later shifts go through ObserveLink per batch.
+      online.target_ratio = sim::TargetRatio(
+          network->BandwidthAt(0.0), config_.network_points_per_sec);
+      if (!(online.target_ratio > 0.0)) online.target_ratio = 1.0;
+    }
+  }
   auto selector = std::make_unique<OnlineSelector>(std::move(online),
                                                    target_);
-  return std::make_unique<Shard>(config_.queue_capacity,
-                                 std::move(selector));
+  auto shard = std::make_unique<Shard>(config_.queue_capacity,
+                                       std::move(selector));
+  shard->network = std::move(network);
+  return shard;
 }
 
 void FleetNode::Start() {
@@ -272,6 +311,19 @@ void FleetNode::WorkerLoop(Shard* shard) {
 
 void FleetNode::ProcessBatch(Shard& shard, PendingBatch batch) {
   uint64_t signals = batch.entries.size();
+  if (shard.network != nullptr) {
+    // Per-shard link observation: shards on different links re-derive
+    // their targets independently and diverge. The selector dedupes
+    // epochs, so the per-batch call is cheap in steady state.
+    sim::NetworkModel::Observation obs = shard.network->Observe(batch.now);
+    double ratio =
+        config_.network_points_per_sec > 0.0
+            ? sim::TargetRatio(obs.bytes_per_sec,
+                               config_.network_points_per_sec)
+            : -1.0;  // keep the shard's configured target
+    shard.selector->ObserveLink(obs.epoch, obs.bytes_per_sec, ratio,
+                                obs.deadline_seconds);
+  }
   auto outcome =
       shard.selector->Process(batch.id, batch.now, batch.values);
   if (!outcome.ok()) {
@@ -305,21 +357,38 @@ void FleetNode::MergePolicies() {
   util::MutexLock merge_lock(&merge_mu_);
   auto shards = SnapshotShards();
   if (shards.size() < 2) return;
-  std::vector<std::vector<bandit::ArmStats>> lossless, lossy;
-  lossless.reserve(shards.size());
-  lossy.reserve(shards.size());
+  // Regime-aware grouping: estimates learned under one bandwidth regime
+  // mispredict another (a 4G shard's lossless ranking says nothing about
+  // a shard mid-outage), so only shards currently in the same
+  // target-ratio band blend. A static fleet (no shard networks) has one
+  // band — the historical all-shards merge, byte-identical.
+  std::map<int, std::vector<Shard*>> bands;
   for (Shard* shard : shards) {
-    auto snapshot = shard->selector->ExportPolicy();
-    lossless.push_back(std::move(snapshot.lossless));
-    lossy.push_back(std::move(snapshot.lossy));
+    int band = shard->network != nullptr
+                   ? RegimeBand(shard->selector->target_ratio())
+                   : 0;
+    bands[band].push_back(shard);
   }
-  OnlineSelector::PolicySnapshot average;
-  average.lossless = AverageStats(lossless);
-  average.lossy = AverageStats(lossy);
-  for (Shard* shard : shards) {
-    shard->selector->MergePolicy(average, config_.merge_weight);
+  bool merged = false;
+  for (auto& [band, members] : bands) {
+    if (members.size() < 2) continue;
+    std::vector<std::vector<bandit::ArmStats>> lossless, lossy;
+    lossless.reserve(members.size());
+    lossy.reserve(members.size());
+    for (Shard* shard : members) {
+      auto snapshot = shard->selector->ExportPolicy();
+      lossless.push_back(std::move(snapshot.lossless));
+      lossy.push_back(std::move(snapshot.lossy));
+    }
+    OnlineSelector::PolicySnapshot average;
+    average.lossless = AverageStats(lossless);
+    average.lossy = AverageStats(lossy);
+    for (Shard* shard : members) {
+      shard->selector->MergePolicy(average, config_.merge_weight);
+    }
+    merged = true;
   }
-  merges_.fetch_add(1);
+  if (merged) merges_.fetch_add(1);
 }
 
 Status FleetNode::AddShard() {

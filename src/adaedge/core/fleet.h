@@ -11,6 +11,7 @@
 
 #include "adaedge/core/online_selector.h"
 #include "adaedge/core/segment.h"
+#include "adaedge/sim/network_model.h"
 #include "adaedge/util/bounded_queue.h"
 #include "adaedge/util/mutex.h"
 #include "adaedge/util/thread_annotations.h"
@@ -54,6 +55,19 @@ struct FleetConfig {
   /// pools in the same order (policy snapshots merge positionally); only
   /// the bandit seed is decorrelated per shard.
   OnlineConfig online;
+  /// Per-shard network environments: shard i observes
+  /// shard_networks[i % size] on every batch, so shards on different
+  /// links re-derive their targets independently and diverge. Empty
+  /// (default) keeps the static pre-environment behavior. Entries must
+  /// be non-null. With networks configured, the periodic policy merge
+  /// becomes regime-aware: only shards currently in the same
+  /// target-ratio band blend estimates (DESIGN.md "Fleet sharding").
+  std::vector<std::shared_ptr<const sim::NetworkModel>> shard_networks;
+  /// Per-shard ingest rate (points/sec) used to re-derive a shard's
+  /// target ratio from its observed bandwidth (sim::TargetRatio). 0
+  /// keeps each shard's configured target and only updates the link
+  /// state the deadline reward reads.
+  double network_points_per_sec = 0.0;
 
   /// InvalidArgument on degenerate values (no shards, empty batches,
   /// zero-capacity queues, no workers, out-of-range merge weight) or a
@@ -193,6 +207,9 @@ class FleetNode {
         : selector(std::move(sel)), queue(queue_capacity) {}
 
     std::unique_ptr<OnlineSelector> selector;
+    /// This shard's link environment (null in a static fleet). Workers
+    /// observe it per batch; the selector dedupes epochs internally.
+    std::shared_ptr<const sim::NetworkModel> network;
     util::BoundedQueue<PendingBatch> queue;
     /// Mutated only by StartShardLocked (shards_mu_ held exclusive) and
     /// Stop (after the queue close/join barrier); not lock-annotatable

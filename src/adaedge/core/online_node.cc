@@ -8,13 +8,26 @@ namespace adaedge::core {
 
 namespace {
 
+double InitialBandwidth(const OnlineNodeConfig& config) {
+  return config.network_model != nullptr
+             ? config.network_model->BandwidthAt(0.0)
+             : config.bandwidth_bytes_per_sec;
+}
+
 OnlineConfig ResolveSelectorConfig(const OnlineNodeConfig& config) {
   OnlineConfig resolved = config.selector;
   if (config.derive_target_ratio) {
     resolved.target_ratio = sim::TargetRatio(
-        config.bandwidth_bytes_per_sec, config.ingest_points_per_sec);
+        InitialBandwidth(config), config.ingest_points_per_sec);
   }
   return resolved;
+}
+
+sim::Network ResolveNetwork(const OnlineNodeConfig& config) {
+  if (config.network_model != nullptr) {
+    return sim::Network(config.network_model);
+  }
+  return sim::Network(config.bandwidth_bytes_per_sec);
 }
 
 }  // namespace
@@ -22,10 +35,23 @@ OnlineConfig ResolveSelectorConfig(const OnlineNodeConfig& config) {
 OnlineNode::OnlineNode(OnlineNodeConfig config, TargetSpec target)
     : config_(config),
       selector_(ResolveSelectorConfig(config), std::move(target)),
-      network_(config.bandwidth_bytes_per_sec) {}
+      network_(ResolveNetwork(config)) {}
 
 Result<OnlineNode::IngestReport> OnlineNode::Ingest(
     uint64_t id, double now, std::span<const double> values) {
+  if (config_.network_model != nullptr) {
+    // Detect regime shifts before compressing this segment: a new epoch
+    // re-derives the target ratio (unless pinned) and runs the
+    // selector's shift machinery. Same-epoch observations are no-ops.
+    sim::NetworkModel::Observation obs =
+        config_.network_model->Observe(now);
+    double ratio = config_.derive_target_ratio
+                       ? sim::TargetRatio(obs.bytes_per_sec,
+                                          config_.ingest_points_per_sec)
+                       : -1.0;  // keep the pinned target
+    selector_.ObserveLink(obs.epoch, obs.bytes_per_sec, ratio,
+                          obs.deadline_seconds);
+  }
   ADAEDGE_ASSIGN_OR_RETURN(OnlineSelector::Outcome outcome,
                            selector_.Process(id, now, values));
   IngestReport report;
@@ -64,7 +90,9 @@ size_t OnlineNode::DrainEgress(double now) {
 }
 
 size_t OnlineNode::DrainLocked(double now) {
-  double earned = config_.bandwidth_bytes_per_sec * now;
+  // Earned egress credit is the trace integral; for a scalar link this
+  // is exactly the historical bandwidth * now.
+  double earned = network_.model().CapacityBytes(now);
   size_t sent = 0;
   while (!egress_queue_.empty()) {
     double size = static_cast<double>(egress_queue_.front().SizeBytes());
@@ -97,9 +125,17 @@ size_t OnlineNode::spilled_segments() const {
 MultiSignalNode::MultiSignalNode(double bandwidth_bytes_per_sec,
                                  TargetSpec target,
                                  OnlineConfig base_config)
-    : bandwidth_(bandwidth_bytes_per_sec),
+    : target_(std::move(target)),
+      base_config_(std::move(base_config)),
+      bandwidth_(bandwidth_bytes_per_sec) {}
+
+MultiSignalNode::MultiSignalNode(
+    std::shared_ptr<const sim::NetworkModel> model, TargetSpec target,
+    OnlineConfig base_config)
+    : model_(std::move(model)),
       target_(std::move(target)),
-      base_config_(std::move(base_config)) {}
+      base_config_(std::move(base_config)),
+      bandwidth_(model_ != nullptr ? model_->BandwidthAt(0.0) : 0.0) {}
 
 void MultiSignalNode::Reallocate() {
   // Bandwidth shares proportional to weight x rate; each signal's target
@@ -114,6 +150,31 @@ void MultiSignalNode::Reallocate() {
                    total;
     signal.selector->SetTargetRatio(
         sim::TargetRatio(share, signal.points_per_sec));
+  }
+}
+
+void MultiSignalNode::ObserveShiftLocked(double now) {
+  sim::NetworkModel::Observation obs = model_->Observe(now);
+  if (has_epoch_ && obs.epoch == link_epoch_) return;
+  has_epoch_ = true;
+  link_epoch_ = obs.epoch;
+  bandwidth_ = obs.bytes_per_sec;
+  link_deadline_ = obs.deadline_seconds;
+  // Same proportional split as Reallocate, but routed through
+  // ObserveLink so every signal selector sees the epoch (re-gating +
+  // on_shift policy), and outage shares (<= 0 ratio) keep the previous
+  // per-signal target instead of demanding an impossible one.
+  double total = 0.0;
+  for (const auto& [id, signal] : signals_) {
+    total += signal.weight * signal.points_per_sec;
+  }
+  for (auto& [id, signal] : signals_) {
+    double share = total > 0.0 ? bandwidth_ * signal.weight *
+                                     signal.points_per_sec / total
+                               : 0.0;
+    signal.selector->ObserveLink(
+        obs.epoch, share, sim::TargetRatio(share, signal.points_per_sec),
+        obs.deadline_seconds);
   }
 }
 
@@ -154,6 +215,7 @@ Result<OnlineSelector::Outcome> MultiSignalNode::Ingest(
   std::shared_ptr<OnlineSelector> selector;
   {
     util::MutexLock lock(&mu_);
+    if (model_ != nullptr) ObserveShiftLocked(now);
     auto it = signals_.find(signal_id);
     if (it == signals_.end()) {
       return Status::NotFound("unknown signal id");

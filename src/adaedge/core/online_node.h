@@ -2,6 +2,7 @@
 #define ADAEDGE_CORE_ONLINE_NODE_H_
 
 #include <atomic>
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <string>
@@ -30,6 +31,15 @@ struct OnlineNodeConfig {
   bool derive_target_ratio = true;
   double ingest_points_per_sec = 100000.0;
   double bandwidth_bytes_per_sec = 1.0e6;
+  /// Time-varying link environment. When set it supersedes
+  /// bandwidth_bytes_per_sec: the initial target ratio derives from the
+  /// model's bandwidth at t = 0, every Ingest observes the model at its
+  /// virtual `now` and a new epoch re-derives the target through
+  /// OnlineSelector::ObserveLink (re-gating arms and applying the
+  /// selector's on_shift policy), and the egress drain earns credit from
+  /// the trace integral (NetworkModel::CapacityBytes) instead of a flat
+  /// rate. Null (default) keeps the scalar static link.
+  std::shared_ptr<const sim::NetworkModel> network_model;
   /// Compressed segments held in memory awaiting egress before spilling.
   size_t compressed_capacity_segments = 256;
   /// Where spilled segments go on Close(); empty = keep in memory only.
@@ -92,6 +102,12 @@ class MultiSignalNode {
  public:
   MultiSignalNode(double bandwidth_bytes_per_sec, TargetSpec target,
                   OnlineConfig base_config = {});
+  /// Time-varying shared link: the node observes `model` on every
+  /// Ingest; a new epoch updates the shared bandwidth and reallocates
+  /// every signal's share through the selectors' ObserveLink (so each
+  /// signal also re-gates arms and applies its on_shift policy).
+  MultiSignalNode(std::shared_ptr<const sim::NetworkModel> model,
+                  TargetSpec target, OnlineConfig base_config = {});
 
   /// Registers a signal; returns its handle.
   int AddSignal(const std::string& name, double points_per_sec,
@@ -122,12 +138,25 @@ class MultiSignalNode {
   };
 
   /// Recomputes every signal's target ratio under the bandwidth split.
+  /// Add/remove paths use the plain SetTargetRatio retarget; a network
+  /// epoch shift (ObserveShiftLocked) routes the same shares through
+  /// ObserveLink so the per-signal selectors see the shift too.
   void Reallocate() ADAEDGE_REQUIRES(mu_);
 
-  double bandwidth_;
+  /// Observes the shared link model at `now`; on a new epoch updates
+  /// bandwidth_ and pushes per-signal shares via ObserveLink.
+  void ObserveShiftLocked(double now) ADAEDGE_REQUIRES(mu_);
+
+  std::shared_ptr<const sim::NetworkModel> model_;  // null = static link
   TargetSpec target_;
   OnlineConfig base_config_;
   mutable util::Mutex mu_{util::LockRank::kNode, "multi_signal_node"};
+  /// Current shared link bandwidth (constant without a model).
+  double bandwidth_ ADAEDGE_GUARDED_BY(mu_);
+  /// Last link observation pushed to the signals.
+  bool has_epoch_ ADAEDGE_GUARDED_BY(mu_) = false;
+  uint64_t link_epoch_ ADAEDGE_GUARDED_BY(mu_) = 0;
+  double link_deadline_ ADAEDGE_GUARDED_BY(mu_) = 0.0;
   std::unordered_map<int, Signal> signals_ ADAEDGE_GUARDED_BY(mu_);
   int next_id_ ADAEDGE_GUARDED_BY(mu_) = 0;
 };

@@ -1,5 +1,7 @@
 #include "adaedge/core/online_selector.h"
 
+#include <algorithm>
+#include <cmath>
 #include <limits>
 #include <optional>
 #include <utility>
@@ -26,6 +28,14 @@ std::vector<uint8_t>& CompressScratch() {
 
 }  // namespace
 
+Status DeadlineConfig::Validate() const {
+  if (!(budget_seconds >= 0.0) || std::isinf(budget_seconds)) {
+    return Status::InvalidArgument(
+        "deadline.budget_seconds must be finite and >= 0");
+  }
+  return Status::Ok();
+}
+
 Status OnlineConfig::Validate() const {
   if (!(target_ratio > 0.0)) {
     return Status::InvalidArgument(
@@ -51,6 +61,11 @@ Status OnlineConfig::Validate() const {
   if (precision < 0) {
     return Status::InvalidArgument("precision must be >= 0");
   }
+  if (!(shift_keep_fraction >= 0.0 && shift_keep_fraction <= 1.0)) {
+    return Status::InvalidArgument(
+        "shift_keep_fraction must be in [0, 1]");
+  }
+  ADAEDGE_RETURN_IF_ERROR(deadline.Validate());
   ADAEDGE_RETURN_IF_ERROR(estimator.Validate());
   return Status::Ok();
 }
@@ -99,6 +114,9 @@ Result<OnlineSelector::Outcome> OnlineSelector::Process(
   {
     util::MutexLock lock(&mu_);
     ++processed_;
+    // Shift re-gating (ObserveLink) evaluates SupportsRatio against the
+    // segment shape the stream actually carries.
+    last_value_count_ = values.size();
     // Periodic re-probe: a shifted distribution may compress losslessly
     // again. (Interval 0 is rejected by Validate; the guard keeps the
     // unchecked constructor path out of a division by zero.)
@@ -162,6 +180,7 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
   compress::CodecArm arm;
   double target_ratio;
   size_t trim_bytes = 0;
+  DeadlineState deadline;
 
   // Phase 1: snapshot an arm and the target under the lock. Lossless
   // arms have no ratio precondition — only gating (and the estimator's
@@ -217,6 +236,7 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
     }
     target_ratio = config_.target_ratio;
     trim_bytes = config_.scratch_trim_bytes;
+    deadline = DeadlineStateLocked();
   }
 
   // Phase 2: codec work with no lock held, into this thread's reusable
@@ -253,6 +273,13 @@ Result<std::optional<OnlineSelector::Outcome>> OnlineSelector::TryLossless(
   // fits the link, instead of escalating to lossy.
   bool ship_raw = ratio > target_ratio && target_ratio >= 1.0;
   bool met_target = ship_raw || ratio <= target_ratio;
+  if (deadline.enabled) {
+    size_t shipped = ship_raw ? values.size() * sizeof(double)
+                              : scratch.size();
+    reward = RewardModel::DeadlineReward(reward, shipped, seconds,
+                                         deadline.bandwidth_bytes_per_sec,
+                                         deadline.budget_seconds);
+  }
 
   // Phase 3: feed the delayed reward back (bandit and estimator) and
   // advance the phase machine in one critical section.
@@ -308,6 +335,7 @@ Result<OnlineSelector::Outcome> OnlineSelector::TryLossy(
   compress::CodecArm arm;
   double target_ratio;
   size_t trim_bytes = 0;
+  DeadlineState deadline;
 
   // Phase 1: pick a feasible arm under the lock (SupportsRatio is a cheap
   // pure function of the target and segment length). Arms that cannot
@@ -358,6 +386,7 @@ Result<OnlineSelector::Outcome> OnlineSelector::TryLossy(
     }
     target_ratio = config_.target_ratio;
     trim_bytes = config_.scratch_trim_bytes;
+    deadline = DeadlineStateLocked();
   }
   arm.params.target_ratio = target_ratio;
 
@@ -380,6 +409,11 @@ Result<OnlineSelector::Outcome> OnlineSelector::TryLossy(
   double reward = reward_model_.WorkloadReward(
       values, reconstructed.value(), values.size() * sizeof(double),
       seconds);
+  if (deadline.enabled) {
+    reward = RewardModel::DeadlineReward(reward, scratch.size(), seconds,
+                                         deadline.bandwidth_bytes_per_sec,
+                                         deadline.budget_seconds);
+  }
 
   // Phase 3: feed the delayed reward back (bandit and estimator).
   {
@@ -559,6 +593,10 @@ bool OnlineSelector::lossless_active() const {
 
 void OnlineSelector::SetTargetRatio(double target_ratio) {
   util::MutexLock lock(&mu_);
+  SetTargetRatioLocked(target_ratio);
+}
+
+void OnlineSelector::SetTargetRatioLocked(double target_ratio) {
   if (target_ratio == config_.target_ratio) return;
   config_.target_ratio = target_ratio;
   // Feasibility changed: give lossless another chance unless pinned lossy.
@@ -572,6 +610,88 @@ void OnlineSelector::SetTargetRatio(double target_ratio) {
 double OnlineSelector::target_ratio() const {
   util::MutexLock lock(&mu_);
   return config_.target_ratio;
+}
+
+void OnlineSelector::ObserveLink(uint64_t epoch,
+                                 double bandwidth_bytes_per_sec,
+                                 double target_ratio,
+                                 double deadline_seconds) {
+  util::MutexLock lock(&mu_);
+  if (has_link_ && epoch == link_epoch_) return;
+  bool first = !has_link_;
+  has_link_ = true;
+  link_epoch_ = epoch;
+  link_bandwidth_ = bandwidth_bytes_per_sec;
+  link_deadline_ = deadline_seconds > 0.0 ? deadline_seconds : 0.0;
+  // A non-positive target (TargetRatio of an outage) keeps the previous
+  // target: the selector keeps compressing as before while the node's
+  // egress queue absorbs the blackout.
+  if (target_ratio > 0.0) SetTargetRatioLocked(target_ratio);
+  RegateArmsLocked();
+  // The first observation is installation, not a shift: nothing was
+  // learned under another regime yet, so no bandit action.
+  if (!first) ApplyShiftPolicyLocked();
+}
+
+double OnlineSelector::link_bandwidth() const {
+  util::MutexLock lock(&mu_);
+  return link_bandwidth_;
+}
+
+void OnlineSelector::RegateArmsLocked() {
+  if (last_value_count_ == 0) return;  // no segment shape seen yet
+  shift_gated_.resize(static_cast<size_t>(lossy_arms_.size()), 0);
+  for (int i = 0; i < lossy_arms_.size(); ++i) {
+    bool feasible = lossy_arms_.arm(i).codec->SupportsRatio(
+        config_.target_ratio, last_value_count_);
+    size_t idx = static_cast<size_t>(i);
+    if (!feasible && lossy_arms_.arm_enabled(i)) {
+      lossy_arms_.SetEnabled(i, false);
+      shift_gated_[idx] = 1;
+    } else if (feasible && shift_gated_[idx] != 0) {
+      // Only undo our own gating: an arm the USER disabled stays off.
+      lossy_arms_.SetEnabled(i, true);
+      shift_gated_[idx] = 0;
+    }
+  }
+}
+
+void OnlineSelector::ApplyShiftPolicyLocked() {
+  switch (config_.on_shift) {
+    case ShiftPolicy::kKeep:
+      break;
+    case ShiftPolicy::kDiscount:
+      lossless_bandit_->Discount(config_.shift_keep_fraction,
+                                 config_.bandit.initial_value);
+      lossy_bandit_->Discount(config_.shift_keep_fraction,
+                              config_.bandit.initial_value);
+      break;
+    case ShiftPolicy::kRewarm:
+      // Full reset (pulls -> 0 so WarmStart may touch every arm), then
+      // re-seed from the feature-conditioned posterior the estimator
+      // carried across the shift. Estimator off: plain reset.
+      lossless_bandit_->Discount(0.0, config_.bandit.initial_value);
+      lossy_bandit_->Discount(0.0, config_.bandit.initial_value);
+      if (config_.estimator.enabled) {
+        lossless_bandit_->WarmStart(
+            lossless_estimator_.ArmPriors(),
+            config_.estimator.warm_start_count_cap);
+        lossy_bandit_->WarmStart(lossy_estimator_.ArmPriors(),
+                                 config_.estimator.warm_start_count_cap);
+      }
+      break;
+  }
+}
+
+OnlineSelector::DeadlineState OnlineSelector::DeadlineStateLocked() const {
+  DeadlineState state;
+  state.enabled = config_.deadline.enabled;
+  if (!state.enabled) return state;
+  state.budget_seconds = link_deadline_ > 0.0
+                             ? link_deadline_
+                             : config_.deadline.budget_seconds;
+  state.bandwidth_bytes_per_sec = link_bandwidth_;
+  return state;
 }
 
 }  // namespace adaedge::core

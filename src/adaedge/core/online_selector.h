@@ -1,6 +1,8 @@
 #ifndef ADAEDGE_CORE_ONLINE_SELECTOR_H_
 #define ADAEDGE_CORE_ONLINE_SELECTOR_H_
 
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <optional>
 #include <string>
@@ -18,6 +20,35 @@
 #include "adaedge/util/thread_annotations.h"
 
 namespace adaedge::core {
+
+/// What the bandits do to their learned estimates when the network
+/// regime shifts (OnlineSelector::ObserveLink saw a new epoch):
+///  - kKeep: nothing — estimates carry across regimes (the default; the
+///    pre-environment-layer behavior).
+///  - kDiscount: estimates decay toward the optimistic initial value
+///    keeping shift_keep_fraction of the learned offset, pull counts
+///    scaled likewise, so post-shift rewards re-rank arms quickly
+///    without forgetting everything (bandit::BanditPolicy::Discount).
+///  - kRewarm: full reset, then re-seeded from the ratio estimator's
+///    learned posterior (RatioEstimator::ArmPriors) when the estimator
+///    is enabled — the NLMS models predict per-arm behavior from
+///    segment features, which survives a bandwidth change better than
+///    reward averages do. With the estimator off this degrades to a
+///    plain reset.
+enum class ShiftPolicy { kKeep, kDiscount, kRewarm };
+
+/// Deadline-aware reward shaping (RewardModel::DeadlineReward). Off by
+/// default: the golden payload/trace tests pin that a disabled deadline
+/// config is byte-identical to the pre-deadline selector.
+struct DeadlineConfig {
+  bool enabled = false;
+  /// Default per-segment latency budget in seconds; a network-trace
+  /// segment's deadline_seconds overrides it when > 0. 0 with no trace
+  /// budget means no deadline anywhere (shaping is a pass-through).
+  double budget_seconds = 0.0;
+
+  Status Validate() const;
+};
 
 /// Online-mode configuration (paper SIV-C1). The target ratio R is derived
 /// from system constraints: R = bandwidth / (64 * ingest_rate); see
@@ -63,6 +94,14 @@ struct OnlineConfig {
   /// skips trial compressions, and predicted-size scratch pre-sizing.
   /// Everything defaults off — the golden traces stay byte-identical.
   RatioEstimatorConfig estimator;
+  /// Bandit reaction to a network regime shift (ObserveLink epoch
+  /// change). kKeep preserves the historical behavior exactly.
+  ShiftPolicy on_shift = ShiftPolicy::kKeep;
+  /// kDiscount: fraction of each learned estimate offset (and pull
+  /// count) kept across a shift, in [0, 1].
+  double shift_keep_fraction = 0.5;
+  /// Deadline-aware reward shaping; defaults off (golden-trace neutral).
+  DeadlineConfig deadline;
   /// Bound on retained thread-local compression-scratch capacity, in
   /// bytes; 0 (default) keeps the historical retain-forever policy. See
   /// TrimScratchCapacity (arm_runtime.h) and DESIGN.md §7.
@@ -196,6 +235,31 @@ class OnlineSelector {
 
   double target_ratio() const ADAEDGE_EXCLUDES(mu_);
 
+  /// Feeds one sim::NetworkModel::Observation-shaped link snapshot in
+  /// (OnlineNode / MultiSignalNode / FleetNode call this from their
+  /// ingest paths; standalone users may call it directly). Repeated
+  /// calls with the epoch already seen are no-ops, so callers can
+  /// observe on every segment without cost. On a NEW epoch — a regime
+  /// shift — the selector, atomically under its lock:
+  ///   1. retargets to `target_ratio` via the SetTargetRatio semantics
+  ///      (<= 0 keeps the current target: a full outage does not demand
+  ///      an impossible ratio, segments keep compressing for the queue);
+  ///   2. re-gates lossy arms the new target makes infeasible out of
+  ///      selection (and restores arms only a previous shift gated —
+  ///      user SetArmEnabled decisions are never overridden);
+  ///   3. applies the configured on_shift bandit policy.
+  /// `bandwidth_bytes_per_sec` and `deadline_seconds` become the link
+  /// state the DeadlineReward shaping reads (deadline 0 falls back to
+  /// config.deadline.budget_seconds). The first observation only
+  /// installs state (no shift happened yet).
+  void ObserveLink(uint64_t epoch, double bandwidth_bytes_per_sec,
+                   double target_ratio, double deadline_seconds)
+      ADAEDGE_EXCLUDES(mu_);
+
+  /// The last ObserveLink bandwidth (+inf before any observation:
+  /// transmit is free until a link reports otherwise).
+  double link_bandwidth() const ADAEDGE_EXCLUDES(mu_);
+
  private:
   /// Lossless attempt: nullopt means "missed the target, fall back to
   /// lossy for this same segment" (the miss has already been recorded).
@@ -213,6 +277,27 @@ class OnlineSelector {
   /// after `lossless_patience` consecutive misses with every enabled arm
   /// tried (pending pulls count), the selector flips to the lossy phase.
   void NoteLosslessMissLocked() ADAEDGE_REQUIRES(mu_);
+
+  /// SetTargetRatio body (shared with ObserveLink's retarget step).
+  void SetTargetRatioLocked(double target_ratio) ADAEDGE_REQUIRES(mu_);
+
+  /// ObserveLink step 2: (un)gate lossy arms by SupportsRatio against
+  /// the current target, tracking which gatings THIS machinery applied
+  /// in shift_gated_ so user gating survives. Needs a seen segment
+  /// length (last_value_count_); no-op before the first Process.
+  void RegateArmsLocked() ADAEDGE_REQUIRES(mu_);
+
+  /// ObserveLink step 3: the configured on_shift bandit action.
+  void ApplyShiftPolicyLocked() ADAEDGE_REQUIRES(mu_);
+
+  /// Deadline snapshot for one pull, taken under mu_ in phase 1 and
+  /// consumed lock-free in phase 2/3.
+  struct DeadlineState {
+    bool enabled = false;
+    double budget_seconds = 0.0;
+    double bandwidth_bytes_per_sec = 0.0;
+  };
+  DeadlineState DeadlineStateLocked() const ADAEDGE_REQUIRES(mu_);
 
   /// Where PullGuards record completed pulls (null when tracing is off).
   RewardTrace* TraceSink() ADAEDGE_REQUIRES(mu_) {
@@ -242,6 +327,21 @@ class OnlineSelector {
   /// Monotonic estimator-guided-selection counter driving the periodic
   /// forced-exploration escape hatch.
   uint64_t estimator_ticks_ ADAEDGE_GUARDED_BY(mu_) = 0;
+  /// --- network link state (ObserveLink) ---
+  bool has_link_ ADAEDGE_GUARDED_BY(mu_) = false;
+  uint64_t link_epoch_ ADAEDGE_GUARDED_BY(mu_) = 0;
+  /// +inf before any observation: an unobserved link never penalizes
+  /// transmit time in the deadline shaping.
+  double link_bandwidth_ ADAEDGE_GUARDED_BY(mu_) =
+      std::numeric_limits<double>::infinity();
+  /// Per-trace-segment deadline budget (0 = use config.deadline's).
+  double link_deadline_ ADAEDGE_GUARDED_BY(mu_) = 0.0;
+  /// Lossy arms gated out by RegateArmsLocked (1 = shift-gated), as
+  /// opposed to user SetArmEnabled gating, which shifts never undo.
+  std::vector<uint8_t> shift_gated_ ADAEDGE_GUARDED_BY(mu_);
+  /// Segment length most recently seen by Process; feasibility re-gating
+  /// on shift evaluates SupportsRatio against it.
+  size_t last_value_count_ ADAEDGE_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace adaedge::core

@@ -218,6 +218,18 @@ bandit::ArmStats RatioEstimator::NewArmPrior() const {
   return prior;
 }
 
+std::vector<bandit::ArmStats> RatioEstimator::ArmPriors() const {
+  std::vector<bandit::ArmStats> priors(arms_.size());
+  if (!config_.enabled) return priors;
+  for (size_t a = 0; a < arms_.size(); ++a) {
+    if (arms_[a].observations < config_.min_observations) continue;
+    priors[a].value = std::clamp(arms_[a].reward_ewma, 0.0, 1.0);
+    priors[a].pulls =
+        std::min(arms_[a].observations, config_.warm_start_count_cap);
+  }
+  return priors;
+}
+
 RatioEstimator::Snapshot RatioEstimator::Export() const {
   Snapshot snapshot;
   snapshot.arms = arms_;

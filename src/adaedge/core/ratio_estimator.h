@@ -159,6 +159,14 @@ class RatioEstimator {
   /// pool has observed anything.
   bandit::ArmStats NewArmPrior() const;
 
+  /// Per-arm bandit priors from the learned posterior: each trained
+  /// arm's observed-reward EWMA with min(observations,
+  /// warm_start_count_cap) synthetic pulls; untrained arms stay at
+  /// pulls = 0 (BanditPolicy::WarmStart ignores them). The rewarm shift
+  /// policy (OnlineConfig::on_shift) resets the bandit and re-seeds it
+  /// from this instead of from scratch.
+  std::vector<bandit::ArmStats> ArmPriors() const;
+
   /// --- cross-instance state sharing (fleet warm start) ---
   struct ArmModel {
     std::array<double, compress::kSegmentFeatureCount> ratio_weights{};

@@ -41,27 +41,43 @@ double BandwidthBytesPerSec(NetworkType type) {
 }
 
 double TargetRatio(double bandwidth_bytes_per_sec, double points_per_sec) {
-  if (bandwidth_bytes_per_sec <= 0.0) return 0.0;
-  if (points_per_sec <= 0.0) return 1.0;
+  // Negated comparisons so NaN inputs fall into the degenerate branches
+  // instead of propagating into the quotient.
+  if (!(bandwidth_bytes_per_sec > 0.0)) return 0.0;
+  if (!(points_per_sec > 0.0)) return 1.0;
   return bandwidth_bytes_per_sec / (8.0 * points_per_sec);
+}
+
+Network::Network(std::shared_ptr<const NetworkModel> model)
+    : model_(model != nullptr
+                 ? std::move(model)
+                 : std::make_shared<const NetworkModel>(0.0)) {}
+
+double Network::bytes_per_sec() const {
+  util::MutexLock lock(&mu_);
+  return model_->BandwidthAt(last_seen_time_);
 }
 
 void Network::Send(size_t bytes, double now_seconds) {
   util::MutexLock lock(&mu_);
   bytes_sent_ += bytes;
-  last_send_time_ = std::max(last_send_time_, now_seconds);
+  last_seen_time_ = std::max(last_seen_time_, now_seconds);
+}
+
+bool Network::WithinCapacity(double now_seconds) const {
+  util::MutexLock lock(&mu_);
+  // Clamp: a stale caller timestamp (concurrent workers observe virtual
+  // time out of order) must not shrink the earned-capacity budget below
+  // what a later Send already established.
+  double now = std::max(now_seconds, last_seen_time_);
+  if (now <= 0.0) return bytes_sent_ == 0;
+  return static_cast<double>(bytes_sent_) <=
+         model_->CapacityBytes(now) * 1.0001;
 }
 
 size_t Network::bytes_sent() const {
   util::MutexLock lock(&mu_);
   return bytes_sent_;
-}
-
-bool Network::WithinCapacity(double now_seconds) const {
-  util::MutexLock lock(&mu_);
-  if (now_seconds <= 0.0) return bytes_sent_ == 0;
-  return static_cast<double>(bytes_sent_) <=
-         bytes_per_sec_ * now_seconds * 1.0001;
 }
 
 bool StorageBudget::TryReserve(size_t bytes) {

@@ -3,8 +3,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <string_view>
 
+#include "adaedge/sim/network_model.h"
 #include "adaedge/util/mutex.h"
 #include "adaedge/util/thread_annotations.h"
 
@@ -33,31 +35,48 @@ double BandwidthBytesPerSec(NetworkType type);
 /// required"; <= 0 inputs are treated as offline (returns 0).
 double TargetRatio(double bandwidth_bytes_per_sec, double points_per_sec);
 
-/// A simulated network link: accounts egressed bytes against virtual time
-/// and reports whether the link is keeping up.
+/// A simulated network link: a thin byte-accounting view over a
+/// NetworkModel. The scalar constructors build a one-segment static
+/// trace, so every pre-environment-layer call site behaves exactly as
+/// before; a shared time-varying model makes the capacity check follow
+/// the trace's piecewise-constant bandwidth (NetworkModel::CapacityBytes).
 class Network {
  public:
   explicit Network(NetworkType type)
       : Network(BandwidthBytesPerSec(type)) {}
-  explicit Network(double bytes_per_sec) : bytes_per_sec_(bytes_per_sec) {}
+  explicit Network(double bytes_per_sec)
+      : model_(std::make_shared<const NetworkModel>(bytes_per_sec)) {}
+  /// View over a shared environment model (never null).
+  explicit Network(std::shared_ptr<const NetworkModel> model);
 
-  double bytes_per_sec() const { return bytes_per_sec_; }
+  /// The link bandwidth at the latest virtual time this view has seen
+  /// (constant for scalar-constructed links).
+  double bytes_per_sec() const ADAEDGE_EXCLUDES(mu_);
+
+  const NetworkModel& model() const { return *model_; }
+  const std::shared_ptr<const NetworkModel>& shared_model() const {
+    return model_;
+  }
 
   /// Records an egress of `bytes` at virtual time `now_seconds`.
+  /// Non-monotonic times clamp to the latest time already seen: virtual
+  /// time never runs backwards here (out-of-order Send calls from
+  /// concurrent workers would otherwise corrupt the cumulative-rate
+  /// check).
   void Send(size_t bytes, double now_seconds) ADAEDGE_EXCLUDES(mu_);
 
   /// Total bytes sent so far.
   size_t bytes_sent() const ADAEDGE_EXCLUDES(mu_);
 
   /// True if the cumulative egress rate has stayed within capacity up to
-  /// `now_seconds`.
+  /// `now_seconds` (clamped to the latest time seen, like Send).
   bool WithinCapacity(double now_seconds) const ADAEDGE_EXCLUDES(mu_);
 
  private:
-  double bytes_per_sec_;
+  std::shared_ptr<const NetworkModel> model_;
   mutable util::Mutex mu_{util::LockRank::kNetwork, "sim.network"};
   size_t bytes_sent_ ADAEDGE_GUARDED_BY(mu_) = 0;
-  double last_send_time_ ADAEDGE_GUARDED_BY(mu_) = 0.0;
+  double last_seen_time_ ADAEDGE_GUARDED_BY(mu_) = 0.0;
 };
 
 /// Thread-safe storage accounting with the paper's recoding threshold

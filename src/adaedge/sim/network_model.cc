@@ -1,0 +1,295 @@
+#include "adaedge/sim/network_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "adaedge/sim/constraints.h"
+
+namespace adaedge::sim {
+
+namespace {
+
+/// Caps on the parsed surface: the format is for hand-written scenario
+/// traces, not bulk data, and the fuzz target must not be able to force
+/// unbounded allocation.
+constexpr size_t kMaxTraceText = 1 << 20;     // 1 MiB of text
+constexpr size_t kMaxTraceSegments = 1 << 16; // 65536 segments
+
+bool FiniteNonNegative(double v) { return std::isfinite(v) && v >= 0.0; }
+
+/// Strict full-token double parse: rejects empty tokens, trailing junk
+/// and (by the callers' checks) non-finite results.
+bool ParseDouble(std::string_view token, double* out) {
+  if (token.empty() || token.size() > 64) return false;
+  std::string buffer(token);
+  char* end = nullptr;
+  errno = 0;
+  double value = std::strtod(buffer.c_str(), &end);
+  if (end != buffer.c_str() + buffer.size()) return false;
+  *out = value;
+  return true;
+}
+
+std::vector<std::string_view> SplitWhitespace(std::string_view line) {
+  std::vector<std::string_view> tokens;
+  size_t i = 0;
+  while (i < line.size()) {
+    while (i < line.size() && (line[i] == ' ' || line[i] == '\t' ||
+                               line[i] == '\r')) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < line.size() && line[i] != ' ' && line[i] != '\t' &&
+           line[i] != '\r') {
+      ++i;
+    }
+    if (i > start) tokens.push_back(line.substr(start, i - start));
+  }
+  return tokens;
+}
+
+}  // namespace
+
+Status ValidateTrace(const NetworkTrace& trace) {
+  if (trace.segments.empty()) {
+    return Status::InvalidArgument("trace needs at least one segment");
+  }
+  if (trace.segments.size() > kMaxTraceSegments) {
+    return Status::InvalidArgument("trace has too many segments");
+  }
+  if (trace.segments.front().start_seconds != 0.0) {
+    return Status::InvalidArgument(
+        "first trace segment must start at 0 (got " +
+        std::to_string(trace.segments.front().start_seconds) + ")");
+  }
+  double prev_start = -1.0;
+  for (const TraceSegment& segment : trace.segments) {
+    if (!FiniteNonNegative(segment.start_seconds) ||
+        !FiniteNonNegative(segment.bytes_per_sec) ||
+        !FiniteNonNegative(segment.deadline_seconds)) {
+      return Status::InvalidArgument(
+          "trace segment fields must be finite and >= 0");
+    }
+    if (segment.start_seconds <= prev_start) {
+      return Status::InvalidArgument(
+          "trace segment starts must be strictly increasing (" +
+          std::to_string(segment.start_seconds) + " after " +
+          std::to_string(prev_start) + ")");
+    }
+    prev_start = segment.start_seconds;
+  }
+  if (trace.period_seconds != 0.0) {
+    if (!std::isfinite(trace.period_seconds) ||
+        trace.period_seconds <= trace.segments.back().start_seconds) {
+      return Status::InvalidArgument(
+          "period must be finite and past the last segment start");
+    }
+  }
+  return Status::Ok();
+}
+
+Result<NetworkTrace> ParseTrace(std::string_view text) {
+  if (text.size() > kMaxTraceText) {
+    return Status::InvalidArgument("trace text too large");
+  }
+  NetworkTrace trace;
+  bool saw_period = false;
+  size_t pos = 0;
+  while (pos <= text.size()) {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, eol == std::string_view::npos ? text.size() - pos : eol - pos);
+    pos = eol == std::string_view::npos ? text.size() + 1 : eol + 1;
+    std::vector<std::string_view> tokens = SplitWhitespace(line);
+    if (tokens.empty() || tokens.front().front() == '#') continue;
+    if (tokens.front() == "period") {
+      if (saw_period || tokens.size() != 2) {
+        return Status::InvalidArgument("malformed period line");
+      }
+      if (!ParseDouble(tokens[1], &trace.period_seconds)) {
+        return Status::InvalidArgument("malformed period value");
+      }
+      saw_period = true;
+      continue;
+    }
+    if (tokens.size() < 2 || tokens.size() > 3) {
+      return Status::InvalidArgument(
+          "trace line needs <start> <bytes_per_sec> [deadline]");
+    }
+    if (trace.segments.size() >= kMaxTraceSegments) {
+      return Status::InvalidArgument("trace has too many segments");
+    }
+    TraceSegment segment;
+    if (!ParseDouble(tokens[0], &segment.start_seconds) ||
+        !ParseDouble(tokens[1], &segment.bytes_per_sec) ||
+        (tokens.size() == 3 &&
+         !ParseDouble(tokens[2], &segment.deadline_seconds))) {
+      return Status::InvalidArgument("malformed trace segment line");
+    }
+    trace.segments.push_back(segment);
+  }
+  ADAEDGE_RETURN_IF_ERROR(ValidateTrace(trace));
+  return trace;
+}
+
+std::string FormatTrace(const NetworkTrace& trace) {
+  std::string out;
+  char buffer[128];
+  if (trace.period_seconds != 0.0) {
+    std::snprintf(buffer, sizeof(buffer), "period %.17g\n",
+                  trace.period_seconds);
+    out += buffer;
+  }
+  for (const TraceSegment& segment : trace.segments) {
+    if (segment.deadline_seconds != 0.0) {
+      std::snprintf(buffer, sizeof(buffer), "%.17g %.17g %.17g\n",
+                    segment.start_seconds, segment.bytes_per_sec,
+                    segment.deadline_seconds);
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "%.17g %.17g\n",
+                    segment.start_seconds, segment.bytes_per_sec);
+    }
+    out += buffer;
+  }
+  return out;
+}
+
+NetworkModel::NetworkModel(double bytes_per_sec) {
+  TraceSegment segment;
+  // Sanitize the unchecked scalar path: NaN / negative collapse to an
+  // offline link (+inf stays: an unconstrained link).
+  segment.bytes_per_sec = bytes_per_sec >= 0.0 ? bytes_per_sec : 0.0;
+  trace_.segments.push_back(segment);
+  BuildPrefix();
+}
+
+NetworkModel::NetworkModel(NetworkType type)
+    : NetworkModel(BandwidthBytesPerSec(type)) {}
+
+NetworkModel::NetworkModel(NetworkTrace trace) : trace_(std::move(trace)) {
+  BuildPrefix();
+}
+
+Result<NetworkModel> NetworkModel::Create(NetworkTrace trace) {
+  ADAEDGE_RETURN_IF_ERROR(ValidateTrace(trace));
+  return NetworkModel(std::move(trace));
+}
+
+Result<NetworkModel> NetworkModel::FromText(std::string_view text) {
+  ADAEDGE_ASSIGN_OR_RETURN(NetworkTrace trace, ParseTrace(text));
+  return NetworkModel(std::move(trace));
+}
+
+NetworkModel NetworkModel::Handover3G4G(double dwell_seconds,
+                                        double deadline_seconds) {
+  dwell_seconds = dwell_seconds > 0.0 ? dwell_seconds : 30.0;
+  NetworkTrace trace;
+  trace.segments.push_back({0.0, BandwidthBytesPerSec(NetworkType::k4G),
+                            deadline_seconds});
+  trace.segments.push_back({dwell_seconds,
+                            BandwidthBytesPerSec(NetworkType::k3G),
+                            deadline_seconds});
+  trace.period_seconds = 2.0 * dwell_seconds;
+  return NetworkModel(std::move(trace));
+}
+
+NetworkModel NetworkModel::SatelliteWindows(double visible_seconds,
+                                            double blackout_seconds,
+                                            double deadline_seconds) {
+  visible_seconds = visible_seconds > 0.0 ? visible_seconds : 600.0;
+  blackout_seconds = blackout_seconds > 0.0 ? blackout_seconds : 300.0;
+  NetworkTrace trace;
+  trace.segments.push_back(
+      {0.0, BandwidthBytesPerSec(NetworkType::kSatellite),
+       deadline_seconds});
+  trace.segments.push_back({visible_seconds, 0.0, deadline_seconds});
+  trace.period_seconds = visible_seconds + blackout_seconds;
+  return NetworkModel(std::move(trace));
+}
+
+NetworkModel NetworkModel::Outage(double up_bytes_per_sec,
+                                  double degraded_bytes_per_sec,
+                                  double outage_start_seconds,
+                                  double outage_seconds,
+                                  double deadline_seconds) {
+  up_bytes_per_sec = up_bytes_per_sec >= 0.0 ? up_bytes_per_sec : 0.0;
+  degraded_bytes_per_sec =
+      degraded_bytes_per_sec >= 0.0 ? degraded_bytes_per_sec : 0.0;
+  outage_start_seconds =
+      outage_start_seconds > 0.0 ? outage_start_seconds : 1.0;
+  outage_seconds = outage_seconds > 0.0 ? outage_seconds : 1.0;
+  NetworkTrace trace;
+  trace.segments.push_back({0.0, up_bytes_per_sec, deadline_seconds});
+  trace.segments.push_back(
+      {outage_start_seconds, degraded_bytes_per_sec, deadline_seconds});
+  trace.segments.push_back({outage_start_seconds + outage_seconds,
+                            up_bytes_per_sec, deadline_seconds});
+  return NetworkModel(std::move(trace));
+}
+
+void NetworkModel::BuildPrefix() {
+  prefix_bytes_.assign(trace_.segments.size(), 0.0);
+  for (size_t i = 1; i < trace_.segments.size(); ++i) {
+    const TraceSegment& prev = trace_.segments[i - 1];
+    double span = trace_.segments[i].start_seconds - prev.start_seconds;
+    prefix_bytes_[i] = prefix_bytes_[i - 1] + span * prev.bytes_per_sec;
+  }
+  if (trace_.period_seconds > 0.0) {
+    const TraceSegment& last = trace_.segments.back();
+    period_capacity_bytes_ =
+        prefix_bytes_.back() +
+        (trace_.period_seconds - last.start_seconds) * last.bytes_per_sec;
+  }
+}
+
+NetworkModel::Observation NetworkModel::Observe(double now_seconds) const {
+  double now = now_seconds > 0.0 ? now_seconds : 0.0;
+  uint64_t loops = 0;
+  double period_origin = 0.0;
+  double local = now;
+  if (trace_.period_seconds > 0.0) {
+    double whole = std::floor(now / trace_.period_seconds);
+    loops = static_cast<uint64_t>(whole);
+    period_origin = whole * trace_.period_seconds;
+    local = now - period_origin;
+  }
+  // Last segment whose start is <= local.
+  auto it = std::upper_bound(
+      trace_.segments.begin(), trace_.segments.end(), local,
+      [](double t, const TraceSegment& s) { return t < s.start_seconds; });
+  size_t index = static_cast<size_t>(it - trace_.segments.begin());
+  index = index > 0 ? index - 1 : 0;
+  const TraceSegment& segment = trace_.segments[index];
+  Observation obs;
+  obs.bytes_per_sec = segment.bytes_per_sec;
+  obs.deadline_seconds = segment.deadline_seconds;
+  obs.segment = static_cast<int>(index);
+  obs.segment_start_seconds = period_origin + segment.start_seconds;
+  obs.epoch = loops * trace_.segments.size() + index;
+  return obs;
+}
+
+double NetworkModel::CapacityBytes(double now_seconds) const {
+  if (!(now_seconds > 0.0)) return 0.0;
+  double total = 0.0;
+  double local = now_seconds;
+  if (trace_.period_seconds > 0.0) {
+    double whole = std::floor(now_seconds / trace_.period_seconds);
+    total += whole * period_capacity_bytes_;
+    local = now_seconds - whole * trace_.period_seconds;
+  }
+  auto it = std::upper_bound(
+      trace_.segments.begin(), trace_.segments.end(), local,
+      [](double t, const TraceSegment& s) { return t < s.start_seconds; });
+  size_t index = static_cast<size_t>(it - trace_.segments.begin());
+  index = index > 0 ? index - 1 : 0;
+  const TraceSegment& segment = trace_.segments[index];
+  total += prefix_bytes_[index] +
+           (local - segment.start_seconds) * segment.bytes_per_sec;
+  return total;
+}
+
+}  // namespace adaedge::sim

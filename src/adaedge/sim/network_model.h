@@ -1,0 +1,156 @@
+#ifndef ADAEDGE_SIM_NETWORK_MODEL_H_
+#define ADAEDGE_SIM_NETWORK_MODEL_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adaedge/util/status.h"
+
+namespace adaedge::sim {
+
+using util::Result;
+using util::Status;
+
+enum class NetworkType;  // constraints.h; that header includes this one.
+
+/// One piecewise-constant span of a bandwidth trace. A segment holds from
+/// its start until the next segment's start (the last one holds forever,
+/// unless the trace loops).
+struct TraceSegment {
+  /// Virtual time this segment begins, in seconds from the trace origin.
+  double start_seconds = 0.0;
+  /// Sustained link bandwidth over the span; 0 models a full outage.
+  double bytes_per_sec = 0.0;
+  /// Per-segment latency budget for deadline-aware selection
+  /// (core::RewardModel::DeadlineReward); 0 = no budget in this span.
+  double deadline_seconds = 0.0;
+};
+
+/// A validated piecewise-constant bandwidth trace. `segments` is ordered
+/// by strictly increasing start_seconds with the first at 0; when
+/// `period_seconds` > 0 the trace repeats with that period (it must
+/// exceed the last segment's start), otherwise the last segment holds
+/// forever.
+struct NetworkTrace {
+  std::vector<TraceSegment> segments;
+  double period_seconds = 0.0;
+};
+
+/// InvalidArgument when `trace` violates the NetworkTrace contract:
+/// empty, non-finite or negative fields, first start != 0, non-increasing
+/// starts, or a period not past the last start.
+Status ValidateTrace(const NetworkTrace& trace);
+
+/// Parses the line-oriented trace text format (the fuzzed surface):
+///
+///   # comment and blank lines are skipped
+///   period <seconds>                  (optional, at most once)
+///   <start_seconds> <bytes_per_sec> [deadline_seconds]
+///
+/// Returns InvalidArgument for malformed numbers, NaN/inf fields,
+/// negative bandwidths, overlapping (non-increasing) segment starts and
+/// oversized inputs; the result always passes ValidateTrace.
+Result<NetworkTrace> ParseTrace(std::string_view text);
+
+/// Serializes `trace` in the ParseTrace format (round-trips exactly for
+/// values printed with max_digits10).
+std::string FormatTrace(const NetworkTrace& trace);
+
+/// The time-varying network environment (ROADMAP item 3): an immutable,
+/// trace-driven link model stepped by the caller's virtual time. All
+/// queries are pure functions of (trace, now) — no internal clock, no
+/// mutable state, no lock — so any number of threads may Observe()
+/// concurrently and consumers detect regime shifts by comparing epochs
+/// instead of polling a mutex.
+///
+/// sim::Network (constraints.h) layers byte accounting on top of this
+/// model; OnlineNode / MultiSignalNode / FleetNode re-derive target
+/// ratios from Observe() snapshots (OnlineSelector::ObserveLink).
+class NetworkModel {
+ public:
+  /// What a consumer sees at one instant of virtual time.
+  struct Observation {
+    /// Link bandwidth of the current segment (0 during an outage).
+    double bytes_per_sec = 0.0;
+    /// The segment's latency budget (0 = none).
+    double deadline_seconds = 0.0;
+    /// Monotone shift counter: increments at every segment boundary
+    /// (including loop wrap-arounds). Two observations with equal epochs
+    /// saw the same regime; consumers retarget when it changes.
+    uint64_t epoch = 0;
+    /// Index of the current segment within the trace.
+    int segment = 0;
+    /// Absolute virtual time the current dwell began.
+    double segment_start_seconds = 0.0;
+  };
+
+  /// Static single-segment link — the pre-environment-layer scalar
+  /// bandwidth, as a one-segment trace (epoch stays 0 forever).
+  explicit NetworkModel(double bytes_per_sec);
+  explicit NetworkModel(NetworkType type);
+
+  /// Checked construction from an arbitrary trace (ValidateTrace).
+  static Result<NetworkModel> Create(NetworkTrace trace);
+  /// ParseTrace + Create in one step.
+  static Result<NetworkModel> FromText(std::string_view text);
+
+  /// --- named presets (the paper's motivating regimes) ---
+  /// 3G <-> 4G cellular handover: alternates 4G and 3G bandwidth with
+  /// `dwell_seconds` per technology, looping.
+  static NetworkModel Handover3G4G(double dwell_seconds = 30.0,
+                                   double deadline_seconds = 0.0);
+  /// Satellite pass windows (the oil-platform scenario): satellite
+  /// bandwidth while a bird is visible, a full outage in between.
+  static NetworkModel SatelliteWindows(double visible_seconds = 600.0,
+                                       double blackout_seconds = 300.0,
+                                       double deadline_seconds = 0.0);
+  /// One degraded window inside an otherwise healthy link: `up` bandwidth,
+  /// then `degraded` over [outage_start, outage_start + outage_seconds),
+  /// then `up` again forever. degraded = 0 models a hard outage.
+  static NetworkModel Outage(double up_bytes_per_sec,
+                             double degraded_bytes_per_sec,
+                             double outage_start_seconds,
+                             double outage_seconds,
+                             double deadline_seconds = 0.0);
+
+  const NetworkTrace& trace() const { return trace_; }
+  /// False for single-segment non-looping traces — the static link whose
+  /// epoch never moves; consumers may skip shift handling entirely.
+  bool time_varying() const {
+    return trace_.segments.size() > 1 || trace_.period_seconds > 0.0;
+  }
+
+  /// Snapshot of the link at virtual time `now_seconds` (negative times
+  /// clamp to 0). Pure and lock-free.
+  Observation Observe(double now_seconds) const;
+
+  /// Bandwidth at `now_seconds` (Observe().bytes_per_sec shorthand).
+  double BandwidthAt(double now_seconds) const {
+    return Observe(now_seconds).bytes_per_sec;
+  }
+
+  /// Cumulative bytes the link could have carried over [0, now_seconds]:
+  /// the integral of the piecewise-constant bandwidth. The time-varying
+  /// generalization of bytes_per_sec * now; sim::Network's capacity check
+  /// and OnlineNode's egress credit are built on it.
+  double CapacityBytes(double now_seconds) const;
+
+ private:
+  explicit NetworkModel(NetworkTrace trace);  // pre-validated
+  void BuildPrefix();
+
+  NetworkTrace trace_;
+  /// prefix_bytes_[i] = capacity accumulated from the period origin to
+  /// segments[i].start_seconds (prefix_bytes_[0] == 0).
+  std::vector<double> prefix_bytes_;
+  /// Bytes one full period carries (0 for non-looping traces).
+  double period_capacity_bytes_ = 0.0;
+};
+
+}  // namespace adaedge::sim
+
+#endif  // ADAEDGE_SIM_NETWORK_MODEL_H_

@@ -429,6 +429,66 @@ TEST(PolicySharingTest, BandedSetMergesBandWise) {
   EXPECT_EQ(c.ForRatio(0.1).PullCount(1), 1u);  // min(1 pull, cap 4)
 }
 
+TEST(PolicySharingTest, DiscountDecaysTowardValueAndScalesCounts) {
+  BanditConfig config;
+  config.initial_value = 1.0;
+  EpsilonGreedy policy(2, config);
+  policy.Update(0, 0.3);
+  policy.Update(0, 0.5);  // arm 0: value 0.4 (sample average), 2 pulls
+  policy.Discount(0.5, 1.0);
+  EXPECT_DOUBLE_EQ(policy.EstimatedValue(0), 1.0 + 0.5 * (0.4 - 1.0));
+  EXPECT_EQ(policy.PullCount(0), 1u);  // 2 * 0.5
+  // Untried arm: already at the initial value, stays there, 0 pulls.
+  EXPECT_DOUBLE_EQ(policy.EstimatedValue(1), 1.0);
+  EXPECT_EQ(policy.PullCount(1), 0u);
+}
+
+TEST(PolicySharingTest, DiscountZeroIsAFullReset) {
+  BanditConfig config;
+  EpsilonGreedy policy(2, config);
+  policy.Update(0, 0.9);
+  policy.Update(1, 0.1);
+  policy.Discount(0.0, 0.5);
+  EXPECT_DOUBLE_EQ(policy.EstimatedValue(0), 0.5);
+  EXPECT_DOUBLE_EQ(policy.EstimatedValue(1), 0.5);
+  EXPECT_EQ(policy.PullCount(0), 0u);
+  EXPECT_EQ(policy.PullCount(1), 0u);
+  // Zeroed pulls make every arm eligible for a following WarmStart.
+  policy.WarmStart({{0.8, 10}, {0.7, 10}}, 4);
+  EXPECT_DOUBLE_EQ(policy.EstimatedValue(0), 0.8);
+  EXPECT_EQ(policy.PullCount(0), 4u);
+}
+
+TEST(PolicySharingTest, DiscountClampsFractionAndKeepsPending) {
+  BanditConfig config;
+  EpsilonGreedy policy(1, config);
+  policy.Update(0, 0.6);
+  policy.NotePending(0);
+  policy.Discount(2.0, 0.0);  // clamped to 1.0: a no-op on estimates
+  EXPECT_DOUBLE_EQ(policy.EstimatedValue(0), 0.6);
+  EXPECT_EQ(policy.PullCount(0), 1u);
+  EXPECT_EQ(policy.PendingCount(0), 1u);  // in-flight pulls untouched
+  policy.Discount(-1.0, 0.25);  // clamped to 0.0: full reset
+  EXPECT_DOUBLE_EQ(policy.EstimatedValue(0), 0.25);
+  EXPECT_EQ(policy.PendingCount(0), 1u);
+  policy.CompletePull(0, 1.0);  // the pending pull still completes
+  EXPECT_EQ(policy.PullCount(0), 1u);
+}
+
+TEST(PolicySharingTest, DiscountKeepsUcb1ConfidenceTotalsConsistent) {
+  BanditConfig config;
+  Ucb1 policy(2, config);
+  for (int i = 0; i < 8; ++i) policy.Update(i % 2, 0.5);
+  policy.Discount(0.5, 1.0);
+  EXPECT_EQ(policy.PullCount(0), 2u);
+  EXPECT_EQ(policy.PullCount(1), 2u);
+  // The scaled counts must feed a coherent confidence total: selection
+  // still works and explores both arms.
+  EXPECT_GE(policy.SelectArm(), 0);
+  policy.Update(0, 0.9);
+  EXPECT_EQ(policy.PullCount(0), 3u);
+}
+
 TEST(BandedBanditSetTest, DefaultEdgesDescendFromOne) {
   auto edges = BandedBanditSet::DefaultEdges();
   ASSERT_FALSE(edges.empty());

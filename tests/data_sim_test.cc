@@ -115,6 +115,21 @@ TEST(NetworkTest, TargetRatioFormula) {
   EXPECT_DOUBLE_EQ(sim::TargetRatio(0.0, 1e6), 0.0);
 }
 
+TEST(NetworkTest, TargetRatioDegenerateInputs) {
+  const double nan = std::nan("");
+  const double inf = std::numeric_limits<double>::infinity();
+  // No usable bandwidth (negative, NaN, zero): ratio 0 — nothing fits.
+  EXPECT_DOUBLE_EQ(sim::TargetRatio(-5.0, 1e6), 0.0);
+  EXPECT_DOUBLE_EQ(sim::TargetRatio(nan, 1e6), 0.0);
+  EXPECT_DOUBLE_EQ(sim::TargetRatio(0.0, 0.0), 0.0);  // bandwidth first
+  // No ingest pressure (zero, negative, NaN rate): lossless suffices.
+  EXPECT_DOUBLE_EQ(sim::TargetRatio(8e6, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(sim::TargetRatio(8e6, -3.0), 1.0);
+  EXPECT_DOUBLE_EQ(sim::TargetRatio(8e6, nan), 1.0);
+  // Unlimited link: infinite ratio (any compression acceptable).
+  EXPECT_TRUE(std::isinf(sim::TargetRatio(inf, 1e6)));
+}
+
 TEST(NetworkTest, CapacityAccounting) {
   sim::Network net(1000.0);  // 1000 B/s
   net.Send(500, 1.0);

@@ -45,6 +45,7 @@ const std::map<std::string, FuzzTarget>& TargetsByPrefix() {
       {"payload_query", fuzz::FuzzPayloadQuery},
       {"store_io", fuzz::FuzzStoreIo},
       {"roundtrip", fuzz::FuzzRoundTrip},
+      {"network_trace", fuzz::FuzzNetworkTrace},
   };
   return kTargets;
 }

@@ -1,0 +1,638 @@
+// Time-varying network environment layer: trace parsing/validation,
+// NetworkModel observation + capacity math, the Network accounting view
+// (including the non-monotonic clock regression), DeadlineReward pins,
+// OnlineSelector::ObserveLink shift machinery, and the epoch threading
+// through OnlineNode / MultiSignalNode / FleetNode.
+
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaedge/compress/registry.h"
+#include "adaedge/core/arm_runtime.h"
+#include "adaedge/core/fleet.h"
+#include "adaedge/core/online_node.h"
+#include "adaedge/core/online_selector.h"
+#include "adaedge/data/generators.h"
+#include "adaedge/sim/constraints.h"
+#include "adaedge/sim/network_model.h"
+
+namespace adaedge {
+namespace {
+
+using core::OnlineConfig;
+using core::OnlineSelector;
+using core::RewardModel;
+using core::ShiftPolicy;
+using core::TargetSpec;
+using sim::NetworkModel;
+using sim::NetworkTrace;
+using sim::TraceSegment;
+
+// ---------------------------------------------------------------------
+// Trace parsing / validation / formatting
+// ---------------------------------------------------------------------
+
+TEST(NetworkTraceTest, ParsesSegmentsPeriodAndComments) {
+  auto parsed = sim::ParseTrace(
+      "# cellular handover\n"
+      "period 60\n"
+      "\n"
+      "0 12.5e6 0.005\n"
+      "30 0.75e6\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const NetworkTrace& trace = parsed.value();
+  ASSERT_EQ(trace.segments.size(), 2u);
+  EXPECT_DOUBLE_EQ(trace.period_seconds, 60.0);
+  EXPECT_DOUBLE_EQ(trace.segments[0].start_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(trace.segments[0].bytes_per_sec, 12.5e6);
+  EXPECT_DOUBLE_EQ(trace.segments[0].deadline_seconds, 0.005);
+  EXPECT_DOUBLE_EQ(trace.segments[1].start_seconds, 30.0);
+  EXPECT_DOUBLE_EQ(trace.segments[1].bytes_per_sec, 0.75e6);
+  EXPECT_DOUBLE_EQ(trace.segments[1].deadline_seconds, 0.0);
+}
+
+TEST(NetworkTraceTest, RejectsMalformedInput) {
+  const char* bad[] = {
+      "",                        // no segments
+      "0 abc\n",                 // garbage bandwidth
+      "0 nan\n",                 // NaN bandwidth
+      "0 inf\n",                 // infinite bandwidth
+      "0 -5\n",                  // negative bandwidth
+      "0 10 -1\n",               // negative deadline
+      "5 10\n",                  // first segment not at 0
+      "0 10\n0 20\n",            // overlapping starts
+      "0 10\n30 20\n30 30\n",    // non-increasing starts
+      "0 10\n5 20\n3 30\n",      // decreasing start
+      "0 10 1 9\n",              // too many tokens
+      "0\n",                     // too few tokens
+      "period 5\n0 1\n30 2\n",   // period before the last start
+      "period nan\n0 1\n",       // NaN period
+      "period 60\nperiod 60\n0 1\n",  // repeated period
+      "period\n0 1\n",           // period without a value
+  };
+  for (const char* text : bad) {
+    EXPECT_FALSE(sim::ParseTrace(text).ok()) << "accepted: " << text;
+  }
+}
+
+TEST(NetworkTraceTest, FormatRoundTripsExactly) {
+  NetworkTrace trace;
+  trace.segments = {{0.0, 12.5e6, 0.005},
+                    {30.0, 1.0 / 3.0, 0.0},
+                    {60.25, 0.0, 2.5}};
+  trace.period_seconds = 90.125;
+  auto reparsed = sim::ParseTrace(sim::FormatTrace(trace));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  ASSERT_EQ(reparsed.value().segments.size(), trace.segments.size());
+  EXPECT_EQ(reparsed.value().period_seconds, trace.period_seconds);
+  for (size_t i = 0; i < trace.segments.size(); ++i) {
+    EXPECT_EQ(reparsed.value().segments[i].start_seconds,
+              trace.segments[i].start_seconds);
+    EXPECT_EQ(reparsed.value().segments[i].bytes_per_sec,
+              trace.segments[i].bytes_per_sec);
+    EXPECT_EQ(reparsed.value().segments[i].deadline_seconds,
+              trace.segments[i].deadline_seconds);
+  }
+}
+
+TEST(NetworkTraceTest, CreateRejectsInvalidTraces) {
+  NetworkTrace empty;
+  EXPECT_FALSE(NetworkModel::Create(empty).ok());
+  NetworkTrace nan_bw;
+  nan_bw.segments = {{0.0, std::nan(""), 0.0}};
+  EXPECT_FALSE(NetworkModel::Create(nan_bw).ok());
+  NetworkTrace ok;
+  ok.segments = {{0.0, 100.0, 0.0}};
+  EXPECT_TRUE(NetworkModel::Create(ok).ok());
+}
+
+// ---------------------------------------------------------------------
+// NetworkModel: observation, epochs, capacity integral, presets
+// ---------------------------------------------------------------------
+
+NetworkModel ThreeStepModel(double period = 0.0) {
+  NetworkTrace trace;
+  trace.segments = {{0.0, 100.0, 0.0}, {10.0, 50.0, 0.5}, {20.0, 200.0, 0.0}};
+  trace.period_seconds = period;
+  auto model = NetworkModel::Create(std::move(trace));
+  EXPECT_TRUE(model.ok());
+  return model.value();
+}
+
+TEST(NetworkModelTest, ObserveStepsEpochsThroughSegments) {
+  NetworkModel model = ThreeStepModel();
+  EXPECT_TRUE(model.time_varying());
+
+  auto at0 = model.Observe(0.0);
+  EXPECT_DOUBLE_EQ(at0.bytes_per_sec, 100.0);
+  EXPECT_EQ(at0.epoch, 0u);
+  EXPECT_EQ(at0.segment, 0);
+  EXPECT_DOUBLE_EQ(at0.segment_start_seconds, 0.0);
+
+  EXPECT_EQ(model.Observe(9.999).epoch, 0u);
+
+  auto at10 = model.Observe(10.0);
+  EXPECT_DOUBLE_EQ(at10.bytes_per_sec, 50.0);
+  EXPECT_DOUBLE_EQ(at10.deadline_seconds, 0.5);
+  EXPECT_EQ(at10.epoch, 1u);
+  EXPECT_EQ(at10.segment, 1);
+  EXPECT_DOUBLE_EQ(at10.segment_start_seconds, 10.0);
+
+  // The last segment holds forever without a period.
+  auto late = model.Observe(1e9);
+  EXPECT_DOUBLE_EQ(late.bytes_per_sec, 200.0);
+  EXPECT_EQ(late.epoch, 2u);
+
+  // Negative times clamp to the origin.
+  EXPECT_EQ(model.Observe(-5.0).epoch, 0u);
+}
+
+TEST(NetworkModelTest, LoopingTraceAdvancesEpochAcrossWraps) {
+  NetworkModel model = ThreeStepModel(/*period=*/30.0);
+  // Epochs keep counting across loop boundaries: a wrap back into
+  // segment 0 is still a regime shift.
+  EXPECT_EQ(model.Observe(0.0).epoch, 0u);
+  EXPECT_EQ(model.Observe(25.0).epoch, 2u);
+  auto wrapped = model.Observe(30.0);
+  EXPECT_EQ(wrapped.epoch, 3u);
+  EXPECT_EQ(wrapped.segment, 0);
+  EXPECT_DOUBLE_EQ(wrapped.bytes_per_sec, 100.0);
+  EXPECT_DOUBLE_EQ(wrapped.segment_start_seconds, 30.0);
+  EXPECT_EQ(model.Observe(65.0).epoch, 6u);  // 2 loops + segment 0
+}
+
+TEST(NetworkModelTest, CapacityBytesIntegratesTheTrace) {
+  NetworkModel model = ThreeStepModel();
+  EXPECT_DOUBLE_EQ(model.CapacityBytes(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(model.CapacityBytes(5.0), 500.0);
+  EXPECT_DOUBLE_EQ(model.CapacityBytes(15.0), 1000.0 + 250.0);
+  EXPECT_DOUBLE_EQ(model.CapacityBytes(30.0), 1000.0 + 500.0 + 2000.0);
+  EXPECT_DOUBLE_EQ(model.CapacityBytes(-1.0), 0.0);
+}
+
+TEST(NetworkModelTest, LoopingCapacityAddsWholePeriods) {
+  NetworkModel model = ThreeStepModel(/*period=*/30.0);
+  const double one_period = 1000.0 + 500.0 + 2000.0;
+  EXPECT_DOUBLE_EQ(model.CapacityBytes(30.0), one_period);
+  EXPECT_DOUBLE_EQ(model.CapacityBytes(65.0), 2.0 * one_period + 500.0);
+}
+
+TEST(NetworkModelTest, ScalarModelIsStatic) {
+  NetworkModel model(5e5);
+  EXPECT_FALSE(model.time_varying());
+  EXPECT_EQ(model.Observe(1e6).epoch, 0u);
+  EXPECT_DOUBLE_EQ(model.BandwidthAt(123.0), 5e5);
+  EXPECT_DOUBLE_EQ(model.CapacityBytes(10.0), 5e6);
+  // NaN bandwidth sanitizes to a dead link rather than poisoning math.
+  EXPECT_DOUBLE_EQ(NetworkModel(std::nan("")).BandwidthAt(0.0), 0.0);
+}
+
+TEST(NetworkModelTest, PresetsMatchTheirStories) {
+  NetworkModel handover = NetworkModel::Handover3G4G(30.0, 0.005);
+  EXPECT_TRUE(handover.time_varying());
+  EXPECT_DOUBLE_EQ(handover.BandwidthAt(0.0),
+                   sim::BandwidthBytesPerSec(sim::NetworkType::k4G));
+  EXPECT_DOUBLE_EQ(handover.BandwidthAt(45.0),
+                   sim::BandwidthBytesPerSec(sim::NetworkType::k3G));
+  EXPECT_DOUBLE_EQ(handover.BandwidthAt(60.0),
+                   sim::BandwidthBytesPerSec(sim::NetworkType::k4G));
+  EXPECT_EQ(handover.Observe(60.0).epoch, 2u);
+  EXPECT_DOUBLE_EQ(handover.Observe(0.0).deadline_seconds, 0.005);
+
+  NetworkModel satellite = NetworkModel::SatelliteWindows(600.0, 300.0);
+  EXPECT_GT(satellite.BandwidthAt(10.0), 0.0);
+  EXPECT_DOUBLE_EQ(satellite.BandwidthAt(700.0), 0.0);  // blackout
+  EXPECT_GT(satellite.BandwidthAt(900.0), 0.0);         // next pass
+
+  NetworkModel outage = NetworkModel::Outage(8e5, 0.0, 10.0, 5.0);
+  EXPECT_DOUBLE_EQ(outage.BandwidthAt(9.0), 8e5);
+  EXPECT_DOUBLE_EQ(outage.BandwidthAt(12.0), 0.0);
+  EXPECT_DOUBLE_EQ(outage.BandwidthAt(15.0), 8e5);
+  EXPECT_DOUBLE_EQ(outage.BandwidthAt(1e6), 8e5);
+}
+
+// ---------------------------------------------------------------------
+// sim::Network accounting view
+// ---------------------------------------------------------------------
+
+TEST(NetworkTest, NonMonotonicClockClampsToLastSeenTime) {
+  // Regression: Send/WithinCapacity used to trust a caller clock that
+  // went backwards, so a stale `now` made the capacity check compare
+  // bytes against a window that ended before bytes were sent.
+  sim::Network net(1000.0);
+  net.Send(500, 5.0);
+  // now = 1.0 is in the past; the link clamps to t = 5 where 500 bytes
+  // fit comfortably (the old code computed capacity(1.0) = 1000 * 1 and
+  // could flip on tighter numbers).
+  EXPECT_TRUE(net.WithinCapacity(1.0));
+  net.Send(5000, 2.0);  // also stale; accounted at t = 5
+  EXPECT_FALSE(net.WithinCapacity(5.0));  // 5500 > capacity(5) = 5000
+  EXPECT_TRUE(net.WithinCapacity(6.0));
+  EXPECT_EQ(net.bytes_sent(), 5500u);
+}
+
+TEST(NetworkTest, ModelBackedCapacityFollowsTheTrace) {
+  auto model = std::make_shared<const NetworkModel>(
+      NetworkModel::Outage(1000.0, 0.0, 10.0, 1e9));
+  sim::Network net(model);
+  // After t = 10 the link is down: capacity stops growing at 10 KB.
+  net.Send(10000, 20.0);
+  EXPECT_TRUE(net.WithinCapacity(20.0));
+  net.Send(200, 25.0);
+  EXPECT_FALSE(net.WithinCapacity(1e6));
+  EXPECT_DOUBLE_EQ(net.bytes_per_sec(), 0.0);  // bandwidth at last-seen t
+}
+
+// ---------------------------------------------------------------------
+// DeadlineReward formula pins
+// ---------------------------------------------------------------------
+
+TEST(DeadlineRewardTest, FormulaPins) {
+  // No budget: pass-through.
+  EXPECT_DOUBLE_EQ(RewardModel::DeadlineReward(0.8, 4096, 1.0, 10.0, 0.0),
+                   0.8);
+  EXPECT_DOUBLE_EQ(RewardModel::DeadlineReward(0.8, 4096, 1.0, 10.0, -1.0),
+                   0.8);
+  // Within budget: base reward unchanged.
+  EXPECT_DOUBLE_EQ(
+      RewardModel::DeadlineReward(0.8, 1000, 0.01, 1e6, 0.05), 0.8);
+  // Zero bytes transmit for free (compress time still counts).
+  EXPECT_DOUBLE_EQ(RewardModel::DeadlineReward(0.8, 0, 0.01, 0.0, 0.05),
+                   0.8);
+  // Dead link with bytes to move: reward 0.
+  EXPECT_DOUBLE_EQ(RewardModel::DeadlineReward(0.8, 100, 0.0, 0.0, 0.05),
+                   0.0);
+  // Over budget: scaled by budget/latency. latency = 0.1 + 1000/1e4 = 0.2.
+  EXPECT_DOUBLE_EQ(
+      RewardModel::DeadlineReward(0.8, 1000, 0.1, 1e4, 0.1),
+      0.8 * 0.1 / 0.2);
+  // Scaling clamps to [0, 1].
+  EXPECT_DOUBLE_EQ(
+      RewardModel::DeadlineReward(-4.0, 1000, 0.1, 1e4, 0.1), 0.0);
+  // Infinite bandwidth (no link observed yet): transmit is free.
+  EXPECT_DOUBLE_EQ(
+      RewardModel::DeadlineReward(0.9, 1 << 30, 0.0,
+                                  std::numeric_limits<double>::infinity(),
+                                  0.01),
+      0.9);
+}
+
+// ---------------------------------------------------------------------
+// OnlineSelector::ObserveLink shift machinery
+// ---------------------------------------------------------------------
+
+/// Delegating lossy codec pinned to one target ratio: feasible exactly
+/// when its pinned ratio fits under the selector's target, which makes
+/// shift re-gating observable arm by arm.
+class PinnedRatioCodec final : public compress::Codec {
+ public:
+  PinnedRatioCodec(std::shared_ptr<const compress::Codec> inner,
+                   double pinned_ratio)
+      : inner_(std::move(inner)), pinned_ratio_(pinned_ratio) {}
+
+  compress::CodecId id() const override { return inner_->id(); }
+  compress::CodecKind kind() const override { return inner_->kind(); }
+  size_t MaxCompressedSize(size_t value_count) const override {
+    return inner_->MaxCompressedSize(value_count);
+  }
+  util::Result<std::vector<uint8_t>> Compress(
+      std::span<const double> values,
+      const compress::CodecParams& params) const override {
+    compress::CodecParams pinned = params;
+    pinned.target_ratio = pinned_ratio_;
+    return inner_->Compress(values, pinned);
+  }
+  util::Status CompressInto(std::span<const double> values,
+                            const compress::CodecParams& params,
+                            std::vector<uint8_t>& out) const override {
+    compress::CodecParams pinned = params;
+    pinned.target_ratio = pinned_ratio_;
+    return inner_->CompressInto(values, pinned, out);
+  }
+  util::Result<std::vector<double>> Decompress(
+      std::span<const uint8_t> payload) const override {
+    return inner_->Decompress(payload);
+  }
+  bool SupportsRatio(double ratio, size_t value_count) const override {
+    return pinned_ratio_ <= ratio &&
+           inner_->SupportsRatio(pinned_ratio_, value_count);
+  }
+
+ private:
+  std::shared_ptr<const compress::Codec> inner_;
+  double pinned_ratio_;
+};
+
+std::vector<compress::CodecArm> PinnedPool() {
+  const std::pair<const char*, double> tiers[] = {
+      {"mild", 0.5}, {"mid", 0.125}, {"aggressive", 0.03125}};
+  auto paa = compress::GetCodec(compress::CodecId::kPaa);
+  std::vector<compress::CodecArm> arms;
+  for (const auto& [name, ratio] : tiers) {
+    compress::CodecArm arm;
+    arm.name = name;
+    arm.codec = std::make_shared<PinnedRatioCodec>(paa, ratio);
+    arms.push_back(std::move(arm));
+  }
+  return arms;
+}
+
+OnlineConfig PinnedPoolConfig(double target_ratio) {
+  OnlineConfig config;
+  config.target_ratio = target_ratio;
+  config.force_lossy = true;
+  config.lossy_arms = PinnedPool();
+  config.bandit.epsilon = 0.0;  // deterministic greedy selection
+  return config;
+}
+
+std::vector<std::vector<double>> TestSegments(size_t count,
+                                              uint64_t seed = 7) {
+  data::CbfStream stream(seed);
+  std::vector<std::vector<double>> segments(count,
+                                            std::vector<double>(1024));
+  for (auto& segment : segments) stream.Fill(segment);
+  return segments;
+}
+
+TEST(ObserveLinkTest, RetargetsAndKeepsTargetThroughOutage) {
+  OnlineSelector selector(PinnedPoolConfig(1.0),
+                          TargetSpec::AggAccuracy(query::AggKind::kMax));
+  EXPECT_DOUBLE_EQ(selector.link_bandwidth(),
+                   std::numeric_limits<double>::infinity());
+  selector.ObserveLink(0, 1e6, 0.5, 0.0);
+  EXPECT_DOUBLE_EQ(selector.target_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(selector.link_bandwidth(), 1e6);
+  // Outage: ratio <= 0 keeps the current target, bandwidth still updates.
+  selector.ObserveLink(1, 0.0, 0.0, 0.0);
+  EXPECT_DOUBLE_EQ(selector.target_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(selector.link_bandwidth(), 0.0);
+  // Same-epoch observations are no-ops even with different payloads.
+  selector.ObserveLink(1, 9e9, 0.9, 1.0);
+  EXPECT_DOUBLE_EQ(selector.target_ratio(), 0.5);
+  EXPECT_DOUBLE_EQ(selector.link_bandwidth(), 0.0);
+}
+
+TEST(ObserveLinkTest, ShiftRegatesInfeasibleArmsAndRestoresThem) {
+  // Start at a target only mid/aggressive can reach. (The selection
+  // filter zero-teaches the bandit whenever it picks the infeasible mild
+  // arm, so mild's estimate cannot be relied on across the shift — the
+  // rewarm reset below levels the field deliberately.)
+  OnlineConfig config = PinnedPoolConfig(0.2);
+  config.on_shift = ShiftPolicy::kRewarm;
+  OnlineSelector selector(config,
+                          TargetSpec::AggAccuracy(query::AggKind::kMax));
+  auto segments = TestSegments(16);
+  for (size_t i = 0; i < 3; ++i) {
+    auto outcome = selector.Process(i, 0.0, segments[i]);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_NE(outcome.value().arm_name, "mild");
+  }
+  selector.ObserveLink(1, 1e6, 0.2, 0.0);  // install: gates mild
+  // The link recovers: mild must be restored AND, after the rewarm reset
+  // (every estimate back to the optimistic 1.0), explored like any other
+  // arm — greedy selection prefers untried optimistic arms, so a few
+  // segments cover the whole pool. A broken restore would leave mild's
+  // pull count at zero forever.
+  selector.ObserveLink(2, 8e6, 1.0, 0.0);
+  std::map<std::string, int> used;
+  for (size_t i = 3; i < segments.size(); ++i) {
+    auto outcome = selector.Process(i, 0.0, segments[i]);
+    ASSERT_TRUE(outcome.ok());
+    ++used[outcome.value().arm_name];
+  }
+  EXPECT_GE(used["mild"], 1);
+  EXPECT_GE(used["mid"], 1);
+  EXPECT_GE(used["aggressive"], 1);
+}
+
+TEST(ObserveLinkTest, UserGatingSurvivesShifts) {
+  OnlineSelector selector(PinnedPoolConfig(1.0),
+                          TargetSpec::AggAccuracy(query::AggKind::kMax));
+  auto segments = TestSegments(24);
+  auto first = selector.Process(0, 0.0, segments[0]);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(selector.SetArmEnabled("mid", false).ok());
+  // Two shifts (gate everything below 0.2, then restore): the shift
+  // machinery must re-enable only what IT disabled, not the user's gate.
+  selector.ObserveLink(1, 1e6, 0.2, 0.0);
+  selector.ObserveLink(2, 8e6, 1.0, 0.0);
+  for (size_t i = 1; i < segments.size(); ++i) {
+    auto outcome = selector.Process(i, 0.0, segments[i]);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_NE(outcome.value().arm_name, "mid");
+  }
+}
+
+TEST(ObserveLinkTest, DiscountShiftDecaysEstimatesAndCounts) {
+  OnlineConfig config = PinnedPoolConfig(1.0);
+  config.on_shift = ShiftPolicy::kDiscount;
+  config.shift_keep_fraction = 0.5;
+  OnlineSelector selector(config,
+                          TargetSpec::AggAccuracy(query::AggKind::kMax));
+  auto segments = TestSegments(9);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    ASSERT_TRUE(selector.Process(i, 0.0, segments[i]).ok());
+  }
+  selector.ObserveLink(1, 1e6, 1.0, 0.0);  // first: install only
+  auto before = selector.ExportPolicy();
+  selector.ObserveLink(2, 1e6, 0.9, 0.0);  // a real shift
+  auto after = selector.ExportPolicy();
+  ASSERT_EQ(after.lossy.size(), before.lossy.size());
+  bool any_pulled = false;
+  for (size_t i = 0; i < before.lossy.size(); ++i) {
+    // initial_value = 1.0: value' = 1 + 0.5 * (value - 1).
+    EXPECT_NEAR(after.lossy[i].value,
+                1.0 + 0.5 * (before.lossy[i].value - 1.0), 1e-12);
+    EXPECT_EQ(after.lossy[i].pulls, before.lossy[i].pulls / 2);
+    any_pulled = any_pulled || before.lossy[i].pulls > 0;
+  }
+  EXPECT_TRUE(any_pulled);
+}
+
+TEST(ObserveLinkTest, RewarmShiftResetsWithoutEstimator) {
+  OnlineConfig config = PinnedPoolConfig(1.0);
+  config.on_shift = ShiftPolicy::kRewarm;
+  OnlineSelector selector(config,
+                          TargetSpec::AggAccuracy(query::AggKind::kMax));
+  auto segments = TestSegments(6);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    ASSERT_TRUE(selector.Process(i, 0.0, segments[i]).ok());
+  }
+  selector.ObserveLink(1, 1e6, 1.0, 0.0);
+  selector.ObserveLink(2, 1e6, 0.9, 0.0);
+  for (const auto& stats : selector.ExportPolicy().lossy) {
+    EXPECT_DOUBLE_EQ(stats.value, 1.0);  // back to the optimistic prior
+    EXPECT_EQ(stats.pulls, 0u);
+  }
+}
+
+TEST(ObserveLinkTest, DeadlineShapingScalesRewardOnSlowLinks) {
+  auto segments = TestSegments(1, 11);
+  OnlineConfig plain = PinnedPoolConfig(1.0);
+  OnlineConfig shaped = PinnedPoolConfig(1.0);
+  shaped.deadline.enabled = true;
+  OnlineSelector baseline(plain,
+                          TargetSpec::AggAccuracy(query::AggKind::kMax));
+  OnlineSelector deadline(shaped,
+                          TargetSpec::AggAccuracy(query::AggKind::kMax));
+  // 1 B/s link with a 1 ms budget: any payload is hopelessly late.
+  baseline.ObserveLink(0, 1.0, -1.0, 0.001);
+  deadline.ObserveLink(0, 1.0, -1.0, 0.001);
+  auto base = baseline.Process(0, 0.0, segments[0]);
+  auto late = deadline.Process(0, 0.0, segments[0]);
+  ASSERT_TRUE(base.ok());
+  ASSERT_TRUE(late.ok());
+  // Identical selection and payload; only the fed-back reward differs.
+  EXPECT_EQ(late.value().arm_name, base.value().arm_name);
+  EXPECT_EQ(late.value().segment.SizeBytes(),
+            base.value().segment.SizeBytes());
+  EXPECT_GT(base.value().reward, 0.1);
+  EXPECT_LT(late.value().reward, 0.01);
+}
+
+TEST(ObserveLinkTest, ValidatesShiftAndDeadlineConfig) {
+  OnlineConfig config;
+  config.shift_keep_fraction = 1.5;
+  EXPECT_FALSE(config.Validate().ok());
+  config.shift_keep_fraction = 0.5;
+  config.deadline.enabled = true;
+  config.deadline.budget_seconds = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.deadline.budget_seconds =
+      std::numeric_limits<double>::infinity();
+  EXPECT_FALSE(config.Validate().ok());
+  config.deadline.budget_seconds = 0.05;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+// ---------------------------------------------------------------------
+// Epoch threading: OnlineNode / MultiSignalNode / FleetNode
+// ---------------------------------------------------------------------
+
+TEST(OnlineNodeNetworkTest, EpochShiftRederivesTargetRatio) {
+  core::OnlineNodeConfig config;
+  config.ingest_points_per_sec = 1e5;
+  config.network_model = std::make_shared<const NetworkModel>(
+      NetworkModel::Outage(8e5, 1e5, 10.0, 10.0));
+  core::OnlineNode node(config,
+                        TargetSpec::AggAccuracy(query::AggKind::kSum));
+  // Derived from bandwidth at t = 0: 8e5 / (8 * 1e5) = 1.0.
+  EXPECT_DOUBLE_EQ(node.selector().target_ratio(), 1.0);
+  auto segments = TestSegments(2, 13);
+  ASSERT_TRUE(node.Ingest(0, 1.0, segments[0]).ok());
+  EXPECT_DOUBLE_EQ(node.selector().target_ratio(), 1.0);
+  // Inside the degraded window the target re-derives to 0.125.
+  ASSERT_TRUE(node.Ingest(1, 11.0, segments[1]).ok());
+  EXPECT_DOUBLE_EQ(node.selector().target_ratio(), 0.125);
+  EXPECT_DOUBLE_EQ(node.selector().link_bandwidth(), 1e5);
+}
+
+TEST(MultiSignalNodeNetworkTest, SharedLinkShiftReallocatesShares) {
+  auto model = std::make_shared<const NetworkModel>(
+      NetworkModel::Outage(8e5, 2e5, 10.0, 10.0));
+  core::MultiSignalNode node(
+      model, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  int a = node.AddSignal("a", 1e5);
+  int b = node.AddSignal("b", 1e5);
+  // Initial split from bandwidth at t = 0: 4e5 each => ratio 0.5.
+  EXPECT_NEAR(node.TargetRatioOf(a).value(), 0.5, 1e-12);
+  std::vector<double> segment(256, 1.0);
+  ASSERT_TRUE(node.Ingest(a, 0, 11.0, segment).ok());  // degraded epoch
+  EXPECT_NEAR(node.TargetRatioOf(a).value(), 0.125, 1e-12);
+  EXPECT_NEAR(node.TargetRatioOf(b).value(), 0.125, 1e-12);
+  ASSERT_TRUE(node.Ingest(b, 1, 25.0, segment).ok());  // recovered
+  EXPECT_NEAR(node.TargetRatioOf(a).value(), 0.5, 1e-12);
+  EXPECT_NEAR(node.TargetRatioOf(b).value(), 0.5, 1e-12);
+}
+
+TEST(FleetNetworkTest, ShardsDivergeAcrossLinksAndMergeRespectsBands) {
+  core::FleetConfig config;
+  config.shards = 2;
+  config.batch_segments = 1;
+  config.merge_interval_batches = 1;
+  config.network_points_per_sec = 1e5;
+  config.shard_networks = {
+      std::make_shared<const NetworkModel>(8e5),
+      std::make_shared<const NetworkModel>(
+          NetworkModel::Outage(8e5, 1e5, 10.0, 1e9)),
+  };
+  auto fleet = core::FleetNode::Create(
+      config, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  ASSERT_TRUE(fleet.ok()) << fleet.status().ToString();
+  core::FleetNode& node = *fleet.value();
+  node.Start();
+  // One sensor per shard, ingested inside shard 1's degraded window.
+  uint64_t sensor0 = 0;
+  while (node.ShardOf(sensor0) != 0) ++sensor0;
+  uint64_t sensor1 = 0;
+  while (node.ShardOf(sensor1) != 1) ++sensor1;
+  auto segments = TestSegments(8, 17);
+  // Let shard 1 observe its degraded link (first batch -> ObserveLink
+  // re-derives 0.125) before shard 0 gets any work: a shard 0 batch
+  // completing first would trigger a merge while both shards still sit
+  // in band 0 on their t = 0 targets.
+  ASSERT_TRUE(node.Ingest(sensor1, segments[0], 11.0).ok());
+  for (int spins = 0;
+       node.shard_selector(1).target_ratio() != 0.125 && spins < 10000;
+       ++spins) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(node.shard_selector(1).target_ratio(), 0.125);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    ASSERT_TRUE(node.Ingest(sensor0, segments[i], 11.0).ok());
+    if (i > 0) ASSERT_TRUE(node.Ingest(sensor1, segments[i], 11.0).ok());
+  }
+  node.Stop();
+  // Shard 0 stayed at ratio 1.0 (band 0); shard 1 re-derived 0.125
+  // (band 3). Different regimes: the periodic merge never blended them.
+  EXPECT_DOUBLE_EQ(node.shard_selector(0).target_ratio(), 1.0);
+  EXPECT_DOUBLE_EQ(node.shard_selector(1).target_ratio(), 0.125);
+  EXPECT_EQ(node.merges(), 0u);
+}
+
+TEST(FleetNetworkTest, SameRegimeShardsStillMerge) {
+  core::FleetConfig config;
+  config.shards = 2;
+  config.batch_segments = 1;
+  config.merge_interval_batches = 1;
+  config.network_points_per_sec = 1e5;
+  config.shard_networks = {std::make_shared<const NetworkModel>(8e5),
+                           std::make_shared<const NetworkModel>(8e5)};
+  auto fleet = core::FleetNode::Create(
+      config, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  ASSERT_TRUE(fleet.ok());
+  core::FleetNode& node = *fleet.value();
+  node.Start();
+  auto segments = TestSegments(8, 19);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    ASSERT_TRUE(
+        node.Ingest(static_cast<uint64_t>(i), segments[i], 1.0).ok());
+  }
+  node.Stop();
+  EXPECT_GT(node.merges(), 0u);
+}
+
+TEST(FleetNetworkTest, ValidateRejectsNullShardNetworks) {
+  core::FleetConfig config;
+  config.shard_networks = {nullptr};
+  EXPECT_FALSE(config.Validate().ok());
+  config.shard_networks = {std::make_shared<const NetworkModel>(8e5)};
+  config.network_points_per_sec = -1.0;
+  EXPECT_FALSE(config.Validate().ok());
+  config.network_points_per_sec = 0.0;
+  EXPECT_TRUE(config.Validate().ok());
+}
+
+}  // namespace
+}  // namespace adaedge

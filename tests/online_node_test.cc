@@ -130,6 +130,62 @@ TEST(MultiSignalNodeTest, RemovalReallocatesBandwidth) {
   EXPECT_FALSE(node.Ingest(b, 0, 0.0, std::vector<double>(8, 1.0)).ok());
 }
 
+TEST(MultiSignalNodeTest, RemovalRedistributesByWeightTimesRate) {
+  // Mixed weights and rates: after a removal every survivor's share is
+  // bandwidth * weight * rate / total', so the ratios pin exactly.
+  const double kBandwidth = 8e5;
+  MultiSignalNode node(kBandwidth,
+                       TargetSpec::AggAccuracy(query::AggKind::kSum));
+  int a = node.AddSignal("a", 2e5, /*weight=*/1.0);
+  int b = node.AddSignal("b", 1e5, /*weight=*/2.0);
+  int c = node.AddSignal("c", 1e5, /*weight=*/1.0);
+  ASSERT_TRUE(node.RemoveSignal(c).ok());
+  // total' = 1*2e5 + 2*1e5 = 4e5.
+  const double total = 1.0 * 2e5 + 2.0 * 1e5;
+  EXPECT_NEAR(node.TargetRatioOf(a).value(),
+              sim::TargetRatio(kBandwidth * 1.0 * 2e5 / total, 2e5),
+              1e-12);
+  EXPECT_NEAR(node.TargetRatioOf(b).value(),
+              sim::TargetRatio(kBandwidth * 2.0 * 1e5 / total, 1e5),
+              1e-12);
+}
+
+TEST(MultiSignalNodeTest, LastSignalInheritsTheWholeLink) {
+  MultiSignalNode node(8e5, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  int keep = node.AddSignal("keep", 1e5);
+  int drop1 = node.AddSignal("drop1", 3e5);
+  int drop2 = node.AddSignal("drop2", 4e5, /*weight=*/2.0);
+  ASSERT_TRUE(node.RemoveSignal(drop1).ok());
+  ASSERT_TRUE(node.RemoveSignal(drop2).ok());
+  EXPECT_EQ(node.signal_count(), 1u);
+  EXPECT_NEAR(node.TargetRatioOf(keep).value(),
+              sim::TargetRatio(8e5, 1e5), 1e-12);
+}
+
+TEST(MultiSignalNodeTest, ZeroWeightSignalGetsNoBandwidth) {
+  MultiSignalNode node(8e5, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  int muted = node.AddSignal("muted", 1e5, /*weight=*/0.0);
+  int active = node.AddSignal("active", 1e5, /*weight=*/1.0);
+  EXPECT_DOUBLE_EQ(node.TargetRatioOf(muted).value(), 0.0);
+  EXPECT_NEAR(node.TargetRatioOf(active).value(),
+              sim::TargetRatio(8e5, 1e5), 1e-12);
+  // Removing the only weighted signal leaves total weight*rate at 0:
+  // Reallocate bails out and the muted signal keeps its previous target
+  // instead of dividing by zero.
+  ASSERT_TRUE(node.RemoveSignal(active).ok());
+  EXPECT_DOUBLE_EQ(node.TargetRatioOf(muted).value(), 0.0);
+}
+
+TEST(MultiSignalNodeTest, AllZeroWeightsKeepInitialTargets) {
+  MultiSignalNode node(8e5, TargetSpec::AggAccuracy(query::AggKind::kSum));
+  int a = node.AddSignal("a", 1e5, /*weight=*/0.0);
+  int b = node.AddSignal("b", 1e5, /*weight=*/0.0);
+  // total weight*rate = 0: no reallocation ever ran, so both signals
+  // keep the construction-time target of 1.0.
+  EXPECT_DOUBLE_EQ(node.TargetRatioOf(a).value(), 1.0);
+  EXPECT_DOUBLE_EQ(node.TargetRatioOf(b).value(), 1.0);
+}
+
 TEST(MultiSignalNodeTest, SignalsSelectIndependently) {
   // A highly compressible signal and a noisy one behind one link: each
   // signal's bandit converges on its own best codec.

@@ -309,5 +309,63 @@ TEST(OnlineSelectorStressTest, CompressRunsOutsideTheCriticalSection) {
   EXPECT_GE(codec->peak(), 2);
 }
 
+TEST(OnlineSelectorStressTest, ConcurrentProcessWithLinkObservations) {
+  // The network environment layer's control plane racing the data plane:
+  // ObserveLink epochs (retarget + re-gate + discount), SetTargetRatio
+  // and reader APIs against 4 Process threads. Run under TSan in CI; the
+  // deadline shaping snapshot and the shift-gating mask are the new
+  // state this exercises.
+  OnlineConfig config;
+  config.target_ratio = 0.3;
+  config.on_shift = ShiftPolicy::kDiscount;
+  config.shift_keep_fraction = 0.5;
+  config.deadline.enabled = true;
+  config.deadline.budget_seconds = 0.05;
+  OnlineSelector selector(config,
+                          TargetSpec::AggAccuracy(query::AggKind::kSum));
+  constexpr int kThreads = 4;
+  constexpr size_t kPerThread = 250;
+  std::atomic<uint64_t> next_id{0};
+  std::atomic<size_t> processed{0};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      auto segments = MakeCbfSegments(kPerThread, 900 + t);
+      for (auto& segment : segments) {
+        auto outcome =
+            selector.Process(next_id.fetch_add(1), 0.0, segment);
+        if (outcome.ok()) ++processed;
+      }
+    });
+  }
+  std::thread control([&] {
+    for (uint64_t i = 1; i <= 60; ++i) {
+      // Alternate healthy / degraded / outage regimes; every third
+      // observation repeats the previous epoch (must be a no-op).
+      uint64_t epoch = i / 3 + 1;
+      switch (i % 3) {
+        case 0:
+          selector.ObserveLink(epoch, 8e6, 1.0, 0.0);
+          break;
+        case 1:
+          selector.ObserveLink(epoch, 2.4e5, 0.3, 0.05);
+          break;
+        default:
+          selector.ObserveLink(epoch, 0.0, 0.0, 0.05);  // outage
+          break;
+      }
+      (void)selector.link_bandwidth();
+      (void)selector.target_ratio();
+      (void)selector.ArmCounts();
+      if (i % 10 == 0) selector.SetTargetRatio(0.4);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  for (auto& worker : workers) worker.join();
+  control.join();
+  EXPECT_EQ(processed.load(), kThreads * kPerThread);
+  EXPECT_EQ(selector.PendingPulls(), 0u);
+}
+
 }  // namespace
 }  // namespace adaedge::core

@@ -7,6 +7,8 @@
 #include <cstring>
 #include <memory>
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "adaedge/compress/codec.h"
@@ -14,6 +16,7 @@
 #include "adaedge/compress/payload_query.h"
 #include "adaedge/compress/registry.h"
 #include "adaedge/core/store_io.h"
+#include "adaedge/sim/network_model.h"
 #include "adaedge/query/aggregate.h"
 #include "adaedge/util/byte_io.h"
 #include "adaedge/util/status.h"
@@ -310,6 +313,49 @@ int FuzzRoundTrip(const uint8_t* data, size_t size) {
     // Truncations at a derived length, same contract.
     size_t cut = (mutation_seed * size_t{40503}) % mutated.size();
     ExerciseCodec(*codec, std::span<const uint8_t>(mutated.data(), cut));
+  }
+  return 0;
+}
+
+int FuzzNetworkTrace(const uint8_t* data, size_t size) {
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+  auto trace = sim::ParseTrace(text);
+  if (!trace.ok()) {
+    // Malformed / overlapping / NaN-bandwidth input: a Status is the
+    // whole contract. Nothing more to probe.
+    Touch(trace.status());
+    return 0;
+  }
+
+  // Anything the parser accepts must survive checked construction and
+  // serialize back to the identical trace.
+  auto model = sim::NetworkModel::Create(trace.value());
+  ADAEDGE_FUZZ_CHECK(model.ok(), "parsed trace failed NetworkModel::Create");
+  std::string formatted = sim::FormatTrace(trace.value());
+  auto reparsed = sim::ParseTrace(formatted);
+  ADAEDGE_FUZZ_CHECK(reparsed.ok(), "formatted trace did not reparse");
+  ADAEDGE_FUZZ_CHECK(sim::FormatTrace(reparsed.value()) == formatted,
+                     "FormatTrace -> ParseTrace is not a fixed point");
+
+  // Probe the pure time queries at hostile instants: negative, zero,
+  // boundary-adjacent, far-future and an input-derived timestamp. Every
+  // answer must be finite-or-contractual, never a crash or a hang.
+  double derived = size > 0 ? static_cast<double>(data[size - 1]) * 1e6 : 0.0;
+  const double probes[] = {-1.0,   0.0,        1e-9,   1.0,
+                           3600.0, 86400.0 * 400, derived};
+  for (double now : probes) {
+    auto obs = model.value().Observe(now);
+    ADAEDGE_FUZZ_CHECK(std::isfinite(obs.bytes_per_sec) &&
+                           obs.bytes_per_sec >= 0.0,
+                       "Observe returned a non-finite or negative bandwidth");
+    ADAEDGE_FUZZ_CHECK(obs.segment >= 0 &&
+                           static_cast<size_t>(obs.segment) <
+                               trace.value().segments.size(),
+                       "Observe returned an out-of-range segment index");
+    double capacity = model.value().CapacityBytes(now);
+    ADAEDGE_FUZZ_CHECK(!std::isnan(capacity) && capacity >= 0.0,
+                       "CapacityBytes returned NaN or a negative total");
+    SinkBytes(static_cast<size_t>(obs.epoch));
   }
   return 0;
 }

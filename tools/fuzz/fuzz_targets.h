@@ -44,6 +44,12 @@ int FuzzStoreIo(const uint8_t* data, size_t size);
 // mutated one must come back as a Status, never a crash.
 int FuzzRoundTrip(const uint8_t* data, size_t size);
 
+// Network trace parser (sim::ParseTrace): malformed, overlapping, and
+// NaN/inf-bandwidth traces must come back as a Status, never a crash.
+// Accepted traces must FormatTrace -> ParseTrace round-trip exactly and
+// survive Observe/CapacityBytes probing at hostile timestamps.
+int FuzzNetworkTrace(const uint8_t* data, size_t size);
+
 }  // namespace adaedge::fuzz
 
 #endif  // ADAEDGE_TOOLS_FUZZ_FUZZ_TARGETS_H_

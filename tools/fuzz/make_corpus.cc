@@ -18,6 +18,7 @@
 #include "adaedge/compress/registry.h"
 #include "adaedge/core/segment.h"
 #include "adaedge/core/store_io.h"
+#include "adaedge/sim/network_model.h"
 #include "adaedge/util/byte_io.h"
 #include "adaedge/util/rng.h"
 
@@ -178,6 +179,30 @@ int main(int argc, char** argv) {
     WriteFile("roundtrip__gorilla32.bin", Prefixed({4, 17}, doubles));
     WriteFile("roundtrip__deflate32.bin", Prefixed({1, 90}, doubles));
     WriteFile("roundtrip__fft32.bin", Prefixed({13, 201}, doubles));
+  }
+
+  // Network-trace target: the serialized presets are the valid seeds
+  // (comments/period/deadline columns all exercised); the rejects pin
+  // the parser's error paths as starting points for mutation.
+  {
+    auto text_file = [](const std::string& name, const std::string& text) {
+      WriteFile(name, std::vector<uint8_t>(text.begin(), text.end()));
+    };
+    text_file("network_trace__handover.bin",
+              sim::FormatTrace(
+                  sim::NetworkModel::Handover3G4G(30.0, 0.005).trace()));
+    text_file("network_trace__satellite.bin",
+              sim::FormatTrace(
+                  sim::NetworkModel::SatelliteWindows(600.0, 300.0).trace()));
+    text_file("network_trace__outage.bin",
+              sim::FormatTrace(sim::NetworkModel::Outage(12.5e6, 0.0, 60.0,
+                                                         30.0, 0.05)
+                                   .trace()));
+    text_file("network_trace__commented.bin",
+              "# handover with a latency budget\nperiod 60\n"
+              "0 12.5e6 0.05\n30 0.75e6 0.05\n");
+    text_file("network_trace__reject_nan.bin", "0 nan\n");
+    text_file("network_trace__reject_overlap.bin", "0 100\n0 50\n");
   }
 
   return g_failures == 0 ? 0 : 1;
